@@ -1,0 +1,57 @@
+//! Criterion benchmarks: model forward/backward throughput with exact vs
+//! pwl backends (the model-level cost of LUT substitution is near zero on
+//! the host; the win is in silicon — see table6_hardware).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gqa_models::{
+    CalibrationRecorder, Method, PwlBackend, ReplaceSet, SegConfig, SegformerLite,
+};
+use gqa_tensor::{ExactBackend, Graph, ParamStore, Tensor, UnaryBackend};
+
+fn forward_once(
+    model: &SegformerLite,
+    ps: &ParamStore,
+    backend: &dyn UnaryBackend,
+    image: &Tensor,
+) -> f32 {
+    let mut g = Graph::new(backend);
+    let x = g.input(image.clone());
+    let y = model.forward(&mut g, ps, x);
+    g.value(y).data[0]
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut ps = ParamStore::new();
+    let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 1);
+    let image = Tensor::full(&[1, 3, 32, 64], 0.5);
+
+    let exact = ExactBackend;
+    c.bench_function("model/segformer_forward_exact", |b| {
+        b.iter(|| forward_once(&model, &ps, &exact, black_box(&image)))
+    });
+
+    // Calibrate once, build the all-ops pwl backend at tiny budget.
+    let calib = CalibrationRecorder::new();
+    let _ = forward_once(&model, &ps, &calib, &image);
+    let backend = PwlBackend::build(Method::GqaRm, ReplaceSet::all(), &calib, 1, 0.05);
+    c.bench_function("model/segformer_forward_pwl", |b| {
+        b.iter(|| forward_once(&model, &ps, &backend, black_box(&image)))
+    });
+
+    c.bench_function("model/segformer_train_step", |b| {
+        b.iter(|| {
+            let mut g = Graph::new(&exact);
+            let x = g.input(image.clone());
+            let logits = model.forward(&mut g, &ps, x);
+            let targets = vec![1u32; 32 * 64];
+            let loss = g.cross_entropy_nchw(logits, &targets, 255);
+            g.backward(loss);
+            g.value(loss).data[0]
+        })
+    });
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablations on the genetic search itself: tournament size, elitism,
+//! mutate-range, and the fitness mode (plain λ-aware grid vs the
+//! quantization-aware dequantized average).
+//!
+//! Run with: `cargo run -p gqa-bench --release --bin ablation_search`
+
+use gqa_bench::{mse_scale_average, Method};
+use gqa_bench::table::{sci, Table};
+use gqa_funcs::NonLinearOp;
+use gqa_genetic::{FitnessMode, GeneticSearch, SearchConfig};
+
+fn avg_quant_mse(cfg: SearchConfig) -> f64 {
+    let lut = GeneticSearch::new(cfg).run().lut().clone();
+    mse_scale_average(&lut, NonLinearOp::Gelu)
+}
+
+fn main() {
+    let base = || SearchConfig::for_op(NonLinearOp::Gelu).with_seed(17);
+    println!("Ablations on GELU 8-entry (avg dequantized MSE over the scale sweep)\n");
+
+    let mut t = Table::new(vec!["Variant".into(), "avg INT8 MSE".into()]);
+    t.row(vec![
+        "paper default (RM, tour=3, elitism, QAA fitness)".into(),
+        sci(avg_quant_mse(base().with_fitness(FitnessMode::QuantAwareAverage))),
+    ]);
+    t.row(vec![
+        "plain λ-aware fitness (no quant awareness)".into(),
+        sci(avg_quant_mse(base())),
+    ]);
+    t.row(vec![
+        "Gaussian mutation + QAA fitness".into(),
+        sci(avg_quant_mse(
+            base()
+                .without_rounding_mutation()
+                .with_fitness(FitnessMode::QuantAwareAverage),
+        )),
+    ]);
+    t.row(vec![
+        "Gaussian mutation + plain fitness (w/o RM row)".into(),
+        sci(avg_quant_mse(base().without_rounding_mutation())),
+    ]);
+    for k in [2usize, 3, 5] {
+        t.row(vec![
+            format!("tournament size {k}"),
+            sci(avg_quant_mse(
+                base()
+                    .with_tournament(k)
+                    .with_fitness(FitnessMode::QuantAwareAverage),
+            )),
+        ]);
+    }
+    t.row(vec![
+        "no elitism".into(),
+        sci(avg_quant_mse(
+            base()
+                .with_elitism(false)
+                .with_fitness(FitnessMode::QuantAwareAverage),
+        )),
+    ]);
+    {
+        let mut cfg = base().with_fitness(FitnessMode::QuantAwareAverage);
+        cfg.mutate_range = (2, 6); // EXP's row applied to GELU
+        t.row(vec!["mutate range [2, 6]".into(), sci(avg_quant_mse(cfg))]);
+    }
+    t.print();
+
+    println!("\nReference NN-LUT avg MSE: {}", sci({
+        let lut = gqa_bench::build_lut(Method::NnLut, NonLinearOp::Gelu, 8, 17);
+        mse_scale_average(&lut, NonLinearOp::Gelu)
+    }));
+}

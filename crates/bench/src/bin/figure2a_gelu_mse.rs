@@ -1,0 +1,85 @@
+//! Figure 2(a): normalized MSE of NN-LUT vs GQA-LUT w/o RM vs GQA-LUT w/ RM
+//! for GELU with an 8-entry INT8 LUT, across scaling factors
+//! `S ∈ {2^0 … 2^-6}`, plus the large-vs-small-scale MSE breakdown.
+//!
+//! Run with: `cargo run -p gqa-bench --release --bin figure2a_gelu_mse`
+
+use gqa_bench::table::{sci, Table};
+use gqa_bench::{build_lut, mse_per_scale, Method};
+use gqa_funcs::NonLinearOp;
+use gqa_pwl::eval::{log_compress_mse, normalize_to_max};
+
+fn main() {
+    let op = NonLinearOp::Gelu;
+    println!("Figure 2(a): GELU 8-entry INT8 LUT, normalized log10(2e4*MSE) per scale\n");
+
+    let mut per_method = Vec::new();
+    for method in Method::ALL {
+        let lut = build_lut(method, op, 8, 2024);
+        per_method.push((method, mse_per_scale(&lut, op)));
+    }
+
+    // Joint normalization across methods, as in the figure (one y-axis).
+    let all_logs: Vec<f64> = per_method
+        .iter()
+        .flat_map(|(_, v)| log_compress_mse(v))
+        .collect();
+    let max = all_logs.iter().copied().fold(f64::MIN, f64::max);
+
+    let mut t = Table::new(
+        std::iter::once("method".to_owned())
+            .chain((0..7).map(|i| format!("S=2^-{i}")))
+            .collect(),
+    );
+    for (method, mses) in &per_method {
+        let logs = log_compress_mse(mses);
+        let mut cells = vec![method.label().to_owned()];
+        cells.extend(logs.iter().map(|v| format!("{:.3}", (v / max).max(0.0))));
+        t.row(cells);
+    }
+    t.print();
+
+    println!("\nRaw per-scale MSE:");
+    let mut t = Table::new(
+        std::iter::once("method".to_owned())
+            .chain((0..7).map(|i| format!("S=2^-{i}")))
+            .collect(),
+    );
+    for (method, mses) in &per_method {
+        let mut cells = vec![method.label().to_owned()];
+        cells.extend(mses.iter().map(|&v| sci(v)));
+        t.row(cells);
+    }
+    t.print();
+
+    // MSE breakdown: scales >= 2^-2 ("larger") vs < 2^-2 ("smaller").
+    // The paper reports the w/o-RM error mass concentrating (>90 %) at the
+    // larger scales.
+    println!("\nMSE breakdown (GQA-LUT w/o RM): share of total error by scale group");
+    for (method, mses) in &per_method {
+        let total: f64 = mses.iter().sum();
+        let large: f64 = mses[..3].iter().sum(); // 2^0, 2^-1, 2^-2
+        println!(
+            "  {:<16} larger scales (S >= 2^-2): {:>5.1} %   smaller: {:>5.1} %",
+            method.label(),
+            100.0 * large / total,
+            100.0 * (total - large) / total
+        );
+    }
+
+    // Headline ratios quoted on the figure (improvement of w/RM over the
+    // other two at the paper's annotated points).
+    let nn = &per_method[0].1;
+    let no_rm = &per_method[1].1;
+    let rm = &per_method[2].1;
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("\nAverage MSE: NN-LUT {} | w/o RM {} | w/ RM {}", sci(avg(nn)), sci(avg(no_rm)), sci(avg(rm)));
+    println!("Improvement of w/RM: {:.2}x over NN-LUT, {:.2}x over w/o RM",
+        avg(nn) / avg(rm), avg(no_rm) / avg(rm));
+
+    // Normalized series sanity (figure y-axis in [0, 1]).
+    for (_, mses) in &per_method {
+        let n = normalize_to_max(mses);
+        assert!(n.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 3: normalized MSE for GELU, HSWISH and EXP across INT8 scaling
+//! factors `S ∈ {2^0 … 2^-6}` plus the average, comparing NN-LUT and
+//! GQA-LUT w/ RM at 8 and 16 entries (the figure's four series), with the
+//! improvement-factor annotations.
+//!
+//! Run with: `cargo run -p gqa-bench --release --bin figure3_mse_sweep`
+
+use gqa_bench::table::{sci, Table};
+use gqa_bench::{build_lut, mse_per_scale, Method};
+use gqa_funcs::NonLinearOp;
+
+fn main() {
+    for op in [NonLinearOp::Gelu, NonLinearOp::Hswish, NonLinearOp::Exp] {
+        println!("Figure 3 — {}:", op.name().to_uppercase());
+        let series: Vec<(String, Vec<f64>)> = [
+            (Method::NnLut, 8usize),
+            (Method::NnLut, 16),
+            (Method::GqaRm, 8),
+            (Method::GqaRm, 16),
+        ]
+        .into_iter()
+        .map(|(m, e)| {
+            let lut = build_lut(m, op, e, 2024);
+            let mut v = mse_per_scale(&lut, op);
+            let avg = v.iter().sum::<f64>() / v.len() as f64;
+            v.push(avg);
+            (format!("{} {e}-entry", m.label()), v)
+        })
+        .collect();
+
+        // Joint normalization as in the figure.
+        let max = series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(f64::MIN, f64::max);
+
+        let mut t = Table::new(
+            std::iter::once("series".to_owned())
+                .chain((0..7).map(|i| format!("2^-{i}")))
+                .chain(std::iter::once("avg".to_owned()))
+                .collect(),
+        );
+        for (label, v) in &series {
+            let mut cells = vec![label.clone()];
+            cells.extend(v.iter().map(|x| format!("{:.3}", x / max)));
+            t.row(cells);
+        }
+        t.print();
+
+        // The figure's annotations: improvement factor of w/RM over NN-LUT
+        // per entry count, at S = 2^0 and on the average.
+        for (e, idx_nn, idx_rm) in [(8usize, 0usize, 2usize), (16, 1, 3)] {
+            let nn = &series[idx_nn].1;
+            let rm = &series[idx_rm].1;
+            println!(
+                "  {e:>2}-entry w/RM vs NN-LUT: {:.2}x at S=2^0, {:.2}x on average (raw avg {} vs {})",
+                nn[0] / rm[0],
+                nn[7] / rm[7],
+                sci(nn[7]),
+                sci(rm[7]),
+            );
+        }
+        println!();
+    }
+    println!("Paper annotations for reference: GELU 13.51x/26.18x (8/16-entry at 2^0),");
+    println!("HSWISH 4.20x/26.32x, EXP 5.28x/3.99x at 2^0; all favor GQA-LUT w/ RM.");
+}

@@ -1,0 +1,57 @@
+//! Table 6: area and power of the LUT-based pwl units under the calibrated
+//! TSMC-28nm structural model, {INT8, INT16, INT32, FP32} × {8, 16} entries
+//! at 500 MHz.
+//!
+//! Run with: `cargo run -p gqa-bench --bin table6_hardware`
+
+use gqa_bench::table::Table;
+use gqa_hardware::{Precision, PwlUnit, TechnologyModel};
+
+fn main() {
+    let tech = TechnologyModel::tsmc28_500mhz();
+    println!("Table 6: Hardware costs under the TSMC-28nm-calibrated structural model\n");
+    let mut t = Table::new(vec![
+        "Precision".into(),
+        "Entry".into(),
+        "Area (um2)".into(),
+        "Power (mW)".into(),
+        "Gates (GE)".into(),
+    ]);
+    for p in Precision::ALL {
+        for entries in [8usize, 16] {
+            let unit = PwlUnit::new(p, entries);
+            t.row(vec![
+                p.label().into(),
+                entries.to_string(),
+                format!("{:.0}", unit.area_um2(&tech)),
+                format!("{:.2}", unit.power_mw(&tech)),
+                format!("{:.0}", unit.gates()),
+            ]);
+        }
+    }
+    t.print();
+
+    // The paper's headline claims.
+    let int8 = PwlUnit::new(Precision::Int8, 8);
+    let int32 = PwlUnit::new(Precision::Int32, 8);
+    let fp32 = PwlUnit::new(Precision::Fp32, 8);
+    let a8 = int8.area_um2(&tech);
+    let p8 = int8.power_mw(&tech);
+    println!("\nHeadline reductions of the 8-entry INT8 unit:");
+    println!(
+        "  area : {:.1}% vs FP32 (paper: 81.3%), {:.1}% vs INT32 (paper: 81.7%)",
+        100.0 * (1.0 - a8 / fp32.area_um2(&tech)),
+        100.0 * (1.0 - a8 / int32.area_um2(&tech)),
+    );
+    println!(
+        "  power: {:.1}% vs FP32 (paper: 80.2%), {:.1}% vs INT32 (paper: 79.3%)",
+        100.0 * (1.0 - p8 / fp32.power_mw(&tech)),
+        100.0 * (1.0 - p8 / int32.power_mw(&tech)),
+    );
+    let int8_16 = PwlUnit::new(Precision::Int8, 16);
+    println!(
+        "  16-entry INT8 vs 8-entry: {:.2}x area (paper: 1.71x), {:.2}x power (paper: 1.95x)",
+        int8_16.area_um2(&tech) / a8,
+        int8_16.power_mw(&tech) / p8,
+    );
+}

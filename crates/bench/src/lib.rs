@@ -1,0 +1,17 @@
+//! # gqa-bench — the experiment harness
+//!
+//! Shared machinery for the `table*` / `figure*` binaries that regenerate
+//! every table and figure of the paper. Each binary prints the same rows /
+//! series the paper reports; see `EXPERIMENTS.md` at the repository root
+//! for the paper-vs-measured record.
+//!
+//! The harness is deterministic: every search/training run is seeded, so
+//! two invocations print identical numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod methods;
+pub mod table;
+
+pub use methods::{build_lut, mse_per_scale, mse_scale_average, wide_range_mse, Method};

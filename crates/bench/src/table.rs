@@ -1,0 +1,118 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A fixed-column table printer that mimics the paper's layout.
+///
+/// # Example
+///
+/// ```
+/// use gqa_bench::table::Table;
+/// let mut t = Table::new(vec!["Method".into(), "GELU".into()]);
+/// t.row(vec!["NN-LUT".into(), "1.3e-3".into()]);
+/// let s = t.render();
+/// assert!(s.contains("NN-LUT"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: Vec<String>) -> Self {
+        Self { header, rows: Vec::new() }
+    }
+
+    /// Appends a row; shorter rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        let measure = |row: &[String], widths: &mut [usize]| {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        };
+        measure(&self.header, &mut widths);
+        for r in &self.rows {
+            measure(r, &mut widths);
+        }
+        let fmt_row = |row: &[String], widths: &[usize]| -> String {
+            let mut out = String::new();
+            for (i, w) in widths.iter().enumerate().take(cols) {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(&format!("{:<width$}", cell, width = w + 2));
+            }
+            out.trim_end().to_owned()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats an MSE in the paper's scientific style, e.g. `9.4e-5`.
+#[must_use]
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    let exp = v.abs().log10().floor() as i32;
+    let mant = v / 10f64.powi(exp);
+    format!("{mant:.1}e{exp}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["A".into(), "LongHeader".into()]);
+        t.row(vec!["xx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Column 2 starts at the same offset in every row.
+        let off = lines[0].find("LongHeader").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), off);
+        assert_eq!(lines[3].find("22").unwrap(), off);
+    }
+
+    #[test]
+    fn sci_formatting() {
+        assert_eq!(sci(9.4e-5), "9.4e-5");
+        assert_eq!(sci(1.3e-3), "1.3e-3");
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(2.5), "2.5e0");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["A".into(), "B".into(), "C".into()]);
+        t.row(vec!["1".into()]);
+        assert!(t.render().lines().count() == 3);
+    }
+}

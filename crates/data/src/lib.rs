@@ -1,0 +1,37 @@
+//! # gqa-data — SynthScapes: a synthetic Cityscapes substitute
+//!
+//! The paper fine-tunes on Cityscapes (2 975 train / 500 val images at
+//! 1024×2048, 19 classes). That dataset cannot ship with this repository,
+//! so this crate provides **SynthScapes**: a deterministic procedural
+//! generator of urban-like scenes with the same 19-class palette (road,
+//! sidewalk, building, …, bicycle) at configurable resolution, plus the
+//! standard mean-IoU evaluation stack.
+//!
+//! Why the substitution preserves the relevant behaviour: the paper's
+//! model-level experiments measure how *operator approximation error*
+//! (pwl-LUT replacing GELU/EXP/DIV/RSQRT/HSWISH) propagates to segmentation
+//! quality. That propagation depends on the network and where the
+//! non-linearities sit, not on the photographic content of the dataset;
+//! a procedurally generated scene distribution with learnable structure
+//! exercises the identical code paths end to end.
+//!
+//! ## Example
+//!
+//! ```
+//! use gqa_data::{SceneConfig, SynthScapes, NUM_CLASSES};
+//!
+//! let ds = SynthScapes::new(SceneConfig::tiny(), 7);
+//! let sample = ds.sample(0);
+//! assert_eq!(sample.image.shape, vec![3, 32, 64]);
+//! assert_eq!(sample.labels.len(), 32 * 64);
+//! assert!(sample.labels.iter().all(|&c| (c as usize) < NUM_CLASSES || c == 255));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod scene;
+
+pub use metrics::ConfusionMatrix;
+pub use scene::{class_name, Sample, SceneConfig, SynthScapes, IGNORE_LABEL, NUM_CLASSES};

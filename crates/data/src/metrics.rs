@@ -1,0 +1,176 @@
+//! Segmentation metrics: confusion matrix, IoU, mIoU, pixel accuracy.
+
+use crate::scene::{IGNORE_LABEL, NUM_CLASSES};
+
+/// A `NUM_CLASSES × NUM_CLASSES` confusion matrix accumulated over
+/// predictions; rows = ground truth, columns = prediction.
+///
+/// # Example
+///
+/// ```
+/// use gqa_data::ConfusionMatrix;
+/// let mut cm = ConfusionMatrix::new();
+/// cm.add(&[0, 0, 1, 255], &[0, 1, 1, 0]);
+/// assert!((cm.pixel_accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<u64>,
+}
+
+impl Default for ConfusionMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { counts: vec![0; NUM_CLASSES * NUM_CLASSES] }
+    }
+
+    /// Accumulates a batch of (ground-truth, prediction) pairs. Pixels with
+    /// ground truth [`IGNORE_LABEL`] are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-range classes.
+    pub fn add(&mut self, truth: &[u32], pred: &[u32]) {
+        assert_eq!(truth.len(), pred.len(), "length mismatch");
+        for (&t, &p) in truth.iter().zip(pred) {
+            if t == IGNORE_LABEL {
+                continue;
+            }
+            assert!((t as usize) < NUM_CLASSES, "truth class {t} out of range");
+            assert!((p as usize) < NUM_CLASSES, "pred class {p} out of range");
+            self.counts[t as usize * NUM_CLASSES + p as usize] += 1;
+        }
+    }
+
+    /// Intersection-over-union of one class; `None` when the class never
+    /// occurs (neither in truth nor prediction).
+    #[must_use]
+    pub fn iou(&self, class: usize) -> Option<f64> {
+        assert!(class < NUM_CLASSES, "class out of range");
+        let tp = self.counts[class * NUM_CLASSES + class];
+        let fn_: u64 = (0..NUM_CLASSES)
+            .filter(|&c| c != class)
+            .map(|c| self.counts[class * NUM_CLASSES + c])
+            .sum();
+        let fp: u64 = (0..NUM_CLASSES)
+            .filter(|&c| c != class)
+            .map(|c| self.counts[c * NUM_CLASSES + class])
+            .sum();
+        let denom = tp + fn_ + fp;
+        if denom == 0 {
+            None
+        } else {
+            Some(tp as f64 / denom as f64)
+        }
+    }
+
+    /// Mean IoU over the classes that occur (the paper's primary metric).
+    /// Returns 0 for an empty matrix.
+    #[must_use]
+    pub fn miou(&self) -> f64 {
+        let ious: Vec<f64> = (0..NUM_CLASSES).filter_map(|c| self.iou(c)).collect();
+        if ious.is_empty() {
+            0.0
+        } else {
+            ious.iter().sum::<f64>() / ious.len() as f64
+        }
+    }
+
+    /// Overall pixel accuracy.
+    #[must_use]
+    pub fn pixel_accuracy(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..NUM_CLASSES).map(|c| self.counts[c * NUM_CLASSES + c]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Total counted pixels.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let mut cm = ConfusionMatrix::new();
+        let truth: Vec<u32> = (0..NUM_CLASSES as u32).collect();
+        cm.add(&truth, &truth);
+        assert_eq!(cm.miou(), 1.0);
+        assert_eq!(cm.pixel_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn half_right_two_classes() {
+        let mut cm = ConfusionMatrix::new();
+        cm.add(&[0, 0, 1, 1], &[0, 1, 1, 0]);
+        // class 0: tp=1, fn=1, fp=1 -> 1/3; class 1 symmetric.
+        assert!((cm.iou(0).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cm.miou() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.pixel_accuracy(), 0.5);
+    }
+
+    #[test]
+    fn absent_classes_excluded_from_mean() {
+        let mut cm = ConfusionMatrix::new();
+        cm.add(&[0, 0], &[0, 0]);
+        assert_eq!(cm.iou(5), None);
+        assert_eq!(cm.miou(), 1.0);
+    }
+
+    #[test]
+    fn ignore_label_skipped() {
+        let mut cm = ConfusionMatrix::new();
+        cm.add(&[IGNORE_LABEL, 0], &[3, 0]);
+        assert_eq!(cm.total(), 1);
+        assert_eq!(cm.miou(), 1.0);
+    }
+
+    #[test]
+    fn false_prediction_creates_fp_class() {
+        let mut cm = ConfusionMatrix::new();
+        cm.add(&[0], &[1]);
+        assert_eq!(cm.iou(0), Some(0.0));
+        assert_eq!(cm.iou(1), Some(0.0)); // fp only
+        assert_eq!(cm.miou(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::new();
+        a.add(&[0], &[0]);
+        let mut b = ConfusionMatrix::new();
+        b.add(&[0], &[1]);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert!((a.iou(0).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_class_panics() {
+        let mut cm = ConfusionMatrix::new();
+        cm.add(&[99], &[0]);
+    }
+}

@@ -1,0 +1,380 @@
+//! The procedural scene generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gqa_tensor::Tensor;
+
+/// Number of semantic classes (matches Cityscapes' 19 evaluation classes).
+pub const NUM_CLASSES: usize = 19;
+
+/// Label value marking pixels excluded from loss and metrics.
+pub const IGNORE_LABEL: u32 = 255;
+
+/// Cityscapes evaluation-class names, in id order.
+const CLASS_NAMES: [&str; NUM_CLASSES] = [
+    "road",
+    "sidewalk",
+    "building",
+    "wall",
+    "fence",
+    "pole",
+    "traffic light",
+    "traffic sign",
+    "vegetation",
+    "terrain",
+    "sky",
+    "person",
+    "rider",
+    "car",
+    "truck",
+    "bus",
+    "train",
+    "motorcycle",
+    "bicycle",
+];
+
+/// Mean RGB palette per class (what the generator renders before noise);
+/// loosely the Cityscapes color scheme scaled to [0, 1].
+const PALETTE: [[f32; 3]; NUM_CLASSES] = [
+    [0.50, 0.25, 0.50], // road
+    [0.95, 0.35, 0.90], // sidewalk
+    [0.27, 0.27, 0.27], // building
+    [0.40, 0.40, 0.61], // wall
+    [0.74, 0.60, 0.60], // fence
+    [0.60, 0.60, 0.60], // pole
+    [0.98, 0.67, 0.12], // traffic light
+    [0.86, 0.86, 0.00], // traffic sign
+    [0.42, 0.56, 0.14], // vegetation
+    [0.60, 0.98, 0.60], // terrain
+    [0.27, 0.51, 0.71], // sky
+    [0.86, 0.08, 0.24], // person
+    [1.00, 0.00, 0.00], // rider
+    [0.00, 0.00, 0.56], // car
+    [0.00, 0.00, 0.27], // truck
+    [0.00, 0.24, 0.39], // bus
+    [0.00, 0.31, 0.39], // train
+    [0.00, 0.00, 0.90], // motorcycle
+    [0.47, 0.04, 0.13], // bicycle
+];
+
+/// Returns the class name for an id.
+///
+/// # Panics
+///
+/// Panics if `id >= NUM_CLASSES`.
+#[must_use]
+pub fn class_name(id: usize) -> &'static str {
+    CLASS_NAMES[id]
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneConfig {
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Per-pixel Gaussian-ish color noise amplitude.
+    pub noise: f32,
+    /// Number of foreground objects (cars, people, signs, …) per scene.
+    pub objects: usize,
+    /// Fraction of border pixels marked [`IGNORE_LABEL`] (Cityscapes has
+    /// void regions; exercises the ignore path).
+    pub ignore_border: usize,
+}
+
+impl SceneConfig {
+    /// Tiny scenes for unit tests: 32×64.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self { height: 32, width: 64, noise: 0.05, objects: 6, ignore_border: 1 }
+    }
+
+    /// The benchmark configuration used by the Table 4/5 harness: 48×96.
+    #[must_use]
+    pub fn benchmark() -> Self {
+        Self { height: 48, width: 96, noise: 0.05, objects: 9, ignore_border: 1 }
+    }
+}
+
+/// One generated scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// CHW image in `[0, 1]`.
+    pub image: Tensor,
+    /// Row-major class labels (`height·width`), `IGNORE_LABEL` on the
+    /// ignored border.
+    pub labels: Vec<u32>,
+}
+
+/// The deterministic dataset: `sample(i)` always returns the same scene
+/// for a given `(config, seed, i)`.
+#[derive(Debug, Clone)]
+pub struct SynthScapes {
+    config: SceneConfig,
+    seed: u64,
+}
+
+impl SynthScapes {
+    /// Creates the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate dimensions (smaller than 16×16).
+    #[must_use]
+    pub fn new(config: SceneConfig, seed: u64) -> Self {
+        assert!(config.height >= 16 && config.width >= 16, "scene too small");
+        Self { config, seed }
+    }
+
+    /// The generator configuration.
+    #[must_use]
+    pub fn config(&self) -> &SceneConfig {
+        &self.config
+    }
+
+    /// Generates scene `index`.
+    #[must_use]
+    pub fn sample(&self, index: u64) -> Sample {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (index.wrapping_mul(0x9E3779B97F4A7C15)));
+        let (h, w) = (self.config.height, self.config.width);
+        let mut labels = vec![0u32; h * w];
+
+        // --- layout: sky / buildings / vegetation / sidewalk / road bands.
+        let horizon = h * rng.gen_range(25..40) / 100;
+        let road_top = h * rng.gen_range(60..75) / 100;
+        let sidewalk_top = road_top.saturating_sub(h / 12).max(horizon + 1);
+        for y in 0..h {
+            let base = if y < horizon {
+                10 // sky
+            } else if y < sidewalk_top {
+                2 // building band (objects overwrite)
+            } else if y < road_top {
+                1 // sidewalk
+            } else {
+                0 // road
+            };
+            for x in 0..w {
+                labels[y * w + x] = base;
+            }
+        }
+
+        // Buildings: a few vertical blocks of varying height over the band.
+        let n_buildings = rng.gen_range(2..5);
+        for _ in 0..n_buildings {
+            let bw = rng.gen_range(w / 8..w / 3);
+            let bx = rng.gen_range(0..w.saturating_sub(bw).max(1));
+            let btop = rng.gen_range(2..horizon.max(3));
+            for y in btop..sidewalk_top {
+                for x in bx..(bx + bw).min(w) {
+                    labels[y * w + x] = 2;
+                }
+            }
+        }
+
+        // Vegetation patches at the horizon line, terrain below them.
+        let n_veg = rng.gen_range(1..4);
+        for _ in 0..n_veg {
+            let vw = rng.gen_range(w / 10..w / 4);
+            let vx = rng.gen_range(0..w.saturating_sub(vw).max(1));
+            let vh = rng.gen_range(2..(sidewalk_top - horizon).max(3));
+            for y in horizon.saturating_sub(vh / 2)..(horizon + vh).min(sidewalk_top) {
+                for x in vx..(vx + vw).min(w) {
+                    labels[y * w + x] = if y > horizon + vh / 2 { 9 } else { 8 };
+                }
+            }
+        }
+
+        // Foreground objects.
+        for _ in 0..self.config.objects {
+            self.place_object(&mut rng, &mut labels, horizon, sidewalk_top, road_top);
+        }
+
+        // Poles with lights/signs (thin verticals from the sidewalk).
+        let n_poles = rng.gen_range(1..4);
+        for _ in 0..n_poles {
+            let px = rng.gen_range(2..w - 2);
+            let ptop = rng.gen_range(horizon..sidewalk_top.max(horizon + 1));
+            for y in ptop..road_top.min(h) {
+                labels[y * w + px] = 5;
+            }
+            // Head: light or sign.
+            let head = if rng.gen_bool(0.5) { 6 } else { 7 };
+            for y in ptop.saturating_sub(2)..ptop {
+                for x in px.saturating_sub(1)..(px + 2).min(w) {
+                    labels[y * w + x] = head;
+                }
+            }
+        }
+
+        // Ignore border.
+        let ib = self.config.ignore_border;
+        for y in 0..h {
+            for x in 0..w {
+                if y < ib || x < ib || y >= h - ib || x >= w - ib {
+                    labels[y * w + x] = IGNORE_LABEL;
+                }
+            }
+        }
+
+        // --- render: palette + vertical illumination gradient + noise.
+        let mut image = vec![0.0f32; 3 * h * w];
+        for y in 0..h {
+            let light = 0.9 + 0.2 * (y as f32 / h as f32);
+            for x in 0..w {
+                let lab = labels[y * w + x];
+                let color = if lab == IGNORE_LABEL {
+                    [0.0, 0.0, 0.0]
+                } else {
+                    PALETTE[lab as usize]
+                };
+                for (ch, &c) in color.iter().enumerate() {
+                    let noise = rng.gen_range(-self.config.noise..=self.config.noise);
+                    image[ch * h * w + y * w + x] = (c * light + noise).clamp(0.0, 1.0);
+                }
+            }
+        }
+
+        Sample { image: Tensor::from_vec(image, &[3, h, w]), labels }
+    }
+
+    fn place_object(
+        &self,
+        rng: &mut StdRng,
+        labels: &mut [u32],
+        horizon: usize,
+        sidewalk_top: usize,
+        road_top: usize,
+    ) {
+        let (h, w) = (self.config.height, self.config.width);
+        // Vehicles on the road, people/bicycles on the sidewalk, walls and
+        // fences in the building band.
+        let choices: [(u32, usize, usize, usize); 9] = [
+            (13, road_top, h, 3),  // car
+            (14, road_top, h, 4),  // truck
+            (15, road_top, h, 4),  // bus
+            (17, road_top, h, 2),  // motorcycle
+            (11, sidewalk_top, road_top, 2), // person
+            (12, sidewalk_top, road_top, 2), // rider
+            (18, sidewalk_top, road_top, 2), // bicycle
+            (3, horizon, sidewalk_top, 3),   // wall
+            (4, horizon, sidewalk_top, 3),   // fence
+        ];
+        let (class, ymin, ymax, size) = choices[rng.gen_range(0..choices.len())];
+        if ymax <= ymin + 2 {
+            return;
+        }
+        let oh = rng.gen_range(2..=(size * 2).min(ymax - ymin - 1).max(2));
+        let ow = rng.gen_range(2..=(size * 3).min(w / 3).max(2));
+        let oy = rng.gen_range(ymin..(ymax - oh).max(ymin + 1));
+        let ox = rng.gen_range(0..w.saturating_sub(ow).max(1));
+        for y in oy..(oy + oh).min(h) {
+            for x in ox..(ox + ow).min(w) {
+                labels[y * w + x] = class;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_per_index() {
+        let ds = SynthScapes::new(SceneConfig::tiny(), 42);
+        assert_eq!(ds.sample(3), ds.sample(3));
+        assert_ne!(ds.sample(3), ds.sample(4));
+        let other_seed = SynthScapes::new(SceneConfig::tiny(), 43);
+        assert_ne!(ds.sample(3), other_seed.sample(3));
+    }
+
+    #[test]
+    fn labels_are_valid() {
+        let ds = SynthScapes::new(SceneConfig::tiny(), 1);
+        for i in 0..10 {
+            let s = ds.sample(i);
+            for &l in &s.labels {
+                assert!((l as usize) < NUM_CLASSES || l == IGNORE_LABEL, "label {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn image_in_unit_range() {
+        let ds = SynthScapes::new(SceneConfig::tiny(), 2);
+        let s = ds.sample(0);
+        assert!(s.image.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn scene_diversity() {
+        // Across a handful of scenes, most classes appear at least once.
+        let ds = SynthScapes::new(SceneConfig::benchmark(), 3);
+        let mut seen = HashSet::new();
+        for i in 0..30 {
+            for &l in &ds.sample(i).labels {
+                if l != IGNORE_LABEL {
+                    seen.insert(l);
+                }
+            }
+        }
+        assert!(seen.len() >= 14, "only {} classes generated", seen.len());
+        // The stage classes always exist.
+        for must in [0u32, 1, 2, 10] {
+            assert!(seen.contains(&must), "missing class {must}");
+        }
+    }
+
+    #[test]
+    fn ignore_border_applied() {
+        let ds = SynthScapes::new(SceneConfig::tiny(), 4);
+        let s = ds.sample(0);
+        let (h, w) = (32, 64);
+        for x in 0..w {
+            assert_eq!(s.labels[x], IGNORE_LABEL);
+            assert_eq!(s.labels[(h - 1) * w + x], IGNORE_LABEL);
+        }
+    }
+
+    #[test]
+    fn class_names_cover_palette() {
+        for i in 0..NUM_CLASSES {
+            assert!(!class_name(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn classes_are_color_separable() {
+        // Mean rendered color of each major class should be close to its
+        // palette entry — the signal the models learn.
+        let ds = SynthScapes::new(SceneConfig::benchmark(), 5);
+        let s = ds.sample(1);
+        let (h, w) = (48usize, 96usize);
+        for target in [0u32, 2, 10] {
+            let mut sum = [0.0f64; 3];
+            let mut n = 0usize;
+            for y in 0..h {
+                for x in 0..w {
+                    if s.labels[y * w + x] == target {
+                        for ch in 0..3 {
+                            sum[ch] += s.image.data[ch * h * w + y * w + x] as f64;
+                        }
+                        n += 1;
+                    }
+                }
+            }
+            assert!(n > 0, "class {target} absent");
+            for ch in 0..3 {
+                let mean = sum[ch] / n as f64;
+                let pal = PALETTE[target as usize][ch] as f64;
+                assert!(
+                    (mean - pal).abs() < 0.25,
+                    "class {target} ch {ch}: mean {mean} vs palette {pal}"
+                );
+            }
+        }
+    }
+}

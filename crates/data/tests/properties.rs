@@ -1,0 +1,69 @@
+//! Property-based tests for the dataset and metrics.
+
+use gqa_data::{ConfusionMatrix, SceneConfig, SynthScapes, IGNORE_LABEL, NUM_CLASSES};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any generated scene is well-formed: labels valid, image in [0, 1],
+    /// and the sample is reproducible.
+    #[test]
+    fn scenes_always_well_formed(seed in 0u64..500, index in 0u64..50) {
+        let ds = SynthScapes::new(SceneConfig::tiny(), seed);
+        let s = ds.sample(index);
+        prop_assert_eq!(s.image.shape.clone(), vec![3, 32, 64]);
+        prop_assert!(s.image.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(s
+            .labels
+            .iter()
+            .all(|&l| (l as usize) < NUM_CLASSES || l == IGNORE_LABEL));
+        prop_assert_eq!(ds.sample(index), s);
+    }
+
+    /// mIoU and pixel accuracy are always in [0, 1], and perfect
+    /// predictions score 1.
+    #[test]
+    fn metrics_bounded(truth in proptest::collection::vec(0u32..NUM_CLASSES as u32, 1..256),
+                       pred in proptest::collection::vec(0u32..NUM_CLASSES as u32, 1..256)) {
+        let n = truth.len().min(pred.len());
+        let mut cm = ConfusionMatrix::new();
+        cm.add(&truth[..n], &pred[..n]);
+        prop_assert!((0.0..=1.0).contains(&cm.miou()));
+        prop_assert!((0.0..=1.0).contains(&cm.pixel_accuracy()));
+
+        let mut perfect = ConfusionMatrix::new();
+        perfect.add(&truth[..n], &truth[..n]);
+        prop_assert_eq!(perfect.miou(), 1.0);
+        prop_assert_eq!(perfect.pixel_accuracy(), 1.0);
+    }
+
+    /// mIoU never exceeds pixel accuracy... is false in general; instead:
+    /// merging two matrices yields a total equal to the sum of totals.
+    #[test]
+    fn merge_is_additive(a in proptest::collection::vec(0u32..19, 1..64),
+                         b in proptest::collection::vec(0u32..19, 1..64)) {
+        let mut ca = ConfusionMatrix::new();
+        ca.add(&a, &a);
+        let mut cb = ConfusionMatrix::new();
+        cb.add(&b, &b);
+        let (ta, tb) = (ca.total(), cb.total());
+        ca.merge(&cb);
+        prop_assert_eq!(ca.total(), ta + tb);
+    }
+
+    /// Ignored pixels never contribute to any metric.
+    #[test]
+    fn ignore_is_inert(truth in proptest::collection::vec(0u32..19, 1..64)) {
+        let mut with_ignored = ConfusionMatrix::new();
+        with_ignored.add(&truth, &truth);
+        let mut padded_truth = truth.clone();
+        let mut padded_pred = truth.clone();
+        for _ in 0..16 {
+            padded_truth.push(IGNORE_LABEL);
+            padded_pred.push(7); // arbitrary prediction on ignored pixels
+        }
+        let mut cm = ConfusionMatrix::new();
+        cm.add(&padded_truth, &padded_pred);
+        prop_assert_eq!(cm.total(), with_ignored.total());
+        prop_assert_eq!(cm.miou(), with_ignored.miou());
+    }
+}

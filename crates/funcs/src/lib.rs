@@ -1,0 +1,47 @@
+//! # gqa-funcs — reference non-linear functions
+//!
+//! High-precision (`f64`) reference implementations of every non-linear
+//! operator the paper approximates, plus the extended set that appears in
+//! lightweight Transformer variants (§2.1). These are the ground-truth
+//! `f(·)` against which the genetic search, the NN-LUT baseline, and all
+//! MSE evaluations are measured.
+//!
+//! The five operators of the paper's evaluation (Table 1):
+//!
+//! | Op | definition | search range `[Rn, Rp]` |
+//! |----|------------|--------------------------|
+//! | GELU   | `0.5·x·(1 + erf(x/√2))` | (−4, 4) |
+//! | HSWISH | `x·relu6(x+3)/6`        | (−4, 4) |
+//! | EXP    | `e^x`                   | (−8, 0) |
+//! | DIV    | `1/x`                   | (0.5, 4) |
+//! | RSQRT  | `1/√x`                  | (0.25, 4) |
+//!
+//! `erf` is implemented from scratch (no libm dependency) with ~1e-14
+//! relative accuracy; see [`erf`].
+//!
+//! ## Example
+//!
+//! ```
+//! use gqa_funcs::{gelu, NonLinearOp};
+//!
+//! assert!((gelu(0.0)).abs() < 1e-15);
+//! let op = NonLinearOp::Gelu;
+//! assert_eq!(op.eval(0.0), 0.0);
+//! let (rn, rp) = op.default_range();
+//! assert_eq!((rn, rp), (-4.0, 4.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod erf_impl;
+mod ops;
+mod registry;
+mod vector;
+
+pub use erf_impl::{erf, erfc};
+pub use ops::{
+    cosine, div, exp, gelu, gelu_tanh, hswish, relu, relu6, rsqrt, sigmoid, silu, softplus, tanh,
+};
+pub use registry::{NonLinearOp, ParseOpError};
+pub use vector::{layernorm_reference, softmax_reference};

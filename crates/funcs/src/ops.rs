@@ -1,0 +1,212 @@
+//! Scalar non-linear operators.
+//!
+//! Conventions: every function is total over its mathematical domain and
+//! propagates NaN; `div`/`rsqrt` on non-positive inputs follow IEEE
+//! semantics (`±inf`/NaN) rather than panicking, because the multi-range
+//! scaling layer is responsible for keeping hardware inputs in range.
+
+use crate::erf_impl::erf;
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Exact GELU: `0.5·x·(1 + erf(x/√2))` (the form approximated in the paper).
+///
+/// # Example
+///
+/// ```
+/// use gqa_funcs::gelu;
+/// assert!((gelu(1.0) - 0.8413447460685429).abs() < 1e-12);
+/// assert!((gelu(-4.0)).abs() < 2e-4); // tail is nearly 0
+/// ```
+#[must_use]
+pub fn gelu(x: f64) -> f64 {
+    0.5 * x * (1.0 + erf(x * FRAC_1_SQRT_2))
+}
+
+/// Tanh-approximated GELU (the BERT/GPT-2 variant); provided so users can
+/// approximate whichever form their model uses.
+///
+/// `0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`
+#[must_use]
+pub fn gelu_tanh(x: f64) -> f64 {
+    #[allow(clippy::excessive_precision)]
+    const SQRT_2_OVER_PI: f64 = 0.797_884_560_802_865_4;
+    0.5 * x * (1.0 + tanh(SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)))
+}
+
+/// ReLU: `max(x, 0)`.
+#[must_use]
+pub fn relu(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+/// ReLU6: `min(max(x, 0), 6)`.
+#[must_use]
+pub fn relu6(x: f64) -> f64 {
+    x.clamp(0.0, 6.0)
+}
+
+/// HSWISH: `x·relu6(x + 3)/6` (MobileNetV3 / EfficientViT activation).
+///
+/// # Example
+///
+/// ```
+/// use gqa_funcs::hswish;
+/// assert_eq!(hswish(-3.0), 0.0);
+/// assert_eq!(hswish(3.0), 3.0);
+/// assert_eq!(hswish(1.0), 1.0 * 4.0 / 6.0);
+/// ```
+#[must_use]
+pub fn hswish(x: f64) -> f64 {
+    x * relu6(x + 3.0) / 6.0
+}
+
+/// EXP: `e^x`. Softmax's kernel; the paper approximates it on `(−8, 0)`
+/// because softmax inputs are max-subtracted and therefore non-positive.
+#[must_use]
+pub fn exp(x: f64) -> f64 {
+    x.exp()
+}
+
+/// DIV: the reciprocal `1/x`, the division kernel of Softmax's normalizer
+/// and linear attention.
+///
+/// Returns `inf` at `0` per IEEE semantics.
+#[must_use]
+pub fn div(x: f64) -> f64 {
+    1.0 / x
+}
+
+/// RSQRT: `1/√x`, the kernel of LayerNorm's `1/√(var + ε)`.
+///
+/// Returns NaN for negative inputs, `inf` at `0`.
+#[must_use]
+pub fn rsqrt(x: f64) -> f64 {
+    1.0 / x.sqrt()
+}
+
+/// Logistic sigmoid `1/(1 + e^{−x})`, evaluated cancellation-free on both
+/// sides.
+#[must_use]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// SiLU / swish: `x·sigmoid(x)`.
+#[must_use]
+pub fn silu(x: f64) -> f64 {
+    x * sigmoid(x)
+}
+
+/// Hyperbolic tangent.
+#[must_use]
+pub fn tanh(x: f64) -> f64 {
+    x.tanh()
+}
+
+/// Softplus `ln(1 + e^x)`, evaluated overflow-free.
+#[must_use]
+pub fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Cosine (appears in positional encodings of lightweight Transformers,
+/// §2.1).
+#[must_use]
+pub fn cosine(x: f64) -> f64 {
+    x.cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gelu_fixed_points() {
+        assert_eq!(gelu(0.0), 0.0);
+        // GELU(x) -> x for large x, -> 0 for very negative x.
+        assert!((gelu(8.0) - 8.0).abs() < 1e-12);
+        assert!(gelu(-8.0).abs() < 1e-12);
+        // Known value: gelu(1) = 0.5 * (1 + erf(1/sqrt(2))) = 0.8413447460685429
+        assert!((gelu(1.0) - 0.8413447460685429).abs() < 1e-12);
+        assert!((gelu(-1.0) + 0.15865525393145707).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gelu_tanh_close_to_exact() {
+        for i in -40..=40 {
+            let x = i as f64 * 0.1;
+            assert!(
+                (gelu(x) - gelu_tanh(x)).abs() < 3e-3,
+                "divergence at {x}: {} vs {}",
+                gelu(x),
+                gelu_tanh(x)
+            );
+        }
+    }
+
+    #[test]
+    fn hswish_piecewise_regions() {
+        assert_eq!(hswish(-5.0), 0.0);
+        assert_eq!(hswish(-3.0), 0.0);
+        assert_eq!(hswish(0.0), 0.0);
+        assert_eq!(hswish(3.0), 3.0);
+        assert_eq!(hswish(10.0), 10.0);
+        assert!((hswish(-1.5) + 0.375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn div_rsqrt_identities() {
+        for &x in &[0.5, 1.0, 2.0, 4.0] {
+            assert!((div(x) * x - 1.0).abs() < 1e-15);
+            assert!((rsqrt(x) * rsqrt(x) - div(x)).abs() < 1e-15);
+        }
+        assert_eq!(div(0.5), 2.0);
+        assert_eq!(rsqrt(0.25), 2.0);
+        assert_eq!(rsqrt(4.0), 0.5);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_bounds() {
+        for i in -100..=100 {
+            let x = i as f64 * 0.1;
+            let s = sigmoid(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((s + sigmoid(-x) - 1.0).abs() < 1e-14);
+        }
+        assert_eq!(sigmoid(0.0), 0.5);
+    }
+
+    #[test]
+    fn silu_matches_definition() {
+        for i in -20..=20 {
+            let x = i as f64 * 0.25;
+            assert!((silu(x) - x * sigmoid(x)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn softplus_limits() {
+        assert!((softplus(0.0) - (2.0f64).ln()).abs() < 1e-15);
+        assert!((softplus(40.0) - 40.0).abs() < 1e-12);
+        assert!(softplus(-40.0) > 0.0);
+        assert!(softplus(-40.0) < 1e-15);
+    }
+
+    #[test]
+    fn exp_on_paper_range() {
+        assert_eq!(exp(0.0), 1.0);
+        assert!((exp(-8.0) - 0.00033546262790251185).abs() < 1e-15);
+    }
+}

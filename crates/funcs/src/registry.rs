@@ -1,0 +1,230 @@
+//! The operator registry: a closed enum of the non-linear operators the
+//! paper evaluates, with their reference implementations and search ranges.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::ops;
+
+/// A non-linear operator targeted by LUT approximation.
+///
+/// The five variants marked "paper" are the ones in Tables 1 and 3; the
+/// remaining ones are extensions that exercise the same machinery (the
+/// genetic search is function-agnostic).
+///
+/// # Example
+///
+/// ```
+/// use gqa_funcs::NonLinearOp;
+/// let op: NonLinearOp = "gelu".parse()?;
+/// assert_eq!(op, NonLinearOp::Gelu);
+/// assert_eq!(op.eval(0.0), 0.0);
+/// assert!(op.scale_dependent());
+/// # Ok::<(), gqa_funcs::ParseOpError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum NonLinearOp {
+    /// GELU activation (paper; FFN activation in vanilla Transformers).
+    Gelu,
+    /// HSWISH activation (paper; EfficientViT activation).
+    Hswish,
+    /// `e^x` (paper; Softmax kernel, max-subtracted so inputs ≤ 0).
+    Exp,
+    /// Reciprocal `1/x` (paper; Softmax normalizer / linear attention).
+    Div,
+    /// `1/√x` (paper; LayerNorm kernel).
+    Rsqrt,
+    /// Logistic sigmoid (extension).
+    Sigmoid,
+    /// SiLU / swish (extension).
+    Silu,
+    /// Hyperbolic tangent (extension).
+    Tanh,
+    /// Softplus (extension).
+    Softplus,
+    /// Cosine (extension; lightweight-Transformer positional paths).
+    Cos,
+}
+
+impl NonLinearOp {
+    /// The five operators evaluated in the paper, in Table-3 column order.
+    pub const PAPER_OPS: [NonLinearOp; 5] = [
+        NonLinearOp::Gelu,
+        NonLinearOp::Hswish,
+        NonLinearOp::Exp,
+        NonLinearOp::Div,
+        NonLinearOp::Rsqrt,
+    ];
+
+    /// Evaluates the reference (`f64`) implementation at `x`.
+    #[must_use]
+    pub fn eval(self, x: f64) -> f64 {
+        match self {
+            NonLinearOp::Gelu => ops::gelu(x),
+            NonLinearOp::Hswish => ops::hswish(x),
+            NonLinearOp::Exp => ops::exp(x),
+            NonLinearOp::Div => ops::div(x),
+            NonLinearOp::Rsqrt => ops::rsqrt(x),
+            NonLinearOp::Sigmoid => ops::sigmoid(x),
+            NonLinearOp::Silu => ops::silu(x),
+            NonLinearOp::Tanh => ops::tanh(x),
+            NonLinearOp::Softplus => ops::softplus(x),
+            NonLinearOp::Cos => ops::cosine(x),
+        }
+    }
+
+    /// The paper's search range `[Rn, Rp]` (Table 1), or a sensible default
+    /// for the extension operators.
+    #[must_use]
+    pub fn default_range(self) -> (f64, f64) {
+        match self {
+            NonLinearOp::Gelu | NonLinearOp::Hswish => (-4.0, 4.0),
+            NonLinearOp::Exp => (-8.0, 0.0),
+            NonLinearOp::Div => (0.5, 4.0),
+            NonLinearOp::Rsqrt => (0.25, 4.0),
+            NonLinearOp::Sigmoid | NonLinearOp::Silu | NonLinearOp::Tanh => (-6.0, 6.0),
+            NonLinearOp::Softplus => (-6.0, 6.0),
+            NonLinearOp::Cos => (-std::f64::consts::PI, std::f64::consts::PI),
+        }
+    }
+
+    /// Whether this operator's input carries a quantization scaling factor
+    /// `S` (GELU/HSWISH/EXP in the paper, §4.1) as opposed to consuming an
+    /// already fixed-point intermediate (DIV/RSQRT, handled by multi-range
+    /// input scaling instead).
+    #[must_use]
+    pub fn scale_dependent(self) -> bool {
+        !matches!(self, NonLinearOp::Div | NonLinearOp::Rsqrt)
+    }
+
+    /// Whether the operator's paper input is signed (affects `[Qn, Qp]`).
+    /// DIV/RSQRT consume positive intermediates; EXP inputs are ≤ 0 but are
+    /// still stored signed.
+    #[must_use]
+    pub fn signed_input(self) -> bool {
+        !matches!(self, NonLinearOp::Div | NonLinearOp::Rsqrt)
+    }
+
+    /// Canonical lower-case name (also what [`FromStr`] parses).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NonLinearOp::Gelu => "gelu",
+            NonLinearOp::Hswish => "hswish",
+            NonLinearOp::Exp => "exp",
+            NonLinearOp::Div => "div",
+            NonLinearOp::Rsqrt => "rsqrt",
+            NonLinearOp::Sigmoid => "sigmoid",
+            NonLinearOp::Silu => "silu",
+            NonLinearOp::Tanh => "tanh",
+            NonLinearOp::Softplus => "softplus",
+            NonLinearOp::Cos => "cos",
+        }
+    }
+
+    /// All operators in the registry.
+    #[must_use]
+    pub fn all() -> &'static [NonLinearOp] {
+        &[
+            NonLinearOp::Gelu,
+            NonLinearOp::Hswish,
+            NonLinearOp::Exp,
+            NonLinearOp::Div,
+            NonLinearOp::Rsqrt,
+            NonLinearOp::Sigmoid,
+            NonLinearOp::Silu,
+            NonLinearOp::Tanh,
+            NonLinearOp::Softplus,
+            NonLinearOp::Cos,
+        ]
+    }
+}
+
+impl fmt::Display for NonLinearOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a [`NonLinearOp`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOpError {
+    input: String,
+}
+
+impl fmt::Display for ParseOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown non-linear operator {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseOpError {}
+
+impl FromStr for NonLinearOp {
+    type Err = ParseOpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        NonLinearOp::all()
+            .iter()
+            .copied()
+            .find(|op| op.name() == lower)
+            .ok_or(ParseOpError { input: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ranges_match_table1() {
+        assert_eq!(NonLinearOp::Gelu.default_range(), (-4.0, 4.0));
+        assert_eq!(NonLinearOp::Hswish.default_range(), (-4.0, 4.0));
+        assert_eq!(NonLinearOp::Exp.default_range(), (-8.0, 0.0));
+        assert_eq!(NonLinearOp::Div.default_range(), (0.5, 4.0));
+        assert_eq!(NonLinearOp::Rsqrt.default_range(), (0.25, 4.0));
+    }
+
+    #[test]
+    fn scale_dependence_matches_section_4_1() {
+        assert!(NonLinearOp::Gelu.scale_dependent());
+        assert!(NonLinearOp::Hswish.scale_dependent());
+        assert!(NonLinearOp::Exp.scale_dependent());
+        assert!(!NonLinearOp::Div.scale_dependent());
+        assert!(!NonLinearOp::Rsqrt.scale_dependent());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for &op in NonLinearOp::all() {
+            let parsed: NonLinearOp = op.name().parse().unwrap();
+            assert_eq!(parsed, op);
+        }
+        assert!("nope".parse::<NonLinearOp>().is_err());
+        assert_eq!("  GELU ".parse::<NonLinearOp>().unwrap(), NonLinearOp::Gelu);
+    }
+
+    #[test]
+    fn eval_dispatches_correctly() {
+        assert_eq!(NonLinearOp::Div.eval(2.0), 0.5);
+        assert_eq!(NonLinearOp::Rsqrt.eval(4.0), 0.5);
+        assert_eq!(NonLinearOp::Exp.eval(0.0), 1.0);
+        assert_eq!(NonLinearOp::Hswish.eval(3.0), 3.0);
+        assert!((NonLinearOp::Cos.eval(0.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ranges_are_well_formed() {
+        for &op in NonLinearOp::all() {
+            let (rn, rp) = op.default_range();
+            assert!(rn < rp, "{op}: empty range");
+            // f must be finite over the whole default range.
+            for i in 0..=100 {
+                let x = rn + (rp - rn) * i as f64 / 100.0;
+                assert!(op.eval(x).is_finite(), "{op}({x}) not finite");
+            }
+        }
+    }
+}

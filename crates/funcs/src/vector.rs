@@ -1,0 +1,100 @@
+//! Vector-level reference operators (Softmax, LayerNorm).
+//!
+//! These are the *composite* operations whose scalar kernels (EXP, DIV,
+//! RSQRT) the paper approximates. They serve as ground truth for the
+//! model-level tests: a Softmax built from pwl-EXP and pwl-DIV must stay
+//! close to [`softmax_reference`].
+
+/// Numerically stable Softmax over a slice: `exp(x_i − max) / Σ exp(x_j − max)`.
+///
+/// Returns an empty vector for empty input.
+///
+/// # Example
+///
+/// ```
+/// use gqa_funcs::softmax_reference;
+/// let p = softmax_reference(&[1.0, 2.0, 3.0]);
+/// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!(p[2] > p[1] && p[1] > p[0]);
+/// ```
+#[must_use]
+pub fn softmax_reference(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let max = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = x.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// LayerNorm over a slice: `(x − mean) / √(var + ε)`, no affine.
+///
+/// `var` is the biased (population) variance, matching the standard
+/// LayerNorm definition.
+///
+/// # Example
+///
+/// ```
+/// use gqa_funcs::layernorm_reference;
+/// let y = layernorm_reference(&[1.0, 2.0, 3.0, 4.0], 1e-5);
+/// let mean: f64 = y.iter().sum::<f64>() / 4.0;
+/// assert!(mean.abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn layernorm_reference(x: &[f64], eps: f64) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let n = x.len() as f64;
+    let mean = x.iter().sum::<f64>() / n;
+    let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let inv_std = 1.0 / (var + eps).sqrt();
+    x.iter().map(|&v| (v - mean) * inv_std).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax_reference(&[-3.0, 0.0, 5.0, 2.2]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_shift_invariant() {
+        let a = softmax_reference(&[1.0, 2.0, 3.0]);
+        let b = softmax_reference(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extremes() {
+        let p = softmax_reference(&[-1e30, 0.0]);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+        assert!(p[0] >= 0.0);
+        assert!(softmax_reference(&[]).is_empty());
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let y = layernorm_reference(&[3.0, -1.0, 4.5, 0.25, 9.0], 0.0);
+        let n = y.len() as f64;
+        let mean = y.iter().sum::<f64>() / n;
+        let var = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layernorm_constant_input_is_zero() {
+        let y = layernorm_reference(&[5.0; 8], 1e-5);
+        for v in y {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Dyadic rational numbers `b / 2^c` (paper ref. [15], Jacob et al.).
+//!
+//! The integer-only inference pipeline re-expresses real-valued multipliers
+//! (products and ratios of layer scales) as dyadic numbers so that applying
+//! them is an integer multiply followed by a rounding right shift. GQA-LUT
+//! restricts the *non-linear operator* scales to pure powers of two, but the
+//! surrounding linear layers still use general dyadic requantization, so the
+//! substrate provides it.
+
+use std::fmt;
+
+/// A dyadic rational `numerator / 2^shift` with `numerator` a signed 32-bit
+/// integer, as used for integer-only requantization.
+///
+/// # Example
+///
+/// ```
+/// use gqa_fxp::Dyadic;
+/// // Approximate a real multiplier 0.30103 to 15 fractional bits.
+/// let d = Dyadic::approximate(0.30103, 15);
+/// assert!((d.to_f64() - 0.30103).abs() < 2e-5);
+/// // Applying it to an accumulator is integer-only:
+/// assert_eq!(d.apply(1000), 301);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dyadic {
+    numerator: i32,
+    shift: u32,
+}
+
+impl Dyadic {
+    /// Creates `numerator / 2^shift`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift > 62`.
+    #[must_use]
+    pub fn new(numerator: i32, shift: u32) -> Self {
+        assert!(shift <= 62, "dyadic shift {shift} too large");
+        Self { numerator, shift }
+    }
+
+    /// Best dyadic approximation of `real` with exactly `shift` fractional
+    /// bits: `round(real · 2^shift) / 2^shift`, saturated to `i32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real` is not finite or `shift > 62`.
+    #[must_use]
+    pub fn approximate(real: f64, shift: u32) -> Self {
+        assert!(real.is_finite(), "cannot approximate non-finite {real}");
+        assert!(shift <= 62, "dyadic shift {shift} too large");
+        let scaled = crate::round_half_away(real * (1i64 << shift) as f64);
+        let numerator = scaled.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        Self { numerator, shift }
+    }
+
+    /// Normalized approximation: picks the largest `shift ≤ max_shift` such
+    /// that the numerator still fits in `i32`, maximizing precision. This is
+    /// the standard choice in integer-only inference runtimes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real` is not finite or `max_shift > 62`.
+    #[must_use]
+    pub fn approximate_best(real: f64, max_shift: u32) -> Self {
+        assert!(real.is_finite(), "cannot approximate non-finite {real}");
+        assert!(max_shift <= 62, "dyadic shift {max_shift} too large");
+        let mut shift = max_shift;
+        loop {
+            let scaled = crate::round_half_away(real * (1i64 << shift) as f64);
+            if scaled >= i32::MIN as i64 && scaled <= i32::MAX as i64 {
+                return Self { numerator: scaled as i32, shift };
+            }
+            assert!(shift > 0, "real value {real} too large for dyadic i32");
+            shift -= 1;
+        }
+    }
+
+    /// The numerator `b`.
+    #[must_use]
+    pub fn numerator(self) -> i32 {
+        self.numerator
+    }
+
+    /// The shift `c` (so the value is `b / 2^c`).
+    #[must_use]
+    pub fn shift(self) -> u32 {
+        self.shift
+    }
+
+    /// The denoted real value.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.numerator as f64 / (1i64 << self.shift) as f64
+    }
+
+    /// Applies the dyadic multiplier to an integer accumulator:
+    /// `round(x · b / 2^c)` computed entirely in integer arithmetic
+    /// (64→128-bit product, rounding right shift, half-away ties).
+    #[must_use]
+    pub fn apply(self, x: i64) -> i64 {
+        let prod = x as i128 * self.numerator as i128;
+        if self.shift == 0 {
+            return clamp_i128(prod);
+        }
+        let half = 1i128 << (self.shift - 1);
+        let rounded = if prod >= 0 {
+            (prod + half) >> self.shift
+        } else {
+            -(((-prod) + half) >> self.shift)
+        };
+        clamp_i128(rounded)
+    }
+
+    /// Composes two dyadic multipliers (`self · rhs`), renormalizing so the
+    /// numerator fits `i32` (may lose precision).
+    #[must_use]
+    pub fn compose(self, rhs: Dyadic) -> Dyadic {
+        Dyadic::approximate_best(self.to_f64() * rhs.to_f64(), self.shift.max(rhs.shift))
+    }
+}
+
+fn clamp_i128(v: i128) -> i64 {
+    v.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+impl fmt::Display for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/2^{}", self.numerator, self.shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximate_accuracy() {
+        for &real in &[0.5, 0.1234, 0.9999, 1.5, 0.0003] {
+            let d = Dyadic::approximate(real, 30);
+            assert!((d.to_f64() - real).abs() < 1e-8, "real={real} d={d}");
+        }
+    }
+
+    #[test]
+    fn apply_matches_float() {
+        let d = Dyadic::approximate(0.25, 10);
+        assert_eq!(d.apply(100), 25);
+        assert_eq!(d.apply(-100), -25);
+        assert_eq!(d.apply(0), 0);
+    }
+
+    #[test]
+    fn apply_rounds_half_away() {
+        let d = Dyadic::new(1, 1); // 0.5
+        assert_eq!(d.apply(1), 1); // 0.5 -> 1
+        assert_eq!(d.apply(-1), -1); // -0.5 -> -1
+        assert_eq!(d.apply(3), 2); // 1.5 -> 2
+    }
+
+    #[test]
+    fn best_uses_max_precision_when_possible() {
+        let d = Dyadic::approximate_best(0.3, 30);
+        assert_eq!(d.shift(), 30);
+        let big = Dyadic::approximate_best(1e6, 30);
+        assert!(big.shift() < 30);
+        assert!((big.to_f64() - 1e6).abs() / 1e6 < 1e-6);
+    }
+
+    #[test]
+    fn compose_approximates_product() {
+        let a = Dyadic::approximate(0.3, 20);
+        let b = Dyadic::approximate(0.7, 20);
+        let c = a.compose(b);
+        assert!((c.to_f64() - 0.21).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_shift() {
+        let d = Dyadic::new(7, 0);
+        assert_eq!(d.apply(3), 21);
+        assert_eq!(d.to_f64(), 7.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dyadic::new(3, 4).to_string(), "3/2^4");
+    }
+}

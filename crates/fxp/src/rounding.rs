@@ -1,0 +1,187 @@
+//! Rounding primitives with pinned-down tie semantics.
+//!
+//! The paper writes `⌊·⌉` for "round to nearest integer". Floating-point
+//! `round()` in most languages rounds ties away from zero; IEEE-754
+//! `roundTiesToEven` rounds them to even. The difference matters exactly at
+//! the breakpoint-quantization step (§3.3) where values like `p/S = 0.5`
+//! occur, so both are provided and every caller states which one it uses.
+
+/// Tie-breaking behaviour for round-to-nearest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundingMode {
+    /// Ties round away from zero: `round(0.5) = 1`, `round(-0.5) = -1`.
+    ///
+    /// This matches `f64::round`, Python/NumPy's behaviour on the dyadic
+    /// values that occur in this codebase, and is the default everywhere.
+    #[default]
+    HalfAway,
+    /// Ties round to the nearest even integer: `round(0.5) = 0`,
+    /// `round(1.5) = 2` (IEEE-754 `roundTiesToEven`).
+    HalfEven,
+}
+
+impl RoundingMode {
+    /// Applies this rounding mode to `x`, returning the nearest `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN or does not fit in `i64` (|x| ≥ 2^63).
+    #[must_use]
+    pub fn round(self, x: f64) -> i64 {
+        match self {
+            RoundingMode::HalfAway => round_half_away(x),
+            RoundingMode::HalfEven => round_half_even(x),
+        }
+    }
+}
+
+/// Rounds to the nearest integer with ties away from zero.
+///
+/// # Panics
+///
+/// Panics if `x` is NaN or does not fit in `i64`.
+///
+/// # Example
+///
+/// ```
+/// use gqa_fxp::round_half_away;
+/// assert_eq!(round_half_away(2.5), 3);
+/// assert_eq!(round_half_away(-2.5), -3);
+/// assert_eq!(round_half_away(2.4), 2);
+/// ```
+#[must_use]
+pub fn round_half_away(x: f64) -> i64 {
+    assert!(!x.is_nan(), "cannot round NaN");
+    let r = x.round(); // f64::round is ties-away-from-zero
+    assert!(
+        r >= i64::MIN as f64 && r <= i64::MAX as f64,
+        "value {x} does not fit in i64"
+    );
+    r as i64
+}
+
+/// Rounds to the nearest integer with ties to even.
+///
+/// # Panics
+///
+/// Panics if `x` is NaN or does not fit in `i64`.
+///
+/// # Example
+///
+/// ```
+/// use gqa_fxp::round_half_even;
+/// assert_eq!(round_half_even(2.5), 2);
+/// assert_eq!(round_half_even(3.5), 4);
+/// assert_eq!(round_half_even(-2.5), -2);
+/// ```
+#[must_use]
+pub fn round_half_even(x: f64) -> i64 {
+    assert!(!x.is_nan(), "cannot round NaN");
+    let floor = x.floor();
+    let frac = x - floor;
+    let r = if frac > 0.5 {
+        floor + 1.0
+    } else if frac < 0.5 {
+        floor
+    } else {
+        // Exact tie: pick the even neighbour.
+        if (floor as i64) % 2 == 0 {
+            floor
+        } else {
+            floor + 1.0
+        }
+    };
+    assert!(
+        r >= i64::MIN as f64 && r <= i64::MAX as f64,
+        "value {x} does not fit in i64"
+    );
+    r as i64
+}
+
+/// Rounds `x` onto the grid of numbers with `bits` fractional bits:
+/// `round(x · 2^bits) / 2^bits`.
+///
+/// This is the Rounding Mutation primitive (Algorithm 2, line 6:
+/// `p' ← ⌊p · 2^i⌉ / 2^i`) and the final FXP conversion of Algorithm 1
+/// (line 22 with `bits = λ`). Negative `bits` snaps to multiples of
+/// `2^-bits` (coarser than integers), which the hardware model uses.
+///
+/// # Panics
+///
+/// Panics if `x` is NaN or the scaled value does not fit in `i64`.
+///
+/// # Example
+///
+/// ```
+/// use gqa_fxp::round_to_fraction_bits;
+/// assert_eq!(round_to_fraction_bits(0.71, 5), 0.71875); // 23/32
+/// assert_eq!(round_to_fraction_bits(-0.815, 3), -0.875); // -7/8
+/// assert_eq!(round_to_fraction_bits(5.3, 0), 5.0);
+/// assert_eq!(round_to_fraction_bits(5.3, -2), 4.0); // multiples of 4
+/// ```
+#[must_use]
+pub fn round_to_fraction_bits(x: f64, bits: i32) -> f64 {
+    let scale = (2.0f64).powi(bits);
+    round_half_away(x * scale) as f64 / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_away_basic() {
+        assert_eq!(round_half_away(0.0), 0);
+        assert_eq!(round_half_away(0.49999), 0);
+        assert_eq!(round_half_away(0.5), 1);
+        assert_eq!(round_half_away(-0.5), -1);
+        assert_eq!(round_half_away(1.5), 2);
+        assert_eq!(round_half_away(-1.5), -2);
+    }
+
+    #[test]
+    fn half_even_basic() {
+        assert_eq!(round_half_even(0.5), 0);
+        assert_eq!(round_half_even(1.5), 2);
+        assert_eq!(round_half_even(2.5), 2);
+        assert_eq!(round_half_even(-0.5), 0);
+        assert_eq!(round_half_even(-1.5), -2);
+        assert_eq!(round_half_even(-2.4), -2);
+    }
+
+    #[test]
+    fn modes_agree_off_ties() {
+        for i in -100..100 {
+            let x = i as f64 * 0.37 + 0.001;
+            assert_eq!(round_half_away(x), round_half_even(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn fraction_bits_grid() {
+        // On-grid values are fixed points of the rounding.
+        for raw in -64..64i64 {
+            let x = raw as f64 / 32.0;
+            assert_eq!(round_to_fraction_bits(x, 5), x);
+        }
+    }
+
+    #[test]
+    fn fraction_bits_zero_is_integer_round() {
+        assert_eq!(round_to_fraction_bits(2.5, 0), 3.0);
+        assert_eq!(round_to_fraction_bits(-2.5, 0), -3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot round NaN")]
+    fn nan_panics() {
+        let _ = round_half_away(f64::NAN);
+    }
+
+    #[test]
+    fn mode_enum_dispatch() {
+        assert_eq!(RoundingMode::HalfAway.round(0.5), 1);
+        assert_eq!(RoundingMode::HalfEven.round(0.5), 0);
+        assert_eq!(RoundingMode::default().round(1.5), 2);
+    }
+}

@@ -1,0 +1,385 @@
+//! Algorithm 1: the genetic piece-wise linear approximation search.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gqa_fxp::IntRange;
+use gqa_pwl::{eval, Pwl, QuantAwareLut};
+
+use crate::config::{FitnessMode, MutationKind, SearchConfig};
+use crate::fitness::FitnessEvaluator;
+use crate::mutation::{gaussian_mutation, rounding_mutation};
+use crate::selection::tournament_select;
+
+/// The genetic search engine (Algorithm 1).
+///
+/// Deterministic given the configured seed. See the crate docs for an
+/// end-to-end example.
+pub struct GeneticSearch {
+    config: SearchConfig,
+    evaluator: FitnessEvaluator,
+    function: Arc<dyn Fn(f64) -> f64 + Send + Sync>,
+}
+
+impl std::fmt::Debug for GeneticSearch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GeneticSearch")
+            .field("config", &self.config)
+            .field("evaluator", &self.evaluator)
+            .finish()
+    }
+}
+
+impl GeneticSearch {
+    /// Builds a search for the configured operator's reference function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SearchConfig::validate`].
+    #[must_use]
+    pub fn new(config: SearchConfig) -> Self {
+        let op = config.op;
+        Self::with_function(config, Arc::new(move |x| op.eval(x)))
+    }
+
+    /// Builds a search over a custom target function (the `op` field of the
+    /// config is then only used for labeling). This is how downstream users
+    /// approximate functions outside the paper's set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SearchConfig::validate`].
+    #[must_use]
+    pub fn with_function(
+        config: SearchConfig,
+        function: Arc<dyn Fn(f64) -> f64 + Send + Sync>,
+    ) -> Self {
+        config.validate();
+        let evaluator = FitnessEvaluator::new(
+            Arc::clone(&function),
+            config.range,
+            config.grid_step,
+            config.segment_fit,
+        );
+        Self { config, evaluator, function }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs the full T-generation evolution and returns the best LUT.
+    #[must_use]
+    pub fn run(self) -> SearchResult {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let (rn, rp) = cfg.range;
+
+        // Line 1: random FP32 breakpoint population.
+        let mut population: Vec<Vec<f64>> = (0..cfg.population)
+            .map(|_| {
+                let mut p: Vec<f64> =
+                    (0..cfg.num_breakpoints).map(|_| rng.gen_range(rn..rp)).collect();
+                p.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                p
+            })
+            .collect();
+
+        let mut history = Vec::with_capacity(cfg.generations);
+
+        // Lines 2–19: T-round evolution.
+        for _gen in 0..cfg.generations {
+            // Lines 9–16: stochastic crossover and mutation, in place.
+            for i in 0..population.len() {
+                let rand_c: f64 = rng.gen_range(0.0..1.0);
+                let rand_m: f64 = rng.gen_range(0.0..1.0);
+                if rand_c < cfg.crossover_prob && population.len() > 1 {
+                    // Line 11: random partner j ≠ i.
+                    let j = loop {
+                        let j = rng.gen_range(0..population.len());
+                        if j != i {
+                            break j;
+                        }
+                    };
+                    // Line 12: swap a random contiguous segment.
+                    let nb = cfg.num_breakpoints;
+                    let a = rng.gen_range(0..nb);
+                    let b = rng.gen_range(a..nb) + 1;
+                    // Split-borrow the two individuals.
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    let (left, right) = population.split_at_mut(hi);
+                    let (pi, pj) = (&mut left[lo], &mut right[0]);
+                    for t in a..b {
+                        std::mem::swap(&mut pi[t], &mut pj[t]);
+                    }
+                    pi.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+                    pj.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+                }
+                if rand_m < cfg.mutation_prob {
+                    // Line 15: M(P_i, θ_r).
+                    match cfg.mutation {
+                        MutationKind::Gaussian { std } => {
+                            gaussian_mutation(&mut population[i], std, cfg.range, &mut rng);
+                        }
+                        MutationKind::Rounding => {
+                            rounding_mutation(
+                                &mut population[i],
+                                cfg.rounding_step_prob,
+                                cfg.mutate_range,
+                                &mut rng,
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Lines 3–8 + 18: fitness, then 3-size tournament selection
+            // onto the next generation (with optional elitism).
+            let fitness_now: Vec<f64> =
+                population.iter().map(|p| self.score(p)).collect();
+            let best_idx = fitness_now
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite fitness"))
+                .map(|(i, _)| i)
+                .expect("non-empty population");
+            history.push(fitness_now[best_idx]);
+
+            let mut next: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
+            if cfg.elitism {
+                next.push(population[best_idx].clone());
+            }
+            while next.len() < cfg.population {
+                let w = tournament_select(&fitness_now, cfg.tournament, &mut rng);
+                next.push(population[w].clone());
+            }
+            population = next;
+        }
+
+        // Line 20: best individual of the final generation.
+        let (best_idx, _) = population
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, self.score(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"))
+            .expect("non-empty population");
+        let best_breakpoints = population[best_idx].clone();
+
+        // Lines 21–22: derive K*, B* and round to FXP λ.
+        let pwl = self.evaluator.derive_pwl(&best_breakpoints);
+        let lut = QuantAwareLut::new(pwl, cfg.lambda).expect("valid pwl");
+        let best_mse = self.evaluator.mse(lut.pwl());
+
+        SearchResult {
+            config: self.config.clone(),
+            lut,
+            best_breakpoints,
+            best_mse,
+            history,
+        }
+    }
+
+    /// Scores one individual per the configured fitness mode.
+    fn score(&self, breakpoints: &[f64]) -> f64 {
+        match self.config.fitness {
+            FitnessMode::PlainGrid => {
+                if self.config.lambda_aware {
+                    self.evaluator.fitness_fxp(breakpoints, self.config.lambda).1
+                } else {
+                    self.evaluator.fitness(breakpoints).1
+                }
+            }
+            FitnessMode::QuantAwareAverage => {
+                let pwl = self.evaluator.derive_pwl(breakpoints);
+                let lut = match QuantAwareLut::new(pwl, self.config.lambda) {
+                    Ok(l) => l,
+                    Err(_) => return f64::INFINITY,
+                };
+                let range = IntRange::signed(8);
+                let f = &self.function;
+                let clip = Some(self.config.range);
+                let sweep = eval::paper_scale_sweep();
+                let total: f64 = sweep
+                    .iter()
+                    .map(|&s| {
+                        let inst = lut.instantiate(s, range);
+                        eval::mse_dequantized(
+                            &|q| inst.eval_dequantized(q),
+                            &|x| f(x),
+                            s,
+                            range,
+                            clip,
+                        )
+                    })
+                    .sum();
+                total / sweep.len() as f64
+            }
+        }
+    }
+}
+
+/// The outcome of a genetic search: the FXP LUT plus provenance.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    config: SearchConfig,
+    lut: QuantAwareLut,
+    best_breakpoints: Vec<f64>,
+    best_mse: f64,
+    history: Vec<f64>,
+}
+
+impl SearchResult {
+    /// The quantization-aware LUT (FXP slopes/intercepts, FP breakpoints).
+    #[must_use]
+    pub fn lut(&self) -> &QuantAwareLut {
+        &self.lut
+    }
+
+    /// The FXP-rounded pwl.
+    #[must_use]
+    pub fn pwl(&self) -> &Pwl {
+        self.lut.pwl()
+    }
+
+    /// The winning breakpoint set `P*` (before FXP parameter rounding).
+    #[must_use]
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.best_breakpoints
+    }
+
+    /// Grid MSE of the final FXP-rounded pwl (Algorithm 1's objective,
+    /// evaluated on the returned artifact).
+    #[must_use]
+    pub fn best_mse(&self) -> f64 {
+        self.best_mse
+    }
+
+    /// Best plain-grid fitness per generation (monotone-ish descent trace).
+    #[must_use]
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// The configuration that produced this result.
+    #[must_use]
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_funcs::NonLinearOp;
+
+    fn quick(op: NonLinearOp) -> SearchConfig {
+        SearchConfig::for_op(op)
+            .with_generations(60)
+            .with_population(24)
+            .with_seed(7)
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = GeneticSearch::new(quick(NonLinearOp::Gelu)).run();
+        let b = GeneticSearch::new(quick(NonLinearOp::Gelu)).run();
+        assert_eq!(a.breakpoints(), b.breakpoints());
+        assert_eq!(a.best_mse(), b.best_mse());
+        let c = GeneticSearch::new(quick(NonLinearOp::Gelu).with_seed(8)).run();
+        assert_ne!(a.breakpoints(), c.breakpoints());
+    }
+
+    #[test]
+    fn beats_uniform_breakpoints() {
+        let cfg = quick(NonLinearOp::Gelu).with_generations(200).with_population(50);
+        let ev = FitnessEvaluator::new(
+            Arc::new(|x| NonLinearOp::Gelu.eval(x)),
+            cfg.range,
+            cfg.grid_step,
+            cfg.segment_fit,
+        );
+        let uniform: Vec<f64> = (1..=7).map(|i| -4.0 + i as f64).collect();
+        let (_, uniform_mse) = ev.fitness(&uniform);
+        let result = GeneticSearch::new(cfg).run();
+        // Compare pre-FXP fitness with pre-FXP fitness (the FXP-rounded
+        // artifact carries an additional λ-grid noise floor that the
+        // dequantized-grid evaluation of §4.1, not this plain grid, washes
+        // out in the tails).
+        let (_, ga_mse) = ev.fitness(result.breakpoints());
+        assert!(
+            ga_mse < uniform_mse,
+            "GA {ga_mse} should beat uniform {uniform_mse}"
+        );
+    }
+
+    #[test]
+    fn history_has_one_entry_per_generation() {
+        let r = GeneticSearch::new(quick(NonLinearOp::Exp)).run();
+        assert_eq!(r.history().len(), 60);
+        // Fitness generally improves from start to end.
+        assert!(r.history().last().unwrap() <= r.history().first().unwrap());
+    }
+
+    #[test]
+    fn breakpoints_stay_in_range() {
+        for &op in NonLinearOp::PAPER_OPS.iter() {
+            let r = GeneticSearch::new(quick(op)).run();
+            let (rn, rp) = r.config().range;
+            for &p in r.pwl().breakpoints() {
+                assert!((rn..=rp).contains(&p), "{op}: {p} outside [{rn}, {rp}]");
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_entry_beats_eight_entry() {
+        let r8 = GeneticSearch::new(quick(NonLinearOp::Gelu)).run();
+        let r16 = GeneticSearch::new(quick(NonLinearOp::Gelu).with_entries_16()).run();
+        assert_eq!(r16.pwl().num_entries(), 16);
+        assert!(r16.best_mse() <= r8.best_mse() * 1.2);
+    }
+
+    #[test]
+    fn rm_breakpoints_tend_to_fxp_grid() {
+        // With RM, most winning breakpoints should sit on coarse
+        // power-of-two fractions.
+        let r = GeneticSearch::new(
+            quick(NonLinearOp::Gelu).with_generations(120),
+        )
+        .run();
+        let on_grid = r
+            .breakpoints()
+            .iter()
+            .filter(|&&p| {
+                let s = p * 64.0; // 6 fractional bits, the finest RM grid
+                (s - s.round()).abs() < 1e-9
+            })
+            .count();
+        assert!(
+            on_grid >= r.breakpoints().len() / 2,
+            "only {on_grid}/{} on the RM grid",
+            r.breakpoints().len()
+        );
+    }
+
+    #[test]
+    fn custom_function_search() {
+        let cfg = quick(NonLinearOp::Sigmoid); // label only
+        let r = GeneticSearch::with_function(cfg, Arc::new(|x: f64| x.abs())).run();
+        // |x| is exactly representable with a breakpoint near 0.
+        assert!(r.best_mse() < 1e-3, "mse = {}", r.best_mse());
+    }
+
+    #[test]
+    fn quant_aware_fitness_runs() {
+        let cfg = quick(NonLinearOp::Gelu)
+            .with_generations(15)
+            .with_fitness(FitnessMode::QuantAwareAverage);
+        let r = GeneticSearch::new(cfg).run();
+        assert!(r.best_mse().is_finite());
+    }
+}

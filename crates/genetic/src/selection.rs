@@ -1,0 +1,98 @@
+//! Tournament selection (Algorithm 1, line 18).
+
+use rand::Rng;
+
+/// K-way tournament selection: returns the index of the fittest (lowest
+/// MSE) of `k` individuals drawn uniformly **with replacement** from
+/// `fitness`.
+///
+/// The paper uses `k = 3` ("3-size tournament selection").
+///
+/// # Panics
+///
+/// Panics if `fitness` is empty or `k == 0`.
+pub fn tournament_select<R: Rng + ?Sized>(fitness: &[f64], k: usize, rng: &mut R) -> usize {
+    assert!(!fitness.is_empty(), "empty population");
+    assert!(k >= 1, "tournament size must be at least 1");
+    let mut best = rng.gen_range(0..fitness.len());
+    for _ in 1..k {
+        let challenger = rng.gen_range(0..fitness.len());
+        if fitness[challenger] < fitness[best] {
+            best = challenger;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn always_returns_valid_index() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fitness = vec![0.5, 0.1, 0.9, 0.3];
+        for _ in 0..1000 {
+            let i = tournament_select(&fitness, 3, &mut rng);
+            assert!(i < fitness.len());
+        }
+    }
+
+    #[test]
+    fn favors_fitter_individuals() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Index 0 is far fitter; with k = 3 it should win the plurality.
+        let fitness = vec![0.01, 1.0, 1.0, 1.0, 1.0];
+        let mut wins = 0usize;
+        let trials = 10_000;
+        for _ in 0..trials {
+            if tournament_select(&fitness, 3, &mut rng) == 0 {
+                wins += 1;
+            }
+        }
+        // P(win) = 1 - (4/5)^3 = 0.488
+        let rate = wins as f64 / trials as f64;
+        assert!((rate - 0.488).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn k1_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fitness = vec![0.0, 100.0];
+        let mut zeros = 0usize;
+        for _ in 0..10_000 {
+            if tournament_select(&fitness, 1, &mut rng) == 0 {
+                zeros += 1;
+            }
+        }
+        let rate = zeros as f64 / 10_000.0;
+        assert!((rate - 0.5).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn larger_k_increases_pressure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let fitness: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let win_rate = |k: usize, rng: &mut StdRng| {
+            let mut wins = 0;
+            for _ in 0..5000 {
+                if tournament_select(&fitness, k, rng) == 0 {
+                    wins += 1;
+                }
+            }
+            wins as f64 / 5000.0
+        };
+        let r2 = win_rate(2, &mut rng);
+        let r5 = win_rate(5, &mut rng);
+        assert!(r5 > r2, "k=5 rate {r5} should exceed k=2 rate {r2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = tournament_select(&[], 3, &mut rng);
+    }
+}

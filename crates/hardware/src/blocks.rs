@@ -1,0 +1,205 @@
+//! Gate-level primitive costs in NAND2 gate equivalents (GE).
+//!
+//! Coefficients follow standard-cell rules of thumb (full adder ≈ 4.5 GE,
+//! D-flip-flop ≈ 4.5 GE, 2:1 mux ≈ 2.5 GE, XNOR ≈ 2 GE) used in textbook
+//! gate-count estimation. Absolute accuracy is provided by the technology
+//! calibration in [`crate::TechnologyModel`]; these numbers fix the
+//! *ratios* between datapath structures.
+
+/// GE cost of one full adder.
+const FA: f64 = 4.5;
+/// GE cost of one D-flip-flop (register bit).
+const DFF: f64 = 4.5;
+/// GE cost of one 2:1 mux bit.
+const MUX2: f64 = 2.5;
+/// GE cost of one XNOR (comparator bit).
+const XNOR: f64 = 2.0;
+
+/// A counted hardware primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Primitive {
+    /// `bits`-wide magnitude comparator (XNOR bits + AND tree + borrow).
+    Comparator {
+        /// Operand width.
+        bits: u32,
+    },
+    /// Ripple/parallel adder of the given width.
+    Adder {
+        /// Operand width.
+        bits: u32,
+    },
+    /// Array multiplier `a × b`.
+    Multiplier {
+        /// First operand width.
+        a_bits: u32,
+        /// Second operand width.
+        b_bits: u32,
+    },
+    /// Barrel shifter: `bits` wide, `stages = ceil(log2(max_shift+1))`.
+    BarrelShifter {
+        /// Data width.
+        bits: u32,
+        /// Number of mux stages.
+        stages: u32,
+    },
+    /// Register storage.
+    Register {
+        /// Total stored bits.
+        bits: u32,
+    },
+    /// Priority encoder over `inputs` request lines.
+    PriorityEncoder {
+        /// Number of inputs.
+        inputs: u32,
+    },
+    /// Read multiplexer: selects one of `entries` words of `bits` each.
+    ReadMux {
+        /// Number of selectable words.
+        entries: u32,
+        /// Word width.
+        bits: u32,
+    },
+    /// IEEE-754 single-precision multiplier (24×24 mantissa array, exponent
+    /// adder, rounding).
+    Fp32Multiplier,
+    /// IEEE-754 single-precision adder (alignment shifter, mantissa adder,
+    /// leading-zero count + normalization shifter, rounding).
+    Fp32Adder,
+    /// FP32 magnitude comparator (sign/exponent/mantissa compare).
+    Fp32Comparator,
+}
+
+/// Area/energy accounting for a primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GateCost {
+    /// NAND2 gate equivalents.
+    pub gates: f64,
+    /// Relative switching activity weight (1.0 = full datapath toggle).
+    pub activity: f64,
+}
+
+impl Primitive {
+    /// The primitive's gate cost.
+    #[must_use]
+    pub fn cost(self) -> GateCost {
+        match self {
+            Primitive::Comparator { bits } => GateCost {
+                // Subtractor-style compare: ~1 XNOR + tree overhead per bit.
+                gates: f64::from(bits) * (XNOR + 1.0),
+                activity: 0.5,
+            },
+            Primitive::Adder { bits } => GateCost { gates: f64::from(bits) * FA, activity: 0.7 },
+            Primitive::Multiplier { a_bits, b_bits } => GateCost {
+                // Array multiplier: a×b partial-product cells ≈ FA each
+                // (AND + adder cell amortized). Wider multipliers toggle
+                // proportionally less: operand magnitudes do not grow with
+                // word width, so the upper partial products (sign
+                // extension) are largely static.
+                gates: f64::from(a_bits) * f64::from(b_bits) * FA,
+                activity: (0.5 + 4.0 / f64::from(a_bits.max(b_bits))).min(1.0),
+            },
+            Primitive::BarrelShifter { bits, stages } => GateCost {
+                gates: f64::from(bits) * f64::from(stages) * MUX2,
+                activity: 0.6,
+            },
+            Primitive::Register { bits } => GateCost {
+                gates: f64::from(bits) * DFF,
+                // LUT parameters are static during inference: clock + rare
+                // data toggles only.
+                activity: 0.15,
+            },
+            Primitive::PriorityEncoder { inputs } => GateCost {
+                gates: f64::from(inputs) * 3.0,
+                activity: 0.4,
+            },
+            Primitive::ReadMux { entries, bits } => GateCost {
+                // (entries - 1) 2:1 mux bits per output bit.
+                gates: f64::from(entries.saturating_sub(1)) * f64::from(bits) * MUX2,
+                activity: 0.5,
+            },
+            Primitive::Fp32Multiplier => GateCost {
+                // 24×24 mantissa array + 8-bit exponent adder + round/flags.
+                // Mantissa bits toggle densely (normalized operands) but the
+                // rounding/flag logic is mostly static.
+                gates: 24.0 * 24.0 * FA + 8.0 * FA + 150.0,
+                activity: 0.75,
+            },
+            Primitive::Fp32Adder => GateCost {
+                // Align barrel (24b × 5 stages), 25-bit add, LZC (~60),
+                // normalize barrel (24b × 5), rounding (~50).
+                gates: 24.0 * 5.0 * MUX2 + 25.0 * FA + 60.0 + 24.0 * 5.0 * MUX2 + 50.0,
+                activity: 0.9,
+            },
+            Primitive::Fp32Comparator => GateCost {
+                // Sign/exponent/mantissa magnitude compare ≈ 32-bit compare
+                // plus special-case logic.
+                gates: 32.0 * (XNOR + 1.0) + 30.0,
+                activity: 0.5,
+            },
+        }
+    }
+
+    /// Energy-weighted gate count (`gates × activity`), the dynamic-power
+    /// proxy.
+    #[must_use]
+    pub fn active_gates(self) -> f64 {
+        let c = self.cost();
+        c.gates * c.activity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_scales_quadratically() {
+        let m8 = Primitive::Multiplier { a_bits: 8, b_bits: 8 }.cost().gates;
+        let m16 = Primitive::Multiplier { a_bits: 16, b_bits: 16 }.cost().gates;
+        let m32 = Primitive::Multiplier { a_bits: 32, b_bits: 32 }.cost().gates;
+        assert!((m16 / m8 - 4.0).abs() < 1e-9);
+        assert!((m32 / m8 - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_blocks_scale_linearly() {
+        for make in [
+            |b| Primitive::Comparator { bits: b },
+            |b| Primitive::Adder { bits: b },
+            |b| Primitive::Register { bits: b },
+        ] {
+            let c8 = make(8).cost().gates;
+            let c32 = make(32).cost().gates;
+            assert!((c32 / c8 - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fp32_mult_larger_than_int8_mult() {
+        let fp = Primitive::Fp32Multiplier.cost().gates;
+        let int8 = Primitive::Multiplier { a_bits: 8, b_bits: 8 }.cost().gates;
+        assert!(fp > 8.0 * int8);
+    }
+
+    #[test]
+    fn activities_bounded() {
+        let prims = [
+            Primitive::Comparator { bits: 8 },
+            Primitive::Adder { bits: 8 },
+            Primitive::Multiplier { a_bits: 8, b_bits: 8 },
+            Primitive::BarrelShifter { bits: 16, stages: 4 },
+            Primitive::Register { bits: 64 },
+            Primitive::PriorityEncoder { inputs: 8 },
+            Primitive::ReadMux { entries: 8, bits: 8 },
+            Primitive::Fp32Multiplier,
+            Primitive::Fp32Adder,
+            Primitive::Fp32Comparator,
+        ];
+        for p in prims {
+            let c = p.cost();
+            assert!(c.gates > 0.0, "{p:?}");
+            assert!((0.0..=1.0).contains(&c.activity), "{p:?}");
+            assert!(p.active_gates() <= c.gates);
+        }
+    }
+}

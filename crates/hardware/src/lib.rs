@@ -1,0 +1,43 @@
+//! # gqa-hardware — LUT pwl unit cost model (Table 6)
+//!
+//! The paper synthesizes the two LUT execution units of Figure 1 with
+//! Synopsys DC on TSMC 28 nm at 500 MHz and reports area and power
+//! (Table 6). Without the proprietary PDK this crate reproduces the
+//! experiment with a **structural gate-level model**: every unit is
+//! assembled from counted primitives (comparators, priority encoder,
+//! register file, array multiplier, carry adders, barrel shifters, FP32
+//! datapath blocks), sized in NAND2 gate equivalents (GE), and converted
+//! to µm² / mW with two technology constants calibrated to the paper's
+//! INT8 / 8-entry anchor point (961 µm², 0.40 mW).
+//!
+//! What the model must get right is the *relative* cost across
+//! {INT8, INT16, INT32, FP32} × {8, 16} entries — that is structure, not
+//! PDK detail: storage and comparators scale linearly with word width, the
+//! multiplier quadratically, and the FP32 datapath adds
+//! alignment/normalization machinery.
+//!
+//! A parameterized Verilog generator ([`verilog::emit_pwl_unit`]) emits
+//! synthesizable RTL of the same unit for users who do have a flow.
+//!
+//! ## Example
+//!
+//! ```
+//! use gqa_hardware::{PwlUnit, Precision, TechnologyModel};
+//!
+//! let tech = TechnologyModel::tsmc28_500mhz();
+//! let unit = PwlUnit::new(Precision::Int8, 8);
+//! let area = unit.area_um2(&tech);
+//! assert!((area - 961.0).abs() / 961.0 < 0.05); // calibrated anchor
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocks;
+mod tech;
+mod unit;
+pub mod verilog;
+
+pub use blocks::{GateCost, Primitive};
+pub use tech::TechnologyModel;
+pub use unit::{Precision, PwlUnit};

@@ -1,0 +1,95 @@
+//! Technology calibration: GE → µm² and GE·activity → mW.
+
+/// Converts structural gate counts into physical area and power.
+///
+/// Two constants are calibrated so the INT8 / 8-entry unit lands on the
+/// paper's synthesized anchor (961 µm², 0.40 mW at 500 MHz, TSMC 28 nm);
+/// every other number in Table 6 is then produced by the *structure* of
+/// the units, which is the claim under test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechnologyModel {
+    /// µm² per NAND2 gate equivalent (includes placement overhead).
+    pub um2_per_ge: f64,
+    /// mW per activity-weighted GE at the configured frequency
+    /// (dynamic switching + amortized clock tree).
+    pub mw_per_active_ge: f64,
+    /// Leakage mW per GE.
+    pub mw_leak_per_ge: f64,
+    /// Operating frequency in MHz (bookkeeping; the power constant already
+    /// includes it).
+    pub freq_mhz: f64,
+}
+
+impl TechnologyModel {
+    /// TSMC-28nm-like constants at 500 MHz, calibrated to the paper's
+    /// INT8 / 8-entry anchor point.
+    #[must_use]
+    pub fn tsmc28_500mhz() -> Self {
+        // The INT8/8-entry unit assembles to ~2.1 kGE with ~0.9 kGE
+        // activity-weighted; 961 µm² / 0.40 mW then fix the two constants.
+        Self {
+            um2_per_ge: 0.4609,
+            mw_per_active_ge: 3.97e-4,
+            mw_leak_per_ge: 2.0e-5,
+            freq_mhz: 500.0,
+        }
+    }
+
+    /// Area of `gates` GE.
+    #[must_use]
+    pub fn area_um2(&self, gates: f64) -> f64 {
+        gates * self.um2_per_ge
+    }
+
+    /// Power of a block with `gates` total GE and `active_gates`
+    /// activity-weighted GE.
+    #[must_use]
+    pub fn power_mw(&self, gates: f64, active_gates: f64) -> f64 {
+        active_gates * self.mw_per_active_ge + gates * self.mw_leak_per_ge
+    }
+
+    /// Rescales the dynamic-power constant for a different frequency
+    /// (dynamic power is linear in f; leakage is not).
+    #[must_use]
+    pub fn at_frequency(mut self, freq_mhz: f64) -> Self {
+        assert!(freq_mhz > 0.0, "frequency must be positive");
+        self.mw_per_active_ge *= freq_mhz / self.freq_mhz;
+        self.freq_mhz = freq_mhz;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_linear_in_gates() {
+        let t = TechnologyModel::tsmc28_500mhz();
+        assert!((t.area_um2(2000.0) - 2.0 * t.area_um2(1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_has_dynamic_and_leakage() {
+        let t = TechnologyModel::tsmc28_500mhz();
+        let all_static = t.power_mw(1000.0, 0.0);
+        let active = t.power_mw(1000.0, 1000.0);
+        assert!(all_static > 0.0);
+        assert!(active > all_static);
+    }
+
+    #[test]
+    fn frequency_scaling_affects_dynamic_only() {
+        let t = TechnologyModel::tsmc28_500mhz();
+        let t250 = t.at_frequency(250.0);
+        assert!((t250.mw_per_active_ge - t.mw_per_active_ge / 2.0).abs() < 1e-12);
+        assert_eq!(t250.mw_leak_per_ge, t.mw_leak_per_ge);
+        assert_eq!(t250.freq_mhz, 250.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = TechnologyModel::tsmc28_500mhz().at_frequency(0.0);
+    }
+}

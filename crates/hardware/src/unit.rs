@@ -1,0 +1,256 @@
+//! Assembly of the complete pwl LUT unit from primitives.
+
+use std::fmt;
+
+use gqa_pwl::{LutFormat, LutStorage};
+
+use crate::blocks::Primitive;
+use crate::tech::TechnologyModel;
+
+/// The input/parameter precision of a pwl unit (Table 6 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Quantization-aware INT8 unit (Figure 1b, λ = 5).
+    Int8,
+    /// Quantization-aware INT16 unit (Figure 1b).
+    Int16,
+    /// High-precision INT32 unit (Figure 1a).
+    Int32,
+    /// High-precision FP32 unit (Figure 1a; the NN-LUT / RI-LUT pattern).
+    Fp32,
+}
+
+impl Precision {
+    /// All Table 6 precisions, top to bottom.
+    pub const ALL: [Precision; 4] =
+        [Precision::Int8, Precision::Int16, Precision::Int32, Precision::Fp32];
+
+    /// Stored word width in bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Int8 => 8,
+            Precision::Int16 => 16,
+            Precision::Int32 | Precision::Fp32 => 32,
+        }
+    }
+
+    /// Whether this is the quantization-aware pattern of Figure 1(b).
+    #[must_use]
+    pub fn quant_aware(self) -> bool {
+        matches!(self, Precision::Int8 | Precision::Int16)
+    }
+
+    /// Row label as printed in Table 6.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Int8 => "INT8",
+            Precision::Int16 => "INT16",
+            Precision::Int32 => "INT32",
+            Precision::Fp32 => "FP32",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fully assembled N-entry pwl unit at a given precision.
+///
+/// Structure (Figure 1):
+/// * N−1 input comparators + priority encoder (entry select),
+/// * LUT register file (slopes, intercepts, breakpoints) + read muxes,
+/// * `k_i · x` multiplier and the output accumulator adder,
+/// * for the quant-aware pattern: the run-time intercept shifter
+///   (`b_i ≫ log2 S`) and the output scale shifter,
+/// * input/output pipeline registers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PwlUnit {
+    precision: Precision,
+    entries: usize,
+    primitives: Vec<Primitive>,
+}
+
+impl PwlUnit {
+    /// Assembles the unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 2`.
+    #[must_use]
+    pub fn new(precision: Precision, entries: usize) -> Self {
+        assert!(entries >= 2, "a LUT unit needs at least 2 entries");
+        let bits = precision.bits();
+        let n = entries as u32;
+        let storage = LutStorage::new(
+            match precision {
+                Precision::Int8 => LutFormat::QuantAware { bits, lambda: 5 },
+                Precision::Int16 => LutFormat::QuantAware { bits, lambda: 5 },
+                Precision::Int32 | Precision::Fp32 => LutFormat::HighPrecision { bits },
+            },
+            entries,
+        );
+
+        let mut prims = Vec::new();
+        // Entry selection.
+        match precision {
+            Precision::Fp32 => {
+                for _ in 0..n - 1 {
+                    prims.push(Primitive::Fp32Comparator);
+                }
+            }
+            _ => {
+                for _ in 0..n - 1 {
+                    prims.push(Primitive::Comparator { bits });
+                }
+            }
+        }
+        prims.push(Primitive::PriorityEncoder { inputs: n - 1 });
+
+        // Parameter storage + read muxes for slope and intercept.
+        prims.push(Primitive::Register { bits: storage.total_bits() as u32 });
+        prims.push(Primitive::ReadMux { entries: n, bits });
+        prims.push(Primitive::ReadMux { entries: n, bits });
+
+        // Arithmetic datapath.
+        match precision {
+            Precision::Fp32 => {
+                prims.push(Primitive::Fp32Multiplier);
+                prims.push(Primitive::Fp32Adder);
+            }
+            _ => {
+                prims.push(Primitive::Multiplier { a_bits: bits, b_bits: bits });
+                // Accumulator at product width.
+                prims.push(Primitive::Adder { bits: bits * 2 });
+            }
+        }
+
+        // Quant-aware pattern: intercept shifter (b >> log2 S) and output
+        // scale shifter (Figure 1b).
+        if precision.quant_aware() {
+            let stages = 4; // shifts up to ±15 cover every paper scale
+            prims.push(Primitive::BarrelShifter { bits: bits * 2, stages });
+            prims.push(Primitive::BarrelShifter { bits: bits * 2, stages });
+        }
+
+        // I/O pipeline registers (input word + output accumulator).
+        prims.push(Primitive::Register { bits });
+        prims.push(Primitive::Register { bits: bits * 2 });
+
+        Self { precision, entries, primitives: prims }
+    }
+
+    /// The precision row this unit models.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Number of LUT entries.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// The counted primitives.
+    #[must_use]
+    pub fn primitives(&self) -> &[Primitive] {
+        &self.primitives
+    }
+
+    /// Total NAND2 gate equivalents.
+    #[must_use]
+    pub fn gates(&self) -> f64 {
+        self.primitives.iter().map(|p| p.cost().gates).sum()
+    }
+
+    /// Activity-weighted gate equivalents (dynamic-power proxy).
+    #[must_use]
+    pub fn active_gates(&self) -> f64 {
+        self.primitives.iter().map(|p| p.active_gates()).sum()
+    }
+
+    /// Silicon area under the given technology model.
+    #[must_use]
+    pub fn area_um2(&self, tech: &TechnologyModel) -> f64 {
+        tech.area_um2(self.gates())
+    }
+
+    /// Power dissipation under the given technology model.
+    #[must_use]
+    pub fn power_mw(&self, tech: &TechnologyModel) -> f64 {
+        tech.power_mw(self.gates(), self.active_gates())
+    }
+}
+
+impl fmt::Display for PwlUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}-entry pwl unit ({:.0} GE)",
+            self.precision,
+            self.entries,
+            self.gates()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gates_increase_with_precision() {
+        let g: Vec<f64> = Precision::ALL.iter().map(|&p| PwlUnit::new(p, 8).gates()).collect();
+        assert!(g[0] < g[1], "INT8 < INT16");
+        assert!(g[1] < g[2], "INT16 < INT32");
+        // FP32 is in the same league as INT32 (paper: slightly smaller area,
+        // slightly higher power).
+        assert!((g[3] / g[2] - 1.0).abs() < 0.35, "FP32 {} vs INT32 {}", g[3], g[2]);
+    }
+
+    #[test]
+    fn entries_scale_area_sublinearly() {
+        // Paper: 16-entry INT8 ≈ 1.71× the 8-entry area.
+        let a8 = PwlUnit::new(Precision::Int8, 8).gates();
+        let a16 = PwlUnit::new(Precision::Int8, 16).gates();
+        let ratio = a16 / a8;
+        assert!((1.4..2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn quant_aware_has_shifters() {
+        let int8 = PwlUnit::new(Precision::Int8, 8);
+        let shifters = int8
+            .primitives()
+            .iter()
+            .filter(|p| matches!(p, Primitive::BarrelShifter { .. }))
+            .count();
+        assert_eq!(shifters, 2);
+        let fp = PwlUnit::new(Precision::Fp32, 8);
+        assert!(!fp
+            .primitives()
+            .iter()
+            .any(|p| matches!(p, Primitive::BarrelShifter { .. })));
+    }
+
+    #[test]
+    fn int8_anchor_ratios_match_paper_band() {
+        // Structural ratios before calibration: INT32/INT8 area ≈ 5.46× in
+        // the paper; accept a generous band for the uncalibrated model.
+        let a8 = PwlUnit::new(Precision::Int8, 8).gates();
+        let a32 = PwlUnit::new(Precision::Int32, 8).gates();
+        let r = a32 / a8;
+        assert!((4.0..7.0).contains(&r), "INT32/INT8 gate ratio {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 entries")]
+    fn one_entry_rejected() {
+        let _ = PwlUnit::new(Precision::Int8, 1);
+    }
+}

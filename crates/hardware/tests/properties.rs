@@ -1,0 +1,60 @@
+//! Property-based tests for the hardware cost model.
+
+use gqa_hardware::{verilog, Precision, PwlUnit, TechnologyModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// Area and power are strictly positive and monotone in entry count
+    /// for every precision.
+    #[test]
+    fn monotone_in_entries(entries in 2usize..64) {
+        let tech = TechnologyModel::tsmc28_500mhz();
+        for p in Precision::ALL {
+            let small = PwlUnit::new(p, entries);
+            let large = PwlUnit::new(p, entries + 1);
+            prop_assert!(small.area_um2(&tech) > 0.0);
+            prop_assert!(small.power_mw(&tech) > 0.0);
+            prop_assert!(large.area_um2(&tech) > small.area_um2(&tech));
+            prop_assert!(large.power_mw(&tech) > small.power_mw(&tech));
+        }
+    }
+
+    /// Dynamic power scales linearly with frequency; area does not change.
+    #[test]
+    fn frequency_scaling(freq in 50.0f64..2000.0, entries in 2usize..32) {
+        let base = TechnologyModel::tsmc28_500mhz();
+        let scaled = TechnologyModel::tsmc28_500mhz().at_frequency(freq);
+        let unit = PwlUnit::new(Precision::Int8, entries);
+        prop_assert_eq!(unit.area_um2(&base), unit.area_um2(&scaled));
+        // Power = dynamic (linear in f) + leakage (constant).
+        let leak = base.mw_leak_per_ge * unit.gates();
+        let dyn_base = unit.power_mw(&base) - leak;
+        let dyn_scaled = unit.power_mw(&scaled) - leak;
+        let expect = dyn_base * freq / 500.0;
+        prop_assert!((dyn_scaled - expect).abs() < 1e-9 * (1.0 + expect.abs()));
+    }
+
+    /// Activity-weighted gates never exceed total gates.
+    #[test]
+    fn active_leq_total(entries in 2usize..64) {
+        for p in Precision::ALL {
+            let u = PwlUnit::new(p, entries);
+            prop_assert!(u.active_gates() <= u.gates());
+        }
+    }
+
+    /// Generated Verilog is structurally sane for any entry count.
+    #[test]
+    fn verilog_always_valid(entries in 2usize..32) {
+        for p in Precision::ALL {
+            let v = verilog::emit_pwl_unit(p, entries);
+            prop_assert_eq!(v.matches("endmodule").count(), 1);
+            let n_line = format!("parameter N = {entries}");
+            let has_n = v.contains(&n_line);
+            prop_assert!(has_n);
+            let w_line = format!("parameter W = {}", p.bits());
+            let has_w = v.contains(&w_line);
+            prop_assert!(has_w);
+        }
+    }
+}

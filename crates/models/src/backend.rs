@@ -1,0 +1,330 @@
+//! The pwl-LUT backend: routes the paper's five operators through INT8
+//! LUTs inside a live model.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use gqa_funcs::NonLinearOp;
+use gqa_fxp::{IntRange, PowerOfTwoScale};
+use gqa_pwl::{FxpPwl, IntLutInstance, MultiRangeLut, MultiRangeScaling, QuantAwareLut};
+use gqa_tensor::{UnaryBackend, UnaryKind};
+
+use crate::luts::{build_lut_budgeted, Method};
+
+/// Which operators are LUT-replaced (the "Replacement" column of Tables
+/// 4 and 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplaceSet {
+    /// Replace GELU.
+    pub gelu: bool,
+    /// Replace HSWISH.
+    pub hswish: bool,
+    /// Replace EXP (Softmax kernel).
+    pub exp: bool,
+    /// Replace DIV (reciprocal normalizers).
+    pub div: bool,
+    /// Replace RSQRT (LayerNorm kernel).
+    pub rsqrt: bool,
+}
+
+impl ReplaceSet {
+    /// Nothing replaced (the "None" row).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Everything replaced (the "Altogether" row).
+    #[must_use]
+    pub fn all() -> Self {
+        Self { gelu: true, hswish: true, exp: true, div: true, rsqrt: true }
+    }
+
+    /// Replace a single operator.
+    #[must_use]
+    pub fn only(op: NonLinearOp) -> Self {
+        let mut s = Self::default();
+        match op {
+            NonLinearOp::Gelu => s.gelu = true,
+            NonLinearOp::Hswish => s.hswish = true,
+            NonLinearOp::Exp => s.exp = true,
+            NonLinearOp::Div => s.div = true,
+            NonLinearOp::Rsqrt => s.rsqrt = true,
+            other => panic!("{other} is not a Table 4/5 replacement target"),
+        }
+        s
+    }
+
+    /// Whether any operator is replaced.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.gelu || self.hswish || self.exp || self.div || self.rsqrt
+    }
+
+    /// Human-readable row label as in Tables 4 and 5.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if !self.any() {
+            return "None".to_owned();
+        }
+        if *self == Self::all() {
+            return "Altogether".to_owned();
+        }
+        let mut parts = Vec::new();
+        if self.exp {
+            parts.push("EXP");
+        }
+        if self.gelu {
+            parts.push("GELU");
+        }
+        if self.hswish {
+            parts.push("HSWISH");
+        }
+        if self.div {
+            parts.push("DIV");
+        }
+        if self.rsqrt {
+            parts.push("RSQRT");
+        }
+        format!("{} only", parts.join("+"))
+    }
+}
+
+/// Records per-operator input ranges during an exact forward pass
+/// (the calibration step that fixes the power-of-two input scales).
+#[derive(Debug, Default)]
+pub struct CalibrationRecorder {
+    ranges: Mutex<HashMap<UnaryKind, (f64, f64)>>,
+}
+
+impl CalibrationRecorder {
+    /// Empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The observed `(min, max)` for a kind, if any input was seen.
+    #[must_use]
+    pub fn range(&self, kind: UnaryKind) -> Option<(f64, f64)> {
+        self.ranges.lock().expect("poisoned").get(&kind).copied()
+    }
+
+    /// The power-of-two scale covering the observed absolute maximum for a
+    /// kind (falls back to `2^-4` when the kind never fired).
+    #[must_use]
+    pub fn pot_scale(&self, kind: UnaryKind) -> PowerOfTwoScale {
+        match self.range(kind) {
+            Some((lo, hi)) => {
+                let max_abs = lo.abs().max(hi.abs()).max(1e-6);
+                PowerOfTwoScale::covering(max_abs, IntRange::signed(8))
+            }
+            None => PowerOfTwoScale::new(-4),
+        }
+    }
+}
+
+impl UnaryBackend for CalibrationRecorder {
+    fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
+        if x.is_finite() {
+            let mut map = self.ranges.lock().expect("poisoned");
+            let e = map.entry(kind).or_insert((x, x));
+            e.0 = e.0.min(x);
+            e.1 = e.1.max(x);
+        }
+        kind.exact(x)
+    }
+}
+
+/// A [`UnaryBackend`] that evaluates the replaced operators through their
+/// INT8 pwl LUT datapaths and everything else exactly.
+pub struct PwlBackend {
+    gelu: Option<IntLutInstance>,
+    hswish: Option<IntLutInstance>,
+    exp: Option<IntLutInstance>,
+    recip: Option<MultiRangeLut>,
+    rsqrt: Option<MultiRangeLut>,
+}
+
+impl std::fmt::Debug for PwlBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PwlBackend")
+            .field("gelu", &self.gelu.is_some())
+            .field("hswish", &self.hswish.is_some())
+            .field("exp", &self.exp.is_some())
+            .field("recip", &self.recip.is_some())
+            .field("rsqrt", &self.rsqrt.is_some())
+            .finish()
+    }
+}
+
+impl PwlBackend {
+    /// Builds the backend: searches/trains the 8-entry LUT for every
+    /// operator in `replace`, instantiating scale-dependent ones at the
+    /// calibrated power-of-two input scales.
+    ///
+    /// `budget` scales the LUT search budget (1.0 = the paper's full
+    /// budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is out of `(0, 1]`.
+    #[must_use]
+    pub fn build(
+        method: Method,
+        replace: ReplaceSet,
+        calib: &CalibrationRecorder,
+        seed: u64,
+        budget: f64,
+    ) -> Self {
+        let range = IntRange::signed(8);
+        let scale_dep = |op: NonLinearOp, kind: UnaryKind| -> IntLutInstance {
+            let lut = build_lut_budgeted(method, op, 8, seed, budget);
+            lut.instantiate(calib.pot_scale(kind), range)
+        };
+        let wide = |op: NonLinearOp| -> MultiRangeLut {
+            let lut = build_lut_budgeted(method, op, 8, seed, budget);
+            let scaling = match op {
+                NonLinearOp::Div => MultiRangeScaling::div_paper(),
+                NonLinearOp::Rsqrt => MultiRangeScaling::rsqrt_paper(),
+                _ => unreachable!("wide ops are DIV/RSQRT"),
+            };
+            MultiRangeLut::new(FxpPwl::new(&lut, 8), scaling)
+        };
+        Self {
+            gelu: replace.gelu.then(|| scale_dep(NonLinearOp::Gelu, UnaryKind::Gelu)),
+            hswish: replace.hswish.then(|| scale_dep(NonLinearOp::Hswish, UnaryKind::Hswish)),
+            exp: replace.exp.then(|| scale_dep(NonLinearOp::Exp, UnaryKind::Exp)),
+            recip: replace.div.then(|| wide(NonLinearOp::Div)),
+            rsqrt: replace.rsqrt.then(|| wide(NonLinearOp::Rsqrt)),
+        }
+    }
+
+    /// Builds directly from pre-made LUTs (used by tests to avoid repeated
+    /// searches).
+    #[must_use]
+    pub fn from_luts(
+        gelu: Option<(QuantAwareLut, PowerOfTwoScale)>,
+        hswish: Option<(QuantAwareLut, PowerOfTwoScale)>,
+        exp: Option<(QuantAwareLut, PowerOfTwoScale)>,
+        recip: Option<QuantAwareLut>,
+        rsqrt: Option<QuantAwareLut>,
+    ) -> Self {
+        let range = IntRange::signed(8);
+        Self {
+            gelu: gelu.map(|(l, s)| l.instantiate(s, range)),
+            hswish: hswish.map(|(l, s)| l.instantiate(s, range)),
+            exp: exp.map(|(l, s)| l.instantiate(s, range)),
+            recip: recip.map(|l| {
+                MultiRangeLut::new(FxpPwl::new(&l, 8), MultiRangeScaling::div_paper())
+            }),
+            rsqrt: rsqrt.map(|l| {
+                MultiRangeLut::new(FxpPwl::new(&l, 8), MultiRangeScaling::rsqrt_paper())
+            }),
+        }
+    }
+}
+
+impl UnaryBackend for PwlBackend {
+    fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
+        match kind {
+            UnaryKind::Gelu => match &self.gelu {
+                Some(inst) => inst.eval_f64(x),
+                None => kind.exact(x),
+            },
+            UnaryKind::Hswish => match &self.hswish {
+                Some(inst) => inst.eval_f64(x),
+                None => kind.exact(x),
+            },
+            UnaryKind::Exp => match &self.exp {
+                Some(inst) => inst.eval_f64(x),
+                None => kind.exact(x),
+            },
+            UnaryKind::Recip => match &self.recip {
+                Some(lut) => lut.eval_f64(x),
+                None => kind.exact(x),
+            },
+            UnaryKind::Rsqrt => match &self.rsqrt {
+                Some(lut) => lut.eval_f64(x),
+                None => kind.exact(x),
+            },
+            other => other.exact(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_set_labels() {
+        assert_eq!(ReplaceSet::none().label(), "None");
+        assert_eq!(ReplaceSet::all().label(), "Altogether");
+        assert_eq!(ReplaceSet::only(NonLinearOp::Exp).label(), "EXP only");
+        assert_eq!(ReplaceSet::only(NonLinearOp::Div).label(), "DIV only");
+    }
+
+    #[test]
+    fn recorder_tracks_ranges() {
+        let rec = CalibrationRecorder::new();
+        let _ = rec.eval(UnaryKind::Gelu, -2.5);
+        let _ = rec.eval(UnaryKind::Gelu, 1.5);
+        assert_eq!(rec.range(UnaryKind::Gelu), Some((-2.5, 1.5)));
+        // Scale covers 2.5 with INT8.
+        let s = rec.pot_scale(UnaryKind::Gelu);
+        assert!(s.to_f64() * 127.0 >= 2.5);
+        assert_eq!(rec.range(UnaryKind::Exp), None);
+    }
+
+    #[test]
+    fn recorder_is_exact_on_values() {
+        let rec = CalibrationRecorder::new();
+        assert_eq!(rec.eval(UnaryKind::Recip, 4.0), 0.25);
+    }
+
+    #[test]
+    fn backend_falls_back_to_exact() {
+        let be = PwlBackend::from_luts(None, None, None, None, None);
+        assert_eq!(be.eval(UnaryKind::Gelu, 0.0), 0.0);
+        assert_eq!(be.eval(UnaryKind::Recip, 2.0), 0.5);
+        assert_eq!(be.eval(UnaryKind::Relu, -3.0), 0.0);
+    }
+
+    #[test]
+    fn pwl_backend_tracks_exact_within_tolerance() {
+        let lut = build_lut_budgeted(Method::GqaRm, NonLinearOp::Gelu, 8, 5, 0.1);
+        let be = PwlBackend::from_luts(
+            Some((lut, PowerOfTwoScale::new(-5))),
+            None,
+            None,
+            None,
+            None,
+        );
+        for i in -40..=40 {
+            let x = i as f64 * 0.1;
+            let err = (be.eval(UnaryKind::Gelu, x) - UnaryKind::Gelu.exact(x)).abs();
+            assert!(err < 0.1, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn div_rsqrt_through_multirange() {
+        let recip = build_lut_budgeted(Method::GqaNoRm, NonLinearOp::Div, 8, 6, 0.1);
+        let rsqrt = build_lut_budgeted(Method::GqaNoRm, NonLinearOp::Rsqrt, 8, 6, 0.1);
+        let be = PwlBackend::from_luts(None, None, None, Some(recip), Some(rsqrt));
+        for &x in &[0.7, 1.5, 3.0, 10.0, 50.0] {
+            assert!((be.eval(UnaryKind::Recip, x) - 1.0 / x).abs() < 0.15, "recip {x}");
+            assert!(
+                (be.eval(UnaryKind::Rsqrt, x) - 1.0 / x.sqrt()).abs() < 0.2,
+                "rsqrt {x}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Table 4/5 replacement target")]
+    fn only_rejects_non_paper_ops() {
+        let _ = ReplaceSet::only(NonLinearOp::Tanh);
+    }
+}

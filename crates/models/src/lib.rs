@@ -1,0 +1,48 @@
+//! # gqa-models — Transformer models with pluggable non-linear backends
+//!
+//! The model-level evaluation substrate for Tables 4 and 5:
+//!
+//! * [`SegformerLite`] — a scaled-down Segformer-B0: hierarchical encoder
+//!   with overlap patch embeds, self-attention (Softmax = EXP + DIV),
+//!   Mix-FFN (depthwise conv + GELU), LayerNorm (RSQRT), and an all-MLP
+//!   decode head. Operator inventory identical to the paper's vanilla
+//!   Transformer: **EXP, GELU, DIV, RSQRT**.
+//! * [`EfficientVitLite`] — a scaled-down EfficientViT-B0: conv stem,
+//!   MBConv blocks, ReLU linear attention (softmax-free, DIV-normalized),
+//!   HSWISH activations. Operator inventory: **HSWISH, DIV**.
+//! * [`PwlBackend`] — routes any subset of those operators through INT8
+//!   pwl LUTs produced by GQA-LUT or NN-LUT, with per-operator
+//!   power-of-two input scales calibrated on real activations.
+//! * [`FinetuneHarness`] — the Table 4/5 protocol: FP pre-train →
+//!   INT8 (LSQ-PoT weight fake-quant) baseline → per-replacement
+//!   fine-tuning → mIoU on the SynthScapes validation split.
+//!
+//! ## Example: forward a batch through SegformerLite
+//!
+//! ```
+//! use gqa_models::{SegformerLite, SegConfig};
+//! use gqa_tensor::{Graph, ParamStore, ExactBackend, Tensor};
+//!
+//! let mut ps = ParamStore::new();
+//! let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 1);
+//! let backend = ExactBackend;
+//! let mut g = Graph::new(&backend);
+//! let x = g.input(Tensor::zeros(&[1, 3, 32, 64]));
+//! let logits = model.forward(&mut g, &ps, x);
+//! assert_eq!(g.value(logits).shape, vec![1, 19, 32, 64]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod efficientvit;
+pub mod luts;
+mod segformer;
+mod train;
+
+pub use backend::{CalibrationRecorder, PwlBackend, ReplaceSet};
+pub use efficientvit::{EffVitConfig, EfficientVitLite};
+pub use luts::{build_lut, Method};
+pub use segformer::{SegConfig, SegformerLite};
+pub use train::{argmax_nchw, quantize_weights_pot, FinetuneHarness, FinetuneOutcome, SegModel, TrainConfig};

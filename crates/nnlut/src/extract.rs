@@ -1,0 +1,133 @@
+//! Closed-form extraction of the pwl from a trained network.
+//!
+//! `h` is exactly piece-wise linear with kinks at `t_i = −b1_i/w1_i`, so
+//! the LUT parameters are read off by evaluating `h` inside each segment —
+//! no fitting involved. This is the inverse direction from GQA-LUT
+//! ("[NN-LUT's] breakpoints are deduced from the slopes and intercepts …
+//! inherently inverse to that of GQA-LUT", §3.3), which is precisely why
+//! Rounding Mutation cannot be retrofitted onto it.
+
+use gqa_pwl::{Pwl, PwlError};
+
+use crate::network::ReluNet1d;
+
+/// Extracts the N-entry pwl of a trained network over `range`.
+///
+/// Kinks are clamped into the range and sorted; they become the LUT
+/// breakpoints verbatim (NN-LUT stores them at full precision — the
+/// quantization happens later, per §4.1, by "directly converting" to the
+/// target precision). Each segment's `(k, b)` is recovered exactly from two
+/// evaluations of `h` strictly inside the segment.
+///
+/// # Errors
+///
+/// Returns [`PwlError`] if the network has no kinks (no hidden units) or
+/// produces non-finite values.
+pub fn extract_pwl(net: &ReluNet1d, range: (f64, f64)) -> Result<Pwl, PwlError> {
+    let (rn, rp) = range;
+    if rn >= rp {
+        return Err(PwlError::BadRange { lo: rn, hi: rp });
+    }
+    let mut kinks: Vec<f64> = net.kinks().iter().map(|&t| t.clamp(rn, rp)).collect();
+    if kinks.is_empty() {
+        return Err(PwlError::NoBreakpoints);
+    }
+    kinks.sort_by(|a, b| a.partial_cmp(b).expect("finite kinks"));
+
+    let mut knots = Vec::with_capacity(kinks.len() + 2);
+    knots.push(rn);
+    knots.extend_from_slice(&kinks);
+    knots.push(rp);
+
+    let n = kinks.len() + 1;
+    let mut slopes = Vec::with_capacity(n);
+    let mut intercepts = Vec::with_capacity(n);
+    for s in 0..n {
+        let (lo, hi) = (knots[s], knots[s + 1]);
+        let (k, b) = if hi - lo < 1e-9 {
+            (0.0, net.forward(lo))
+        } else {
+            // Two probes strictly inside the open segment: h is linear there.
+            let x1 = lo + (hi - lo) * 0.25;
+            let x2 = lo + (hi - lo) * 0.75;
+            let (y1, y2) = (net.forward(x1), net.forward(x2));
+            let k = (y2 - y1) / (x2 - x1);
+            (k, y1 - k * x1)
+        };
+        slopes.push(k);
+        intercepts.push(b);
+    }
+    Pwl::new(slopes, intercepts, kinks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_is_exact() {
+        // A hand-built network: its pwl extraction must reproduce h(x)
+        // everywhere in range (h *is* a pwl).
+        let net = ReluNet1d {
+            w1: vec![1.0, 1.0, -1.0],
+            b1: vec![0.0, -1.0, -0.5],
+            w2: vec![0.5, -1.5, 2.0],
+            a: 0.3,
+            c: -0.2,
+        };
+        let pwl = extract_pwl(&net, (-4.0, 4.0)).unwrap();
+        assert_eq!(pwl.num_entries(), 4);
+        for i in -400..=400 {
+            let x = i as f64 * 0.01;
+            // Skip points exactly at kinks where left/right conventions differ.
+            if pwl.breakpoints().iter().any(|&p| (x - p).abs() < 1e-9) {
+                continue;
+            }
+            assert!(
+                (pwl.eval(x) - net.forward(x)).abs() < 1e-9,
+                "x={x}: {} vs {}",
+                pwl.eval(x),
+                net.forward(x)
+            );
+        }
+    }
+
+    #[test]
+    fn negative_w1_units_handled() {
+        // Unit active for x < t: contributes slope on the left side.
+        let net = ReluNet1d {
+            w1: vec![-2.0],
+            b1: vec![2.0],
+            w2: vec![1.0],
+            a: 0.0,
+            c: 0.0,
+        };
+        // h(x) = relu(-2x + 2) = -2x + 2 for x < 1, else 0.
+        let pwl = extract_pwl(&net, (-4.0, 4.0)).unwrap();
+        assert_eq!(pwl.breakpoints(), &[1.0]);
+        assert!((pwl.eval(0.0) - 2.0).abs() < 1e-9);
+        assert!((pwl.eval(2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_kinks_clamped() {
+        let net = ReluNet1d {
+            w1: vec![1.0, 1.0],
+            b1: vec![-10.0, 0.0],
+            w2: vec![1.0, 1.0],
+            a: 0.0,
+            c: 0.0,
+        };
+        let pwl = extract_pwl(&net, (-1.0, 1.0)).unwrap();
+        assert!(pwl.breakpoints().iter().all(|&p| (-1.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn no_hidden_units_is_error() {
+        let net = ReluNet1d { w1: vec![], b1: vec![], w2: vec![], a: 1.0, c: 0.0 };
+        assert!(matches!(
+            extract_pwl(&net, (-1.0, 1.0)),
+            Err(PwlError::NoBreakpoints)
+        ));
+    }
+}

@@ -1,0 +1,47 @@
+//! # gqa-nnlut — the NN-LUT baseline (paper ref. [11])
+//!
+//! NN-LUT ("neural approximation of non-linear operations", Yu et al.,
+//! DAC 2022) trains a one-hidden-layer ReLU network
+//!
+//! ```text
+//! h(x) = a·x + c + Σ_{i=1}^{H} w2_i · relu(w1_i·x + b1_i)
+//! ```
+//!
+//! on ~100 K uniform samples and then reads the piece-wise linear
+//! approximation directly off the weights: `h` is itself a pwl whose kinks
+//! sit at `t_i = −b1_i / w1_i`. With `H = N − 1` hidden units the extracted
+//! pwl has exactly `N` entries, matching the paper's 8/16-entry LUTs.
+//!
+//! This crate reproduces that baseline faithfully — including its two
+//! structural disadvantages the paper exploits:
+//!
+//! 1. it needs orders of magnitude more data than GQA-LUT
+//!    (100 K vs 0.35–0.8 K samples), and
+//! 2. breakpoints are *derived* from weights, so quantization error cannot
+//!    be injected into the training loop the way Rounding Mutation injects
+//!    it into evolution (§3.3: "incorporating RM into NN-LUT is intricate").
+//!
+//! ## Example
+//!
+//! ```
+//! use gqa_nnlut::{NnLutConfig, NnLutTrainer};
+//! use gqa_funcs::NonLinearOp;
+//!
+//! let cfg = NnLutConfig::for_op(NonLinearOp::Gelu)
+//!     .with_steps(300)       // shrunk for the doctest
+//!     .with_samples(2_000)
+//!     .with_seed(1);
+//! let result = NnLutTrainer::new(cfg).train();
+//! assert_eq!(result.lut().pwl().num_entries(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod extract;
+mod network;
+mod trainer;
+
+pub use extract::extract_pwl;
+pub use network::ReluNet1d;
+pub use trainer::{NnLutConfig, NnLutResult, NnLutTrainer};

@@ -1,0 +1,164 @@
+//! The 1-D one-hidden-layer ReLU network and its Adam trainer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A scalar→scalar ReLU network
+/// `h(x) = a·x + c + Σ w2_i · relu(w1_i·x + b1_i)`.
+///
+/// The direct linear path `a·x + c` lets the network represent arbitrary
+/// tail slopes without spending hidden units on them (NN-LUT's formulation;
+/// also what makes the extracted pwl's first segment meaningful).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReluNet1d {
+    /// First-layer weights `w1_i`.
+    pub w1: Vec<f64>,
+    /// First-layer biases `b1_i`.
+    pub b1: Vec<f64>,
+    /// Second-layer weights `w2_i`.
+    pub w2: Vec<f64>,
+    /// Direct linear weight `a`.
+    pub a: f64,
+    /// Output bias `c`.
+    pub c: f64,
+}
+
+impl ReluNet1d {
+    /// Initializes `hidden` units with kinks spread uniformly over `range`
+    /// (`w1 = 1, b1 = −t_i`), small random output weights, and a zero
+    /// linear path. This mirrors NN-LUT's breakpoint-aware initialization
+    /// and makes training stable in a few thousand steps.
+    #[must_use]
+    pub fn init(hidden: usize, range: (f64, f64), rng: &mut StdRng) -> Self {
+        let (rn, rp) = range;
+        let w1 = vec![1.0; hidden];
+        let b1: Vec<f64> = (1..=hidden)
+            .map(|i| {
+                let t = rn + (rp - rn) * i as f64 / (hidden + 1) as f64;
+                -t
+            })
+            .collect();
+        let w2: Vec<f64> = (0..hidden).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        Self { w1, b1, w2, a: 0.0, c: 0.0 }
+    }
+
+    /// Number of hidden units `H`.
+    #[must_use]
+    pub fn hidden(&self) -> usize {
+        self.w1.len()
+    }
+
+    /// Forward pass.
+    #[must_use]
+    pub fn forward(&self, x: f64) -> f64 {
+        let mut y = self.a * x + self.c;
+        for i in 0..self.hidden() {
+            let z = self.w1[i] * x + self.b1[i];
+            if z > 0.0 {
+                y += self.w2[i] * z;
+            }
+        }
+        y
+    }
+
+    /// The kink locations `t_i = −b1_i / w1_i` (unordered; `None` entries
+    /// for dead units with `w1_i = 0` are skipped).
+    #[must_use]
+    pub fn kinks(&self) -> Vec<f64> {
+        self.w1
+            .iter()
+            .zip(&self.b1)
+            .filter(|(&w, _)| w.abs() > 1e-12)
+            .map(|(&w, &b)| -b / w)
+            .collect()
+    }
+}
+
+/// Adam optimizer state for one parameter vector.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl AdamState {
+    pub(crate) fn new(len: usize) -> Self {
+        Self { m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+    }
+
+    /// One Adam step over a flat parameter slice.
+    pub(crate) fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64) {
+        const BETA1: f64 = 0.9;
+        const BETA2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        self.t += 1;
+        let bc1 = 1.0 - BETA1.powi(self.t as i32);
+        let bc2 = 1.0 - BETA2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = BETA1 * self.m[i] + (1.0 - BETA1) * grads[i];
+            self.v[i] = BETA2 * self.v[i] + (1.0 - BETA2) * grads[i] * grads[i];
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= lr * mhat / (vhat.sqrt() + EPS);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn init_places_kinks_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = ReluNet1d::init(7, (-4.0, 4.0), &mut rng);
+        let mut kinks = net.kinks();
+        kinks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(kinks.len(), 7);
+        assert!(kinks.iter().all(|&t| (-4.0..=4.0).contains(&t)));
+        // Uniform spread: first kink at -3, last at 3.
+        assert!((kinks[0] + 3.0).abs() < 1e-12);
+        assert!((kinks[6] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_is_piecewise_linear() {
+        let net = ReluNet1d {
+            w1: vec![1.0],
+            b1: vec![0.0],
+            w2: vec![2.0],
+            a: 1.0,
+            c: 0.5,
+        };
+        // x < 0: h = x + 0.5; x >= 0: h = 3x + 0.5.
+        assert_eq!(net.forward(-2.0), -1.5);
+        assert_eq!(net.forward(0.0), 0.5);
+        assert_eq!(net.forward(1.0), 3.5);
+    }
+
+    #[test]
+    fn dead_units_excluded_from_kinks() {
+        let net = ReluNet1d {
+            w1: vec![0.0, 1.0],
+            b1: vec![1.0, -2.0],
+            w2: vec![1.0, 1.0],
+            a: 0.0,
+            c: 0.0,
+        };
+        assert_eq!(net.kinks(), vec![2.0]);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // Minimize (p - 3)^2 with Adam: must converge to 3.
+        let mut p = vec![0.0f64];
+        let mut adam = AdamState::new(1);
+        for _ in 0..2000 {
+            let g = vec![2.0 * (p[0] - 3.0)];
+            adam.step(&mut p, &g, 0.05);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-3, "p = {}", p[0]);
+    }
+}

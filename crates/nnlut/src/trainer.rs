@@ -1,0 +1,305 @@
+//! NN-LUT training configuration and loop.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gqa_funcs::NonLinearOp;
+use gqa_pwl::QuantAwareLut;
+
+use crate::extract::extract_pwl;
+use crate::network::{AdamState, ReluNet1d};
+
+/// NN-LUT training configuration.
+///
+/// Defaults follow the NN-LUT paper's protocol as cited in §3.2/§4.1:
+/// 100 K uniform training samples, Adam, and an `N−1`-unit hidden layer for
+/// an `N`-entry LUT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnLutConfig {
+    /// Target operator.
+    pub op: NonLinearOp,
+    /// LUT entries `N` (hidden width is `N − 1`). Default 8.
+    pub entries: usize,
+    /// Training range (defaults to the operator's Table-1 range).
+    pub range: (f64, f64),
+    /// Number of uniform training samples (paper: 100 K).
+    pub samples: usize,
+    /// Adam steps. Default 4000.
+    pub steps: usize,
+    /// Mini-batch size. Default 256.
+    pub batch: usize,
+    /// Adam learning rate. Default 5e-3 with cosine decay to 10 %.
+    pub lr: f64,
+    /// FXP fractional bits λ for the final conversion (paper: 5).
+    pub lambda: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NnLutConfig {
+    /// Default NN-LUT configuration for `op` (8-entry).
+    #[must_use]
+    pub fn for_op(op: NonLinearOp) -> Self {
+        Self {
+            op,
+            entries: 8,
+            range: op.default_range(),
+            samples: 100_000,
+            steps: 4000,
+            batch: 256,
+            lr: 5e-3,
+            lambda: 5,
+            seed: 0xBEEF,
+        }
+    }
+
+    /// Switches to a 16-entry LUT.
+    #[must_use]
+    pub fn with_entries_16(mut self) -> Self {
+        self.entries = 16;
+        self
+    }
+
+    /// Sets the number of LUT entries.
+    #[must_use]
+    pub fn with_entries(mut self, n: usize) -> Self {
+        self.entries = n;
+        self
+    }
+
+    /// Sets the number of Adam steps.
+    #[must_use]
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Sets the training-set size.
+    #[must_use]
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.entries >= 2, "need at least 2 entries");
+        assert!(self.range.0 < self.range.1, "empty range");
+        assert!(self.samples >= self.batch, "fewer samples than one batch");
+        assert!(self.steps >= 1 && self.batch >= 1, "degenerate training setup");
+        assert!(self.lr > 0.0, "learning rate must be positive");
+    }
+}
+
+/// Trained NN-LUT baseline: the network plus its extracted, FXP-converted
+/// LUT.
+#[derive(Debug, Clone)]
+pub struct NnLutResult {
+    network: ReluNet1d,
+    lut: QuantAwareLut,
+    train_mse: f64,
+}
+
+impl NnLutResult {
+    /// The extracted LUT ("directly convert the slopes, intercepts, and
+    /// breakpoints to the same precision as GQA-LUT", §4.1).
+    #[must_use]
+    pub fn lut(&self) -> &QuantAwareLut {
+        &self.lut
+    }
+
+    /// The trained network.
+    #[must_use]
+    pub fn network(&self) -> &ReluNet1d {
+        &self.network
+    }
+
+    /// Final full-dataset training MSE of the (un-quantized) network.
+    #[must_use]
+    pub fn train_mse(&self) -> f64 {
+        self.train_mse
+    }
+}
+
+/// The NN-LUT trainer.
+///
+/// See the crate docs for an example.
+#[derive(Clone)]
+pub struct NnLutTrainer {
+    config: NnLutConfig,
+    function: Arc<dyn Fn(f64) -> f64 + Send + Sync>,
+}
+
+impl std::fmt::Debug for NnLutTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NnLutTrainer").field("config", &self.config).finish()
+    }
+}
+
+impl NnLutTrainer {
+    /// Builds a trainer for the configured operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    #[must_use]
+    pub fn new(config: NnLutConfig) -> Self {
+        let op = config.op;
+        Self::with_function(config, Arc::new(move |x| op.eval(x)))
+    }
+
+    /// Builds a trainer for a custom target function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    #[must_use]
+    pub fn with_function(
+        config: NnLutConfig,
+        function: Arc<dyn Fn(f64) -> f64 + Send + Sync>,
+    ) -> Self {
+        config.validate();
+        Self { config, function }
+    }
+
+    /// Runs training and extraction.
+    #[must_use]
+    pub fn train(&self) -> NnLutResult {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let (rn, rp) = cfg.range;
+
+        // The 100 K-sample uniform training set NN-LUT requires.
+        let xs: Vec<f64> = (0..cfg.samples).map(|_| rng.gen_range(rn..rp)).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (self.function)(x)).collect();
+
+        let hidden = cfg.entries - 1;
+        let mut net = ReluNet1d::init(hidden, cfg.range, &mut rng);
+        let mut adam = AdamState::new(3 * hidden + 2);
+
+        let mut params = vec![0.0f64; 3 * hidden + 2];
+        let mut grads = vec![0.0f64; 3 * hidden + 2];
+
+        for step in 0..cfg.steps {
+            // Cosine decay from lr to lr/10.
+            let progress = step as f64 / cfg.steps as f64;
+            let lr = cfg.lr * (0.55 + 0.45 * (std::f64::consts::PI * progress).cos());
+
+            grads.iter_mut().for_each(|g| *g = 0.0);
+            let inv_b = 1.0 / cfg.batch as f64;
+            for _ in 0..cfg.batch {
+                let idx = rng.gen_range(0..xs.len());
+                let (x, y) = (xs[idx], ys[idx]);
+                let pred = net.forward(x);
+                let dl = 2.0 * (pred - y) * inv_b;
+                for i in 0..hidden {
+                    let z = net.w1[i] * x + net.b1[i];
+                    if z > 0.0 {
+                        grads[i] += dl * net.w2[i] * x; // d/dw1
+                        grads[hidden + i] += dl * net.w2[i]; // d/db1
+                        grads[2 * hidden + i] += dl * z; // d/dw2
+                    }
+                }
+                grads[3 * hidden] += dl * x; // d/da
+                grads[3 * hidden + 1] += dl; // d/dc
+            }
+
+            pack(&net, &mut params);
+            adam.step(&mut params, &grads, lr);
+            unpack(&params, &mut net);
+        }
+
+        let train_mse = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| {
+                let d = net.forward(x) - y;
+                d * d
+            })
+            .sum::<f64>()
+            / xs.len() as f64;
+
+        let pwl = extract_pwl(&net, cfg.range).expect("trained network has kinks");
+        let lut = QuantAwareLut::new(pwl, cfg.lambda).expect("valid pwl");
+        NnLutResult { network: net, lut, train_mse }
+    }
+}
+
+fn pack(net: &ReluNet1d, params: &mut [f64]) {
+    let h = net.hidden();
+    params[..h].copy_from_slice(&net.w1);
+    params[h..2 * h].copy_from_slice(&net.b1);
+    params[2 * h..3 * h].copy_from_slice(&net.w2);
+    params[3 * h] = net.a;
+    params[3 * h + 1] = net.c;
+}
+
+fn unpack(params: &[f64], net: &mut ReluNet1d) {
+    let h = net.hidden();
+    net.w1.copy_from_slice(&params[..h]);
+    net.b1.copy_from_slice(&params[h..2 * h]);
+    net.w2.copy_from_slice(&params[2 * h..3 * h]);
+    net.a = params[3 * h];
+    net.c = params[3 * h + 1];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_pwl::eval::mse_grid;
+
+    fn quick(op: NonLinearOp) -> NnLutConfig {
+        NnLutConfig::for_op(op)
+            .with_steps(1500)
+            .with_samples(8_000)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn trains_gelu_to_reasonable_mse() {
+        let r = NnLutTrainer::new(quick(NonLinearOp::Gelu)).train();
+        assert!(r.train_mse() < 5e-3, "train mse {}", r.train_mse());
+        let f = |x: f64| NonLinearOp::Gelu.eval(x);
+        let grid = mse_grid(r.lut().pwl(), &f, (-4.0, 4.0), 0.01);
+        assert!(grid < 5e-3, "grid mse {grid}");
+    }
+
+    #[test]
+    fn entry_count_matches_config() {
+        let r8 = NnLutTrainer::new(quick(NonLinearOp::Exp)).train();
+        assert_eq!(r8.lut().pwl().num_entries(), 8);
+        let r16 = NnLutTrainer::new(quick(NonLinearOp::Exp).with_entries_16()).train();
+        assert_eq!(r16.lut().pwl().num_entries(), 16);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = NnLutTrainer::new(quick(NonLinearOp::Hswish)).train();
+        let b = NnLutTrainer::new(quick(NonLinearOp::Hswish)).train();
+        assert_eq!(a.network(), b.network());
+    }
+
+    #[test]
+    fn custom_function() {
+        let cfg = quick(NonLinearOp::Sigmoid);
+        let r = NnLutTrainer::with_function(cfg, Arc::new(|x: f64| x.max(0.0))).train();
+        // ReLU is exactly representable; a short run gets close.
+        assert!(r.train_mse() < 5e-3, "mse {}", r.train_mse());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn bad_config_rejected() {
+        let mut cfg = NnLutConfig::for_op(NonLinearOp::Gelu);
+        cfg.range = (1.0, 1.0);
+        let _ = NnLutTrainer::new(cfg);
+    }
+}

@@ -1,0 +1,198 @@
+//! MSE evaluators: the fitness of Algorithm 1 and the quantization-aware
+//! operator-level evaluation protocol of §4.1.
+
+use gqa_fxp::{IntRange, PowerOfTwoScale};
+
+use crate::pwl_fn::Pwl;
+
+/// Uniform-grid MSE (Algorithm 1, lines 6–8):
+/// `E = Σ (pwl(x) − f(x))² / ((Rp − Rn)/step)` for `x = Rn, Rn+step, …`
+///
+/// This is the genetic fitness function; the paper uses `step = 0.01`,
+/// which also produces the "Data Size" row of Table 1 (0.8K points for
+/// GELU's `(−4, 4)` range).
+///
+/// # Panics
+///
+/// Panics if `step` is not positive or the range is inverted.
+#[must_use]
+pub fn mse_grid(pwl: &Pwl, f: &dyn Fn(f64) -> f64, range: (f64, f64), step: f64) -> f64 {
+    mse_grid_fn(&|x| pwl.eval(x), f, range, step)
+}
+
+/// [`mse_grid`] generalized to any approximant closure (used to score the
+/// NN-LUT network before pwl extraction, and quantized evaluators).
+///
+/// # Panics
+///
+/// Panics if `step` is not positive or the range is inverted.
+#[must_use]
+pub fn mse_grid_fn(
+    approx: &dyn Fn(f64) -> f64,
+    f: &dyn Fn(f64) -> f64,
+    range: (f64, f64),
+    step: f64,
+) -> f64 {
+    let (rn, rp) = range;
+    assert!(step > 0.0, "step must be positive");
+    assert!(rn < rp, "range [{rn}, {rp}] is empty");
+    let n = ((rp - rn) / step).round() as usize;
+    assert!(n > 0, "range shorter than one step");
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        let x = rn + i as f64 * step;
+        let d = approx(x) - f(x);
+        acc += d * d;
+    }
+    acc / n as f64
+}
+
+/// Dequantized-grid MSE (§4.1): inputs are sampled "orderly from the
+/// dequantized range `[Qn·S, Qp·S]` with an incremental step size of S" —
+/// i.e. exactly the values an INT8 tensor can take at scale `S`.
+///
+/// `eval_q` receives the *integer* code `q` and must return the approximant
+/// output on the real axis (already multiplied by S), mirroring the
+/// integer datapath of Figure 1(b). Codes whose dequantized value falls
+/// outside `clip_range` (when given) are skipped, which confines the
+/// comparison to the operator's meaningful domain (e.g. EXP's `(−8, 0]`).
+#[must_use]
+pub fn mse_dequantized(
+    eval_q: &dyn Fn(i64) -> f64,
+    f: &dyn Fn(f64) -> f64,
+    scale: PowerOfTwoScale,
+    range: IntRange,
+    clip_range: Option<(f64, f64)>,
+) -> f64 {
+    let s = scale.to_f64();
+    let mut acc = 0.0f64;
+    let mut n = 0usize;
+    for q in range.iter() {
+        let x = q as f64 * s;
+        if let Some((lo, hi)) = clip_range {
+            if x < lo || x > hi {
+                continue;
+            }
+        }
+        let d = eval_q(q) - f(x);
+        acc += d * d;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64
+    }
+}
+
+/// The scale sweep used in Figures 2(a) and 3: `S ∈ {2^0, 2^-1, …, 2^-6}`.
+#[must_use]
+pub fn paper_scale_sweep() -> Vec<PowerOfTwoScale> {
+    (-6..=0).rev().map(PowerOfTwoScale::new).collect()
+}
+
+/// Normalizes a series to its maximum (the y-axis convention of the
+/// paper's figures). Returns all zeros if the max is 0.
+#[must_use]
+pub fn normalize_to_max(series: &[f64]) -> Vec<f64> {
+    let max = series.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return vec![0.0; series.len()];
+    }
+    series.iter().map(|&v| v / max).collect()
+}
+
+/// The paper's Figure 2(a) log-compression: `log10(2e4 · mse)`, then
+/// normalized to the series max. Provided so the figure harness matches the
+/// y-axis label exactly.
+#[must_use]
+pub fn log_compress_mse(series: &[f64]) -> Vec<f64> {
+    series.iter().map(|&m| (2.0e4 * m).max(1e-30).log10()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::{fit_pwl, SegmentFit};
+
+    #[test]
+    fn zero_error_for_exact_fit() {
+        let f = |x: f64| 2.0 * x + 1.0;
+        let p = fit_pwl(&f, (-1.0, 1.0), &[0.0], SegmentFit::Interpolate).unwrap();
+        assert!(mse_grid(&p, &f, (-1.0, 1.0), 0.01) < 1e-24);
+    }
+
+    #[test]
+    fn grid_size_matches_table1_data_size() {
+        // GELU: (-4, 4) / 0.01 = 800 points = "0.8K" in Table 1.
+        let n = ((4.0 - (-4.0)) / 0.01f64).round() as usize;
+        assert_eq!(n, 800);
+        // DIV: (0.5, 4) -> 350 = "0.35K".
+        let n = ((4.0 - 0.5) / 0.01f64).round() as usize;
+        assert_eq!(n, 350);
+        // RSQRT: (0.25, 4) -> 375 ≈ "0.36K".
+        let n = ((4.0 - 0.25) / 0.01f64).round() as usize;
+        assert_eq!(n, 375);
+    }
+
+    #[test]
+    fn dequantized_grid_visits_all_codes() {
+        let mut seen = std::cell::RefCell::new(Vec::new());
+        let f = |_: f64| 0.0;
+        let eval_q = |q: i64| {
+            seen.borrow_mut().push(q);
+            0.0
+        };
+        let _ = mse_dequantized(
+            &eval_q,
+            &f,
+            PowerOfTwoScale::new(-2),
+            IntRange::signed(4),
+            None,
+        );
+        let v = seen.get_mut();
+        assert_eq!(v.len(), 16);
+        assert_eq!((v[0], *v.last().unwrap()), (-8, 7));
+    }
+
+    #[test]
+    fn clip_range_restricts_domain() {
+        let f = |x: f64| x;
+        let count = std::cell::Cell::new(0usize);
+        let eval_q = |q: i64| {
+            count.set(count.get() + 1);
+            q as f64 * 0.5
+        };
+        let mse = mse_dequantized(
+            &eval_q,
+            &f,
+            PowerOfTwoScale::new(-1),
+            IntRange::signed(8),
+            Some((-2.0, 0.0)),
+        );
+        assert_eq!(mse, 0.0);
+        assert_eq!(count.get(), 5); // q in {-4,-3,-2,-1,0}
+    }
+
+    #[test]
+    fn sweep_is_seven_scales_descending() {
+        let sweep = paper_scale_sweep();
+        assert_eq!(sweep.len(), 7);
+        assert_eq!(sweep[0].exponent(), 0);
+        assert_eq!(sweep[6].exponent(), -6);
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize_to_max(&[1.0, 2.0, 4.0]), vec![0.25, 0.5, 1.0]);
+        assert_eq!(normalize_to_max(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn bad_step_panics() {
+        let f = |x: f64| x;
+        let p = fit_pwl(&f, (-1.0, 1.0), &[0.0], SegmentFit::Interpolate).unwrap();
+        let _ = mse_grid(&p, &f, (-1.0, 1.0), 0.0);
+    }
+}

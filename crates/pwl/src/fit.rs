@@ -1,0 +1,220 @@
+//! Deriving slopes and intercepts from a breakpoint set
+//! (Algorithm 1, line 21: "K*, B* ← Derived from P*").
+//!
+//! The genetic algorithm only evolves *breakpoints*; the line parameters of
+//! each segment are a deterministic function of the breakpoints and the
+//! target function. Two derivations are provided:
+//!
+//! * [`SegmentFit::Interpolate`] — each segment's line passes through the
+//!   function values at the segment edges. Produces a *continuous* pwl.
+//! * [`SegmentFit::LeastSquares`] — each segment's line is the 1-D least
+//!   squares fit over a dense sample of the segment. Lower MSE (it is the
+//!   per-segment MSE minimizer for fixed breakpoints) but allows small jump
+//!   discontinuities at breakpoints. This matches the reference GQA-LUT
+//!   implementation and is the default.
+
+use crate::pwl_fn::{Pwl, PwlError};
+
+/// Number of fit samples per segment for the least-squares derivation.
+const SAMPLES_PER_SEGMENT: usize = 64;
+
+/// Strategy for deriving each segment's `(k, b)` from its breakpoint span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SegmentFit {
+    /// Line through the function values at the segment endpoints
+    /// (continuous approximant).
+    Interpolate,
+    /// Per-segment least squares over a dense sample (default; the
+    /// per-segment MSE optimum for a fixed breakpoint set).
+    #[default]
+    LeastSquares,
+}
+
+/// Derives a [`Pwl`] approximating `f` over `range` with the given
+/// breakpoints.
+///
+/// Breakpoints are sorted and clamped into `range`; the outermost segments
+/// are fitted over `[Rn, p_0]` and `[p_{last}, Rp]` and extend with the same
+/// line outside the range (the standard LUT behaviour: the comparator
+/// saturates to the first/last entry).
+///
+/// Zero-width segments (duplicate breakpoints) get the local secant line
+/// through `f` at the duplicated point.
+///
+/// # Errors
+///
+/// Returns [`PwlError::BadRange`] if `range` is empty/inverted or
+/// [`PwlError::NoBreakpoints`] if `breakpoints` is empty; propagates
+/// [`PwlError::NonFinite`] if `f` returns non-finite values on the range.
+///
+/// # Example
+///
+/// ```
+/// use gqa_pwl::{fit, SegmentFit};
+/// let pwl = fit::fit_pwl(&|x: f64| x * x, (0.0, 4.0), &[1.0, 2.0, 3.0],
+///                        SegmentFit::Interpolate)?;
+/// assert_eq!(pwl.num_entries(), 4);
+/// // Interpolation is exact at breakpoints:
+/// assert!((pwl.eval(2.0) - 4.0).abs() < 1e-12);
+/// # Ok::<(), gqa_pwl::PwlError>(())
+/// ```
+pub fn fit_pwl(
+    f: &dyn Fn(f64) -> f64,
+    range: (f64, f64),
+    breakpoints: &[f64],
+    method: SegmentFit,
+) -> Result<Pwl, PwlError> {
+    let (rn, rp) = range;
+    if rn >= rp || !rn.is_finite() || !rp.is_finite() {
+        return Err(PwlError::BadRange { lo: rn, hi: rp });
+    }
+    if breakpoints.is_empty() {
+        return Err(PwlError::NoBreakpoints);
+    }
+    let mut bps: Vec<f64> = breakpoints.iter().map(|&p| p.clamp(rn, rp)).collect();
+    bps.sort_by(|a, b| a.partial_cmp(b).expect("clamped breakpoints are finite"));
+
+    // Segment knots: [Rn, p_0, ..., p_{last}, Rp].
+    let mut knots = Vec::with_capacity(bps.len() + 2);
+    knots.push(rn);
+    knots.extend_from_slice(&bps);
+    knots.push(rp);
+
+    let n = bps.len() + 1;
+    let mut slopes = Vec::with_capacity(n);
+    let mut intercepts = Vec::with_capacity(n);
+    for i in 0..n {
+        let (lo, hi) = (knots[i], knots[i + 1]);
+        let (k, b) = fit_segment(f, lo, hi, method);
+        slopes.push(k);
+        intercepts.push(b);
+    }
+    Pwl::new(slopes, intercepts, bps)
+}
+
+/// Fits one segment's line over `[lo, hi]`.
+fn fit_segment(f: &dyn Fn(f64) -> f64, lo: f64, hi: f64, method: SegmentFit) -> (f64, f64) {
+    let width = hi - lo;
+    if width <= f64::EPSILON * lo.abs().max(hi.abs()).max(1.0) {
+        // Degenerate segment (duplicate breakpoints, e.g. clamped at a
+        // range edge): use the local secant line. A constant would be
+        // catastrophic when breakpoint quantization clips several
+        // breakpoints onto the same integer code and routes real inputs
+        // into this segment.
+        let h = 1e-3;
+        let k = (f(hi + h) - f(lo - h)) / (2.0 * h + width);
+        return (k, f(lo) - k * lo);
+    }
+    match method {
+        SegmentFit::Interpolate => {
+            let (ylo, yhi) = (f(lo), f(hi));
+            let k = (yhi - ylo) / width;
+            (k, ylo - k * lo)
+        }
+        SegmentFit::LeastSquares => {
+            // Closed-form simple linear regression over a uniform sample.
+            let m = SAMPLES_PER_SEGMENT;
+            let (mut sx, mut sy, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for j in 0..m {
+                let x = lo + width * (j as f64 + 0.5) / m as f64;
+                let y = f(x);
+                sx += x;
+                sy += y;
+                sxx += x * x;
+                sxy += x * y;
+            }
+            let nf = m as f64;
+            let denom = nf * sxx - sx * sx;
+            if denom.abs() < 1e-30 {
+                return (0.0, sy / nf);
+            }
+            let k = (nf * sxy - sx * sy) / denom;
+            let b = (sy - k * sx) / nf;
+            (k, b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::mse_grid;
+    use gqa_funcs::NonLinearOp;
+
+    #[test]
+    fn linear_function_is_fit_exactly() {
+        let f = |x: f64| 3.0 * x - 2.0;
+        for method in [SegmentFit::Interpolate, SegmentFit::LeastSquares] {
+            let p = fit_pwl(&f, (-4.0, 4.0), &[-1.0, 0.0, 2.0], method).unwrap();
+            for i in -40..=40 {
+                let x = i as f64 * 0.1;
+                assert!((p.eval(x) - f(x)).abs() < 1e-9, "{method:?} at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_is_continuous() {
+        let f = |x: f64| NonLinearOp::Gelu.eval(x);
+        let p = fit_pwl(&f, (-4.0, 4.0), &[-2.0, -1.0, 0.0, 1.0, 2.0], SegmentFit::Interpolate)
+            .unwrap();
+        assert!(p.max_discontinuity() < 1e-12);
+        // Exact at the breakpoints.
+        for &bp in p.breakpoints() {
+            assert!((p.eval(bp) - f(bp)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn least_squares_beats_interpolation_on_mse() {
+        let f = |x: f64| NonLinearOp::Gelu.eval(x);
+        let bps = [-3.0, -2.0, -1.0, -0.5, 0.5, 1.0, 2.0];
+        let pi = fit_pwl(&f, (-4.0, 4.0), &bps, SegmentFit::Interpolate).unwrap();
+        let pl = fit_pwl(&f, (-4.0, 4.0), &bps, SegmentFit::LeastSquares).unwrap();
+        let mi = mse_grid(&pi, &f, (-4.0, 4.0), 0.01);
+        let ml = mse_grid(&pl, &f, (-4.0, 4.0), 0.01);
+        assert!(ml < mi, "least squares {ml} should beat interpolation {mi}");
+    }
+
+    #[test]
+    fn breakpoints_outside_range_are_clamped() {
+        let f = |x: f64| x;
+        let p = fit_pwl(&f, (0.0, 1.0), &[-5.0, 0.5, 9.0], SegmentFit::Interpolate).unwrap();
+        assert!(p.breakpoints().iter().all(|&b| (0.0..=1.0).contains(&b)));
+    }
+
+    #[test]
+    fn duplicate_breakpoints_yield_local_secant() {
+        let f = |x: f64| x * x;
+        let p = fit_pwl(&f, (0.0, 2.0), &[1.0, 1.0], SegmentFit::LeastSquares).unwrap();
+        assert_eq!(p.num_entries(), 3);
+        // Middle (degenerate) segment is the tangent-like secant at x = 1:
+        // slope ≈ d/dx x² = 2, passing through (1, 1).
+        assert!((p.slopes()[1] - 2.0).abs() < 1e-3, "slope {}", p.slopes()[1]);
+        assert!((p.slopes()[1] * 1.0 + p.intercepts()[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let f = |x: f64| x;
+        assert!(matches!(
+            fit_pwl(&f, (1.0, 1.0), &[0.5], SegmentFit::Interpolate),
+            Err(PwlError::BadRange { .. })
+        ));
+        assert!(matches!(
+            fit_pwl(&f, (0.0, 1.0), &[], SegmentFit::Interpolate),
+            Err(PwlError::NoBreakpoints)
+        ));
+    }
+
+    #[test]
+    fn eight_entry_gelu_mse_is_small() {
+        // With reasonable hand-placed breakpoints, 8-entry least-squares GELU
+        // should already be in the 1e-3 MSE ballpark (the GA improves on it).
+        let f = |x: f64| NonLinearOp::Gelu.eval(x);
+        let bps = [-2.5, -1.5, -0.8, -0.3, 0.3, 0.9, 2.0];
+        let p = fit_pwl(&f, (-4.0, 4.0), &bps, SegmentFit::LeastSquares).unwrap();
+        let mse = mse_grid(&p, &f, (-4.0, 4.0), 0.01);
+        assert!(mse < 2e-3, "mse = {mse}");
+    }
+}

@@ -1,0 +1,329 @@
+//! The floating-point piece-wise linear function of Eq. (1).
+
+use std::fmt;
+
+/// Error type for invalid piece-wise linear constructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PwlError {
+    /// Breakpoints were empty (an N-entry pwl needs N−1 ≥ 1 breakpoints).
+    NoBreakpoints,
+    /// Parameter vectors had inconsistent lengths.
+    LengthMismatch {
+        /// Number of slopes provided.
+        slopes: usize,
+        /// Number of intercepts provided.
+        intercepts: usize,
+        /// Number of breakpoints provided.
+        breakpoints: usize,
+    },
+    /// A parameter was NaN or infinite.
+    NonFinite,
+    /// The fitting range was empty or inverted.
+    BadRange {
+        /// Lower edge of the offending range.
+        lo: f64,
+        /// Upper edge of the offending range.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for PwlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PwlError::NoBreakpoints => write!(f, "piece-wise linear needs at least one breakpoint"),
+            PwlError::LengthMismatch { slopes, intercepts, breakpoints } => write!(
+                f,
+                "parameter length mismatch: {slopes} slopes, {intercepts} intercepts, \
+                 {breakpoints} breakpoints (need slopes = intercepts = breakpoints + 1)"
+            ),
+            PwlError::NonFinite => write!(f, "parameters must be finite"),
+            PwlError::BadRange { lo, hi } => write!(f, "invalid range [{lo}, {hi}]"),
+        }
+    }
+}
+
+impl std::error::Error for PwlError {}
+
+/// An N-entry piece-wise linear function (Eq. 1):
+///
+/// ```text
+/// pwl(x) = k_0·x + b_0          if x < p_0
+///          k_i·x + b_i          if p_{i−1} ≤ x < p_i
+///          k_{N−1}·x + b_{N−1}  if x ≥ p_{N−2}
+/// ```
+///
+/// Breakpoints are stored sorted ascending; construction sorts them and
+/// validates finiteness. The paper's 8-entry configuration has `N = 8`
+/// (7 breakpoints, `N_b = 7` in Table 1).
+///
+/// # Example
+///
+/// ```
+/// use gqa_pwl::Pwl;
+/// // |x| as a 2-entry pwl with one breakpoint at 0.
+/// let p = Pwl::new(vec![-1.0, 1.0], vec![0.0, 0.0], vec![0.0])?;
+/// assert_eq!(p.eval(-3.0), 3.0);
+/// assert_eq!(p.eval(2.0), 2.0);
+/// assert_eq!(p.num_entries(), 2);
+/// # Ok::<(), gqa_pwl::PwlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pwl {
+    slopes: Vec<f64>,
+    intercepts: Vec<f64>,
+    breakpoints: Vec<f64>,
+}
+
+impl Pwl {
+    /// Builds a pwl from entry parameters. `slopes.len()` must equal
+    /// `intercepts.len()` and exceed `breakpoints.len()` by exactly one.
+    /// Breakpoints are sorted; segments keep their given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PwlError`] if the lengths are inconsistent, the breakpoint
+    /// list is empty, or any parameter is not finite.
+    pub fn new(
+        slopes: Vec<f64>,
+        intercepts: Vec<f64>,
+        mut breakpoints: Vec<f64>,
+    ) -> Result<Self, PwlError> {
+        if breakpoints.is_empty() {
+            return Err(PwlError::NoBreakpoints);
+        }
+        if slopes.len() != intercepts.len() || slopes.len() != breakpoints.len() + 1 {
+            return Err(PwlError::LengthMismatch {
+                slopes: slopes.len(),
+                intercepts: intercepts.len(),
+                breakpoints: breakpoints.len(),
+            });
+        }
+        if slopes
+            .iter()
+            .chain(&intercepts)
+            .chain(&breakpoints)
+            .any(|v| !v.is_finite())
+        {
+            return Err(PwlError::NonFinite);
+        }
+        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Ok(Self { slopes, intercepts, breakpoints })
+    }
+
+    /// Number of LUT entries `N`.
+    #[must_use]
+    pub fn num_entries(&self) -> usize {
+        self.slopes.len()
+    }
+
+    /// The sorted breakpoints `p_0 … p_{N−2}`.
+    #[must_use]
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.breakpoints
+    }
+
+    /// Entry slopes `k_0 … k_{N−1}`.
+    #[must_use]
+    pub fn slopes(&self) -> &[f64] {
+        &self.slopes
+    }
+
+    /// Entry intercepts `b_0 … b_{N−1}`.
+    #[must_use]
+    pub fn intercepts(&self) -> &[f64] {
+        &self.intercepts
+    }
+
+    /// Index of the entry covering `x`: the number of breakpoints `≤ x`
+    /// (so `x < p_0` → 0 and `x ≥ p_{N−2}` → N−1, matching Eq. 1).
+    #[must_use]
+    pub fn entry_index(&self, x: f64) -> usize {
+        self.breakpoints.partition_point(|&p| p <= x)
+    }
+
+    /// Evaluates `pwl(x)`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let i = self.entry_index(x);
+        self.slopes[i] * x + self.intercepts[i]
+    }
+
+    /// Evaluates the scaled identity the paper's quantization-aware flow
+    /// relies on: `pwl(S·q) = S·pwl'(q)` where `pwl'` has breakpoints `p/S`
+    /// and intercepts `b/S`. Exposed for tests of that algebra.
+    #[must_use]
+    pub fn eval_separated(&self, s: f64, q: f64) -> f64 {
+        let i = self.breakpoints.partition_point(|&p| p / s <= q);
+        s * (self.slopes[i] * q + self.intercepts[i] / s)
+    }
+
+    /// Maximum jump discontinuity across all breakpoints (0 for a
+    /// continuous pwl, e.g. one produced by endpoint interpolation).
+    #[must_use]
+    pub fn max_discontinuity(&self) -> f64 {
+        self.breakpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let left = self.slopes[i] * p + self.intercepts[i];
+                let right = self.slopes[i + 1] * p + self.intercepts[i + 1];
+                (left - right).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Applies a transformation to every parameter, returning a new pwl.
+    /// Used for FXP rounding of slopes/intercepts (Algorithm 1 line 22).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PwlError::NonFinite`] if the mapped parameters are not
+    /// finite.
+    pub fn map_params<F, G, H>(&self, fk: F, fb: G, fp: H) -> Result<Self, PwlError>
+    where
+        F: Fn(f64) -> f64,
+        G: Fn(f64) -> f64,
+        H: Fn(f64) -> f64,
+    {
+        Pwl::new(
+            self.slopes.iter().map(|&k| fk(k)).collect(),
+            self.intercepts.iter().map(|&b| fb(b)).collect(),
+            self.breakpoints.iter().map(|&p| fp(p)).collect(),
+        )
+    }
+}
+
+impl fmt::Display for Pwl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pwl with {} entries:", self.num_entries())?;
+        for i in 0..self.num_entries() {
+            let lo = if i == 0 {
+                "-inf".to_owned()
+            } else {
+                format!("{:.4}", self.breakpoints[i - 1])
+            };
+            let hi = if i == self.num_entries() - 1 {
+                "+inf".to_owned()
+            } else {
+                format!("{:.4}", self.breakpoints[i])
+            };
+            writeln!(
+                f,
+                "  [{lo}, {hi}): y = {:+.6}·x {:+.6}",
+                self.slopes[i], self.intercepts[i]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abs_pwl() -> Pwl {
+        Pwl::new(vec![-1.0, 1.0], vec![0.0, 0.0], vec![0.0]).unwrap()
+    }
+
+    #[test]
+    fn entry_selection_matches_eq1() {
+        let p = Pwl::new(
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 0.0, 0.0],
+            vec![-1.0, 1.0],
+        )
+        .unwrap();
+        assert_eq!(p.entry_index(-2.0), 0); // x < p0
+        assert_eq!(p.entry_index(-1.0), 1); // p0 <= x < p1
+        assert_eq!(p.entry_index(0.0), 1);
+        assert_eq!(p.entry_index(1.0), 2); // x >= p1
+        assert_eq!(p.entry_index(5.0), 2);
+    }
+
+    #[test]
+    fn eval_abs() {
+        let p = abs_pwl();
+        for i in -10..=10 {
+            let x = i as f64 * 0.5;
+            assert_eq!(p.eval(x), x.abs());
+        }
+    }
+
+    #[test]
+    fn construction_sorts_breakpoints() {
+        let p = Pwl::new(
+            vec![0.0; 4],
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, -1.0, 0.5],
+        )
+        .unwrap();
+        assert_eq!(p.breakpoints(), &[-1.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn length_validation() {
+        assert_eq!(
+            Pwl::new(vec![1.0], vec![1.0], vec![]),
+            Err(PwlError::NoBreakpoints)
+        );
+        assert!(matches!(
+            Pwl::new(vec![1.0, 2.0], vec![1.0], vec![0.0]),
+            Err(PwlError::LengthMismatch { .. })
+        ));
+        assert_eq!(
+            Pwl::new(vec![f64::NAN, 1.0], vec![0.0, 0.0], vec![0.0]),
+            Err(PwlError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn separation_identity() {
+        // pwl(S·q) = S·pwl'(q) must hold exactly for any S > 0.
+        let p = Pwl::new(
+            vec![0.3, -0.7, 1.1],
+            vec![0.2, -0.4, 0.9],
+            vec![-0.5, 1.25],
+        )
+        .unwrap();
+        for &s in &[0.25, 0.5, 1.0, 2.0] {
+            for i in -20..=20 {
+                let q = i as f64;
+                let direct = p.eval(s * q);
+                let separated = p.eval_separated(s, q);
+                assert!(
+                    (direct - separated).abs() < 1e-12,
+                    "S={s} q={q}: {direct} vs {separated}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn discontinuity_measured() {
+        let cont = abs_pwl();
+        assert_eq!(cont.max_discontinuity(), 0.0);
+        let jump = Pwl::new(vec![0.0, 0.0], vec![0.0, 1.0], vec![0.0]).unwrap();
+        assert_eq!(jump.max_discontinuity(), 1.0);
+    }
+
+    #[test]
+    fn map_params_rounds() {
+        let p = Pwl::new(vec![0.71, -0.33], vec![0.1, 0.9], vec![0.26]).unwrap();
+        let rounded = p
+            .map_params(
+                |k| gqa_fxp::round_to_fraction_bits(k, 5),
+                |b| gqa_fxp::round_to_fraction_bits(b, 5),
+                |x| x,
+            )
+            .unwrap();
+        assert_eq!(rounded.slopes()[0], 23.0 / 32.0);
+        assert_eq!(rounded.breakpoints()[0], 0.26);
+    }
+
+    #[test]
+    fn display_contains_entries() {
+        let s = abs_pwl().to_string();
+        assert!(s.contains("2 entries"));
+        assert!(s.contains("-inf"));
+    }
+}

@@ -1,0 +1,163 @@
+//! LUT storage-format accounting (Figure 1a vs 1b).
+//!
+//! The hardware crate derives area from structure, but both it and the
+//! documentation need an exact count of *what* is stored per entry under
+//! each pattern. This module is that single source of truth.
+
+use std::fmt;
+
+/// Which of the two storage patterns of Figure 1 a LUT uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LutFormat {
+    /// Figure 1(a): slopes, intercepts and breakpoints all stored at the
+    /// datapath precision (FP32 or INT32) — the NN-LUT / RI-LUT pattern.
+    HighPrecision {
+        /// Bit-width of every stored word and of the datapath (e.g. 32).
+        bits: u32,
+    },
+    /// Figure 1(b): quantization-aware pattern — slopes and intercepts as
+    /// λ-fractional-bit FXP words, breakpoints as quantized integers, plus
+    /// a run-time shifter for the intercepts.
+    QuantAware {
+        /// Word width of the stored parameters (8 or 16 in the paper).
+        bits: u32,
+        /// Fractional bits λ of slopes/intercepts.
+        lambda: u32,
+    },
+}
+
+/// Storage accounting for an N-entry LUT in a given format.
+///
+/// # Example
+///
+/// ```
+/// use gqa_pwl::{LutFormat, LutStorage};
+/// let s = LutStorage::new(LutFormat::QuantAware { bits: 8, lambda: 5 }, 8);
+/// assert_eq!(s.total_bits(), 8 * 8 * 2 + 7 * 8); // k,b per entry + breakpoints
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LutStorage {
+    format: LutFormat,
+    entries: usize,
+}
+
+impl LutStorage {
+    /// Creates the accounting object for an `entries`-entry LUT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 2` (a 1-entry LUT is just a line, not a LUT).
+    #[must_use]
+    pub fn new(format: LutFormat, entries: usize) -> Self {
+        assert!(entries >= 2, "a LUT needs at least 2 entries");
+        Self { format, entries }
+    }
+
+    /// The storage format.
+    #[must_use]
+    pub fn format(&self) -> LutFormat {
+        self.format
+    }
+
+    /// Number of entries `N`.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Word width of one stored parameter.
+    #[must_use]
+    pub fn word_bits(&self) -> u32 {
+        match self.format {
+            LutFormat::HighPrecision { bits } | LutFormat::QuantAware { bits, .. } => bits,
+        }
+    }
+
+    /// Bits to store all slopes (`N` words).
+    #[must_use]
+    pub fn slope_bits(&self) -> usize {
+        self.entries * self.word_bits() as usize
+    }
+
+    /// Bits to store all intercepts (`N` words).
+    #[must_use]
+    pub fn intercept_bits(&self) -> usize {
+        self.entries * self.word_bits() as usize
+    }
+
+    /// Bits to store all breakpoints (`N − 1` words).
+    #[must_use]
+    pub fn breakpoint_bits(&self) -> usize {
+        (self.entries - 1) * self.word_bits() as usize
+    }
+
+    /// Total LUT storage bits.
+    #[must_use]
+    pub fn total_bits(&self) -> usize {
+        self.slope_bits() + self.intercept_bits() + self.breakpoint_bits()
+    }
+
+    /// Whether the unit needs the run-time intercept shifter of Fig. 1(b).
+    #[must_use]
+    pub fn needs_intercept_shifter(&self) -> bool {
+        matches!(self.format, LutFormat::QuantAware { .. })
+    }
+}
+
+impl fmt::Display for LutStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.format {
+            LutFormat::HighPrecision { bits } => {
+                write!(f, "{}-entry LUT, {bits}-bit high-precision storage", self.entries)
+            }
+            LutFormat::QuantAware { bits, lambda } => write!(
+                f,
+                "{}-entry LUT, {bits}-bit quant-aware storage (λ = {lambda})",
+                self.entries
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int8_8_entry_budget() {
+        let s = LutStorage::new(LutFormat::QuantAware { bits: 8, lambda: 5 }, 8);
+        assert_eq!(s.slope_bits(), 64);
+        assert_eq!(s.intercept_bits(), 64);
+        assert_eq!(s.breakpoint_bits(), 56);
+        assert_eq!(s.total_bits(), 184);
+        assert!(s.needs_intercept_shifter());
+    }
+
+    #[test]
+    fn fp32_is_four_times_int8_storage() {
+        let a = LutStorage::new(LutFormat::HighPrecision { bits: 32 }, 8);
+        let b = LutStorage::new(LutFormat::QuantAware { bits: 8, lambda: 5 }, 8);
+        assert_eq!(a.total_bits(), b.total_bits() * 4);
+        assert!(!a.needs_intercept_shifter());
+    }
+
+    #[test]
+    fn sixteen_entries_scale() {
+        let s8 = LutStorage::new(LutFormat::QuantAware { bits: 8, lambda: 5 }, 8);
+        let s16 = LutStorage::new(LutFormat::QuantAware { bits: 8, lambda: 5 }, 16);
+        assert!(s16.total_bits() > s8.total_bits());
+        assert_eq!(s16.breakpoint_bits(), 15 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 entries")]
+    fn one_entry_rejected() {
+        let _ = LutStorage::new(LutFormat::HighPrecision { bits: 32 }, 1);
+    }
+
+    #[test]
+    fn display_mentions_format() {
+        let s = LutStorage::new(LutFormat::QuantAware { bits: 8, lambda: 5 }, 8);
+        assert!(s.to_string().contains("quant-aware"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the pwl core.
+
+use gqa_funcs::NonLinearOp;
+use gqa_fxp::{IntRange, PowerOfTwoScale};
+use gqa_pwl::{fit, eval, Pwl, QuantAwareLut, SegmentFit};
+use proptest::prelude::*;
+
+/// Strategy: a sorted, deduplicated breakpoint vector inside (-4, 4).
+fn breakpoints() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-3.9f64..3.9, 1..12).prop_map(|mut v| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+        v
+    })
+}
+
+proptest! {
+    /// Interpolation fitting always yields a continuous pwl that is exact
+    /// at every breakpoint.
+    #[test]
+    fn interpolation_continuous_and_exact(bps in breakpoints()) {
+        let f = |x: f64| NonLinearOp::Gelu.eval(x);
+        let p = fit::fit_pwl(&f, (-4.0, 4.0), &bps, SegmentFit::Interpolate).unwrap();
+        prop_assert!(p.max_discontinuity() < 1e-9);
+        for &bp in p.breakpoints() {
+            prop_assert!((p.eval(bp) - f(bp)).abs() < 1e-9);
+        }
+    }
+
+    /// Least squares never has higher grid MSE than interpolation for the
+    /// same breakpoints (it is the per-segment optimum).
+    #[test]
+    fn least_squares_is_per_segment_optimal(bps in breakpoints()) {
+        let f = |x: f64| NonLinearOp::Hswish.eval(x);
+        let pi = fit::fit_pwl(&f, (-4.0, 4.0), &bps, SegmentFit::Interpolate).unwrap();
+        let pl = fit::fit_pwl(&f, (-4.0, 4.0), &bps, SegmentFit::LeastSquares).unwrap();
+        let mi = eval::mse_grid(&pi, &f, (-4.0, 4.0), 0.05);
+        let ml = eval::mse_grid(&pl, &f, (-4.0, 4.0), 0.05);
+        // Allow tiny slack: LS minimizes over its own dense sample, the grid
+        // here is slightly different.
+        prop_assert!(ml <= mi * 1.05 + 1e-12, "ls {ml} vs interp {mi}");
+    }
+
+    /// Entry selection is monotone in x and covers all indices 0..N.
+    #[test]
+    fn entry_index_monotone(bps in breakpoints(), xs in proptest::collection::vec(-5.0f64..5.0, 20)) {
+        let f = |x: f64| x;
+        let p = fit::fit_pwl(&f, (-4.0, 4.0), &bps, SegmentFit::Interpolate).unwrap();
+        let mut xs = xs;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0usize;
+        for &x in &xs {
+            let i = p.entry_index(x);
+            prop_assert!(i >= prev);
+            prop_assert!(i < p.num_entries());
+            prev = i;
+        }
+    }
+
+    /// The separation identity pwl(S·q) = S·pwl'(q) holds for every
+    /// power-of-two S and integer q (the foundation of §3.1).
+    #[test]
+    fn separation_identity(bps in breakpoints(), e in -6i32..=1, q in -128i64..=127) {
+        let f = |x: f64| NonLinearOp::Gelu.eval(x);
+        let p = fit::fit_pwl(&f, (-4.0, 4.0), &bps, SegmentFit::LeastSquares).unwrap();
+        let s = PowerOfTwoScale::new(e).to_f64();
+        let direct = p.eval(s * q as f64);
+        let separated = p.eval_separated(s, q as f64);
+        prop_assert!((direct - separated).abs() < 1e-9,
+            "S=2^{e} q={q}: {direct} vs {separated}");
+    }
+
+    /// The integer datapath agrees with FP evaluation of the FXP-rounded
+    /// parameters when the breakpoint quantization selects the same entry.
+    #[test]
+    fn int_path_matches_rounded_fp(bps in breakpoints(), e in -6i32..=0) {
+        let f = |x: f64| NonLinearOp::Gelu.eval(x);
+        let p = fit::fit_pwl(&f, (-4.0, 4.0), &bps, SegmentFit::LeastSquares).unwrap();
+        let lut = QuantAwareLut::new(p, 5).unwrap();
+        let scale = PowerOfTwoScale::new(e);
+        let inst = lut.instantiate(scale, IntRange::signed(8));
+        for q in [-128i64, -64, -17, 0, 1, 63, 127] {
+            let i = inst.entry_index(q);
+            let k = lut.pwl().slopes()[i];
+            let b = lut.pwl().intercepts()[i];
+            let want = scale.to_f64() * (k * q as f64 + b / scale.to_f64());
+            prop_assert!((inst.eval_dequantized(q) - want).abs() < 1e-9);
+        }
+    }
+
+    /// Quantized breakpoints are always within [Qn, Qp] and sorted.
+    #[test]
+    fn quantized_breakpoints_sorted_in_range(bps in breakpoints(), e in -6i32..=2) {
+        let f = |x: f64| NonLinearOp::Hswish.eval(x);
+        let p = fit::fit_pwl(&f, (-4.0, 4.0), &bps, SegmentFit::LeastSquares).unwrap();
+        let lut = QuantAwareLut::new(p, 5).unwrap();
+        let r = IntRange::signed(8);
+        let inst = lut.instantiate(PowerOfTwoScale::new(e), r);
+        let q = inst.breakpoints_q();
+        for w in q.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        for &v in q {
+            prop_assert!(r.contains(v));
+        }
+    }
+
+    /// mse_grid of a pwl against itself is zero; against a shifted copy it
+    /// equals the squared shift.
+    #[test]
+    fn mse_grid_axioms(bps in breakpoints(), shift in 0.01f64..1.0) {
+        let f = |x: f64| NonLinearOp::Gelu.eval(x);
+        let p = fit::fit_pwl(&f, (-4.0, 4.0), &bps, SegmentFit::LeastSquares).unwrap();
+        let self_mse = eval::mse_grid_fn(&|x| p.eval(x), &|x| p.eval(x), (-4.0, 4.0), 0.1);
+        prop_assert!(self_mse == 0.0);
+        let shifted = eval::mse_grid_fn(&|x| p.eval(x) + shift, &|x| p.eval(x), (-4.0, 4.0), 0.1);
+        prop_assert!((shifted - shift * shift).abs() < 1e-12);
+    }
+}

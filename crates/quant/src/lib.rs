@@ -1,0 +1,42 @@
+//! # gqa-quant — integer-only quantization substrate
+//!
+//! The quantization machinery the paper's model-level evaluation rests on
+//! (§2.3, §4.2):
+//!
+//! * [`LsqQuantizer`] — Learned Step-size Quantization (LSQ, ref. [19]):
+//!   fake-quant forward plus the STE gradients for both the input and the
+//!   learnable step.
+//! * [`PotLsqQuantizer`] — the paper's power-of-two variant (§3.1):
+//!   `S = 2^⌊log2 α⌉` with a learnable `α`, STE through the exponent
+//!   rounding. Used for every tensor feeding a non-linear LUT operator.
+//! * [`QuantParams`] / [`calibrate_minmax`] — per-tensor quantization
+//!   parameters and min-max calibration (the initializer for LSQ).
+//! * [`requant_multiplier`] — the dyadic requantization glue of the
+//!   integer-only pipeline (ref. [15]): `M = Sx·Sw / Sy` as an integer
+//!   multiply + shift.
+//!
+//! ## Example
+//!
+//! ```
+//! use gqa_quant::{LsqQuantizer, PotLsqQuantizer};
+//! use gqa_fxp::IntRange;
+//!
+//! let mut q = PotLsqQuantizer::new(0.1, IntRange::signed(8));
+//! let (y, _) = q.forward(0.3);
+//! assert!((y - 0.3).abs() < q.scale().to_f64()); // within one step
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibrate;
+mod lsq;
+mod pipeline;
+mod pot;
+mod qparams;
+
+pub use calibrate::{calibrate_minmax, calibrate_percentile};
+pub use lsq::{LsqGrad, LsqQuantizer};
+pub use pipeline::{requant_multiplier, requant_shift};
+pub use pot::PotLsqQuantizer;
+pub use qparams::QuantParams;

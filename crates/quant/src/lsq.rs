@@ -1,0 +1,175 @@
+//! Learned Step-size Quantization (LSQ, Esser et al., ICLR 2020 — the
+//! paper's ref. [19]).
+
+use gqa_fxp::IntRange;
+
+/// Per-element gradient information from an LSQ forward pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LsqGrad {
+    /// ∂ŷ/∂x through the STE: 1 inside the clip range, 0 outside.
+    pub dx: f64,
+    /// ∂ŷ/∂s (LSQ's step gradient): `⌊v⌉ − v` inside the range, `Qn`/`Qp`
+    /// when clipped low/high (v = x/s).
+    pub ds: f64,
+}
+
+/// A learnable-step uniform quantizer.
+///
+/// Forward: `ŷ = s · clip(⌊x/s⌉, Qn, Qp)` (Eq. 2 with `S = s`).
+/// Backward follows LSQ exactly, including the `1/√(N·Qp)` gradient
+/// rescaling applied by [`LsqQuantizer::grad_scale`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsqQuantizer {
+    step: f64,
+    range: IntRange,
+}
+
+impl LsqQuantizer {
+    /// Creates a quantizer with initial step `s` and integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not finite and positive.
+    #[must_use]
+    pub fn new(step: f64, range: IntRange) -> Self {
+        assert!(step.is_finite() && step > 0.0, "LSQ step must be positive, got {step}");
+        Self { step, range }
+    }
+
+    /// Current step size `s`.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// The integer clip range.
+    #[must_use]
+    pub fn range(&self) -> IntRange {
+        self.range
+    }
+
+    /// Fake-quant forward with STE gradient bookkeeping.
+    #[must_use]
+    pub fn forward(&self, x: f64) -> (f64, LsqGrad) {
+        let v = x / self.step;
+        let qn = self.range.qn() as f64;
+        let qp = self.range.qp() as f64;
+        if v <= qn {
+            (self.step * qn, LsqGrad { dx: 0.0, ds: qn })
+        } else if v >= qp {
+            (self.step * qp, LsqGrad { dx: 0.0, ds: qp })
+        } else {
+            let r = v.round();
+            (self.step * r, LsqGrad { dx: 1.0, ds: r - v })
+        }
+    }
+
+    /// LSQ's gradient scale `g = 1/√(N·Qp)` for a tensor of `n` elements.
+    #[must_use]
+    pub fn grad_scale(&self, n: usize) -> f64 {
+        1.0 / ((n as f64) * self.range.qp() as f64).sqrt()
+    }
+
+    /// Applies an (already scaled) gradient step to the learnable step
+    /// size, clamping it positive.
+    pub fn update_step(&mut self, grad: f64, lr: f64) {
+        self.step = (self.step - lr * grad).max(1e-8);
+    }
+
+    /// Quantizes a whole slice, returning the fake-quantized values and the
+    /// accumulated step gradient (pre-`grad_scale`), given upstream
+    /// gradients `dy`.
+    #[must_use]
+    pub fn forward_slice(&self, xs: &[f32]) -> (Vec<f32>, Vec<LsqGrad>) {
+        let mut ys = Vec::with_capacity(xs.len());
+        let mut grads = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let (y, g) = self.forward(x as f64);
+            ys.push(y as f32);
+            grads.push(g);
+        }
+        (ys, grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> LsqQuantizer {
+        LsqQuantizer::new(0.1, IntRange::signed(8))
+    }
+
+    #[test]
+    fn forward_rounds_to_step_grid() {
+        let (y, g) = q().forward(0.234);
+        assert!((y - 0.2).abs() < 1e-12);
+        assert_eq!(g.dx, 1.0);
+        // ds = round(2.34) - 2.34 = -0.34
+        assert!((g.ds + 0.34).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipping_gradients() {
+        let (y_hi, g_hi) = q().forward(100.0);
+        assert!((y_hi - 12.7).abs() < 1e-12);
+        assert_eq!(g_hi.dx, 0.0);
+        assert_eq!(g_hi.ds, 127.0);
+        let (y_lo, g_lo) = q().forward(-100.0);
+        assert!((y_lo + 12.8).abs() < 1e-12);
+        assert_eq!(g_lo.ds, -128.0);
+    }
+
+    #[test]
+    fn grad_scale_formula() {
+        let g = q().grad_scale(1000);
+        assert!((g - 1.0 / (1000.0f64 * 127.0).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn step_learning_reduces_quant_error() {
+        // Gradient descent on the step should shrink the quantization error
+        // of a fixed dataset (coarse initial step).
+        let xs: Vec<f64> = (0..256).map(|i| (i as f64 / 255.0 - 0.5) * 2.0).collect();
+        let mut quant = LsqQuantizer::new(0.5, IntRange::signed(8));
+        let err = |q: &LsqQuantizer| -> f64 {
+            xs.iter()
+                .map(|&x| {
+                    let (y, _) = q.forward(x);
+                    (y - x) * (y - x)
+                })
+                .sum::<f64>()
+                / xs.len() as f64
+        };
+        let before = err(&quant);
+        for _ in 0..200 {
+            let mut gs = 0.0;
+            for &x in &xs {
+                let (y, g) = quant.forward(x);
+                gs += 2.0 * (y - x) * g.ds;
+            }
+            gs = gs / xs.len() as f64;
+            quant.update_step(gs, 0.05);
+        }
+        let after = err(&quant);
+        assert!(after < before / 10.0, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn step_stays_positive() {
+        let mut quant = q();
+        quant.update_step(1e12, 1.0);
+        assert!(quant.step() > 0.0);
+    }
+
+    #[test]
+    fn slice_forward_matches_scalar() {
+        let xs = [0.234f32, -0.081, 5.0];
+        let (ys, gs) = q().forward_slice(&xs);
+        for (i, &x) in xs.iter().enumerate() {
+            let (y, g) = q().forward(x as f64);
+            assert_eq!(ys[i], y as f32);
+            assert_eq!(gs[i], g);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Integer-only requantization glue (the dyadic pipeline, ref. [15]).
+
+use gqa_fxp::{Dyadic, PowerOfTwoScale};
+
+/// The requantization multiplier between an integer accumulator and the
+/// next layer's integer domain: `M = Sx·Sw / Sy`, expressed as a dyadic
+/// number applied by integer multiply + rounding shift.
+///
+/// When all three scales are powers of two the result is *exact* (a pure
+/// shift); otherwise it is the best 30-bit dyadic approximation.
+///
+/// # Example
+///
+/// ```
+/// use gqa_quant::requant_multiplier;
+/// let m = requant_multiplier(0.25, 0.5, 0.125);
+/// assert_eq!(m.to_f64(), 1.0); // 0.25*0.5/0.125
+/// assert_eq!(m.apply(42), 42);
+/// ```
+#[must_use]
+pub fn requant_multiplier(sx: f64, sw: f64, sy: f64) -> Dyadic {
+    assert!(sx > 0.0 && sw > 0.0 && sy > 0.0, "scales must be positive");
+    Dyadic::approximate_best(sx * sw / sy, 30)
+}
+
+/// Exact power-of-two requantization: `M = Sx·Sw/Sy` as a single shift.
+/// This is the path the paper's non-linear operators use (§3.1 restricts
+/// their scales to powers of two).
+#[must_use]
+pub fn requant_shift(
+    sx: PowerOfTwoScale,
+    sw: PowerOfTwoScale,
+    sy: PowerOfTwoScale,
+) -> PowerOfTwoScale {
+    sx * sw / sy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pot_requant_is_exact() {
+        let m = requant_multiplier(0.5, 0.25, 0.0625);
+        assert_eq!(m.to_f64(), 2.0);
+        assert_eq!(m.apply(21), 42);
+    }
+
+    #[test]
+    fn general_requant_close() {
+        let m = requant_multiplier(0.1, 0.3, 0.07);
+        let want = 0.1 * 0.3 / 0.07;
+        assert!((m.to_f64() - want).abs() < 1e-8);
+        let acc = 1_000_00i64;
+        assert!(((m.apply(acc) as f64) - acc as f64 * want).abs() < 1.0);
+    }
+
+    #[test]
+    fn shift_composition() {
+        let s = requant_shift(
+            PowerOfTwoScale::new(-4),
+            PowerOfTwoScale::new(-5),
+            PowerOfTwoScale::new(-6),
+        );
+        assert_eq!(s.exponent(), -3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = requant_multiplier(0.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Power-of-two LSQ (§3.1): `S = 2^⌊log2 α⌉` with learnable `α`.
+//!
+//! The paper restricts the scales feeding non-linear LUT operators to
+//! powers of two so the run-time intercept rescale is a shift. The
+//! learnable parameter is `α`; the forward scale snaps its log to the
+//! nearest integer, and the STE passes gradients through the rounding
+//! (`∂S/∂α ≈ S/α` in log space).
+
+use gqa_fxp::{IntRange, PowerOfTwoScale};
+
+use crate::lsq::LsqGrad;
+
+/// A power-of-two learned-scale quantizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PotLsqQuantizer {
+    alpha: f64,
+    range: IntRange,
+}
+
+impl PotLsqQuantizer {
+    /// Creates the quantizer with initial `α` (e.g. from min-max
+    /// calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite and positive.
+    #[must_use]
+    pub fn new(alpha: f64, range: IntRange) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive, got {alpha}");
+        Self { alpha, range }
+    }
+
+    /// The learnable parameter `α`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The snapped power-of-two scale `S = 2^⌊log2 α⌉`.
+    #[must_use]
+    pub fn scale(&self) -> PowerOfTwoScale {
+        PowerOfTwoScale::from_alpha(self.alpha)
+    }
+
+    /// The integer clip range.
+    #[must_use]
+    pub fn range(&self) -> IntRange {
+        self.range
+    }
+
+    /// Fake-quant forward using the snapped scale; gradients follow LSQ
+    /// with `s = S` and chain through `∂S/∂α = S/α` (log-STE).
+    #[must_use]
+    pub fn forward(&self, x: f64) -> (f64, LsqGrad) {
+        let s = self.scale().to_f64();
+        let v = x / s;
+        let qn = self.range.qn() as f64;
+        let qp = self.range.qp() as f64;
+        let (y, dx, ds) = if v <= qn {
+            (s * qn, 0.0, qn)
+        } else if v >= qp {
+            (s * qp, 0.0, qp)
+        } else {
+            let r = v.round();
+            (s * r, 1.0, r - v)
+        };
+        // Chain rule: ∂ŷ/∂α = (∂ŷ/∂S)·(S/α).
+        (y, LsqGrad { dx, ds: ds * s / self.alpha })
+    }
+
+    /// LSQ's gradient scale `g = 1/√(N·Qp)`.
+    #[must_use]
+    pub fn grad_scale(&self, n: usize) -> f64 {
+        1.0 / ((n as f64) * self.range.qp() as f64).sqrt()
+    }
+
+    /// Applies a gradient step to `α`, clamping it positive.
+    pub fn update_alpha(&mut self, grad: f64, lr: f64) {
+        self.alpha = (self.alpha - lr * grad).max(1e-8);
+    }
+
+    /// Fake-quantizes a slice (no gradients) — the inference path.
+    #[must_use]
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<f32> {
+        let s = self.scale();
+        xs.iter()
+            .map(|&x| gqa_fxp::fake_quantize(x as f64, s, self.range) as f32)
+            .collect()
+    }
+
+    /// The integer codes for a slice (the actual INT8 tensor).
+    #[must_use]
+    pub fn codes(&self, xs: &[f32]) -> Vec<i64> {
+        let s = self.scale();
+        xs.iter()
+            .map(|&x| gqa_fxp::quantize_value(x as f64, s, self.range))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_snaps_to_power_of_two() {
+        let q = PotLsqQuantizer::new(0.05, IntRange::signed(8));
+        // log2(0.05) = -4.32 → -4.
+        assert_eq!(q.scale().exponent(), -4);
+    }
+
+    #[test]
+    fn forward_lands_on_pot_grid() {
+        let q = PotLsqQuantizer::new(0.0625, IntRange::signed(8));
+        let (y, _) = q.forward(0.3);
+        let s = q.scale().to_f64();
+        assert!(((y / s) - (y / s).round()).abs() < 1e-12);
+        assert!((y - 0.3).abs() <= s / 2.0);
+    }
+
+    #[test]
+    fn alpha_learning_converges_to_cover_data() {
+        // Data in [-1, 1]; a good INT8 PoT scale is 2^-7 ≈ 0.0078
+        // (covers ±0.99). Start far off at α = 1.
+        let xs: Vec<f64> = (0..512).map(|i| (i as f64 / 511.0 - 0.5) * 2.0).collect();
+        let mut q = PotLsqQuantizer::new(1.0, IntRange::signed(8));
+        for _ in 0..600 {
+            let mut g = 0.0;
+            for &x in &xs {
+                let (y, lg) = q.forward(x);
+                g += 2.0 * (y - x) * lg.ds;
+            }
+            g /= xs.len() as f64;
+            q.update_alpha(g, 0.05);
+        }
+        let e = q.scale().exponent();
+        assert!((-8..=-6).contains(&e), "learned exponent {e}");
+    }
+
+    #[test]
+    fn codes_match_fake_quant() {
+        let q = PotLsqQuantizer::new(0.125, IntRange::signed(8));
+        let xs = [0.3f32, -0.9, 7.7];
+        let codes = q.codes(&xs);
+        let fake = q.quantize_slice(&xs);
+        for i in 0..xs.len() {
+            assert!(
+                (codes[i] as f64 * q.scale().to_f64() - fake[i] as f64).abs() < 1e-6
+            );
+        }
+    }
+
+    #[test]
+    fn clipped_codes_stay_in_range() {
+        let q = PotLsqQuantizer::new(0.01, IntRange::signed(8));
+        let codes = q.codes(&[1e9f32, -1e9]);
+        assert_eq!(codes, vec![127, -128]);
+    }
+}

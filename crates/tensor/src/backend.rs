@@ -1,0 +1,188 @@
+//! The pluggable non-linear operator backend.
+//!
+//! This is the seam the paper's model experiments hinge on: the same model
+//! graph runs with exact math (FP baseline) or with every GELU / HSWISH /
+//! EXP / DIV / RSQRT routed through an INT8 pwl LUT (Tables 4 and 5).
+
+/// The unary non-linear operators the graph can evaluate through a
+/// backend. The first five are the paper's Table-1 set (`Recip` is the
+/// paper's DIV, applied to Softmax/attention normalizers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryKind {
+    /// ReLU (never LUT-replaced — it is trivially integer).
+    Relu,
+    /// GELU.
+    Gelu,
+    /// HSWISH.
+    Hswish,
+    /// `e^x`.
+    Exp,
+    /// `1/x` (DIV).
+    Recip,
+    /// `1/√x` (RSQRT).
+    Rsqrt,
+    /// Sigmoid (extension).
+    Sigmoid,
+    /// Tanh (extension).
+    Tanh,
+}
+
+impl UnaryKind {
+    /// Exact evaluation (the FP32 reference path).
+    #[must_use]
+    pub fn exact(self, x: f64) -> f64 {
+        match self {
+            UnaryKind::Relu => gqa_funcs_relu(x),
+            UnaryKind::Gelu => gqa_gelu(x),
+            UnaryKind::Hswish => gqa_hswish(x),
+            UnaryKind::Exp => x.exp(),
+            UnaryKind::Recip => 1.0 / x,
+            UnaryKind::Rsqrt => 1.0 / x.sqrt(),
+            UnaryKind::Sigmoid => sigmoid(x),
+            UnaryKind::Tanh => x.tanh(),
+        }
+    }
+
+    /// Exact derivative — the backward pass always uses this (straight-
+    /// through estimation of the approximation error).
+    #[must_use]
+    pub fn exact_derivative(self, x: f64) -> f64 {
+        match self {
+            UnaryKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            UnaryKind::Gelu => {
+                // d/dx [x·Φ(x)] = Φ(x) + x·φ(x)
+                let phi = 0.5 * (1.0 + erf_approx(x / std::f64::consts::SQRT_2));
+                let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+                phi + x * pdf
+            }
+            UnaryKind::Hswish => {
+                if x <= -3.0 {
+                    0.0
+                } else if x >= 3.0 {
+                    1.0
+                } else {
+                    (2.0 * x + 3.0) / 6.0
+                }
+            }
+            UnaryKind::Exp => x.exp(),
+            UnaryKind::Recip => -1.0 / (x * x),
+            UnaryKind::Rsqrt => -0.5 / (x * x.sqrt()),
+            UnaryKind::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+            UnaryKind::Tanh => 1.0 - x.tanh() * x.tanh(),
+        }
+    }
+}
+
+/// Pluggable forward evaluator for [`UnaryKind`] operators.
+///
+/// Implementations must be deterministic. The backward pass never consults
+/// the backend — it uses the exact derivative, so LUT approximation error
+/// is handled by straight-through estimation exactly as in QAT fine-tuning.
+pub trait UnaryBackend: Send + Sync {
+    /// Evaluates `kind` at `x` (the forward value the graph records).
+    fn eval(&self, kind: UnaryKind, x: f64) -> f64;
+}
+
+/// The exact FP backend (baseline / "None" replacement row of Tables 4–5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactBackend;
+
+impl UnaryBackend for ExactBackend {
+    fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
+        kind.exact(x)
+    }
+}
+
+// Small local copies of the reference functions to keep this crate
+// dependency-free (gqa-funcs depends on nothing, but tensor is meant to be
+// reusable standalone; exactness is asserted against gqa-funcs in the
+// models crate's tests).
+
+fn gqa_funcs_relu(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+fn gqa_hswish(x: f64) -> f64 {
+    x * (x + 3.0).clamp(0.0, 6.0) / 6.0
+}
+
+fn gqa_gelu(x: f64) -> f64 {
+    0.5 * x * (1.0 + erf_approx(x / std::f64::consts::SQRT_2))
+}
+
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Abramowitz–Stegun 7.1.26 rational approximation of erf (|ε| < 1.5e-7),
+/// accurate far beyond f32 training noise.
+fn erf_approx(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values() {
+        assert_eq!(ExactBackend.eval(UnaryKind::Relu, -1.0), 0.0);
+        assert_eq!(ExactBackend.eval(UnaryKind::Recip, 4.0), 0.25);
+        assert_eq!(ExactBackend.eval(UnaryKind::Rsqrt, 4.0), 0.5);
+        assert!((ExactBackend.eval(UnaryKind::Gelu, 1.0) - 0.8413447).abs() < 1e-6);
+        assert_eq!(ExactBackend.eval(UnaryKind::Hswish, 3.0), 3.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let kinds = [
+            (UnaryKind::Gelu, -2.0..2.0),
+            (UnaryKind::Hswish, -2.5..2.5),
+            (UnaryKind::Exp, -3.0..0.0),
+            (UnaryKind::Recip, 0.5..4.0),
+            (UnaryKind::Rsqrt, 0.5..4.0),
+            (UnaryKind::Sigmoid, -3.0..3.0),
+            (UnaryKind::Tanh, -3.0..3.0),
+        ];
+        for (kind, range) in kinds {
+            for i in 0..40 {
+                let x = range.start + (range.end - range.start) * i as f64 / 39.0;
+                let h = 1e-5;
+                let fd = (kind.exact(x + h) - kind.exact(x - h)) / (2.0 * h);
+                let an = kind.exact_derivative(x);
+                assert!(
+                    (fd - an).abs() < 1e-3 * (1.0 + an.abs()),
+                    "{kind:?} at {x}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_derivative_is_step() {
+        assert_eq!(UnaryKind::Relu.exact_derivative(1.0), 1.0);
+        assert_eq!(UnaryKind::Relu.exact_derivative(-1.0), 0.0);
+    }
+}

@@ -1,0 +1,1202 @@
+//! The eager autodiff tape.
+//!
+//! Every op computes its value immediately and records its inputs; the
+//! reverse pass walks nodes in descending id order (a valid reverse
+//! topological order because inputs always precede outputs).
+
+use crate::backend::{UnaryBackend, UnaryKind};
+use crate::tensor_impl::{ParamId, ParamStore, Tensor};
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Add(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Scale(NodeId, f32),
+    AddScalar(NodeId, f32),
+    AddBiasLast(NodeId, NodeId),
+    AddBiasChannel(NodeId, NodeId),
+    Unary(NodeId, UnaryKind),
+    Matmul(NodeId, NodeId),
+    BatchMatmul(NodeId, NodeId),
+    TransposeLast2(NodeId),
+    Reshape(NodeId),
+    RowMaxSubDetach(NodeId),
+    RowSum(NodeId),
+    RowMean(NodeId),
+    MulRow(NodeId, NodeId),
+    SubRow(NodeId, NodeId),
+    Conv2d { x: NodeId, w: NodeId, stride: usize, pad: usize, groups: usize },
+    UpsampleNearest(NodeId, usize),
+    ConcatChannels(Vec<NodeId>),
+    CrossEntropy { logits: NodeId, targets: Vec<u32>, ignore: u32 },
+    MseLoss(NodeId, NodeId),
+    MeanAll(NodeId),
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    param: Option<ParamId>,
+}
+
+/// An eager reverse-mode autodiff tape bound to a [`UnaryBackend`].
+pub struct Graph<'b> {
+    backend: &'b dyn UnaryBackend,
+    nodes: Vec<Node>,
+    grads: Vec<Option<Vec<f32>>>,
+}
+
+impl std::fmt::Debug for Graph<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph").field("nodes", &self.nodes.len()).finish()
+    }
+}
+
+impl<'b> Graph<'b> {
+    /// New empty tape using `backend` for the non-linear unaries.
+    #[must_use]
+    pub fn new(backend: &'b dyn UnaryBackend) -> Self {
+        Self { backend, nodes: Vec::new(), grads: Vec::new() }
+    }
+
+    fn push(&mut self, op: Op, value: Tensor, param: Option<ParamId>) -> NodeId {
+        self.nodes.push(Node { op, value, param });
+        self.grads.push(None);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// The value computed at `id`.
+    #[must_use]
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// The gradient at `id` (after [`Graph::backward`]); `None` if the node
+    /// did not influence the loss.
+    #[must_use]
+    pub fn grad(&self, id: NodeId) -> Option<&[f32]> {
+        self.grads[id.0].as_deref()
+    }
+
+    /// Number of nodes on the tape.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- leaf constructors ----
+
+    /// Records a constant input.
+    pub fn input(&mut self, t: Tensor) -> NodeId {
+        self.push(Op::Leaf, t, None)
+    }
+
+    /// Records a parameter read from the store (the gradient flows back to
+    /// it via [`Graph::accumulate_grads`]).
+    pub fn param(&mut self, ps: &ParamStore, id: ParamId) -> NodeId {
+        self.push(Op::Leaf, ps.value(id).clone(), Some(id))
+    }
+
+    // ---- elementwise ----
+
+    /// `a + b` (same shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.shape, tb.shape, "add shape mismatch");
+        let data = ta.data.iter().zip(&tb.data).map(|(x, y)| x + y).collect();
+        let t = Tensor::from_vec(data, &ta.shape.clone());
+        self.push(Op::Add(a, b), t, None)
+    }
+
+    /// `a ⊙ b` (same shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.shape, tb.shape, "mul shape mismatch");
+        let data = ta.data.iter().zip(&tb.data).map(|(x, y)| x * y).collect();
+        let t = Tensor::from_vec(data, &ta.shape.clone());
+        self.push(Op::Mul(a, b), t, None)
+    }
+
+    /// `c · x`.
+    pub fn scale(&mut self, x: NodeId, c: f32) -> NodeId {
+        let tx = &self.nodes[x.0].value;
+        let t = Tensor::from_vec(tx.data.iter().map(|v| v * c).collect(), &tx.shape.clone());
+        self.push(Op::Scale(x, c), t, None)
+    }
+
+    /// `x + c` elementwise.
+    pub fn add_scalar(&mut self, x: NodeId, c: f32) -> NodeId {
+        let tx = &self.nodes[x.0].value;
+        let t = Tensor::from_vec(tx.data.iter().map(|v| v + c).collect(), &tx.shape.clone());
+        self.push(Op::AddScalar(x, c), t, None)
+    }
+
+    /// `x + b` with `b` broadcast over the last dimension
+    /// (`x: (…, C)`, `b: (C)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not 1-D matching `x`'s last dimension.
+    pub fn add_bias_last(&mut self, x: NodeId, b: NodeId) -> NodeId {
+        let (tx, tb) = (&self.nodes[x.0].value, &self.nodes[b.0].value);
+        let c = *tx.shape.last().expect("non-scalar");
+        assert_eq!(tb.shape, vec![c], "bias must be ({c})");
+        let mut data = tx.data.clone();
+        for (i, v) in data.iter_mut().enumerate() {
+            *v += tb.data[i % c];
+        }
+        let t = Tensor::from_vec(data, &tx.shape.clone());
+        self.push(Op::AddBiasLast(x, b), t, None)
+    }
+
+    /// `x + b` with `b` broadcast per channel (`x: (B, C, H, W)`, `b: (C)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x` is 4-D and `b` is `(C)`.
+    pub fn add_bias_channel(&mut self, x: NodeId, b: NodeId) -> NodeId {
+        let (tx, tb) = (&self.nodes[x.0].value, &self.nodes[b.0].value);
+        assert_eq!(tx.shape.len(), 4, "expected NCHW input");
+        let (c, hw) = (tx.shape[1], tx.shape[2] * tx.shape[3]);
+        assert_eq!(tb.shape, vec![c], "bias must be ({c})");
+        let mut data = tx.data.clone();
+        for (i, v) in data.iter_mut().enumerate() {
+            *v += tb.data[(i / hw) % c];
+        }
+        let t = Tensor::from_vec(data, &tx.shape.clone());
+        self.push(Op::AddBiasChannel(x, b), t, None)
+    }
+
+    /// Applies a non-linear unary through the backend (the LUT hook).
+    pub fn unary(&mut self, x: NodeId, kind: UnaryKind) -> NodeId {
+        let tx = &self.nodes[x.0].value;
+        let data = tx
+            .data
+            .iter()
+            .map(|&v| self.backend.eval(kind, v as f64) as f32)
+            .collect();
+        let t = Tensor::from_vec(data, &tx.shape.clone());
+        self.push(Op::Unary(x, kind), t, None)
+    }
+
+    // ---- linear algebra ----
+
+    /// 2-D matrix product `(m, k) × (k, n) → (m, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(tb.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (ta.shape[0], ta.shape[1]);
+        let (k2, n) = (tb.shape[0], tb.shape[1]);
+        assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        matmul_acc(&ta.data, &tb.data, &mut out, m, k, n);
+        self.push(Op::Matmul(a, b), Tensor::from_vec(out, &[m, n]), None)
+    }
+
+    /// Batched matrix product `(b, m, k) × (b, k, n) → (b, m, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch.
+    pub fn batch_matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.shape.len(), 3, "batch_matmul lhs must be 3-D");
+        assert_eq!(tb.shape.len(), 3, "batch_matmul rhs must be 3-D");
+        let (bs, m, k) = (ta.shape[0], ta.shape[1], ta.shape[2]);
+        assert_eq!(tb.shape[0], bs, "batch sizes differ");
+        assert_eq!(tb.shape[1], k, "inner dimensions differ");
+        let n = tb.shape[2];
+        let mut out = vec![0.0f32; bs * m * n];
+        for i in 0..bs {
+            matmul_acc(
+                &ta.data[i * m * k..(i + 1) * m * k],
+                &tb.data[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        self.push(Op::BatchMatmul(a, b), Tensor::from_vec(out, &[bs, m, n]), None)
+    }
+
+    /// Transposes the last two dimensions of a 3-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not 3-D.
+    pub fn transpose_last2(&mut self, x: NodeId) -> NodeId {
+        let tx = &self.nodes[x.0].value;
+        assert_eq!(tx.shape.len(), 3, "transpose_last2 expects 3-D");
+        let (b, m, n) = (tx.shape[0], tx.shape[1], tx.shape[2]);
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            for r in 0..m {
+                for c in 0..n {
+                    out[i * m * n + c * m + r] = tx.data[i * m * n + r * n + c];
+                }
+            }
+        }
+        self.push(Op::TransposeLast2(x), Tensor::from_vec(out, &[b, n, m]), None)
+    }
+
+    /// Reinterprets the shape (free; gradient passes through).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&mut self, x: NodeId, shape: &[usize]) -> NodeId {
+        let t = self.nodes[x.0].value.clone().reshape(shape);
+        self.push(Op::Reshape(x), t, None)
+    }
+
+    // ---- row-wise ops (tensor viewed as (rows, last-dim)) ----
+
+    /// `x − max(x)` per row with the max detached (the standard stable-
+    /// softmax shift; gradient passes through the identity path only).
+    pub fn row_max_sub_detach(&mut self, x: NodeId) -> NodeId {
+        let tx = &self.nodes[x.0].value;
+        let c = *tx.shape.last().expect("non-scalar");
+        let mut data = tx.data.clone();
+        for row in data.chunks_mut(c) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            row.iter_mut().for_each(|v| *v -= m);
+        }
+        let t = Tensor::from_vec(data, &tx.shape.clone());
+        self.push(Op::RowMaxSubDetach(x), t, None)
+    }
+
+    /// Per-row sum: `(…, C) → (rows, 1)`.
+    pub fn row_sum(&mut self, x: NodeId) -> NodeId {
+        let tx = &self.nodes[x.0].value;
+        let c = *tx.shape.last().expect("non-scalar");
+        let rows = tx.len() / c;
+        let data: Vec<f32> = tx.data.chunks(c).map(|r| r.iter().sum()).collect();
+        self.push(Op::RowSum(x), Tensor::from_vec(data, &[rows, 1]), None)
+    }
+
+    /// Per-row mean: `(…, C) → (rows, 1)`.
+    pub fn row_mean(&mut self, x: NodeId) -> NodeId {
+        let tx = &self.nodes[x.0].value;
+        let c = *tx.shape.last().expect("non-scalar");
+        let rows = tx.len() / c;
+        let data: Vec<f32> =
+            tx.data.chunks(c).map(|r| r.iter().sum::<f32>() / c as f32).collect();
+        self.push(Op::RowMean(x), Tensor::from_vec(data, &[rows, 1]), None)
+    }
+
+    /// `x ⊙ r` with `r: (rows, 1)` broadcast across each row of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r`'s row count does not match.
+    pub fn mul_row(&mut self, x: NodeId, r: NodeId) -> NodeId {
+        let (tx, tr) = (&self.nodes[x.0].value, &self.nodes[r.0].value);
+        let c = *tx.shape.last().expect("non-scalar");
+        let rows = tx.len() / c;
+        assert_eq!(tr.len(), rows, "row-vector length mismatch");
+        let mut data = tx.data.clone();
+        for (i, row) in data.chunks_mut(c).enumerate() {
+            let f = tr.data[i];
+            row.iter_mut().for_each(|v| *v *= f);
+        }
+        let t = Tensor::from_vec(data, &tx.shape.clone());
+        self.push(Op::MulRow(x, r), t, None)
+    }
+
+    /// `x − r` with `r: (rows, 1)` broadcast across each row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r`'s row count does not match.
+    pub fn sub_row(&mut self, x: NodeId, r: NodeId) -> NodeId {
+        let (tx, tr) = (&self.nodes[x.0].value, &self.nodes[r.0].value);
+        let c = *tx.shape.last().expect("non-scalar");
+        let rows = tx.len() / c;
+        assert_eq!(tr.len(), rows, "row-vector length mismatch");
+        let mut data = tx.data.clone();
+        for (i, row) in data.chunks_mut(c).enumerate() {
+            let s = tr.data[i];
+            row.iter_mut().for_each(|v| *v -= s);
+        }
+        let t = Tensor::from_vec(data, &tx.shape.clone());
+        self.push(Op::SubRow(x, r), t, None)
+    }
+
+    // ---- convolution & image ops ----
+
+    /// 2-D convolution: `x: (B, Cin, H, W)`, `w: (Cout, Cin/groups, kh, kw)`,
+    /// square stride/padding, grouped (set `groups = Cin = Cout` for
+    /// depthwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or divisibility violations.
+    pub fn conv2d(
+        &mut self,
+        x: NodeId,
+        w: NodeId,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> NodeId {
+        let (tx, tw) = (&self.nodes[x.0].value, &self.nodes[w.0].value);
+        let out = conv2d_forward(tx, tw, stride, pad, groups);
+        self.push(Op::Conv2d { x, w, stride, pad, groups }, out, None)
+    }
+
+    /// Nearest-neighbour upsampling by an integer factor on NCHW.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not 4-D or `factor == 0`.
+    pub fn upsample_nearest(&mut self, x: NodeId, factor: usize) -> NodeId {
+        let tx = &self.nodes[x.0].value;
+        assert_eq!(tx.shape.len(), 4, "expected NCHW");
+        assert!(factor >= 1, "factor must be >= 1");
+        let (b, c, h, w) = (tx.shape[0], tx.shape[1], tx.shape[2], tx.shape[3]);
+        let (oh, ow) = (h * factor, w * factor);
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        for bi in 0..b * c {
+            let src = &tx.data[bi * h * w..(bi + 1) * h * w];
+            let dst = &mut out[bi * oh * ow..(bi + 1) * oh * ow];
+            for y in 0..oh {
+                for xx in 0..ow {
+                    dst[y * ow + xx] = src[(y / factor) * w + (xx / factor)];
+                }
+            }
+        }
+        self.push(
+            Op::UpsampleNearest(x, factor),
+            Tensor::from_vec(out, &[b, c, oh, ow]),
+            None,
+        )
+    }
+
+    /// Concatenates NCHW tensors along the channel axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if spatial/batch dims differ or the list is empty.
+    pub fn concat_channels(&mut self, xs: &[NodeId]) -> NodeId {
+        assert!(!xs.is_empty(), "concat of nothing");
+        let shapes: Vec<Vec<usize>> =
+            xs.iter().map(|&id| self.nodes[id.0].value.shape.clone()).collect();
+        let (b, h, w) = (shapes[0][0], shapes[0][2], shapes[0][3]);
+        for s in &shapes {
+            assert_eq!(s.len(), 4, "expected NCHW");
+            assert_eq!((s[0], s[2], s[3]), (b, h, w), "concat spatial mismatch");
+        }
+        let c_total: usize = shapes.iter().map(|s| s[1]).sum();
+        let mut out = vec![0.0f32; b * c_total * h * w];
+        for bi in 0..b {
+            let mut c_off = 0usize;
+            for (&id, s) in xs.iter().zip(&shapes) {
+                let c = s[1];
+                let src = &self.nodes[id.0].value.data[bi * c * h * w..(bi + 1) * c * h * w];
+                let dst_start = bi * c_total * h * w + c_off * h * w;
+                out[dst_start..dst_start + c * h * w].copy_from_slice(src);
+                c_off += c;
+            }
+        }
+        self.push(
+            Op::ConcatChannels(xs.to_vec()),
+            Tensor::from_vec(out, &[b, c_total, h, w]),
+            None,
+        )
+    }
+
+    // ---- losses ----
+
+    /// Pixel-wise cross-entropy over NCHW logits with `(B·H·W)` class
+    /// targets; targets equal to `ignore` are skipped. Returns a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if target length ≠ B·H·W or every pixel is ignored.
+    pub fn cross_entropy_nchw(&mut self, logits: NodeId, targets: &[u32], ignore: u32) -> NodeId {
+        let tl = &self.nodes[logits.0].value;
+        assert_eq!(tl.shape.len(), 4, "expected NCHW logits");
+        let (b, c, h, w) = (tl.shape[0], tl.shape[1], tl.shape[2], tl.shape[3]);
+        assert_eq!(targets.len(), b * h * w, "target count mismatch");
+        let mut loss = 0.0f64;
+        let mut count = 0usize;
+        for bi in 0..b {
+            for y in 0..h {
+                for xx in 0..w {
+                    let t = targets[bi * h * w + y * w + xx];
+                    if t == ignore {
+                        continue;
+                    }
+                    assert!((t as usize) < c, "target class {t} out of range");
+                    let (lse, _) = logsumexp_pixel(tl, bi, y, xx, c, h, w);
+                    let logit_t =
+                        tl.data[((bi * c + t as usize) * h + y) * w + xx] as f64;
+                    loss += lse - logit_t;
+                    count += 1;
+                }
+            }
+        }
+        assert!(count > 0, "all pixels ignored");
+        let t = Tensor::from_vec(vec![(loss / count as f64) as f32], &[1]);
+        self.push(
+            Op::CrossEntropy { logits, targets: targets.to_vec(), ignore },
+            t,
+            None,
+        )
+    }
+
+    /// Mean squared error between two same-shape tensors (scalar output).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mse_loss(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.shape, tb.shape, "mse shape mismatch");
+        let n = ta.len() as f64;
+        let loss: f64 = ta
+            .data
+            .iter()
+            .zip(&tb.data)
+            .map(|(&x, &y)| ((x - y) as f64).powi(2))
+            .sum::<f64>()
+            / n;
+        self.push(Op::MseLoss(a, b), Tensor::from_vec(vec![loss as f32], &[1]), None)
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&mut self, x: NodeId) -> NodeId {
+        let m = self.nodes[x.0].value.mean();
+        self.push(Op::MeanAll(x), Tensor::from_vec(vec![m], &[1]), None)
+    }
+
+    // ---- composite helpers (assembled from hookable primitives) ----
+
+    /// Numerically stable softmax over the last dimension, assembled from
+    /// `row_max_sub_detach → exp → row_sum → recip → mul_row` so that EXP
+    /// and DIV go through the backend (the paper's Softmax decomposition).
+    pub fn softmax_rows(&mut self, x: NodeId) -> NodeId {
+        let shifted = self.row_max_sub_detach(x);
+        let e = self.unary(shifted, UnaryKind::Exp);
+        let s = self.row_sum(e);
+        let inv = self.unary(s, UnaryKind::Recip);
+        self.mul_row(e, inv)
+    }
+
+    /// LayerNorm over the last dimension (no affine), assembled from
+    /// hookable primitives: mean/variance reductions and an RSQRT unary.
+    pub fn layernorm_rows(&mut self, x: NodeId, eps: f32) -> NodeId {
+        let mu = self.row_mean(x);
+        let centered = self.sub_row(x, mu);
+        let sq = self.mul(centered, centered);
+        let var = self.row_mean(sq);
+        let var_eps = self.add_scalar(var, eps);
+        let inv_std = self.unary(var_eps, UnaryKind::Rsqrt);
+        self.mul_row(centered, inv_std)
+    }
+
+    // ---- backward ----
+
+    /// Runs the reverse pass from a scalar loss node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&mut self, loss: NodeId) {
+        assert_eq!(self.nodes[loss.0].value.len(), 1, "loss must be scalar");
+        for g in &mut self.grads {
+            *g = None;
+        }
+        self.grads[loss.0] = Some(vec![1.0]);
+        for i in (0..self.nodes.len()).rev() {
+            let Some(dy) = self.grads[i].take() else { continue };
+            self.backprop_node(i, &dy);
+            self.grads[i] = Some(dy);
+        }
+    }
+
+    /// Adds each parameter node's gradient into the store.
+    pub fn accumulate_grads(&self, ps: &mut ParamStore) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let (Some(pid), Some(g)) = (node.param, self.grads[i].as_ref()) {
+                ps.accumulate(pid, g);
+            }
+        }
+    }
+
+    fn acc(&mut self, id: NodeId, delta: &[f32]) {
+        let slot = &mut self.grads[id.0];
+        match slot {
+            Some(g) => {
+                for (gi, &di) in g.iter_mut().zip(delta) {
+                    *gi += di;
+                }
+            }
+            None => *slot = Some(delta.to_vec()),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn backprop_node(&mut self, i: usize, dy: &[f32]) {
+        // Clone the op descriptor (cheap) to decouple borrows.
+        let op = self.nodes[i].op.clone();
+        match op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                self.acc(a, dy);
+                self.acc(b, dy);
+            }
+            Op::Mul(a, b) => {
+                let da: Vec<f32> =
+                    dy.iter().zip(&self.nodes[b.0].value.data).map(|(&d, &v)| d * v).collect();
+                let db: Vec<f32> =
+                    dy.iter().zip(&self.nodes[a.0].value.data).map(|(&d, &v)| d * v).collect();
+                self.acc(a, &da);
+                self.acc(b, &db);
+            }
+            Op::Scale(x, c) => {
+                let dx: Vec<f32> = dy.iter().map(|&d| d * c).collect();
+                self.acc(x, &dx);
+            }
+            Op::AddScalar(x, c) => {
+                debug_assert!(c.is_finite());
+                self.acc(x, dy);
+            }
+            Op::AddBiasLast(x, b) => {
+                self.acc(x, dy);
+                let c = self.nodes[b.0].value.len();
+                let mut db = vec![0.0f32; c];
+                for (j, &d) in dy.iter().enumerate() {
+                    db[j % c] += d;
+                }
+                self.acc(b, &db);
+            }
+            Op::AddBiasChannel(x, b) => {
+                self.acc(x, dy);
+                let shape = self.nodes[x.0].value.shape.clone();
+                let (c, hw) = (shape[1], shape[2] * shape[3]);
+                let mut db = vec![0.0f32; c];
+                for (j, &d) in dy.iter().enumerate() {
+                    db[(j / hw) % c] += d;
+                }
+                self.acc(b, &db);
+            }
+            Op::Unary(x, kind) => {
+                let dx: Vec<f32> = self.nodes[x.0]
+                    .value
+                    .data
+                    .iter()
+                    .zip(dy)
+                    .map(|(&v, &d)| d * kind.exact_derivative(v as f64) as f32)
+                    .collect();
+                self.acc(x, &dx);
+            }
+            Op::Matmul(a, b) => {
+                let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                let (m, k) = (ta.shape[0], ta.shape[1]);
+                let n = tb.shape[1];
+                // dA = dY · Bᵀ ; dB = Aᵀ · dY
+                let mut da = vec![0.0f32; m * k];
+                let mut db = vec![0.0f32; k * n];
+                matmul_nt(dy, &tb.data, &mut da, m, n, k);
+                matmul_tn(&ta.data, dy, &mut db, m, k, n);
+                self.acc(a, &da);
+                self.acc(b, &db);
+            }
+            Op::BatchMatmul(a, b) => {
+                let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                let (bs, m, k) = (ta.shape[0], ta.shape[1], ta.shape[2]);
+                let n = tb.shape[2];
+                let mut da = vec![0.0f32; bs * m * k];
+                let mut db = vec![0.0f32; bs * k * n];
+                for bi in 0..bs {
+                    matmul_nt(
+                        &dy[bi * m * n..(bi + 1) * m * n],
+                        &tb.data[bi * k * n..(bi + 1) * k * n],
+                        &mut da[bi * m * k..(bi + 1) * m * k],
+                        m,
+                        n,
+                        k,
+                    );
+                    matmul_tn(
+                        &ta.data[bi * m * k..(bi + 1) * m * k],
+                        &dy[bi * m * n..(bi + 1) * m * n],
+                        &mut db[bi * k * n..(bi + 1) * k * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                self.acc(a, &da);
+                self.acc(b, &db);
+            }
+            Op::TransposeLast2(x) => {
+                let shape = self.nodes[i].value.shape.clone(); // (b, n, m)
+                let (b, n, m) = (shape[0], shape[1], shape[2]);
+                let mut dx = vec![0.0f32; b * m * n];
+                for bi in 0..b {
+                    for r in 0..n {
+                        for c in 0..m {
+                            dx[bi * m * n + c * n + r] = dy[bi * m * n + r * m + c];
+                        }
+                    }
+                }
+                self.acc(x, &dx);
+            }
+            Op::Reshape(x) => self.acc(x, dy),
+            Op::RowMaxSubDetach(x) => self.acc(x, dy),
+            Op::RowSum(x) => {
+                let c = *self.nodes[x.0].value.shape.last().expect("non-scalar");
+                let mut dx = Vec::with_capacity(self.nodes[x.0].value.len());
+                for &d in dy {
+                    dx.extend(std::iter::repeat_n(d, c));
+                }
+                self.acc(x, &dx);
+            }
+            Op::RowMean(x) => {
+                let c = *self.nodes[x.0].value.shape.last().expect("non-scalar");
+                let inv = 1.0 / c as f32;
+                let mut dx = Vec::with_capacity(self.nodes[x.0].value.len());
+                for &d in dy {
+                    dx.extend(std::iter::repeat_n(d * inv, c));
+                }
+                self.acc(x, &dx);
+            }
+            Op::MulRow(x, r) => {
+                let tx = &self.nodes[x.0].value;
+                let c = *tx.shape.last().expect("non-scalar");
+                let tr = &self.nodes[r.0].value;
+                let mut dx = vec![0.0f32; tx.len()];
+                let mut dr = vec![0.0f32; tr.len()];
+                for (row_idx, drow) in dy.chunks(c).enumerate() {
+                    let f = tr.data[row_idx];
+                    for (j, &d) in drow.iter().enumerate() {
+                        dx[row_idx * c + j] = d * f;
+                        dr[row_idx] += d * tx.data[row_idx * c + j];
+                    }
+                }
+                self.acc(x, &dx);
+                self.acc(r, &dr);
+            }
+            Op::SubRow(x, r) => {
+                self.acc(x, dy);
+                let c = *self.nodes[x.0].value.shape.last().expect("non-scalar");
+                let dr: Vec<f32> = dy.chunks(c).map(|row| -row.iter().sum::<f32>()).collect();
+                self.acc(r, &dr);
+            }
+            Op::Conv2d { x, w, stride, pad, groups } => {
+                let (dx, dw) = conv2d_backward(
+                    &self.nodes[x.0].value,
+                    &self.nodes[w.0].value,
+                    dy,
+                    &self.nodes[i].value.shape,
+                    stride,
+                    pad,
+                    groups,
+                );
+                self.acc(x, &dx);
+                self.acc(w, &dw);
+            }
+            Op::UpsampleNearest(x, factor) => {
+                let xs = self.nodes[x.0].value.shape.clone();
+                let (b, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
+                let (oh, ow) = (h * factor, w * factor);
+                let mut dx = vec![0.0f32; b * c * h * w];
+                for bi in 0..b * c {
+                    let dsrc = &dy[bi * oh * ow..(bi + 1) * oh * ow];
+                    let ddst = &mut dx[bi * h * w..(bi + 1) * h * w];
+                    for y in 0..oh {
+                        for xx in 0..ow {
+                            ddst[(y / factor) * w + (xx / factor)] += dsrc[y * ow + xx];
+                        }
+                    }
+                }
+                self.acc(x, &dx);
+            }
+            Op::ConcatChannels(xs) => {
+                let out_shape = self.nodes[i].value.shape.clone();
+                let (b, c_total, h, w) =
+                    (out_shape[0], out_shape[1], out_shape[2], out_shape[3]);
+                let mut c_off = 0usize;
+                for &id in &xs {
+                    let c = self.nodes[id.0].value.shape[1];
+                    let mut dx = vec![0.0f32; b * c * h * w];
+                    for bi in 0..b {
+                        let src_start = bi * c_total * h * w + c_off * h * w;
+                        dx[bi * c * h * w..(bi + 1) * c * h * w]
+                            .copy_from_slice(&dy[src_start..src_start + c * h * w]);
+                    }
+                    self.acc(id, &dx);
+                    c_off += c;
+                }
+            }
+            Op::CrossEntropy { logits, targets, ignore } => {
+                let tl = &self.nodes[logits.0].value;
+                let (b, c, h, w) = (tl.shape[0], tl.shape[1], tl.shape[2], tl.shape[3]);
+                let count = targets.iter().filter(|&&t| t != ignore).count() as f32;
+                let scale = dy[0] / count;
+                let mut dx = vec![0.0f32; tl.len()];
+                for bi in 0..b {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            let t = targets[bi * h * w + y * w + xx];
+                            if t == ignore {
+                                continue;
+                            }
+                            let (lse, maxv) = logsumexp_pixel(tl, bi, y, xx, c, h, w);
+                            let denom = (lse - maxv).exp();
+                            for cls in 0..c {
+                                let idx = ((bi * c + cls) * h + y) * w + xx;
+                                let p =
+                                    ((tl.data[idx] as f64 - maxv).exp() / denom) as f32;
+                                let onehot = if cls == t as usize { 1.0 } else { 0.0 };
+                                dx[idx] += scale * (p - onehot);
+                            }
+                        }
+                    }
+                }
+                self.acc(logits, &dx);
+            }
+            Op::MseLoss(a, b) => {
+                let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                let n = ta.len() as f32;
+                let scale = dy[0] * 2.0 / n;
+                let da: Vec<f32> =
+                    ta.data.iter().zip(&tb.data).map(|(&x, &y)| scale * (x - y)).collect();
+                let db: Vec<f32> = da.iter().map(|&d| -d).collect();
+                self.acc(a, &da);
+                self.acc(b, &db);
+            }
+            Op::MeanAll(x) => {
+                let n = self.nodes[x.0].value.len();
+                let dx = vec![dy[0] / n as f32; n];
+                self.acc(x, &dx);
+            }
+        }
+    }
+}
+
+/// `out += A·B` for row-major `(m,k)·(k,n)`.
+fn matmul_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+/// `out += A·Bᵀ` where `A: (m,n)`, `B: (k,n)` → `out: (m,k)`.
+fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    for i in 0..m {
+        for j in 0..k {
+            let mut s = 0.0f32;
+            let arow = &a[i * n..(i + 1) * n];
+            let brow = &b[j * n..(j + 1) * n];
+            for p in 0..n {
+                s += arow[p] * brow[p];
+            }
+            out[i * k + j] += s;
+        }
+    }
+}
+
+/// `out += Aᵀ·B` where `A: (m,k)`, `B: (m,n)` → `out: (k,n)`.
+fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for p in 0..m {
+        for i in 0..k {
+            let av = a[p * k + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+fn conv2d_forward(x: &Tensor, w: &Tensor, stride: usize, pad: usize, groups: usize) -> Tensor {
+    assert_eq!(x.shape.len(), 4, "conv input must be NCHW");
+    assert_eq!(w.shape.len(), 4, "conv weight must be (Cout, Cin/g, kh, kw)");
+    assert!(stride >= 1, "stride must be >= 1");
+    let (b, cin, h, wd) = (x.shape[0], x.shape[1], x.shape[2], x.shape[3]);
+    let (cout, cig, kh, kw) = (w.shape[0], w.shape[1], w.shape[2], w.shape[3]);
+    assert_eq!(cin % groups, 0, "Cin not divisible by groups");
+    assert_eq!(cout % groups, 0, "Cout not divisible by groups");
+    assert_eq!(cig, cin / groups, "weight channel mismatch");
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (wd + 2 * pad - kw) / stride + 1;
+    let mut out = vec![0.0f32; b * cout * oh * ow];
+    let cog = cout / groups;
+    for bi in 0..b {
+        for g in 0..groups {
+            for oc in 0..cog {
+                let oc_abs = g * cog + oc;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ic in 0..cig {
+                            let ic_abs = g * cig + ic;
+                            for ky in 0..kh {
+                                let iy = oy * stride + ky;
+                                if iy < pad || iy - pad >= h {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = ox * stride + kx;
+                                    if ix < pad || ix - pad >= wd {
+                                        continue;
+                                    }
+                                    let xv = x.data
+                                        [((bi * cin + ic_abs) * h + (iy - pad)) * wd + (ix - pad)];
+                                    let wv =
+                                        w.data[((oc_abs * cig + ic) * kh + ky) * kw + kx];
+                                    acc += xv * wv;
+                                }
+                            }
+                        }
+                        out[((bi * cout + oc_abs) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, cout, oh, ow])
+}
+
+fn conv2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &[f32],
+    out_shape: &[usize],
+    stride: usize,
+    pad: usize,
+    groups: usize,
+) -> (Vec<f32>, Vec<f32>) {
+    let (b, cin, h, wd) = (x.shape[0], x.shape[1], x.shape[2], x.shape[3]);
+    let (cout, cig, kh, kw) = (w.shape[0], w.shape[1], w.shape[2], w.shape[3]);
+    let (oh, ow) = (out_shape[2], out_shape[3]);
+    let cog = cout / groups;
+    let mut dx = vec![0.0f32; x.len()];
+    let mut dw = vec![0.0f32; w.len()];
+    for bi in 0..b {
+        for g in 0..groups {
+            for oc in 0..cog {
+                let oc_abs = g * cog + oc;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let d = dy[((bi * cout + oc_abs) * oh + oy) * ow + ox];
+                        if d == 0.0 {
+                            continue;
+                        }
+                        for ic in 0..cig {
+                            let ic_abs = g * cig + ic;
+                            for ky in 0..kh {
+                                let iy = oy * stride + ky;
+                                if iy < pad || iy - pad >= h {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = ox * stride + kx;
+                                    if ix < pad || ix - pad >= wd {
+                                        continue;
+                                    }
+                                    let xi =
+                                        ((bi * cin + ic_abs) * h + (iy - pad)) * wd + (ix - pad);
+                                    let wi = ((oc_abs * cig + ic) * kh + ky) * kw + kx;
+                                    dx[xi] += d * w.data[wi];
+                                    dw[wi] += d * x.data[xi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (dx, dw)
+}
+
+fn logsumexp_pixel(
+    t: &Tensor,
+    bi: usize,
+    y: usize,
+    x: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> (f64, f64) {
+    let mut maxv = f64::NEG_INFINITY;
+    for cls in 0..c {
+        maxv = maxv.max(t.data[((bi * c + cls) * h + y) * w + x] as f64);
+    }
+    let mut sum = 0.0f64;
+    for cls in 0..c {
+        sum += (t.data[((bi * c + cls) * h + y) * w + x] as f64 - maxv).exp();
+    }
+    (maxv + sum.ln(), maxv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ExactBackend;
+
+    const B: ExactBackend = ExactBackend;
+
+    /// Finite-difference gradient check helper: builds the graph twice with
+    /// a perturbed input element and compares the loss delta against the
+    /// recorded gradient.
+    fn gradcheck<F>(input: Tensor, build: F)
+    where
+        F: Fn(&mut Graph<'_>, NodeId) -> NodeId,
+    {
+        let mut g = Graph::new(&B);
+        let x = g.input(input.clone());
+        let loss = build(&mut g, x);
+        g.backward(loss);
+        let analytic = g.grad(x).expect("input grad").to_vec();
+
+        let h = 1e-3f32;
+        for i in 0..input.len().min(16) {
+            let mut plus = input.clone();
+            plus.data[i] += h;
+            let mut minus = input.clone();
+            minus.data[i] -= h;
+            let eval = |t: Tensor| {
+                let mut g = Graph::new(&B);
+                let x = g.input(t);
+                let loss = build(&mut g, x);
+                g.value(loss).data[0]
+            };
+            let fd = (eval(plus) - eval(minus)) / (2.0 * h);
+            assert!(
+                (fd - analytic[i]).abs() < 2e-2 * (1.0 + fd.abs()),
+                "element {i}: fd {fd} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    fn seeded(shape: &[usize], seed: u64) -> Tensor {
+        // Deterministic pseudo-random data without pulling in rand here.
+        let n: usize = shape.iter().product();
+        let mut v = Vec::with_capacity(n);
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for _ in 0..n {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            v.push(((s % 2000) as f32 / 1000.0) - 1.0);
+        }
+        Tensor::from_vec(v, shape)
+    }
+
+    #[test]
+    fn matmul_forward_known() {
+        let mut g = Graph::new(&B);
+        let a = g.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.input(Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]));
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c).data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gradcheck_matmul() {
+        let w = seeded(&[3, 2], 7);
+        gradcheck(seeded(&[2, 3], 1), move |g, x| {
+            let wn = g.input(w.clone());
+            let y = g.matmul(x, wn);
+            g.mean_all(y)
+        });
+    }
+
+    #[test]
+    fn gradcheck_softmax() {
+        gradcheck(seeded(&[2, 5], 2), |g, x| {
+            let s = g.softmax_rows(x);
+            let sq = g.mul(s, s);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_layernorm() {
+        gradcheck(seeded(&[3, 6], 3), |g, x| {
+            let y = g.layernorm_rows(x, 1e-5);
+            let sq = g.mul(y, y);
+            let c = g.add_scalar(sq, 0.5);
+            let m = g.mul(c, y);
+            g.mean_all(m)
+        });
+    }
+
+    #[test]
+    fn gradcheck_unaries() {
+        for kind in [UnaryKind::Gelu, UnaryKind::Hswish, UnaryKind::Sigmoid, UnaryKind::Tanh] {
+            gradcheck(seeded(&[2, 4], 4), move |g, x| {
+                let y = g.unary(x, kind);
+                let sq = g.mul(y, y);
+                g.mean_all(sq)
+            });
+        }
+    }
+
+    #[test]
+    fn gradcheck_conv2d() {
+        let w = seeded(&[2, 3, 3, 3], 8);
+        gradcheck(seeded(&[1, 3, 5, 5], 5), move |g, x| {
+            let wn = g.input(w.clone());
+            let y = g.conv2d(x, wn, 1, 1, 1);
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_depthwise_conv() {
+        let w = seeded(&[4, 1, 3, 3], 9);
+        gradcheck(seeded(&[1, 4, 4, 4], 6), move |g, x| {
+            let wn = g.input(w.clone());
+            let y = g.conv2d(x, wn, 1, 1, 4);
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_strided_conv() {
+        let w = seeded(&[2, 2, 2, 2], 10);
+        gradcheck(seeded(&[1, 2, 6, 6], 7), move |g, x| {
+            let wn = g.input(w.clone());
+            let y = g.conv2d(x, wn, 2, 0, 1);
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_batch_matmul_transpose() {
+        let other = seeded(&[2, 3, 4], 11);
+        gradcheck(seeded(&[2, 3, 4], 8), move |g, x| {
+            let o = g.input(other.clone());
+            let ot = g.transpose_last2(o);
+            let y = g.batch_matmul(x, ot); // (2,3,4)x(2,4,3) -> (2,3,3)
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_upsample_concat() {
+        gradcheck(seeded(&[1, 2, 3, 3], 9), |g, x| {
+            let up = g.upsample_nearest(x, 2);
+            let up2 = g.upsample_nearest(x, 2);
+            let cat = g.concat_channels(&[up, up2]);
+            let sq = g.mul(cat, cat);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_cross_entropy() {
+        let targets: Vec<u32> = vec![0, 2, 1, 255, 3, 0];
+        gradcheck(seeded(&[1, 4, 2, 3], 10), move |g, x| {
+            g.cross_entropy_nchw(x, &targets, 255)
+        });
+    }
+
+    #[test]
+    fn softmax_rows_is_a_distribution() {
+        let mut g = Graph::new(&B);
+        let x = g.input(seeded(&[4, 7], 12));
+        let s = g.softmax_rows(x);
+        for row in g.value(s).data.chunks(7) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn layernorm_rows_standardizes() {
+        let mut g = Graph::new(&B);
+        let x = g.input(seeded(&[3, 16], 13));
+        let y = g.layernorm_rows(x, 0.0);
+        for row in g.value(y).data.chunks(16) {
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv_shapes() {
+        let mut g = Graph::new(&B);
+        let x = g.input(Tensor::zeros(&[2, 3, 8, 8]));
+        let w = g.input(Tensor::zeros(&[6, 3, 3, 3]));
+        let y = g.conv2d(x, w, 2, 1, 1);
+        assert_eq!(g.value(y).shape, vec![2, 6, 4, 4]);
+    }
+
+    #[test]
+    fn param_grads_accumulate_to_store() {
+        let mut ps = ParamStore::new();
+        let pid = ps.alloc(Tensor::from_vec(vec![2.0], &[1, 1]));
+        let mut g = Graph::new(&B);
+        let x = g.input(Tensor::from_vec(vec![3.0], &[1, 1]));
+        let w = g.param(&ps, pid);
+        let y = g.matmul(x, w);
+        let t = g.input(Tensor::from_vec(vec![0.0], &[1, 1]));
+        let loss = g.mse_loss(y, t);
+        g.backward(loss);
+        g.accumulate_grads(&mut ps);
+        // d/dw (3w)^2 = 2*3w*3 = 36 at w=2.
+        assert!((ps.grad(pid)[0] - 36.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_ignores_ignore_index() {
+        let mut g = Graph::new(&B);
+        let x = g.input(Tensor::zeros(&[1, 3, 1, 2]));
+        let loss_all = g.cross_entropy_nchw(x, &[0, 255], 255);
+        // Only one valid pixel with uniform logits: loss = ln(3).
+        assert!((g.value(loss_all).data[0] - 3.0f32.ln()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,188 @@
+//! Optimizers over a [`ParamStore`].
+
+use crate::tensor_impl::ParamStore;
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and momentum coefficient
+    /// `momentum` (0 disables momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    #[must_use]
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Current learning rate.
+    #[must_use]
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Applies one step using the store's accumulated gradients.
+    pub fn step(&mut self, ps: &mut ParamStore) {
+        let (lr, mu) = (self.lr as f32, self.momentum as f32);
+        for (idx, (value, grad)) in ps.pairs_mut().enumerate() {
+            if self.velocity.len() <= idx {
+                self.velocity.push(vec![0.0; grad.len()]);
+            }
+            let vel = &mut self.velocity[idx];
+            for i in 0..grad.len() {
+                vel[i] = mu * vel[i] + grad[i];
+                value.data[i] -= lr * vel[i];
+            }
+        }
+    }
+}
+
+/// Adam optimizer.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard β defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    #[must_use]
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Current learning rate.
+    #[must_use]
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Applies one step using the store's accumulated gradients.
+    pub fn step(&mut self, ps: &mut ParamStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (idx, (value, grad)) in ps.pairs_mut().enumerate() {
+            if self.m.len() <= idx {
+                self.m.push(vec![0.0; grad.len()]);
+                self.v.push(vec![0.0; grad.len()]);
+            }
+            let (m, v) = (&mut self.m[idx], &mut self.v[idx]);
+            for i in 0..grad.len() {
+                let g = grad[i] as f64;
+                m[i] = (self.beta1 * m[i] as f64 + (1.0 - self.beta1) * g) as f32;
+                v[i] = (self.beta2 * v[i] as f64 + (1.0 - self.beta2) * g * g) as f32;
+                let mhat = m[i] as f64 / bc1;
+                let vhat = v[i] as f64 / bc2;
+                value.data[i] -= (self.lr * mhat / (vhat.sqrt() + self.eps)) as f32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor_impl::Tensor;
+
+    fn quadratic_grad(ps: &ParamStore, id: crate::ParamId) -> Vec<f32> {
+        // ∇ of Σ (p - 3)^2.
+        ps.value(id).data.iter().map(|&p| 2.0 * (p - 3.0)).collect()
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut ps = ParamStore::new();
+        let id = ps.alloc(Tensor::zeros(&[4]));
+        let mut opt = Sgd::new(0.1, 0.9);
+        for _ in 0..100 {
+            let g = quadratic_grad(&ps, id);
+            ps.accumulate(id, &g);
+            opt.step(&mut ps);
+            ps.zero_grads();
+        }
+        for &p in &ps.value(id).data {
+            assert!((p - 3.0).abs() < 1e-2, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut ps = ParamStore::new();
+        let id = ps.alloc(Tensor::zeros(&[4]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            let g = quadratic_grad(&ps, id);
+            ps.accumulate(id, &g);
+            opt.step(&mut ps);
+            ps.zero_grads();
+        }
+        for &p in &ps.value(id).data {
+            assert!((p - 3.0).abs() < 1e-2, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates_on_quadratic() {
+        let run = |mu: f64| {
+            let mut ps = ParamStore::new();
+            let id = ps.alloc(Tensor::zeros(&[1]));
+            let mut opt = Sgd::new(0.01, mu);
+            for _ in 0..50 {
+                let g = quadratic_grad(&ps, id);
+                ps.accumulate(id, &g);
+                opt.step(&mut ps);
+                ps.zero_grads();
+            }
+            (ps.value(id).data[0] - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should be closer after 50 steps");
+    }
+
+    #[test]
+    fn lr_schedule_hooks() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.set_lr(0.05);
+        assert_eq!(opt.lr(), 0.05);
+        let mut adam = Adam::new(0.1);
+        adam.set_lr(0.01);
+        assert_eq!(adam.lr(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_lr_rejected() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+}

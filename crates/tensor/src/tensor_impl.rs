@@ -1,0 +1,266 @@
+//! Dense tensors and the persistent parameter store.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A dense `f32` tensor: shape plus row-major data. Pure value type — all
+/// gradient state lives in [`Graph`](crate::Graph) tapes and
+/// [`ParamStore`] accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Dimension sizes, outermost first.
+    pub shape: Vec<usize>,
+    /// Row-major contents; `data.len() == shape.iter().product()`.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = checked_len(shape);
+        Self { shape: shape.to_vec(), data: vec![0.0; n] }
+    }
+
+    /// Constant-filled tensor.
+    #[must_use]
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        let n = checked_len(shape);
+        Self { shape: shape.to_vec(), data: vec![v; n] }
+    }
+
+    /// Builds from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    #[must_use]
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let n = checked_len(shape);
+        assert_eq!(data.len(), n, "data length {} != shape product {n}", data.len());
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// Kaiming-uniform initialization with `fan_in` (He init for
+    /// ReLU-family networks).
+    #[must_use]
+    pub fn kaiming(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Self {
+        assert!(fan_in > 0, "fan_in must be positive");
+        let bound = (6.0 / fan_in as f64).sqrt() as f32;
+        let n = checked_len(shape);
+        let data = (0..n).map(|_| rng.gen_range(-bound..bound)).collect();
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (cannot happen for validated
+    /// constructions; kept for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reinterprets the shape without touching data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    #[must_use]
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        let n = checked_len(shape);
+        assert_eq!(self.data.len(), n, "reshape changes element count");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Mean of all elements (0 for empty).
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Maximum absolute value.
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+fn checked_len(shape: &[usize]) -> usize {
+    assert!(!shape.is_empty(), "tensor needs at least one dimension");
+    assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension in {shape:?}");
+    shape.iter().product()
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ({} elems)", self.shape, self.len())
+    }
+}
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// Persistent parameters plus gradient accumulators. Lives across training
+/// steps; each step's [`Graph`](crate::Graph) reads values from it and
+/// accumulates gradients back.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    values: Vec<Tensor>,
+    grads: Vec<Vec<f32>>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter, returning its handle.
+    pub fn alloc(&mut self, init: Tensor) -> ParamId {
+        self.grads.push(vec![0.0; init.len()]);
+        self.values.push(init);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// The parameter's current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different store.
+    #[must_use]
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable access (e.g. for weight fake-quantization passes).
+    #[must_use]
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// The accumulated gradient.
+    #[must_use]
+    pub fn grad(&self, id: ParamId) -> &[f32] {
+        &self.grads[id.0]
+    }
+
+    /// Adds `delta` into the parameter's gradient accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn accumulate(&mut self, id: ParamId, delta: &[f32]) {
+        let g = &mut self.grads[id.0];
+        assert_eq!(g.len(), delta.len(), "gradient length mismatch");
+        for (gi, &di) in g.iter_mut().zip(delta) {
+            *gi += di;
+        }
+    }
+
+    /// Clears every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// Number of registered parameters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no parameters are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar parameter count (for model-size reporting).
+    #[must_use]
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Iterates over every registered parameter id.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Iterates over `(value, grad)` pairs mutably — the optimizer hook.
+    pub(crate) fn pairs_mut(&mut self) -> impl Iterator<Item = (&mut Tensor, &mut Vec<f32>)> {
+        self.values.iter_mut().zip(self.grads.iter_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_reshape() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let r = t.clone().reshape(&[3, 2]);
+        assert_eq!(r.shape, vec![3, 2]);
+        assert_eq!(r.data, t.data);
+    }
+
+    #[test]
+    #[should_panic(expected = "element count")]
+    fn reshape_validates() {
+        let _ = Tensor::zeros(&[2, 3]).reshape(&[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_dim_rejected() {
+        let _ = Tensor::zeros(&[2, 0]);
+    }
+
+    #[test]
+    fn kaiming_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::kaiming(&[64, 64], 64, &mut rng);
+        let bound = (6.0f64 / 64.0).sqrt() as f32;
+        assert!(t.data.iter().all(|&v| v.abs() <= bound));
+        // Not degenerate.
+        assert!(t.max_abs() > bound / 10.0);
+    }
+
+    #[test]
+    fn param_store_accumulate_and_zero() {
+        let mut ps = ParamStore::new();
+        let id = ps.alloc(Tensor::zeros(&[3]));
+        ps.accumulate(id, &[1.0, 2.0, 3.0]);
+        ps.accumulate(id, &[1.0, 1.0, 1.0]);
+        assert_eq!(ps.grad(id), &[2.0, 3.0, 4.0]);
+        ps.zero_grads();
+        assert_eq!(ps.grad(id), &[0.0, 0.0, 0.0]);
+        assert_eq!(ps.num_scalars(), 3);
+    }
+
+    #[test]
+    fn stats() {
+        let t = Tensor::from_vec(vec![-3.0, 1.0, 2.0], &[3]);
+        assert_eq!(t.max_abs(), 3.0);
+        assert!((t.mean() - 0.0).abs() < 1e-6);
+    }
+}

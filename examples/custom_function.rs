@@ -1,0 +1,53 @@
+//! Approximating a *custom* non-linear function — the generality story of
+//! LUT-based pwl (§2.2): any scalar non-linearity can be compiled onto the
+//! same hardware engine.
+//!
+//! Here we approximate the Mish activation `x·tanh(softplus(x))`, which is
+//! not in the paper's operator set, with an 8-entry INT8 LUT.
+//!
+//! Run with: `cargo run --release --example custom_function`
+
+use std::sync::Arc;
+
+use gqa::funcs::{softplus, tanh, NonLinearOp};
+use gqa::fxp::{IntRange, PowerOfTwoScale};
+use gqa::genetic::{GeneticSearch, SearchConfig};
+use gqa::pwl::eval;
+
+fn mish(x: f64) -> f64 {
+    x * tanh(softplus(x))
+}
+
+fn main() {
+    // The op field only provides labeling defaults; range and function are
+    // overridden for the custom target.
+    let mut config = SearchConfig::for_op(NonLinearOp::Silu).with_seed(11);
+    config.range = (-6.0, 6.0);
+    let search = GeneticSearch::with_function(config, Arc::new(mish));
+    let result = search.run();
+
+    println!("Mish 8-entry LUT, grid MSE {:.3e}", result.best_mse());
+    println!("{}", result.pwl());
+
+    // INT8 accuracy across scaling factors, as for the paper operators.
+    let range = IntRange::signed(8);
+    println!("{:>8}  {:>10}", "S", "INT8 MSE");
+    for s in eval::paper_scale_sweep() {
+        let inst = result.lut().instantiate(s, range);
+        let mse = eval::mse_dequantized(
+            &|q| inst.eval_dequantized(q),
+            &mish,
+            s,
+            range,
+            Some((-6.0, 6.0)),
+        );
+        println!("{:>8}  {mse:>10.2e}", s.to_string());
+    }
+
+    // Spot-check the datapath at one scale.
+    let inst = result.lut().instantiate(PowerOfTwoScale::new(-4), range);
+    for &x in &[-3.0, -1.0, 0.0, 0.5, 2.0, 5.0] {
+        let y = inst.eval_f64(x);
+        println!("mish({x:>5.2}) = {:>8.4}   pwl = {y:>8.4}", mish(x));
+    }
+}

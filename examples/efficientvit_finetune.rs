@@ -1,0 +1,46 @@
+//! The EfficientVitLite counterpart of `segformer_finetune` (a row of
+//! Table 5): linear attention's DIV normalizer and every HSWISH go through
+//! INT8 pwl LUTs.
+//!
+//! Run with: `cargo run --release --example efficientvit_finetune`
+
+use gqa::models::{
+    EffVitConfig, EfficientVitLite, FinetuneHarness, Method, PwlBackend, ReplaceSet, TrainConfig,
+};
+use gqa::tensor::ParamStore;
+
+fn main() {
+    let mut cfg = TrainConfig::benchmark();
+    cfg.pretrain_epochs = 15;
+    let harness = FinetuneHarness::new(cfg);
+
+    let mut ps = ParamStore::new();
+    let model = EfficientVitLite::new(&mut ps, EffVitConfig::benchmark(), 78);
+    println!(
+        "EfficientVitLite: {} parameter tensors, {} scalars",
+        ps.len(),
+        ps.num_scalars()
+    );
+
+    println!("pre-training + INT8 quantization...");
+    let baseline = harness.pretrain_and_quantize(&model, &mut ps);
+    println!(
+        "INT8 baseline: mIoU {:.2}%, pixel accuracy {:.2}%",
+        100.0 * baseline.miou,
+        100.0 * baseline.pixel_accuracy
+    );
+
+    let calib = harness.calibrate(&model, &ps);
+    let replace = ReplaceSet { hswish: true, div: true, ..ReplaceSet::none() };
+    for method in Method::ALL {
+        let backend = PwlBackend::build(method, replace, &calib, 78, 0.2);
+        let mut ps_lut = ps.clone();
+        let out = harness.finetune_with_backend(&model, &mut ps_lut, &backend);
+        println!(
+            "{:<16} HSWISH+DIV on LUTs: mIoU {:.2}% (Δ {:+.2})",
+            method.label(),
+            100.0 * out.miou,
+            100.0 * (out.miou - baseline.miou)
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Hardware cost exploration: area/power of the pwl LUT unit across
+//! precisions, entry counts and clock frequencies, plus generated Verilog.
+//!
+//! Run with: `cargo run --release --example hardware_report`
+
+use gqa::hardware::{verilog, Precision, PwlUnit, TechnologyModel};
+
+fn main() {
+    let tech = TechnologyModel::tsmc28_500mhz();
+
+    println!("pwl unit costs (TSMC-28nm-calibrated structural model, 500 MHz):\n");
+    println!(
+        "{:<10} {:>8} {:>12} {:>11} {:>11}",
+        "precision", "entries", "area (um2)", "power (mW)", "gates (GE)"
+    );
+    for p in Precision::ALL {
+        for entries in [4usize, 8, 16, 32] {
+            let u = PwlUnit::new(p, entries);
+            println!(
+                "{:<10} {:>8} {:>12.0} {:>11.2} {:>11.0}",
+                p.label(),
+                entries,
+                u.area_um2(&tech),
+                u.power_mw(&tech),
+                u.gates()
+            );
+        }
+    }
+
+    println!("\nfrequency scaling of the INT8 8-entry unit:");
+    let unit = PwlUnit::new(Precision::Int8, 8);
+    for f in [100.0, 250.0, 500.0, 800.0, 1000.0] {
+        let t = TechnologyModel::tsmc28_500mhz().at_frequency(f);
+        println!("  {f:>6.0} MHz: {:.3} mW", unit.power_mw(&t));
+    }
+
+    println!("\ngenerated Verilog for the INT8 8-entry quant-aware unit:\n");
+    println!("{}", verilog::emit_pwl_unit(Precision::Int8, 8));
+}

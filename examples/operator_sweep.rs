@@ -1,0 +1,51 @@
+//! Operator sweep: compare GQA-LUT (with and without Rounding Mutation)
+//! against the NN-LUT baseline on every paper operator, across INT8
+//! scaling factors — a compact version of the paper's Figures 2(a)/3.
+//!
+//! Run with: `cargo run --release --example operator_sweep`
+
+use gqa::funcs::NonLinearOp;
+use gqa::fxp::IntRange;
+use gqa::models::luts::build_lut_budgeted;
+use gqa::models::Method;
+use gqa::pwl::eval;
+
+fn main() {
+    // Moderate budget so the example finishes in seconds; the bench
+    // binaries run the full paper budget.
+    let budget = 0.3;
+    for op in [NonLinearOp::Gelu, NonLinearOp::Hswish, NonLinearOp::Exp] {
+        println!("=== {} ===", op.name().to_uppercase());
+        println!(
+            "{:<16} {}",
+            "method",
+            (0..7).map(|i| format!("{:>9}", format!("S=2^-{i}"))).collect::<String>()
+        );
+        for method in Method::ALL {
+            let lut = build_lut_budgeted(method, op, 8, 42, budget);
+            let range = IntRange::signed(8);
+            let clip = Some(op.default_range());
+            let mses: Vec<f64> = eval::paper_scale_sweep()
+                .into_iter()
+                .map(|s| {
+                    let inst = lut.instantiate(s, range);
+                    eval::mse_dequantized(
+                        &|q| inst.eval_dequantized(q),
+                        &|x| op.eval(x),
+                        s,
+                        range,
+                        clip,
+                    )
+                })
+                .collect();
+            println!(
+                "{:<16} {}",
+                method.label(),
+                mses.iter().map(|m| format!("{m:>9.1e}")).collect::<String>()
+            );
+        }
+        println!();
+    }
+    println!("Expected shape: GQA-LUT w/ RM stays low at large scales (left columns)");
+    println!("where NN-LUT and the w/o RM variant suffer breakpoint deviation.");
+}

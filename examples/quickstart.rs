@@ -1,0 +1,44 @@
+//! Quickstart: approximate GELU with GQA-LUT, inspect the LUT, and run the
+//! INT8 datapath.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gqa::funcs::NonLinearOp;
+use gqa::fxp::{IntRange, PowerOfTwoScale};
+use gqa::genetic::{GeneticSearch, SearchConfig};
+
+fn main() {
+    // 1. Configure the search with the paper's Table-1 defaults for GELU
+    //    (8-entry LUT, Rounding Mutation, T = 500 generations).
+    let config = SearchConfig::for_op(NonLinearOp::Gelu).with_seed(7);
+    println!(
+        "Searching a {}-entry LUT for {} over [{}, {}] ...",
+        config.num_entries(),
+        config.op,
+        config.range.0,
+        config.range.1
+    );
+
+    // 2. Run the genetic search.
+    let result = GeneticSearch::new(config).run();
+    println!("final grid MSE: {:.3e}", result.best_mse());
+    println!("\nwinning breakpoints: {:?}", result.breakpoints());
+    println!("\nFXP-rounded pwl:\n{}", result.pwl());
+
+    // 3. Materialize the INT8 LUT for one scaling factor and evaluate a few
+    //    inputs through the integer datapath of Figure 1(b).
+    let scale = PowerOfTwoScale::new(-4); // S = 1/16
+    let inst = result.lut().instantiate(scale, IntRange::signed(8));
+    println!("quantized breakpoints at S = {scale}: {:?}", inst.breakpoints_q());
+    println!("\n{:>8} {:>8} {:>12} {:>12} {:>10}", "x", "q", "pwl(x)", "gelu(x)", "error");
+    for i in -4..=4 {
+        let x = i as f64 * 0.75;
+        let q = inst.quantize_input(x);
+        let approx = inst.eval_dequantized(q);
+        let exact = NonLinearOp::Gelu.eval(x);
+        println!(
+            "{x:>8.3} {q:>8} {approx:>12.5} {exact:>12.5} {:>10.2e}",
+            (approx - exact).abs()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! End-to-end model experiment (a single row of Table 4): pre-train
+//! SegformerLite on SynthScapes, quantize to INT8, replace every
+//! non-linear operator with GQA-LUT w/ RM 8-entry LUTs, fine-tune, and
+//! compare mIoU against the quantized baseline.
+//!
+//! Run with: `cargo run --release --example segformer_finetune`
+//! (takes a few minutes; it trains a small model from scratch)
+
+use gqa::models::{
+    FinetuneHarness, Method, PwlBackend, ReplaceSet, SegConfig, SegformerLite, TrainConfig,
+};
+use gqa::tensor::ParamStore;
+
+fn main() {
+    let mut cfg = TrainConfig::benchmark();
+    cfg.pretrain_epochs = 15; // example-sized budget
+    let harness = FinetuneHarness::new(cfg);
+
+    let mut ps = ParamStore::new();
+    let model = SegformerLite::new(&mut ps, SegConfig::benchmark(), 77);
+    println!(
+        "SegformerLite: {} parameter tensors, {} scalars",
+        ps.len(),
+        ps.num_scalars()
+    );
+
+    println!("pre-training + INT8 quantization...");
+    let baseline = harness.pretrain_and_quantize(&model, &mut ps);
+    println!(
+        "INT8 baseline: mIoU {:.2}%, pixel accuracy {:.2}%",
+        100.0 * baseline.miou,
+        100.0 * baseline.pixel_accuracy
+    );
+
+    println!("calibrating operator input ranges...");
+    let calib = harness.calibrate(&model, &ps);
+
+    println!("building GQA-LUT w/ RM backends and fine-tuning (Altogether row)...");
+    let replace = ReplaceSet { gelu: true, exp: true, div: true, rsqrt: true, hswish: false };
+    let backend = PwlBackend::build(Method::GqaRm, replace, &calib, 77, 0.2);
+    let mut ps_lut = ps.clone();
+    let out = harness.finetune_with_backend(&model, &mut ps_lut, &backend);
+    println!(
+        "with all non-linear ops on INT8 pwl LUTs: mIoU {:.2}% (Δ {:+.2} vs baseline)",
+        100.0 * out.miou,
+        100.0 * (out.miou - baseline.miou)
+    );
+}

@@ -1,0 +1,44 @@
+//! # gqa — GQA-LUT reproduction façade
+//!
+//! This crate re-exports the whole GQA-LUT workspace behind one name so the
+//! examples and integration tests can write `use gqa::pwl::Pwl;` etc.
+//!
+//! The workspace reproduces *Genetic Quantization-Aware Approximation for
+//! Non-Linear Operations in Transformers* (DAC 2024):
+//!
+//! * [`fxp`] — fixed-point values, power-of-two scales, dyadic requantization.
+//! * [`funcs`] — reference non-linear functions (GELU, HSWISH, EXP, DIV, RSQRT, …).
+//! * [`pwl`] — piece-wise linear LUT approximation and its quantized execution.
+//! * [`genetic`] — the GQA-LUT genetic search with Rounding Mutation.
+//! * [`nnlut`] — the NN-LUT baseline (neural pwl extraction).
+//! * [`quant`] — LSQ / power-of-two quantizers and integer-only pipeline glue.
+//! * [`tensor`] — minimal CPU tensor library with reverse-mode autodiff.
+//! * [`data`] — SynthScapes synthetic segmentation dataset + mIoU metrics.
+//! * [`models`] — SegformerLite / EfficientVitLite with pluggable non-linear backends.
+//! * [`hardware`] — TSMC-28nm-calibrated area/power model of the LUT pwl units.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gqa::genetic::{GeneticSearch, SearchConfig};
+//! use gqa::funcs::NonLinearOp;
+//!
+//! // Small budget for the doctest; the paper uses T = 500 generations.
+//! let cfg = SearchConfig::for_op(NonLinearOp::Gelu)
+//!     .with_generations(20)
+//!     .with_population(16)
+//!     .with_seed(7);
+//! let lut = GeneticSearch::new(cfg).run();
+//! assert_eq!(lut.pwl().num_entries(), 8);
+//! ```
+
+pub use gqa_data as data;
+pub use gqa_funcs as funcs;
+pub use gqa_fxp as fxp;
+pub use gqa_genetic as genetic;
+pub use gqa_hardware as hardware;
+pub use gqa_models as models;
+pub use gqa_nnlut as nnlut;
+pub use gqa_pwl as pwl;
+pub use gqa_quant as quant;
+pub use gqa_tensor as tensor;

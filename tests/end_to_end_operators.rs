@@ -1,0 +1,93 @@
+//! Integration: the full GA → LUT → quantized-datapath pipeline per
+//! operator, across crates.
+
+use gqa::funcs::NonLinearOp;
+use gqa::fxp::{IntRange, PowerOfTwoScale};
+use gqa::genetic::{GeneticSearch, SearchConfig};
+use gqa::pwl::{eval, FxpPwl, MultiRangeLut, MultiRangeScaling};
+
+fn quick(op: NonLinearOp) -> SearchConfig {
+    SearchConfig::for_op(op)
+        .with_generations(80)
+        .with_population(30)
+        .with_seed(2024)
+}
+
+#[test]
+fn scale_dependent_ops_reach_paper_band() {
+    // With a reduced budget the average dequantized MSE should still land
+    // within ~10x of the paper's full-budget numbers.
+    let bands = [
+        (NonLinearOp::Gelu, 1.5e-3),
+        (NonLinearOp::Hswish, 3.0e-3),
+        (NonLinearOp::Exp, 1.5e-3),
+    ];
+    for (op, bound) in bands {
+        let result = GeneticSearch::new(quick(op)).run();
+        let range = IntRange::signed(8);
+        let clip = Some(op.default_range());
+        let sweep = eval::paper_scale_sweep();
+        let avg: f64 = sweep
+            .iter()
+            .map(|&s| {
+                let inst = result.lut().instantiate(s, range);
+                eval::mse_dequantized(&|q| inst.eval_dequantized(q), &|x| op.eval(x), s, range, clip)
+            })
+            .sum::<f64>()
+            / sweep.len() as f64;
+        assert!(avg < bound, "{op}: avg quantized MSE {avg} above {bound}");
+    }
+}
+
+#[test]
+fn wide_range_ops_work_through_multirange_datapath() {
+    for (op, scaling) in [
+        (NonLinearOp::Div, MultiRangeScaling::div_paper()),
+        (NonLinearOp::Rsqrt, MultiRangeScaling::rsqrt_paper()),
+    ] {
+        let result = GeneticSearch::new(quick(op)).run();
+        let unit = MultiRangeLut::new(FxpPwl::new(result.lut(), 8), scaling);
+        let mse = eval::mse_grid_fn(
+            &|x| unit.eval_f64(x),
+            &|x| op.eval(x),
+            op.default_range(),
+            0.01,
+        );
+        assert!(mse < 5e-3, "{op}: multi-range MSE {mse}");
+        // And the wide range stays usable (bounded relative error well past
+        // the breakpoint interval).
+        for &x in &[5.0, 10.0, 30.0] {
+            let rel = (unit.eval_f64(x) - op.eval(x)).abs() / op.eval(x);
+            assert!(rel < 0.3, "{op}({x}): relative error {rel}");
+        }
+    }
+}
+
+#[test]
+fn separated_evaluation_is_scale_consistent() {
+    // pwl(S·q) computed via the INT8 datapath must agree with the FP pwl on
+    // representable points up to the documented FXP/λ rounding.
+    let result = GeneticSearch::new(quick(NonLinearOp::Gelu)).run();
+    for e in [-5, -4, -3] {
+        let s = PowerOfTwoScale::new(e);
+        let inst = result.lut().instantiate(s, IntRange::signed(8));
+        for q in [-100i64, -17, 0, 42, 127] {
+            let x = q as f64 * s.to_f64();
+            let fp = result.pwl().eval(x);
+            let int = inst.eval_dequantized(q);
+            // Entry selection may differ at quantized breakpoints; the value
+            // gap is bounded by the local segment mismatch.
+            assert!(
+                (fp - int).abs() < 0.1,
+                "S=2^{e} q={q}: fp {fp} vs int {int}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sixteen_entries_dominate_eight_on_plain_grid() {
+    let r8 = GeneticSearch::new(quick(NonLinearOp::Exp)).run();
+    let r16 = GeneticSearch::new(quick(NonLinearOp::Exp).with_entries_16()).run();
+    assert!(r16.best_mse() <= r8.best_mse() * 1.5);
+}

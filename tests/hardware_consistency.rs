@@ -1,0 +1,73 @@
+//! Integration: the hardware cost model reproduces Table 6's shape and
+//! stays consistent with the LUT storage accounting of the pwl crate.
+
+use gqa::hardware::{verilog, Precision, PwlUnit, TechnologyModel};
+use gqa::pwl::{LutFormat, LutStorage};
+
+#[test]
+fn table6_anchor_and_ratios() {
+    let tech = TechnologyModel::tsmc28_500mhz();
+    let int8 = PwlUnit::new(Precision::Int8, 8);
+    // Calibrated anchor.
+    assert!((int8.area_um2(&tech) - 961.0).abs() / 961.0 < 0.03);
+    assert!((int8.power_mw(&tech) - 0.40).abs() / 0.40 < 0.05);
+
+    // Paper's headline reductions (81.3-81.7 % area, 79.3-80.2 % power):
+    // the structural model must land within a few points of them.
+    let int32 = PwlUnit::new(Precision::Int32, 8);
+    let fp32 = PwlUnit::new(Precision::Fp32, 8);
+    let area_saving_int32 = 1.0 - int8.area_um2(&tech) / int32.area_um2(&tech);
+    let area_saving_fp32 = 1.0 - int8.area_um2(&tech) / fp32.area_um2(&tech);
+    assert!((0.74..0.88).contains(&area_saving_int32), "{area_saving_int32}");
+    assert!((0.72..0.88).contains(&area_saving_fp32), "{area_saving_fp32}");
+    let power_saving_int32 = 1.0 - int8.power_mw(&tech) / int32.power_mw(&tech);
+    let power_saving_fp32 = 1.0 - int8.power_mw(&tech) / fp32.power_mw(&tech);
+    assert!((0.72..0.88).contains(&power_saving_int32), "{power_saving_int32}");
+    assert!((0.72..0.88).contains(&power_saving_fp32), "{power_saving_fp32}");
+
+    // 16-entry scaling (paper: 1.71x area, 1.95x power for INT8).
+    let int8_16 = PwlUnit::new(Precision::Int8, 16);
+    let r = int8_16.area_um2(&tech) / int8.area_um2(&tech);
+    assert!((1.4..2.1).contains(&r), "area ratio {r}");
+}
+
+#[test]
+fn monotone_in_precision_and_entries() {
+    let tech = TechnologyModel::tsmc28_500mhz();
+    for entries in [8usize, 16] {
+        let mut prev = 0.0;
+        for p in [Precision::Int8, Precision::Int16, Precision::Int32] {
+            let a = PwlUnit::new(p, entries).area_um2(&tech);
+            assert!(a > prev, "{p} {entries}-entry not monotone");
+            prev = a;
+        }
+    }
+    for p in Precision::ALL {
+        let a8 = PwlUnit::new(p, 8).area_um2(&tech);
+        let a16 = PwlUnit::new(p, 16).area_um2(&tech);
+        assert!(a16 > a8, "{p}: 16-entry should exceed 8-entry");
+    }
+}
+
+#[test]
+fn storage_accounting_matches_formats() {
+    // The quant-aware unit stores 8-bit words; the high-precision unit
+    // 32-bit words — a 4x storage gap that the area gap must exceed
+    // (datapath adds more).
+    let qa = LutStorage::new(LutFormat::QuantAware { bits: 8, lambda: 5 }, 8);
+    let hp = LutStorage::new(LutFormat::HighPrecision { bits: 32 }, 8);
+    assert_eq!(hp.total_bits(), 4 * qa.total_bits());
+    assert!(qa.needs_intercept_shifter());
+    assert!(!hp.needs_intercept_shifter());
+}
+
+#[test]
+fn verilog_emits_for_all_rows() {
+    for p in Precision::ALL {
+        for entries in [8usize, 16] {
+            let v = verilog::emit_pwl_unit(p, entries);
+            assert!(v.contains("module"), "{p} {entries}");
+            assert!(v.contains(&format!("parameter N = {entries}")));
+        }
+    }
+}

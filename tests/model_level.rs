@@ -1,0 +1,103 @@
+//! Integration: model forward/backward with pwl backends across crates
+//! (tensor ⊗ models ⊗ pwl ⊗ genetic), at test-sized budgets.
+
+use gqa::funcs::NonLinearOp;
+use gqa::models::luts::build_lut_budgeted;
+use gqa::models::{
+    CalibrationRecorder, EffVitConfig, EfficientVitLite, FinetuneHarness, Method, PwlBackend,
+    ReplaceSet, SegConfig, SegformerLite, TrainConfig,
+};
+use gqa::tensor::{ExactBackend, Graph, ParamStore, Tensor, UnaryBackend, UnaryKind};
+
+#[test]
+fn segformer_logits_with_pwl_backend_stay_close_to_exact() {
+    let mut ps = ParamStore::new();
+    let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 5);
+    let image = Tensor::full(&[1, 3, 16, 16], 0.4);
+
+    let exact = ExactBackend;
+    let mut g = Graph::new(&exact);
+    let x = g.input(image.clone());
+    let logits_node = model.forward(&mut g, &ps, x);
+    let exact_logits = g.value(logits_node).clone();
+
+    // Calibrate, then route every paper operator through GQA-LUT w/ RM.
+    let calib = CalibrationRecorder::new();
+    let mut gc = Graph::new(&calib);
+    let xc = gc.input(image.clone());
+    let _ = model.forward(&mut gc, &ps, xc);
+    let backend = PwlBackend::build(Method::GqaRm, ReplaceSet::all(), &calib, 5, 0.1);
+
+    let mut gp = Graph::new(&backend);
+    let xp = gp.input(image);
+    let pwl_node = model.forward(&mut gp, &ps, xp);
+    let pwl_logits = gp.value(pwl_node).clone();
+
+    assert_eq!(exact_logits.shape, pwl_logits.shape);
+    let mut worst = 0.0f32;
+    for (a, b) in exact_logits.data.iter().zip(&pwl_logits.data) {
+        worst = worst.max((a - b).abs());
+    }
+    let scale = exact_logits.max_abs().max(1e-3);
+    assert!(
+        worst / scale < 0.8,
+        "pwl logits diverge: worst {worst} vs magnitude {scale}"
+    );
+}
+
+#[test]
+fn efficientvit_trains_with_hswish_div_luts() {
+    let harness = FinetuneHarness::new(TrainConfig::tiny());
+    let mut ps = ParamStore::new();
+    let model = EfficientVitLite::new(&mut ps, EffVitConfig::tiny(), 6);
+    let exact = ExactBackend;
+    let _ = harness.train(&model, &mut ps, &exact, 2, 2e-3, false);
+    let calib = harness.calibrate(&model, &ps);
+    let replace = ReplaceSet { hswish: true, div: true, ..ReplaceSet::none() };
+    let backend = PwlBackend::build(Method::GqaNoRm, replace, &calib, 6, 0.05);
+    // Fine-tuning through the LUT backend must reduce (or at least not
+    // explode) the loss.
+    let loss = harness.train(&model, &mut ps, &backend, 2, 5e-4, true);
+    assert!(loss.is_finite() && loss < 4.0, "loss {loss}");
+    let out = harness.evaluate(&model, &ps, &backend);
+    assert!((0.0..=1.0).contains(&out.miou));
+}
+
+#[test]
+fn backend_substitution_changes_only_replaced_ops() {
+    let lut = build_lut_budgeted(Method::GqaRm, NonLinearOp::Gelu, 8, 9, 0.05);
+    let backend = PwlBackend::from_luts(
+        Some((lut, gqa::fxp::PowerOfTwoScale::new(-5))),
+        None,
+        None,
+        None,
+        None,
+    );
+    // GELU approximated, everything else bit-exact with the reference.
+    assert_ne!(
+        backend.eval(UnaryKind::Gelu, 0.731),
+        UnaryKind::Gelu.exact(0.731)
+    );
+    for kind in [UnaryKind::Exp, UnaryKind::Recip, UnaryKind::Rsqrt, UnaryKind::Relu] {
+        assert_eq!(backend.eval(kind, 0.731), kind.exact(0.731), "{kind:?}");
+    }
+}
+
+#[test]
+fn weight_quantization_preserves_accuracy_roughly() {
+    // INT8 PoT weight fake-quant should not destroy a trained model.
+    let harness = FinetuneHarness::new(TrainConfig::tiny());
+    let mut ps = ParamStore::new();
+    let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 7);
+    let exact = ExactBackend;
+    let _ = harness.train(&model, &mut ps, &exact, 4, 2e-3, false);
+    let fp = harness.evaluate(&model, &ps, &exact);
+    gqa::models::quantize_weights_pot(&mut ps);
+    let q = harness.evaluate(&model, &ps, &exact);
+    assert!(
+        q.pixel_accuracy > fp.pixel_accuracy - 0.25,
+        "quantization collapse: {} -> {}",
+        fp.pixel_accuracy,
+        q.pixel_accuracy
+    );
+}
