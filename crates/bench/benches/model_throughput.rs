@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use gqa_models::{
-    CalibrationRecorder, Method, PwlBackend, ReplaceSet, SegConfig, SegformerLite,
-};
+use gqa_models::{CalibrationRecorder, Method, PwlBackend, ReplaceSet, SegConfig, SegformerLite};
 use gqa_tensor::{ExactBackend, Graph, ParamStore, Tensor, UnaryBackend};
 
 fn forward_once(

@@ -9,6 +9,7 @@ use gqa_funcs::NonLinearOp;
 use gqa_fxp::{IntRange, PowerOfTwoScale};
 use gqa_genetic::{FitnessEvaluator, GeneticSearch, SearchConfig};
 use gqa_nnlut::{NnLutConfig, NnLutTrainer};
+use gqa_pwl::eval::MseGrid;
 use gqa_pwl::{fit, FxpPwl, MultiRangeLut, MultiRangeScaling, QuantAwareLut, SegmentFit};
 use std::sync::Arc;
 
@@ -25,6 +26,45 @@ fn bench_fitness(c: &mut Criterion) {
     });
     c.bench_function("fitness/gelu_8entry_fxp_aware", |b| {
         b.iter(|| ev.fitness_fxp(black_box(&bps), 5))
+    });
+
+    // Batched vs scalar grid MSE: the engine-level comparison. The scalar
+    // variant reproduces the seed's hot loop exactly — one virtual
+    // `dyn Fn(f64) -> f64` call plus a per-element breakpoint search per
+    // grid point — while the batched variant is what `FitnessEvaluator::mse`
+    // now runs (segment-walking BatchEval sweep).
+    let pwl = ev.derive_pwl(&bps);
+    let grid = MseGrid::new(&NonLinearOp::Gelu, (-4.0, 4.0), 0.01);
+    let mut scratch = Vec::new();
+    c.bench_function("fitness/grid_mse_batched", |b| {
+        b.iter(|| grid.mse_of(black_box(&pwl), &mut scratch))
+    });
+    let scalar_eval: &dyn Fn(f64) -> f64 = &|x| pwl.eval(x);
+    c.bench_function("fitness/grid_mse_scalar_dyn", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for (&x, &y) in grid.xs().iter().zip(grid.ys()) {
+                let d = black_box(scalar_eval)(x) - y;
+                acc += d * d;
+            }
+            acc / grid.len() as f64
+        })
+    });
+
+    // Population-level scoring throughput (what one GA generation costs).
+    let population: Vec<Vec<f64>> = (0..50)
+        .map(|i| {
+            let shift = i as f64 * 0.01;
+            bps.iter().map(|&p| p + shift).collect()
+        })
+        .collect();
+    c.bench_function("fitness/population50_fxp_aware", |b| {
+        b.iter(|| {
+            population
+                .iter()
+                .map(|p| ev.fitness_fxp(black_box(p), 5).1)
+                .sum::<f64>()
+        })
     });
 }
 
@@ -78,6 +118,14 @@ fn bench_lut_eval(c: &mut Criterion) {
             acc
         })
     });
+    let qs: Vec<i64> = (-128i64..=127).collect();
+    let mut raw_out = vec![0i64; qs.len()];
+    c.bench_function("eval/int8_datapath_full_range_batched", |b| {
+        b.iter(|| {
+            inst.eval_raw_batch(black_box(&qs), &mut raw_out);
+            raw_out.iter().sum::<i64>()
+        })
+    });
 
     let div = fit::fit_pwl(
         &|x: f64| 1.0 / x,
@@ -103,5 +151,11 @@ fn bench_lut_eval(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fitness, bench_search, bench_nnlut, bench_lut_eval);
+criterion_group!(
+    benches,
+    bench_fitness,
+    bench_search,
+    bench_nnlut,
+    bench_lut_eval
+);
 criterion_main!(benches);

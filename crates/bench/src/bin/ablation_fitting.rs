@@ -21,10 +21,7 @@ fn main() {
     ]);
     for &op in NonLinearOp::PAPER_OPS.iter() {
         let run = |fit: SegmentFit| {
-            GeneticSearch::new(
-                SearchConfig::for_op(op).with_seed(31).with_segment_fit(fit),
-            )
-            .run()
+            GeneticSearch::new(SearchConfig::for_op(op).with_seed(31).with_segment_fit(fit)).run()
         };
         let ls = run(SegmentFit::LeastSquares);
         let interp = run(SegmentFit::Interpolate);

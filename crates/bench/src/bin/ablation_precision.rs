@@ -20,7 +20,13 @@ fn avg_mse(lut: &QuantAwareLut, op: NonLinearOp, bits: u32) -> f64 {
         .iter()
         .map(|&s| {
             let inst = lut.instantiate(s, range);
-            eval::mse_dequantized(&|q| inst.eval_dequantized(q), &|x| op.eval(x), s, range, clip)
+            eval::mse_dequantized(
+                &|q| inst.eval_dequantized(q),
+                &|x| op.eval(x),
+                s,
+                range,
+                clip,
+            )
         })
         .sum::<f64>()
         / sweep.len() as f64

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run -p gqa-bench --release --bin ablation_search`
 
-use gqa_bench::{mse_scale_average, Method};
 use gqa_bench::table::{sci, Table};
+use gqa_bench::{mse_scale_average, Method};
 use gqa_funcs::NonLinearOp;
 use gqa_genetic::{FitnessMode, GeneticSearch, SearchConfig};
 
@@ -21,7 +21,9 @@ fn main() {
     let mut t = Table::new(vec!["Variant".into(), "avg INT8 MSE".into()]);
     t.row(vec![
         "paper default (RM, tour=3, elitism, QAA fitness)".into(),
-        sci(avg_quant_mse(base().with_fitness(FitnessMode::QuantAwareAverage))),
+        sci(avg_quant_mse(
+            base().with_fitness(FitnessMode::QuantAwareAverage),
+        )),
     ]);
     t.row(vec![
         "plain λ-aware fitness (no quant awareness)".into(),
@@ -64,8 +66,11 @@ fn main() {
     }
     t.print();
 
-    println!("\nReference NN-LUT avg MSE: {}", sci({
-        let lut = gqa_bench::build_lut(Method::NnLut, NonLinearOp::Gelu, 8, 17);
-        mse_scale_average(&lut, NonLinearOp::Gelu)
-    }));
+    println!(
+        "\nReference NN-LUT avg MSE: {}",
+        sci({
+            let lut = gqa_bench::build_lut(Method::NnLut, NonLinearOp::Gelu, 8, 17);
+            mse_scale_average(&lut, NonLinearOp::Gelu)
+        })
+    );
 }

@@ -73,9 +73,17 @@ fn main() {
     let no_rm = &per_method[1].1;
     let rm = &per_method[2].1;
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!("\nAverage MSE: NN-LUT {} | w/o RM {} | w/ RM {}", sci(avg(nn)), sci(avg(no_rm)), sci(avg(rm)));
-    println!("Improvement of w/RM: {:.2}x over NN-LUT, {:.2}x over w/o RM",
-        avg(nn) / avg(rm), avg(no_rm) / avg(rm));
+    println!(
+        "\nAverage MSE: NN-LUT {} | w/o RM {} | w/ RM {}",
+        sci(avg(nn)),
+        sci(avg(no_rm)),
+        sci(avg(rm))
+    );
+    println!(
+        "Improvement of w/RM: {:.2}x over NN-LUT, {:.2}x over w/o RM",
+        avg(nn) / avg(rm),
+        avg(no_rm) / avg(rm)
+    );
 
     // Normalized series sanity (figure y-axis in [0, 1]).
     for (_, mses) in &per_method {

@@ -49,10 +49,7 @@ fn main() {
     ]);
     for e in [-1i32, -2, -3, -4, -5] {
         let s = PowerOfTwoScale::new(e);
-        let pq = gqa_fxp::dequantize_value(
-            gqa_fxp::quantize_value(p3, s, IntRange::signed(8)),
-            s,
-        );
+        let pq = gqa_fxp::dequantize_value(gqa_fxp::quantize_value(p3, s, IntRange::signed(8)), s);
         let (penalty, dev) = local_error(p3, s);
         t.row(vec![
             s.to_string(),

@@ -18,17 +18,23 @@ fn main() {
         "DIV".into(),
         "RSQRT".into(),
     ]);
-    let cfgs: Vec<SearchConfig> =
-        NonLinearOp::PAPER_OPS.iter().map(|&op| SearchConfig::for_op(op)).collect();
+    let cfgs: Vec<SearchConfig> = NonLinearOp::PAPER_OPS
+        .iter()
+        .map(|&op| SearchConfig::for_op(op))
+        .collect();
     let cfgs16: Vec<SearchConfig> = NonLinearOp::PAPER_OPS
         .iter()
         .map(|&op| SearchConfig::for_op(op).with_entries_16())
         .collect();
 
     let row = |label: &str, f: &dyn Fn(&SearchConfig) -> String| -> Vec<String> {
-        std::iter::once(label.to_owned()).chain(cfgs.iter().map(f)).collect()
+        std::iter::once(label.to_owned())
+            .chain(cfgs.iter().map(f))
+            .collect()
     };
-    t.row(row("[Rn, Rp]", &|c| format!("({}, {})", c.range.0, c.range.1)));
+    t.row(row("[Rn, Rp]", &|c| {
+        format!("({}, {})", c.range.0, c.range.1)
+    }));
     t.row(row("theta_r", &|c| format!("{}", c.rounding_step_prob)));
     t.row(row("[ma, mb]_8", &|c| {
         if c.rounding_step_prob == 0.0 {
@@ -48,18 +54,25 @@ fn main() {
             }))
             .collect(),
     );
-    t.row(row("Data Size", &|c| format!("{:.2}K", c.data_size() as f64 / 1000.0)));
+    t.row(row("Data Size", &|c| {
+        format!("{:.2}K", c.data_size() as f64 / 1000.0)
+    }));
     t.print();
 
     let d = &cfgs[0];
     println!(
         "\nDefaults: Nb = {}, Np = {}, theta_c = {}, theta_m = {}, T = {}, lambda = {}",
-        d.num_breakpoints, d.population, d.crossover_prob, d.mutation_prob, d.generations,
-        d.lambda
+        d.num_breakpoints, d.population, d.crossover_prob, d.mutation_prob, d.generations, d.lambda
     );
     println!(
         "\nData-size claim: GQA-LUT fitness grids are {}-{} points; NN-LUT trains on 100K samples",
-        cfgs.iter().map(SearchConfig::data_size).min().expect("non-empty"),
-        cfgs.iter().map(SearchConfig::data_size).max().expect("non-empty"),
+        cfgs.iter()
+            .map(SearchConfig::data_size)
+            .min()
+            .expect("non-empty"),
+        cfgs.iter()
+            .map(SearchConfig::data_size)
+            .max()
+            .expect("non-empty"),
     );
 }

@@ -28,7 +28,11 @@ fn main() {
             format!("({}, {})", scaling.ir().0, scaling.ir().1),
         ];
         for sr in scaling.sub_ranges() {
-            let hi = if sr.hi.is_finite() { format!("{}", sr.hi) } else { "+inf".to_owned() };
+            let hi = if sr.hi.is_finite() {
+                format!("{}", sr.hi)
+            } else {
+                "+inf".to_owned()
+            };
             cells.push(format!("[{}, {})/{}", sr.lo, hi, sr.scale));
         }
         t.row(cells);

@@ -27,7 +27,11 @@ fn main() {
     println!("Table 4: Fine-tuning mIoU of SegformerLite on SynthScapes\n");
     let harness = FinetuneHarness::new(train_cfg);
     let mut ps = ParamStore::new();
-    let seg_cfg = if quick { SegConfig::tiny() } else { SegConfig::benchmark() };
+    let seg_cfg = if quick {
+        SegConfig::tiny()
+    } else {
+        SegConfig::benchmark()
+    };
     let model = SegformerLite::new(&mut ps, seg_cfg, 2024);
 
     eprintln!("[table4] pre-training + INT8 quantization...");
@@ -44,7 +48,13 @@ fn main() {
         ReplaceSet::only(NonLinearOp::Gelu),
         ReplaceSet::only(NonLinearOp::Div),
         ReplaceSet::only(NonLinearOp::Rsqrt),
-        ReplaceSet { gelu: true, exp: true, div: true, rsqrt: true, hswish: false },
+        ReplaceSet {
+            gelu: true,
+            exp: true,
+            div: true,
+            rsqrt: true,
+            hswish: false,
+        },
     ];
 
     let mut t = Table::new(vec![

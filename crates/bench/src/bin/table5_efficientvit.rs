@@ -26,7 +26,11 @@ fn main() {
     println!("Table 5: Fine-tuning mIoU of EfficientVitLite on SynthScapes\n");
     let harness = FinetuneHarness::new(train_cfg);
     let mut ps = ParamStore::new();
-    let vit_cfg = if quick { EffVitConfig::tiny() } else { EffVitConfig::benchmark() };
+    let vit_cfg = if quick {
+        EffVitConfig::tiny()
+    } else {
+        EffVitConfig::benchmark()
+    };
     let model = EfficientVitLite::new(&mut ps, vit_cfg, 2024);
 
     eprintln!("[table5] pre-training + INT8 quantization...");
@@ -41,7 +45,11 @@ fn main() {
     let replacements = [
         ReplaceSet::only(NonLinearOp::Hswish),
         ReplaceSet::only(NonLinearOp::Div),
-        ReplaceSet { hswish: true, div: true, ..ReplaceSet::none() },
+        ReplaceSet {
+            hswish: true,
+            div: true,
+            ..ReplaceSet::none()
+        },
     ];
 
     let mut t = Table::new(vec![

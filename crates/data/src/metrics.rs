@@ -28,7 +28,9 @@ impl ConfusionMatrix {
     /// Empty matrix.
     #[must_use]
     pub fn new() -> Self {
-        Self { counts: vec![0; NUM_CLASSES * NUM_CLASSES] }
+        Self {
+            counts: vec![0; NUM_CLASSES * NUM_CLASSES],
+        }
     }
 
     /// Accumulates a batch of (ground-truth, prediction) pairs. Pixels with
@@ -90,7 +92,9 @@ impl ConfusionMatrix {
         if total == 0 {
             return 0.0;
         }
-        let correct: u64 = (0..NUM_CLASSES).map(|c| self.counts[c * NUM_CLASSES + c]).sum();
+        let correct: u64 = (0..NUM_CLASSES)
+            .map(|c| self.counts[c * NUM_CLASSES + c])
+            .sum();
         correct as f64 / total as f64
     }
 

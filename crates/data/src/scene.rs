@@ -88,13 +88,25 @@ impl SceneConfig {
     /// Tiny scenes for unit tests: 32×64.
     #[must_use]
     pub fn tiny() -> Self {
-        Self { height: 32, width: 64, noise: 0.05, objects: 6, ignore_border: 1 }
+        Self {
+            height: 32,
+            width: 64,
+            noise: 0.05,
+            objects: 6,
+            ignore_border: 1,
+        }
     }
 
     /// The benchmark configuration used by the Table 4/5 harness: 48×96.
     #[must_use]
     pub fn benchmark() -> Self {
-        Self { height: 48, width: 96, noise: 0.05, objects: 9, ignore_border: 1 }
+        Self {
+            height: 48,
+            width: 96,
+            noise: 0.05,
+            objects: 9,
+            ignore_border: 1,
+        }
     }
 }
 
@@ -236,7 +248,10 @@ impl SynthScapes {
             }
         }
 
-        Sample { image: Tensor::from_vec(image, &[3, h, w]), labels }
+        Sample {
+            image: Tensor::from_vec(image, &[3, h, w]),
+            labels,
+        }
     }
 
     fn place_object(
@@ -251,10 +266,10 @@ impl SynthScapes {
         // Vehicles on the road, people/bicycles on the sidewalk, walls and
         // fences in the building band.
         let choices: [(u32, usize, usize, usize); 9] = [
-            (13, road_top, h, 3),  // car
-            (14, road_top, h, 4),  // truck
-            (15, road_top, h, 4),  // bus
-            (17, road_top, h, 2),  // motorcycle
+            (13, road_top, h, 3),            // car
+            (14, road_top, h, 4),            // truck
+            (15, road_top, h, 4),            // bus
+            (17, road_top, h, 2),            // motorcycle
             (11, sidewalk_top, road_top, 2), // person
             (12, sidewalk_top, road_top, 2), // rider
             (18, sidewalk_top, road_top, 2), // bicycle
@@ -359,8 +374,8 @@ mod tests {
             for y in 0..h {
                 for x in 0..w {
                     if s.labels[y * w + x] == target {
-                        for ch in 0..3 {
-                            sum[ch] += s.image.data[ch * h * w + y * w + x] as f64;
+                        for (ch, acc) in sum.iter_mut().enumerate() {
+                            *acc += s.image.data[ch * h * w + y * w + x] as f64;
                         }
                         n += 1;
                     }

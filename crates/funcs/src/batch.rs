@@ -1,0 +1,264 @@
+//! Batched evaluation: the workspace-wide eval spine.
+//!
+//! Every hot path of the reproduction — genetic fitness, pwl/LUT
+//! execution, NN-LUT scoring, model backends — used to funnel through
+//! one-value-at-a-time `dyn Fn(f64) -> f64` virtual calls. [`BatchEval`]
+//! replaces that: evaluators expose `eval_batch(&[f64], &mut [f64])`, so
+//! dynamic dispatch happens once per *buffer* instead of once per
+//! *element*, and implementations are free to hoist entry lookups, walk
+//! sorted inputs segment-by-segment, or hand the inner loop to the
+//! auto-vectorizer.
+//!
+//! The default implementation falls back to the scalar path, so any
+//! `f64 -> f64` evaluator (including plain closures, via [`FnEval`])
+//! participates without extra work.
+//!
+//! This module also owns the canonical fitness-grid construction
+//! (Algorithm 1's `x = Rn, Rn+step, …` sampling) so every crate counts
+//! grid points identically — including the non-dyadic-step edge cases.
+
+/// A scalar function that can also be evaluated over buffers.
+///
+/// # Contract
+///
+/// `eval_batch` must be element-wise equivalent to `eval_scalar`:
+/// `out[i] == self.eval_scalar(xs[i])` bit-for-bit for every `i`.
+/// Implementations may reorder *computation* (hoisting, segment walking,
+/// SIMD-friendly loops) but not *results*. The property tests in
+/// `crates/*/tests` enforce this for every implementation in the
+/// workspace.
+///
+/// # Example
+///
+/// ```
+/// use gqa_funcs::{BatchEval, NonLinearOp};
+///
+/// let op = NonLinearOp::Gelu;
+/// let xs = [-1.0, 0.0, 1.0];
+/// let mut ys = [0.0; 3];
+/// op.eval_batch(&xs, &mut ys);
+/// assert_eq!(ys[1], 0.0);
+/// assert_eq!(ys[2], op.eval_scalar(1.0));
+/// ```
+pub trait BatchEval {
+    /// Evaluates the function at one point.
+    fn eval_scalar(&self, x: f64) -> f64;
+
+    /// Evaluates the function over `xs`, writing into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != out.len()`.
+    fn eval_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        for (y, &x) in out.iter_mut().zip(xs) {
+            *y = self.eval_scalar(x);
+        }
+    }
+
+    /// Convenience: batch-evaluates into a fresh vector.
+    fn eval_to_vec(&self, xs: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; xs.len()];
+        self.eval_batch(xs, &mut out);
+        out
+    }
+}
+
+/// Adapter lifting any `f64 -> f64` closure into a (scalar-fallback)
+/// [`BatchEval`], so existing `&dyn Fn` call sites migrate without churn.
+///
+/// (A blanket `impl<F: Fn(f64) -> f64> BatchEval for F` would forbid every
+/// other crate in the workspace from implementing `BatchEval` for its own
+/// types under Rust's coherence rules, hence the newtype.)
+///
+/// # Example
+///
+/// ```
+/// use gqa_funcs::{BatchEval, FnEval};
+/// let double = FnEval(|x: f64| 2.0 * x);
+/// assert_eq!(double.eval_to_vec(&[1.0, 2.0]), vec![2.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FnEval<F>(pub F);
+
+impl<F: Fn(f64) -> f64> BatchEval for FnEval<F> {
+    fn eval_scalar(&self, x: f64) -> f64 {
+        (self.0)(x)
+    }
+}
+
+impl BatchEval for &dyn Fn(f64) -> f64 {
+    fn eval_scalar(&self, x: f64) -> f64 {
+        self(x)
+    }
+}
+
+impl BatchEval for crate::NonLinearOp {
+    fn eval_scalar(&self, x: f64) -> f64 {
+        self.eval(x)
+    }
+
+    /// Hoists the operator dispatch out of the loop: one `match`, then a
+    /// monomorphic tight loop per operator that the compiler can unroll
+    /// and vectorize.
+    fn eval_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        use crate::NonLinearOp as Op;
+        macro_rules! tight {
+            ($f:path) => {
+                for (y, &x) in out.iter_mut().zip(xs) {
+                    *y = $f(x);
+                }
+            };
+        }
+        match self {
+            Op::Gelu => tight!(crate::gelu),
+            Op::Hswish => tight!(crate::hswish),
+            Op::Exp => tight!(crate::exp),
+            Op::Div => tight!(crate::div),
+            Op::Rsqrt => tight!(crate::rsqrt),
+            Op::Sigmoid => tight!(crate::sigmoid),
+            Op::Silu => tight!(crate::silu),
+            Op::Tanh => tight!(crate::tanh),
+            Op::Softplus => tight!(crate::softplus),
+            Op::Cos => tight!(crate::cosine),
+            // `NonLinearOp` is non_exhaustive-proof: fall back to scalar.
+            #[allow(unreachable_patterns)]
+            _ => {
+                for (y, &x) in out.iter_mut().zip(xs) {
+                    *y = self.eval(x);
+                }
+            }
+        }
+    }
+}
+
+/// Number of samples on the uniform grid `x = rn, rn+step, …` strictly
+/// below `rp` (Algorithm 1's fitness grid; the paper's "Data Size").
+///
+/// This is *not* a plain `((rp-rn)/step).round()`: for non-dyadic steps
+/// rounding can both over-count (`(q).round()` landing past `rp`) and
+/// under-count (e.g. `(1.0-0.0)/0.3 = 3.33 → 3`, losing the `x = 0.9`
+/// sample). The rule here is exact: near-integer quotients (within 1e-9,
+/// i.e. pure f64 representation noise, as with `8.0 / 0.01`) snap to the
+/// integer; anything else takes the ceiling, which equals the count of
+/// `i ≥ 0` with `rn + i·step < rp`.
+///
+/// # Panics
+///
+/// Panics if `step` is not positive or the range is empty.
+#[must_use]
+pub fn grid_len(range: (f64, f64), step: f64) -> usize {
+    let (rn, rp) = range;
+    assert!(step > 0.0, "step must be positive");
+    assert!(rn < rp, "range [{rn}, {rp}] is empty");
+    let q = (rp - rn) / step;
+    // Relative tolerance: representation noise on q scales with q itself,
+    // so an absolute epsilon would stop recognizing exact multiples for
+    // very long grids (q beyond ~1e7).
+    let n = if (q - q.round()).abs() < 1e-9 * q.max(1.0) {
+        q.round()
+    } else {
+        q.ceil()
+    };
+    n as usize
+}
+
+/// Fills `buf` with the uniform fitness grid for `range`/`step`
+/// (clearing any previous contents, reusing the allocation).
+///
+/// # Panics
+///
+/// Panics if `step` is not positive or the range is empty.
+pub fn fill_grid(range: (f64, f64), step: f64, buf: &mut Vec<f64>) {
+    let n = grid_len(range, step);
+    buf.clear();
+    buf.reserve(n);
+    let rn = range.0;
+    buf.extend((0..n).map(|i| rn + i as f64 * step));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NonLinearOp;
+
+    #[test]
+    fn batch_matches_scalar_for_every_op() {
+        let xs: Vec<f64> = (-400..=400).map(|i| i as f64 * 0.01).collect();
+        let mut out = vec![0.0; xs.len()];
+        for &op in NonLinearOp::all() {
+            op.eval_batch(&xs, &mut out);
+            for (&x, &y) in xs.iter().zip(&out) {
+                let want = op.eval(x);
+                assert!(
+                    y == want || (y.is_nan() && want.is_nan()),
+                    "{op}({x}): batch {y} vs scalar {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closures_are_batch_evaluators() {
+        let f = FnEval(|x: f64| 2.0 * x + 1.0);
+        let xs = [0.0, 1.0, 2.0];
+        let ys = f.eval_to_vec(&xs);
+        assert_eq!(ys, vec![1.0, 3.0, 5.0]);
+        let g: &dyn Fn(f64) -> f64 = &|x| x * x;
+        assert_eq!(g.eval_to_vec(&[3.0]), vec![9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch length mismatch")]
+    fn length_mismatch_panics() {
+        let mut out = [0.0; 2];
+        NonLinearOp::Gelu.eval_batch(&[1.0, 2.0, 3.0], &mut out);
+    }
+
+    #[test]
+    fn grid_len_matches_table1_data_sizes() {
+        assert_eq!(grid_len((-4.0, 4.0), 0.01), 800);
+        assert_eq!(grid_len((-8.0, 0.0), 0.01), 800);
+        assert_eq!(grid_len((0.5, 4.0), 0.01), 350);
+        assert_eq!(grid_len((0.25, 4.0), 0.01), 375);
+    }
+
+    #[test]
+    fn grid_len_non_dyadic_steps() {
+        // 1.0 / 0.3 = 3.33…: samples are 0, 0.3, 0.6, 0.9 — four, not three.
+        assert_eq!(grid_len((0.0, 1.0), 0.3), 4);
+        // 1.0 / 0.7 = 1.43: samples are 0, 0.7.
+        assert_eq!(grid_len((0.0, 1.0), 0.7), 2);
+        // Exact multiples stay exact (no ceiling past the end).
+        assert_eq!(grid_len((0.0, 1.0), 0.25), 4);
+        assert_eq!(grid_len((0.0, 1.0), 0.2), 5);
+    }
+
+    #[test]
+    fn grid_samples_stay_below_rp() {
+        for &(range, step) in &[((0.0, 1.0), 0.3), ((-4.0, 4.0), 0.01), ((0.0, 1.0), 0.1999)] {
+            let mut buf = Vec::new();
+            fill_grid(range, step, &mut buf);
+            assert_eq!(buf.len(), grid_len(range, step));
+            assert_eq!(buf[0], range.0);
+            // All samples in [rn, rp) up to representation noise.
+            assert!(buf.iter().all(|&x| x < range.1 + 1e-12), "{range:?}/{step}");
+            // And the next sample would be past the end.
+            let next = range.0 + buf.len() as f64 * step;
+            assert!(
+                next >= range.1 - 1e-9,
+                "{range:?}/{step}: grid stops early at {next}"
+            );
+        }
+    }
+
+    #[test]
+    fn fill_grid_reuses_allocation() {
+        let mut buf = Vec::with_capacity(1000);
+        let cap = buf.capacity();
+        fill_grid((-4.0, 4.0), 0.01, &mut buf);
+        assert_eq!(buf.len(), 800);
+        assert_eq!(buf.capacity(), cap);
+    }
+}

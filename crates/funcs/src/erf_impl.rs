@@ -144,7 +144,11 @@ mod tests {
     #[test]
     fn matches_reference_table() {
         for &(x, want) in TABLE {
-            assert!((erf(x) - want).abs() < 1e-13, "erf({x}) = {} want {want}", erf(x));
+            assert!(
+                (erf(x) - want).abs() < 1e-13,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
             assert!((erf(-x) + want).abs() < 1e-13, "erf(-{x})");
         }
     }

@@ -34,11 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod erf_impl;
 mod ops;
 mod registry;
 mod vector;
 
+pub use batch::{fill_grid, grid_len, BatchEval, FnEval};
 pub use erf_impl::{erf, erfc};
 pub use ops::{
     cosine, div, exp, gelu, gelu_tanh, hswish, relu, relu6, rsqrt, sigmoid, silu, softplus, tanh,

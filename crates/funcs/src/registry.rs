@@ -170,7 +170,9 @@ impl FromStr for NonLinearOp {
             .iter()
             .copied()
             .find(|op| op.name() == lower)
-            .ok_or(ParseOpError { input: s.to_owned() })
+            .ok_or(ParseOpError {
+                input: s.to_owned(),
+            })
     }
 }
 

@@ -70,7 +70,10 @@ impl Dyadic {
         loop {
             let scaled = crate::round_half_away(real * (1i64 << shift) as f64);
             if scaled >= i32::MIN as i64 && scaled <= i32::MAX as i64 {
-                return Self { numerator: scaled as i32, shift };
+                return Self {
+                    numerator: scaled as i32,
+                    shift,
+                };
             }
             assert!(shift > 0, "real value {real} too large for dyadic i32");
             shift -= 1;

@@ -98,7 +98,10 @@ impl Fxp {
         }
         if frac_bits > self.frac_bits {
             let shift = frac_bits - self.frac_bits;
-            Self::from_raw(self.raw.checked_shl(shift).expect("rescale overflow"), frac_bits)
+            Self::from_raw(
+                self.raw.checked_shl(shift).expect("rescale overflow"),
+                frac_bits,
+            )
         } else {
             let shift = self.frac_bits - frac_bits;
             let scale = crate::PowerOfTwoScale::new(-(shift as i32));
@@ -137,7 +140,10 @@ impl Fxp {
     /// [`Fxp::MAX_FRAC_BITS`].
     #[must_use]
     pub fn wide_mul(self, rhs: Fxp) -> Fxp {
-        let raw = self.raw.checked_mul(rhs.raw).expect("Fxp multiply overflow");
+        let raw = self
+            .raw
+            .checked_mul(rhs.raw)
+            .expect("Fxp multiply overflow");
         Fxp::from_raw(raw, self.frac_bits + rhs.frac_bits)
     }
 

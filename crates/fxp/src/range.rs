@@ -32,7 +32,10 @@ impl IntRange {
     pub fn signed(bits: u32) -> Self {
         assert!((1..=63).contains(&bits), "signed bit-width must be 1..=63");
         let half = 1i64 << (bits - 1);
-        Self { qn: -half, qp: half - 1 }
+        Self {
+            qn: -half,
+            qp: half - 1,
+        }
     }
 
     /// Creates the unsigned k-bit range `[0, 2^k - 1]`.
@@ -42,8 +45,14 @@ impl IntRange {
     /// Panics if `bits` is 0 or greater than 62.
     #[must_use]
     pub fn unsigned(bits: u32) -> Self {
-        assert!((1..=62).contains(&bits), "unsigned bit-width must be 1..=62");
-        Self { qn: 0, qp: (1i64 << bits) - 1 }
+        assert!(
+            (1..=62).contains(&bits),
+            "unsigned bit-width must be 1..=62"
+        );
+        Self {
+            qn: 0,
+            qp: (1i64 << bits) - 1,
+        }
     }
 
     /// Creates an arbitrary inclusive range.

@@ -50,7 +50,10 @@ impl PowerOfTwoScale {
     /// shift without overflow).
     #[must_use]
     pub fn new(exponent: i32) -> Self {
-        assert!(exponent.abs() <= 62, "scale exponent {exponent} out of range");
+        assert!(
+            exponent.abs() <= 62,
+            "scale exponent {exponent} out of range"
+        );
         Self { exponent }
     }
 

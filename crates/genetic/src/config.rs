@@ -136,7 +136,9 @@ impl SearchConfig {
     /// [`SearchConfig::gaussian_default_std`].
     #[must_use]
     pub fn without_rounding_mutation(mut self) -> Self {
-        self.mutation = MutationKind::Gaussian { std: self.gaussian_default_std() };
+        self.mutation = MutationKind::Gaussian {
+            std: self.gaussian_default_std(),
+        };
         self
     }
 
@@ -216,10 +218,12 @@ impl SearchConfig {
     }
 
     /// Number of fitness-grid points, the paper's "Data Size" row
-    /// (0.8K for GELU, 0.35K for DIV, …).
+    /// (0.8K for GELU, 0.35K for DIV, …). Delegates to
+    /// [`gqa_funcs::grid_len`] so the reported size always matches the
+    /// grid the evaluator actually builds (non-dyadic steps included).
     #[must_use]
     pub fn data_size(&self) -> usize {
-        ((self.range.1 - self.range.0) / self.grid_step).round() as usize
+        gqa_funcs::grid_len(self.range, self.grid_step)
     }
 
     /// Validates parameter sanity.
@@ -240,7 +244,10 @@ impl SearchConfig {
             "mutation probability must be in [0, 1]"
         );
         assert!(self.rounding_step_prob >= 0.0, "θr must be non-negative");
-        assert!(self.mutate_range.0 <= self.mutate_range.1, "mutate range inverted");
+        assert!(
+            self.mutate_range.0 <= self.mutate_range.1,
+            "mutate range inverted"
+        );
         let steps = (self.mutate_range.1 - self.mutate_range.0 + 1) as f64;
         assert!(
             steps * self.rounding_step_prob <= 1.0 + 1e-12,
@@ -251,7 +258,10 @@ impl SearchConfig {
         assert!(self.generations >= 1, "need at least one generation");
         assert!(self.grid_step > 0.0, "grid step must be positive");
         assert!(self.tournament >= 1, "tournament size must be at least 1");
-        assert!(self.data_size() >= 2, "fitness grid too coarse for the range");
+        assert!(
+            self.data_size() >= 2,
+            "fitness grid too coarse for the range"
+        );
     }
 }
 
@@ -278,7 +288,10 @@ mod tests {
     fn table1_per_op_rows() {
         assert_eq!(SearchConfig::for_op(NonLinearOp::Exp).mutate_range, (2, 6));
         assert_eq!(SearchConfig::for_op(NonLinearOp::Exp).range, (-8.0, 0.0));
-        assert_eq!(SearchConfig::for_op(NonLinearOp::Div).rounding_step_prob, 0.0);
+        assert_eq!(
+            SearchConfig::for_op(NonLinearOp::Div).rounding_step_prob,
+            0.0
+        );
         assert_eq!(SearchConfig::for_op(NonLinearOp::Rsqrt).range, (0.25, 4.0));
     }
 
@@ -309,7 +322,10 @@ mod tests {
             .with_population(8)
             .with_seed(1)
             .with_tournament(2);
-        assert_eq!((c.generations, c.population, c.seed, c.tournament), (10, 8, 1, 2));
+        assert_eq!(
+            (c.generations, c.population, c.seed, c.tournament),
+            (10, 8, 1, 2)
+        );
     }
 
     #[test]

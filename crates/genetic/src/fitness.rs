@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use gqa_funcs::BatchEval;
 use gqa_pwl::{Pwl, SegmentFit};
 
 /// Shared, reusable fitness machinery for one `(f, range, step)` triple.
@@ -51,12 +52,12 @@ impl FitnessEvaluator {
         step: f64,
         segment_fit: SegmentFit,
     ) -> Self {
-        let (rn, rp) = range;
-        assert!(rn < rp, "empty range [{rn}, {rp}]");
-        assert!(step > 0.0, "step must be positive");
-        let n = ((rp - rn) / step).round() as usize;
+        // Shared grid rule (gqa_funcs::grid_len): exact for Table-1 sizes,
+        // correct for non-dyadic steps.
+        let mut xs = Vec::new();
+        gqa_funcs::fill_grid(range, step, &mut xs);
+        let n = xs.len();
         assert!(n >= 2, "grid too coarse");
-        let xs: Vec<f64> = (0..n).map(|i| rn + i as f64 * step).collect();
         let ys: Vec<f64> = xs
             .iter()
             .map(|&x| {
@@ -84,7 +85,17 @@ impl FitnessEvaluator {
             pxx.push(axx);
             pxy.push(axy);
         }
-        Self { f, xs, ys, px, py, pxx, pxy, range, segment_fit }
+        Self {
+            f,
+            xs,
+            ys,
+            px,
+            py,
+            pxx,
+            pxy,
+            range,
+            segment_fit,
+        }
     }
 
     /// Number of grid points (the paper's "Data Size").
@@ -177,12 +188,24 @@ impl FitnessEvaluator {
 
     /// Grid MSE of a pwl against the precomputed reference
     /// (Algorithm 1 lines 6–8).
+    ///
+    /// Scoring goes through [`BatchEval`]: the sorted grid is swept in
+    /// fixed-size chunks (stack-resident, so the call allocates nothing)
+    /// and the pwl's segment-walking batch path evaluates each chunk with
+    /// the per-entry `(k, b)` hoisted out of the inner loop. Bit-identical
+    /// to the scalar `pwl.eval(x)` sweep it replaced.
     #[must_use]
     pub fn mse(&self, pwl: &Pwl) -> f64 {
+        const CHUNK: usize = 256;
+        let mut buf = [0.0f64; CHUNK];
         let mut acc = 0.0f64;
-        for (&x, &y) in self.xs.iter().zip(&self.ys) {
-            let d = pwl.eval(x) - y;
-            acc += d * d;
+        for (xc, yc) in self.xs.chunks(CHUNK).zip(self.ys.chunks(CHUNK)) {
+            let out = &mut buf[..xc.len()];
+            BatchEval::eval_batch(pwl, xc, out);
+            for (&y_hat, &y) in out.iter().zip(yc) {
+                let d = y_hat - y;
+                acc += d * d;
+            }
         }
         acc / self.xs.len() as f64
     }
@@ -280,7 +303,9 @@ mod tests {
     fn mse_decreases_with_more_breakpoints() {
         let ev = gelu_eval(SegmentFit::LeastSquares);
         let uniform = |n: usize| -> Vec<f64> {
-            (1..=n).map(|i| -4.0 + 8.0 * i as f64 / (n + 1) as f64).collect()
+            (1..=n)
+                .map(|i| -4.0 + 8.0 * i as f64 / (n + 1) as f64)
+                .collect()
         };
         let (_, m3) = ev.fitness(&uniform(3));
         let (_, m7) = ev.fitness(&uniform(7));

@@ -105,12 +105,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         // θr large enough that every element mutates (range [0,1] ⇒ 2 steps
         // × 0.5 = total prob 1).
-        let mut bps = vec![-2.34567, -0.11111, 0.98765, 3.14159];
+        let mut bps = vec![-2.34567, -0.11111, 0.98765, 3.14151];
         rounding_mutation(&mut bps, 0.5, (0, 1), &mut rng);
         for &p in &bps {
             // Every value is now on the 0- or 1-fractional-bit grid.
-            let on_grid = (p * 2.0 - (p * 2.0).round()).abs() < 1e-12
-                || (p - p.round()).abs() < 1e-12;
+            let on_grid =
+                (p * 2.0 - (p * 2.0).round()).abs() < 1e-12 || (p - p.round()).abs() < 1e-12;
             assert!(on_grid, "{p} not on grid");
         }
         assert!(sorted(&bps));
@@ -157,8 +157,15 @@ mod tests {
                 // and the 0-bit snap of the seed (-5.0) is unreachable
                 // because round(-5.432·2^i)/2^i ≠ -5 for all i ≥ 2.
                 let s6 = bps[0] * 64.0;
-                assert!((s6 - s6.round()).abs() < 1e-9, "{} not on 6-bit grid", bps[0]);
-                assert!((bps[0] - (-5.0)).abs() > 1e-12, "hit the forbidden 0-bit snap");
+                assert!(
+                    (s6 - s6.round()).abs() < 1e-9,
+                    "{} not on 6-bit grid",
+                    bps[0]
+                );
+                assert!(
+                    (bps[0] - (-5.0)).abs() > 1e-12,
+                    "hit the forbidden 0-bit snap"
+                );
             }
         }
     }

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use gqa_funcs::BatchEval;
 use gqa_fxp::IntRange;
 use gqa_pwl::{eval, Pwl, QuantAwareLut};
 
@@ -20,7 +21,18 @@ use crate::selection::tournament_select;
 pub struct GeneticSearch {
     config: SearchConfig,
     evaluator: FitnessEvaluator,
-    function: Arc<dyn Fn(f64) -> f64 + Send + Sync>,
+    // Per-scale dequantized grids for QuantAwareAverage fitness, hoisted
+    // out of the scoring loop: the codes and reference values depend only
+    // on (scale, range, clip), never on the individual being scored.
+    qaa_grids: Vec<DequantGrid>,
+}
+
+/// One precomputed §4.1 evaluation grid: the clip-surviving INT8 codes at
+/// one scale plus the reference `f(q·S)` values.
+struct DequantGrid {
+    scale: gqa_fxp::PowerOfTwoScale,
+    qs: Vec<i64>,
+    ys: Vec<f64>,
 }
 
 impl std::fmt::Debug for GeneticSearch {
@@ -63,7 +75,31 @@ impl GeneticSearch {
             config.grid_step,
             config.segment_fit,
         );
-        Self { config, evaluator, function }
+        let qaa_grids = if config.fitness == FitnessMode::QuantAwareAverage {
+            let range = IntRange::signed(8);
+            let (lo, hi) = config.range;
+            eval::paper_scale_sweep()
+                .into_iter()
+                .map(|scale| {
+                    let s = scale.to_f64();
+                    let (qs, xs): (Vec<i64>, Vec<f64>) = range
+                        .iter()
+                        .map(|q| (q, q as f64 * s))
+                        .filter(|&(_, x)| x >= lo && x <= hi)
+                        .unzip();
+                    let mut ys = vec![0.0; xs.len()];
+                    gqa_funcs::FnEval(|x| function(x)).eval_batch(&xs, &mut ys);
+                    DequantGrid { scale, qs, ys }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            config,
+            evaluator,
+            qaa_grids,
+        }
     }
 
     /// The configuration.
@@ -82,8 +118,9 @@ impl GeneticSearch {
         // Line 1: random FP32 breakpoint population.
         let mut population: Vec<Vec<f64>> = (0..cfg.population)
             .map(|_| {
-                let mut p: Vec<f64> =
-                    (0..cfg.num_breakpoints).map(|_| rng.gen_range(rn..rp)).collect();
+                let mut p: Vec<f64> = (0..cfg.num_breakpoints)
+                    .map(|_| rng.gen_range(rn..rp))
+                    .collect();
                 p.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 p
             })
@@ -139,8 +176,7 @@ impl GeneticSearch {
 
             // Lines 3–8 + 18: fitness, then 3-size tournament selection
             // onto the next generation (with optional elitism).
-            let fitness_now: Vec<f64> =
-                population.iter().map(|p| self.score(p)).collect();
+            let fitness_now: Vec<f64> = self.score_all(&population);
             let best_idx = fitness_now
                 .iter()
                 .enumerate()
@@ -161,10 +197,10 @@ impl GeneticSearch {
         }
 
         // Line 20: best individual of the final generation.
-        let (best_idx, _) = population
-            .iter()
+        let (best_idx, _) = self
+            .score_all(&population)
+            .into_iter()
             .enumerate()
-            .map(|(i, p)| (i, self.score(p)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"))
             .expect("non-empty population");
         let best_breakpoints = population[best_idx].clone();
@@ -183,12 +219,51 @@ impl GeneticSearch {
         }
     }
 
+    /// Scores the whole population, in order. With the `parallel` feature
+    /// (default) large populations are sharded across scoped OS threads —
+    /// the population-scoring parallelism the paper's per-generation loop
+    /// admits trivially, since every individual's fitness is pure.
+    ///
+    /// Deterministic: scoring draws no randomness and results are written
+    /// back by index, so the output is identical to the serial sweep.
+    #[must_use]
+    fn score_all(&self, population: &[Vec<f64>]) -> Vec<f64> {
+        #[cfg(feature = "parallel")]
+        {
+            // Only shard when there is enough work to amortize thread
+            // spawns (~tens of µs each): the default paper config
+            // (N_p = 50 × 800-point grid) qualifies.
+            let work = population.len() * self.evaluator.data_size();
+            let avail = std::thread::available_parallelism().map_or(1, usize::from);
+            let threads = avail.min(population.len() / 8).min(8);
+            if threads > 1 && work >= 20_000 {
+                let mut scores = vec![0.0f64; population.len()];
+                let chunk = population.len().div_ceil(threads);
+                std::thread::scope(|s| {
+                    for (pop_chunk, out_chunk) in
+                        population.chunks(chunk).zip(scores.chunks_mut(chunk))
+                    {
+                        s.spawn(move || {
+                            for (p, out) in pop_chunk.iter().zip(out_chunk.iter_mut()) {
+                                *out = self.score(p);
+                            }
+                        });
+                    }
+                });
+                return scores;
+            }
+        }
+        population.iter().map(|p| self.score(p)).collect()
+    }
+
     /// Scores one individual per the configured fitness mode.
     fn score(&self, breakpoints: &[f64]) -> f64 {
         match self.config.fitness {
             FitnessMode::PlainGrid => {
                 if self.config.lambda_aware {
-                    self.evaluator.fitness_fxp(breakpoints, self.config.lambda).1
+                    self.evaluator
+                        .fitness_fxp(breakpoints, self.config.lambda)
+                        .1
                 } else {
                     self.evaluator.fitness(breakpoints).1
                 }
@@ -200,23 +275,31 @@ impl GeneticSearch {
                     Err(_) => return f64::INFINITY,
                 };
                 let range = IntRange::signed(8);
-                let f = &self.function;
-                let clip = Some(self.config.range);
-                let sweep = eval::paper_scale_sweep();
-                let total: f64 = sweep
+                // INT8 has at most 256 codes, so the output buffer lives
+                // on the stack: scoring one individual allocates only the
+                // per-scale LUT instantiation.
+                let mut out = [0.0f64; 256];
+                let total: f64 = self
+                    .qaa_grids
                     .iter()
-                    .map(|&s| {
-                        let inst = lut.instantiate(s, range);
-                        eval::mse_dequantized(
-                            &|q| inst.eval_dequantized(q),
-                            &|x| f(x),
-                            s,
-                            range,
-                            clip,
-                        )
+                    .map(|grid| {
+                        if grid.qs.is_empty() {
+                            // Every code clipped: defined as 0, matching
+                            // eval::mse_dequantized_lut.
+                            return 0.0;
+                        }
+                        let inst = lut.instantiate(grid.scale, range);
+                        let out = &mut out[..grid.qs.len()];
+                        inst.eval_dequantized_batch(&grid.qs, out);
+                        let mut acc = 0.0f64;
+                        for (&a, &r) in out.iter().zip(&grid.ys) {
+                            let d = a - r;
+                            acc += d * d;
+                        }
+                        acc / grid.qs.len() as f64
                     })
                     .sum();
-                total / sweep.len() as f64
+                total / self.qaa_grids.len() as f64
             }
         }
     }
@@ -295,7 +378,9 @@ mod tests {
 
     #[test]
     fn beats_uniform_breakpoints() {
-        let cfg = quick(NonLinearOp::Gelu).with_generations(200).with_population(50);
+        let cfg = quick(NonLinearOp::Gelu)
+            .with_generations(200)
+            .with_population(50);
         let ev = FitnessEvaluator::new(
             Arc::new(|x| NonLinearOp::Gelu.eval(x)),
             cfg.range,
@@ -347,10 +432,7 @@ mod tests {
     fn rm_breakpoints_tend_to_fxp_grid() {
         // With RM, most winning breakpoints should sit on coarse
         // power-of-two fractions.
-        let r = GeneticSearch::new(
-            quick(NonLinearOp::Gelu).with_generations(120),
-        )
-        .run();
+        let r = GeneticSearch::new(quick(NonLinearOp::Gelu).with_generations(120)).run();
         let on_grid = r
             .breakpoints()
             .iter()

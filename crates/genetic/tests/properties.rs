@@ -93,4 +93,30 @@ proptest! {
         let pwl = ev.derive_pwl(&bps);
         prop_assert!(pwl.breakpoints().iter().all(|&p| (-2.0..=2.0).contains(&p)));
     }
+
+    /// The batched `mse` sweep equals the naive scalar accumulation
+    /// bit-for-bit (same accumulation order, chunked).
+    #[test]
+    fn batched_mse_equals_scalar_sweep(bps in proptest::collection::vec(-4.0f64..4.0, 1..12)) {
+        let ev = FitnessEvaluator::new(
+            Arc::new(|x: f64| x.tanh()),
+            (-4.0, 4.0),
+            0.02,
+            SegmentFit::LeastSquares,
+        );
+        let pwl = ev.derive_pwl(&bps);
+        let batched = ev.mse(&pwl);
+        // Scalar reference: what the seed's per-element loop computed.
+        let n = ((4.0f64 - (-4.0)) / 0.02).round() as usize;
+        let scalar = (0..n)
+            .map(|i| {
+                let x = -4.0 + i as f64 * 0.02;
+                let d = pwl.eval(x) - x.tanh();
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        prop_assert!((batched - scalar).abs() <= 1e-15 * scalar.abs().max(1.0),
+            "batched {batched} vs scalar {scalar}");
+    }
 }

@@ -88,7 +88,10 @@ impl Primitive {
                 gates: f64::from(bits) * (XNOR + 1.0),
                 activity: 0.5,
             },
-            Primitive::Adder { bits } => GateCost { gates: f64::from(bits) * FA, activity: 0.7 },
+            Primitive::Adder { bits } => GateCost {
+                gates: f64::from(bits) * FA,
+                activity: 0.7,
+            },
             Primitive::Multiplier { a_bits, b_bits } => GateCost {
                 // Array multiplier: a×b partial-product cells ≈ FA each
                 // (AND + adder cell amortized). Wider multipliers toggle
@@ -154,9 +157,24 @@ mod tests {
 
     #[test]
     fn multiplier_scales_quadratically() {
-        let m8 = Primitive::Multiplier { a_bits: 8, b_bits: 8 }.cost().gates;
-        let m16 = Primitive::Multiplier { a_bits: 16, b_bits: 16 }.cost().gates;
-        let m32 = Primitive::Multiplier { a_bits: 32, b_bits: 32 }.cost().gates;
+        let m8 = Primitive::Multiplier {
+            a_bits: 8,
+            b_bits: 8,
+        }
+        .cost()
+        .gates;
+        let m16 = Primitive::Multiplier {
+            a_bits: 16,
+            b_bits: 16,
+        }
+        .cost()
+        .gates;
+        let m32 = Primitive::Multiplier {
+            a_bits: 32,
+            b_bits: 32,
+        }
+        .cost()
+        .gates;
         assert!((m16 / m8 - 4.0).abs() < 1e-9);
         assert!((m32 / m8 - 16.0).abs() < 1e-9);
     }
@@ -177,7 +195,12 @@ mod tests {
     #[test]
     fn fp32_mult_larger_than_int8_mult() {
         let fp = Primitive::Fp32Multiplier.cost().gates;
-        let int8 = Primitive::Multiplier { a_bits: 8, b_bits: 8 }.cost().gates;
+        let int8 = Primitive::Multiplier {
+            a_bits: 8,
+            b_bits: 8,
+        }
+        .cost()
+        .gates;
         assert!(fp > 8.0 * int8);
     }
 
@@ -186,11 +209,20 @@ mod tests {
         let prims = [
             Primitive::Comparator { bits: 8 },
             Primitive::Adder { bits: 8 },
-            Primitive::Multiplier { a_bits: 8, b_bits: 8 },
-            Primitive::BarrelShifter { bits: 16, stages: 4 },
+            Primitive::Multiplier {
+                a_bits: 8,
+                b_bits: 8,
+            },
+            Primitive::BarrelShifter {
+                bits: 16,
+                stages: 4,
+            },
             Primitive::Register { bits: 64 },
             Primitive::PriorityEncoder { inputs: 8 },
-            Primitive::ReadMux { entries: 8, bits: 8 },
+            Primitive::ReadMux {
+                entries: 8,
+                bits: 8,
+            },
             Primitive::Fp32Multiplier,
             Primitive::Fp32Adder,
             Primitive::Fp32Comparator,

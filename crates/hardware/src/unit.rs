@@ -22,8 +22,12 @@ pub enum Precision {
 
 impl Precision {
     /// All Table 6 precisions, top to bottom.
-    pub const ALL: [Precision; 4] =
-        [Precision::Int8, Precision::Int16, Precision::Int32, Precision::Fp32];
+    pub const ALL: [Precision; 4] = [
+        Precision::Int8,
+        Precision::Int16,
+        Precision::Int32,
+        Precision::Fp32,
+    ];
 
     /// Stored word width in bits.
     #[must_use]
@@ -112,7 +116,9 @@ impl PwlUnit {
         prims.push(Primitive::PriorityEncoder { inputs: n - 1 });
 
         // Parameter storage + read muxes for slope and intercept.
-        prims.push(Primitive::Register { bits: storage.total_bits() as u32 });
+        prims.push(Primitive::Register {
+            bits: storage.total_bits() as u32,
+        });
         prims.push(Primitive::ReadMux { entries: n, bits });
         prims.push(Primitive::ReadMux { entries: n, bits });
 
@@ -123,7 +129,10 @@ impl PwlUnit {
                 prims.push(Primitive::Fp32Adder);
             }
             _ => {
-                prims.push(Primitive::Multiplier { a_bits: bits, b_bits: bits });
+                prims.push(Primitive::Multiplier {
+                    a_bits: bits,
+                    b_bits: bits,
+                });
                 // Accumulator at product width.
                 prims.push(Primitive::Adder { bits: bits * 2 });
             }
@@ -133,15 +142,25 @@ impl PwlUnit {
         // scale shifter (Figure 1b).
         if precision.quant_aware() {
             let stages = 4; // shifts up to ±15 cover every paper scale
-            prims.push(Primitive::BarrelShifter { bits: bits * 2, stages });
-            prims.push(Primitive::BarrelShifter { bits: bits * 2, stages });
+            prims.push(Primitive::BarrelShifter {
+                bits: bits * 2,
+                stages,
+            });
+            prims.push(Primitive::BarrelShifter {
+                bits: bits * 2,
+                stages,
+            });
         }
 
         // I/O pipeline registers (input word + output accumulator).
         prims.push(Primitive::Register { bits });
         prims.push(Primitive::Register { bits: bits * 2 });
 
-        Self { precision, entries, primitives: prims }
+        Self {
+            precision,
+            entries,
+            primitives: prims,
+        }
     }
 
     /// The precision row this unit models.
@@ -205,12 +224,20 @@ mod tests {
 
     #[test]
     fn gates_increase_with_precision() {
-        let g: Vec<f64> = Precision::ALL.iter().map(|&p| PwlUnit::new(p, 8).gates()).collect();
+        let g: Vec<f64> = Precision::ALL
+            .iter()
+            .map(|&p| PwlUnit::new(p, 8).gates())
+            .collect();
         assert!(g[0] < g[1], "INT8 < INT16");
         assert!(g[1] < g[2], "INT16 < INT32");
         // FP32 is in the same league as INT32 (paper: slightly smaller area,
         // slightly higher power).
-        assert!((g[3] / g[2] - 1.0).abs() < 0.35, "FP32 {} vs INT32 {}", g[3], g[2]);
+        assert!(
+            (g[3] / g[2] - 1.0).abs() < 0.35,
+            "FP32 {} vs INT32 {}",
+            g[3],
+            g[2]
+        );
     }
 
     #[test]

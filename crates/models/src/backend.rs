@@ -4,10 +4,10 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use gqa_funcs::NonLinearOp;
+use gqa_funcs::{BatchEval, NonLinearOp};
 use gqa_fxp::{IntRange, PowerOfTwoScale};
 use gqa_pwl::{FxpPwl, IntLutInstance, MultiRangeLut, MultiRangeScaling, QuantAwareLut};
-use gqa_tensor::{UnaryBackend, UnaryKind};
+use gqa_tensor::{ExactBackend, UnaryBackend, UnaryKind};
 
 use crate::luts::{build_lut_budgeted, Method};
 
@@ -37,7 +37,13 @@ impl ReplaceSet {
     /// Everything replaced (the "Altogether" row).
     #[must_use]
     pub fn all() -> Self {
-        Self { gelu: true, hswish: true, exp: true, div: true, rsqrt: true }
+        Self {
+            gelu: true,
+            hswish: true,
+            exp: true,
+            div: true,
+            rsqrt: true,
+        }
     }
 
     /// Replace a single operator.
@@ -134,6 +140,28 @@ impl UnaryBackend for CalibrationRecorder {
         }
         kind.exact(x)
     }
+
+    /// Batched calibration: folds the tensor's min/max locally and takes
+    /// the range lock once per tensor instead of once per element, then
+    /// evaluates exactly through the batched kernel.
+    fn eval_many(&self, kind: UnaryKind, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        let mut seen: Option<(f64, f64)> = None;
+        for &x in xs {
+            if x.is_finite() {
+                let e = seen.get_or_insert((x, x));
+                e.0 = e.0.min(x);
+                e.1 = e.1.max(x);
+            }
+        }
+        if let Some((lo, hi)) = seen {
+            let mut map = self.ranges.lock().expect("poisoned");
+            let e = map.entry(kind).or_insert((lo, hi));
+            e.0 = e.0.min(lo);
+            e.1 = e.1.max(hi);
+        }
+        ExactBackend.eval_many(kind, xs, out);
+    }
 }
 
 /// A [`UnaryBackend`] that evaluates the replaced operators through their
@@ -192,9 +220,15 @@ impl PwlBackend {
             MultiRangeLut::new(FxpPwl::new(&lut, 8), scaling)
         };
         Self {
-            gelu: replace.gelu.then(|| scale_dep(NonLinearOp::Gelu, UnaryKind::Gelu)),
-            hswish: replace.hswish.then(|| scale_dep(NonLinearOp::Hswish, UnaryKind::Hswish)),
-            exp: replace.exp.then(|| scale_dep(NonLinearOp::Exp, UnaryKind::Exp)),
+            gelu: replace
+                .gelu
+                .then(|| scale_dep(NonLinearOp::Gelu, UnaryKind::Gelu)),
+            hswish: replace
+                .hswish
+                .then(|| scale_dep(NonLinearOp::Hswish, UnaryKind::Hswish)),
+            exp: replace
+                .exp
+                .then(|| scale_dep(NonLinearOp::Exp, UnaryKind::Exp)),
             recip: replace.div.then(|| wide(NonLinearOp::Div)),
             rsqrt: replace.rsqrt.then(|| wide(NonLinearOp::Rsqrt)),
         }
@@ -215,40 +249,45 @@ impl PwlBackend {
             gelu: gelu.map(|(l, s)| l.instantiate(s, range)),
             hswish: hswish.map(|(l, s)| l.instantiate(s, range)),
             exp: exp.map(|(l, s)| l.instantiate(s, range)),
-            recip: recip.map(|l| {
-                MultiRangeLut::new(FxpPwl::new(&l, 8), MultiRangeScaling::div_paper())
-            }),
-            rsqrt: rsqrt.map(|l| {
-                MultiRangeLut::new(FxpPwl::new(&l, 8), MultiRangeScaling::rsqrt_paper())
-            }),
+            recip: recip
+                .map(|l| MultiRangeLut::new(FxpPwl::new(&l, 8), MultiRangeScaling::div_paper())),
+            rsqrt: rsqrt
+                .map(|l| MultiRangeLut::new(FxpPwl::new(&l, 8), MultiRangeScaling::rsqrt_paper())),
+        }
+    }
+}
+
+impl PwlBackend {
+    /// The LUT datapath for `kind`, if that operator is replaced.
+    fn lut_for(&self, kind: UnaryKind) -> Option<&dyn BatchEval> {
+        match kind {
+            UnaryKind::Gelu => self.gelu.as_ref().map(|l| l as &dyn BatchEval),
+            UnaryKind::Hswish => self.hswish.as_ref().map(|l| l as &dyn BatchEval),
+            UnaryKind::Exp => self.exp.as_ref().map(|l| l as &dyn BatchEval),
+            UnaryKind::Recip => self.recip.as_ref().map(|l| l as &dyn BatchEval),
+            UnaryKind::Rsqrt => self.rsqrt.as_ref().map(|l| l as &dyn BatchEval),
+            _ => None,
         }
     }
 }
 
 impl UnaryBackend for PwlBackend {
     fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
-        match kind {
-            UnaryKind::Gelu => match &self.gelu {
-                Some(inst) => inst.eval_f64(x),
-                None => kind.exact(x),
-            },
-            UnaryKind::Hswish => match &self.hswish {
-                Some(inst) => inst.eval_f64(x),
-                None => kind.exact(x),
-            },
-            UnaryKind::Exp => match &self.exp {
-                Some(inst) => inst.eval_f64(x),
-                None => kind.exact(x),
-            },
-            UnaryKind::Recip => match &self.recip {
-                Some(lut) => lut.eval_f64(x),
-                None => kind.exact(x),
-            },
-            UnaryKind::Rsqrt => match &self.rsqrt {
-                Some(lut) => lut.eval_f64(x),
-                None => kind.exact(x),
-            },
-            other => other.exact(x),
+        match self.lut_for(kind) {
+            Some(lut) => lut.eval_scalar(x),
+            None => kind.exact(x),
+        }
+    }
+
+    /// Per-tensor batched non-linearities: replaced operators sweep the
+    /// whole buffer through the INT8 LUT's batch kernel (quantize → entry
+    /// select → integer FMA, with scale constants hoisted); everything
+    /// else goes through the exact batched kernel.
+    fn eval_many(&self, kind: UnaryKind, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        match self.lut_for(kind) {
+            Some(lut) => lut.eval_batch(xs, out),
+            None => ExactBackend.eval_many(kind, xs, out),
         }
     }
 }
@@ -314,7 +353,10 @@ mod tests {
         let rsqrt = build_lut_budgeted(Method::GqaNoRm, NonLinearOp::Rsqrt, 8, 6, 0.1);
         let be = PwlBackend::from_luts(None, None, None, Some(recip), Some(rsqrt));
         for &x in &[0.7, 1.5, 3.0, 10.0, 50.0] {
-            assert!((be.eval(UnaryKind::Recip, x) - 1.0 / x).abs() < 0.15, "recip {x}");
+            assert!(
+                (be.eval(UnaryKind::Recip, x) - 1.0 / x).abs() < 0.15,
+                "recip {x}"
+            );
             assert!(
                 (be.eval(UnaryKind::Rsqrt, x) - 1.0 / x.sqrt()).abs() < 0.2,
                 "rsqrt {x}"

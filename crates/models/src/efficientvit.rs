@@ -46,13 +46,23 @@ impl EffVitConfig {
     /// Minimal configuration for unit tests.
     #[must_use]
     pub fn tiny() -> Self {
-        Self { stem_ch: 8, attn_ch: 16, expand: 2, num_classes: NUM_CLASSES }
+        Self {
+            stem_ch: 8,
+            attn_ch: 16,
+            expand: 2,
+            num_classes: NUM_CLASSES,
+        }
     }
 
     /// The Table-5 benchmark configuration.
     #[must_use]
     pub fn benchmark() -> Self {
-        Self { stem_ch: 16, attn_ch: 32, expand: 2, num_classes: NUM_CLASSES }
+        Self {
+            stem_ch: 16,
+            attn_ch: 32,
+            expand: 2,
+            num_classes: NUM_CLASSES,
+        }
     }
 }
 
@@ -189,11 +199,13 @@ impl EfficientVitLite {
         let v3 = g.reshape(v, &[b, n, c]);
         let kt = g.transpose_last2(k3); // (B, C, N)
         let kv = g.batch_matmul(kt, v3); // (B, C, C)
+
         // Normalize the token sums by N (an exact rewrite of the attention
         // ratio): it keeps the DIV operand within the multi-range coverage
         // of Table 2 instead of growing linearly with sequence length.
         let kv = g.scale(kv, 1.0 / n as f32);
         let numerator = g.batch_matmul(q3, kv); // (B, N, C)
+
         // Σ_n relu(K)_n / N per channel: row-mean of Kᵀ rows (each row =
         // one channel over N), shaped back to (B, C, 1).
         let ksum = g.row_mean(kt); // (B*C, 1)

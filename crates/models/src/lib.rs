@@ -45,4 +45,6 @@ pub use backend::{CalibrationRecorder, PwlBackend, ReplaceSet};
 pub use efficientvit::{EffVitConfig, EfficientVitLite};
 pub use luts::{build_lut, Method};
 pub use segformer::{SegConfig, SegformerLite};
-pub use train::{argmax_nchw, quantize_weights_pot, FinetuneHarness, FinetuneOutcome, SegModel, TrainConfig};
+pub use train::{
+    argmax_nchw, quantize_weights_pot, FinetuneHarness, FinetuneOutcome, SegModel, TrainConfig,
+};

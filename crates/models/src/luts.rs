@@ -71,7 +71,10 @@ pub fn build_lut_budgeted(
     seed: u64,
     budget: f64,
 ) -> QuantAwareLut {
-    assert!(entries == 8 || entries == 16, "paper evaluates 8- and 16-entry LUTs");
+    assert!(
+        entries == 8 || entries == 16,
+        "paper evaluates 8- and 16-entry LUTs"
+    );
     assert!(budget > 0.0 && budget <= 1.0, "budget must be in (0, 1]");
     match method {
         Method::NnLut => {

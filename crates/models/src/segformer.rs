@@ -176,7 +176,17 @@ impl SegformerLite {
         let dec2 = Linear::new(ps, c2, d, &mut rng);
         let fuse = Conv2d::new(ps, 2 * d, d, 1, 1, 0, 1, &mut rng);
         let classify = Conv2d::new(ps, d, config.num_classes, 1, 1, 0, 1, &mut rng);
-        Self { config, embed1, stage1, embed2, stage2, dec1, dec2, fuse, classify }
+        Self {
+            config,
+            embed1,
+            stage1,
+            embed2,
+            stage2,
+            dec1,
+            dec2,
+            fuse,
+            classify,
+        }
     }
 
     /// The configuration.
@@ -244,13 +254,7 @@ impl SegModel for SegformerLite {
 }
 
 /// `(B, C, H, W)` → token matrix `(B, N, C)` with `N = H·W`.
-pub(crate) fn nchw_to_tokens(
-    g: &mut Graph<'_>,
-    x: NodeId,
-    b: usize,
-    c: usize,
-    n: usize,
-) -> NodeId {
+pub(crate) fn nchw_to_tokens(g: &mut Graph<'_>, x: NodeId, b: usize, c: usize, n: usize) -> NodeId {
     let flat = g.reshape(x, &[b, c, n]);
     g.transpose_last2(flat)
 }

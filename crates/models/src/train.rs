@@ -148,8 +148,7 @@ impl FinetuneHarness {
             while start < n {
                 let end = (start + bs).min(n);
                 // Epoch-dependent rotation gives SGD fresh batch mixes.
-                let indices: Vec<u64> =
-                    (start..end).map(|i| (i + epoch as u64 * 3) % n).collect();
+                let indices: Vec<u64> = (start..end).map(|i| (i + epoch as u64 * 3) % n).collect();
                 let (images, labels) = self.batch_tensors(&indices);
                 let mut g = Graph::new(backend);
                 let x = g.input(images);
@@ -190,7 +189,10 @@ impl FinetuneHarness {
             let pred = argmax_nchw(g.value(logits), NUM_CLASSES, h, w);
             cm.add(&labels, &pred);
         }
-        FinetuneOutcome { miou: cm.miou(), pixel_accuracy: cm.pixel_accuracy() }
+        FinetuneOutcome {
+            miou: cm.miou(),
+            pixel_accuracy: cm.pixel_accuracy(),
+        }
     }
 
     /// Runs a calibration forward pass (exact math) recording per-operator
@@ -198,8 +200,8 @@ impl FinetuneHarness {
     #[must_use]
     pub fn calibrate(&self, model: &dyn SegModel, ps: &ParamStore) -> CalibrationRecorder {
         let rec = CalibrationRecorder::new();
-        let indices: Vec<u64> = (0..self.config.batch.min(self.config.train_images) as u64)
-            .collect();
+        let indices: Vec<u64> =
+            (0..self.config.batch.min(self.config.train_images) as u64).collect();
         let (images, _) = self.batch_tensors(&indices);
         let mut g = Graph::new(&rec);
         let x = g.input(images);
@@ -216,7 +218,14 @@ impl FinetuneHarness {
         ps: &mut ParamStore,
     ) -> FinetuneOutcome {
         let exact = ExactBackend;
-        let _ = self.train(model, ps, &exact, self.config.pretrain_epochs, self.config.lr_pretrain, false);
+        let _ = self.train(
+            model,
+            ps,
+            &exact,
+            self.config.pretrain_epochs,
+            self.config.lr_pretrain,
+            false,
+        );
         quantize_weights_pot(ps);
         let _ = self.train(
             model,
@@ -259,10 +268,7 @@ pub fn quantize_weights_pot(ps: &mut ParamStore) {
     for id in ids {
         let t = ps.value(id).clone();
         let step = calibrate_minmax(&t.data, range);
-        let scale = gqa_fxp::PowerOfTwoScale::covering(
-            step * range.qp() as f64,
-            range,
-        );
+        let scale = gqa_fxp::PowerOfTwoScale::covering(step * range.qp() as f64, range);
         let qp = gqa_quant::QuantParams::new(scale, range);
         qp.fake_quantize_in_place(&mut ps.value_mut(id).data);
     }

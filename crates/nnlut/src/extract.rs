@@ -124,7 +124,13 @@ mod tests {
 
     #[test]
     fn no_hidden_units_is_error() {
-        let net = ReluNet1d { w1: vec![], b1: vec![], w2: vec![], a: 1.0, c: 0.0 };
+        let net = ReluNet1d {
+            w1: vec![],
+            b1: vec![],
+            w2: vec![],
+            a: 1.0,
+            c: 0.0,
+        };
         assert!(matches!(
             extract_pwl(&net, (-1.0, 1.0)),
             Err(PwlError::NoBreakpoints)

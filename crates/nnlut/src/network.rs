@@ -39,7 +39,13 @@ impl ReluNet1d {
             })
             .collect();
         let w2: Vec<f64> = (0..hidden).map(|_| rng.gen_range(-0.1..0.1)).collect();
-        Self { w1, b1, w2, a: 0.0, c: 0.0 }
+        Self {
+            w1,
+            b1,
+            w2,
+            a: 0.0,
+            c: 0.0,
+        }
     }
 
     /// Number of hidden units `H`.
@@ -61,6 +67,31 @@ impl ReluNet1d {
         y
     }
 
+    /// Batched forward pass, unit-major: the direct path fills `out`, then
+    /// each hidden unit's `(w1, b1, w2)` is hoisted and swept across the
+    /// whole buffer with a branchless `relu` (`z.max(0.0)`), which keeps
+    /// the inner loop a pure fused multiply-add chain. Per-element
+    /// accumulation order matches [`ReluNet1d::forward`] exactly, so every
+    /// output compares equal to the scalar path (inactive units contribute
+    /// `±0.0` instead of being skipped — invisible up to the sign of zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn forward_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        for (y, &x) in out.iter_mut().zip(xs) {
+            *y = self.a * x + self.c;
+        }
+        for i in 0..self.hidden() {
+            let (w1, b1, w2) = (self.w1[i], self.b1[i], self.w2[i]);
+            for (y, &x) in out.iter_mut().zip(xs) {
+                let z = w1 * x + b1;
+                *y += w2 * z.max(0.0);
+            }
+        }
+    }
+
     /// The kink locations `t_i = −b1_i / w1_i` (unordered; `None` entries
     /// for dead units with `w1_i = 0` are skipped).
     #[must_use]
@@ -74,6 +105,16 @@ impl ReluNet1d {
     }
 }
 
+impl gqa_funcs::BatchEval for ReluNet1d {
+    fn eval_scalar(&self, x: f64) -> f64 {
+        self.forward(x)
+    }
+
+    fn eval_batch(&self, xs: &[f64], out: &mut [f64]) {
+        self.forward_batch(xs, out);
+    }
+}
+
 /// Adam optimizer state for one parameter vector.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct AdamState {
@@ -84,7 +125,11 @@ pub(crate) struct AdamState {
 
 impl AdamState {
     pub(crate) fn new(len: usize) -> Self {
-        Self { m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+        Self {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
     }
 
     /// One Adam step over a flat parameter slice.
@@ -148,6 +193,25 @@ mod tests {
             c: 0.0,
         };
         assert_eq!(net.kinks(), vec![2.0]);
+    }
+
+    #[test]
+    fn batched_forward_equals_scalar() {
+        use gqa_funcs::BatchEval;
+        let mut rng = StdRng::seed_from_u64(9);
+        for hidden in [1usize, 3, 7, 15] {
+            let mut net = ReluNet1d::init(hidden, (-4.0, 4.0), &mut rng);
+            net.a = 0.3;
+            net.c = -0.2;
+            let xs: Vec<f64> = (-90..=90).map(|i| i as f64 / 20.0).collect();
+            let mut out = vec![0.0; xs.len()];
+            net.forward_batch(&xs, &mut out);
+            for (&x, &y) in xs.iter().zip(&out) {
+                assert_eq!(y, net.forward(x), "hidden={hidden} x={x}");
+            }
+            // Trait path dispatches to the same kernel.
+            assert_eq!(net.eval_to_vec(&xs), out);
+        }
     }
 
     #[test]

@@ -94,7 +94,10 @@ impl NnLutConfig {
         assert!(self.entries >= 2, "need at least 2 entries");
         assert!(self.range.0 < self.range.1, "empty range");
         assert!(self.samples >= self.batch, "fewer samples than one batch");
-        assert!(self.steps >= 1 && self.batch >= 1, "degenerate training setup");
+        assert!(
+            self.steps >= 1 && self.batch >= 1,
+            "degenerate training setup"
+        );
         assert!(self.lr > 0.0, "learning rate must be positive");
     }
 }
@@ -140,7 +143,9 @@ pub struct NnLutTrainer {
 
 impl std::fmt::Debug for NnLutTrainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NnLutTrainer").field("config", &self.config).finish()
+        f.debug_struct("NnLutTrainer")
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -217,11 +222,15 @@ impl NnLutTrainer {
             unpack(&params, &mut net);
         }
 
-        let train_mse = xs
+        // Full-dataset evaluation sweep, batched (100 K points at the
+        // paper's budget — the single hottest loop of NN-LUT training).
+        let mut preds = vec![0.0f64; xs.len()];
+        net.forward_batch(&xs, &mut preds);
+        let train_mse = preds
             .iter()
             .zip(&ys)
-            .map(|(&x, &y)| {
-                let d = net.forward(x) - y;
+            .map(|(&p, &y)| {
+                let d = p - y;
                 d * d
             })
             .sum::<f64>()
@@ -229,7 +238,11 @@ impl NnLutTrainer {
 
         let pwl = extract_pwl(&net, cfg.range).expect("trained network has kinks");
         let lut = QuantAwareLut::new(pwl, cfg.lambda).expect("valid pwl");
-        NnLutResult { network: net, lut, train_mse }
+        NnLutResult {
+            network: net,
+            lut,
+            train_mse,
+        }
     }
 }
 

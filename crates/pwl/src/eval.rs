@@ -1,12 +1,101 @@
 //! MSE evaluators: the fitness of Algorithm 1 and the quantization-aware
 //! operator-level evaluation protocol of §4.1.
+//!
+//! All scoring is *batched*: the sample grid is materialized once into a
+//! reusable buffer ([`MseGrid`]) and every approximant is evaluated over
+//! it through [`BatchEval`], so the per-candidate cost is two buffer
+//! sweeps with no per-element virtual dispatch. The legacy closure-based
+//! entry points ([`mse_grid`], [`mse_grid_fn`], [`mse_dequantized`]) are
+//! kept as thin wrappers over the batched engine.
 
+use gqa_funcs::{fill_grid, BatchEval, FnEval};
 use gqa_fxp::{IntRange, PowerOfTwoScale};
 
 use crate::pwl_fn::Pwl;
+use crate::quantized::IntLutInstance;
+
+/// A reusable uniform evaluation grid with the reference values
+/// precomputed: build once per `(f, range, step)`, score many
+/// approximants.
+///
+/// # Example
+///
+/// ```
+/// use gqa_pwl::{eval::MseGrid, fit, SegmentFit};
+/// use gqa_funcs::NonLinearOp;
+///
+/// let grid = MseGrid::new(&NonLinearOp::Gelu, (-4.0, 4.0), 0.01);
+/// assert_eq!(grid.len(), 800); // Table 1's "0.8K" data size
+/// let p = fit::fit_pwl(&|x| NonLinearOp::Gelu.eval(x), (-4.0, 4.0),
+///     &[-2.0, -1.0, 0.0, 1.0, 2.0], SegmentFit::LeastSquares).unwrap();
+/// let mut scratch = Vec::new();
+/// assert!(grid.mse_of(&p, &mut scratch) < 1e-2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MseGrid {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl MseGrid {
+    /// Samples `f` once over the Algorithm-1 grid `x = rn, rn+step, …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive or the range is empty (the grid
+    /// length rule lives in [`gqa_funcs::grid_len`]).
+    #[must_use]
+    pub fn new(f: &dyn BatchEval, range: (f64, f64), step: f64) -> Self {
+        let mut xs = Vec::new();
+        fill_grid(range, step, &mut xs);
+        let mut ys = vec![0.0; xs.len()];
+        f.eval_batch(&xs, &mut ys);
+        Self { xs, ys }
+    }
+
+    /// Number of grid points (the paper's "Data Size").
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the grid is empty (never true for validated construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The sample points.
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The reference values `f(x)`.
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Mean squared error of `approx` against the precomputed reference,
+    /// evaluated batch-wise. `scratch` is resized as needed and reused
+    /// across calls so steady-state scoring allocates nothing.
+    #[must_use]
+    pub fn mse_of(&self, approx: &dyn BatchEval, scratch: &mut Vec<f64>) -> f64 {
+        scratch.resize(self.xs.len(), 0.0);
+        approx.eval_batch(&self.xs, scratch);
+        let mut acc = 0.0f64;
+        for (&y_hat, &y) in scratch.iter().zip(&self.ys) {
+            let d = y_hat - y;
+            acc += d * d;
+        }
+        acc / self.xs.len() as f64
+    }
+}
 
 /// Uniform-grid MSE (Algorithm 1, lines 6–8):
-/// `E = Σ (pwl(x) − f(x))² / ((Rp − Rn)/step)` for `x = Rn, Rn+step, …`
+/// `E = Σ (pwl(x) − f(x))² / N` for `x = Rn, Rn+step, …` (`N` samples,
+/// counted by [`gqa_funcs::grid_len`]).
 ///
 /// This is the genetic fitness function; the paper uses `step = 0.01`,
 /// which also produces the "Data Size" row of Table 1 (0.8K points for
@@ -17,11 +106,15 @@ use crate::pwl_fn::Pwl;
 /// Panics if `step` is not positive or the range is inverted.
 #[must_use]
 pub fn mse_grid(pwl: &Pwl, f: &dyn Fn(f64) -> f64, range: (f64, f64), step: f64) -> f64 {
-    mse_grid_fn(&|x| pwl.eval(x), f, range, step)
+    let grid = MseGrid::new(&FnEval(f), range, step);
+    grid.mse_of(pwl, &mut Vec::new())
 }
 
 /// [`mse_grid`] generalized to any approximant closure (used to score the
 /// NN-LUT network before pwl extraction, and quantized evaluators).
+///
+/// Prefer building an [`MseGrid`] once when scoring many approximants
+/// against the same reference.
 ///
 /// # Panics
 ///
@@ -33,18 +126,50 @@ pub fn mse_grid_fn(
     range: (f64, f64),
     step: f64,
 ) -> f64 {
-    let (rn, rp) = range;
-    assert!(step > 0.0, "step must be positive");
-    assert!(rn < rp, "range [{rn}, {rp}] is empty");
-    let n = ((rp - rn) / step).round() as usize;
-    assert!(n > 0, "range shorter than one step");
+    let grid = MseGrid::new(&FnEval(f), range, step);
+    grid.mse_of(&FnEval(approx), &mut Vec::new())
+}
+
+/// Batched dequantized-grid MSE (§4.1) for an instantiated integer LUT:
+/// every representable code `q ∈ [Qn, Qp]` is evaluated through the
+/// integer datapath in one sweep and compared against `f` at the
+/// dequantized points `q·S`.
+///
+/// Codes whose dequantized value falls outside `clip_range` (when given)
+/// are skipped, confining the comparison to the operator's meaningful
+/// domain. When *every* code is clipped the result is defined as `0.0`
+/// (no representable point lies in the domain, so no error is measurable);
+/// callers that need to distinguish "empty" from "perfect" should check
+/// the clip range against `range.iter()` themselves.
+#[must_use]
+pub fn mse_dequantized_lut(
+    inst: &IntLutInstance,
+    f: &dyn BatchEval,
+    clip_range: Option<(f64, f64)>,
+) -> f64 {
+    let s = inst.scale().to_f64();
+    let range = inst.range();
+    // Codes ascending → dequantized xs ascending (S > 0), so downstream
+    // sorted fast paths apply.
+    let (lo, hi) = clip_range.unwrap_or((f64::NEG_INFINITY, f64::INFINITY));
+    let (qs, xs): (Vec<i64>, Vec<f64>) = range
+        .iter()
+        .map(|q| (q, q as f64 * s))
+        .filter(|&(_, x)| x >= lo && x <= hi)
+        .unzip();
+    if qs.is_empty() {
+        return 0.0;
+    }
+    let mut approx = vec![0.0; qs.len()];
+    inst.eval_dequantized_batch(&qs, &mut approx);
+    let mut reference = vec![0.0; xs.len()];
+    f.eval_batch(&xs, &mut reference);
     let mut acc = 0.0f64;
-    for i in 0..n {
-        let x = rn + i as f64 * step;
-        let d = approx(x) - f(x);
+    for (&a, &r) in approx.iter().zip(&reference) {
+        let d = a - r;
         acc += d * d;
     }
-    acc / n as f64
+    acc / qs.len() as f64
 }
 
 /// Dequantized-grid MSE (§4.1): inputs are sampled "orderly from the
@@ -56,6 +181,11 @@ pub fn mse_grid_fn(
 /// integer datapath of Figure 1(b). Codes whose dequantized value falls
 /// outside `clip_range` (when given) are skipped, which confines the
 /// comparison to the operator's meaningful domain (e.g. EXP's `(−8, 0]`).
+///
+/// Returns `0.0` — a defined value, never NaN — when every code is
+/// clipped (`n == 0`). Prefer [`mse_dequantized_lut`] when the approximant
+/// is an [`IntLutInstance`]; this closure-based form exists for custom
+/// datapaths and instrumentation.
 #[must_use]
 pub fn mse_dequantized(
     eval_q: &dyn Fn(i64) -> f64,
@@ -107,13 +237,18 @@ pub fn normalize_to_max(series: &[f64]) -> Vec<f64> {
 /// y-axis label exactly.
 #[must_use]
 pub fn log_compress_mse(series: &[f64]) -> Vec<f64> {
-    series.iter().map(|&m| (2.0e4 * m).max(1e-30).log10()).collect()
+    series
+        .iter()
+        .map(|&m| (2.0e4 * m).max(1e-30).log10())
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fit::{fit_pwl, SegmentFit};
+    use crate::quantized::QuantAwareLut;
+    use gqa_funcs::NonLinearOp;
 
     #[test]
     fn zero_error_for_exact_fit() {
@@ -125,19 +260,40 @@ mod tests {
     #[test]
     fn grid_size_matches_table1_data_size() {
         // GELU: (-4, 4) / 0.01 = 800 points = "0.8K" in Table 1.
-        let n = ((4.0 - (-4.0)) / 0.01f64).round() as usize;
-        assert_eq!(n, 800);
+        let g = MseGrid::new(&NonLinearOp::Gelu, (-4.0, 4.0), 0.01);
+        assert_eq!(g.len(), 800);
         // DIV: (0.5, 4) -> 350 = "0.35K".
-        let n = ((4.0 - 0.5) / 0.01f64).round() as usize;
-        assert_eq!(n, 350);
+        let g = MseGrid::new(&NonLinearOp::Div, (0.5, 4.0), 0.01);
+        assert_eq!(g.len(), 350);
         // RSQRT: (0.25, 4) -> 375 ≈ "0.36K".
-        let n = ((4.0 - 0.25) / 0.01f64).round() as usize;
-        assert_eq!(n, 375);
+        let g = MseGrid::new(&NonLinearOp::Rsqrt, (0.25, 4.0), 0.01);
+        assert_eq!(g.len(), 375);
+    }
+
+    #[test]
+    fn non_dyadic_step_counts_all_samples() {
+        // (0, 1) stepping 0.3 holds samples {0, 0.3, 0.6, 0.9}: a naive
+        // ((rp-rn)/step).round() would count 3 and drop x = 0.9.
+        let g = MseGrid::new(&FnEval(|x: f64| x), (0.0, 1.0), 0.3);
+        assert_eq!(g.len(), 4);
+        assert!((g.xs()[3] - 0.9).abs() < 1e-12);
+        // And never sample at/past the open upper edge.
+        assert!(g.xs().iter().all(|&x| x < 1.0));
+    }
+
+    #[test]
+    fn mse_grid_fn_matches_batched_grid() {
+        let f = |x: f64| NonLinearOp::Gelu.eval(x);
+        let p = fit_pwl(&f, (-4.0, 4.0), &[-1.0, 0.0, 1.0], SegmentFit::LeastSquares).unwrap();
+        let legacy = mse_grid_fn(&|x| p.eval(x), &f, (-4.0, 4.0), 0.01);
+        let grid = MseGrid::new(&NonLinearOp::Gelu, (-4.0, 4.0), 0.01);
+        let batched = grid.mse_of(&p, &mut Vec::new());
+        assert_eq!(legacy, batched);
     }
 
     #[test]
     fn dequantized_grid_visits_all_codes() {
-        let mut seen = std::cell::RefCell::new(Vec::new());
+        let seen = std::cell::RefCell::new(Vec::new());
         let f = |_: f64| 0.0;
         let eval_q = |q: i64| {
             seen.borrow_mut().push(q);
@@ -150,7 +306,7 @@ mod tests {
             IntRange::signed(4),
             None,
         );
-        let v = seen.get_mut();
+        let v = seen.borrow();
         assert_eq!(v.len(), 16);
         assert_eq!((v[0], *v.last().unwrap()), (-8, 7));
     }
@@ -172,6 +328,56 @@ mod tests {
         );
         assert_eq!(mse, 0.0);
         assert_eq!(count.get(), 5); // q in {-4,-3,-2,-1,0}
+    }
+
+    #[test]
+    fn fully_clipped_grid_is_zero_not_nan() {
+        let f = |x: f64| x;
+        let eval_q = |q: i64| q as f64;
+        // Clip range far outside anything INT8 × 2^-1 can represent.
+        let mse = mse_dequantized(
+            &eval_q,
+            &f,
+            PowerOfTwoScale::new(-1),
+            IntRange::signed(8),
+            Some((1e6, 2e6)),
+        );
+        assert_eq!(mse, 0.0);
+        assert!(!mse.is_nan());
+    }
+
+    fn gelu_inst(e: i32) -> IntLutInstance {
+        let f = |x: f64| NonLinearOp::Gelu.eval(x);
+        let bps = [-2.5, -1.5, -0.8, -0.3, 0.3, 0.9, 2.0];
+        let pwl = fit_pwl(&f, (-4.0, 4.0), &bps, SegmentFit::LeastSquares).unwrap();
+        let lut = QuantAwareLut::new(pwl, 5).unwrap();
+        lut.instantiate(PowerOfTwoScale::new(e), IntRange::signed(8))
+    }
+
+    #[test]
+    fn batched_dequantized_matches_closure_form() {
+        for e in [-5, -4, -3] {
+            let inst = gelu_inst(e);
+            let clip = Some((-4.0, 4.0));
+            let batched = mse_dequantized_lut(&inst, &NonLinearOp::Gelu, clip);
+            let legacy = mse_dequantized(
+                &|q| inst.eval_dequantized(q),
+                &|x| NonLinearOp::Gelu.eval(x),
+                inst.scale(),
+                inst.range(),
+                clip,
+            );
+            assert_eq!(batched, legacy, "scale 2^{e}");
+        }
+    }
+
+    #[test]
+    fn batched_dequantized_fully_clipped_is_zero() {
+        let inst = gelu_inst(-4);
+        assert_eq!(
+            mse_dequantized_lut(&inst, &NonLinearOp::Gelu, Some((50.0, 60.0))),
+            0.0
+        );
     }
 
     #[test]

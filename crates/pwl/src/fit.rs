@@ -156,8 +156,13 @@ mod tests {
     #[test]
     fn interpolation_is_continuous() {
         let f = |x: f64| NonLinearOp::Gelu.eval(x);
-        let p = fit_pwl(&f, (-4.0, 4.0), &[-2.0, -1.0, 0.0, 1.0, 2.0], SegmentFit::Interpolate)
-            .unwrap();
+        let p = fit_pwl(
+            &f,
+            (-4.0, 4.0),
+            &[-2.0, -1.0, 0.0, 1.0, 2.0],
+            SegmentFit::Interpolate,
+        )
+        .unwrap();
         assert!(p.max_discontinuity() < 1e-12);
         // Exact at the breakpoints.
         for &bp in p.breakpoints() {
@@ -190,7 +195,11 @@ mod tests {
         assert_eq!(p.num_entries(), 3);
         // Middle (degenerate) segment is the tangent-like secant at x = 1:
         // slope ≈ d/dx x² = 2, passing through (1, 1).
-        assert!((p.slopes()[1] - 2.0).abs() < 1e-3, "slope {}", p.slopes()[1]);
+        assert!(
+            (p.slopes()[1] - 2.0).abs() < 1e-3,
+            "slope {}",
+            p.slopes()[1]
+        );
         assert!((p.slopes()[1] * 1.0 + p.intercepts()[1] - 1.0).abs() < 1e-9);
     }
 

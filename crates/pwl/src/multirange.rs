@@ -96,7 +96,11 @@ impl MultiRangeScaling {
                 );
                 expect_lo = sr.hi;
             } else {
-                assert_eq!(i, sub_ranges.len() - 1, "only the last sub-range may be unbounded");
+                assert_eq!(
+                    i,
+                    sub_ranges.len() - 1,
+                    "only the last sub-range may be unbounded"
+                );
             }
             if rescale == RescaleKind::Sqrt {
                 assert!(
@@ -106,7 +110,11 @@ impl MultiRangeScaling {
                 );
             }
         }
-        Self { ir, sub_ranges, rescale }
+        Self {
+            ir,
+            sub_ranges,
+            rescale,
+        }
     }
 
     /// Table 2's DIV setup: `IR = (0.5, 4)`,
@@ -116,9 +124,21 @@ impl MultiRangeScaling {
         Self::new(
             (0.5, 4.0),
             vec![
-                SubRange { lo: 4.0, hi: 32.0, scale: PowerOfTwoScale::new(-3) },
-                SubRange { lo: 32.0, hi: 256.0, scale: PowerOfTwoScale::new(-6) },
-                SubRange { lo: 256.0, hi: f64::INFINITY, scale: PowerOfTwoScale::new(-6) },
+                SubRange {
+                    lo: 4.0,
+                    hi: 32.0,
+                    scale: PowerOfTwoScale::new(-3),
+                },
+                SubRange {
+                    lo: 32.0,
+                    hi: 256.0,
+                    scale: PowerOfTwoScale::new(-6),
+                },
+                SubRange {
+                    lo: 256.0,
+                    hi: f64::INFINITY,
+                    scale: PowerOfTwoScale::new(-6),
+                },
             ],
             RescaleKind::Linear,
         )
@@ -131,9 +151,21 @@ impl MultiRangeScaling {
         Self::new(
             (0.25, 4.0),
             vec![
-                SubRange { lo: 4.0, hi: 64.0, scale: PowerOfTwoScale::new(-4) },
-                SubRange { lo: 64.0, hi: 1024.0, scale: PowerOfTwoScale::new(-8) },
-                SubRange { lo: 1024.0, hi: f64::INFINITY, scale: PowerOfTwoScale::new(-12) },
+                SubRange {
+                    lo: 4.0,
+                    hi: 64.0,
+                    scale: PowerOfTwoScale::new(-4),
+                },
+                SubRange {
+                    lo: 64.0,
+                    hi: 1024.0,
+                    scale: PowerOfTwoScale::new(-8),
+                },
+                SubRange {
+                    lo: 1024.0,
+                    hi: f64::INFINITY,
+                    scale: PowerOfTwoScale::new(-12),
+                },
             ],
             RescaleKind::Sqrt,
         )
@@ -229,6 +261,15 @@ impl MultiRangeLut {
     }
 }
 
+impl gqa_funcs::BatchEval for MultiRangeLut {
+    fn eval_scalar(&self, x: f64) -> f64 {
+        self.eval_f64(x)
+    }
+    // The default batch loop already hoists the dynamic dispatch to once
+    // per buffer; sub-range selection stays per-element because tensors
+    // mix in-IR and scaled inputs freely.
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,7 +354,11 @@ mod tests {
     fn gap_in_subranges_rejected() {
         let _ = MultiRangeScaling::new(
             (0.5, 4.0),
-            vec![SubRange { lo: 8.0, hi: 32.0, scale: PowerOfTwoScale::new(-3) }],
+            vec![SubRange {
+                lo: 8.0,
+                hi: 32.0,
+                scale: PowerOfTwoScale::new(-3),
+            }],
             RescaleKind::Linear,
         );
     }
@@ -323,7 +368,11 @@ mod tests {
     fn odd_exponent_sqrt_rejected() {
         let _ = MultiRangeScaling::new(
             (0.25, 4.0),
-            vec![SubRange { lo: 4.0, hi: 32.0, scale: PowerOfTwoScale::new(-3) }],
+            vec![SubRange {
+                lo: 4.0,
+                hi: 32.0,
+                scale: PowerOfTwoScale::new(-3),
+            }],
             RescaleKind::Sqrt,
         );
     }

@@ -31,7 +31,11 @@ impl fmt::Display for PwlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PwlError::NoBreakpoints => write!(f, "piece-wise linear needs at least one breakpoint"),
-            PwlError::LengthMismatch { slopes, intercepts, breakpoints } => write!(
+            PwlError::LengthMismatch {
+                slopes,
+                intercepts,
+                breakpoints,
+            } => write!(
                 f,
                 "parameter length mismatch: {slopes} slopes, {intercepts} intercepts, \
                  {breakpoints} breakpoints (need slopes = intercepts = breakpoints + 1)"
@@ -107,7 +111,11 @@ impl Pwl {
             return Err(PwlError::NonFinite);
         }
         breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        Ok(Self { slopes, intercepts, breakpoints })
+        Ok(Self {
+            slopes,
+            intercepts,
+            breakpoints,
+        })
     }
 
     /// Number of LUT entries `N`.
@@ -146,6 +154,44 @@ impl Pwl {
     pub fn eval(&self, x: f64) -> f64 {
         let i = self.entry_index(x);
         self.slopes[i] * x + self.intercepts[i]
+    }
+
+    /// Batch evaluation over *ascending* inputs, walking the segments in
+    /// one pass: each entry's `(k, b)` is hoisted and applied to the
+    /// contiguous run of inputs it covers, so the inner loop is a pure
+    /// fused multiply-add with no per-element breakpoint search. This is
+    /// the hot path of the genetic fitness grid (inputs there are always
+    /// the sorted Algorithm-1 grid).
+    ///
+    /// Bit-exactly equivalent to mapping [`Pwl::eval`] over `xs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or `xs` is not sorted ascending.
+    pub fn eval_sorted_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        debug_assert!(
+            xs.windows(2).all(|w| w[0] <= w[1]),
+            "eval_sorted_batch requires ascending inputs"
+        );
+        let mut start = 0usize;
+        for (entry, &p) in self.breakpoints.iter().enumerate() {
+            // Entry `entry` covers x < p (and ≥ previous breakpoint).
+            let end = start + xs[start..].partition_point(|&x| x < p);
+            let (k, b) = (self.slopes[entry], self.intercepts[entry]);
+            for (y, &x) in out[start..end].iter_mut().zip(&xs[start..end]) {
+                *y = k * x + b;
+            }
+            start = end;
+        }
+        // Last entry: x ≥ p_{N−2}.
+        let (k, b) = (
+            *self.slopes.last().expect("validated"),
+            *self.intercepts.last().expect("validated"),
+        );
+        for (y, &x) in out[start..].iter_mut().zip(&xs[start..]) {
+            *y = k * x + b;
+        }
     }
 
     /// Evaluates the scaled identity the paper's quantization-aware flow
@@ -193,6 +239,27 @@ impl Pwl {
     }
 }
 
+impl gqa_funcs::BatchEval for Pwl {
+    fn eval_scalar(&self, x: f64) -> f64 {
+        self.eval(x)
+    }
+
+    /// Detects ascending inputs (the overwhelmingly common case: fitness
+    /// grids and dequantized code sweeps are sorted) and takes the
+    /// segment-walking path; otherwise falls back to per-element entry
+    /// search. Either way the results are bit-identical to [`Pwl::eval`].
+    fn eval_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        if xs.windows(2).all(|w| w[0] <= w[1]) {
+            self.eval_sorted_batch(xs, out);
+        } else {
+            for (y, &x) in out.iter_mut().zip(xs) {
+                *y = self.eval(x);
+            }
+        }
+    }
+}
+
 impl fmt::Display for Pwl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "pwl with {} entries:", self.num_entries())?;
@@ -227,12 +294,7 @@ mod tests {
 
     #[test]
     fn entry_selection_matches_eq1() {
-        let p = Pwl::new(
-            vec![1.0, 2.0, 3.0],
-            vec![0.0, 0.0, 0.0],
-            vec![-1.0, 1.0],
-        )
-        .unwrap();
+        let p = Pwl::new(vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0], vec![-1.0, 1.0]).unwrap();
         assert_eq!(p.entry_index(-2.0), 0); // x < p0
         assert_eq!(p.entry_index(-1.0), 1); // p0 <= x < p1
         assert_eq!(p.entry_index(0.0), 1);
@@ -251,12 +313,7 @@ mod tests {
 
     #[test]
     fn construction_sorts_breakpoints() {
-        let p = Pwl::new(
-            vec![0.0; 4],
-            vec![1.0, 2.0, 3.0, 4.0],
-            vec![2.0, -1.0, 0.5],
-        )
-        .unwrap();
+        let p = Pwl::new(vec![0.0; 4], vec![1.0, 2.0, 3.0, 4.0], vec![2.0, -1.0, 0.5]).unwrap();
         assert_eq!(p.breakpoints(), &[-1.0, 0.5, 2.0]);
     }
 
@@ -279,12 +336,7 @@ mod tests {
     #[test]
     fn separation_identity() {
         // pwl(S·q) = S·pwl'(q) must hold exactly for any S > 0.
-        let p = Pwl::new(
-            vec![0.3, -0.7, 1.1],
-            vec![0.2, -0.4, 0.9],
-            vec![-0.5, 1.25],
-        )
-        .unwrap();
+        let p = Pwl::new(vec![0.3, -0.7, 1.1], vec![0.2, -0.4, 0.9], vec![-0.5, 1.25]).unwrap();
         for &s in &[0.25, 0.5, 1.0, 2.0] {
             for i in -20..=20 {
                 let q = i as f64;

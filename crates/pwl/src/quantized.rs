@@ -58,7 +58,12 @@ impl QuantAwareLut {
             .iter()
             .map(|&b| Fxp::from_f64(b, lambda).raw())
             .collect();
-        Ok(Self { pwl: rounded, lambda, slopes_raw, intercepts_raw })
+        Ok(Self {
+            pwl: rounded,
+            lambda,
+            slopes_raw,
+            intercepts_raw,
+        })
     }
 
     /// The FXP-rounded pwl (slopes/intercepts on the λ grid, FP breakpoints).
@@ -184,6 +189,89 @@ impl IntLutInstance {
     pub fn eval_f64(&self, x: f64) -> f64 {
         self.eval_dequantized(self.quantize_input(x))
     }
+
+    /// Batched integer datapath: `out[i] = eval_raw(qs[i])`.
+    ///
+    /// Ascending codes (the §4.1 dequantized-grid sweep, `IntRange::iter`
+    /// order) take a segment-walking path with the entry's `(k, b̃)`
+    /// hoisted out of a pure integer-FMA inner loop; arbitrary codes fall
+    /// back to branch-free entry selection (a popcount of `p̃ ≤ q`
+    /// comparisons — exactly the comparator bank of Figure 1b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn eval_raw_batch(&self, qs: &[i64], out: &mut [i64]) {
+        assert_eq!(qs.len(), out.len(), "batch length mismatch");
+        let bps = &self.breakpoints_q;
+        if qs.windows(2).all(|w| w[0] <= w[1]) {
+            let mut start = 0usize;
+            for (entry, &p) in bps.iter().enumerate() {
+                let end = start + qs[start..].partition_point(|&q| q < p);
+                let (k, b) = (self.slopes_raw[entry], self.intercepts_scaled_raw[entry]);
+                for (y, &q) in out[start..end].iter_mut().zip(&qs[start..end]) {
+                    *y = k * q + b;
+                }
+                start = end;
+            }
+            let last = bps.len();
+            let (k, b) = (self.slopes_raw[last], self.intercepts_scaled_raw[last]);
+            for (y, &q) in out[start..].iter_mut().zip(&qs[start..]) {
+                *y = k * q + b;
+            }
+        } else {
+            for (y, &q) in out.iter_mut().zip(qs) {
+                let i: usize = bps.iter().map(|&p| usize::from(p <= q)).sum();
+                *y = self.slopes_raw[i] * q + self.intercepts_scaled_raw[i];
+            }
+        }
+    }
+
+    /// Batched dequantized evaluation: `out[i] = eval_dequantized(qs[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn eval_dequantized_batch(&self, qs: &[i64], out: &mut [f64]) {
+        assert_eq!(qs.len(), out.len(), "batch length mismatch");
+        // Go through the raw batch kernel so ascending codes (the §4.1
+        // sweep order) get its segment-walking fast path, then apply the
+        // output scaling in one multiplication sweep. Chunks of a
+        // stack-resident buffer keep the call allocation-free (chunks of
+        // an ascending sequence stay ascending, so the fast path
+        // survives chunking). Multiplying by the exact reciprocal of 2^λ
+        // is bit-identical to the scalar path's division.
+        const CHUNK: usize = 256;
+        let mut raw = [0i64; CHUNK];
+        let unscale = 1.0 / (1i64 << self.lambda) as f64;
+        let s = self.scale.to_f64();
+        for (qc, oc) in qs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let rc = &mut raw[..qc.len()];
+            self.eval_raw_batch(qc, rc);
+            for (y, &r) in oc.iter_mut().zip(rc.iter()) {
+                *y = r as f64 * unscale * s;
+            }
+        }
+    }
+}
+
+impl gqa_funcs::BatchEval for IntLutInstance {
+    fn eval_scalar(&self, x: f64) -> f64 {
+        self.eval_f64(x)
+    }
+
+    fn eval_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        let unscale = 1.0 / (1i64 << self.lambda) as f64;
+        let s = self.scale.to_f64();
+        let bps = &self.breakpoints_q;
+        for (y, &x) in out.iter_mut().zip(xs) {
+            let q = gqa_fxp::quantize_value(x, self.scale, self.range);
+            let i: usize = bps.iter().map(|&p| usize::from(p <= q)).sum();
+            let raw = self.slopes_raw[i] * q + self.intercepts_scaled_raw[i];
+            *y = raw as f64 * unscale * s;
+        }
+    }
 }
 
 /// A pure fixed-point pwl for operators whose inputs are already FXP
@@ -262,6 +350,27 @@ impl FxpPwl {
     }
 }
 
+impl gqa_funcs::BatchEval for FxpPwl {
+    fn eval_scalar(&self, x: f64) -> f64 {
+        self.eval_f64(x)
+    }
+
+    fn eval_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        let to_raw = (1i64 << self.lambda) as f64;
+        let from_raw = 1.0 / to_raw;
+        let word = IntRange::signed(self.storage_bits);
+        let down = PowerOfTwoScale::new(-(self.lambda as i32));
+        let bps = &self.breakpoints_raw;
+        for (y, &x) in out.iter_mut().zip(xs) {
+            let x_raw = word.clamp(round_half_away(x * to_raw));
+            let i: usize = bps.iter().map(|&p| usize::from(p <= x_raw)).sum();
+            let acc2 = self.slopes_raw[i] * x_raw + (self.intercepts_raw[i] << self.lambda);
+            *y = down.multiply_int(acc2) as f64 * from_raw;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,10 +409,7 @@ mod tests {
             let b = lut.pwl().intercepts()[i];
             let want = scale.to_f64() * (k * q as f64 + b / scale.to_f64());
             let got = inst.eval_dequantized(q);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "q={q}: got {got} want {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "q={q}: got {got} want {want}");
         }
     }
 
@@ -349,7 +455,10 @@ mod tests {
         let lut = gelu_lut();
         let inst = lut.instantiate(PowerOfTwoScale::new(-4), IntRange::signed(8));
         let x = 1.2345;
-        assert_eq!(inst.eval_f64(x), inst.eval_dequantized(inst.quantize_input(x)));
+        assert_eq!(
+            inst.eval_f64(x),
+            inst.eval_dequantized(inst.quantize_input(x))
+        );
     }
 
     #[test]

@@ -108,7 +108,11 @@ impl fmt::Display for LutStorage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.format {
             LutFormat::HighPrecision { bits } => {
-                write!(f, "{}-entry LUT, {bits}-bit high-precision storage", self.entries)
+                write!(
+                    f,
+                    "{}-entry LUT, {bits}-bit high-precision storage",
+                    self.entries
+                )
             }
             LutFormat::QuantAware { bits, lambda } => write!(
                 f,

@@ -1,0 +1,138 @@
+//! Batch-vs-scalar equivalence properties: `eval_batch` must match the
+//! scalar `eval` bit-for-bit (NaN ≡ NaN) for every evaluator in the
+//! workspace's eval spine — every registered operator, every `Pwl`
+//! (sorted and unsorted inputs), and the quantized LUT datapaths.
+
+use gqa_funcs::{BatchEval, NonLinearOp};
+use gqa_fxp::{IntRange, PowerOfTwoScale};
+use gqa_pwl::{fit, FxpPwl, MultiRangeLut, MultiRangeScaling, Pwl, QuantAwareLut, SegmentFit};
+use proptest::prelude::*;
+
+/// Bit-for-bit equality with NaN ≡ NaN.
+fn same(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+fn assert_batch_matches_scalar(eval: &dyn BatchEval, xs: &[f64], label: &str) {
+    let mut out = vec![0.0; xs.len()];
+    eval.eval_batch(xs, &mut out);
+    for (&x, &y) in xs.iter().zip(&out) {
+        let want = eval.eval_scalar(x);
+        assert!(same(y, want), "{label}({x}): batch {y} vs scalar {want}");
+    }
+}
+
+/// Strategy: a sorted, deduplicated breakpoint vector inside (-4, 4).
+fn breakpoints() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-3.9f64..3.9, 1..12).prop_map(|mut v| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+        v
+    })
+}
+
+fn gelu_pwl(bps: &[f64]) -> Pwl {
+    let f = |x: f64| NonLinearOp::Gelu.eval(x);
+    fit::fit_pwl(&f, (-4.0, 4.0), bps, SegmentFit::LeastSquares).unwrap()
+}
+
+proptest! {
+    /// Every registered operator: batch ≡ scalar on arbitrary inputs,
+    /// including out-of-domain ones (DIV/RSQRT at and below zero).
+    #[test]
+    fn registry_ops_batch_equals_scalar(
+        xs in proptest::collection::vec(-10.0f64..10.0, 1..200)
+    ) {
+        for &op in NonLinearOp::all() {
+            assert_batch_matches_scalar(&op, &xs, op.name());
+        }
+    }
+
+    /// Every Pwl, unsorted inputs: the per-element fallback path.
+    #[test]
+    fn pwl_batch_equals_scalar_unsorted(
+        bps in breakpoints(),
+        xs in proptest::collection::vec(-6.0f64..6.0, 1..200)
+    ) {
+        let p = gelu_pwl(&bps);
+        assert_batch_matches_scalar(&p, &xs, "pwl");
+    }
+
+    /// Every Pwl, sorted inputs: the segment-walking fast path, with
+    /// inputs deliberately colliding with breakpoints so entry-boundary
+    /// ties are exercised.
+    #[test]
+    fn pwl_batch_equals_scalar_sorted(
+        bps in breakpoints(),
+        xs in proptest::collection::vec(-6.0f64..6.0, 1..200)
+    ) {
+        let p = gelu_pwl(&bps);
+        let mut xs = xs;
+        xs.extend_from_slice(p.breakpoints()); // exact boundary hits
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut out = vec![0.0; xs.len()];
+        p.eval_sorted_batch(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            let want = p.eval(x);
+            assert!(same(y, want), "pwl sorted({x}): {y} vs {want}");
+        }
+        // And the trait path must pick the same fast path transparently.
+        assert_batch_matches_scalar(&p, &xs, "pwl sorted/trait");
+    }
+
+    /// Quantized LUT path (IntLutInstance): real-axis batch ≡ scalar and
+    /// integer batch ≡ per-code eval, for every scale of the paper sweep.
+    #[test]
+    fn int_lut_batch_equals_scalar(
+        bps in breakpoints(),
+        e in -6i32..=1,
+        xs in proptest::collection::vec(-6.0f64..6.0, 1..100)
+    ) {
+        let lut = QuantAwareLut::new(gelu_pwl(&bps), 5).unwrap();
+        let inst = lut.instantiate(PowerOfTwoScale::new(e), IntRange::signed(8));
+        assert_batch_matches_scalar(&inst, &xs, "int_lut");
+
+        let qs: Vec<i64> = inst.range().iter().collect();
+        let mut raw = vec![0i64; qs.len()];
+        inst.eval_raw_batch(&qs, &mut raw);
+        let mut deq = vec![0.0f64; qs.len()];
+        inst.eval_dequantized_batch(&qs, &mut deq);
+        for (i, &q) in qs.iter().enumerate() {
+            assert_eq!(raw[i], inst.eval_raw(q), "raw batch at q={q}");
+            assert!(same(deq[i], inst.eval_dequantized(q)), "deq batch at q={q}");
+        }
+    }
+
+    /// Quantized LUT path (FxpPwl): batch ≡ scalar across the storage
+    /// word's full range including saturation.
+    #[test]
+    fn fxp_pwl_batch_equals_scalar(
+        bps in breakpoints(),
+        xs in proptest::collection::vec(-8.0f64..8.0, 1..100)
+    ) {
+        let lut = QuantAwareLut::new(gelu_pwl(&bps), 5).unwrap();
+        let fxp = FxpPwl::new(&lut, 8);
+        assert_batch_matches_scalar(&fxp, &xs, "fxp_pwl");
+    }
+
+    /// Quantized LUT path (MultiRangeLut): batch ≡ scalar across IR, the
+    /// scaled sub-ranges, and the unbounded tail.
+    #[test]
+    fn multirange_batch_equals_scalar(
+        xs in proptest::collection::vec(0.5f64..300.0, 1..100)
+    ) {
+        let f = |x: f64| NonLinearOp::Div.eval(x);
+        let pwl = fit::fit_pwl(
+            &f,
+            (0.5, 4.0),
+            &[0.65, 0.85, 1.1, 1.5, 2.0, 2.6, 3.3],
+            SegmentFit::LeastSquares,
+        )
+        .unwrap();
+        let unit = MultiRangeLut::new(
+            FxpPwl::new(&QuantAwareLut::new(pwl, 5).unwrap(), 8),
+            MultiRangeScaling::div_paper(),
+        );
+        assert_batch_matches_scalar(&unit, &xs, "multirange");
+    }
+}

@@ -2,7 +2,7 @@
 
 use gqa_funcs::NonLinearOp;
 use gqa_fxp::{IntRange, PowerOfTwoScale};
-use gqa_pwl::{fit, eval, Pwl, QuantAwareLut, SegmentFit};
+use gqa_pwl::{eval, fit, QuantAwareLut, SegmentFit};
 use proptest::prelude::*;
 
 /// Strategy: a sorted, deduplicated breakpoint vector inside (-4, 4).

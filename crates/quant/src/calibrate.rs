@@ -25,7 +25,10 @@ pub fn calibrate_minmax(xs: &[f32], range: IntRange) -> f64 {
 /// Panics if `pct` is outside `(0, 1]`.
 #[must_use]
 pub fn calibrate_percentile(xs: &[f32], range: IntRange, pct: f64) -> f64 {
-    assert!(pct > 0.0 && pct <= 1.0, "percentile must be in (0, 1], got {pct}");
+    assert!(
+        pct > 0.0 && pct <= 1.0,
+        "percentile must be in (0, 1], got {pct}"
+    );
     if xs.is_empty() {
         return 1e-8;
     }

@@ -32,7 +32,10 @@ impl LsqQuantizer {
     /// Panics if `step` is not finite and positive.
     #[must_use]
     pub fn new(step: f64, range: IntRange) -> Self {
-        assert!(step.is_finite() && step > 0.0, "LSQ step must be positive, got {step}");
+        assert!(
+            step.is_finite() && step > 0.0,
+            "LSQ step must be positive, got {step}"
+        );
         Self { step, range }
     }
 
@@ -148,7 +151,7 @@ mod tests {
                 let (y, g) = quant.forward(x);
                 gs += 2.0 * (y - x) * g.ds;
             }
-            gs = gs / xs.len() as f64;
+            gs /= xs.len() as f64;
             quant.update_step(gs, 0.05);
         }
         let after = err(&quant);

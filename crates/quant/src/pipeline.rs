@@ -51,7 +51,7 @@ mod tests {
         let m = requant_multiplier(0.1, 0.3, 0.07);
         let want = 0.1 * 0.3 / 0.07;
         assert!((m.to_f64() - want).abs() < 1e-8);
-        let acc = 1_000_00i64;
+        let acc = 100_000_i64;
         assert!(((m.apply(acc) as f64) - acc as f64 * want).abs() < 1.0);
     }
 

@@ -26,7 +26,10 @@ impl PotLsqQuantizer {
     /// Panics if `alpha` is not finite and positive.
     #[must_use]
     pub fn new(alpha: f64, range: IntRange) -> Self {
-        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive, got {alpha}");
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "alpha must be positive, got {alpha}"
+        );
         Self { alpha, range }
     }
 
@@ -65,7 +68,13 @@ impl PotLsqQuantizer {
             (s * r, 1.0, r - v)
         };
         // Chain rule: ∂ŷ/∂α = (∂ŷ/∂S)·(S/α).
-        (y, LsqGrad { dx, ds: ds * s / self.alpha })
+        (
+            y,
+            LsqGrad {
+                dx,
+                ds: ds * s / self.alpha,
+            },
+        )
     }
 
     /// LSQ's gradient scale `g = 1/√(N·Qp)`.
@@ -144,9 +153,7 @@ mod tests {
         let codes = q.codes(&xs);
         let fake = q.quantize_slice(&xs);
         for i in 0..xs.len() {
-            assert!(
-                (codes[i] as f64 * q.scale().to_f64() - fake[i] as f64).abs() < 1e-6
-            );
+            assert!((codes[i] as f64 * q.scale().to_f64() - fake[i] as f64).abs() < 1e-6);
         }
     }
 

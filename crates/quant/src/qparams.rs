@@ -106,6 +106,9 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(QuantParams::int8(-2).to_string(), "S=2^-2 range=[-128, 127]");
+        assert_eq!(
+            QuantParams::int8(-2).to_string(),
+            "S=2^-2 range=[-128, 127]"
+        );
     }
 }

@@ -16,7 +16,7 @@ proptest! {
         let (y, _) = q.forward(x);
         let code = y / step;
         prop_assert!((code - code.round()).abs() < 1e-9);
-        prop_assert!(code >= -128.0 - 1e-9 && code <= 127.0 + 1e-9);
+        prop_assert!((-128.0 - 1e-9..=127.0 + 1e-9).contains(&code));
     }
 
     /// LSQ's STE input gradient is exactly the clip indicator.

@@ -1,0 +1,330 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the subset of criterion's API the workspace benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`criterion_group!`] and
+//! [`criterion_main!`] — on top of `std::time`.
+//!
+//! Each benchmark is warmed up, then measured in adaptive rounds until the
+//! measurement budget (default 300 ms, `GQA_BENCH_MS` to override) is
+//! spent; the reported figure is the median of per-round mean ns/iter.
+//!
+//! In addition to the human-readable report, the harness appends every
+//! result to a JSON file when `GQA_BENCH_JSON` names a path (see
+//! `BENCH_baseline.json` at the repository root for the committed
+//! baseline), so performance trajectories have a measured origin.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hints for [`Bencher::iter_batched`]. The shim treats them
+/// identically (one setup per measured invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Median of per-round mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the measurement.
+    #[must_use]
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.ns_per_iter > 0.0 {
+            1.0e9 / self.ns_per_iter
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The benchmark driver (subset of criterion's type of the same name).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Fresh driver.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one benchmark and records (and prints) its result.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        // Warm-up pass: lets one-time setup (page faults, lazy init) settle
+        // and calibrates the iteration count for the measured rounds.
+        f(&mut bencher);
+        bencher.begin_measurement();
+        while !bencher.budget_spent() {
+            f(&mut bencher);
+        }
+        let result = bencher.finish(name);
+        println!(
+            "bench {:<48} {:>14.1} ns/iter  ({} iters)",
+            result.name, result.ns_per_iter, result.iterations
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// All results recorded so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes results as a JSON array to `path` (append-merging with an
+    /// existing file produced by an earlier bench binary in the same run).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from reading or writing the file.
+    pub fn export_json(&self, path: &str) -> std::io::Result<()> {
+        let mut entries: Vec<String> = match std::fs::read_to_string(path) {
+            Ok(prev) => prev
+                .lines()
+                .filter(|l| l.trim_start().starts_with('{'))
+                .map(|l| l.trim().trim_end_matches(',').to_owned())
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        for r in &self.results {
+            // Replace stale entries for re-run benchmarks.
+            let needle = format!("\"name\": \"{}\"", r.name);
+            entries.retain(|e| !e.contains(&needle));
+            entries.push(format!(
+                "{{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters_per_sec\": {:.1}, \"iterations\": {}}}",
+                r.name,
+                r.ns_per_iter,
+                r.throughput_per_sec(),
+                r.iterations
+            ));
+        }
+        let mut out = String::from("[\n");
+        for (i, e) in entries.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(e);
+            if i + 1 < entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out)
+    }
+}
+
+/// Timing state handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    measuring: bool,
+    iters_per_round: u64,
+    round_means_ns: Vec<f64>,
+    total_iters: u64,
+    deadline: Option<Instant>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            measuring: false,
+            iters_per_round: 1,
+            round_means_ns: Vec::new(),
+            total_iters: 0,
+            deadline: None,
+        }
+    }
+
+    fn budget_ms() -> u64 {
+        std::env::var("GQA_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300)
+    }
+
+    fn begin_measurement(&mut self) {
+        self.measuring = true;
+        self.round_means_ns.clear();
+        self.total_iters = 0;
+        self.deadline = Some(Instant::now() + Duration::from_millis(Self::budget_ms()));
+    }
+
+    fn budget_spent(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d) && !self.round_means_ns.is_empty()
+    }
+
+    fn record_round(&mut self, elapsed: Duration, iters: u64) {
+        let ns = elapsed.as_nanos() as f64 / iters as f64;
+        if self.measuring {
+            self.round_means_ns.push(ns);
+            self.total_iters += iters;
+        } else {
+            // Calibration: size rounds to ~25 ms each.
+            let target_ns = 25.0e6;
+            let per_iter = ns.max(0.5);
+            self.iters_per_round = ((target_ns / per_iter) as u64).clamp(1, 1 << 24);
+        }
+    }
+
+    /// Times `routine`, amortizing the measurement over a round of
+    /// iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = if self.measuring {
+            self.iters_per_round
+        } else {
+            1
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.record_round(start.elapsed(), iters);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = if self.measuring {
+            self.iters_per_round
+        } else {
+            1
+        };
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.record_round(elapsed, iters);
+    }
+
+    fn finish(mut self, name: &str) -> BenchResult {
+        self.round_means_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = if self.round_means_ns.is_empty() {
+            0.0
+        } else {
+            self.round_means_ns[self.round_means_ns.len() / 2]
+        };
+        BenchResult {
+            name: name.to_owned(),
+            ns_per_iter: median,
+            iterations: self.total_iters,
+        }
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(name, fn1, fn2, …)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point: runs every group, honours
+/// `--bench`/`--test` harness arguments, and exports JSON when
+/// `GQA_BENCH_JSON` is set.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` invokes the harness with `--test`;
+            // run nothing in that mode (matches criterion's behaviour of
+            // compiling but skipping).
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            let mut c = $crate::Criterion::new();
+            $($group(&mut c);)+
+            if let Ok(path) = std::env::var("GQA_BENCH_JSON") {
+                if let Err(e) = c.export_json(&path) {
+                    eprintln!("warning: could not write {path}: {e}");
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("GQA_BENCH_MS", "30");
+        let mut c = Criterion::new();
+        c.bench_function("shim/noop_loop", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        let r = &c.results()[0];
+        assert!(r.ns_per_iter > 0.0);
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        std::env::set_var("GQA_BENCH_MS", "30");
+        let mut c = Criterion::new();
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(c.results().len(), 1);
+    }
+
+    #[test]
+    fn json_export_round_trip() {
+        std::env::set_var("GQA_BENCH_MS", "30");
+        let mut c = Criterion::new();
+        c.bench_function("shim/json", |b| b.iter(|| black_box(1 + 1)));
+        let path = std::env::temp_dir().join("gqa_bench_shim_test.json");
+        let path = path.to_str().unwrap();
+        c.export_json(path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"name\": \"shim/json\""));
+        assert!(text.trim_start().starts_with('['));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! No crates.io access is available in the build environment, so this
+//! crate implements the subset of proptest the workspace's property tests
+//! use: the [`proptest!`] macro, range and collection strategies,
+//! [`Strategy::prop_map`], and the `prop_assert*` macros.
+//!
+//! Semantics: each `proptest!` test body runs [`NUM_CASES`] times with
+//! inputs drawn from the strategies using a deterministic per-test RNG
+//! (seeded from the test body's position in the source). There is no
+//! shrinking — a failing case panics with the ordinary assertion message,
+//! which is enough for CI triage in this repository.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases each property runs. Matches proptest's default order of
+/// magnitude while keeping the suite fast.
+pub const NUM_CASES: usize = 96;
+
+/// Builds the deterministic RNG for one property test.
+///
+/// The seed mixes an env override (`GQA_PROPTEST_SEED`) so soak runs can
+/// explore different streams without recompiling.
+#[must_use]
+pub fn test_rng(test_name: &str) -> StdRng {
+    let base: u64 = std::env::var("GQA_PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x9A5A_5A5A_9A5Au64);
+    let mut h = base ^ 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A value generator (subset of proptest's `Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`] (subset of proptest's
+    /// `SizeRange` conversions: exact length, `a..b`, `a..=b`).
+    pub trait IntoSizeRange {
+        /// The half-open `[lo, hi)` length range.
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            *self.start()..*self.end() + 1
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+        let len = len.into_size_range();
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// The [`vec`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common import surface (subset of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes an ordinary test running the body [`NUM_CASES`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __gqa_rng = $crate::test_rng(stringify!($name));
+                for __gqa_case in 0..$crate::NUM_CASES {
+                    let _ = __gqa_case;
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __gqa_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = i64> {
+        (0i64..100).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u32..7, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&e| e < 7));
+        }
+
+        #[test]
+        fn mapped_strategy(e in evens()) {
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        #[test]
+        fn mut_binding(mut v in crate::collection::vec(-1.0f64..1.0, 1..5)) {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -87,9 +87,30 @@ impl UnaryKind {
 /// Implementations must be deterministic. The backward pass never consults
 /// the backend — it uses the exact derivative, so LUT approximation error
 /// is handled by straight-through estimation exactly as in QAT fine-tuning.
+///
+/// The graph calls [`UnaryBackend::eval_many`] once per *tensor*, so the
+/// `dyn` dispatch cost is per-operator-application, not per-element; the
+/// scalar [`UnaryBackend::eval`] remains the semantic ground truth and the
+/// default `eval_many` simply maps it.
 pub trait UnaryBackend: Send + Sync {
     /// Evaluates `kind` at `x` (the forward value the graph records).
     fn eval(&self, kind: UnaryKind, x: f64) -> f64;
+
+    /// Evaluates `kind` over a whole buffer: `out[i] = eval(kind, xs[i])`.
+    ///
+    /// Implementations may override this with a batched kernel (hoisted
+    /// LUT lookups, vectorizable loops) but must stay element-wise
+    /// equivalent to [`UnaryBackend::eval`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    fn eval_many(&self, kind: UnaryKind, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        for (y, &x) in out.iter_mut().zip(xs) {
+            *y = self.eval(kind, x);
+        }
+    }
 }
 
 /// The exact FP backend (baseline / "None" replacement row of Tables 4–5).
@@ -99,6 +120,28 @@ pub struct ExactBackend;
 impl UnaryBackend for ExactBackend {
     fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
         kind.exact(x)
+    }
+
+    /// One `match` per buffer, then a monomorphic per-operator loop.
+    fn eval_many(&self, kind: UnaryKind, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        macro_rules! tight {
+            ($f:expr) => {
+                for (y, &x) in out.iter_mut().zip(xs) {
+                    *y = $f(x);
+                }
+            };
+        }
+        match kind {
+            UnaryKind::Relu => tight!(gqa_funcs_relu),
+            UnaryKind::Gelu => tight!(gqa_gelu),
+            UnaryKind::Hswish => tight!(gqa_hswish),
+            UnaryKind::Exp => tight!(|x: f64| x.exp()),
+            UnaryKind::Recip => tight!(|x: f64| 1.0 / x),
+            UnaryKind::Rsqrt => tight!(|x: f64| 1.0 / x.sqrt()),
+            UnaryKind::Sigmoid => tight!(sigmoid),
+            UnaryKind::Tanh => tight!(|x: f64| x.tanh()),
+        }
     }
 }
 

@@ -30,10 +30,20 @@ enum Op {
     RowMean(NodeId),
     MulRow(NodeId, NodeId),
     SubRow(NodeId, NodeId),
-    Conv2d { x: NodeId, w: NodeId, stride: usize, pad: usize, groups: usize },
+    Conv2d {
+        x: NodeId,
+        w: NodeId,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    },
     UpsampleNearest(NodeId, usize),
     ConcatChannels(Vec<NodeId>),
-    CrossEntropy { logits: NodeId, targets: Vec<u32>, ignore: u32 },
+    CrossEntropy {
+        logits: NodeId,
+        targets: Vec<u32>,
+        ignore: u32,
+    },
     MseLoss(NodeId, NodeId),
     MeanAll(NodeId),
 }
@@ -49,11 +59,17 @@ pub struct Graph<'b> {
     backend: &'b dyn UnaryBackend,
     nodes: Vec<Node>,
     grads: Vec<Option<Vec<f32>>>,
+    // Reusable f64 staging buffers for the batched unary path, so one
+    // graph evaluates arbitrarily many unaries with two allocations total.
+    unary_in: Vec<f64>,
+    unary_out: Vec<f64>,
 }
 
 impl std::fmt::Debug for Graph<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Graph").field("nodes", &self.nodes.len()).finish()
+        f.debug_struct("Graph")
+            .field("nodes", &self.nodes.len())
+            .finish()
     }
 }
 
@@ -61,7 +77,13 @@ impl<'b> Graph<'b> {
     /// New empty tape using `backend` for the non-linear unaries.
     #[must_use]
     pub fn new(backend: &'b dyn UnaryBackend) -> Self {
-        Self { backend, nodes: Vec::new(), grads: Vec::new() }
+        Self {
+            backend,
+            nodes: Vec::new(),
+            grads: Vec::new(),
+            unary_in: Vec::new(),
+            unary_out: Vec::new(),
+        }
     }
 
     fn push(&mut self, op: Op, value: Tensor, param: Option<ParamId>) -> NodeId {
@@ -187,14 +209,21 @@ impl<'b> Graph<'b> {
     }
 
     /// Applies a non-linear unary through the backend (the LUT hook).
+    ///
+    /// The whole tensor is handed to the backend in one
+    /// [`UnaryBackend::eval_many`] call: one virtual dispatch per tensor
+    /// instead of one per element, and LUT backends get a contiguous
+    /// buffer they can sweep with hoisted parameters.
     pub fn unary(&mut self, x: NodeId, kind: UnaryKind) -> NodeId {
         let tx = &self.nodes[x.0].value;
-        let data = tx
-            .data
-            .iter()
-            .map(|&v| self.backend.eval(kind, v as f64) as f32)
-            .collect();
-        let t = Tensor::from_vec(data, &tx.shape.clone());
+        let shape = tx.shape.clone();
+        self.unary_in.clear();
+        self.unary_in.extend(tx.data.iter().map(|&v| f64::from(v)));
+        self.unary_out.resize(self.unary_in.len(), 0.0);
+        self.backend
+            .eval_many(kind, &self.unary_in, &mut self.unary_out);
+        let data = self.unary_out.iter().map(|&v| v as f32).collect();
+        let t = Tensor::from_vec(data, &shape);
         self.push(Op::Unary(x, kind), t, None)
     }
 
@@ -241,7 +270,11 @@ impl<'b> Graph<'b> {
                 n,
             );
         }
-        self.push(Op::BatchMatmul(a, b), Tensor::from_vec(out, &[bs, m, n]), None)
+        self.push(
+            Op::BatchMatmul(a, b),
+            Tensor::from_vec(out, &[bs, m, n]),
+            None,
+        )
     }
 
     /// Transposes the last two dimensions of a 3-D tensor.
@@ -261,7 +294,11 @@ impl<'b> Graph<'b> {
                 }
             }
         }
-        self.push(Op::TransposeLast2(x), Tensor::from_vec(out, &[b, n, m]), None)
+        self.push(
+            Op::TransposeLast2(x),
+            Tensor::from_vec(out, &[b, n, m]),
+            None,
+        )
     }
 
     /// Reinterprets the shape (free; gradient passes through).
@@ -304,8 +341,11 @@ impl<'b> Graph<'b> {
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
         let rows = tx.len() / c;
-        let data: Vec<f32> =
-            tx.data.chunks(c).map(|r| r.iter().sum::<f32>() / c as f32).collect();
+        let data: Vec<f32> = tx
+            .data
+            .chunks(c)
+            .map(|r| r.iter().sum::<f32>() / c as f32)
+            .collect();
         self.push(Op::RowMean(x), Tensor::from_vec(data, &[rows, 1]), None)
     }
 
@@ -366,7 +406,17 @@ impl<'b> Graph<'b> {
     ) -> NodeId {
         let (tx, tw) = (&self.nodes[x.0].value, &self.nodes[w.0].value);
         let out = conv2d_forward(tx, tw, stride, pad, groups);
-        self.push(Op::Conv2d { x, w, stride, pad, groups }, out, None)
+        self.push(
+            Op::Conv2d {
+                x,
+                w,
+                stride,
+                pad,
+                groups,
+            },
+            out,
+            None,
+        )
     }
 
     /// Nearest-neighbour upsampling by an integer factor on NCHW.
@@ -404,8 +454,10 @@ impl<'b> Graph<'b> {
     /// Panics if spatial/batch dims differ or the list is empty.
     pub fn concat_channels(&mut self, xs: &[NodeId]) -> NodeId {
         assert!(!xs.is_empty(), "concat of nothing");
-        let shapes: Vec<Vec<usize>> =
-            xs.iter().map(|&id| self.nodes[id.0].value.shape.clone()).collect();
+        let shapes: Vec<Vec<usize>> = xs
+            .iter()
+            .map(|&id| self.nodes[id.0].value.shape.clone())
+            .collect();
         let (b, h, w) = (shapes[0][0], shapes[0][2], shapes[0][3]);
         for s in &shapes {
             assert_eq!(s.len(), 4, "expected NCHW");
@@ -454,8 +506,7 @@ impl<'b> Graph<'b> {
                     }
                     assert!((t as usize) < c, "target class {t} out of range");
                     let (lse, _) = logsumexp_pixel(tl, bi, y, xx, c, h, w);
-                    let logit_t =
-                        tl.data[((bi * c + t as usize) * h + y) * w + xx] as f64;
+                    let logit_t = tl.data[((bi * c + t as usize) * h + y) * w + xx] as f64;
                     loss += lse - logit_t;
                     count += 1;
                 }
@@ -464,7 +515,11 @@ impl<'b> Graph<'b> {
         assert!(count > 0, "all pixels ignored");
         let t = Tensor::from_vec(vec![(loss / count as f64) as f32], &[1]);
         self.push(
-            Op::CrossEntropy { logits, targets: targets.to_vec(), ignore },
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                ignore,
+            },
             t,
             None,
         )
@@ -486,7 +541,11 @@ impl<'b> Graph<'b> {
             .map(|(&x, &y)| ((x - y) as f64).powi(2))
             .sum::<f64>()
             / n;
-        self.push(Op::MseLoss(a, b), Tensor::from_vec(vec![loss as f32], &[1]), None)
+        self.push(
+            Op::MseLoss(a, b),
+            Tensor::from_vec(vec![loss as f32], &[1]),
+            None,
+        )
     }
 
     /// Mean of all elements (scalar output).
@@ -534,7 +593,9 @@ impl<'b> Graph<'b> {
         }
         self.grads[loss.0] = Some(vec![1.0]);
         for i in (0..self.nodes.len()).rev() {
-            let Some(dy) = self.grads[i].take() else { continue };
+            let Some(dy) = self.grads[i].take() else {
+                continue;
+            };
             self.backprop_node(i, &dy);
             self.grads[i] = Some(dy);
         }
@@ -572,10 +633,16 @@ impl<'b> Graph<'b> {
                 self.acc(b, dy);
             }
             Op::Mul(a, b) => {
-                let da: Vec<f32> =
-                    dy.iter().zip(&self.nodes[b.0].value.data).map(|(&d, &v)| d * v).collect();
-                let db: Vec<f32> =
-                    dy.iter().zip(&self.nodes[a.0].value.data).map(|(&d, &v)| d * v).collect();
+                let da: Vec<f32> = dy
+                    .iter()
+                    .zip(&self.nodes[b.0].value.data)
+                    .map(|(&d, &v)| d * v)
+                    .collect();
+                let db: Vec<f32> = dy
+                    .iter()
+                    .zip(&self.nodes[a.0].value.data)
+                    .map(|(&d, &v)| d * v)
+                    .collect();
                 self.acc(a, &da);
                 self.acc(b, &db);
             }
@@ -709,7 +776,13 @@ impl<'b> Graph<'b> {
                 let dr: Vec<f32> = dy.chunks(c).map(|row| -row.iter().sum::<f32>()).collect();
                 self.acc(r, &dr);
             }
-            Op::Conv2d { x, w, stride, pad, groups } => {
+            Op::Conv2d {
+                x,
+                w,
+                stride,
+                pad,
+                groups,
+            } => {
                 let (dx, dw) = conv2d_backward(
                     &self.nodes[x.0].value,
                     &self.nodes[w.0].value,
@@ -740,8 +813,7 @@ impl<'b> Graph<'b> {
             }
             Op::ConcatChannels(xs) => {
                 let out_shape = self.nodes[i].value.shape.clone();
-                let (b, c_total, h, w) =
-                    (out_shape[0], out_shape[1], out_shape[2], out_shape[3]);
+                let (b, c_total, h, w) = (out_shape[0], out_shape[1], out_shape[2], out_shape[3]);
                 let mut c_off = 0usize;
                 for &id in &xs {
                     let c = self.nodes[id.0].value.shape[1];
@@ -755,7 +827,11 @@ impl<'b> Graph<'b> {
                     c_off += c;
                 }
             }
-            Op::CrossEntropy { logits, targets, ignore } => {
+            Op::CrossEntropy {
+                logits,
+                targets,
+                ignore,
+            } => {
                 let tl = &self.nodes[logits.0].value;
                 let (b, c, h, w) = (tl.shape[0], tl.shape[1], tl.shape[2], tl.shape[3]);
                 let count = targets.iter().filter(|&&t| t != ignore).count() as f32;
@@ -772,8 +848,7 @@ impl<'b> Graph<'b> {
                             let denom = (lse - maxv).exp();
                             for cls in 0..c {
                                 let idx = ((bi * c + cls) * h + y) * w + xx;
-                                let p =
-                                    ((tl.data[idx] as f64 - maxv).exp() / denom) as f32;
+                                let p = ((tl.data[idx] as f64 - maxv).exp() / denom) as f32;
                                 let onehot = if cls == t as usize { 1.0 } else { 0.0 };
                                 dx[idx] += scale * (p - onehot);
                             }
@@ -786,8 +861,12 @@ impl<'b> Graph<'b> {
                 let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
                 let n = ta.len() as f32;
                 let scale = dy[0] * 2.0 / n;
-                let da: Vec<f32> =
-                    ta.data.iter().zip(&tb.data).map(|(&x, &y)| scale * (x - y)).collect();
+                let da: Vec<f32> = ta
+                    .data
+                    .iter()
+                    .zip(&tb.data)
+                    .map(|(&x, &y)| scale * (x - y))
+                    .collect();
                 let db: Vec<f32> = da.iter().map(|&d| -d).collect();
                 self.acc(a, &da);
                 self.acc(b, &db);
@@ -852,7 +931,11 @@ fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize
 
 fn conv2d_forward(x: &Tensor, w: &Tensor, stride: usize, pad: usize, groups: usize) -> Tensor {
     assert_eq!(x.shape.len(), 4, "conv input must be NCHW");
-    assert_eq!(w.shape.len(), 4, "conv weight must be (Cout, Cin/g, kh, kw)");
+    assert_eq!(
+        w.shape.len(),
+        4,
+        "conv weight must be (Cout, Cin/g, kh, kw)"
+    );
     assert!(stride >= 1, "stride must be >= 1");
     let (b, cin, h, wd) = (x.shape[0], x.shape[1], x.shape[2], x.shape[3]);
     let (cout, cig, kh, kw) = (w.shape[0], w.shape[1], w.shape[2], w.shape[3]);
@@ -884,8 +967,7 @@ fn conv2d_forward(x: &Tensor, w: &Tensor, stride: usize, pad: usize, groups: usi
                                     }
                                     let xv = x.data
                                         [((bi * cin + ic_abs) * h + (iy - pad)) * wd + (ix - pad)];
-                                    let wv =
-                                        w.data[((oc_abs * cig + ic) * kh + ky) * kw + kx];
+                                    let wv = w.data[((oc_abs * cig + ic) * kh + ky) * kw + kx];
                                     acc += xv * wv;
                                 }
                             }
@@ -993,6 +1075,7 @@ mod tests {
         let analytic = g.grad(x).expect("input grad").to_vec();
 
         let h = 1e-3f32;
+        #[allow(clippy::needless_range_loop)] // i indexes three parallel views
         for i in 0..input.len().min(16) {
             let mut plus = input.clone();
             plus.data[i] += h;
@@ -1068,7 +1151,12 @@ mod tests {
 
     #[test]
     fn gradcheck_unaries() {
-        for kind in [UnaryKind::Gelu, UnaryKind::Hswish, UnaryKind::Sigmoid, UnaryKind::Tanh] {
+        for kind in [
+            UnaryKind::Gelu,
+            UnaryKind::Hswish,
+            UnaryKind::Sigmoid,
+            UnaryKind::Tanh,
+        ] {
             gradcheck(seeded(&[2, 4], 4), move |g, x| {
                 let y = g.unary(x, kind);
                 let sq = g.mul(y, y);

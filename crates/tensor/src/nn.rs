@@ -26,7 +26,12 @@ impl Linear {
     pub fn new(ps: &mut ParamStore, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
         let weight = ps.alloc(Tensor::kaiming(&[in_dim, out_dim], in_dim, rng));
         let bias = ps.alloc(Tensor::zeros(&[out_dim]));
-        Self { weight, bias, in_dim, out_dim }
+        Self {
+            weight,
+            bias,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer to a `(rows, in_dim)` node.
@@ -36,7 +41,11 @@ impl Linear {
     /// Panics if the input's last dimension is not `in_dim`.
     pub fn apply(&self, g: &mut Graph<'_>, ps: &ParamStore, x: NodeId) -> NodeId {
         let shape = g.value(x).shape.clone();
-        assert_eq!(*shape.last().expect("non-scalar"), self.in_dim, "input width mismatch");
+        assert_eq!(
+            *shape.last().expect("non-scalar"),
+            self.in_dim,
+            "input width mismatch"
+        );
         let rows: usize = shape[..shape.len() - 1].iter().product();
         let x2 = g.reshape(x, &[rows, self.in_dim]);
         let w = g.param(ps, self.weight);
@@ -88,9 +97,19 @@ impl Conv2d {
         assert_eq!(in_ch % groups, 0, "in_ch must divide by groups");
         assert_eq!(out_ch % groups, 0, "out_ch must divide by groups");
         let fan_in = (in_ch / groups) * k * k;
-        let weight = ps.alloc(Tensor::kaiming(&[out_ch, in_ch / groups, k, k], fan_in, rng));
+        let weight = ps.alloc(Tensor::kaiming(
+            &[out_ch, in_ch / groups, k, k],
+            fan_in,
+            rng,
+        ));
         let bias = ps.alloc(Tensor::zeros(&[out_ch]));
-        Self { weight, bias, stride, pad, groups }
+        Self {
+            weight,
+            bias,
+            stride,
+            pad,
+            groups,
+        }
     }
 
     /// Applies the convolution to an NCHW node.
@@ -119,7 +138,12 @@ impl LayerNorm {
     pub fn new(ps: &mut ParamStore, dim: usize, eps: f32) -> Self {
         let gamma = ps.alloc(Tensor::full(&[dim], 1.0));
         let beta = ps.alloc(Tensor::zeros(&[dim]));
-        Self { gamma, beta, eps, dim }
+        Self {
+            gamma,
+            beta,
+            eps,
+            dim,
+        }
     }
 
     /// Applies `γ ⊙ norm(x) + β` (the norm's RSQRT goes through the
@@ -130,14 +154,19 @@ impl LayerNorm {
     /// Panics if the last dimension is not `dim`.
     pub fn apply(&self, g: &mut Graph<'_>, ps: &ParamStore, x: NodeId) -> NodeId {
         let shape = g.value(x).shape.clone();
-        assert_eq!(*shape.last().expect("non-scalar"), self.dim, "layernorm width mismatch");
+        assert_eq!(
+            *shape.last().expect("non-scalar"),
+            self.dim,
+            "layernorm width mismatch"
+        );
         let normed = g.layernorm_rows(x, self.eps);
         let gamma = g.param(ps, self.gamma);
         let gshape: Vec<usize> = shape.iter().map(|_| 1).take(shape.len() - 1).collect();
         let _ = gshape; // gamma broadcast handled by add_bias_last/mul pattern below
-        // γ ⊙ x̂ + β via bias-style broadcast over the last dim:
-        // mul with per-last-dim vector = mul by a tiled tensor; reuse
-        // add_bias_last trick by building explicit ops:
+
+        // γ ⊙ x̂ + β via bias-style broadcast over the last dim: mul with a
+        // per-last-dim vector = mul by a tiled tensor; reuse the
+        // add_bias_last trick by building explicit ops.
         let tiled_gamma = g.tile_last(gamma, &shape);
         let scaled = g.mul(normed, tiled_gamma);
         let beta = g.param(ps, self.beta);
@@ -154,7 +183,11 @@ impl Graph<'_> {
     /// Panics if `v` is not 1-D matching the target's last dimension.
     pub fn tile_last(&mut self, v: NodeId, target_shape: &[usize]) -> NodeId {
         let c = *target_shape.last().expect("non-scalar");
-        assert_eq!(self.value(v).shape, vec![c], "tile_last needs a ({c}) vector");
+        assert_eq!(
+            self.value(v).shape,
+            vec![c],
+            "tile_last needs a ({c}) vector"
+        );
         let rows: usize = target_shape[..target_shape.len() - 1].iter().product();
         // ones (rows,1) × v (1,C) = (rows, C): gradient to v sums over rows,
         // exactly the tiling backward.
@@ -179,8 +212,13 @@ mod tests {
         let mut ps = ParamStore::new();
         let layer = Linear::new(&mut ps, 4, 3, &mut rng);
         // Make the weight zero and bias known: output = bias everywhere.
-        ps.value_mut(layer.weight).data.iter_mut().for_each(|v| *v = 0.0);
-        ps.value_mut(layer.bias).data.copy_from_slice(&[1.0, 2.0, 3.0]);
+        ps.value_mut(layer.weight)
+            .data
+            .iter_mut()
+            .for_each(|v| *v = 0.0);
+        ps.value_mut(layer.bias)
+            .data
+            .copy_from_slice(&[1.0, 2.0, 3.0]);
         let mut g = Graph::new(&B);
         let x = g.input(Tensor::full(&[2, 5, 4], 0.7));
         let y = layer.apply(&mut g, &ps, x);
@@ -207,7 +245,10 @@ mod tests {
         let ys: Vec<f32> = xs.iter().map(|v| v[0] - 2.0 * v[1] + 0.5).collect();
         for _ in 0..400 {
             let mut g = Graph::new(&B);
-            let x = g.input(Tensor::from_vec(xs.iter().flatten().copied().collect(), &[5, 2]));
+            let x = g.input(Tensor::from_vec(
+                xs.iter().flatten().copied().collect(),
+                &[5, 2],
+            ));
             let t = g.input(Tensor::from_vec(ys.clone(), &[5, 1]));
             let pred = layer.apply(&mut g, &ps, x);
             let loss = g.mse_loss(pred, t);

@@ -21,7 +21,11 @@ impl Sgd {
     pub fn new(lr: f64, momentum: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Updates the learning rate (for schedules).
@@ -73,7 +77,15 @@ impl Adam {
     #[must_use]
     pub fn new(lr: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Updates the learning rate (for schedules).
@@ -167,7 +179,10 @@ mod tests {
             }
             (ps.value(id).data[0] - 3.0).abs()
         };
-        assert!(run(0.9) < run(0.0), "momentum should be closer after 50 steps");
+        assert!(
+            run(0.9) < run(0.0),
+            "momentum should be closer after 50 steps"
+        );
     }
 
     #[test]

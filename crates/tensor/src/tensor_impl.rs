@@ -25,14 +25,20 @@ impl Tensor {
     #[must_use]
     pub fn zeros(shape: &[usize]) -> Self {
         let n = checked_len(shape);
-        Self { shape: shape.to_vec(), data: vec![0.0; n] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// Constant-filled tensor.
     #[must_use]
     pub fn full(shape: &[usize], v: f32) -> Self {
         let n = checked_len(shape);
-        Self { shape: shape.to_vec(), data: vec![v; n] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![v; n],
+        }
     }
 
     /// Builds from existing data.
@@ -43,8 +49,16 @@ impl Tensor {
     #[must_use]
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
         let n = checked_len(shape);
-        assert_eq!(data.len(), n, "data length {} != shape product {n}", data.len());
-        Self { shape: shape.to_vec(), data }
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} != shape product {n}",
+            data.len()
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Kaiming-uniform initialization with `fan_in` (He init for
@@ -55,7 +69,10 @@ impl Tensor {
         let bound = (6.0 / fan_in as f64).sqrt() as f32;
         let n = checked_len(shape);
         let data = (0..n).map(|_| rng.gen_range(-bound..bound)).collect();
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Number of elements.
@@ -102,7 +119,10 @@ impl Tensor {
 
 fn checked_len(shape: &[usize]) -> usize {
     assert!(!shape.is_empty(), "tensor needs at least one dimension");
-    assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension in {shape:?}");
+    assert!(
+        shape.iter().all(|&d| d > 0),
+        "zero-sized dimension in {shape:?}"
+    );
     shape.iter().product()
 }
 

@@ -31,7 +31,11 @@ fn main() {
     );
 
     let calib = harness.calibrate(&model, &ps);
-    let replace = ReplaceSet { hswish: true, div: true, ..ReplaceSet::none() };
+    let replace = ReplaceSet {
+        hswish: true,
+        div: true,
+        ..ReplaceSet::none()
+    };
     for method in Method::ALL {
         let backend = PwlBackend::build(method, replace, &calib, 78, 0.2);
         let mut ps_lut = ps.clone();

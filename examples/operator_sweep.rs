@@ -19,7 +19,9 @@ fn main() {
         println!(
             "{:<16} {}",
             "method",
-            (0..7).map(|i| format!("{:>9}", format!("S=2^-{i}"))).collect::<String>()
+            (0..7)
+                .map(|i| format!("{:>9}", format!("S=2^-{i}")))
+                .collect::<String>()
         );
         for method in Method::ALL {
             let lut = build_lut_budgeted(method, op, 8, 42, budget);
@@ -41,7 +43,9 @@ fn main() {
             println!(
                 "{:<16} {}",
                 method.label(),
-                mses.iter().map(|m| format!("{m:>9.1e}")).collect::<String>()
+                mses.iter()
+                    .map(|m| format!("{m:>9.1e}"))
+                    .collect::<String>()
             );
         }
         println!();

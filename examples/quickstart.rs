@@ -29,8 +29,14 @@ fn main() {
     //    inputs through the integer datapath of Figure 1(b).
     let scale = PowerOfTwoScale::new(-4); // S = 1/16
     let inst = result.lut().instantiate(scale, IntRange::signed(8));
-    println!("quantized breakpoints at S = {scale}: {:?}", inst.breakpoints_q());
-    println!("\n{:>8} {:>8} {:>12} {:>12} {:>10}", "x", "q", "pwl(x)", "gelu(x)", "error");
+    println!(
+        "quantized breakpoints at S = {scale}: {:?}",
+        inst.breakpoints_q()
+    );
+    println!(
+        "\n{:>8} {:>8} {:>12} {:>12} {:>10}",
+        "x", "q", "pwl(x)", "gelu(x)", "error"
+    );
     for i in -4..=4 {
         let x = i as f64 * 0.75;
         let q = inst.quantize_input(x);

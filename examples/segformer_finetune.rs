@@ -36,7 +36,13 @@ fn main() {
     let calib = harness.calibrate(&model, &ps);
 
     println!("building GQA-LUT w/ RM backends and fine-tuning (Altogether row)...");
-    let replace = ReplaceSet { gelu: true, exp: true, div: true, rsqrt: true, hswish: false };
+    let replace = ReplaceSet {
+        gelu: true,
+        exp: true,
+        div: true,
+        rsqrt: true,
+        hswish: false,
+    };
     let backend = PwlBackend::build(Method::GqaRm, replace, &calib, 77, 0.2);
     let mut ps_lut = ps.clone();
     let out = harness.finetune_with_backend(&model, &mut ps_lut, &backend);

@@ -18,12 +18,24 @@ fn table6_anchor_and_ratios() {
     let fp32 = PwlUnit::new(Precision::Fp32, 8);
     let area_saving_int32 = 1.0 - int8.area_um2(&tech) / int32.area_um2(&tech);
     let area_saving_fp32 = 1.0 - int8.area_um2(&tech) / fp32.area_um2(&tech);
-    assert!((0.74..0.88).contains(&area_saving_int32), "{area_saving_int32}");
-    assert!((0.72..0.88).contains(&area_saving_fp32), "{area_saving_fp32}");
+    assert!(
+        (0.74..0.88).contains(&area_saving_int32),
+        "{area_saving_int32}"
+    );
+    assert!(
+        (0.72..0.88).contains(&area_saving_fp32),
+        "{area_saving_fp32}"
+    );
     let power_saving_int32 = 1.0 - int8.power_mw(&tech) / int32.power_mw(&tech);
     let power_saving_fp32 = 1.0 - int8.power_mw(&tech) / fp32.power_mw(&tech);
-    assert!((0.72..0.88).contains(&power_saving_int32), "{power_saving_int32}");
-    assert!((0.72..0.88).contains(&power_saving_fp32), "{power_saving_fp32}");
+    assert!(
+        (0.72..0.88).contains(&power_saving_int32),
+        "{power_saving_int32}"
+    );
+    assert!(
+        (0.72..0.88).contains(&power_saving_fp32),
+        "{power_saving_fp32}"
+    );
 
     // 16-entry scaling (paper: 1.71x area, 1.95x power for INT8).
     let int8_16 = PwlUnit::new(Precision::Int8, 16);

@@ -16,7 +16,13 @@ fn avg_quantized_mse(method: Method, op: NonLinearOp) -> f64 {
         .iter()
         .map(|&s| {
             let inst = lut.instantiate(s, range);
-            eval::mse_dequantized(&|q| inst.eval_dequantized(q), &|x| op.eval(x), s, range, clip)
+            eval::mse_dequantized(
+                &|q| inst.eval_dequantized(q),
+                &|x| op.eval(x),
+                s,
+                range,
+                clip,
+            )
         })
         .sum::<f64>()
         / sweep.len() as f64
@@ -45,7 +51,13 @@ fn rm_fixes_large_scales() {
     let mse_at_s0 = |method: Method| {
         let lut = build_lut_budgeted(method, op, 8, 7, 0.25);
         let inst = lut.instantiate(s, range);
-        eval::mse_dequantized(&|q| inst.eval_dequantized(q), &|x| op.eval(x), s, range, clip)
+        eval::mse_dequantized(
+            &|q| inst.eval_dequantized(q),
+            &|x| op.eval(x),
+            s,
+            range,
+            clip,
+        )
     };
     let no_rm = mse_at_s0(Method::GqaNoRm);
     let rm = mse_at_s0(Method::GqaRm);
@@ -66,11 +78,14 @@ fn nn_lut_wide_range_disadvantage() {
                 NonLinearOp::Div => gqa::pwl::MultiRangeScaling::div_paper(),
                 _ => gqa::pwl::MultiRangeScaling::rsqrt_paper(),
             };
-            let unit = gqa::pwl::MultiRangeLut::new(
-                gqa::pwl::FxpPwl::new(&lut, 8),
-                scaling.clone(),
-            );
-            eval::mse_grid_fn(&|x| unit.eval_f64(x), &|x| op.eval(x), op.default_range(), 0.01)
+            let unit =
+                gqa::pwl::MultiRangeLut::new(gqa::pwl::FxpPwl::new(&lut, 8), scaling.clone());
+            eval::mse_grid_fn(
+                &|x| unit.eval_f64(x),
+                &|x| op.eval(x),
+                op.default_range(),
+                0.01,
+            )
         };
         let gqa_mse = {
             let lut = build_lut_budgeted(Method::GqaNoRm, op, 8, 7, 0.25);
@@ -78,11 +93,14 @@ fn nn_lut_wide_range_disadvantage() {
                 NonLinearOp::Div => gqa::pwl::MultiRangeScaling::div_paper(),
                 _ => gqa::pwl::MultiRangeScaling::rsqrt_paper(),
             };
-            let unit = gqa::pwl::MultiRangeLut::new(
-                gqa::pwl::FxpPwl::new(&lut, 8),
-                scaling.clone(),
-            );
-            eval::mse_grid_fn(&|x| unit.eval_f64(x), &|x| op.eval(x), op.default_range(), 0.01)
+            let unit =
+                gqa::pwl::MultiRangeLut::new(gqa::pwl::FxpPwl::new(&lut, 8), scaling.clone());
+            eval::mse_grid_fn(
+                &|x| unit.eval_f64(x),
+                &|x| op.eval(x),
+                op.default_range(),
+                0.01,
+            )
         };
         assert!(
             gqa_mse * 3.0 < nn,

@@ -53,7 +53,11 @@ fn efficientvit_trains_with_hswish_div_luts() {
     let exact = ExactBackend;
     let _ = harness.train(&model, &mut ps, &exact, 2, 2e-3, false);
     let calib = harness.calibrate(&model, &ps);
-    let replace = ReplaceSet { hswish: true, div: true, ..ReplaceSet::none() };
+    let replace = ReplaceSet {
+        hswish: true,
+        div: true,
+        ..ReplaceSet::none()
+    };
     let backend = PwlBackend::build(Method::GqaNoRm, replace, &calib, 6, 0.05);
     // Fine-tuning through the LUT backend must reduce (or at least not
     // explode) the loss.
@@ -78,7 +82,12 @@ fn backend_substitution_changes_only_replaced_ops() {
         backend.eval(UnaryKind::Gelu, 0.731),
         UnaryKind::Gelu.exact(0.731)
     );
-    for kind in [UnaryKind::Exp, UnaryKind::Recip, UnaryKind::Rsqrt, UnaryKind::Relu] {
+    for kind in [
+        UnaryKind::Exp,
+        UnaryKind::Recip,
+        UnaryKind::Rsqrt,
+        UnaryKind::Relu,
+    ] {
         assert_eq!(backend.eval(kind, 0.731), kind.exact(0.731), "{kind:?}");
     }
 }
