@@ -127,6 +127,32 @@ fn bench_lut_eval(c: &mut Criterion) {
         })
     });
 
+    // INT4 sweep: same quantization-aware LUT instantiated on 4-bit input
+    // codes (the hardware model's storage/comparator costs scale linearly
+    // with word width, so the narrow datapath is a first-class workload).
+    // Per-iteration work is 16 codes vs INT8's 256; iterate 16× so both
+    // entries amortize the harness the same way.
+    let inst4 = lut.instantiate(PowerOfTwoScale::new(-1), IntRange::signed(4));
+    c.bench_function("eval/int4_datapath_full_range", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for _ in 0..16 {
+                for q in -8i64..=7 {
+                    acc = acc.wrapping_add(inst4.eval_raw(black_box(q)));
+                }
+            }
+            acc
+        })
+    });
+    let qs4: Vec<i64> = (0..16).flat_map(|_| -8i64..=7).collect();
+    let mut raw_out4 = vec![0i64; qs4.len()];
+    c.bench_function("eval/int4_datapath_full_range_batched", |b| {
+        b.iter(|| {
+            inst4.eval_raw_batch(black_box(&qs4), &mut raw_out4);
+            raw_out4.iter().sum::<i64>()
+        })
+    });
+
     let div = fit::fit_pwl(
         &|x: f64| 1.0 / x,
         (0.5, 4.0),

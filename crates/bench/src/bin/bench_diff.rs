@@ -1,0 +1,157 @@
+//! Bench comparator: diffs a freshly produced `bench-ci.json` against the
+//! committed `BENCH_baseline.json` and exits nonzero when any shared
+//! benchmark regressed by more than the threshold (default 15 %).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff <current.json> <baseline.json> [--threshold <pct>] [--min-delta-ns <ns>]
+//! ```
+//!
+//! Benchmarks present on only one side are reported but never fail the
+//! run (new benches appear, old ones retire); only a measured slowdown of
+//! a shared benchmark does. A regression must also exceed an absolute
+//! floor (default 200 ns/iter): for sub-microsecond entries — a warm
+//! registry lookup, a 256-code datapath sweep — scheduler and timer
+//! jitter at CI's short measurement budget routinely exceeds 15 %
+//! relative while staying within tens of nanoseconds absolute, and such
+//! deltas are below the shim's noise floor, not regressions. CI runs
+//! this right after the bench smoke job.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parses the shim's bench JSON (one `{"name": …, "ns_per_iter": …}`
+/// object per line) into name → ns/iter.
+fn parse_bench_json(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let Some(name) = extract_str(line, "name") else {
+            continue;
+        };
+        let Some(ns) = extract_num(line, "ns_per_iter") else {
+            continue;
+        };
+        out.insert(name, ns);
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_owned())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 15.0f64;
+    let mut min_delta_ns = 200.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threshold" || args[i] == "--min-delta-ns" {
+            let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("{} needs a numeric value", args[i]);
+                return ExitCode::from(2);
+            };
+            if args[i] == "--threshold" {
+                threshold_pct = v;
+            } else {
+                min_delta_ns = v;
+            }
+            i += 2;
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let [current_path, baseline_path] = &paths[..] else {
+        eprintln!(
+            "usage: bench_diff <current.json> <baseline.json> \
+             [--threshold <pct>] [--min-delta-ns <ns>]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(parse_bench_json(&text)),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(current), Some(baseline)) = (read(current_path), read(baseline_path)) else {
+        return ExitCode::from(2);
+    };
+
+    println!(
+        "bench diff: {current_path} vs {baseline_path} (threshold +{threshold_pct:.0}% ns/iter)\n"
+    );
+    let mut regressions = Vec::new();
+    let mut shared = 0usize;
+    for (name, &cur) in &current {
+        let Some(&base) = baseline.get(name) else {
+            println!("  NEW      {name:<44} {cur:>14.1} ns/iter");
+            continue;
+        };
+        shared += 1;
+        let delta_pct = 100.0 * (cur - base) / base;
+        let status = if delta_pct > threshold_pct && cur - base > min_delta_ns {
+            regressions.push((name.clone(), delta_pct));
+            "REGRESS"
+        } else if delta_pct > threshold_pct {
+            "noise" // relative blow-up within the absolute noise floor
+        } else if delta_pct < -threshold_pct {
+            "IMPROVE"
+        } else {
+            "ok"
+        };
+        println!("  {status:<8} {name:<44} {cur:>14.1} ns/iter  ({delta_pct:+6.1}% vs {base:.1})");
+    }
+    for name in baseline.keys() {
+        if !current.contains_key(name) {
+            println!("  GONE     {name:<44} (present only in baseline)");
+        }
+    }
+
+    if shared == 0 {
+        // An empty intersection means the gate checked nothing — a format
+        // drift or an empty input must not read as a green run.
+        eprintln!(
+            "\nno benchmark appears in both files ({} current, {} baseline): \
+             refusing to pass a gate that compared nothing",
+            current.len(),
+            baseline.len()
+        );
+        return ExitCode::from(2);
+    }
+    if regressions.is_empty() {
+        println!("\nno regression beyond +{threshold_pct:.0}%");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\n{} regression(s) beyond +{threshold_pct:.0}%:",
+            regressions.len()
+        );
+        for (name, pct) in &regressions {
+            println!("  {name}: {pct:+.1}%");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -70,4 +70,55 @@ fn main() {
             100.0 * worst_rel
         );
     }
+
+    // Extension sweep: the same multi-range datapath on 4-bit LUT storage.
+    // A 4-bit word with the paper's λ = 5 saturates at ±0.25, so the
+    // narrow unit re-rounds the searched pwl to λ = 1 (±4 range, step
+    // 0.5) — the widest coverage a signed 4-bit word allows for the DIV /
+    // RSQRT breakpoint intervals. The error blow-up vs the 8-bit rows is
+    // the point: it quantifies what the paper's 8-bit storage buys.
+    println!("\nINT4 storage sweep (λ = 1, same searched breakpoints):");
+    for (op, scaling) in [
+        (NonLinearOp::Div, MultiRangeScaling::div_paper()),
+        (NonLinearOp::Rsqrt, MultiRangeScaling::rsqrt_paper()),
+    ] {
+        let lut = build_lut(Method::GqaNoRm, op, 8, 2024);
+        let lut4 = gqa_pwl::QuantAwareLut::new(lut.pwl().clone(), 1).expect("λ=1 re-round");
+        for (label, unit) in [
+            (
+                "INT8",
+                MultiRangeLut::new(FxpPwl::new(&lut, 8), scaling.clone()),
+            ),
+            (
+                "INT4",
+                MultiRangeLut::new(FxpPwl::new(&lut4, 4), scaling.clone()),
+            ),
+        ] {
+            let last_bounded = scaling
+                .sub_ranges()
+                .iter()
+                .filter(|sr| sr.hi.is_finite())
+                .map(|sr| sr.hi)
+                .fold(scaling.ir().1, f64::max);
+            let mut worst_rel = 0.0f64;
+            let mut mean_rel = 0.0f64;
+            let mut n = 0usize;
+            let mut x = scaling.ir().0;
+            while x < last_bounded {
+                let got = unit.eval_f64(x);
+                let want = op.eval(x);
+                let rel = (got - want).abs() / want.abs();
+                worst_rel = worst_rel.max(rel);
+                mean_rel += rel;
+                n += 1;
+                x += 0.05;
+            }
+            println!(
+                "  {:<6} {label}: worst {:.2}%  mean {:.2}%",
+                op.name().to_uppercase(),
+                100.0 * worst_rel,
+                100.0 * mean_rel / n as f64
+            );
+        }
+    }
 }

@@ -92,4 +92,10 @@ fn main() {
         "\nPaper reference (Segformer-B0 / Cityscapes): None 74.60; Altogether rows \
          73.46 / 74.28 / 74.53 — ordering NN-LUT < w/o RM < w/ RM ≈ baseline."
     );
+    // The replacement rows share LUTs per (method, op): with 5 rows × 3
+    // methods only the first use of each artifact compiles.
+    eprintln!(
+        "[table4] registry: {}",
+        gqa_registry::LutRegistry::global().stats()
+    );
 }

@@ -87,4 +87,8 @@ fn main() {
         "\nPaper reference (EfficientViT-B0 / Cityscapes): None 74.17; Altogether rows \
          73.27 / 73.79 / 74.15 — ordering NN-LUT < w/o RM < w/ RM ≈ baseline."
     );
+    eprintln!(
+        "[table5] registry: {}",
+        gqa_registry::LutRegistry::global().stats()
+    );
 }

@@ -1,0 +1,93 @@
+//! A tiny FNV-1a accumulator shared by the config-fingerprint
+//! implementations across the workspace (`SearchConfig::fingerprint`,
+//! `NnLutConfig::fingerprint`, the artifact registry's key derivation).
+//!
+//! One copy of the constants, one byte encoding: every content hash in
+//! the workspace evolves in lockstep.
+
+/// Incremental FNV-1a (64-bit) over a stream of `u64` words, each fed
+/// little-endian byte by byte.
+///
+/// # Example
+///
+/// ```
+/// use gqa_funcs::Fnv1a;
+/// let mut h = Fnv1a::new();
+/// h.eat(42);
+/// h.eat_f64(1.5);
+/// h.eat_str("gelu");
+/// assert_ne!(h.finish(), Fnv1a::new().finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// The standard 64-bit FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one word into the hash.
+    pub fn eat(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds an `f64` as its raw IEEE-754 bits (distinguishes `-0.0`
+    /// from `0.0` and every NaN payload; content hashes want raw bits,
+    /// not numeric equality).
+    pub fn eat_f64(&mut self, v: f64) {
+        self.eat(v.to_bits());
+    }
+
+    /// Folds a string byte by byte.
+    pub fn eat_str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.eat(u64::from(b));
+        }
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_sensitive_and_stable() {
+        let mut a = Fnv1a::new();
+        a.eat(1);
+        a.eat(2);
+        let mut b = Fnv1a::new();
+        b.eat(2);
+        b.eat(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv1a::new();
+        c.eat(1);
+        c.eat(2);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn f64_uses_raw_bits() {
+        let mut pos = Fnv1a::new();
+        pos.eat_f64(0.0);
+        let mut neg = Fnv1a::new();
+        neg.eat_f64(-0.0);
+        assert_ne!(pos.finish(), neg.finish());
+    }
+}

@@ -36,12 +36,14 @@
 
 mod batch;
 mod erf_impl;
+mod fingerprint;
 mod ops;
 mod registry;
 mod vector;
 
 pub use batch::{fill_grid, grid_len, BatchEval, FnEval};
 pub use erf_impl::{erf, erfc};
+pub use fingerprint::Fnv1a;
 pub use ops::{
     cosine, div, exp, gelu, gelu_tanh, hswish, relu, relu6, rsqrt, sigmoid, silu, softplus, tanh,
 };

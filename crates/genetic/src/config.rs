@@ -79,6 +79,16 @@ pub struct SearchConfig {
     /// (elitism). Not spelled out in Algorithm 1; enabled by default as the
     /// standard stabilizer, ablatable via [`SearchConfig::with_elitism`].
     pub elitism: bool,
+    /// Number of demes (islands) in the island-model search. `1` (the
+    /// default) reproduces the single-population Algorithm 1 bit-exactly;
+    /// larger values evolve independent populations with periodic elite
+    /// migration. Each island draws from its own deterministic RNG stream,
+    /// so results are reproducible for a fixed `(seed, islands)` pair.
+    pub islands: usize,
+    /// Generations between elite migrations in the island model (ring
+    /// topology: island `i`'s best replaces one individual of island
+    /// `i + 1 mod N`). Ignored when `islands == 1`.
+    pub migration_interval: usize,
 }
 
 impl SearchConfig {
@@ -114,6 +124,8 @@ impl SearchConfig {
             tournament: 3,
             lambda_aware: true,
             elitism: true,
+            islands: 1,
+            migration_interval: 20,
         }
     }
 
@@ -211,6 +223,21 @@ impl SearchConfig {
         self
     }
 
+    /// Sets the number of islands (demes). `1` reproduces the
+    /// single-population search bit-exactly.
+    #[must_use]
+    pub fn with_islands(mut self, islands: usize) -> Self {
+        self.islands = islands;
+        self
+    }
+
+    /// Sets the elite-migration interval (in generations).
+    #[must_use]
+    pub fn with_migration_interval(mut self, interval: usize) -> Self {
+        self.migration_interval = interval;
+        self
+    }
+
     /// Number of LUT entries (`N_b + 1`).
     #[must_use]
     pub fn num_entries(&self) -> usize {
@@ -262,6 +289,57 @@ impl SearchConfig {
             self.data_size() >= 2,
             "fitness grid too coarse for the range"
         );
+        assert!(self.islands >= 1, "need at least one island");
+        assert!(
+            self.migration_interval >= 1,
+            "migration interval must be at least 1 generation"
+        );
+    }
+
+    /// Order-stable content hash of every field that affects the search
+    /// outcome. Used by artifact registries to content-address compiled
+    /// LUTs: two configs with equal fingerprints produce bit-identical
+    /// results, and any change to a field (or to this encoding) changes
+    /// the fingerprint and thus the cache identity.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a fixed field encoding; f64s enter as raw bits.
+        let mut h = gqa_funcs::Fnv1a::new();
+        h.eat_str(self.op.name());
+        h.eat(self.num_breakpoints as u64);
+        h.eat(self.population as u64);
+        h.eat_f64(self.crossover_prob);
+        h.eat_f64(self.mutation_prob);
+        h.eat_f64(self.rounding_step_prob);
+        h.eat(u64::from(self.mutate_range.0));
+        h.eat(u64::from(self.mutate_range.1));
+        h.eat_f64(self.range.0);
+        h.eat_f64(self.range.1);
+        h.eat(self.generations as u64);
+        h.eat(u64::from(self.lambda));
+        h.eat_f64(self.grid_step);
+        match self.mutation {
+            MutationKind::Gaussian { std } => {
+                h.eat(1);
+                h.eat_f64(std);
+            }
+            MutationKind::Rounding => h.eat(2),
+        }
+        h.eat(match self.fitness {
+            FitnessMode::PlainGrid => 1,
+            FitnessMode::QuantAwareAverage => 2,
+        });
+        h.eat(match self.segment_fit {
+            SegmentFit::Interpolate => 1,
+            SegmentFit::LeastSquares => 2,
+        });
+        h.eat(self.seed);
+        h.eat(self.tournament as u64);
+        h.eat(u64::from(self.lambda_aware));
+        h.eat(u64::from(self.elitism));
+        h.eat(self.islands as u64);
+        h.eat(self.migration_interval as u64);
+        h.finish()
     }
 }
 

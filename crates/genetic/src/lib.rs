@@ -36,10 +36,12 @@
 pub mod config;
 mod fitness;
 pub mod mutation;
+#[cfg(feature = "parallel")]
+mod pool;
 mod search;
 mod selection;
 
 pub use config::{FitnessMode, MutationKind, SearchConfig};
 pub use fitness::FitnessEvaluator;
-pub use search::{GeneticSearch, SearchResult};
+pub use search::{GeneticSearch, IslandRun, SearchResult};
 pub use selection::tournament_select;

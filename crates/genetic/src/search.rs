@@ -1,4 +1,19 @@
-//! Algorithm 1: the genetic piece-wise linear approximation search.
+//! Algorithm 1: the genetic piece-wise linear approximation search, run as
+//! a multi-deme island model.
+//!
+//! The search is organized as `islands` independent populations (demes),
+//! each with its own deterministic RNG stream derived from the config
+//! seed. Every [`SearchConfig::migration_interval`] generations the best
+//! individual of island `i` migrates into island `i + 1 mod N` (ring
+//! topology), which keeps demes loosely coupled while letting good
+//! breakpoint sets spread. With `islands = 1` (the default) the whole
+//! machinery degenerates to the paper's single-population Algorithm 1 and
+//! is **bit-exact** with it: island 0's RNG stream *is* the config seed.
+//!
+//! Population scoring is offloaded to a persistent worker pool (under the
+//! `parallel` feature) that is spawned once per run and amortized across
+//! all generations and islands, replacing the per-generation thread
+//! spawning of earlier revisions.
 
 use std::sync::Arc;
 
@@ -14,12 +29,25 @@ use crate::fitness::FitnessEvaluator;
 use crate::mutation::{gaussian_mutation, rounding_mutation};
 use crate::selection::tournament_select;
 
-/// The genetic search engine (Algorithm 1).
+#[cfg(feature = "parallel")]
+use crate::pool::ScoringPool;
+
+/// The genetic search engine (Algorithm 1, island-model generalization).
 ///
-/// Deterministic given the configured seed. See the crate docs for an
-/// end-to-end example.
+/// Deterministic given the configured `(seed, islands)`. See the crate
+/// docs for an end-to-end example.
 pub struct GeneticSearch {
     config: SearchConfig,
+    scorer: Arc<Scorer>,
+}
+
+/// The pure fitness context shared by every worker: evaluator, fitness
+/// mode, and the precomputed §4.1 grids. Immutable after construction, so
+/// it can be handed to scoring workers as an `Arc`.
+pub(crate) struct Scorer {
+    fitness: FitnessMode,
+    lambda: u32,
+    lambda_aware: bool,
     evaluator: FitnessEvaluator,
     // Per-scale dequantized grids for QuantAwareAverage fitness, hoisted
     // out of the scoring loop: the codes and reference values depend only
@@ -35,13 +63,79 @@ struct DequantGrid {
     ys: Vec<f64>,
 }
 
+impl Scorer {
+    /// Scores one individual per the configured fitness mode.
+    pub(crate) fn score(&self, breakpoints: &[f64]) -> f64 {
+        match self.fitness {
+            FitnessMode::PlainGrid => {
+                if self.lambda_aware {
+                    self.evaluator.fitness_fxp(breakpoints, self.lambda).1
+                } else {
+                    self.evaluator.fitness(breakpoints).1
+                }
+            }
+            FitnessMode::QuantAwareAverage => {
+                let pwl = self.evaluator.derive_pwl(breakpoints);
+                let lut = match QuantAwareLut::new(pwl, self.lambda) {
+                    Ok(l) => l,
+                    Err(_) => return f64::INFINITY,
+                };
+                let range = IntRange::signed(8);
+                // INT8 has at most 256 codes, so the output buffer lives
+                // on the stack: scoring one individual allocates only the
+                // per-scale LUT instantiation.
+                let mut out = [0.0f64; 256];
+                let total: f64 = self
+                    .qaa_grids
+                    .iter()
+                    .map(|grid| {
+                        if grid.qs.is_empty() {
+                            // Every code clipped: defined as 0, matching
+                            // eval::mse_dequantized_lut.
+                            return 0.0;
+                        }
+                        let inst = lut.instantiate(grid.scale, range);
+                        let out = &mut out[..grid.qs.len()];
+                        inst.eval_dequantized_batch(&grid.qs, out);
+                        let mut acc = 0.0f64;
+                        for (&a, &r) in out.iter().zip(&grid.ys) {
+                            let d = a - r;
+                            acc += d * d;
+                        }
+                        acc / grid.qs.len() as f64
+                    })
+                    .sum();
+                total / self.qaa_grids.len() as f64
+            }
+        }
+    }
+
+    /// Grid size of the underlying evaluator (work-size heuristic input).
+    pub(crate) fn data_size(&self) -> usize {
+        self.evaluator.data_size()
+    }
+}
+
 impl std::fmt::Debug for GeneticSearch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GeneticSearch")
             .field("config", &self.config)
-            .field("evaluator", &self.evaluator)
+            .field("evaluator", &self.scorer.evaluator)
             .finish()
     }
+}
+
+/// The deterministic per-island RNG stream: island 0 *is* the config seed
+/// (single-island runs are bit-exact with the pre-island engine); higher
+/// islands get decorrelated streams through a splitmix64 finalizer.
+fn island_seed(seed: u64, island: usize) -> u64 {
+    if island == 0 {
+        return seed;
+    }
+    let mut z = seed ^ (island as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl GeneticSearch {
@@ -95,11 +189,14 @@ impl GeneticSearch {
         } else {
             Vec::new()
         };
-        Self {
-            config,
+        let scorer = Arc::new(Scorer {
+            fitness: config.fitness,
+            lambda: config.lambda,
+            lambda_aware: config.lambda_aware,
             evaluator,
             qaa_grids,
-        }
+        });
+        Self { config, scorer }
     }
 
     /// The configuration.
@@ -108,67 +205,182 @@ impl GeneticSearch {
         &self.config
     }
 
+    /// Test-only access to the shared scorer.
+    #[cfg(test)]
+    pub(crate) fn scorer_for_tests(&self) -> &Arc<Scorer> {
+        &self.scorer
+    }
+
+    /// Converts the search into a resumable run: populations initialized,
+    /// zero generations executed. Drive it with [`IslandRun::step`] (one
+    /// generation across all islands) and close with [`IslandRun::finish`].
+    #[must_use]
+    pub fn into_run(self) -> IslandRun {
+        IslandRun::new(self.config, self.scorer)
+    }
+
     /// Runs the full T-generation evolution and returns the best LUT.
     #[must_use]
     pub fn run(self) -> SearchResult {
-        let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let (rn, rp) = cfg.range;
+        let mut run = self.into_run();
+        while !run.is_done() {
+            run.step();
+        }
+        run.finish()
+    }
+}
 
-        // Line 1: random FP32 breakpoint population.
-        let mut population: Vec<Vec<f64>> = (0..cfg.population)
-            .map(|_| {
-                let mut p: Vec<f64> = (0..cfg.num_breakpoints)
-                    .map(|_| rng.gen_range(rn..rp))
+/// One deme: an independent population with its own RNG stream.
+struct Island {
+    population: Vec<Vec<f64>>,
+    rng: StdRng,
+    /// Best individual of the most recently scored generation (used for
+    /// migration; refreshed every [`IslandRun::step`]).
+    best: Vec<f64>,
+    best_fitness: f64,
+}
+
+/// A resumable island-model evolution: populations, per-island RNG
+/// streams, and the persistent scoring pool live here between generations.
+///
+/// Obtained from [`GeneticSearch::into_run`]; callers that do not need
+/// generation-level control use [`GeneticSearch::run`].
+pub struct IslandRun {
+    config: SearchConfig,
+    scorer: Arc<Scorer>,
+    islands: Vec<Island>,
+    generation: usize,
+    history: Vec<f64>,
+    #[cfg(feature = "parallel")]
+    pool: Option<ScoringPool>,
+    /// Scratch buffer reused across generations for fitness values.
+    scores: Vec<f64>,
+}
+
+impl std::fmt::Debug for IslandRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IslandRun")
+            .field("islands", &self.islands.len())
+            .field("generation", &self.generation)
+            .field("of", &self.config.generations)
+            .finish()
+    }
+}
+
+impl IslandRun {
+    fn new(config: SearchConfig, scorer: Arc<Scorer>) -> Self {
+        let (rn, rp) = config.range;
+        let islands = (0..config.islands)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(island_seed(config.seed, i));
+                // Line 1: random FP32 breakpoint population.
+                let population: Vec<Vec<f64>> = (0..config.population)
+                    .map(|_| {
+                        let mut p: Vec<f64> = (0..config.num_breakpoints)
+                            .map(|_| rng.gen_range(rn..rp))
+                            .collect();
+                        p.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                        p
+                    })
                     .collect();
-                p.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-                p
+                Island {
+                    population,
+                    rng,
+                    best: Vec::new(),
+                    best_fitness: f64::INFINITY,
+                }
             })
             .collect();
+        let history = Vec::with_capacity(config.generations);
+        Self {
+            config,
+            scorer,
+            islands,
+            generation: 0,
+            history,
+            #[cfg(feature = "parallel")]
+            pool: None,
+            scores: Vec::new(),
+        }
+    }
 
-        let mut history = Vec::with_capacity(cfg.generations);
+    /// Generations executed so far.
+    #[must_use]
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
 
-        // Lines 2–19: T-round evolution.
-        for _gen in 0..cfg.generations {
+    /// Whether the configured generation budget is exhausted.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.generation >= self.config.generations
+    }
+
+    /// Best plain-grid fitness per executed generation (global best across
+    /// islands; monotone-ish descent trace).
+    #[must_use]
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Best fitness seen in the most recent generation, if any.
+    #[must_use]
+    pub fn best_fitness(&self) -> Option<f64> {
+        self.history.last().copied()
+    }
+
+    /// Executes one generation on every island (lines 2–19 of Algorithm 1
+    /// per deme), then ring-migrates elites when the interval elapses.
+    /// Returns the generation's global best fitness.
+    pub fn step(&mut self) -> f64 {
+        let cfg = self.config.clone();
+        let mut generation_best = f64::INFINITY;
+
+        for idx in 0..self.islands.len() {
             // Lines 9–16: stochastic crossover and mutation, in place.
-            for i in 0..population.len() {
-                let rand_c: f64 = rng.gen_range(0.0..1.0);
-                let rand_m: f64 = rng.gen_range(0.0..1.0);
-                if rand_c < cfg.crossover_prob && population.len() > 1 {
-                    // Line 11: random partner j ≠ i.
-                    let j = loop {
-                        let j = rng.gen_range(0..population.len());
-                        if j != i {
-                            break j;
+            {
+                let island = &mut self.islands[idx];
+                let population = &mut island.population;
+                let rng = &mut island.rng;
+                for i in 0..population.len() {
+                    let rand_c: f64 = rng.gen_range(0.0..1.0);
+                    let rand_m: f64 = rng.gen_range(0.0..1.0);
+                    if rand_c < cfg.crossover_prob && population.len() > 1 {
+                        // Line 11: random partner j ≠ i.
+                        let j = loop {
+                            let j = rng.gen_range(0..population.len());
+                            if j != i {
+                                break j;
+                            }
+                        };
+                        // Line 12: swap a random contiguous segment.
+                        let nb = cfg.num_breakpoints;
+                        let a = rng.gen_range(0..nb);
+                        let b = rng.gen_range(a..nb) + 1;
+                        // Split-borrow the two individuals.
+                        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                        let (left, right) = population.split_at_mut(hi);
+                        let (pi, pj) = (&mut left[lo], &mut right[0]);
+                        for t in a..b {
+                            std::mem::swap(&mut pi[t], &mut pj[t]);
                         }
-                    };
-                    // Line 12: swap a random contiguous segment.
-                    let nb = cfg.num_breakpoints;
-                    let a = rng.gen_range(0..nb);
-                    let b = rng.gen_range(a..nb) + 1;
-                    // Split-borrow the two individuals.
-                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-                    let (left, right) = population.split_at_mut(hi);
-                    let (pi, pj) = (&mut left[lo], &mut right[0]);
-                    for t in a..b {
-                        std::mem::swap(&mut pi[t], &mut pj[t]);
+                        pi.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+                        pj.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
                     }
-                    pi.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
-                    pj.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
-                }
-                if rand_m < cfg.mutation_prob {
-                    // Line 15: M(P_i, θ_r).
-                    match cfg.mutation {
-                        MutationKind::Gaussian { std } => {
-                            gaussian_mutation(&mut population[i], std, cfg.range, &mut rng);
-                        }
-                        MutationKind::Rounding => {
-                            rounding_mutation(
-                                &mut population[i],
-                                cfg.rounding_step_prob,
-                                cfg.mutate_range,
-                                &mut rng,
-                            );
+                    if rand_m < cfg.mutation_prob {
+                        // Line 15: M(P_i, θ_r).
+                        match cfg.mutation {
+                            MutationKind::Gaussian { std } => {
+                                gaussian_mutation(&mut population[i], std, cfg.range, rng);
+                            }
+                            MutationKind::Rounding => {
+                                rounding_mutation(
+                                    &mut population[i],
+                                    cfg.rounding_step_prob,
+                                    cfg.mutate_range,
+                                    rng,
+                                );
+                            }
                         }
                     }
                 }
@@ -176,131 +388,126 @@ impl GeneticSearch {
 
             // Lines 3–8 + 18: fitness, then 3-size tournament selection
             // onto the next generation (with optional elitism).
-            let fitness_now: Vec<f64> = self.score_all(&population);
+            self.score_island(idx);
+            let island = &mut self.islands[idx];
+            let fitness_now = &self.scores;
             let best_idx = fitness_now
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite fitness"))
                 .map(|(i, _)| i)
                 .expect("non-empty population");
-            history.push(fitness_now[best_idx]);
+            island.best = island.population[best_idx].clone();
+            island.best_fitness = fitness_now[best_idx];
+            generation_best = generation_best.min(island.best_fitness);
 
             let mut next: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
             if cfg.elitism {
-                next.push(population[best_idx].clone());
+                next.push(island.population[best_idx].clone());
             }
             while next.len() < cfg.population {
-                let w = tournament_select(&fitness_now, cfg.tournament, &mut rng);
-                next.push(population[w].clone());
+                let w = tournament_select(fitness_now, cfg.tournament, &mut island.rng);
+                next.push(island.population[w].clone());
             }
-            population = next;
+            island.population = next;
         }
 
-        // Line 20: best individual of the final generation.
-        let (best_idx, _) = self
-            .score_all(&population)
-            .into_iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"))
-            .expect("non-empty population");
-        let best_breakpoints = population[best_idx].clone();
+        self.history.push(generation_best);
+        self.generation += 1;
+
+        // Elite migration on the ring (deterministic, draws no RNG): the
+        // immigrant replaces the last tournament-selected slot, never the
+        // elitism slot at index 0.
+        if self.islands.len() > 1
+            && self
+                .generation
+                .is_multiple_of(self.config.migration_interval)
+        {
+            let migrants: Vec<Vec<f64>> = self.islands.iter().map(|is| is.best.clone()).collect();
+            let n = self.islands.len();
+            for (i, migrant) in migrants.into_iter().enumerate() {
+                let dest = &mut self.islands[(i + 1) % n];
+                let last = dest.population.len() - 1;
+                dest.population[last] = migrant;
+            }
+        }
+
+        generation_best
+    }
+
+    /// Scores island `idx`'s population into `self.scores` (ordered by
+    /// individual index). With the `parallel` feature and enough work the
+    /// persistent pool shards the population across workers; results are
+    /// written back by index, so the output is identical to the serial
+    /// sweep.
+    fn score_island(&mut self, idx: usize) {
+        let n = self.islands[idx].population.len();
+        self.scores.clear();
+        self.scores.resize(n, 0.0);
+
+        #[cfg(feature = "parallel")]
+        {
+            // Only shard when there is enough work to amortize the channel
+            // round-trip: the default paper config (N_p = 50 × 800-point
+            // grid) qualifies.
+            let work = n * self.scorer.data_size();
+            let avail = std::thread::available_parallelism().map_or(1, usize::from);
+            let threads = avail.min(n / 8).min(8);
+            if threads > 1 && work >= 20_000 {
+                let pool = self
+                    .pool
+                    .get_or_insert_with(|| ScoringPool::spawn(avail.min(8)));
+                // Hand the population to the workers as shared ownership,
+                // then take it back (the pool drops its clones once every
+                // chunk is scored).
+                let shared = Arc::new(std::mem::take(&mut self.islands[idx].population));
+                pool.score_into(&self.scorer, &shared, threads, &mut self.scores);
+                self.islands[idx].population =
+                    Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone());
+                return;
+            }
+        }
+
+        for (out, p) in self.scores.iter_mut().zip(&self.islands[idx].population) {
+            *out = self.scorer.score(p);
+        }
+    }
+
+    /// Line 20: scores the final populations and returns the global best
+    /// individual as the finished FXP artifact.
+    #[must_use]
+    pub fn finish(mut self) -> SearchResult {
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for idx in 0..self.islands.len() {
+            self.score_island(idx);
+            let (best_idx, fit) = self
+                .scores
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"))
+                .expect("non-empty population");
+            let better = match &best {
+                Some((f, _)) => fit < *f,
+                None => true,
+            };
+            if better {
+                best = Some((fit, self.islands[idx].population[best_idx].clone()));
+            }
+        }
+        let (_, best_breakpoints) = best.expect("at least one island");
 
         // Lines 21–22: derive K*, B* and round to FXP λ.
-        let pwl = self.evaluator.derive_pwl(&best_breakpoints);
-        let lut = QuantAwareLut::new(pwl, cfg.lambda).expect("valid pwl");
-        let best_mse = self.evaluator.mse(lut.pwl());
+        let pwl = self.scorer.evaluator.derive_pwl(&best_breakpoints);
+        let lut = QuantAwareLut::new(pwl, self.config.lambda).expect("valid pwl");
+        let best_mse = self.scorer.evaluator.mse(lut.pwl());
 
         SearchResult {
-            config: self.config.clone(),
+            config: self.config,
             lut,
             best_breakpoints,
             best_mse,
-            history,
-        }
-    }
-
-    /// Scores the whole population, in order. With the `parallel` feature
-    /// (default) large populations are sharded across scoped OS threads —
-    /// the population-scoring parallelism the paper's per-generation loop
-    /// admits trivially, since every individual's fitness is pure.
-    ///
-    /// Deterministic: scoring draws no randomness and results are written
-    /// back by index, so the output is identical to the serial sweep.
-    #[must_use]
-    fn score_all(&self, population: &[Vec<f64>]) -> Vec<f64> {
-        #[cfg(feature = "parallel")]
-        {
-            // Only shard when there is enough work to amortize thread
-            // spawns (~tens of µs each): the default paper config
-            // (N_p = 50 × 800-point grid) qualifies.
-            let work = population.len() * self.evaluator.data_size();
-            let avail = std::thread::available_parallelism().map_or(1, usize::from);
-            let threads = avail.min(population.len() / 8).min(8);
-            if threads > 1 && work >= 20_000 {
-                let mut scores = vec![0.0f64; population.len()];
-                let chunk = population.len().div_ceil(threads);
-                std::thread::scope(|s| {
-                    for (pop_chunk, out_chunk) in
-                        population.chunks(chunk).zip(scores.chunks_mut(chunk))
-                    {
-                        s.spawn(move || {
-                            for (p, out) in pop_chunk.iter().zip(out_chunk.iter_mut()) {
-                                *out = self.score(p);
-                            }
-                        });
-                    }
-                });
-                return scores;
-            }
-        }
-        population.iter().map(|p| self.score(p)).collect()
-    }
-
-    /// Scores one individual per the configured fitness mode.
-    fn score(&self, breakpoints: &[f64]) -> f64 {
-        match self.config.fitness {
-            FitnessMode::PlainGrid => {
-                if self.config.lambda_aware {
-                    self.evaluator
-                        .fitness_fxp(breakpoints, self.config.lambda)
-                        .1
-                } else {
-                    self.evaluator.fitness(breakpoints).1
-                }
-            }
-            FitnessMode::QuantAwareAverage => {
-                let pwl = self.evaluator.derive_pwl(breakpoints);
-                let lut = match QuantAwareLut::new(pwl, self.config.lambda) {
-                    Ok(l) => l,
-                    Err(_) => return f64::INFINITY,
-                };
-                let range = IntRange::signed(8);
-                // INT8 has at most 256 codes, so the output buffer lives
-                // on the stack: scoring one individual allocates only the
-                // per-scale LUT instantiation.
-                let mut out = [0.0f64; 256];
-                let total: f64 = self
-                    .qaa_grids
-                    .iter()
-                    .map(|grid| {
-                        if grid.qs.is_empty() {
-                            // Every code clipped: defined as 0, matching
-                            // eval::mse_dequantized_lut.
-                            return 0.0;
-                        }
-                        let inst = lut.instantiate(grid.scale, range);
-                        let out = &mut out[..grid.qs.len()];
-                        inst.eval_dequantized_batch(&grid.qs, out);
-                        let mut acc = 0.0f64;
-                        for (&a, &r) in out.iter().zip(&grid.ys) {
-                            let d = a - r;
-                            acc += d * d;
-                        }
-                        acc / grid.qs.len() as f64
-                    })
-                    .sum();
-                total / self.qaa_grids.len() as f64
-            }
+            history: self.history,
         }
     }
 }
@@ -463,5 +670,53 @@ mod tests {
             .with_fitness(FitnessMode::QuantAwareAverage);
         let r = GeneticSearch::new(cfg).run();
         assert!(r.best_mse().is_finite());
+    }
+
+    #[test]
+    fn stepwise_run_matches_one_shot() {
+        let one_shot = GeneticSearch::new(quick(NonLinearOp::Gelu)).run();
+        let mut run = GeneticSearch::new(quick(NonLinearOp::Gelu)).into_run();
+        let mut steps = 0;
+        while !run.is_done() {
+            run.step();
+            steps += 1;
+        }
+        assert_eq!(steps, 60);
+        let resumed = run.finish();
+        assert_eq!(one_shot.breakpoints(), resumed.breakpoints());
+        assert_eq!(one_shot.best_mse(), resumed.best_mse());
+        assert_eq!(one_shot.history(), resumed.history());
+    }
+
+    #[test]
+    fn island_streams_are_decorrelated() {
+        assert_eq!(island_seed(42, 0), 42);
+        assert_ne!(island_seed(42, 1), island_seed(42, 2));
+        assert_ne!(island_seed(42, 1), island_seed(43, 1));
+    }
+
+    #[test]
+    fn multi_island_runs_and_is_deterministic() {
+        let cfg = || {
+            quick(NonLinearOp::Gelu)
+                .with_generations(40)
+                .with_islands(3)
+                .with_migration_interval(10)
+        };
+        let a = GeneticSearch::new(cfg()).run();
+        let b = GeneticSearch::new(cfg()).run();
+        assert_eq!(a.breakpoints(), b.breakpoints());
+        assert_eq!(a.best_mse().to_bits(), b.best_mse().to_bits());
+        assert_eq!(a.history(), b.history());
+    }
+
+    #[test]
+    fn more_islands_never_hurt_much() {
+        // The global best over 3 islands is at least as good as the worst
+        // single run would suggest; mainly this guards the plumbing (the
+        // best individual must actually be selected across demes).
+        let single = GeneticSearch::new(quick(NonLinearOp::Gelu)).run();
+        let multi = GeneticSearch::new(quick(NonLinearOp::Gelu).with_islands(3)).run();
+        assert!(multi.best_mse() <= single.best_mse() * 2.0);
     }
 }

@@ -7,9 +7,10 @@ use std::sync::Mutex;
 use gqa_funcs::{BatchEval, NonLinearOp};
 use gqa_fxp::{IntRange, PowerOfTwoScale};
 use gqa_pwl::{FxpPwl, IntLutInstance, MultiRangeLut, MultiRangeScaling, QuantAwareLut};
+use gqa_registry::{LutBuildError, LutRegistry, LutSpec};
 use gqa_tensor::{ExactBackend, UnaryBackend, UnaryKind};
 
-use crate::luts::{build_lut_budgeted, Method};
+use crate::luts::Method;
 
 /// Which operators are LUT-replaced (the "Replacement" column of Tables
 /// 4 and 5).
@@ -187,16 +188,20 @@ impl std::fmt::Debug for PwlBackend {
 }
 
 impl PwlBackend {
-    /// Builds the backend: searches/trains the 8-entry LUT for every
-    /// operator in `replace`, instantiating scale-dependent ones at the
-    /// calibrated power-of-two input scales.
+    /// Builds the backend: compiles (or fetches from the global artifact
+    /// registry) the 8-entry LUT for every operator in `replace`,
+    /// instantiating scale-dependent ones at the calibrated power-of-two
+    /// input scales. Rebuilding with an identical `(method, replace,
+    /// seed, budget)` runs zero search generations — every LUT is a
+    /// registry hit.
     ///
     /// `budget` scales the LUT search budget (1.0 = the paper's full
     /// budget).
     ///
     /// # Panics
     ///
-    /// Panics if `budget` is out of `(0, 1]`.
+    /// Panics if `budget` is out of `(0, 1]`; see
+    /// [`PwlBackend::try_build`] for the typed-error variant.
     #[must_use]
     pub fn build(
         method: Method,
@@ -205,33 +210,79 @@ impl PwlBackend {
         seed: u64,
         budget: f64,
     ) -> Self {
+        match Self::try_build(method, replace, calib, seed, budget) {
+            Ok(backend) => backend,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`PwlBackend::build`] against the global registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutBuildError`] if the budget or entry configuration is
+    /// out of domain.
+    pub fn try_build(
+        method: Method,
+        replace: ReplaceSet,
+        calib: &CalibrationRecorder,
+        seed: u64,
+        budget: f64,
+    ) -> Result<Self, LutBuildError> {
+        Self::try_build_with(LutRegistry::global(), method, replace, calib, seed, budget)
+    }
+
+    /// [`PwlBackend::try_build`] against a caller-owned registry (tests,
+    /// bounded caches, pre-warmed snapshots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutBuildError`] if the budget or entry configuration is
+    /// out of domain.
+    pub fn try_build_with(
+        registry: &LutRegistry,
+        method: Method,
+        replace: ReplaceSet,
+        calib: &CalibrationRecorder,
+        seed: u64,
+        budget: f64,
+    ) -> Result<Self, LutBuildError> {
         let range = IntRange::signed(8);
-        let scale_dep = |op: NonLinearOp, kind: UnaryKind| -> IntLutInstance {
-            let lut = build_lut_budgeted(method, op, 8, seed, budget);
-            lut.instantiate(calib.pot_scale(kind), range)
+        let compile = |op: NonLinearOp| {
+            registry.get_or_build(&LutSpec::new(method, op, 8, seed).with_budget(budget))
         };
-        let wide = |op: NonLinearOp| -> MultiRangeLut {
-            let lut = build_lut_budgeted(method, op, 8, seed, budget);
+        let scale_dep =
+            |op: NonLinearOp, kind: UnaryKind| -> Result<IntLutInstance, LutBuildError> {
+                Ok(compile(op)?.instantiate(calib.pot_scale(kind), range))
+            };
+        let wide = |op: NonLinearOp| -> Result<MultiRangeLut, LutBuildError> {
+            let lut = compile(op)?;
             let scaling = match op {
                 NonLinearOp::Div => MultiRangeScaling::div_paper(),
                 NonLinearOp::Rsqrt => MultiRangeScaling::rsqrt_paper(),
                 _ => unreachable!("wide ops are DIV/RSQRT"),
             };
-            MultiRangeLut::new(FxpPwl::new(&lut, 8), scaling)
+            Ok(MultiRangeLut::new(FxpPwl::new(&lut, 8), scaling))
         };
-        Self {
+        Ok(Self {
             gelu: replace
                 .gelu
-                .then(|| scale_dep(NonLinearOp::Gelu, UnaryKind::Gelu)),
+                .then(|| scale_dep(NonLinearOp::Gelu, UnaryKind::Gelu))
+                .transpose()?,
             hswish: replace
                 .hswish
-                .then(|| scale_dep(NonLinearOp::Hswish, UnaryKind::Hswish)),
+                .then(|| scale_dep(NonLinearOp::Hswish, UnaryKind::Hswish))
+                .transpose()?,
             exp: replace
                 .exp
-                .then(|| scale_dep(NonLinearOp::Exp, UnaryKind::Exp)),
-            recip: replace.div.then(|| wide(NonLinearOp::Div)),
-            rsqrt: replace.rsqrt.then(|| wide(NonLinearOp::Rsqrt)),
-        }
+                .then(|| scale_dep(NonLinearOp::Exp, UnaryKind::Exp))
+                .transpose()?,
+            recip: replace.div.then(|| wide(NonLinearOp::Div)).transpose()?,
+            rsqrt: replace
+                .rsqrt
+                .then(|| wide(NonLinearOp::Rsqrt))
+                .transpose()?,
+        })
     }
 
     /// Builds directly from pre-made LUTs (used by tests to avoid repeated
@@ -295,6 +346,7 @@ impl UnaryBackend for PwlBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::luts::build_lut_budgeted;
 
     #[test]
     fn replace_set_labels() {

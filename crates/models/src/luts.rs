@@ -1,52 +1,23 @@
 //! The canonical method ↔ LUT builder shared by operator-level and
 //! model-level experiments.
-
-use std::fmt;
+//!
+//! Since the registry refactor these are thin cached façades: every call
+//! routes through the process-wide [`LutRegistry`](gqa_registry::LutRegistry),
+//! so rebuilding an identical `(method, op, entries, seed, budget)` artifact
+//! is a cache hit that runs **zero** search generations. The [`Method`]
+//! enum itself now lives in `gqa-registry` (the artifact layer) and is
+//! re-exported here for compatibility.
 
 use gqa_funcs::NonLinearOp;
-use gqa_genetic::{FitnessMode, GeneticSearch, SearchConfig};
-use gqa_nnlut::{NnLutConfig, NnLutTrainer};
 use gqa_pwl::QuantAwareLut;
+use gqa_registry::{LutRegistry, LutSpec};
 
-/// The three methods compared throughout the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Method {
-    /// NN-LUT baseline (ref. [11]), INT8-converted per §4.1.
-    NnLut,
-    /// GQA-LUT with conventional Gaussian mutation ("w/o RM"): §3.2's
-    /// straightforward approach — quantization-blind breakpoints, post-hoc
-    /// FXP conversion.
-    GqaNoRm,
-    /// GQA-LUT with Rounding Mutation ("w/ RM"): FXP-aligned proposals and,
-    /// for scale-dependent operators, the §4.1 dequantized-grid fitness, so
-    /// selection rewards quantization-robust breakpoints.
-    GqaRm,
-}
-
-impl Method {
-    /// All three methods in the paper's column order.
-    pub const ALL: [Method; 3] = [Method::NnLut, Method::GqaNoRm, Method::GqaRm];
-
-    /// Paper-style label.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            Method::NnLut => "NN-LUT",
-            Method::GqaNoRm => "GQA-LUT w/o RM",
-            Method::GqaRm => "GQA-LUT w/ RM",
-        }
-    }
-}
-
-impl fmt::Display for Method {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
-    }
-}
+pub use gqa_registry::{LutBuildError, Method};
 
 /// Builds the INT8-ready LUT for `method` on `op` with `entries` ∈ {8, 16}
 /// at the paper's full budget (T = 500, Np = 50 for GQA; 100 K samples for
-/// NN-LUT). Deterministic for a given `seed`.
+/// NN-LUT). Deterministic for a given `seed`; served from the global
+/// artifact registry when an identical artifact was already compiled.
 ///
 /// # Panics
 ///
@@ -62,7 +33,8 @@ pub fn build_lut(method: Method, op: NonLinearOp, entries: usize, seed: u64) -> 
 ///
 /// # Panics
 ///
-/// Panics if `entries` is not 8 or 16 or `budget` is out of `(0, 1]`.
+/// Panics if `entries` is not 8 or 16 or `budget` is out of `(0, 1]`. Use
+/// [`try_build_lut_budgeted`] for a typed error instead.
 #[must_use]
 pub fn build_lut_budgeted(
     method: Method,
@@ -71,54 +43,28 @@ pub fn build_lut_budgeted(
     seed: u64,
     budget: f64,
 ) -> QuantAwareLut {
-    assert!(
-        entries == 8 || entries == 16,
-        "paper evaluates 8- and 16-entry LUTs"
-    );
-    assert!(budget > 0.0 && budget <= 1.0, "budget must be in (0, 1]");
-    match method {
-        Method::NnLut => {
-            let mut cfg = NnLutConfig::for_op(op)
-                .with_seed(seed)
-                .with_steps(((4000.0 * budget) as usize).max(200))
-                .with_samples(((100_000.0 * budget) as usize).max(2_000));
-            // NN-LUT's procedure (ref. [11]) samples the operator's *actual*
-            // input distribution. For the wide-range intermediates DIV and
-            // RSQRT that distribution extends far beyond GQA-LUT's
-            // breakpoint interval (GQA confines itself to the interval via
-            // multi-range input scaling, §3.1); NN-LUT instead trains across
-            // the wide range with its single-constant input scaling, and the
-            // §4.1 conversion to 8-bit FXP breakpoints then saturates — the
-            // cause of NN-LUT's poor DIV/RSQRT rows in Table 3.
-            match op {
-                NonLinearOp::Div => cfg.range = (0.5, 8.0),
-                NonLinearOp::Rsqrt => cfg.range = (0.25, 16.0),
-                _ => {}
-            }
-            if entries == 16 {
-                cfg = cfg.with_entries_16();
-            }
-            NnLutTrainer::new(cfg).train().lut().clone()
-        }
-        Method::GqaNoRm | Method::GqaRm => {
-            let mut cfg = SearchConfig::for_op(op)
-                .with_seed(seed)
-                .with_generations(((500.0 * budget) as usize).max(40));
-            if entries == 16 {
-                cfg = cfg.with_entries_16();
-            }
-            match method {
-                Method::GqaNoRm => {
-                    cfg = cfg.without_rounding_mutation();
-                }
-                Method::GqaRm if op.scale_dependent() => {
-                    cfg = cfg.with_fitness(FitnessMode::QuantAwareAverage);
-                }
-                _ => {}
-            }
-            GeneticSearch::new(cfg).run().lut().clone()
-        }
+    match try_build_lut_budgeted(method, op, entries, seed, budget) {
+        Ok(lut) => lut,
+        Err(e) => panic!("{e}"),
     }
+}
+
+/// Fallible [`build_lut_budgeted`]: validates the request up front and
+/// returns a typed [`LutBuildError`] (zero or out-of-domain budget,
+/// unsupported entry count) instead of panicking downstream.
+///
+/// # Errors
+///
+/// Returns [`LutBuildError`] if the spec fails validation.
+pub fn try_build_lut_budgeted(
+    method: Method,
+    op: NonLinearOp,
+    entries: usize,
+    seed: u64,
+    budget: f64,
+) -> Result<QuantAwareLut, LutBuildError> {
+    let spec = LutSpec::new(method, op, entries, seed).with_budget(budget);
+    Ok((*LutRegistry::global().get_or_build(&spec)?).clone())
 }
 
 #[cfg(test)]
@@ -141,8 +87,24 @@ mod tests {
     }
 
     #[test]
+    fn repeat_builds_hit_the_registry() {
+        let before = LutRegistry::global().stats();
+        let a = build_lut_budgeted(Method::GqaNoRm, NonLinearOp::Exp, 8, 12345, 0.1);
+        let b = build_lut_budgeted(Method::GqaNoRm, NonLinearOp::Exp, 8, 12345, 0.1);
+        let after = LutRegistry::global().stats();
+        assert_eq!(a, b, "cached artifact must be identical");
+        assert!(after.hits > before.hits, "second build must be a hit");
+    }
+
+    #[test]
     #[should_panic(expected = "8- and 16-entry")]
     fn entries_validated() {
         let _ = build_lut(Method::GqaRm, NonLinearOp::Gelu, 12, 0);
+    }
+
+    #[test]
+    fn zero_budget_is_typed_not_panic() {
+        let err = try_build_lut_budgeted(Method::GqaRm, NonLinearOp::Gelu, 8, 0, 0.0);
+        assert!(matches!(err, Err(LutBuildError::InvalidBudget(b)) if b == 0.0));
     }
 }

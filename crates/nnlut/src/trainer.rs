@@ -90,6 +90,25 @@ impl NnLutConfig {
         self
     }
 
+    /// Order-stable content hash of every field that affects the trained
+    /// artifact (FNV-1a; f64s enter as raw bits). Used by artifact
+    /// registries to content-address converted NN-LUTs.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = gqa_funcs::Fnv1a::new();
+        h.eat_str(self.op.name());
+        h.eat(self.entries as u64);
+        h.eat_f64(self.range.0);
+        h.eat_f64(self.range.1);
+        h.eat(self.samples as u64);
+        h.eat(self.steps as u64);
+        h.eat(self.batch as u64);
+        h.eat_f64(self.lr);
+        h.eat(u64::from(self.lambda));
+        h.eat(self.seed);
+        h.finish()
+    }
+
     fn validate(&self) {
         assert!(self.entries >= 2, "need at least 2 entries");
         assert!(self.range.0 < self.range.1, "empty range");

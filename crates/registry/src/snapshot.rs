@@ -1,0 +1,443 @@
+//! JSON snapshot of a registry's finished artifacts, so bench binaries
+//! and services can warm-start instead of re-running searches.
+//!
+//! The format is versioned and fully self-contained: each entry carries
+//! its [`LutKey`] plus the artifact parameters with every `f64` encoded
+//! as raw IEEE-754 bits (decimal `u64`), so a load reconstructs the LUT
+//! **bit-exactly** — no decimal round-tripping. The writer/reader below
+//! are a deliberately small hand-rolled JSON subset (the build
+//! environment has no serde): objects, arrays, strings without escapes,
+//! and unsigned integers, which is exactly what the format uses.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use gqa_funcs::NonLinearOp;
+use gqa_pwl::{Pwl, QuantAwareLut};
+
+use crate::method::Method;
+use crate::registry::LutRegistry;
+use crate::spec::LutKey;
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Failure to load a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The JSON could not be parsed (position, message).
+    Parse(usize, String),
+    /// The snapshot's version field is unsupported.
+    BadVersion(u64),
+    /// The snapshot was written by a different compilation-pipeline
+    /// revision; its artifacts could never be cache-hit under current
+    /// keys, so loading them would only bloat the registry.
+    StalePipeline(u64),
+    /// A required field was missing or had the wrong type.
+    BadField(String),
+    /// An entry named an unknown method or operator.
+    UnknownIdent(String),
+    /// The stored LUT parameters were internally inconsistent.
+    BadArtifact(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Parse(at, msg) => write!(f, "snapshot parse error at byte {at}: {msg}"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::StalePipeline(v) => write!(
+                f,
+                "snapshot was built by pipeline revision {v} (current: {})",
+                crate::spec::PIPELINE_VERSION
+            ),
+            SnapshotError::BadField(name) => write!(f, "missing or malformed field `{name}`"),
+            SnapshotError::UnknownIdent(s) => write!(f, "unknown method/operator `{s}`"),
+            SnapshotError::BadArtifact(msg) => write!(f, "invalid stored artifact: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl LutRegistry {
+    /// Serializes every finished artifact to the snapshot JSON format.
+    /// Deterministic: entries are ordered by their key's display form.
+    #[must_use]
+    pub fn snapshot_json(&self) -> String {
+        let mut entries = self.ready_entries();
+        entries.sort_by_key(|(k, _)| k.to_string());
+        let mut out = String::with_capacity(256 + entries.len() * 512);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {SNAPSHOT_VERSION},\n"));
+        out.push_str(&format!(
+            "  \"pipeline\": {},\n",
+            crate::spec::PIPELINE_VERSION
+        ));
+        out.push_str("  \"entries\": [");
+        for (i, (key, lut)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_entry(&mut out, key, lut);
+        }
+        if entries.is_empty() {
+            out.push_str("]\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
+        out
+    }
+
+    /// Saves [`LutRegistry::snapshot_json`] to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_snapshot(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.snapshot_json())
+    }
+
+    /// Loads artifacts from snapshot JSON into the registry (overwriting
+    /// finished entries with equal keys). Returns the number of artifacts
+    /// loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on malformed input; on error nothing
+    /// further is inserted but earlier entries of the same snapshot may
+    /// already have landed.
+    pub fn load_snapshot(&self, json: &str) -> Result<usize, SnapshotError> {
+        let value = parse_json(json)?;
+        let obj = value.as_obj().ok_or_else(|| bad("root"))?;
+        let version = find(obj, "version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad("version"))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        // Refuse snapshots from other pipeline revisions outright: their
+        // keys embed the old revision and can never be cache-hit, so
+        // loading (and later re-saving) them would accrete dead artifacts
+        // across pipeline bumps.
+        let pipeline = find(obj, "pipeline")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad("pipeline"))?;
+        if pipeline != crate::spec::PIPELINE_VERSION {
+            return Err(SnapshotError::StalePipeline(pipeline));
+        }
+        let entries = find(obj, "entries")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| bad("entries"))?;
+        let mut loaded = 0usize;
+        for e in entries {
+            let (key, lut) = read_entry(e.as_obj().ok_or_else(|| bad("entry"))?)?;
+            self.insert(key, lut);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+fn bad(name: &str) -> SnapshotError {
+    SnapshotError::BadField(name.to_owned())
+}
+
+fn write_entry(out: &mut String, key: &LutKey, lut: &Arc<QuantAwareLut>) {
+    let bits = |vs: &[f64]| -> String {
+        let parts: Vec<String> = vs.iter().map(|v| v.to_bits().to_string()).collect();
+        format!("[{}]", parts.join(", "))
+    };
+    out.push_str(&format!(
+        "{{\"method\": \"{}\", \"op\": \"{}\", \"entries\": {}, \"seed\": {}, \
+         \"range_bits\": [{}, {}], \"lambda\": {}, \
+         \"config_hash\": {}, \"lut\": {{\"lambda\": {}, \"slopes\": {}, \
+         \"intercepts\": {}, \"breakpoints\": {}}}}}",
+        key.method.ident(),
+        key.op.name(),
+        key.entries,
+        key.seed,
+        key.range_bits.0,
+        key.range_bits.1,
+        key.lambda,
+        key.config_hash,
+        lut.lambda(),
+        bits(lut.pwl().slopes()),
+        bits(lut.pwl().intercepts()),
+        bits(lut.pwl().breakpoints()),
+    ));
+}
+
+fn read_entry(obj: &[(String, Value)]) -> Result<(LutKey, QuantAwareLut), SnapshotError> {
+    let get_u64 = |name: &str| {
+        find(obj, name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad(name))
+    };
+    let get_str = |name: &str| {
+        find(obj, name)
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad(name))
+    };
+
+    let method_ident = get_str("method")?;
+    let method = Method::from_ident(method_ident)
+        .ok_or_else(|| SnapshotError::UnknownIdent(method_ident.to_owned()))?;
+    let op_name = get_str("op")?;
+    let op = NonLinearOp::from_str(op_name)
+        .map_err(|_| SnapshotError::UnknownIdent(op_name.to_owned()))?;
+    let range = find(obj, "range_bits")
+        .and_then(Value::as_arr)
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| bad("range_bits"))?;
+    let key = LutKey {
+        method,
+        op,
+        entries: get_u64("entries")? as usize,
+        seed: get_u64("seed")?,
+        range_bits: (
+            range[0].as_u64().ok_or_else(|| bad("range_bits"))?,
+            range[1].as_u64().ok_or_else(|| bad("range_bits"))?,
+        ),
+        lambda: u32::try_from(get_u64("lambda")?).map_err(|_| bad("lambda"))?,
+        config_hash: get_u64("config_hash")?,
+    };
+
+    let lut_obj = find(obj, "lut")
+        .and_then(Value::as_obj)
+        .ok_or_else(|| bad("lut"))?;
+    let floats = |name: &str| -> Result<Vec<f64>, SnapshotError> {
+        find(lut_obj, name)
+            .and_then(Value::as_arr)
+            .ok_or_else(|| bad(name))?
+            .iter()
+            .map(|v| v.as_u64().map(f64::from_bits).ok_or_else(|| bad(name)))
+            .collect()
+    };
+    let lambda = find(lut_obj, "lambda")
+        .and_then(Value::as_u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| bad("lut.lambda"))?;
+    let pwl = Pwl::new(
+        floats("slopes")?,
+        floats("intercepts")?,
+        floats("breakpoints")?,
+    )
+    .map_err(|e| SnapshotError::BadArtifact(e.to_string()))?;
+    // Stored parameters are already λ-rounded; the conversion here is
+    // idempotent, so the reconstruction is bit-exact.
+    let lut =
+        QuantAwareLut::new(pwl, lambda).map_err(|e| SnapshotError::BadArtifact(e.to_string()))?;
+    // A key must describe its payload: a mismatched entry (hand-edited or
+    // corrupted snapshot) would otherwise be served as the wrong artifact
+    // on every future cache hit for that key.
+    if lut.num_entries() != key.entries {
+        return Err(SnapshotError::BadArtifact(format!(
+            "key says {} entries but the stored LUT has {}",
+            key.entries,
+            lut.num_entries()
+        )));
+    }
+    if lut.lambda() != key.lambda {
+        return Err(SnapshotError::BadArtifact(format!(
+            "key says lambda {} but the stored LUT has {}",
+            key.lambda,
+            lut.lambda()
+        )));
+    }
+    Ok((key, lut))
+}
+
+// --------------------------------------------------------------------------
+// Minimal JSON subset reader: objects, arrays, strings (no escapes),
+// unsigned integers, `true`/`false`/`null`. Enough for the snapshot format
+// and deliberately strict about anything else.
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Obj(Vec<(String, Value)>),
+    Arr(Vec<Value>),
+    Str(String),
+    Num(u64),
+    Bool(bool),
+    Null,
+}
+
+impl Value {
+    fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn find<'a>(obj: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+fn parse_json(s: &str) -> Result<Value, SnapshotError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        at: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> SnapshotError {
+        SnapshotError::Parse(self.at, msg.to_owned())
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), SnapshotError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, SnapshotError> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'0'..=b'9' => self.number(),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            c => Err(self.err(&format!("unexpected `{}`", c as char))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, SnapshotError> {
+        self.skip_ws();
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, SnapshotError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, SnapshotError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        self.expect(b'"')?;
+        let start = self.at;
+        while let Some(&b) = self.bytes.get(self.at) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.at])
+                        .map_err(|_| self.err("invalid utf-8"))?
+                        .to_owned();
+                    self.at += 1;
+                    return Ok(s);
+                }
+                b'\\' => return Err(self.err("escapes unsupported")),
+                _ => self.at += 1,
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<Value, SnapshotError> {
+        self.skip_ws();
+        let start = self.at;
+        while self.bytes.get(self.at).is_some_and(|b| b.is_ascii_digit()) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("digits");
+        text.parse::<u64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("number out of range"))
+    }
+}

@@ -1,0 +1,311 @@
+//! Build specifications, content-addressed keys, and the cold compile
+//! path.
+//!
+//! A [`LutSpec`] is *what the caller asks for* (method, operator, entry
+//! count, seed, budget). Validating it yields a [`LutKey`] — the
+//! content address under which the finished artifact is cached. The key
+//! folds in the fingerprint of the fully derived search/training
+//! configuration, so any change to how specs expand into configs (new
+//! hyper-parameter, different default) automatically changes artifact
+//! identity instead of serving stale cache entries.
+
+use std::fmt;
+
+use gqa_funcs::NonLinearOp;
+use gqa_genetic::{FitnessMode, GeneticSearch, SearchConfig};
+use gqa_nnlut::{NnLutConfig, NnLutTrainer};
+use gqa_pwl::QuantAwareLut;
+
+use crate::method::Method;
+
+/// Revision of the *compilation pipeline itself*, folded into every
+/// [`LutKey`]'s content hash. Bump this whenever a change to the search
+/// or training algorithms (mutation operators, fitness evaluation,
+/// selection, NN-LUT optimizer, …) alters built artifacts **without**
+/// touching any config field — otherwise snapshots written by the older
+/// code would keep serving stale artifacts under matching keys.
+pub const PIPELINE_VERSION: u64 = 2;
+
+/// Typed failure of LUT compilation-request validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LutBuildError {
+    /// The requested entry count is outside the paper's {8, 16} set.
+    UnsupportedEntries(usize),
+    /// The budget multiplier is outside `(0, 1]` (zero, negative, above 1,
+    /// or non-finite). A zero budget would otherwise truncate to an empty
+    /// generation/sample schedule and panic deep inside the search.
+    InvalidBudget(f64),
+}
+
+impl fmt::Display for LutBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LutBuildError::UnsupportedEntries(n) => {
+                write!(f, "paper evaluates 8- and 16-entry LUTs (got {n})")
+            }
+            LutBuildError::InvalidBudget(b) => {
+                write!(f, "budget must be in (0, 1] (got {b})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LutBuildError {}
+
+/// A LUT compilation request: everything that determines the artifact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LutSpec {
+    /// Construction method.
+    pub method: Method,
+    /// Target operator.
+    pub op: NonLinearOp,
+    /// LUT entries (8 or 16).
+    pub entries: usize,
+    /// RNG seed (searches/training are deterministic given it).
+    pub seed: u64,
+    /// Budget multiplier in `(0, 1]` scaling generations / training steps
+    /// (1.0 = the paper's full budget).
+    pub budget: f64,
+}
+
+impl LutSpec {
+    /// Full-budget spec.
+    #[must_use]
+    pub fn new(method: Method, op: NonLinearOp, entries: usize, seed: u64) -> Self {
+        Self {
+            method,
+            op,
+            entries,
+            seed,
+            budget: 1.0,
+        }
+    }
+
+    /// Sets the budget multiplier.
+    #[must_use]
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Validates the spec and derives its content-addressed cache key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutBuildError`] if the entry count or budget is out of
+    /// domain.
+    pub fn key(&self) -> Result<LutKey, LutBuildError> {
+        if self.entries != 8 && self.entries != 16 {
+            return Err(LutBuildError::UnsupportedEntries(self.entries));
+        }
+        if !self.budget.is_finite() || self.budget <= 0.0 || self.budget > 1.0 {
+            return Err(LutBuildError::InvalidBudget(self.budget));
+        }
+        let (range, lambda, cfg_fingerprint) = match self.method {
+            Method::NnLut => {
+                let cfg = self.nnlut_config();
+                (cfg.range, cfg.lambda, cfg.fingerprint())
+            }
+            Method::GqaNoRm | Method::GqaRm => {
+                let cfg = self.search_config();
+                (cfg.range, cfg.lambda, cfg.fingerprint())
+            }
+        };
+        // Mix the pipeline version into the content hash so artifacts
+        // built by an older algorithm revision (e.g. from a stale
+        // GQA_LUT_SNAPSHOT) never alias current ones.
+        let mut h = gqa_funcs::Fnv1a::new();
+        h.eat(PIPELINE_VERSION);
+        h.eat(cfg_fingerprint);
+        Ok(LutKey {
+            method: self.method,
+            op: self.op,
+            entries: self.entries,
+            seed: self.seed,
+            range_bits: (range.0.to_bits(), range.1.to_bits()),
+            lambda,
+            config_hash: h.finish(),
+        })
+    }
+
+    /// The fully derived genetic-search configuration for a GQA spec
+    /// (the paper's Table-1 values scaled by the budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called for [`Method::NnLut`].
+    #[must_use]
+    pub fn search_config(&self) -> SearchConfig {
+        let mut cfg = SearchConfig::for_op(self.op)
+            .with_seed(self.seed)
+            .with_generations(((500.0 * self.budget) as usize).max(40));
+        if self.entries == 16 {
+            cfg = cfg.with_entries_16();
+        }
+        match self.method {
+            Method::GqaNoRm => {
+                cfg = cfg.without_rounding_mutation();
+            }
+            Method::GqaRm if self.op.scale_dependent() => {
+                cfg = cfg.with_fitness(FitnessMode::QuantAwareAverage);
+            }
+            Method::GqaRm => {}
+            Method::NnLut => panic!("NN-LUT specs have no genetic search config"),
+        }
+        cfg
+    }
+
+    /// The fully derived NN-LUT training configuration.
+    #[must_use]
+    pub fn nnlut_config(&self) -> NnLutConfig {
+        let mut cfg = NnLutConfig::for_op(self.op)
+            .with_seed(self.seed)
+            .with_steps(((4000.0 * self.budget) as usize).max(200))
+            .with_samples(((100_000.0 * self.budget) as usize).max(2_000));
+        // NN-LUT's procedure (ref. [11]) samples the operator's *actual*
+        // input distribution. For the wide-range intermediates DIV and
+        // RSQRT that distribution extends far beyond GQA-LUT's
+        // breakpoint interval (GQA confines itself to the interval via
+        // multi-range input scaling, §3.1); NN-LUT instead trains across
+        // the wide range with its single-constant input scaling, and the
+        // §4.1 conversion to 8-bit FXP breakpoints then saturates — the
+        // cause of NN-LUT's poor DIV/RSQRT rows in Table 3.
+        match self.op {
+            NonLinearOp::Div => cfg.range = (0.5, 8.0),
+            NonLinearOp::Rsqrt => cfg.range = (0.25, 16.0),
+            _ => {}
+        }
+        if self.entries == 16 {
+            cfg = cfg.with_entries_16();
+        }
+        cfg
+    }
+
+    /// Runs the full cold compilation (genetic search or NN-LUT training).
+    /// Pure: the output depends only on the spec. Callers should prefer
+    /// [`crate::LutRegistry::get_or_build`], which caches and deduplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutBuildError`] if the spec fails validation.
+    pub fn compile(&self) -> Result<QuantAwareLut, LutBuildError> {
+        // Surface domain errors before burning search time.
+        let _ = self.key()?;
+        Ok(match self.method {
+            Method::NnLut => NnLutTrainer::new(self.nnlut_config()).train().lut().clone(),
+            Method::GqaNoRm | Method::GqaRm => {
+                GeneticSearch::new(self.search_config()).run().lut().clone()
+            }
+        })
+    }
+}
+
+/// Content address of a compiled LUT artifact. Two equal keys are
+/// guaranteed (by construction plus the config fingerprint and pipeline
+/// version) to denote bit-identical artifacts. Deliberately, the raw
+/// budget is **not** part of the identity: two budgets that clamp to the
+/// same generation/step schedule derive equal config fingerprints and
+/// produce bit-identical artifacts, so they dedupe to one cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LutKey {
+    /// Construction method.
+    pub method: Method,
+    /// Target operator.
+    pub op: NonLinearOp,
+    /// LUT entries.
+    pub entries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Raw bits of the approximation range `[Rn, Rp]` (provenance for
+    /// snapshot debugging; always implied by `config_hash`).
+    pub range_bits: (u64, u64),
+    /// FXP fractional bit-width λ of the stored parameters.
+    pub lambda: u32,
+    /// Fingerprint of the fully derived search/training configuration,
+    /// mixed with [`PIPELINE_VERSION`].
+    pub config_hash: u64,
+}
+
+impl fmt::Display for LutKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}x{}@seed={},cfg={:016x}",
+            self.method.ident(),
+            self.op.name(),
+            self.entries,
+            self.seed,
+            self.config_hash
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_budget_is_a_typed_error() {
+        let spec = LutSpec::new(Method::GqaRm, NonLinearOp::Gelu, 8, 1).with_budget(0.0);
+        assert_eq!(spec.key(), Err(LutBuildError::InvalidBudget(0.0)));
+        assert_eq!(spec.compile(), Err(LutBuildError::InvalidBudget(0.0)));
+        let nan = LutSpec::new(Method::GqaRm, NonLinearOp::Gelu, 8, 1).with_budget(f64::NAN);
+        assert!(matches!(nan.key(), Err(LutBuildError::InvalidBudget(_))));
+    }
+
+    #[test]
+    fn bad_entry_count_is_a_typed_error() {
+        let spec = LutSpec::new(Method::GqaRm, NonLinearOp::Gelu, 12, 1);
+        assert_eq!(spec.key(), Err(LutBuildError::UnsupportedEntries(12)));
+        let msg = spec.key().unwrap_err().to_string();
+        assert!(msg.contains("8- and 16-entry"), "{msg}");
+    }
+
+    #[test]
+    fn keys_are_content_addressed() {
+        let a = LutSpec::new(Method::GqaRm, NonLinearOp::Gelu, 8, 1)
+            .key()
+            .unwrap();
+        let b = LutSpec::new(Method::GqaRm, NonLinearOp::Gelu, 8, 1)
+            .key()
+            .unwrap();
+        assert_eq!(a, b);
+        for other in [
+            LutSpec::new(Method::GqaNoRm, NonLinearOp::Gelu, 8, 1),
+            LutSpec::new(Method::GqaRm, NonLinearOp::Exp, 8, 1),
+            LutSpec::new(Method::GqaRm, NonLinearOp::Gelu, 16, 1),
+            LutSpec::new(Method::GqaRm, NonLinearOp::Gelu, 8, 2),
+            LutSpec::new(Method::GqaRm, NonLinearOp::Gelu, 8, 1).with_budget(0.5),
+        ] {
+            assert_ne!(a, other.key().unwrap(), "{other:?} must differ");
+        }
+    }
+
+    #[test]
+    fn clamped_budgets_dedupe_to_one_key() {
+        // 0.01 and 0.015 both clamp to the 40-generation floor (and the
+        // NN-LUT step/sample floors), deriving identical configs and thus
+        // bit-identical artifacts — one cache entry, not two.
+        for method in [Method::GqaRm, Method::NnLut] {
+            let a = LutSpec::new(method, NonLinearOp::Gelu, 8, 1)
+                .with_budget(0.01)
+                .key()
+                .unwrap();
+            let b = LutSpec::new(method, NonLinearOp::Gelu, 8, 1)
+                .with_budget(0.015)
+                .key()
+                .unwrap();
+            assert_eq!(a, b, "{method:?}: clamped budgets must share a key");
+        }
+    }
+
+    #[test]
+    fn nnlut_keys_use_training_fingerprint() {
+        let a = LutSpec::new(Method::NnLut, NonLinearOp::Div, 8, 1)
+            .key()
+            .unwrap();
+        // DIV overrides the training range; the key must reflect it.
+        assert_eq!(f64::from_bits(a.range_bits.0), 0.5);
+        assert_eq!(f64::from_bits(a.range_bits.1), 8.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Hot-swappable serving backend: an atomically replaceable
+//! [`UnaryBackend`] so a live model graph can move between exact math and
+//! freshly compiled LUT datapaths without rebuilding the graph.
+
+use std::sync::{Arc, RwLock};
+
+use gqa_tensor::{ExactBackend, UnaryBackend, UnaryKind};
+
+/// A [`UnaryBackend`] indirection cell. The graph holds `&HotSwapBackend`
+/// for its whole lifetime; operators resolve through the currently
+/// installed delegate on every tensor-level call, so a [`swap`] between
+/// two forward passes changes the serving datapath in place.
+///
+/// Reads take a shared lock per *tensor* operation (the graph batches
+/// per-tensor, not per-element), so the overhead is a few nanoseconds per
+/// operator application.
+///
+/// [`swap`]: HotSwapBackend::swap
+pub struct HotSwapBackend {
+    current: RwLock<Arc<dyn UnaryBackend>>,
+}
+
+impl Default for HotSwapBackend {
+    fn default() -> Self {
+        Self::new(Arc::new(ExactBackend))
+    }
+}
+
+impl std::fmt::Debug for HotSwapBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HotSwapBackend").finish_non_exhaustive()
+    }
+}
+
+impl HotSwapBackend {
+    /// Cell initially serving through `initial`.
+    #[must_use]
+    pub fn new(initial: Arc<dyn UnaryBackend>) -> Self {
+        Self {
+            current: RwLock::new(initial),
+        }
+    }
+
+    /// Installs `next` as the serving backend and returns the previous
+    /// one. In-flight tensor operations finish on whichever delegate they
+    /// resolved; subsequent operations use `next`.
+    pub fn swap(&self, next: Arc<dyn UnaryBackend>) -> Arc<dyn UnaryBackend> {
+        let mut guard = self.current.write().expect("backend lock");
+        std::mem::replace(&mut *guard, next)
+    }
+
+    /// The currently installed delegate.
+    #[must_use]
+    pub fn current(&self) -> Arc<dyn UnaryBackend> {
+        Arc::clone(&self.current.read().expect("backend lock"))
+    }
+}
+
+impl UnaryBackend for HotSwapBackend {
+    fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
+        self.current.read().expect("backend lock").eval(kind, x)
+    }
+
+    fn eval_many(&self, kind: UnaryKind, xs: &[f64], out: &mut [f64]) {
+        self.current
+            .read()
+            .expect("backend lock")
+            .eval_many(kind, xs, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstBackend(f64);
+
+    impl UnaryBackend for ConstBackend {
+        fn eval(&self, _kind: UnaryKind, _x: f64) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn defaults_to_exact() {
+        let hs = HotSwapBackend::default();
+        assert_eq!(hs.eval(UnaryKind::Recip, 4.0), 0.25);
+    }
+
+    #[test]
+    fn swap_changes_datapath_in_place() {
+        let hs = HotSwapBackend::default();
+        assert_eq!(hs.eval(UnaryKind::Relu, -1.0), 0.0);
+        let prev = hs.swap(Arc::new(ConstBackend(7.0)));
+        assert_eq!(hs.eval(UnaryKind::Relu, -1.0), 7.0);
+        let mut out = [0.0; 3];
+        hs.eval_many(UnaryKind::Gelu, &[1.0, 2.0, 3.0], &mut out);
+        assert_eq!(out, [7.0; 3]);
+        // Restore.
+        hs.swap(prev);
+        assert_eq!(hs.eval(UnaryKind::Relu, -1.0), 0.0);
+    }
+}

@@ -9,8 +9,10 @@
 //! * [`fxp`] — fixed-point values, power-of-two scales, dyadic requantization.
 //! * [`funcs`] — reference non-linear functions (GELU, HSWISH, EXP, DIV, RSQRT, …).
 //! * [`pwl`] — piece-wise linear LUT approximation and its quantized execution.
-//! * [`genetic`] — the GQA-LUT genetic search with Rounding Mutation.
+//! * [`genetic`] — the GQA-LUT island-model genetic search with Rounding Mutation.
 //! * [`nnlut`] — the NN-LUT baseline (neural pwl extraction).
+//! * [`registry`] — the content-addressed LUT artifact registry (cached,
+//!   deduplicated compilation; JSON snapshots; hot-swappable backends).
 //! * [`quant`] — LSQ / power-of-two quantizers and integer-only pipeline glue.
 //! * [`tensor`] — minimal CPU tensor library with reverse-mode autodiff.
 //! * [`data`] — SynthScapes synthetic segmentation dataset + mIoU metrics.
@@ -41,4 +43,5 @@ pub use gqa_models as models;
 pub use gqa_nnlut as nnlut;
 pub use gqa_pwl as pwl;
 pub use gqa_quant as quant;
+pub use gqa_registry as registry;
 pub use gqa_tensor as tensor;

@@ -1,11 +1,13 @@
 //! Integration: model forward/backward with pwl backends across crates
 //! (tensor ⊗ models ⊗ pwl ⊗ genetic), at test-sized budgets.
 
+use std::sync::Arc;
+
 use gqa::funcs::NonLinearOp;
 use gqa::models::luts::build_lut_budgeted;
 use gqa::models::{
-    CalibrationRecorder, EffVitConfig, EfficientVitLite, FinetuneHarness, Method, PwlBackend,
-    ReplaceSet, SegConfig, SegformerLite, TrainConfig,
+    CalibrationRecorder, EffVitConfig, EfficientVitLite, FinetuneHarness, HotSwapBackend, Method,
+    PwlBackend, ReplaceSet, SegConfig, SegformerLite, TrainConfig,
 };
 use gqa::tensor::{ExactBackend, Graph, ParamStore, Tensor, UnaryBackend, UnaryKind};
 
@@ -90,6 +92,54 @@ fn backend_substitution_changes_only_replaced_ops() {
     ] {
         assert_eq!(backend.eval(kind, 0.731), kind.exact(0.731), "{kind:?}");
     }
+}
+
+#[test]
+fn hot_swap_moves_a_live_model_between_backends() {
+    let mut ps = ParamStore::new();
+    let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 5);
+    let image = Tensor::full(&[1, 3, 16, 16], 0.4);
+
+    // Reference logits on the exact backend.
+    let exact = ExactBackend;
+    let mut g = Graph::new(&exact);
+    let x = g.input(image.clone());
+    let exact_logits = {
+        let n = model.forward(&mut g, &ps, x);
+        g.value(n).clone()
+    };
+
+    let calib = CalibrationRecorder::new();
+    let mut gc = Graph::new(&calib);
+    let xc = gc.input(image.clone());
+    let _ = model.forward(&mut gc, &ps, xc);
+    // Same spec as segformer_logits_...: the artifact registry serves this
+    // from cache, so the second build runs zero search generations.
+    let pwl = PwlBackend::build(Method::GqaRm, ReplaceSet::all(), &calib, 5, 0.1);
+
+    // One graph handle, two datapaths: swap mid-session without
+    // reassembling the model.
+    let hot = HotSwapBackend::default();
+    let mut gh = Graph::new(&hot);
+    let xh = gh.input(image.clone());
+    let via_exact = {
+        let n = model.forward(&mut gh, &ps, xh);
+        gh.value(n).clone()
+    };
+    assert_eq!(via_exact.data, exact_logits.data, "exact route is exact");
+
+    hot.swap(Arc::new(pwl));
+    let mut gh2 = Graph::new(&hot);
+    let xh2 = gh2.input(image);
+    let via_pwl = {
+        let n = model.forward(&mut gh2, &ps, xh2);
+        gh2.value(n).clone()
+    };
+    assert_eq!(via_pwl.shape, exact_logits.shape);
+    assert_ne!(
+        via_pwl.data, exact_logits.data,
+        "LUT datapath must actually be in use after the swap"
+    );
 }
 
 #[test]
