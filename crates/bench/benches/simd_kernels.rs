@@ -1,0 +1,95 @@
+//! Microbenchmarks for the `gqa-simd` kernel layer.
+//!
+//! Each entry measures one dispatched kernel on a hot-path-shaped input
+//! (the 800-point Algorithm-1 fitness grid, the 256-code INT8 sweep).
+//! `simd/dispatch_path` prints which path the dispatcher takes on this
+//! machine so baseline JSONs are self-describing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gqa_funcs::{BatchEval, NonLinearOp};
+use gqa_nnlut::ReluNet1d;
+use gqa_pwl::{fit, FxpPwl, MultiRangeLut, MultiRangeScaling, QuantAwareLut, SegmentFit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn grid800() -> Vec<f64> {
+    let mut xs = Vec::new();
+    gqa_funcs::fill_grid((-4.0, 4.0), 0.01, &mut xs);
+    xs
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    println!(
+        "simd dispatch path: {}",
+        if gqa_simd::simd_active() {
+            "avx2"
+        } else {
+            "scalar"
+        }
+    );
+
+    let xs = grid800();
+    let mut out = vec![0.0f64; xs.len()];
+    c.bench_function("simd/axpy_f64_800", |b| {
+        b.iter(|| {
+            gqa_simd::axpy_f64(0.71875, -0.125, black_box(&xs), &mut out);
+            out[0]
+        })
+    });
+
+    let ys: Vec<f64> = xs.iter().map(|&x| x * 0.9 + 0.01).collect();
+    c.bench_function("simd/sum_sq_diff_800", |b| {
+        b.iter(|| gqa_simd::sum_sq_diff(black_box(&xs), black_box(&ys)))
+    });
+
+    // The branchless Figure-1(b) pipeline on an unsorted 256-code sweep
+    // (sorted codes take the segment-walking axpy path instead).
+    let bps = [-90i64, -50, -20, 0, 20, 50, 90];
+    let slopes = [3i64, -5, 7, -9, 11, -13, 15, -17];
+    let intercepts = [1i64, 2, 3, 4, 5, 6, 7, 8];
+    let qs: Vec<i64> = (0..256).map(|i| ((i * 97 + 31) % 256) - 128).collect();
+    let mut raw = vec![0i64; qs.len()];
+    c.bench_function("simd/lut_select_int8_unsorted", |b| {
+        b.iter(|| {
+            gqa_simd::lut_select_i64(&bps, &slopes, &intercepts, black_box(&qs), &mut raw);
+            raw[0]
+        })
+    });
+
+    // The full NN-LUT batched forward (direct path + 7 hidden-unit sweeps).
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = ReluNet1d::init(7, (-4.0, 4.0), &mut rng);
+    c.bench_function("simd/relunet7_forward_800", |b| {
+        b.iter(|| {
+            net.forward_batch(black_box(&xs), &mut out);
+            out[0]
+        })
+    });
+
+    // The batched multi-range DIV datapath on a buffer mixing in-IR and
+    // scaled sub-range inputs (the shape Softmax normalizers produce).
+    let div = fit::fit_pwl(
+        &|x: f64| NonLinearOp::Div.eval(x),
+        (0.5, 4.0),
+        &[0.65, 0.85, 1.1, 1.5, 2.0, 2.6, 3.3],
+        SegmentFit::LeastSquares,
+    )
+    .expect("fit");
+    let unit = MultiRangeLut::new(
+        FxpPwl::new(&QuantAwareLut::new(div, 5).expect("lut"), 8),
+        MultiRangeScaling::div_paper(),
+    );
+    let mixed: Vec<f64> = (0..800).map(|i| 0.5 + (i as f64 * 0.37) % 250.0).collect();
+    let mut div_out = vec![0.0f64; mixed.len()];
+    c.bench_function("simd/multirange_div_batched_800", |b| {
+        b.iter(|| {
+            unit.eval_batch(black_box(&mixed), &mut div_out);
+            div_out[0]
+        })
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

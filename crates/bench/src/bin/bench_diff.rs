@@ -58,8 +58,47 @@ fn extract_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// The `--help` text. The defaults documented here are the ones CI runs
+/// with; see `.github/workflows/ci.yml`.
+fn print_help() {
+    println!(
+        "\
+bench_diff — compare a bench JSON against the committed baseline
+
+usage: bench_diff <current.json> <baseline.json>
+                  [--threshold <pct>] [--min-delta-ns <ns>] [--help]
+
+The full comparison table is always printed, pass or fail — a green run
+shows every entry's delta, not a silent exit code.
+
+A shared benchmark counts as a REGRESSION only when BOTH hold:
+
+  --threshold <pct>      relative slowdown above this percentage
+                         (default 15%: the gate CI enforces), AND
+  --min-delta-ns <ns>    absolute slowdown above this floor
+                         (default 200 ns/iter).
+
+The absolute floor exists because sub-microsecond entries — a warm
+registry lookup, a 256-code datapath sweep — see scheduler and timer
+jitter that routinely exceeds 15% *relative* at CI's short measurement
+budget while staying within tens of nanoseconds *absolute*; such deltas
+are below the harness's noise floor, not regressions. Relative blow-ups
+inside the floor are labeled `noise` in the table.
+
+Benchmarks present on only one side are reported (NEW / GONE) but never
+fail the run. An empty intersection exits 2: a gate that compared
+nothing must not read as green.
+
+exit codes: 0 = no regression, 1 = regression(s), 2 = usage/input error"
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
     let mut paths = Vec::new();
     let mut threshold_pct = 15.0f64;
     let mut min_delta_ns = 200.0f64;
@@ -84,7 +123,7 @@ fn main() -> ExitCode {
     let [current_path, baseline_path] = &paths[..] else {
         eprintln!(
             "usage: bench_diff <current.json> <baseline.json> \
-             [--threshold <pct>] [--min-delta-ns <ns>]"
+             [--threshold <pct>] [--min-delta-ns <ns>] [--help]"
         );
         return ExitCode::from(2);
     };
@@ -104,6 +143,7 @@ fn main() -> ExitCode {
         "bench diff: {current_path} vs {baseline_path} (threshold +{threshold_pct:.0}% ns/iter)\n"
     );
     let mut regressions = Vec::new();
+    let mut improvements = 0usize;
     let mut shared = 0usize;
     for (name, &cur) in &current {
         let Some(&base) = baseline.get(name) else {
@@ -117,7 +157,10 @@ fn main() -> ExitCode {
             "REGRESS"
         } else if delta_pct > threshold_pct {
             "noise" // relative blow-up within the absolute noise floor
-        } else if delta_pct < -threshold_pct {
+        } else if delta_pct < -threshold_pct && base - cur > min_delta_ns {
+            // Same absolute floor as REGRESS: a relative speedup within
+            // the noise floor is jitter, not an improvement.
+            improvements += 1;
             "IMPROVE"
         } else {
             "ok"
@@ -142,7 +185,10 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     if regressions.is_empty() {
-        println!("\nno regression beyond +{threshold_pct:.0}%");
+        println!(
+            "\n{shared} shared benchmark(s), {improvements} improved, \
+             no regression beyond +{threshold_pct:.0}% (and {min_delta_ns:.0} ns absolute)"
+        );
         ExitCode::SUCCESS
     } else {
         println!(

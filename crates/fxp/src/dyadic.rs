@@ -1,4 +1,4 @@
-//! Dyadic rational numbers `b / 2^c` (paper ref. [15], Jacob et al.).
+//! Dyadic rational numbers `b / 2^c` (paper ref. \[15\], Jacob et al.).
 //!
 //! The integer-only inference pipeline re-expresses real-valued multipliers
 //! (products and ratios of layer scales) as dyadic numbers so that applying

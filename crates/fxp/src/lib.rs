@@ -10,7 +10,7 @@
 //! * [`PowerOfTwoScale`] — the power-of-two scaling factor `S = 2^e`
 //!   (paper §3.1) for which division degenerates into a bit shift.
 //! * [`Dyadic`] — dyadic rational numbers `b / 2^c` used by the integer-only
-//!   requantization pipeline of Jacob et al. (paper ref. [15]).
+//!   requantization pipeline of Jacob et al. (paper ref. \[15\]).
 //! * [`quantize_value`] / [`IntRange`] — the uniform quantizer of Eq. (2),
 //!   `q = clip(round(x / S), Qn, Qp)`.
 //! * Rounding helpers ([`round_half_away`], [`round_to_fraction_bits`]) that

@@ -225,6 +225,31 @@ impl SearchConfig {
 
     /// Sets the number of islands (demes). `1` reproduces the
     /// single-population search bit-exactly.
+    ///
+    /// Each island evolves on its own deterministic RNG stream (island 0
+    /// uses the seed itself, so `islands = 1` is the PR-1 engine), with
+    /// ring elite migration every
+    /// [`with_migration_interval`](SearchConfig::with_migration_interval)
+    /// generations.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gqa_genetic::{GeneticSearch, SearchConfig};
+    /// use gqa_funcs::NonLinearOp;
+    ///
+    /// // Small budget for the doctest; the paper uses T = 500.
+    /// let cfg = SearchConfig::for_op(NonLinearOp::Gelu)
+    ///     .with_generations(15)
+    ///     .with_population(12)
+    ///     .with_seed(7)
+    ///     .with_islands(3)
+    ///     .with_migration_interval(5);
+    /// assert_eq!(cfg.islands, 3);
+    /// let result = GeneticSearch::new(cfg).run();
+    /// assert_eq!(result.pwl().num_entries(), 8);
+    /// // Same seed + island count ⇒ bit-identical rerun.
+    /// ```
     #[must_use]
     pub fn with_islands(mut self, islands: usize) -> Self {
         self.islands = islands;

@@ -10,7 +10,6 @@
 
 use std::sync::Arc;
 
-use gqa_funcs::BatchEval;
 use gqa_pwl::{Pwl, SegmentFit};
 
 /// Shared, reusable fitness machinery for one `(f, range, step)` triple.
@@ -189,11 +188,19 @@ impl FitnessEvaluator {
     /// Grid MSE of a pwl against the precomputed reference
     /// (Algorithm 1 lines 6–8).
     ///
-    /// Scoring goes through [`BatchEval`]: the sorted grid is swept in
-    /// fixed-size chunks (stack-resident, so the call allocates nothing)
-    /// and the pwl's segment-walking batch path evaluates each chunk with
-    /// the per-entry `(k, b)` hoisted out of the inner loop. Bit-identical
-    /// to the scalar `pwl.eval(x)` sweep it replaced.
+    /// The sorted grid is swept in fixed-size chunks (stack-resident, so
+    /// the call allocates nothing) directly through
+    /// [`Pwl::eval_sorted_batch`] — the grid is ascending by
+    /// construction, so the sortedness scan of the generic
+    /// [`BatchEval`](gqa_funcs::BatchEval) entry point is skipped and
+    /// each chunk goes straight to the
+    /// wide-lane segment kernel.
+    ///
+    /// The squared-error accumulation is deliberately the *sequential*
+    /// sum, not the SIMD reduction used by `gqa_pwl::eval::MseGrid`: the
+    /// island-model golden tests (`tests/islands.rs`) pin `best_mse` bit
+    /// patterns captured from the pre-island engine, and those depend on
+    /// this exact summation order. Do not "vectorize" this loop.
     #[must_use]
     pub fn mse(&self, pwl: &Pwl) -> f64 {
         const CHUNK: usize = 256;
@@ -201,7 +208,7 @@ impl FitnessEvaluator {
         let mut acc = 0.0f64;
         for (xc, yc) in self.xs.chunks(CHUNK).zip(self.ys.chunks(CHUNK)) {
             let out = &mut buf[..xc.len()];
-            BatchEval::eval_batch(pwl, xc, out);
+            pwl.eval_sorted_batch(xc, out);
             for (&y_hat, &y) in out.iter().zip(yc) {
                 let d = y_hat - y;
                 acc += d * d;

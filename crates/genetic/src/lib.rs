@@ -30,8 +30,16 @@
 //! assert!(result.best_mse() < 1e-2);
 //! ```
 
+//!
+//! ## The `simd` feature (default-on)
+//!
+//! Forwarded to `gqa-pwl`: fitness scoring sweeps the sorted grid
+//! through the wide-lane segment kernels. Search results are identical
+//! bit for bit with the feature on or off — the golden tests in
+//! `tests/islands.rs` are run both ways in CI.
+
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 mod fitness;

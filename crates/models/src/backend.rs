@@ -163,6 +163,30 @@ impl UnaryBackend for CalibrationRecorder {
         }
         ExactBackend.eval_many(kind, xs, out);
     }
+
+    /// The `f32` tensor path: min/max folded over the native buffer
+    /// (widening each observation, so recorded ranges are identical to
+    /// the staged path), one lock per tensor, then the exact backend's
+    /// `f32` kernel.
+    fn eval_many_f32(&self, kind: UnaryKind, xs: &[f32], out: &mut [f32]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        let mut seen: Option<(f64, f64)> = None;
+        for &x in xs {
+            if x.is_finite() {
+                let x = f64::from(x);
+                let e = seen.get_or_insert((x, x));
+                e.0 = e.0.min(x);
+                e.1 = e.1.max(x);
+            }
+        }
+        if let Some((lo, hi)) = seen {
+            let mut map = self.ranges.lock().expect("poisoned");
+            let e = map.entry(kind).or_insert((lo, hi));
+            e.0 = e.0.min(lo);
+            e.1 = e.1.max(hi);
+        }
+        ExactBackend.eval_many_f32(kind, xs, out);
+    }
 }
 
 /// A [`UnaryBackend`] that evaluates the replaced operators through their
@@ -339,6 +363,27 @@ impl UnaryBackend for PwlBackend {
         match self.lut_for(kind) {
             Some(lut) => lut.eval_batch(xs, out),
             None => ExactBackend.eval_many(kind, xs, out),
+        }
+    }
+
+    /// The `f32` tensor path: replaced operators run the LUT datapaths'
+    /// native `f32` batch kernels (quantization still selects codes
+    /// through exact `f64` widening, so outputs are bit-identical to the
+    /// staged path — the model tables stop round-tripping whole tensors
+    /// through `f64` without changing a single activation bit); everything
+    /// else goes to the exact backend's `f32` kernel.
+    fn eval_many_f32(&self, kind: UnaryKind, xs: &[f32], out: &mut [f32]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        let handled = match kind {
+            UnaryKind::Gelu => self.gelu.as_ref().map(|l| l.eval_batch_f32(xs, out)),
+            UnaryKind::Hswish => self.hswish.as_ref().map(|l| l.eval_batch_f32(xs, out)),
+            UnaryKind::Exp => self.exp.as_ref().map(|l| l.eval_batch_f32(xs, out)),
+            UnaryKind::Recip => self.recip.as_ref().map(|l| l.eval_batch_f32(xs, out)),
+            UnaryKind::Rsqrt => self.rsqrt.as_ref().map(|l| l.eval_batch_f32(xs, out)),
+            _ => None,
+        };
+        if handled.is_none() {
+            ExactBackend.eval_many_f32(kind, xs, out);
         }
     }
 }

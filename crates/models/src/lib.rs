@@ -44,7 +44,7 @@ mod train;
 pub use backend::{CalibrationRecorder, PwlBackend, ReplaceSet};
 pub use efficientvit::{EffVitConfig, EfficientVitLite};
 pub use gqa_registry::HotSwapBackend;
-pub use luts::{build_lut, try_build_lut_budgeted, LutBuildError, Method};
+pub use luts::{build_lut, build_lut_budgeted, try_build_lut_budgeted, LutBuildError, Method};
 pub use segformer::{SegConfig, SegformerLite};
 pub use train::{
     argmax_nchw, quantize_weights_pot, FinetuneHarness, FinetuneOutcome, SegModel, TrainConfig,

@@ -2,7 +2,7 @@
 //! model-level experiments.
 //!
 //! Since the registry refactor these are thin cached façades: every call
-//! routes through the process-wide [`LutRegistry`](gqa_registry::LutRegistry),
+//! routes through the process-wide [`LutRegistry`],
 //! so rebuilding an identical `(method, op, entries, seed, budget)` artifact
 //! is a cache hit that runs **zero** search generations. The [`Method`]
 //! enum itself now lives in `gqa-registry` (the artifact layer) and is
@@ -18,6 +18,23 @@ pub use gqa_registry::{LutBuildError, Method};
 /// at the paper's full budget (T = 500, Np = 50 for GQA; 100 K samples for
 /// NN-LUT). Deterministic for a given `seed`; served from the global
 /// artifact registry when an identical artifact was already compiled.
+///
+/// # Example
+///
+/// ```
+/// use gqa_models::{build_lut_budgeted, Method};
+/// use gqa_funcs::NonLinearOp;
+/// use gqa_fxp::{IntRange, PowerOfTwoScale};
+///
+/// // `build_lut` runs the full paper budget; the budgeted variant used
+/// // here is the same pipeline shrunk so the doctest stays fast.
+/// let lut = build_lut_budgeted(Method::GqaRm, NonLinearOp::Gelu, 8, 42, 0.05);
+/// assert_eq!(lut.num_entries(), 8);
+/// // Instantiate the INT8 datapath at S = 2^-5 and evaluate code 32 (x = 1.0).
+/// let inst = lut.instantiate(PowerOfTwoScale::new(-5), IntRange::signed(8));
+/// let y = inst.eval_dequantized(32);
+/// assert!((y - 0.841).abs() < 0.1); // ≈ GELU(1.0)
+/// ```
 ///
 /// # Panics
 ///

@@ -1,4 +1,4 @@
-//! # gqa-nnlut — the NN-LUT baseline (paper ref. [11])
+//! # gqa-nnlut — the NN-LUT baseline (paper ref. \[11\])
 //!
 //! NN-LUT ("neural approximation of non-linear operations", Yu et al.,
 //! DAC 2022) trains a one-hidden-layer ReLU network
@@ -34,6 +34,13 @@
 //! let result = NnLutTrainer::new(cfg).train();
 //! assert_eq!(result.lut().pwl().num_entries(), 8);
 //! ```
+
+//!
+//! ## The `simd` feature (default-on)
+//!
+//! `ReluNet1d::forward_batch` sweeps each hidden unit across the buffer
+//! with the wide-lane kernels of `gqa-simd` (AVX2, runtime-detected);
+//! the scalar fallbacks produce bit-identical results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -67,28 +67,25 @@ impl ReluNet1d {
         y
     }
 
-    /// Batched forward pass, unit-major: the direct path fills `out`, then
-    /// each hidden unit's `(w1, b1, w2)` is hoisted and swept across the
-    /// whole buffer with a branchless `relu` (`z.max(0.0)`), which keeps
-    /// the inner loop a pure fused multiply-add chain. Per-element
-    /// accumulation order matches [`ReluNet1d::forward`] exactly, so every
-    /// output compares equal to the scalar path (inactive units contribute
-    /// `±0.0` instead of being skipped — invisible up to the sign of zero).
+    /// Batched forward pass, unit-major: the direct path fills `out`
+    /// through the wide-lane segment kernel, then each hidden unit's
+    /// `(w1, b1, w2)` is hoisted and swept across the whole buffer by
+    /// [`gqa_simd::relu_unit_accum`] — a branchless multiply/add/`max`
+    /// pipeline (AVX2 when available, scalar otherwise; the kernel never
+    /// contracts to FMA, so lanes round exactly like the scalar
+    /// expression). Per-element accumulation order matches
+    /// [`ReluNet1d::forward`] exactly, so every output compares equal to
+    /// the scalar path (inactive units contribute `±0.0` instead of being
+    /// skipped — invisible up to the sign of zero).
     ///
     /// # Panics
     ///
     /// Panics if lengths mismatch.
     pub fn forward_batch(&self, xs: &[f64], out: &mut [f64]) {
         assert_eq!(xs.len(), out.len(), "batch length mismatch");
-        for (y, &x) in out.iter_mut().zip(xs) {
-            *y = self.a * x + self.c;
-        }
+        gqa_simd::axpy_f64(self.a, self.c, xs, out);
         for i in 0..self.hidden() {
-            let (w1, b1, w2) = (self.w1[i], self.b1[i], self.w2[i]);
-            for (y, &x) in out.iter_mut().zip(xs) {
-                let z = w1 * x + b1;
-                *y += w2 * z.max(0.0);
-            }
+            gqa_simd::relu_unit_accum(self.w1[i], self.b1[i], self.w2[i], xs, out);
         }
     }
 

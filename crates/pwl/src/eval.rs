@@ -80,16 +80,16 @@ impl MseGrid {
     /// Mean squared error of `approx` against the precomputed reference,
     /// evaluated batch-wise. `scratch` is resized as needed and reused
     /// across calls so steady-state scoring allocates nothing.
+    ///
+    /// The squared-error accumulation runs through
+    /// [`gqa_simd::sum_sq_diff`], whose four-lane reduction order is
+    /// pinned (and replayed exactly by its scalar fallback), so the value
+    /// is identical with the `simd` feature on or off.
     #[must_use]
     pub fn mse_of(&self, approx: &dyn BatchEval, scratch: &mut Vec<f64>) -> f64 {
         scratch.resize(self.xs.len(), 0.0);
         approx.eval_batch(&self.xs, scratch);
-        let mut acc = 0.0f64;
-        for (&y_hat, &y) in scratch.iter().zip(&self.ys) {
-            let d = y_hat - y;
-            acc += d * d;
-        }
-        acc / self.xs.len() as f64
+        gqa_simd::sum_sq_diff(scratch, &self.ys) / self.xs.len() as f64
     }
 }
 
@@ -164,12 +164,7 @@ pub fn mse_dequantized_lut(
     inst.eval_dequantized_batch(&qs, &mut approx);
     let mut reference = vec![0.0; xs.len()];
     f.eval_batch(&xs, &mut reference);
-    let mut acc = 0.0f64;
-    for (&a, &r) in approx.iter().zip(&reference) {
-        let d = a - r;
-        acc += d * d;
-    }
-    acc / qs.len() as f64
+    gqa_simd::sum_sq_diff(&approx, &reference) / qs.len() as f64
 }
 
 /// Dequantized-grid MSE (§4.1): inputs are sampled "orderly from the
@@ -185,7 +180,9 @@ pub fn mse_dequantized_lut(
 /// Returns `0.0` — a defined value, never NaN — when every code is
 /// clipped (`n == 0`). Prefer [`mse_dequantized_lut`] when the approximant
 /// is an [`IntLutInstance`]; this closure-based form exists for custom
-/// datapaths and instrumentation.
+/// datapaths and instrumentation. Both forms accumulate through the same
+/// pinned-order reduction ([`gqa_simd::sum_sq_diff`]), so their results
+/// compare equal bit for bit on identical inputs.
 #[must_use]
 pub fn mse_dequantized(
     eval_q: &dyn Fn(i64) -> f64,
@@ -195,8 +192,9 @@ pub fn mse_dequantized(
     clip_range: Option<(f64, f64)>,
 ) -> f64 {
     let s = scale.to_f64();
-    let mut acc = 0.0f64;
-    let mut n = 0usize;
+    let n_codes = (range.qp() - range.qn() + 1) as usize;
+    let mut approx = Vec::with_capacity(n_codes);
+    let mut reference = Vec::with_capacity(n_codes);
     for q in range.iter() {
         let x = q as f64 * s;
         if let Some((lo, hi)) = clip_range {
@@ -204,14 +202,13 @@ pub fn mse_dequantized(
                 continue;
             }
         }
-        let d = eval_q(q) - f(x);
-        acc += d * d;
-        n += 1;
+        approx.push(eval_q(q));
+        reference.push(f(x));
     }
-    if n == 0 {
+    if approx.is_empty() {
         0.0
     } else {
-        acc / n as f64
+        gqa_simd::sum_sq_diff(&approx, &reference) / approx.len() as f64
     }
 }
 

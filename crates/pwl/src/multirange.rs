@@ -259,15 +259,84 @@ impl MultiRangeLut {
             }
         }
     }
+
+    /// Pre-scales a chunk of inputs: writes the core input `x·S'` (or `x`
+    /// itself inside `IR`) and the output rescale factor (`1.0` inside
+    /// `IR` — multiplying by exactly 1.0 is a bit-level no-op for the
+    /// finite values the FXP core produces, which is what keeps the
+    /// batched pipeline identical to [`MultiRangeLut::eval_f64`]).
+    fn prescale_chunk(&self, xc: &[f64], scaled: &mut [f64], factors: &mut [f64]) {
+        for ((x_s, f_s), &x) in scaled.iter_mut().zip(factors.iter_mut()).zip(xc) {
+            match self.scaling.scaling_for(x) {
+                None => {
+                    *x_s = x;
+                    *f_s = 1.0;
+                }
+                Some(s) => {
+                    *x_s = x * s.to_f64();
+                    *f_s = self.scaling.rescale.output_factor(s).to_f64();
+                }
+            }
+        }
+    }
+
+    /// The `f32` fast path: `out[i] = eval_f64(xs[i] as f64) as f32`
+    /// through the batched pipeline (widening is exact; the only
+    /// narrowing rounding is the final store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn eval_batch_f32(&self, xs: &[f32], out: &mut [f32]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        const CHUNK: usize = 128;
+        let mut wide = [0.0f64; CHUNK];
+        let mut scaled = [0.0f64; CHUNK];
+        let mut factors = [0.0f64; CHUNK];
+        let mut core_out = [0.0f64; CHUNK];
+        for (xc, oc) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let wc = &mut wide[..xc.len()];
+            for (w, &x) in wc.iter_mut().zip(xc) {
+                *w = f64::from(x);
+            }
+            let sc = &mut scaled[..xc.len()];
+            let fc = &mut factors[..xc.len()];
+            self.prescale_chunk(wc, sc, fc);
+            let cc = &mut core_out[..xc.len()];
+            gqa_funcs::BatchEval::eval_batch(&self.core, sc, cc);
+            for ((y, &c), &f) in oc.iter_mut().zip(cc.iter()).zip(fc.iter()) {
+                *y = (c * f) as f32;
+            }
+        }
+    }
 }
 
 impl gqa_funcs::BatchEval for MultiRangeLut {
     fn eval_scalar(&self, x: f64) -> f64 {
         self.eval_f64(x)
     }
-    // The default batch loop already hoists the dynamic dispatch to once
-    // per buffer; sub-range selection stays per-element because tensors
-    // mix in-IR and scaled inputs freely.
+
+    /// Batched multi-range pipeline over stack-resident chunks: per-element
+    /// sub-range selection writes the pre-scaled core input and the output
+    /// rescale factor side by side, the FXP core then sweeps the whole
+    /// chunk through its wide-lane select + multiply-add kernel, and one
+    /// multiplication sweep applies the rescale (×1.0 for in-`IR` inputs —
+    /// bit-exact, see [`MultiRangeLut::eval_f64`]).
+    fn eval_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        const CHUNK: usize = 128;
+        let mut scaled = [0.0f64; CHUNK];
+        let mut factors = [0.0f64; CHUNK];
+        for (xc, oc) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let sc = &mut scaled[..xc.len()];
+            let fc = &mut factors[..xc.len()];
+            self.prescale_chunk(xc, sc, fc);
+            gqa_funcs::BatchEval::eval_batch(&self.core, sc, oc);
+            for (y, &f) in oc.iter_mut().zip(fc.iter()) {
+                *y *= f;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -157,13 +157,16 @@ impl Pwl {
     }
 
     /// Batch evaluation over *ascending* inputs, walking the segments in
-    /// one pass: each entry's `(k, b)` is hoisted and applied to the
-    /// contiguous run of inputs it covers, so the inner loop is a pure
-    /// fused multiply-add with no per-element breakpoint search. This is
-    /// the hot path of the genetic fitness grid (inputs there are always
-    /// the sorted Algorithm-1 grid).
+    /// one pass: each entry's `(k, b)` is hoisted and the contiguous run
+    /// of inputs it covers is swept by the wide-lane segment kernel
+    /// ([`gqa_simd::axpy_f64`] — AVX2 when available, scalar otherwise;
+    /// no per-element breakpoint search either way). This is the hot path
+    /// of the genetic fitness grid (inputs there are always the sorted
+    /// Algorithm-1 grid).
     ///
-    /// Bit-exactly equivalent to mapping [`Pwl::eval`] over `xs`.
+    /// Bit-exactly equivalent to mapping [`Pwl::eval`] over `xs`: the
+    /// kernel keeps multiply and add separate (no FMA contraction), so
+    /// vector lanes round exactly like the scalar expression.
     ///
     /// # Panics
     ///
@@ -178,20 +181,21 @@ impl Pwl {
         for (entry, &p) in self.breakpoints.iter().enumerate() {
             // Entry `entry` covers x < p (and ≥ previous breakpoint).
             let end = start + xs[start..].partition_point(|&x| x < p);
-            let (k, b) = (self.slopes[entry], self.intercepts[entry]);
-            for (y, &x) in out[start..end].iter_mut().zip(&xs[start..end]) {
-                *y = k * x + b;
-            }
+            gqa_simd::axpy_f64(
+                self.slopes[entry],
+                self.intercepts[entry],
+                &xs[start..end],
+                &mut out[start..end],
+            );
             start = end;
         }
         // Last entry: x ≥ p_{N−2}.
-        let (k, b) = (
+        gqa_simd::axpy_f64(
             *self.slopes.last().expect("validated"),
             *self.intercepts.last().expect("validated"),
+            &xs[start..],
+            &mut out[start..],
         );
-        for (y, &x) in out[start..].iter_mut().zip(&xs[start..]) {
-            *y = k * x + b;
-        }
     }
 
     /// Evaluates the scaled identity the paper's quantization-aware flow

@@ -193,10 +193,14 @@ impl IntLutInstance {
     /// Batched integer datapath: `out[i] = eval_raw(qs[i])`.
     ///
     /// Ascending codes (the §4.1 dequantized-grid sweep, `IntRange::iter`
-    /// order) take a segment-walking path with the entry's `(k, b̃)`
-    /// hoisted out of a pure integer-FMA inner loop; arbitrary codes fall
-    /// back to branch-free entry selection (a popcount of `p̃ ≤ q`
-    /// comparisons — exactly the comparator bank of Figure 1b).
+    /// order) take a segment-walking path: the entry's `(k, b̃)` is hoisted
+    /// and its run of codes swept by the wide-lane integer-FMA kernel
+    /// ([`gqa_simd::axpy_i64`]). Arbitrary codes go through the branchless
+    /// select pipeline ([`gqa_simd::lut_select_i64`]): entry index by
+    /// comparator-bank popcount of `p̃ ≤ q`, parameter fetch by gather,
+    /// then the multiply-add — exactly the comparator bank of Figure 1(b),
+    /// four codes per cycle. Both kernels fall back to scalar on machines
+    /// without AVX2 with bit-identical results.
     ///
     /// # Panics
     ///
@@ -208,22 +212,23 @@ impl IntLutInstance {
             let mut start = 0usize;
             for (entry, &p) in bps.iter().enumerate() {
                 let end = start + qs[start..].partition_point(|&q| q < p);
-                let (k, b) = (self.slopes_raw[entry], self.intercepts_scaled_raw[entry]);
-                for (y, &q) in out[start..end].iter_mut().zip(&qs[start..end]) {
-                    *y = k * q + b;
-                }
+                gqa_simd::axpy_i64(
+                    self.slopes_raw[entry],
+                    self.intercepts_scaled_raw[entry],
+                    &qs[start..end],
+                    &mut out[start..end],
+                );
                 start = end;
             }
             let last = bps.len();
-            let (k, b) = (self.slopes_raw[last], self.intercepts_scaled_raw[last]);
-            for (y, &q) in out[start..].iter_mut().zip(&qs[start..]) {
-                *y = k * q + b;
-            }
+            gqa_simd::axpy_i64(
+                self.slopes_raw[last],
+                self.intercepts_scaled_raw[last],
+                &qs[start..],
+                &mut out[start..],
+            );
         } else {
-            for (y, &q) in out.iter_mut().zip(qs) {
-                let i: usize = bps.iter().map(|&p| usize::from(p <= q)).sum();
-                *y = self.slopes_raw[i] * q + self.intercepts_scaled_raw[i];
-            }
+            gqa_simd::lut_select_i64(bps, &self.slopes_raw, &self.intercepts_scaled_raw, qs, out);
         }
     }
 
@@ -255,21 +260,83 @@ impl IntLutInstance {
     }
 }
 
+impl IntLutInstance {
+    /// The `f32` fast path of the real-axis datapath:
+    /// `out[i] = eval_f64(xs[i] as f64) as f32`, without the caller having
+    /// to materialize `f64` staging buffers.
+    ///
+    /// Quantization still goes through `f64` internally — widening an
+    /// `f32` is exact and dividing by a power-of-two scale is exact in
+    /// `f64` — so the selected code, and therefore the integer datapath
+    /// output, is identical to staging through `eval_batch`; the only
+    /// narrowing rounding is the final store. The select + multiply-add
+    /// core runs on the same wide-lane kernel as [`eval_raw_batch`].
+    ///
+    /// [`eval_raw_batch`]: IntLutInstance::eval_raw_batch
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn eval_batch_f32(&self, xs: &[f32], out: &mut [f32]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        const CHUNK: usize = 256;
+        let mut qbuf = [0i64; CHUNK];
+        let mut rbuf = [0i64; CHUNK];
+        let unscale = 1.0 / (1i64 << self.lambda) as f64;
+        let s = self.scale.to_f64();
+        for (xc, oc) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let qc = &mut qbuf[..xc.len()];
+            for (q, &x) in qc.iter_mut().zip(xc) {
+                *q = gqa_fxp::quantize_value(f64::from(x), self.scale, self.range);
+            }
+            let rc = &mut rbuf[..xc.len()];
+            gqa_simd::lut_select_i64(
+                &self.breakpoints_q,
+                &self.slopes_raw,
+                &self.intercepts_scaled_raw,
+                qc,
+                rc,
+            );
+            for (y, &r) in oc.iter_mut().zip(rc.iter()) {
+                *y = (r as f64 * unscale * s) as f32;
+            }
+        }
+    }
+}
+
 impl gqa_funcs::BatchEval for IntLutInstance {
     fn eval_scalar(&self, x: f64) -> f64 {
         self.eval_f64(x)
     }
 
+    /// Real-axis batch: scalar quantization per element (Eq. 2 rounding
+    /// has no vector equivalent with identical tie behaviour), then the
+    /// branchless wide-lane select + multiply-add over each chunk of
+    /// codes, then one scaling sweep. Chunks live on the stack, so the
+    /// call allocates nothing.
     fn eval_batch(&self, xs: &[f64], out: &mut [f64]) {
         assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        const CHUNK: usize = 256;
+        let mut qbuf = [0i64; CHUNK];
+        let mut rbuf = [0i64; CHUNK];
         let unscale = 1.0 / (1i64 << self.lambda) as f64;
         let s = self.scale.to_f64();
-        let bps = &self.breakpoints_q;
-        for (y, &x) in out.iter_mut().zip(xs) {
-            let q = gqa_fxp::quantize_value(x, self.scale, self.range);
-            let i: usize = bps.iter().map(|&p| usize::from(p <= q)).sum();
-            let raw = self.slopes_raw[i] * q + self.intercepts_scaled_raw[i];
-            *y = raw as f64 * unscale * s;
+        for (xc, oc) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let qc = &mut qbuf[..xc.len()];
+            for (q, &x) in qc.iter_mut().zip(xc) {
+                *q = gqa_fxp::quantize_value(x, self.scale, self.range);
+            }
+            let rc = &mut rbuf[..xc.len()];
+            gqa_simd::lut_select_i64(
+                &self.breakpoints_q,
+                &self.slopes_raw,
+                &self.intercepts_scaled_raw,
+                qc,
+                rc,
+            );
+            for (y, &r) in oc.iter_mut().zip(rc.iter()) {
+                *y = r as f64 * unscale * s;
+            }
         }
     }
 }
@@ -284,6 +351,9 @@ pub struct FxpPwl {
     storage_bits: u32,
     slopes_raw: Vec<i64>,
     intercepts_raw: Vec<i64>,
+    // b·2^λ, precomputed once so the batch kernel's select sees a plain
+    // (k, b) table without per-call allocation or re-shifting.
+    intercepts_aligned: Vec<i64>,
     breakpoints_raw: Vec<i64>,
 }
 
@@ -304,11 +374,13 @@ impl FxpPwl {
                     .raw()
             })
             .collect();
+        let intercepts_aligned = lut.intercepts_raw.iter().map(|&b| b << lambda).collect();
         Self {
             lambda,
             storage_bits,
             slopes_raw: lut.slopes_raw.clone(),
             intercepts_raw: lut.intercepts_raw.clone(),
+            intercepts_aligned,
             breakpoints_raw,
         }
     }
@@ -339,7 +411,7 @@ impl FxpPwl {
     #[must_use]
     pub fn eval_raw(&self, x_raw: i64) -> i64 {
         let i = self.breakpoints_raw.partition_point(|&p| p <= x_raw);
-        let acc2 = self.slopes_raw[i] * x_raw + (self.intercepts_raw[i] << self.lambda);
+        let acc2 = self.slopes_raw[i] * x_raw + self.intercepts_aligned[i];
         PowerOfTwoScale::new(-(self.lambda as i32)).multiply_int(acc2)
     }
 
@@ -355,18 +427,36 @@ impl gqa_funcs::BatchEval for FxpPwl {
         self.eval_f64(x)
     }
 
+    /// FXP batch datapath: scalar input quantization (round-half-away
+    /// and word saturation per element), then the branchless wide-lane
+    /// select-and-multiply-add over stack-resident chunks — the `b·2^λ`
+    /// intercept alignment is hoisted out of the loop so the kernel sees
+    /// a plain `(k, b)` LUT — then the rounding output shift.
     fn eval_batch(&self, xs: &[f64], out: &mut [f64]) {
         assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        const CHUNK: usize = 256;
+        let mut raw_in = [0i64; CHUNK];
+        let mut acc = [0i64; CHUNK];
         let to_raw = (1i64 << self.lambda) as f64;
         let from_raw = 1.0 / to_raw;
         let word = IntRange::signed(self.storage_bits);
         let down = PowerOfTwoScale::new(-(self.lambda as i32));
-        let bps = &self.breakpoints_raw;
-        for (y, &x) in out.iter_mut().zip(xs) {
-            let x_raw = word.clamp(round_half_away(x * to_raw));
-            let i: usize = bps.iter().map(|&p| usize::from(p <= x_raw)).sum();
-            let acc2 = self.slopes_raw[i] * x_raw + (self.intercepts_raw[i] << self.lambda);
-            *y = down.multiply_int(acc2) as f64 * from_raw;
+        for (xc, oc) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let rc = &mut raw_in[..xc.len()];
+            for (r, &x) in rc.iter_mut().zip(xc) {
+                *r = word.clamp(round_half_away(x * to_raw));
+            }
+            let ac = &mut acc[..xc.len()];
+            gqa_simd::lut_select_i64(
+                &self.breakpoints_raw,
+                &self.slopes_raw,
+                &self.intercepts_aligned,
+                rc,
+                ac,
+            );
+            for (y, &a) in oc.iter_mut().zip(ac.iter()) {
+                *y = down.multiply_int(a) as f64 * from_raw;
+            }
         }
     }
 }

@@ -2,9 +2,19 @@
 //! scalar `eval` bit-for-bit (NaN ≡ NaN) for every evaluator in the
 //! workspace's eval spine — every registered operator, every `Pwl`
 //! (sorted and unsorted inputs), and the quantized LUT datapaths.
+//!
+//! These properties also pin the `simd` feature's exactness contract:
+//! the scalar `eval` never touches `gqa-simd`, so on an AVX2 machine with
+//! default features every assertion here compares a wide-lane kernel
+//! against pure scalar code. Running the same suite with
+//! `--no-default-features` compares the scalar fallbacks instead; CI does
+//! both, which is what "bit-exact with `simd` on *and* off" means
+//! operationally. The `f32` fast paths (`eval_batch_f32`) are pinned to
+//! `(eval(f64::from(x)) as f32)` the same way.
 
 use gqa_funcs::{BatchEval, NonLinearOp};
 use gqa_fxp::{IntRange, PowerOfTwoScale};
+use gqa_pwl::eval::MseGrid;
 use gqa_pwl::{fit, FxpPwl, MultiRangeLut, MultiRangeScaling, Pwl, QuantAwareLut, SegmentFit};
 use proptest::prelude::*;
 
@@ -134,5 +144,87 @@ proptest! {
             MultiRangeScaling::div_paper(),
         );
         assert_batch_matches_scalar(&unit, &xs, "multirange");
+    }
+
+    /// The `f32` fast paths: `eval_batch_f32` must equal evaluating the
+    /// widened input through the scalar datapath and narrowing — i.e. the
+    /// fast path changes *where* conversions happen, never what comes out.
+    #[test]
+    fn f32_fast_paths_equal_widened_scalar(
+        bps in breakpoints(),
+        e in -6i32..=1,
+        xs in proptest::collection::vec(-300.0f32..300.0, 1..300)
+    ) {
+        let lut = QuantAwareLut::new(gelu_pwl(&bps), 5).unwrap();
+        let inst = lut.instantiate(PowerOfTwoScale::new(e), IntRange::signed(8));
+        let mut out = vec![0.0f32; xs.len()];
+        inst.eval_batch_f32(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            let want = inst.eval_f64(f64::from(x)) as f32;
+            assert!(
+                y.to_bits() == want.to_bits(),
+                "int_lut f32({x}): {y} vs widened {want}"
+            );
+        }
+
+        let f = |x: f64| NonLinearOp::Div.eval(x);
+        let pwl = fit::fit_pwl(
+            &f,
+            (0.5, 4.0),
+            &[0.65, 0.85, 1.1, 1.5, 2.0, 2.6, 3.3],
+            SegmentFit::LeastSquares,
+        )
+        .unwrap();
+        let unit = MultiRangeLut::new(
+            FxpPwl::new(&QuantAwareLut::new(pwl, 5).unwrap(), 8),
+            MultiRangeScaling::div_paper(),
+        );
+        let pos: Vec<f32> = xs.iter().map(|&x| x.abs().max(0.5)).collect();
+        let mut out = vec![0.0f32; pos.len()];
+        unit.eval_batch_f32(&pos, &mut out);
+        for (&x, &y) in pos.iter().zip(&out) {
+            let want = unit.eval_f64(f64::from(x)) as f32;
+            assert!(
+                y.to_bits() == want.to_bits(),
+                "multirange f32({x}): {y} vs widened {want}"
+            );
+        }
+    }
+
+    /// The MSE accumulator's pinned reduction order (the `simd` on/off
+    /// invariance contract of `gqa_simd::sum_sq_diff`, replayed here at
+    /// the `MseGrid` level): four stride-4 lane accumulators,
+    /// `(l0+l2)+(l1+l3)` combine, sequential tail.
+    #[test]
+    fn mse_grid_reduction_order_is_pinned(
+        bps in breakpoints(),
+        step in 0.005f64..0.05
+    ) {
+        let p = gelu_pwl(&bps);
+        let grid = MseGrid::new(&NonLinearOp::Gelu, (-4.0, 4.0), step);
+        let mut scratch = Vec::new();
+        let got = grid.mse_of(&p, &mut scratch);
+
+        let mut y_hat = vec![0.0; grid.len()];
+        p.eval_batch(grid.xs(), &mut y_hat);
+        let n = grid.len();
+        let n4 = n - n % 4;
+        let mut lanes = [0.0f64; 4];
+        for (ca, cb) in y_hat[..n4].chunks_exact(4).zip(grid.ys()[..n4].chunks_exact(4)) {
+            for (l, lane) in lanes.iter_mut().enumerate() {
+                let d = ca[l] - cb[l];
+                *lane += d * d;
+            }
+        }
+        let mut acc = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+        for (&a, &b) in y_hat[n4..].iter().zip(&grid.ys()[n4..]) {
+            let d = a - b;
+            acc += d * d;
+        }
+        assert!(
+            got.to_bits() == (acc / n as f64).to_bits(),
+            "mse_of diverged from the documented reduction: {got:e} vs {:e}",
+            acc / n as f64
+        );
     }
 }

@@ -2,7 +2,7 @@
 
 use gqa_fxp::IntRange;
 
-/// Min-max calibration (the paper's ref. [6] initializer): the smallest
+/// Min-max calibration (the paper's ref. \[6\] initializer): the smallest
 /// step that covers the observed absolute maximum,
 /// `s = max|x| / max(|Qn|, Qp)`.
 ///

@@ -3,7 +3,7 @@
 //! The quantization machinery the paper's model-level evaluation rests on
 //! (§2.3, §4.2):
 //!
-//! * [`LsqQuantizer`] — Learned Step-size Quantization (LSQ, ref. [19]):
+//! * [`LsqQuantizer`] — Learned Step-size Quantization (LSQ, ref. \[19\]):
 //!   fake-quant forward plus the STE gradients for both the input and the
 //!   learnable step.
 //! * [`PotLsqQuantizer`] — the paper's power-of-two variant (§3.1):
@@ -12,7 +12,7 @@
 //! * [`QuantParams`] / [`calibrate_minmax`] — per-tensor quantization
 //!   parameters and min-max calibration (the initializer for LSQ).
 //! * [`requant_multiplier`] — the dyadic requantization glue of the
-//!   integer-only pipeline (ref. [15]): `M = Sx·Sw / Sy` as an integer
+//!   integer-only pipeline (ref. \[15\]): `M = Sx·Sw / Sy` as an integer
 //!   multiply + shift.
 //!
 //! ## Example

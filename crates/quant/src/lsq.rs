@@ -1,5 +1,5 @@
 //! Learned Step-size Quantization (LSQ, Esser et al., ICLR 2020 — the
-//! paper's ref. [19]).
+//! paper's ref. \[19\]).
 
 use gqa_fxp::IntRange;
 

@@ -1,4 +1,4 @@
-//! Integer-only requantization glue (the dyadic pipeline, ref. [15]).
+//! Integer-only requantization glue (the dyadic pipeline, ref. \[15\]).
 
 use gqa_fxp::{Dyadic, PowerOfTwoScale};
 

@@ -8,7 +8,7 @@ use std::fmt;
 /// The three methods compared throughout the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
-    /// NN-LUT baseline (ref. [11]), INT8-converted per §4.1.
+    /// NN-LUT baseline (ref. \[11\]), INT8-converted per §4.1.
     NnLut,
     /// GQA-LUT with conventional Gaussian mutation ("w/o RM"): §3.2's
     /// straightforward approach — quantization-blind breakpoints, post-hoc

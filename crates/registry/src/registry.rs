@@ -170,6 +170,21 @@ impl LutRegistry {
     /// functions in `gqa-models` route through it). On first access,
     /// warm-starts from the JSON snapshot named by the
     /// `GQA_LUT_SNAPSHOT` environment variable, when set and readable.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gqa_registry::{LutRegistry, LutSpec, Method};
+    /// use gqa_funcs::NonLinearOp;
+    ///
+    /// let registry = LutRegistry::global();
+    /// let spec = LutSpec::new(Method::GqaRm, NonLinearOp::Exp, 8, 123).with_budget(0.05);
+    /// let first = registry.get_or_build(&spec).unwrap();   // cold: runs the search
+    /// let again = registry.get_or_build(&spec).unwrap();   // warm: zero generations
+    /// assert!(std::sync::Arc::ptr_eq(&first, &again));
+    /// // Every process sees the same instance.
+    /// assert!(std::ptr::eq(LutRegistry::global(), registry));
+    /// ```
     #[must_use]
     pub fn global() -> &'static LutRegistry {
         static GLOBAL: OnceLock<LutRegistry> = OnceLock::new();

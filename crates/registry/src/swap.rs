@@ -67,6 +67,18 @@ impl UnaryBackend for HotSwapBackend {
             .expect("backend lock")
             .eval_many(kind, xs, out);
     }
+
+    /// Resolves the delegate **once per tensor**, not once per staging
+    /// chunk: the whole buffer is evaluated by a single backend even if a
+    /// [`swap`](HotSwapBackend::swap) lands mid-call, so a tensor never
+    /// mixes two datapaths (the swap-under-eval guarantee; pinned by
+    /// `tests/hotswap.rs`).
+    fn eval_many_f32(&self, kind: UnaryKind, xs: &[f32], out: &mut [f32]) {
+        self.current
+            .read()
+            .expect("backend lock")
+            .eval_many_f32(kind, xs, out);
+    }
 }
 
 #[cfg(test)]

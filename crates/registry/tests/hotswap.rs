@@ -1,0 +1,106 @@
+//! `HotSwapBackend` swap-under-eval semantics, pinned directly (they were
+//! previously only exercised indirectly through the registry bench):
+//!
+//! 1. a swap that lands while another thread is mid-`eval_many*` must not
+//!    tear a tensor — every buffer comes out uniformly from ONE delegate;
+//! 2. in-flight calls finish on the delegate they resolved, subsequent
+//!    calls use the new one;
+//! 3. `swap` returns the previous delegate so callers can restore it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use gqa_registry::HotSwapBackend;
+use gqa_tensor::{UnaryBackend, UnaryKind};
+
+/// A backend returning a constant, slow enough per element that a swap has
+/// a wide window to land mid-buffer.
+struct ConstBackend(f64);
+
+impl UnaryBackend for ConstBackend {
+    fn eval(&self, _kind: UnaryKind, _x: f64) -> f64 {
+        // A few spins per element widen the race window without making
+        // the test slow.
+        std::hint::black_box((0..8).fold(self.0, |v, _| std::hint::black_box(v)))
+    }
+}
+
+#[test]
+fn tensor_evals_never_mix_delegates_across_a_swap() {
+    let hs = Arc::new(HotSwapBackend::new(Arc::new(ConstBackend(1.0))));
+    let stop = AtomicBool::new(false);
+    // Longer than one staging chunk (256), so a per-chunk lock would give
+    // a swap landing between chunks a mixed buffer.
+    let xs64 = vec![0.5f64; 1000];
+    let xs32 = vec![0.5f32; 1000];
+
+    std::thread::scope(|s| {
+        let evaluator = s.spawn(|| {
+            let mut out64 = vec![0.0f64; xs64.len()];
+            let mut out32 = vec![0.0f32; xs32.len()];
+            let mut saw = [false; 2]; // which delegates were observed
+            while !stop.load(Ordering::Relaxed) {
+                hs.eval_many(UnaryKind::Gelu, &xs64, &mut out64);
+                let first = out64[0];
+                assert!(
+                    out64.iter().all(|&y| y == first),
+                    "eval_many mixed two delegates in one tensor"
+                );
+                hs.eval_many_f32(UnaryKind::Gelu, &xs32, &mut out32);
+                let first32 = out32[0];
+                assert!(
+                    out32.iter().all(|&y| y == first32),
+                    "eval_many_f32 mixed two delegates in one tensor"
+                );
+                saw[(first - 1.0) as usize] = true;
+            }
+            saw
+        });
+
+        for i in 0..200 {
+            let v = if i % 2 == 0 { 2.0 } else { 1.0 };
+            hs.swap(Arc::new(ConstBackend(v)));
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let saw = evaluator.join().expect("evaluator panicked");
+        // Not a strict requirement (scheduling-dependent), but on any
+        // normal run the evaluator observes at least one delegate.
+        assert!(saw[0] || saw[1]);
+    });
+}
+
+#[test]
+fn swap_returns_previous_and_subsequent_calls_use_next() {
+    let hs = HotSwapBackend::new(Arc::new(ConstBackend(7.0)));
+    assert_eq!(hs.eval(UnaryKind::Relu, -3.0), 7.0);
+
+    let prev = hs.swap(Arc::new(ConstBackend(9.0)));
+    assert_eq!(hs.eval(UnaryKind::Relu, -3.0), 9.0);
+    // The returned delegate is the one that was serving before.
+    assert_eq!(prev.eval(UnaryKind::Relu, -3.0), 7.0);
+
+    // Restoring it brings the old datapath back.
+    hs.swap(prev);
+    assert_eq!(hs.eval(UnaryKind::Relu, -3.0), 7.0);
+
+    let mut out = [0.0f32; 3];
+    hs.eval_many_f32(UnaryKind::Gelu, &[1.0, 2.0, 3.0], &mut out);
+    assert_eq!(out, [7.0f32; 3]);
+}
+
+#[test]
+fn graph_sees_the_swap_between_forward_passes() {
+    use gqa_tensor::{ExactBackend, Graph, Tensor};
+
+    let hs = HotSwapBackend::new(Arc::new(ExactBackend));
+    let forward = |hs: &HotSwapBackend| {
+        let mut g = Graph::new(hs);
+        let x = g.input(Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]));
+        let y = g.unary(x, UnaryKind::Relu);
+        g.value(y).data.clone()
+    };
+    assert_eq!(forward(&hs), vec![0.0, 0.0, 2.0]);
+    hs.swap(Arc::new(ConstBackend(5.0)));
+    assert_eq!(forward(&hs), vec![5.0, 5.0, 5.0]);
+}

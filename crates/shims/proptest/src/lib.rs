@@ -103,7 +103,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specifications accepted by [`vec`] (subset of proptest's
+    /// Length specifications accepted by [`vec()`] (subset of proptest's
     /// `SizeRange` conversions: exact length, `a..b`, `a..=b`).
     pub trait IntoSizeRange {
         /// The half-open `[lo, hi)` length range.
@@ -135,7 +135,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`] strategy.
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

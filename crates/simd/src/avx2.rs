@@ -1,0 +1,232 @@
+//! AVX2 intrinsic implementations.
+//!
+//! # Safety
+//!
+//! Every function here is `#[target_feature(enable = "avx2")]` and must
+//! only be called after `is_x86_feature_detected!("avx2")` returned true
+//! (the dispatchers in `lib.rs` do exactly that). Pointer arithmetic stays
+//! inside the validated slice bounds; gathers index `slopes`/`intercepts`
+//! with entry numbers in `0..=breakpoints.len()`, which the dispatcher's
+//! length checks make in-bounds.
+//!
+//! Exactness: floating-point kernels use separate `mul`/`add` (never FMA),
+//! `max`/`min` where the scalar spelling uses `f64::max`/`clamp`, and the
+//! integer kernels implement wrapping 64-bit multiply-add via the
+//! standard three-`pmuludq` low-half decomposition — all bit-identical to
+//! the `scalar` module (NaN payloads excepted, see crate docs).
+
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::{
+    __m256i, _mm256_add_epi64, _mm256_add_pd, _mm256_castpd256_pd128, _mm256_cmpgt_epi64,
+    _mm256_div_pd, _mm256_extractf128_pd, _mm256_i64gather_epi64, _mm256_loadu_pd, _mm256_loadu_ps,
+    _mm256_loadu_si256, _mm256_max_pd, _mm256_max_ps, _mm256_min_pd, _mm256_mul_epu32,
+    _mm256_mul_pd, _mm256_set1_epi64x, _mm256_set1_pd, _mm256_setzero_pd, _mm256_setzero_ps,
+    _mm256_slli_epi64, _mm256_srli_epi64, _mm256_storeu_pd, _mm256_storeu_ps, _mm256_storeu_si256,
+    _mm256_sub_pd, _mm_add_pd, _mm_cvtsd_f64, _mm_unpackhi_pd,
+};
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn axpy_f64(k: f64, b: f64, xs: &[f64], out: &mut [f64]) {
+    let n = xs.len();
+    let kv = _mm256_set1_pd(k);
+    let bv = _mm256_set1_pd(b);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        let y = _mm256_add_pd(_mm256_mul_pd(kv, x), bv);
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), y);
+        i += 4;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = k * *xs.get_unchecked(i) + b;
+        i += 1;
+    }
+}
+
+/// Wrapping 64-bit `k·q` with `k` constant: `lo(k)·lo(q)` plus the two
+/// 32×32 cross products shifted up, all mod 2^64.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mul64_const(q: __m256i, k_lo: __m256i, k_hi: __m256i) -> __m256i {
+    let lo = _mm256_mul_epu32(q, k_lo); // lo(q)·lo(k), full 64-bit
+    let c1 = _mm256_mul_epu32(q, k_hi); // lo(q)·hi(k)
+    let c2 = _mm256_mul_epu32(_mm256_srli_epi64::<32>(q), k_lo); // hi(q)·lo(k)
+    let cross = _mm256_add_epi64(c1, c2);
+    _mm256_add_epi64(lo, _mm256_slli_epi64::<32>(cross))
+}
+
+/// Wrapping 64-bit lane-wise `a·b` (both variable).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mul64(a: __m256i, b: __m256i) -> __m256i {
+    let lo = _mm256_mul_epu32(a, b);
+    let c1 = _mm256_mul_epu32(a, _mm256_srli_epi64::<32>(b));
+    let c2 = _mm256_mul_epu32(_mm256_srli_epi64::<32>(a), b);
+    let cross = _mm256_add_epi64(c1, c2);
+    _mm256_add_epi64(lo, _mm256_slli_epi64::<32>(cross))
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn axpy_i64(k: i64, b: i64, qs: &[i64], out: &mut [i64]) {
+    let n = qs.len();
+    let k_lo = _mm256_set1_epi64x((k as u64 & 0xFFFF_FFFF) as i64);
+    let k_hi = _mm256_set1_epi64x(((k as u64) >> 32) as i64);
+    let bv = _mm256_set1_epi64x(b);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let q = _mm256_loadu_si256(qs.as_ptr().add(i).cast());
+        let y = _mm256_add_epi64(mul64_const(q, k_lo, k_hi), bv);
+        _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), y);
+        i += 4;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = k.wrapping_mul(*qs.get_unchecked(i)).wrapping_add(b);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn lut_select_i64(
+    breakpoints: &[i64],
+    slopes: &[i64],
+    intercepts: &[i64],
+    qs: &[i64],
+    out: &mut [i64],
+) {
+    let n = qs.len();
+    let nbps = _mm256_set1_epi64x(breakpoints.len() as i64);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let q = _mm256_loadu_si256(qs.as_ptr().add(i).cast());
+        // Comparator bank: each `p > q` mask is −1, so accumulating masks
+        // onto `len(breakpoints)` yields `#{p ≤ q}` — the entry index.
+        let mut idx = nbps;
+        for &p in breakpoints {
+            idx = _mm256_add_epi64(idx, _mm256_cmpgt_epi64(_mm256_set1_epi64x(p), q));
+        }
+        let k = _mm256_i64gather_epi64::<8>(slopes.as_ptr(), idx);
+        let b = _mm256_i64gather_epi64::<8>(intercepts.as_ptr(), idx);
+        let y = _mm256_add_epi64(mul64(k, q), b);
+        _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), y);
+        i += 4;
+    }
+    while i < n {
+        let q = *qs.get_unchecked(i);
+        let e: usize = breakpoints.iter().map(|&p| usize::from(p <= q)).sum();
+        *out.get_unchecked_mut(i) = slopes[e].wrapping_mul(q).wrapping_add(intercepts[e]);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn relu_unit_accum(w1: f64, b1: f64, w2: f64, xs: &[f64], out: &mut [f64]) {
+    let n = xs.len();
+    let w1v = _mm256_set1_pd(w1);
+    let b1v = _mm256_set1_pd(b1);
+    let w2v = _mm256_set1_pd(w2);
+    let zero = _mm256_setzero_pd();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        let z = _mm256_add_pd(_mm256_mul_pd(w1v, x), b1v);
+        let r = _mm256_max_pd(z, zero);
+        let y = _mm256_loadu_pd(out.as_ptr().add(i));
+        let y = _mm256_add_pd(y, _mm256_mul_pd(w2v, r));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), y);
+        i += 4;
+    }
+    while i < n {
+        let z = w1 * *xs.get_unchecked(i) + b1;
+        // Tail matches the maxpd tie/NaN semantics of the vector body.
+        *out.get_unchecked_mut(i) += w2 * if z > 0.0 { z } else { 0.0 };
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_sq_diff(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let n4 = n - n % 4;
+    // Lane l of `accv` is the stride-4 accumulator for elements l, l+4, …
+    // — exactly the `lanes` array of the scalar module.
+    let mut accv = _mm256_setzero_pd();
+    let mut i = 0usize;
+    while i < n4 {
+        let xa = _mm256_loadu_pd(a.as_ptr().add(i));
+        let xb = _mm256_loadu_pd(b.as_ptr().add(i));
+        let d = _mm256_sub_pd(xa, xb);
+        accv = _mm256_add_pd(accv, _mm256_mul_pd(d, d));
+        i += 4;
+    }
+    // (l0 + l2) + (l1 + l3): low128 + high128, then horizontal add.
+    let lo = _mm256_castpd256_pd128(accv);
+    let hi = _mm256_extractf128_pd::<1>(accv);
+    let pair = _mm_add_pd(lo, hi); // [l0+l2, l1+l3]
+    let mut acc = _mm_cvtsd_f64(_mm_add_pd(pair, _mm_unpackhi_pd(pair, pair)));
+    for j in n4..n {
+        let d = *a.get_unchecked(j) - *b.get_unchecked(j);
+        acc += d * d;
+    }
+    acc
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn relu_f64(xs: &[f64], out: &mut [f64]) {
+    let n = xs.len();
+    let zero = _mm256_setzero_pd();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_max_pd(x, zero));
+        i += 4;
+    }
+    while i < n {
+        let x = *xs.get_unchecked(i);
+        // Tail matches the maxpd tie/NaN semantics of the vector body.
+        *out.get_unchecked_mut(i) = if x > 0.0 { x } else { 0.0 };
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn hswish_f64(xs: &[f64], out: &mut [f64]) {
+    let n = xs.len();
+    let zero = _mm256_setzero_pd();
+    let three = _mm256_set1_pd(3.0);
+    let six = _mm256_set1_pd(6.0);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        let t = _mm256_min_pd(_mm256_max_pd(_mm256_add_pd(x, three), zero), six);
+        // x · t / 6, matching the scalar op order (mul then div). The
+        // divide by the constant 6 stays a divide — ·(1/6) would not
+        // round identically.
+        let y = _mm256_div_pd(_mm256_mul_pd(x, t), six);
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), y);
+        i += 4;
+    }
+    while i < n {
+        let x = *xs.get_unchecked(i);
+        *out.get_unchecked_mut(i) = x * (x + 3.0).clamp(0.0, 6.0) / 6.0;
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn relu_f32(xs: &[f32], out: &mut [f32]) {
+    let n = xs.len();
+    let zero = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_max_ps(x, zero));
+        i += 8;
+    }
+    while i < n {
+        let x = *xs.get_unchecked(i);
+        // Tail matches the maxps tie/NaN semantics of the vector body.
+        *out.get_unchecked_mut(i) = if x > 0.0 { x } else { 0.0 };
+        i += 1;
+    }
+}

@@ -1,0 +1,413 @@
+//! # gqa-simd — explicit wide-lane kernels for the batch eval spine
+//!
+//! PR 1/2 shaped every hot loop of the reproduction (`Pwl::eval_sorted_batch`,
+//! `IntLutInstance::eval_raw_batch`, `ReluNet1d::forward_batch`, the grid-MSE
+//! accumulators) into contiguous buffer sweeps. This crate supplies the
+//! explicit SIMD implementations of those sweeps:
+//!
+//! * [`axpy_f64`] / [`axpy_i64`] — `out[i] = k·x[i] + b`, the pwl segment
+//!   kernel (floating-point and λ-fractional-bit integer forms).
+//! * [`lut_select_i64`] — the branchless LUT datapath for *unsorted* codes:
+//!   entry index by comparator-bank popcount (`#{p̃ ≤ q}`), parameter fetch
+//!   by gather, then the integer multiply-add. This is Figure 1(b) as a
+//!   4-lane vector pipeline.
+//! * [`relu_unit_accum`] — one hidden unit of the NN-LUT network swept
+//!   across a buffer: `out[i] += w2·max(w1·x[i] + b1, 0)`.
+//! * [`sum_sq_diff`] — the MSE accumulator `Σ (a[i] − b[i])²` with a
+//!   **pinned reduction shape** (see below).
+//! * [`relu_f64`] / [`hswish_f64`] / [`relu_f32`] — the branch-free unary
+//!   activations of the tensor backend.
+//!
+//! ## Dispatch and exactness contract
+//!
+//! Every public function is safe and dispatches at runtime: on x86-64 with
+//! the `simd` cargo feature enabled *and* AVX2 detected on the running CPU
+//! ([`simd_active`]), the intrinsic path runs; otherwise a scalar fallback
+//! runs. The two paths are **bit-identical** for every input:
+//!
+//! * floating-point kernels use separate multiply and add (no FMA
+//!   contraction), so each element sees exactly the scalar operation
+//!   sequence;
+//! * integer kernels use wrapping arithmetic in both paths;
+//! * [`sum_sq_diff`] does not promise "the sequential sum" — it promises a
+//!   *fixed four-lane reduction order* that the scalar fallback replays
+//!   exactly (stride-4 lane accumulators, `(l0+l2)+(l1+l3)` combine,
+//!   sequential tail). The order is part of the function's contract, so a
+//!   result computed with the feature off equals the result with it on,
+//!   bit for bit.
+//!
+//! The ReLU kernels pin `maxpd`'s exact tie/NaN rule on both paths
+//! (`z` iff `z > 0`, else `+0.0` — so `-0.0` ties and NaN inputs both
+//! produce `+0.0` deterministically; `f64::max` would leave the `-0.0`
+//! tie sign unspecified). NaN *payloads* remain the one documented
+//! exception: [`hswish_f64`]'s clamp chain may canonicalize a NaN
+//! differently than the scalar `f64::clamp` spelling, so callers must
+//! treat any-NaN ≡ any-NaN — which the workspace's batch-equivalence
+//! suites already do.
+//!
+//! The unsafe intrinsic code is confined to one module of this crate; with
+//! the `simd` feature disabled the crate compiles under
+//! `forbid(unsafe_code)` like the rest of the workspace.
+//!
+//! ## Example
+//!
+//! ```
+//! // A 3-entry LUT: slopes/intercepts per entry, breakpoints between them.
+//! let bps = [-10i64, 10];
+//! let slopes = [1i64, 2, 3];
+//! let intercepts = [0i64, 5, -5];
+//! let qs = [-128i64, 0, 127];
+//! let mut out = [0i64; 3];
+//! gqa_simd::lut_select_i64(&bps, &slopes, &intercepts, &qs, &mut out);
+//! assert_eq!(out, [-128, 5, 376]); // entries 0, 1, 2
+//! ```
+
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![deny(missing_docs)]
+
+mod scalar;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2;
+
+/// Whether the AVX2 intrinsic paths will be taken on this machine
+/// (`simd` feature compiled in, x86-64, AVX2 detected at runtime).
+///
+/// Exposed so benches can label measurements and tests can assert they
+/// exercised the intended path; results never depend on it.
+#[must_use]
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// `out[i] = k·xs[i] + b` (separate multiply and add — no FMA contraction,
+/// so results match the scalar spelling bit for bit).
+///
+/// This is the pwl segment kernel: `Pwl::eval_sorted_batch` hoists one
+/// `(k, b)` per entry and sweeps the contiguous run of inputs it covers.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn axpy_f64(k: f64, b: f64, xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just detected.
+        unsafe { avx2::axpy_f64(k, b, xs, out) };
+        return;
+    }
+    scalar::axpy_f64(k, b, xs, out);
+}
+
+/// `out[i] = k·qs[i] + b` in wrapping 64-bit integer arithmetic — the
+/// λ-fractional-bit multiplier + adder of the hardware datapath, applied
+/// to a run of codes sharing one LUT entry.
+///
+/// # Panics
+///
+/// Panics if `qs.len() != out.len()`.
+pub fn axpy_i64(k: i64, b: i64, qs: &[i64], out: &mut [i64]) {
+    assert_eq!(qs.len(), out.len(), "batch length mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just detected.
+        unsafe { avx2::axpy_i64(k, b, qs, out) };
+        return;
+    }
+    scalar::axpy_i64(k, b, qs, out);
+}
+
+/// The branchless integer LUT datapath for arbitrary (unsorted) codes:
+/// for each `q`, the entry index is the comparator-bank popcount
+/// `i = #{p ∈ breakpoints : p ≤ q}` and `out = slopes[i]·q + intercepts[i]`
+/// (wrapping). Exactly the select + multiply-add pipeline of Figure 1(b).
+///
+/// # Panics
+///
+/// Panics if `qs.len() != out.len()` or
+/// `slopes.len() != breakpoints.len() + 1 != intercepts.len()`.
+pub fn lut_select_i64(
+    breakpoints: &[i64],
+    slopes: &[i64],
+    intercepts: &[i64],
+    qs: &[i64],
+    out: &mut [i64],
+) {
+    assert_eq!(qs.len(), out.len(), "batch length mismatch");
+    assert_eq!(
+        slopes.len(),
+        breakpoints.len() + 1,
+        "need breakpoints + 1 slopes"
+    );
+    assert_eq!(
+        intercepts.len(),
+        slopes.len(),
+        "need as many intercepts as slopes"
+    );
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just detected; parameter lengths were
+        // validated above, so every gathered index is in bounds.
+        unsafe { avx2::lut_select_i64(breakpoints, slopes, intercepts, qs, out) };
+        return;
+    }
+    scalar::lut_select_i64(breakpoints, slopes, intercepts, qs, out);
+}
+
+/// One ReLU hidden unit accumulated across a buffer:
+/// `out[i] += w2 · max(w1·xs[i] + b1, 0)`.
+///
+/// `ReluNet1d::forward_batch` calls this once per hidden unit after seeding
+/// `out` with the direct linear path, keeping the per-element accumulation
+/// order of the scalar forward pass.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn relu_unit_accum(w1: f64, b1: f64, w2: f64, xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just detected.
+        unsafe { avx2::relu_unit_accum(w1, b1, w2, xs, out) };
+        return;
+    }
+    scalar::relu_unit_accum(w1, b1, w2, xs, out);
+}
+
+/// `Σ (a[i] − b[i])²` with the pinned four-lane reduction order (see the
+/// crate docs): stride-4 lane accumulators over the aligned prefix,
+/// combined as `(l0 + l2) + (l1 + l3)`, then a sequential tail. The scalar
+/// fallback replays this order exactly, so the result is identical with
+/// the `simd` feature on or off.
+///
+/// This is the MSE accumulator of the grid evaluators; dividing by the
+/// length is left to the caller.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()`.
+#[must_use]
+pub fn sum_sq_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "batch length mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just detected.
+        return unsafe { avx2::sum_sq_diff(a, b) };
+    }
+    scalar::sum_sq_diff(a, b)
+}
+
+/// `out[i] = max(xs[i], 0)` in `f64` (the exact-backend ReLU sweep).
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn relu_f64(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just detected.
+        unsafe { avx2::relu_f64(xs, out) };
+        return;
+    }
+    scalar::relu_f64(xs, out);
+}
+
+/// `out[i] = xs[i] · clamp(xs[i] + 3, 0, 6) / 6` in `f64` (the
+/// exact-backend HSWISH sweep; clamp expanded as `min(max(·, 0), 6)`).
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn hswish_f64(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just detected.
+        unsafe { avx2::hswish_f64(xs, out) };
+        return;
+    }
+    scalar::hswish_f64(xs, out);
+}
+
+/// `out[i] = max(xs[i], 0)` in `f32` — the one unary whose native-`f32`
+/// result is bit-identical to evaluating through `f64` and narrowing, so
+/// the tensor fast path may skip the widening entirely.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn relu_f32(xs: &[f32], out: &mut [f32]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just detected.
+        unsafe { avx2::relu_f32(xs, out) };
+        return;
+    }
+    scalar::relu_f32(xs, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xs_f64(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 - n as f64 / 2.0) * 0.37).collect()
+    }
+
+    #[test]
+    fn axpy_f64_matches_scalar_spelling() {
+        for n in [0usize, 1, 3, 4, 7, 8, 33, 100] {
+            let xs = xs_f64(n);
+            let mut out = vec![0.0; n];
+            axpy_f64(0.71875, -0.125, &xs, &mut out);
+            for (&x, &y) in xs.iter().zip(&out) {
+                assert_eq!(y.to_bits(), (0.71875 * x + -0.125).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_i64_matches_wrapping_scalar() {
+        for n in [0usize, 1, 5, 16, 31] {
+            let qs: Vec<i64> = (0..n as i64).map(|i| i * 7 - 64).collect();
+            let mut out = vec![0i64; n];
+            axpy_i64(23, -100, &qs, &mut out);
+            for (&q, &y) in qs.iter().zip(&out) {
+                assert_eq!(y, 23i64.wrapping_mul(q).wrapping_add(-100));
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_i64_wraps_like_the_hardware() {
+        let qs = [i64::MAX, i64::MIN, 0x7FFF_FFFF_FFFF];
+        let mut out = [0i64; 3];
+        axpy_i64(3, 9, &qs, &mut out);
+        for (&q, &y) in qs.iter().zip(&out) {
+            assert_eq!(y, 3i64.wrapping_mul(q).wrapping_add(9));
+        }
+    }
+
+    #[test]
+    fn lut_select_covers_all_entries() {
+        let bps = [-50i64, 0, 50];
+        let slopes = [1i64, -2, 3, -4];
+        let intercepts = [10i64, 20, 30, 40];
+        let qs: Vec<i64> = (-128..=127).rev().collect(); // unsorted on purpose
+        let mut out = vec![0i64; qs.len()];
+        lut_select_i64(&bps, &slopes, &intercepts, &qs, &mut out);
+        for (&q, &y) in qs.iter().zip(&out) {
+            let i = bps.iter().filter(|&&p| p <= q).count();
+            assert_eq!(y, slopes[i] * q + intercepts[i], "q={q}");
+        }
+    }
+
+    #[test]
+    fn lut_select_single_entry_boundaries() {
+        // One breakpoint, codes exactly at it: p <= q tie goes to entry 1.
+        let mut out = [0i64; 3];
+        lut_select_i64(&[5], &[2, 7], &[0, 1], &[4, 5, 6], &mut out);
+        assert_eq!(out, [8, 36, 43]);
+    }
+
+    #[test]
+    fn relu_unit_accumulates_in_place() {
+        for n in [1usize, 4, 6, 50] {
+            let xs = xs_f64(n);
+            let mut out: Vec<f64> = xs.iter().map(|x| 0.25 * x).collect();
+            let mut want = out.clone();
+            relu_unit_accum(1.5, -0.3, 2.0, &xs, &mut out);
+            for (w, &x) in want.iter_mut().zip(&xs) {
+                *w += 2.0 * (1.5 * x + -0.3).max(0.0);
+            }
+            for (y, w) in out.iter().zip(&want) {
+                assert_eq!(y.to_bits(), w.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sum_sq_diff_matches_pinned_order() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 801] {
+            let a = xs_f64(n);
+            let b: Vec<f64> = a.iter().map(|v| v * 0.9 + 0.01).collect();
+            let got = sum_sq_diff(&a, &b);
+            // Replay the documented reduction shape by hand.
+            let n4 = n - n % 4;
+            let mut lanes = [0.0f64; 4];
+            for c in a[..n4].chunks_exact(4).zip(b[..n4].chunks_exact(4)) {
+                #[allow(clippy::needless_range_loop)] // l indexes three views
+                for l in 0..4 {
+                    let d = c.0[l] - c.1[l];
+                    lanes[l] += d * d;
+                }
+            }
+            let mut want = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+            for (&x, &y) in a[n4..].iter().zip(&b[n4..]) {
+                let d = x - y;
+                want += d * d;
+            }
+            assert_eq!(got.to_bits(), want.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn unary_sweeps_match_scalar() {
+        let xs = xs_f64(101);
+        let mut out = vec![0.0; xs.len()];
+        relu_f64(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            assert_eq!(y.to_bits(), x.max(0.0).to_bits());
+        }
+        hswish_f64(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            let want = x * (x + 3.0).clamp(0.0, 6.0) / 6.0;
+            assert_eq!(y.to_bits(), want.to_bits());
+        }
+        let xs32: Vec<f32> = xs.iter().map(|&v| v as f32).collect();
+        let mut out32 = vec![0.0f32; xs32.len()];
+        relu_f32(&xs32, &mut out32);
+        for (&x, &y) in xs32.iter().zip(&out32) {
+            assert_eq!(y.to_bits(), x.max(0.0).to_bits());
+            // And the f64 round trip agrees, which is what lets the tensor
+            // fast path use the native kernel.
+            assert_eq!(y.to_bits(), (f64::from(x).max(0.0) as f32).to_bits());
+        }
+    }
+
+    /// Every dispatched kernel must agree with the scalar module bit for
+    /// bit on this machine, whichever path runs.
+    #[test]
+    fn dispatch_agrees_with_scalar_module() {
+        let xs = xs_f64(97);
+        let (mut a, mut b) = (vec![0.0; 97], vec![0.0; 97]);
+        axpy_f64(1.1, 2.2, &xs, &mut a);
+        scalar::axpy_f64(1.1, 2.2, &xs, &mut b);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        let qs: Vec<i64> = (-48..49).collect();
+        let (mut ia, mut ib) = (vec![0i64; 97], vec![0i64; 97]);
+        let bps = [-30i64, -5, 12];
+        let ks = [3i64, -7, 11, 13];
+        let bs = [1i64, 2, 3, 4];
+        lut_select_i64(&bps, &ks, &bs, &qs, &mut ia);
+        scalar::lut_select_i64(&bps, &ks, &bs, &qs, &mut ib);
+        assert_eq!(ia, ib);
+
+        assert_eq!(
+            sum_sq_diff(&xs, &a).to_bits(),
+            scalar::sum_sq_diff(&xs, &a).to_bits()
+        );
+    }
+}

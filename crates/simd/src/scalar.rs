@@ -1,0 +1,90 @@
+//! Scalar reference implementations of every kernel.
+//!
+//! These are not "slow paths" semantically: they *define* the results. The
+//! AVX2 module mirrors each operation sequence exactly (separate mul/add,
+//! wrapping integer math, the pinned four-lane reduction of
+//! [`sum_sq_diff`]), and the crate tests assert bit-equality between the
+//! two modules on AVX2 machines.
+
+pub fn axpy_f64(k: f64, b: f64, xs: &[f64], out: &mut [f64]) {
+    for (y, &x) in out.iter_mut().zip(xs) {
+        *y = k * x + b;
+    }
+}
+
+pub fn axpy_i64(k: i64, b: i64, qs: &[i64], out: &mut [i64]) {
+    for (y, &q) in out.iter_mut().zip(qs) {
+        *y = k.wrapping_mul(q).wrapping_add(b);
+    }
+}
+
+pub fn lut_select_i64(
+    breakpoints: &[i64],
+    slopes: &[i64],
+    intercepts: &[i64],
+    qs: &[i64],
+    out: &mut [i64],
+) {
+    for (y, &q) in out.iter_mut().zip(qs) {
+        let i: usize = breakpoints.iter().map(|&p| usize::from(p <= q)).sum();
+        *y = slopes[i].wrapping_mul(q).wrapping_add(intercepts[i]);
+    }
+}
+
+/// `max(z, 0)` spelled to match `maxpd(z, 0)` bit for bit on every input:
+/// `z` iff `z > 0`, else the second operand `+0.0` (ties at ±0.0 and NaN
+/// both yield `+0.0`, exactly like the vector instruction — `f64::max`
+/// would leave the sign of a `-0.0` tie unspecified).
+#[inline]
+fn relu_scalar(z: f64) -> f64 {
+    if z > 0.0 {
+        z
+    } else {
+        0.0
+    }
+}
+
+pub fn relu_unit_accum(w1: f64, b1: f64, w2: f64, xs: &[f64], out: &mut [f64]) {
+    for (y, &x) in out.iter_mut().zip(xs) {
+        let z = w1 * x + b1;
+        *y += w2 * relu_scalar(z);
+    }
+}
+
+pub fn sum_sq_diff(a: &[f64], b: &[f64]) -> f64 {
+    // Pinned reduction shape (see crate docs): four stride-4 lane
+    // accumulators, (l0+l2)+(l1+l3) combine, sequential tail.
+    let n4 = a.len() - a.len() % 4;
+    let mut lanes = [0.0f64; 4];
+    for (ca, cb) in a[..n4].chunks_exact(4).zip(b[..n4].chunks_exact(4)) {
+        for l in 0..4 {
+            let d = ca[l] - cb[l];
+            lanes[l] += d * d;
+        }
+    }
+    let mut acc = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+    for (&x, &y) in a[n4..].iter().zip(&b[n4..]) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+pub fn relu_f64(xs: &[f64], out: &mut [f64]) {
+    for (y, &x) in out.iter_mut().zip(xs) {
+        *y = relu_scalar(x);
+    }
+}
+
+pub fn hswish_f64(xs: &[f64], out: &mut [f64]) {
+    for (y, &x) in out.iter_mut().zip(xs) {
+        *y = x * (x + 3.0).clamp(0.0, 6.0) / 6.0;
+    }
+}
+
+pub fn relu_f32(xs: &[f32], out: &mut [f32]) {
+    for (y, &x) in out.iter_mut().zip(xs) {
+        // Same maxps tie/NaN semantics as `relu_scalar`.
+        *y = if x > 0.0 { x } else { 0.0 };
+    }
+}

@@ -88,10 +88,11 @@ impl UnaryKind {
 /// the backend — it uses the exact derivative, so LUT approximation error
 /// is handled by straight-through estimation exactly as in QAT fine-tuning.
 ///
-/// The graph calls [`UnaryBackend::eval_many`] once per *tensor*, so the
-/// `dyn` dispatch cost is per-operator-application, not per-element; the
-/// scalar [`UnaryBackend::eval`] remains the semantic ground truth and the
-/// default `eval_many` simply maps it.
+/// The graph calls [`UnaryBackend::eval_many_f32`] once per *tensor*, so
+/// the `dyn` dispatch cost is per-operator-application, not per-element;
+/// the scalar [`UnaryBackend::eval`] remains the semantic ground truth:
+/// the default `eval_many` maps it, and the default `eval_many_f32`
+/// widens/narrows around `eval_many` in stack-resident chunks.
 pub trait UnaryBackend: Send + Sync {
     /// Evaluates `kind` at `x` (the forward value the graph records).
     fn eval(&self, kind: UnaryKind, x: f64) -> f64;
@@ -111,6 +112,54 @@ pub trait UnaryBackend: Send + Sync {
             *y = self.eval(kind, x);
         }
     }
+
+    /// The `f32` fast path the graph actually calls: evaluates `kind`
+    /// over an `f32` tensor buffer without the caller materializing `f64`
+    /// staging vectors.
+    ///
+    /// The default stages through [`UnaryBackend::eval_many`] in
+    /// stack-resident chunks — bit-identical to widening the whole buffer
+    /// (widening `f32 → f64` is exact and evaluation is element-wise), so
+    /// overrides are purely an optimization. Overrides must satisfy
+    /// `out[i] == (eval(kind, f64::from(xs[i])) as f32)` except where a
+    /// documented ULP bound applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    fn eval_many_f32(&self, kind: UnaryKind, xs: &[f32], out: &mut [f32]) {
+        eval_many_f32_via_f64(self, kind, xs, out);
+    }
+}
+
+/// The default `f32 → f64 → f32` staging used by
+/// [`UnaryBackend::eval_many_f32`], exposed so overrides can fall back to
+/// it for the operator kinds they do not specialize.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch.
+pub fn eval_many_f32_via_f64<B: UnaryBackend + ?Sized>(
+    backend: &B,
+    kind: UnaryKind,
+    xs: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    const CHUNK: usize = 256;
+    let mut wide_in = [0.0f64; CHUNK];
+    let mut wide_out = [0.0f64; CHUNK];
+    for (xc, oc) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+        let wi = &mut wide_in[..xc.len()];
+        for (w, &x) in wi.iter_mut().zip(xc) {
+            *w = f64::from(x);
+        }
+        let wo = &mut wide_out[..xc.len()];
+        backend.eval_many(kind, wi, wo);
+        for (y, &w) in oc.iter_mut().zip(wo.iter()) {
+            *y = w as f32;
+        }
+    }
 }
 
 /// The exact FP backend (baseline / "None" replacement row of Tables 4–5).
@@ -122,7 +171,10 @@ impl UnaryBackend for ExactBackend {
         kind.exact(x)
     }
 
-    /// One `match` per buffer, then a monomorphic per-operator loop.
+    /// One `match` per buffer, then a monomorphic per-operator loop. The
+    /// two branch-free activations (ReLU, HSWISH) run on the wide-lane
+    /// kernels of `gqa-simd` (bit-identical to their scalar spelling);
+    /// the transcendental kinds stay scalar `libm`-style loops.
     fn eval_many(&self, kind: UnaryKind, xs: &[f64], out: &mut [f64]) {
         assert_eq!(xs.len(), out.len(), "batch length mismatch");
         macro_rules! tight {
@@ -133,14 +185,27 @@ impl UnaryBackend for ExactBackend {
             };
         }
         match kind {
-            UnaryKind::Relu => tight!(gqa_funcs_relu),
+            UnaryKind::Relu => gqa_simd::relu_f64(xs, out),
             UnaryKind::Gelu => tight!(gqa_gelu),
-            UnaryKind::Hswish => tight!(gqa_hswish),
+            UnaryKind::Hswish => gqa_simd::hswish_f64(xs, out),
             UnaryKind::Exp => tight!(|x: f64| x.exp()),
             UnaryKind::Recip => tight!(|x: f64| 1.0 / x),
             UnaryKind::Rsqrt => tight!(|x: f64| 1.0 / x.sqrt()),
             UnaryKind::Sigmoid => tight!(sigmoid),
             UnaryKind::Tanh => tight!(|x: f64| x.tanh()),
+        }
+    }
+
+    /// ReLU runs natively in `f32` — `max(x, 0)` commutes with widening,
+    /// so the native kernel is bit-identical to the staged path while
+    /// skipping both conversions. Every other kind stages through `f64`
+    /// ([`eval_many_f32_via_f64`]), keeping model forwards bit-identical
+    /// to the pre-fast-path graph.
+    fn eval_many_f32(&self, kind: UnaryKind, xs: &[f32], out: &mut [f32]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        match kind {
+            UnaryKind::Relu => gqa_simd::relu_f32(xs, out),
+            _ => eval_many_f32_via_f64(self, kind, xs, out),
         }
     }
 }
@@ -227,5 +292,55 @@ mod tests {
     fn relu_derivative_is_step() {
         assert_eq!(UnaryKind::Relu.exact_derivative(1.0), 1.0);
         assert_eq!(UnaryKind::Relu.exact_derivative(-1.0), 0.0);
+    }
+
+    /// The f32 fast path must be bit-identical to widening every element,
+    /// evaluating in f64, and narrowing — for every operator kind,
+    /// including the natively-f32 ReLU override, across chunk boundaries
+    /// (len > 256 exercises the staging loop).
+    #[test]
+    fn f32_path_equals_staged_f64() {
+        let kinds = [
+            UnaryKind::Relu,
+            UnaryKind::Gelu,
+            UnaryKind::Hswish,
+            UnaryKind::Exp,
+            UnaryKind::Recip,
+            UnaryKind::Rsqrt,
+            UnaryKind::Sigmoid,
+            UnaryKind::Tanh,
+        ];
+        let xs: Vec<f32> = (0..777).map(|i| (i as f32 - 388.0) * 0.01).collect();
+        let mut fast = vec![0.0f32; xs.len()];
+        for kind in kinds {
+            ExactBackend.eval_many_f32(kind, &xs, &mut fast);
+            for (&x, &y) in xs.iter().zip(&fast) {
+                let want = ExactBackend.eval(kind, f64::from(x)) as f32;
+                assert!(
+                    y.to_bits() == want.to_bits() || (y.is_nan() && want.is_nan()),
+                    "{kind:?}({x}): fast {y} vs staged {want}"
+                );
+            }
+        }
+    }
+
+    /// The generic staging helper chunks at 256 elements; results must not
+    /// depend on where the chunk seams fall.
+    #[test]
+    fn staging_helper_is_chunk_seam_invariant() {
+        struct Offset;
+        impl UnaryBackend for Offset {
+            fn eval(&self, _k: UnaryKind, x: f64) -> f64 {
+                x + 1.0
+            }
+        }
+        for n in [0usize, 1, 255, 256, 257, 512, 1000] {
+            let xs: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+            let mut out = vec![0.0f32; n];
+            eval_many_f32_via_f64(&Offset, UnaryKind::Gelu, &xs, &mut out);
+            for (&x, &y) in xs.iter().zip(&out) {
+                assert_eq!(y, x + 1.0);
+            }
+        }
     }
 }

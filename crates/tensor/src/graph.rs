@@ -59,10 +59,6 @@ pub struct Graph<'b> {
     backend: &'b dyn UnaryBackend,
     nodes: Vec<Node>,
     grads: Vec<Option<Vec<f32>>>,
-    // Reusable f64 staging buffers for the batched unary path, so one
-    // graph evaluates arbitrarily many unaries with two allocations total.
-    unary_in: Vec<f64>,
-    unary_out: Vec<f64>,
 }
 
 impl std::fmt::Debug for Graph<'_> {
@@ -81,8 +77,6 @@ impl<'b> Graph<'b> {
             backend,
             nodes: Vec::new(),
             grads: Vec::new(),
-            unary_in: Vec::new(),
-            unary_out: Vec::new(),
         }
     }
 
@@ -211,18 +205,17 @@ impl<'b> Graph<'b> {
     /// Applies a non-linear unary through the backend (the LUT hook).
     ///
     /// The whole tensor is handed to the backend in one
-    /// [`UnaryBackend::eval_many`] call: one virtual dispatch per tensor
-    /// instead of one per element, and LUT backends get a contiguous
-    /// buffer they can sweep with hoisted parameters.
+    /// [`UnaryBackend::eval_many_f32`] call: one virtual dispatch per
+    /// tensor instead of one per element, and the tensor's native `f32`
+    /// buffer goes straight to the backend — no whole-tensor `f64`
+    /// round-trip. Backends that still evaluate in `f64` (the default)
+    /// widen in stack-resident chunks, which is bit-identical to the old
+    /// staging but keeps the working set in cache.
     pub fn unary(&mut self, x: NodeId, kind: UnaryKind) -> NodeId {
         let tx = &self.nodes[x.0].value;
         let shape = tx.shape.clone();
-        self.unary_in.clear();
-        self.unary_in.extend(tx.data.iter().map(|&v| f64::from(v)));
-        self.unary_out.resize(self.unary_in.len(), 0.0);
-        self.backend
-            .eval_many(kind, &self.unary_in, &mut self.unary_out);
-        let data = self.unary_out.iter().map(|&v| v as f32).collect();
+        let mut data = vec![0.0f32; tx.data.len()];
+        self.backend.eval_many_f32(kind, &tx.data, &mut data);
         let t = Tensor::from_vec(data, &shape);
         self.push(Op::Unary(x, kind), t, None)
     }

@@ -46,6 +46,15 @@
 //! assert!((ps.value(w).data[0] - 2.0).abs() < 1e-3);
 //! ```
 
+//!
+//! ## The `simd` feature (default-on)
+//!
+//! The exact backend's branch-free unaries (ReLU, HSWISH) run on the
+//! wide-lane kernels of `gqa-simd` (AVX2, runtime-detected), and the
+//! graph feeds backends through the `f32` fast path
+//! ([`UnaryBackend::eval_many_f32`]) — both bit-identical to the scalar
+//! / staged paths they replace.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -55,6 +64,6 @@ pub mod nn;
 pub mod optim;
 mod tensor_impl;
 
-pub use backend::{ExactBackend, UnaryBackend, UnaryKind};
+pub use backend::{eval_many_f32_via_f64, ExactBackend, UnaryBackend, UnaryKind};
 pub use graph::{Graph, NodeId};
 pub use tensor_impl::{ParamId, ParamStore, Tensor};

@@ -8,6 +8,8 @@
 //!
 //! * [`fxp`] — fixed-point values, power-of-two scales, dyadic requantization.
 //! * [`funcs`] — reference non-linear functions (GELU, HSWISH, EXP, DIV, RSQRT, …).
+//! * [`simd`] — wide-lane (AVX2) kernels for the batch hot paths, with
+//!   bit-exact scalar fallbacks.
 //! * [`pwl`] — piece-wise linear LUT approximation and its quantized execution.
 //! * [`genetic`] — the GQA-LUT island-model genetic search with Rounding Mutation.
 //! * [`nnlut`] — the NN-LUT baseline (neural pwl extraction).
@@ -44,4 +46,5 @@ pub use gqa_nnlut as nnlut;
 pub use gqa_pwl as pwl;
 pub use gqa_quant as quant;
 pub use gqa_registry as registry;
+pub use gqa_simd as simd;
 pub use gqa_tensor as tensor;
