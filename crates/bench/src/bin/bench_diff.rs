@@ -5,12 +5,18 @@
 //! Usage:
 //!
 //! ```text
-//! bench_diff <current.json> <baseline.json> [--threshold <pct>] [--min-delta-ns <ns>]
+//! bench_diff <current.json> <baseline.json> [--threshold <pct>]
+//!            [--min-delta-ns <ns>] [--require <prefix>]...
 //! ```
 //!
-//! Benchmarks present on only one side are reported but never fail the
-//! run (new benches appear, old ones retire); only a measured slowdown of
-//! a shared benchmark does. A regression must also exceed an absolute
+//! Benchmarks present on only one side are reported — current-only
+//! entries as `NEW`, baseline-only as `GONE` — but never fail the run by
+//! themselves (new benches appear, old ones retire); only a measured
+//! slowdown of a shared benchmark does. `--require <prefix>` (repeatable)
+//! turns absence into failure for a named family: the run exits nonzero
+//! unless at least one *current* entry starts with each required prefix —
+//! CI uses it to prove the `fused/*` suite actually produced
+//! measurements. A regression must also exceed an absolute
 //! floor (default 200 ns/iter): for sub-microsecond entries — a warm
 //! registry lookup, a 256-code datapath sweep — scheduler and timer
 //! jitter at CI's short measurement budget routinely exceeds 15 %
@@ -66,7 +72,8 @@ fn print_help() {
 bench_diff — compare a bench JSON against the committed baseline
 
 usage: bench_diff <current.json> <baseline.json>
-                  [--threshold <pct>] [--min-delta-ns <ns>] [--help]
+                  [--threshold <pct>] [--min-delta-ns <ns>]
+                  [--require <prefix>]... [--help]
 
 The full comparison table is always printed, pass or fail — a green run
 shows every entry's delta, not a silent exit code.
@@ -85,12 +92,31 @@ budget while staying within tens of nanoseconds *absolute*; such deltas
 are below the harness's noise floor, not regressions. Relative blow-ups
 inside the floor are labeled `noise` in the table.
 
-Benchmarks present on only one side are reported (NEW / GONE) but never
-fail the run. An empty intersection exits 2: a gate that compared
+Benchmarks present on only one side are reported — NEW (current only,
+informational, exit 0) and GONE (baseline only) — and never fail the run
+by themselves. An empty intersection exits 2: a gate that compared
 nothing must not read as green.
 
-exit codes: 0 = no regression, 1 = regression(s), 2 = usage/input error"
+  --require <prefix>     (repeatable) fail unless at least one CURRENT
+                         entry name starts with this prefix. CI passes
+                         `--require fused/` so a refactor that silently
+                         drops the fused-operator benches cannot pass the
+                         gate.
+
+exit codes: 0 = no regression, 1 = regression(s) or missing required
+entries, 2 = usage/input error"
     );
+}
+
+/// Required prefixes with no matching entry in `current`.
+fn missing_required<'p>(
+    required: &'p [String],
+    current: &BTreeMap<String, f64>,
+) -> Vec<&'p String> {
+    required
+        .iter()
+        .filter(|p| !current.keys().any(|name| name.starts_with(p.as_str())))
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -102,6 +128,7 @@ fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut threshold_pct = 15.0f64;
     let mut min_delta_ns = 200.0f64;
+    let mut required: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--threshold" || args[i] == "--min-delta-ns" {
@@ -115,6 +142,13 @@ fn main() -> ExitCode {
                 min_delta_ns = v;
             }
             i += 2;
+        } else if args[i] == "--require" {
+            let Some(p) = args.get(i + 1) else {
+                eprintln!("--require needs a name prefix");
+                return ExitCode::from(2);
+            };
+            required.push(p.clone());
+            i += 2;
         } else {
             paths.push(args[i].clone());
             i += 1;
@@ -123,7 +157,7 @@ fn main() -> ExitCode {
     let [current_path, baseline_path] = &paths[..] else {
         eprintln!(
             "usage: bench_diff <current.json> <baseline.json> \
-             [--threshold <pct>] [--min-delta-ns <ns>] [--help]"
+             [--threshold <pct>] [--min-delta-ns <ns>] [--require <prefix>]... [--help]"
         );
         return ExitCode::from(2);
     };
@@ -145,8 +179,13 @@ fn main() -> ExitCode {
     let mut regressions = Vec::new();
     let mut improvements = 0usize;
     let mut shared = 0usize;
+    let mut new_entries = 0usize;
     for (name, &cur) in &current {
         let Some(&base) = baseline.get(name) else {
+            // Informational only: a NEW entry never fails the run (it has
+            // no baseline to regress against) — refresh BENCH_baseline.json
+            // to start gating it.
+            new_entries += 1;
             println!("  NEW      {name:<44} {cur:>14.1} ns/iter");
             continue;
         };
@@ -184,9 +223,17 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    let missing = missing_required(&required, &current);
+    if !missing.is_empty() {
+        eprintln!("\nrequired benchmark families missing from {current_path}:");
+        for p in &missing {
+            eprintln!("  --require {p}: no current entry starts with this prefix");
+        }
+        return ExitCode::FAILURE;
+    }
     if regressions.is_empty() {
         println!(
-            "\n{shared} shared benchmark(s), {improvements} improved, \
+            "\n{shared} shared benchmark(s), {improvements} improved, {new_entries} new, \
              no regression beyond +{threshold_pct:.0}% (and {min_delta_ns:.0} ns absolute)"
         );
         ExitCode::SUCCESS
@@ -199,5 +246,41 @@ fn main() -> ExitCode {
             println!("  {name}: {pct:+.1}%");
         }
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BTreeMap<String, f64> {
+        parse_bench_json(
+            r#"[
+  {"name": "fused/softmax_fused_64x64", "ns_per_iter": 1234.5, "iterations": 10},
+  {"name": "eval/int8_datapath_full_range", "ns_per_iter": 917.1, "iterations": 3},
+]"#,
+        )
+    }
+
+    #[test]
+    fn parses_the_shim_json_lines() {
+        let m = sample();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["fused/softmax_fused_64x64"], 1234.5);
+        assert_eq!(m["eval/int8_datapath_full_range"], 917.1);
+    }
+
+    #[test]
+    fn require_matches_on_name_prefixes() {
+        let m = sample();
+        let req = vec!["fused/".to_owned(), "eval/".to_owned()];
+        assert!(missing_required(&req, &m).is_empty());
+
+        let req = vec!["fused/".to_owned(), "simd/".to_owned()];
+        let missing = missing_required(&req, &m);
+        assert_eq!(missing, vec![&"simd/".to_owned()]);
+
+        // No requirements: nothing can be missing.
+        assert!(missing_required(&[], &m).is_empty());
     }
 }

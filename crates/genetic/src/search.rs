@@ -110,7 +110,9 @@ impl Scorer {
         }
     }
 
-    /// Grid size of the underlying evaluator (work-size heuristic input).
+    /// Grid size of the underlying evaluator (work-size heuristic input;
+    /// consulted by the parallel scoring pool only).
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
     pub(crate) fn data_size(&self) -> usize {
         self.evaluator.data_size()
     }
@@ -205,8 +207,10 @@ impl GeneticSearch {
         &self.config
     }
 
-    /// Test-only access to the shared scorer.
+    /// Test-only access to the shared scorer (used by the pool tests, so
+    /// it is dead code in a serial test build).
     #[cfg(test)]
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
     pub(crate) fn scorer_for_tests(&self) -> &Arc<Scorer> {
         &self.scorer
     }

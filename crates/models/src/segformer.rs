@@ -121,8 +121,10 @@ impl Block {
         let kt = g.transpose_last2(k3);
         let scores = g.batch_matmul(q3, kt);
         let scaled = g.scale(scores, 1.0 / (c as f32).sqrt());
-        // Softmax decomposed into EXP + DIV through the backend.
-        let attn = g.softmax_rows(scaled);
+        // Fused softmax node — EXP + DIV still go through the backend
+        // (one whole-tensor call each), bit-identical to the unfused
+        // `softmax_rows` decomposition it replaces.
+        let attn = g.softmax(scaled);
         let ctx = g.batch_matmul(attn, v3);
         let projected = self.proj.apply(g, ps, ctx);
         let x = g.add(x, projected);

@@ -12,8 +12,12 @@ use gqa_tensor::{ExactBackend, UnaryBackend, UnaryKind};
 /// two forward passes changes the serving datapath in place.
 ///
 /// Reads take a shared lock per *tensor* operation (the graph batches
-/// per-tensor, not per-element), so the overhead is a few nanoseconds per
-/// operator application.
+/// per-tensor, not per-element) only long enough to clone the delegate
+/// `Arc` — the delegate itself runs with the lock released, so a
+/// [`swap`] never blocks behind an in-flight evaluation (and a delegate
+/// may even trigger a swap from inside its own evaluation, which the
+/// swap-under-fused-eval tests exploit). Overhead is a few nanoseconds
+/// per operator application.
 ///
 /// [`swap`]: HotSwapBackend::swap
 pub struct HotSwapBackend {
@@ -58,26 +62,29 @@ impl HotSwapBackend {
 
 impl UnaryBackend for HotSwapBackend {
     fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
-        self.current.read().expect("backend lock").eval(kind, x)
+        self.current().eval(kind, x)
     }
 
     fn eval_many(&self, kind: UnaryKind, xs: &[f64], out: &mut [f64]) {
-        self.current
-            .read()
-            .expect("backend lock")
-            .eval_many(kind, xs, out);
+        self.current().eval_many(kind, xs, out);
     }
 
-    /// Resolves the delegate **once per tensor**, not once per staging
-    /// chunk: the whole buffer is evaluated by a single backend even if a
-    /// [`swap`](HotSwapBackend::swap) lands mid-call, so a tensor never
-    /// mixes two datapaths (the swap-under-eval guarantee; pinned by
-    /// `tests/hotswap.rs`).
+    /// Resolves the delegate **once per tensor stage**, not once per
+    /// staging chunk or per row: the whole buffer is evaluated by a single
+    /// backend even if a [`swap`](HotSwapBackend::swap) lands mid-call, so
+    /// a tensor never mixes two datapaths (the swap-under-eval guarantee;
+    /// pinned by `tests/hotswap.rs`).
+    ///
+    /// The delegate `Arc` is cloned and the lock released *before* the
+    /// delegate runs (see the impl note on the other methods too), which
+    /// is what "swap-under-fused-eval" relies on: a fused
+    /// softmax/LayerNorm node makes one such call per non-linear stage
+    /// (EXP, then DIV; or RSQRT), a swap may land between those stages
+    /// without blocking behind the in-flight evaluation — and because the
+    /// unfused assemblies make the *same* sequence of tensor-level calls,
+    /// a swap at any point leaves fused and unfused outputs bit-identical.
     fn eval_many_f32(&self, kind: UnaryKind, xs: &[f32], out: &mut [f32]) {
-        self.current
-            .read()
-            .expect("backend lock")
-            .eval_many_f32(kind, xs, out);
+        self.current().eval_many_f32(kind, xs, out);
     }
 }
 

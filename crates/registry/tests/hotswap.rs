@@ -104,3 +104,142 @@ fn graph_sees_the_swap_between_forward_passes() {
     hs.swap(Arc::new(ConstBackend(5.0)));
     assert_eq!(forward(&hs), vec![5.0, 5.0, 5.0]);
 }
+
+// ---------------------------------------------------------------------------
+// Swap-under-fused-eval semantics.
+// ---------------------------------------------------------------------------
+
+use std::sync::Mutex;
+
+use gqa_tensor::{eval_many_f32_via_f64, ExactBackend, Graph, Tensor};
+
+/// An exact-math delegate that fires one deferred [`HotSwapBackend::swap`]
+/// from *inside* its own EXP evaluation — deterministically simulating an
+/// operator swap landing while a softmax (fused or unfused) is mid-node,
+/// after the EXP stage resolved its datapath but before the DIV stage
+/// runs. Relies on `HotSwapBackend` releasing its lock before the
+/// delegate runs.
+type ArmedSwap = (Arc<HotSwapBackend>, Arc<dyn UnaryBackend>);
+
+struct SwapDuringExp {
+    cell: Mutex<Option<ArmedSwap>>,
+}
+
+impl SwapDuringExp {
+    fn arm(cell: Arc<HotSwapBackend>, next: Arc<dyn UnaryBackend>) -> Self {
+        Self {
+            cell: Mutex::new(Some((cell, next))),
+        }
+    }
+}
+
+impl UnaryBackend for SwapDuringExp {
+    fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
+        kind.exact(x)
+    }
+
+    fn eval_many_f32(&self, kind: UnaryKind, xs: &[f32], out: &mut [f32]) {
+        eval_many_f32_via_f64(self, kind, xs, out);
+        if kind == UnaryKind::Exp {
+            if let Some((cell, next)) = self.cell.lock().expect("armed once").take() {
+                cell.swap(next);
+            }
+        }
+    }
+}
+
+/// A delegate whose reciprocal is deliberately wrong (off by ×2), so a
+/// swap landing between a softmax's EXP and DIV stages is visible in the
+/// output.
+struct DoubledRecip;
+
+impl UnaryBackend for DoubledRecip {
+    fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
+        match kind {
+            UnaryKind::Recip => 2.0 / x,
+            other => other.exact(x),
+        }
+    }
+}
+
+/// A swap occurring between rows/stages of a fused softmax node must (a)
+/// actually take effect for the later stage — never torn within a stage —
+/// and (b) leave the fused output bit-identical to the unfused assembly
+/// under the *same* scripted swap, because both spellings make the same
+/// sequence of tensor-level backend calls.
+#[test]
+fn fused_softmax_swap_mid_node_matches_unfused() {
+    let xs: Vec<f32> = (0..24).map(|i| (i as f32 * 0.61).sin() * 3.0).collect();
+    let run = |fused: bool| {
+        let hs = Arc::new(HotSwapBackend::new(Arc::new(ExactBackend)));
+        hs.swap(Arc::new(SwapDuringExp::arm(
+            Arc::clone(&hs),
+            Arc::new(DoubledRecip),
+        )));
+        let mut g = Graph::new(hs.as_ref());
+        let x = g.input(Tensor::from_vec(xs.clone(), &[4, 6]));
+        let s = if fused {
+            g.softmax(x)
+        } else {
+            g.softmax_rows(x)
+        };
+        g.value(s).data.clone()
+    };
+    let fused = run(true);
+    let unfused = run(false);
+    for (a, b) in fused.iter().zip(&unfused) {
+        assert_eq!(a.to_bits(), b.to_bits(), "fused vs unfused under swap");
+    }
+    // The swap demonstrably landed mid-node: every row now sums to 2
+    // (the doubled reciprocal served the DIV stage).
+    for row in fused.chunks(6) {
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 2.0).abs() < 1e-4, "row sum {sum}");
+    }
+}
+
+/// Same contract for the fused LayerNorm: its single RSQRT stage resolves
+/// one delegate; a swap after the node's evaluation affects only later
+/// nodes, identically in both spellings.
+#[test]
+fn fused_layernorm_swap_between_nodes_matches_unfused() {
+    struct HalvedRsqrt;
+    impl UnaryBackend for HalvedRsqrt {
+        fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
+            match kind {
+                UnaryKind::Rsqrt => 0.5 / x.sqrt(),
+                other => other.exact(x),
+            }
+        }
+    }
+    let xs: Vec<f32> = (0..30).map(|i| (i as f32 * 0.37).cos() * 2.0).collect();
+    let run = |fused: bool| {
+        let hs = HotSwapBackend::new(Arc::new(ExactBackend));
+        let mut g = Graph::new(&hs);
+        let x = g.input(Tensor::from_vec(xs.clone(), &[5, 6]));
+        let first = if fused {
+            g.layer_norm(x, 1e-5)
+        } else {
+            g.layernorm_rows(x, 1e-5)
+        };
+        hs.swap(Arc::new(HalvedRsqrt));
+        let second = if fused {
+            g.layer_norm(x, 1e-5)
+        } else {
+            g.layernorm_rows(x, 1e-5)
+        };
+        (g.value(first).data.clone(), g.value(second).data.clone())
+    };
+    let (f1, f2) = run(true);
+    let (u1, u2) = run(false);
+    for (a, b) in f1.iter().zip(&u1) {
+        assert_eq!(a.to_bits(), b.to_bits(), "pre-swap");
+    }
+    for (a, b) in f2.iter().zip(&u2) {
+        assert_eq!(a.to_bits(), b.to_bits(), "post-swap");
+    }
+    // And the swap visibly halved the normalized scale.
+    for (a, b) in f1.iter().zip(&f2) {
+        assert!((a * 0.5 - b).abs() < 1e-5, "{a} vs {b}");
+    }
+}

@@ -1,6 +1,8 @@
 //! Registry semantics: same-key hits, LRU capacity eviction, single-flight
 //! build deduplication, and snapshot round-tripping.
 
+// Only the single-flight test (parallel builds) needs the atomics.
+#[cfg(feature = "parallel")]
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 

@@ -18,12 +18,15 @@
 #![allow(unsafe_code)]
 
 use std::arch::x86_64::{
-    __m256i, _mm256_add_epi64, _mm256_add_pd, _mm256_castpd256_pd128, _mm256_cmpgt_epi64,
-    _mm256_div_pd, _mm256_extractf128_pd, _mm256_i64gather_epi64, _mm256_loadu_pd, _mm256_loadu_ps,
-    _mm256_loadu_si256, _mm256_max_pd, _mm256_max_ps, _mm256_min_pd, _mm256_mul_epu32,
-    _mm256_mul_pd, _mm256_set1_epi64x, _mm256_set1_pd, _mm256_setzero_pd, _mm256_setzero_ps,
-    _mm256_slli_epi64, _mm256_srli_epi64, _mm256_storeu_pd, _mm256_storeu_ps, _mm256_storeu_si256,
-    _mm256_sub_pd, _mm_add_pd, _mm_cvtsd_f64, _mm_unpackhi_pd,
+    __m256, __m256d, __m256i, _mm256_add_epi64, _mm256_add_pd, _mm256_add_ps,
+    _mm256_castpd256_pd128, _mm256_castps256_ps128, _mm256_cmpgt_epi64, _mm256_div_pd,
+    _mm256_extractf128_pd, _mm256_extractf128_ps, _mm256_i64gather_epi64, _mm256_loadu_pd,
+    _mm256_loadu_ps, _mm256_loadu_si256, _mm256_max_pd, _mm256_max_ps, _mm256_min_pd,
+    _mm256_mul_epu32, _mm256_mul_pd, _mm256_mul_ps, _mm256_set1_epi64x, _mm256_set1_pd,
+    _mm256_set1_ps, _mm256_setzero_pd, _mm256_setzero_ps, _mm256_slli_epi64, _mm256_srli_epi64,
+    _mm256_storeu_pd, _mm256_storeu_ps, _mm256_storeu_si256, _mm256_sub_pd, _mm256_sub_ps,
+    _mm_add_pd, _mm_add_ps, _mm_add_ss, _mm_cvtsd_f64, _mm_cvtss_f32, _mm_max_pd, _mm_max_ps,
+    _mm_max_ss, _mm_movehl_ps, _mm_shuffle_ps, _mm_unpackhi_pd,
 };
 
 #[target_feature(enable = "avx2")]
@@ -209,6 +212,234 @@ pub unsafe fn hswish_f64(xs: &[f64], out: &mut [f64]) {
     while i < n {
         let x = *xs.get_unchecked(i);
         *out.get_unchecked_mut(i) = x * (x + 3.0).clamp(0.0, 6.0) / 6.0;
+        i += 1;
+    }
+}
+
+/// Horizontal combine of eight f32 lane accumulators in the pinned order:
+/// `(p0 + p2) + (p1 + p3)` over `p_j = l_j + l_{j+4}`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_f32(accv: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(accv);
+    let hi = _mm256_extractf128_ps::<1>(accv);
+    let p = _mm_add_ps(lo, hi); // [l0+l4, l1+l5, l2+l6, l3+l7]
+    let q = _mm_add_ps(p, _mm_movehl_ps(p, p)); // [p0+p2, p1+p3, ..]
+    _mm_cvtss_f32(_mm_add_ss(q, _mm_shuffle_ps::<1>(q, q)))
+}
+
+/// Horizontal maxps combine of eight f32 lanes in the same pair order as
+/// [`hsum_f32`].
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hmax_f32(accv: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(accv);
+    let hi = _mm256_extractf128_ps::<1>(accv);
+    let p = _mm_max_ps(lo, hi);
+    let q = _mm_max_ps(p, _mm_movehl_ps(p, p));
+    _mm_cvtss_f32(_mm_max_ss(q, _mm_shuffle_ps::<1>(q, q)))
+}
+
+/// `(l0 + l2) + (l1 + l3)` over four f64 lanes (the `sum_sq_diff` shape).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_f64(accv: __m256d) -> f64 {
+    let lo = _mm256_castpd256_pd128(accv);
+    let hi = _mm256_extractf128_pd::<1>(accv);
+    let pair = _mm_add_pd(lo, hi); // [l0+l2, l1+l3]
+    _mm_cvtsd_f64(_mm_add_pd(pair, _mm_unpackhi_pd(pair, pair)))
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_f32(xs: &[f32]) -> f32 {
+    let n = xs.len();
+    let n8 = n - n % 8;
+    let mut accv = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i < n8 {
+        accv = _mm256_add_ps(accv, _mm256_loadu_ps(xs.as_ptr().add(i)));
+        i += 8;
+    }
+    let mut acc = hsum_f32(accv);
+    for j in n8..n {
+        acc += *xs.get_unchecked(j);
+    }
+    acc
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_sq_f32(xs: &[f32]) -> f32 {
+    let n = xs.len();
+    let n8 = n - n % 8;
+    let mut accv = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i < n8 {
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        accv = _mm256_add_ps(accv, _mm256_mul_ps(x, x));
+        i += 8;
+    }
+    let mut acc = hsum_f32(accv);
+    for j in n8..n {
+        let x = *xs.get_unchecked(j);
+        acc += x * x;
+    }
+    acc
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn max_f32(xs: &[f32]) -> f32 {
+    let n = xs.len();
+    let n8 = n - n % 8;
+    let mut accv = _mm256_set1_ps(f32::NEG_INFINITY);
+    let mut i = 0usize;
+    while i < n8 {
+        accv = _mm256_max_ps(accv, _mm256_loadu_ps(xs.as_ptr().add(i)));
+        i += 8;
+    }
+    let mut acc = hmax_f32(accv);
+    for j in n8..n {
+        acc = crate::scalar::maxps(acc, *xs.get_unchecked(j));
+    }
+    acc
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_f64(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    let n4 = n - n % 4;
+    let mut accv = _mm256_setzero_pd();
+    let mut i = 0usize;
+    while i < n4 {
+        accv = _mm256_add_pd(accv, _mm256_loadu_pd(xs.as_ptr().add(i)));
+        i += 4;
+    }
+    let mut acc = hsum_f64(accv);
+    for j in n4..n {
+        acc += *xs.get_unchecked(j);
+    }
+    acc
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_sq_f64(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    let n4 = n - n % 4;
+    let mut accv = _mm256_setzero_pd();
+    let mut i = 0usize;
+    while i < n4 {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        accv = _mm256_add_pd(accv, _mm256_mul_pd(x, x));
+        i += 4;
+    }
+    let mut acc = hsum_f64(accv);
+    for j in n4..n {
+        let x = *xs.get_unchecked(j);
+        acc += x * x;
+    }
+    acc
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn max_f64(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    let n4 = n - n % 4;
+    let mut accv = _mm256_set1_pd(f64::NEG_INFINITY);
+    let mut i = 0usize;
+    while i < n4 {
+        accv = _mm256_max_pd(accv, _mm256_loadu_pd(xs.as_ptr().add(i)));
+        i += 4;
+    }
+    let lo = _mm256_castpd256_pd128(accv);
+    let hi = _mm256_extractf128_pd::<1>(accv);
+    let pair = _mm_max_pd(lo, hi); // [maxps(l0,l2), maxps(l1,l3)]
+    let mut acc = _mm_cvtsd_f64(_mm_max_pd(pair, _mm_unpackhi_pd(pair, pair)));
+    for j in n4..n {
+        acc = crate::scalar::maxps(acc, *xs.get_unchecked(j));
+    }
+    acc
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn sub_scalar_f32(c: f32, xs: &[f32], out: &mut [f32]) {
+    let n = xs.len();
+    let cv = _mm256_set1_ps(c);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_sub_ps(x, cv));
+        i += 8;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = *xs.get_unchecked(i) - c;
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn sub_scalar_f64(c: f64, xs: &[f64], out: &mut [f64]) {
+    let n = xs.len();
+    let cv = _mm256_set1_pd(c);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_sub_pd(x, cv));
+        i += 4;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = *xs.get_unchecked(i) - c;
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn scale_f32(c: f32, xs: &[f32], out: &mut [f32]) {
+    let n = xs.len();
+    let cv = _mm256_set1_ps(c);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_mul_ps(x, cv));
+        i += 8;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = *xs.get_unchecked(i) * c;
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn scale_f64(c: f64, xs: &[f64], out: &mut [f64]) {
+    let n = xs.len();
+    let cv = _mm256_set1_pd(c);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_mul_pd(x, cv));
+        i += 4;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = *xs.get_unchecked(i) * c;
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn norm_affine_f32(inv: f32, gamma: &[f32], beta: &[f32], xs: &[f32], out: &mut [f32]) {
+    let n = xs.len();
+    let iv = _mm256_set1_ps(inv);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        let g = _mm256_loadu_ps(gamma.as_ptr().add(i));
+        let b = _mm256_loadu_ps(beta.as_ptr().add(i));
+        // ((x·inv)·γ) + β with separate mul/add — no FMA contraction.
+        let y = _mm256_add_ps(_mm256_mul_ps(_mm256_mul_ps(x, iv), g), b);
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), y);
+        i += 8;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) =
+            ((*xs.get_unchecked(i) * inv) * *gamma.get_unchecked(i)) + *beta.get_unchecked(i);
         i += 1;
     }
 }

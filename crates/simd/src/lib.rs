@@ -17,6 +17,14 @@
 //!   **pinned reduction shape** (see below).
 //! * [`relu_f64`] / [`hswish_f64`] / [`relu_f32`] — the branch-free unary
 //!   activations of the tensor backend.
+//! * [`sum_f32`] / [`sum_sq_f32`] / [`max_f32`] (+ `f64` twins) — the
+//!   **pinned-order row reductions** of the fused softmax/LayerNorm
+//!   execution layer, shared with the unfused `row_sum` / `row_mean` /
+//!   `row_max_sub_detach` graph primitives so fused ≡ unfused holds bit
+//!   for bit.
+//! * [`sub_scalar_f32`] / [`scale_f32`] / [`norm_affine_f32`] (+ `f64`
+//!   twins where applicable) — the element-wise row sweeps those fused
+//!   kernels are assembled from.
 //!
 //! ## Dispatch and exactness contract
 //!
@@ -257,6 +265,146 @@ pub fn relu_f32(xs: &[f32], out: &mut [f32]) {
     scalar::relu_f32(xs, out);
 }
 
+// ---------------------------------------------------------------------------
+// Pinned-order row kernels (the fused softmax/LayerNorm sweep primitives).
+// ---------------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($avx2:expr, $scalar:expr) => {{
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just detected; slice bounds are the
+            // callee's only pointer source.
+            return unsafe { $avx2 };
+        }
+        $scalar
+    }};
+}
+
+/// Pinned-order sum of an `f32` row: stride-8 lane accumulators over the
+/// aligned prefix, lanes combined pairwise as `p_j = l_j + l_{j+4}`, the
+/// partials as `(p0 + p2) + (p1 + p3)`, then a sequential tail. The scalar
+/// fallback replays this shape exactly, so the result is bit-identical
+/// with the `simd` feature on or off. Returns `0.0` for an empty row.
+///
+/// This is the row-sum of the fused softmax (denominator) and LayerNorm
+/// (mean) kernels — and of the unfused `row_sum`/`row_mean` graph
+/// primitives, which share it so fused ≡ unfused stays `assert_eq!`-able.
+#[must_use]
+pub fn sum_f32(xs: &[f32]) -> f32 {
+    dispatch!(avx2::sum_f32(xs), scalar::sum_f32(xs))
+}
+
+/// Pinned-order sum of squares `Σ x_i²` of an `f32` row — the same lane
+/// shape as [`sum_f32`], with each element squared (separate mul, no FMA)
+/// before accumulation. Summing a pre-squared buffer with [`sum_f32`]
+/// yields the identical result bit for bit, which is what keeps the fused
+/// LayerNorm variance equal to the unfused `mul → row_mean` assembly.
+#[must_use]
+pub fn sum_sq_f32(xs: &[f32]) -> f32 {
+    dispatch!(avx2::sum_sq_f32(xs), scalar::sum_sq_f32(xs))
+}
+
+/// Pinned-order row max of an `f32` row with `maxps` semantics: the
+/// accumulator survives only a strict compare, so ±0.0 ties and NaN
+/// elements resolve to the newer operand, exactly like the vector
+/// instruction (`f32::max` would leave the `-0.0` tie unspecified and
+/// skip NaNs). Lane combine uses the same pair order as [`sum_f32`].
+/// Returns `-∞` for an empty row.
+#[must_use]
+pub fn max_f32(xs: &[f32]) -> f32 {
+    dispatch!(avx2::max_f32(xs), scalar::max_f32(xs))
+}
+
+/// Pinned-order sum of an `f64` row: the four-lane `sum_sq_diff` shape —
+/// stride-4 lane accumulators, `(l0 + l2) + (l1 + l3)` combine,
+/// sequential tail. Bit-identical simd on/off. Returns `0.0` when empty.
+#[must_use]
+pub fn sum_f64(xs: &[f64]) -> f64 {
+    dispatch!(avx2::sum_f64(xs), scalar::sum_f64(xs))
+}
+
+/// Pinned-order sum of squares of an `f64` row (four-lane shape of
+/// [`sum_f64`], squaring before accumulation).
+#[must_use]
+pub fn sum_sq_f64(xs: &[f64]) -> f64 {
+    dispatch!(avx2::sum_sq_f64(xs), scalar::sum_sq_f64(xs))
+}
+
+/// Pinned-order row max of an `f64` row (`maxpd` semantics, four-lane
+/// combine in the [`sum_f64`] pair order). Returns `-∞` when empty.
+#[must_use]
+pub fn max_f64(xs: &[f64]) -> f64 {
+    dispatch!(avx2::max_f64(xs), scalar::max_f64(xs))
+}
+
+/// `out[i] = xs[i] − c` — the row-shift sweep of the fused softmax
+/// (subtracting the row max) and LayerNorm (subtracting the mean).
+/// Element-wise, so trivially bit-identical simd on/off.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn sub_scalar_f32(c: f32, xs: &[f32], out: &mut [f32]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    dispatch!(
+        avx2::sub_scalar_f32(c, xs, out),
+        scalar::sub_scalar_f32(c, xs, out)
+    )
+}
+
+/// `out[i] = xs[i] − c` in `f64` (twin of [`sub_scalar_f32`]).
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn sub_scalar_f64(c: f64, xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    dispatch!(
+        avx2::sub_scalar_f64(c, xs, out),
+        scalar::sub_scalar_f64(c, xs, out)
+    )
+}
+
+/// `out[i] = xs[i] · c` — the deferred-rescale sweep of the fused softmax
+/// (multiplying a row of exponentials by the reciprocal denominator).
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn scale_f32(c: f32, xs: &[f32], out: &mut [f32]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    dispatch!(avx2::scale_f32(c, xs, out), scalar::scale_f32(c, xs, out))
+}
+
+/// `out[i] = xs[i] · c` in `f64` (twin of [`scale_f32`]).
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn scale_f64(c: f64, xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    dispatch!(avx2::scale_f64(c, xs, out), scalar::scale_f64(c, xs, out))
+}
+
+/// The fused LayerNorm affine sweep over one row:
+/// `out[j] = ((xs[j] · inv) · gamma[j]) + beta[j]` with separate mul/add
+/// (no FMA contraction), matching the unfused
+/// `mul_row → mul(γ) → add_bias_last(β)` spelling bit for bit.
+///
+/// # Panics
+///
+/// Panics if the four slice lengths differ.
+pub fn norm_affine_f32(inv: f32, gamma: &[f32], beta: &[f32], xs: &[f32], out: &mut [f32]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    assert_eq!(gamma.len(), xs.len(), "gamma length mismatch");
+    assert_eq!(beta.len(), xs.len(), "beta length mismatch");
+    dispatch!(
+        avx2::norm_affine_f32(inv, gamma, beta, xs, out),
+        scalar::norm_affine_f32(inv, gamma, beta, xs, out)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +534,115 @@ mod tests {
         }
     }
 
+    #[test]
+    fn sum_f32_matches_pinned_order() {
+        for n in [0usize, 1, 7, 8, 9, 16, 23, 801] {
+            let xs: Vec<f32> = (0..n)
+                .map(|i| (i as f32 - n as f32 / 2.0) * 0.173)
+                .collect();
+            let got = sum_f32(&xs);
+            // Replay the documented eight-lane reduction shape by hand.
+            let n8 = n - n % 8;
+            let mut lanes = [0.0f32; 8];
+            for c in xs[..n8].chunks_exact(8) {
+                for (l, &x) in lanes.iter_mut().zip(c) {
+                    *l += x;
+                }
+            }
+            let p = [
+                lanes[0] + lanes[4],
+                lanes[1] + lanes[5],
+                lanes[2] + lanes[6],
+                lanes[3] + lanes[7],
+            ];
+            let mut want = (p[0] + p[2]) + (p[1] + p[3]);
+            for &x in &xs[n8..] {
+                want += x;
+            }
+            assert_eq!(got.to_bits(), want.to_bits(), "n={n}");
+
+            // Squares: sum_sq over the raw row equals sum over the
+            // pre-squared row, bit for bit (the LayerNorm variance
+            // contract).
+            let sq: Vec<f32> = xs.iter().map(|&x| x * x).collect();
+            assert_eq!(sum_sq_f32(&xs).to_bits(), sum_f32(&sq).to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn max_f32_pins_maxps_semantics() {
+        let xs: Vec<f32> = (0..57).map(|i| ((i * 37) % 53) as f32 - 26.0).collect();
+        assert_eq!(max_f32(&xs), 26.0);
+        assert_eq!(max_f32(&[]), f32::NEG_INFINITY);
+        // ±0.0 tie resolves like maxps: the later operand wins the strict
+        // compare, so a row of -0.0 then +0.0 yields +0.0 …
+        assert_eq!(max_f32(&[-0.0, 0.0]).to_bits(), 0.0f32.to_bits());
+        // … and NaN inputs propagate per the strict-compare rule (the last
+        // element dominates when nothing compares greater).
+        assert!(max_f32(&[1.0, f32::NAN]).is_nan());
+        assert_eq!(max_f32(&[f32::NAN, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn f64_row_reductions_match_pinned_order() {
+        for n in [0usize, 1, 3, 4, 5, 13, 401] {
+            let xs = xs_f64(n);
+            let n4 = n - n % 4;
+            let mut lanes = [0.0f64; 4];
+            for c in xs[..n4].chunks_exact(4) {
+                for (l, &x) in lanes.iter_mut().zip(c) {
+                    *l += x;
+                }
+            }
+            let mut want = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+            for &x in &xs[n4..] {
+                want += x;
+            }
+            assert_eq!(sum_f64(&xs).to_bits(), want.to_bits(), "n={n}");
+
+            let sq: Vec<f64> = xs.iter().map(|&x| x * x).collect();
+            assert_eq!(sum_sq_f64(&xs).to_bits(), sum_f64(&sq).to_bits(), "n={n}");
+
+            let want_max = xs.iter().fold(f64::NEG_INFINITY, |a, &x| a.max(x));
+            if n > 0 {
+                assert_eq!(max_f64(&xs), want_max, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_row_sweeps_match_scalar_spelling() {
+        let n = 37;
+        let xs32: Vec<f32> = (0..n).map(|i| (i as f32 - 17.0) * 0.31).collect();
+        let mut out32 = vec![0.0f32; n];
+        sub_scalar_f32(0.625, &xs32, &mut out32);
+        for (&x, &y) in xs32.iter().zip(&out32) {
+            assert_eq!(y.to_bits(), (x - 0.625).to_bits());
+        }
+        scale_f32(1.7, &xs32, &mut out32);
+        for (&x, &y) in xs32.iter().zip(&out32) {
+            assert_eq!(y.to_bits(), (x * 1.7).to_bits());
+        }
+        let gamma: Vec<f32> = (0..n).map(|i| 1.0 + i as f32 * 0.01).collect();
+        let beta: Vec<f32> = (0..n).map(|i| i as f32 * 0.02 - 0.3).collect();
+        norm_affine_f32(0.8, &gamma, &beta, &xs32, &mut out32);
+        for j in 0..n {
+            let want = ((xs32[j] * 0.8) * gamma[j]) + beta[j];
+            assert_eq!(out32[j].to_bits(), want.to_bits(), "j={j}");
+        }
+
+        let xs64 = xs_f64(n);
+        let mut out64 = vec![0.0f64; n];
+        sub_scalar_f64(0.625, &xs64, &mut out64);
+        for (&x, &y) in xs64.iter().zip(&out64) {
+            assert_eq!(y.to_bits(), (x - 0.625).to_bits());
+        }
+        scale_f64(1.7, &xs64, &mut out64);
+        for (&x, &y) in xs64.iter().zip(&out64) {
+            assert_eq!(y.to_bits(), (x * 1.7).to_bits());
+        }
+    }
+
     /// Every dispatched kernel must agree with the scalar module bit for
     /// bit on this machine, whichever path runs.
     #[test]
@@ -409,5 +666,30 @@ mod tests {
             sum_sq_diff(&xs, &a).to_bits(),
             scalar::sum_sq_diff(&xs, &a).to_bits()
         );
+
+        // The pinned row-reduction kernels, whichever path dispatched.
+        let xs32: Vec<f32> = xs.iter().map(|&v| v as f32).collect();
+        assert_eq!(sum_f32(&xs32).to_bits(), scalar::sum_f32(&xs32).to_bits());
+        assert_eq!(
+            sum_sq_f32(&xs32).to_bits(),
+            scalar::sum_sq_f32(&xs32).to_bits()
+        );
+        assert_eq!(max_f32(&xs32).to_bits(), scalar::max_f32(&xs32).to_bits());
+        assert_eq!(sum_f64(&xs).to_bits(), scalar::sum_f64(&xs).to_bits());
+        assert_eq!(sum_sq_f64(&xs).to_bits(), scalar::sum_sq_f64(&xs).to_bits());
+        assert_eq!(max_f64(&xs).to_bits(), scalar::max_f64(&xs).to_bits());
+        let (mut a32, mut b32) = (vec![0.0f32; 97], vec![0.0f32; 97]);
+        sub_scalar_f32(0.3, &xs32, &mut a32);
+        scalar::sub_scalar_f32(0.3, &xs32, &mut b32);
+        assert!(a32
+            .iter()
+            .zip(&b32)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        scale_f32(0.3, &xs32, &mut a32);
+        scalar::scale_f32(0.3, &xs32, &mut b32);
+        assert!(a32
+            .iter()
+            .zip(&b32)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 }

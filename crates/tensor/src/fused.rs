@@ -1,0 +1,347 @@
+//! The fused softmax/LayerNorm execution layer.
+//!
+//! The graph's composite helpers ([`Graph::softmax_rows`] /
+//! [`Graph::layernorm_rows`]) assemble these operators from five-plus
+//! unfused per-tensor primitives, materializing an intermediate tensor
+//! (plus a gradient slot) between every pair. The drivers here compute the
+//! same values in a handful of cache-resident row sweeps writing straight
+//! into the output buffer — no tape nodes, no intermediate tensors.
+//!
+//! ## Exactness contract
+//!
+//! Every driver is **bit-identical** to the unfused graph assembly it
+//! replaces, by construction:
+//!
+//! * Row reductions (max, sum, sum-of-squares) go through the
+//!   pinned-order kernels of `gqa-simd` ([`gqa_simd::max_f32`],
+//!   [`gqa_simd::sum_f32`], [`gqa_simd::sum_sq_f32`] and their `f64`
+//!   twins) — the *same* kernels the unfused `row_sum` / `row_mean` /
+//!   `row_max_sub_detach` primitives use, so fused ≡ unfused and
+//!   simd-on ≡ simd-off simultaneously.
+//! * Each non-linear stage (EXP, DIV, RSQRT) is **one whole-tensor
+//!   [`UnaryBackend`] call**, exactly like the unfused graph: LUT-served
+//!   datapaths keep their batch kernels, and a hot-swapped backend (see
+//!   `gqa-registry`) resolves its delegate once per stage — a swap landing
+//!   mid-node changes the datapath *between* stages, never inside a row,
+//!   in both the fused and unfused spellings.
+//! * Element-wise sweeps (shift, rescale, affine) use the separate-mul/add
+//!   kernels, matching the unfused spelling operation for operation.
+//!
+//! The property suite in `tests/fused_equivalence.rs` pins the contract
+//! with `to_bits` comparisons across shapes, chunk seams, and backends.
+//!
+//! [`Graph::softmax_rows`]: crate::Graph::softmax_rows
+//! [`Graph::layernorm_rows`]: crate::Graph::layernorm_rows
+
+use crate::backend::{UnaryBackend, UnaryKind};
+
+/// A fused row operator, as a value: the public surface benches and
+/// drivers dispatch on. [`Graph`](crate::Graph) records fused nodes with
+/// saved backward state instead; this enum is the stateless entry point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedOp {
+    /// Numerically stable softmax over rows of length `cols`
+    /// (row-max shift → EXP → row sum → DIV → deferred rescale).
+    Softmax,
+    /// LayerNorm over rows of length `cols` (mean/variance in the pinned
+    /// two-accumulator shape → RSQRT → normalize), without affine.
+    LayerNorm {
+        /// Variance stabilizer added before the RSQRT stage.
+        eps: f32,
+    },
+}
+
+impl FusedOp {
+    /// Evaluates the fused operator over an `f32` buffer of `cols`-length
+    /// rows, discarding the backward artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0`, `xs.len()` is not a multiple of `cols`, or
+    /// the buffer lengths differ.
+    pub fn eval_f32(self, backend: &dyn UnaryBackend, xs: &[f32], cols: usize, out: &mut [f32]) {
+        match self {
+            FusedOp::Softmax => {
+                let _ = softmax_rows_f32(backend, xs, cols, out);
+            }
+            FusedOp::LayerNorm { eps } => {
+                let _ = layer_norm_rows_f32(backend, xs, cols, eps, None, out);
+            }
+        }
+    }
+}
+
+/// Forward-pass state the fused softmax keeps for its backward pass: the
+/// backend's EXP outputs and reciprocal denominators (the two values that
+/// cannot be recomputed later, because the backend may have been swapped).
+#[derive(Debug, Clone)]
+pub struct SoftmaxSaved {
+    /// `exp(x − rowmax)` as the backend produced it, full tensor size.
+    pub exp: Vec<f32>,
+    /// Backend reciprocal of each row's denominator, one per row.
+    pub inv: Vec<f32>,
+}
+
+/// Forward-pass state the fused LayerNorm keeps for its backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormSaved {
+    /// `x − μ` per element, full tensor size.
+    pub centered: Vec<f32>,
+    /// Backend `1/√(var + eps)` per row.
+    pub inv_std: Vec<f32>,
+    /// `var + eps` per row (the RSQRT stage's input, needed for the
+    /// straight-through derivative).
+    pub var_eps: Vec<f32>,
+}
+
+fn check_rows(len: usize, cols: usize, out_len: usize) -> usize {
+    assert!(cols > 0, "rows must have at least one element");
+    assert_eq!(len % cols, 0, "buffer not a whole number of rows");
+    assert_eq!(len, out_len, "batch length mismatch");
+    len / cols
+}
+
+/// Fused numerically-stable softmax over `cols`-length rows of `xs` into
+/// `out`, bit-identical to the unfused
+/// `row_max_sub_detach → exp → row_sum → recip → mul_row` graph assembly.
+///
+/// One sweep computes each row's pinned-order max and writes the shifted
+/// row (staged in `out`); a single whole-tensor EXP backend call follows;
+/// one sweep takes pinned-order row sums; a single backend DIV call
+/// produces the reciprocals; the final sweep applies the deferred rescale.
+///
+/// # Panics
+///
+/// Panics if `cols == 0`, `xs.len()` is not a multiple of `cols`, or the
+/// buffer lengths differ.
+pub fn softmax_rows_f32(
+    backend: &dyn UnaryBackend,
+    xs: &[f32],
+    cols: usize,
+    out: &mut [f32],
+) -> SoftmaxSaved {
+    let rows = check_rows(xs.len(), cols, out.len());
+    // Pass 1: running row max + shift, staged into the output buffer.
+    for (row, orow) in xs.chunks_exact(cols).zip(out.chunks_exact_mut(cols)) {
+        let m = gqa_simd::max_f32(row);
+        gqa_simd::sub_scalar_f32(m, row, orow);
+    }
+    // Stage 2: LUT/exp eval — one whole-tensor backend call, the same
+    // call shape as the unfused graph (hot-swap resolves once here).
+    let mut exp = vec![0.0f32; xs.len()];
+    backend.eval_many_f32(UnaryKind::Exp, out, &mut exp);
+    // Pass 3: pinned-order row sums.
+    let mut sums = vec![0.0f32; rows];
+    for (s, erow) in sums.iter_mut().zip(exp.chunks_exact(cols)) {
+        *s = gqa_simd::sum_f32(erow);
+    }
+    // Stage 4: one backend DIV call over the per-row denominators.
+    let mut inv = vec![0.0f32; rows];
+    backend.eval_many_f32(UnaryKind::Recip, &sums, &mut inv);
+    // Pass 5: deferred rescale.
+    for ((orow, erow), &f) in out
+        .chunks_exact_mut(cols)
+        .zip(exp.chunks_exact(cols))
+        .zip(&inv)
+    {
+        gqa_simd::scale_f32(f, erow, orow);
+    }
+    SoftmaxSaved { exp, inv }
+}
+
+/// Fused LayerNorm over `cols`-length rows, optionally with a per-column
+/// affine `(γ, β)`, bit-identical to the unfused
+/// `row_mean → sub_row → mul → row_mean → add_scalar → rsqrt → mul_row`
+/// assembly (plus `⊙ γ, + β` when affine).
+///
+/// Mean and variance use the pinned two-accumulator shape: one
+/// pinned-order sum for μ, then a pinned-order sum of centered squares
+/// for the variance — the exact reduction sequence of the unfused
+/// decomposition. RSQRT is a single backend call over the per-row
+/// `var + eps` vector.
+///
+/// # Panics
+///
+/// Panics if `cols == 0`, `xs.len()` is not a multiple of `cols`, the
+/// buffer lengths differ, or an affine slice is not `cols` long.
+pub fn layer_norm_rows_f32(
+    backend: &dyn UnaryBackend,
+    xs: &[f32],
+    cols: usize,
+    eps: f32,
+    affine: Option<(&[f32], &[f32])>,
+    out: &mut [f32],
+) -> LayerNormSaved {
+    let rows = check_rows(xs.len(), cols, out.len());
+    if let Some((gamma, beta)) = affine {
+        assert_eq!(gamma.len(), cols, "gamma must be ({cols})");
+        assert_eq!(beta.len(), cols, "beta must be ({cols})");
+    }
+    let mut centered = vec![0.0f32; xs.len()];
+    let mut var_eps = vec![0.0f32; rows];
+    for (r, (row, crow)) in xs
+        .chunks_exact(cols)
+        .zip(centered.chunks_exact_mut(cols))
+        .enumerate()
+    {
+        let mu = gqa_simd::sum_f32(row) / cols as f32;
+        gqa_simd::sub_scalar_f32(mu, row, crow);
+        let var = gqa_simd::sum_sq_f32(crow) / cols as f32;
+        var_eps[r] = var + eps;
+    }
+    // One backend RSQRT call over the per-row variances.
+    let mut inv_std = vec![0.0f32; rows];
+    backend.eval_many_f32(UnaryKind::Rsqrt, &var_eps, &mut inv_std);
+    for (r, (crow, orow)) in centered
+        .chunks_exact(cols)
+        .zip(out.chunks_exact_mut(cols))
+        .enumerate()
+    {
+        match affine {
+            Some((gamma, beta)) => gqa_simd::norm_affine_f32(inv_std[r], gamma, beta, crow, orow),
+            None => gqa_simd::scale_f32(inv_std[r], crow, orow),
+        }
+    }
+    LayerNormSaved {
+        centered,
+        inv_std,
+        var_eps,
+    }
+}
+
+/// `f64` twin of [`softmax_rows_f32`], routed through
+/// [`UnaryBackend::eval_many`]: the same five-stage shape with the
+/// pinned-order `f64` reductions. Reference spelling for callers that
+/// batch in double precision (the eval spine's native width).
+///
+/// # Panics
+///
+/// Panics if `cols == 0`, `xs.len()` is not a multiple of `cols`, or the
+/// buffer lengths differ.
+pub fn softmax_rows_f64(backend: &dyn UnaryBackend, xs: &[f64], cols: usize, out: &mut [f64]) {
+    let rows = check_rows(xs.len(), cols, out.len());
+    for (row, orow) in xs.chunks_exact(cols).zip(out.chunks_exact_mut(cols)) {
+        let m = gqa_simd::max_f64(row);
+        gqa_simd::sub_scalar_f64(m, row, orow);
+    }
+    let mut exp = vec![0.0f64; xs.len()];
+    backend.eval_many(UnaryKind::Exp, out, &mut exp);
+    let mut sums = vec![0.0f64; rows];
+    for (s, erow) in sums.iter_mut().zip(exp.chunks_exact(cols)) {
+        *s = gqa_simd::sum_f64(erow);
+    }
+    let mut inv = vec![0.0f64; rows];
+    backend.eval_many(UnaryKind::Recip, &sums, &mut inv);
+    for ((orow, erow), &f) in out
+        .chunks_exact_mut(cols)
+        .zip(exp.chunks_exact(cols))
+        .zip(&inv)
+    {
+        gqa_simd::scale_f64(f, erow, orow);
+    }
+}
+
+/// `f64` twin of [`layer_norm_rows_f32`] (no affine), routed through
+/// [`UnaryBackend::eval_many`].
+///
+/// # Panics
+///
+/// Panics if `cols == 0`, `xs.len()` is not a multiple of `cols`, or the
+/// buffer lengths differ.
+pub fn layer_norm_rows_f64(
+    backend: &dyn UnaryBackend,
+    xs: &[f64],
+    cols: usize,
+    eps: f64,
+    out: &mut [f64],
+) {
+    let rows = check_rows(xs.len(), cols, out.len());
+    let mut centered = vec![0.0f64; xs.len()];
+    let mut var_eps = vec![0.0f64; rows];
+    for (r, (row, crow)) in xs
+        .chunks_exact(cols)
+        .zip(centered.chunks_exact_mut(cols))
+        .enumerate()
+    {
+        let mu = gqa_simd::sum_f64(row) / cols as f64;
+        gqa_simd::sub_scalar_f64(mu, row, crow);
+        let var = gqa_simd::sum_sq_f64(crow) / cols as f64;
+        var_eps[r] = var + eps;
+    }
+    let mut inv_std = vec![0.0f64; rows];
+    backend.eval_many(UnaryKind::Rsqrt, &var_eps, &mut inv_std);
+    for (r, (crow, orow)) in centered
+        .chunks_exact(cols)
+        .zip(out.chunks_exact_mut(cols))
+        .enumerate()
+    {
+        gqa_simd::scale_f64(inv_std[r], crow, orow);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ExactBackend;
+
+    #[test]
+    fn fused_softmax_rows_are_distributions() {
+        let xs: Vec<f32> = (0..28).map(|i| (i as f32 - 13.0) * 0.37).collect();
+        let mut out = vec![0.0f32; xs.len()];
+        let saved = softmax_rows_f32(&ExactBackend, &xs, 7, &mut out);
+        assert_eq!(saved.exp.len(), 28);
+        assert_eq!(saved.inv.len(), 4);
+        for row in out.chunks(7) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn fused_layer_norm_standardizes() {
+        let xs: Vec<f32> = (0..32).map(|i| i as f32 * 0.3 - 2.0).collect();
+        let mut out = vec![0.0f32; xs.len()];
+        let _ = layer_norm_rows_f32(&ExactBackend, &xs, 16, 0.0, None, &mut out);
+        for row in out.chunks(16) {
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn empty_buffers_are_fine() {
+        let mut out = [0.0f32; 0];
+        let saved = softmax_rows_f32(&ExactBackend, &[], 5, &mut out);
+        assert!(saved.exp.is_empty() && saved.inv.is_empty());
+        let saved = layer_norm_rows_f32(&ExactBackend, &[], 5, 1e-5, None, &mut out);
+        assert!(saved.centered.is_empty());
+        let mut out64 = [0.0f64; 0];
+        softmax_rows_f64(&ExactBackend, &[], 3, &mut out64);
+        layer_norm_rows_f64(&ExactBackend, &[], 3, 1e-5, &mut out64);
+    }
+
+    #[test]
+    fn one_element_rows() {
+        // Softmax of a single-element row is exactly 1 whatever the input
+        // (exp(0) = 1, recip(1) = 1).
+        let xs = [3.5f32, -2.0, 0.0];
+        let mut out = [0.0f32; 3];
+        let _ = softmax_rows_f32(&ExactBackend, &xs, 1, &mut out);
+        assert_eq!(out, [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn fused_op_enum_dispatches() {
+        let xs: Vec<f32> = (0..12).map(|i| i as f32 * 0.25 - 1.5).collect();
+        let (mut a, mut b) = (vec![0.0f32; 12], vec![0.0f32; 12]);
+        FusedOp::Softmax.eval_f32(&ExactBackend, &xs, 4, &mut a);
+        let _ = softmax_rows_f32(&ExactBackend, &xs, 4, &mut b);
+        assert_eq!(a, b);
+        FusedOp::LayerNorm { eps: 1e-5 }.eval_f32(&ExactBackend, &xs, 4, &mut a);
+        let _ = layer_norm_rows_f32(&ExactBackend, &xs, 4, 1e-5, None, &mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -4,7 +4,10 @@
 //! reverse pass walks nodes in descending id order (a valid reverse
 //! topological order because inputs always precede outputs).
 
+use std::sync::Arc;
+
 use crate::backend::{UnaryBackend, UnaryKind};
+use crate::fused::{self, LayerNormSaved, SoftmaxSaved};
 use crate::tensor_impl::{ParamId, ParamStore, Tensor};
 
 /// Handle to a node in a [`Graph`].
@@ -46,6 +49,16 @@ enum Op {
     },
     MseLoss(NodeId, NodeId),
     MeanAll(NodeId),
+    FusedSoftmax {
+        x: NodeId,
+        saved: Arc<SoftmaxSaved>,
+    },
+    FusedLayerNorm {
+        x: NodeId,
+        gamma: Option<NodeId>,
+        beta: Option<NodeId>,
+        saved: Arc<LayerNormSaved>,
+    },
 }
 
 struct Node {
@@ -308,28 +321,34 @@ impl<'b> Graph<'b> {
 
     /// `x − max(x)` per row with the max detached (the standard stable-
     /// softmax shift; gradient passes through the identity path only).
+    ///
+    /// The max is the pinned-order [`gqa_simd::max_f32`] reduction — the
+    /// same kernel the fused [`Graph::softmax`] uses, which is what keeps
+    /// fused ≡ unfused bit-exact.
     pub fn row_max_sub_detach(&mut self, x: NodeId) -> NodeId {
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
-        let mut data = tx.data.clone();
-        for row in data.chunks_mut(c) {
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            row.iter_mut().for_each(|v| *v -= m);
+        let mut data = vec![0.0f32; tx.data.len()];
+        for (row, orow) in tx.data.chunks_exact(c).zip(data.chunks_exact_mut(c)) {
+            let m = gqa_simd::max_f32(row);
+            gqa_simd::sub_scalar_f32(m, row, orow);
         }
         let t = Tensor::from_vec(data, &tx.shape.clone());
         self.push(Op::RowMaxSubDetach(x), t, None)
     }
 
-    /// Per-row sum: `(…, C) → (rows, 1)`.
+    /// Per-row sum: `(…, C) → (rows, 1)` (pinned-order
+    /// [`gqa_simd::sum_f32`] reduction, shared with the fused layer).
     pub fn row_sum(&mut self, x: NodeId) -> NodeId {
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
         let rows = tx.len() / c;
-        let data: Vec<f32> = tx.data.chunks(c).map(|r| r.iter().sum()).collect();
+        let data: Vec<f32> = tx.data.chunks(c).map(gqa_simd::sum_f32).collect();
         self.push(Op::RowSum(x), Tensor::from_vec(data, &[rows, 1]), None)
     }
 
-    /// Per-row mean: `(…, C) → (rows, 1)`.
+    /// Per-row mean: `(…, C) → (rows, 1)` (pinned-order sum, then one
+    /// divide — the spelling the fused LayerNorm replays).
     pub fn row_mean(&mut self, x: NodeId) -> NodeId {
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
@@ -337,7 +356,7 @@ impl<'b> Graph<'b> {
         let data: Vec<f32> = tx
             .data
             .chunks(c)
-            .map(|r| r.iter().sum::<f32>() / c as f32)
+            .map(|r| gqa_simd::sum_f32(r) / c as f32)
             .collect();
         self.push(Op::RowMean(x), Tensor::from_vec(data, &[rows, 1]), None)
     }
@@ -352,10 +371,14 @@ impl<'b> Graph<'b> {
         let c = *tx.shape.last().expect("non-scalar");
         let rows = tx.len() / c;
         assert_eq!(tr.len(), rows, "row-vector length mismatch");
-        let mut data = tx.data.clone();
-        for (i, row) in data.chunks_mut(c).enumerate() {
-            let f = tr.data[i];
-            row.iter_mut().for_each(|v| *v *= f);
+        let mut data = vec![0.0f32; tx.data.len()];
+        for (i, (row, orow)) in tx
+            .data
+            .chunks_exact(c)
+            .zip(data.chunks_exact_mut(c))
+            .enumerate()
+        {
+            gqa_simd::scale_f32(tr.data[i], row, orow);
         }
         let t = Tensor::from_vec(data, &tx.shape.clone());
         self.push(Op::MulRow(x, r), t, None)
@@ -371,10 +394,14 @@ impl<'b> Graph<'b> {
         let c = *tx.shape.last().expect("non-scalar");
         let rows = tx.len() / c;
         assert_eq!(tr.len(), rows, "row-vector length mismatch");
-        let mut data = tx.data.clone();
-        for (i, row) in data.chunks_mut(c).enumerate() {
-            let s = tr.data[i];
-            row.iter_mut().for_each(|v| *v -= s);
+        let mut data = vec![0.0f32; tx.data.len()];
+        for (i, (row, orow)) in tx
+            .data
+            .chunks_exact(c)
+            .zip(data.chunks_exact_mut(c))
+            .enumerate()
+        {
+            gqa_simd::sub_scalar_f32(tr.data[i], row, orow);
         }
         let t = Tensor::from_vec(data, &tx.shape.clone());
         self.push(Op::SubRow(x, r), t, None)
@@ -552,6 +579,12 @@ impl<'b> Graph<'b> {
     /// Numerically stable softmax over the last dimension, assembled from
     /// `row_max_sub_detach → exp → row_sum → recip → mul_row` so that EXP
     /// and DIV go through the backend (the paper's Softmax decomposition).
+    ///
+    /// This is the unfused **reference assembly**: five tape nodes and as
+    /// many intermediate tensors. [`Graph::softmax`] computes the same
+    /// values (bit for bit, forward and backward) as one fused node; this
+    /// spelling remains the semantic ground truth the property suites
+    /// compare against.
     pub fn softmax_rows(&mut self, x: NodeId) -> NodeId {
         let shifted = self.row_max_sub_detach(x);
         let e = self.unary(shifted, UnaryKind::Exp);
@@ -562,6 +595,9 @@ impl<'b> Graph<'b> {
 
     /// LayerNorm over the last dimension (no affine), assembled from
     /// hookable primitives: mean/variance reductions and an RSQRT unary.
+    ///
+    /// Unfused reference assembly for [`Graph::layer_norm`], kept as the
+    /// ground truth of the fused-equivalence contract.
     pub fn layernorm_rows(&mut self, x: NodeId, eps: f32) -> NodeId {
         let mu = self.row_mean(x);
         let centered = self.sub_row(x, mu);
@@ -570,6 +606,102 @@ impl<'b> Graph<'b> {
         let var_eps = self.add_scalar(var, eps);
         let inv_std = self.unary(var_eps, UnaryKind::Rsqrt);
         self.mul_row(centered, inv_std)
+    }
+
+    // ---- fused row operators ----
+
+    /// Numerically stable softmax over the last dimension as **one fused
+    /// node**: a single-sweep row kernel (pinned-order row max + shift,
+    /// one whole-tensor EXP backend call, pinned-order row sums, one DIV
+    /// backend call, deferred rescale) instead of the five-node
+    /// [`Graph::softmax_rows`] assembly.
+    ///
+    /// Bit-identical to the unfused assembly — forward *and* backward —
+    /// with any deterministic backend, the `simd` feature on or off, and
+    /// under a hot-swap landing mid-node (both spellings make the same
+    /// two tensor-level backend calls). Property-tested in
+    /// `tests/fused_equivalence.rs`.
+    pub fn softmax(&mut self, x: NodeId) -> NodeId {
+        let tx = &self.nodes[x.0].value;
+        let c = *tx.shape.last().expect("non-scalar");
+        let shape = tx.shape.clone();
+        let mut out = vec![0.0f32; tx.data.len()];
+        let saved = fused::softmax_rows_f32(self.backend, &tx.data, c, &mut out);
+        self.push(
+            Op::FusedSoftmax {
+                x,
+                saved: Arc::new(saved),
+            },
+            Tensor::from_vec(out, &shape),
+            None,
+        )
+    }
+
+    /// LayerNorm over the last dimension (no affine) as one fused node —
+    /// the fused twin of [`Graph::layernorm_rows`], single-pass
+    /// mean/variance in the pinned two-accumulator shape plus one RSQRT
+    /// backend call. Bit-identical to the unfused assembly, forward and
+    /// backward.
+    pub fn layer_norm(&mut self, x: NodeId, eps: f32) -> NodeId {
+        let tx = &self.nodes[x.0].value;
+        let c = *tx.shape.last().expect("non-scalar");
+        let shape = tx.shape.clone();
+        let mut out = vec![0.0f32; tx.data.len()];
+        let saved = fused::layer_norm_rows_f32(self.backend, &tx.data, c, eps, None, &mut out);
+        self.push(
+            Op::FusedLayerNorm {
+                x,
+                gamma: None,
+                beta: None,
+                saved: Arc::new(saved),
+            },
+            Tensor::from_vec(out, &shape),
+            None,
+        )
+    }
+
+    /// LayerNorm fused with the per-column affine `γ ⊙ x̂ + β` — the fused
+    /// twin of `nn::LayerNorm::apply`'s
+    /// `layernorm_rows → tile_last(γ) → mul → add_bias_last(β)` assembly,
+    /// bit-identical to it forward and backward (γ and β gradients
+    /// included).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `gamma` and `beta` are 1-D nodes matching `x`'s last
+    /// dimension.
+    pub fn layer_norm_affine(
+        &mut self,
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        eps: f32,
+    ) -> NodeId {
+        let tx = &self.nodes[x.0].value;
+        let c = *tx.shape.last().expect("non-scalar");
+        let shape = tx.shape.clone();
+        let (tg, tb) = (&self.nodes[gamma.0].value, &self.nodes[beta.0].value);
+        assert_eq!(tg.shape, vec![c], "gamma must be ({c})");
+        assert_eq!(tb.shape, vec![c], "beta must be ({c})");
+        let mut out = vec![0.0f32; tx.data.len()];
+        let saved = fused::layer_norm_rows_f32(
+            self.backend,
+            &tx.data,
+            c,
+            eps,
+            Some((&tg.data, &tb.data)),
+            &mut out,
+        );
+        self.push(
+            Op::FusedLayerNorm {
+                x,
+                gamma: Some(gamma),
+                beta: Some(beta),
+                saved: Arc::new(saved),
+            },
+            Tensor::from_vec(out, &shape),
+            None,
+        )
     }
 
     // ---- backward ----
@@ -869,6 +1001,129 @@ impl<'b> Graph<'b> {
                 let dx = vec![dy[0] / n as f32; n];
                 self.acc(x, &dx);
             }
+            // The fused backward passes replay the unfused assemblies'
+            // reverse passes node for node (same straight-through exact
+            // derivatives, same accumulation order), so fused gradients
+            // equal unfused gradients bit for bit.
+            Op::FusedSoftmax { x, saved } => {
+                let c = *self.nodes[i].value.shape.last().expect("non-scalar");
+                let e = &saved.exp;
+                let rows = e.len() / c.max(1);
+                // mul_row(e, inv) backward: d_e = dy·inv[row], and the
+                // reciprocal branch d_inv[row] = Σⱼ dy·e.
+                let mut d_e = vec![0.0f32; e.len()];
+                let mut d_inv = vec![0.0f32; rows];
+                for (r, drow) in dy.chunks(c).enumerate() {
+                    let f = saved.inv[r];
+                    for (j, &d) in drow.iter().enumerate() {
+                        d_e[r * c + j] = d * f;
+                        d_inv[r] += d * e[r * c + j];
+                    }
+                }
+                // unary(s, Recip) backward (s recomputed with the pinned
+                // row sum over the saved exps), folded into row_sum's
+                // broadcast back onto d_e.
+                for r in 0..rows {
+                    let s = gqa_simd::sum_f32(&e[r * c..(r + 1) * c]);
+                    let d_s = d_inv[r] * UnaryKind::Recip.exact_derivative(f64::from(s)) as f32;
+                    for v in &mut d_e[r * c..(r + 1) * c] {
+                        *v += d_s;
+                    }
+                }
+                // unary(shifted, Exp) backward; the shift is recomputed
+                // from x with the same pinned row-max kernel the forward
+                // used, so the straight-through derivative sees the exact
+                // forward inputs. row_max_sub_detach passes dy through.
+                let tx = &self.nodes[x.0].value;
+                let mut dx = vec![0.0f32; e.len()];
+                for (r, row) in tx.data.chunks_exact(c).enumerate() {
+                    let m = gqa_simd::max_f32(row);
+                    for (j, &v) in row.iter().enumerate() {
+                        dx[r * c + j] = d_e[r * c + j]
+                            * UnaryKind::Exp.exact_derivative(f64::from(v - m)) as f32;
+                    }
+                }
+                self.acc(x, &dx);
+            }
+            Op::FusedLayerNorm {
+                x,
+                gamma,
+                beta,
+                saved,
+            } => {
+                let c = *self.nodes[i].value.shape.last().expect("non-scalar");
+                let centered = &saved.centered;
+                let n = centered.len();
+                let rows = n / c.max(1);
+                // add_bias_last(β) backward: flat-order column sums.
+                if let Some(b) = beta {
+                    let mut db = vec![0.0f32; c];
+                    for (j, &d) in dy.iter().enumerate() {
+                        db[j % c] += d;
+                    }
+                    self.acc(b, &db);
+                }
+                // mul(normed, tiled γ) + tile_last backward: d_normed =
+                // dy ⊙ γ, d_γ[j] = Σ_rows dy·normed in row-major order
+                // (normed recomputed as centered·inv_std, the forward's
+                // exact multiply).
+                let d_normed = if let Some(gn) = gamma {
+                    let gdata = self.nodes[gn.0].value.data.clone();
+                    let mut dn = vec![0.0f32; n];
+                    let mut dg = vec![0.0f32; c];
+                    for r in 0..rows {
+                        let f = saved.inv_std[r];
+                        for j in 0..c {
+                            let idx = r * c + j;
+                            dn[idx] = dy[idx] * gdata[j];
+                            dg[j] += dy[idx] * (centered[idx] * f);
+                        }
+                    }
+                    self.acc(gn, &dg);
+                    dn
+                } else {
+                    dy.to_vec()
+                };
+                // mul_row(centered, inv_std) backward.
+                let mut d_centered = vec![0.0f32; n];
+                let mut d_inv = vec![0.0f32; rows];
+                for (r, di) in d_inv.iter_mut().enumerate() {
+                    let f = saved.inv_std[r];
+                    for j in 0..c {
+                        let idx = r * c + j;
+                        d_centered[idx] = d_normed[idx] * f;
+                        *di += d_normed[idx] * centered[idx];
+                    }
+                }
+                // unary(var+eps, Rsqrt) → add_scalar → row_mean(sq) →
+                // mul(centered, centered): the square node accumulates
+                // into `centered` twice, exactly like the unfused Mul
+                // backward's two `acc` calls.
+                let inv_c = 1.0 / c as f32;
+                for (r, &di) in d_inv.iter().enumerate() {
+                    let d_ve =
+                        di * UnaryKind::Rsqrt.exact_derivative(f64::from(saved.var_eps[r])) as f32;
+                    let d_sq = d_ve * inv_c;
+                    for j in 0..c {
+                        let idx = r * c + j;
+                        let t = d_sq * centered[idx];
+                        d_centered[idx] += t;
+                        d_centered[idx] += t;
+                    }
+                }
+                // sub_row(x, μ) backward: x takes d_centered directly …
+                self.acc(x, &d_centered);
+                // … and μ = row_mean(x) returns the negated row sums,
+                // broadcast back over x scaled by 1/c.
+                let mut d_x_mean = vec![0.0f32; n];
+                for r in 0..rows {
+                    let neg = -d_centered[r * c..(r + 1) * c].iter().sum::<f32>();
+                    for v in &mut d_x_mean[r * c..(r + 1) * c] {
+                        *v = neg * inv_c;
+                    }
+                }
+                self.acc(x, &d_x_mean);
+            }
         }
     }
 }
@@ -1140,6 +1395,67 @@ mod tests {
             let m = g.mul(c, y);
             g.mean_all(m)
         });
+    }
+
+    #[test]
+    fn gradcheck_fused_softmax() {
+        gradcheck(seeded(&[2, 5], 2), |g, x| {
+            let s = g.softmax(x);
+            let sq = g.mul(s, s);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_fused_layernorm() {
+        gradcheck(seeded(&[3, 6], 3), |g, x| {
+            let y = g.layer_norm(x, 1e-5);
+            let sq = g.mul(y, y);
+            let c = g.add_scalar(sq, 0.5);
+            let m = g.mul(c, y);
+            g.mean_all(m)
+        });
+    }
+
+    /// The fused nodes must equal the unfused assemblies bit for bit —
+    /// values and input gradients (the full property suite lives in
+    /// `tests/fused_equivalence.rs`; this is the in-crate smoke).
+    #[test]
+    fn fused_matches_unfused_bitwise() {
+        let x = seeded(&[4, 9], 21);
+        let run = |fused: bool| {
+            let mut g = Graph::new(&B);
+            let xid = g.input(x.clone());
+            let s = if fused {
+                g.softmax(xid)
+            } else {
+                g.softmax_rows(xid)
+            };
+            let l = if fused {
+                g.layer_norm(s, 1e-5)
+            } else {
+                g.layernorm_rows(s, 1e-5)
+            };
+            let sq = g.mul(l, l);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            (
+                g.value(s).data.clone(),
+                g.value(l).data.clone(),
+                g.grad(xid).expect("input grad").to_vec(),
+            )
+        };
+        let (sf, lf, gf) = run(true);
+        let (su, lu, gu) = run(false);
+        for (a, b) in sf.iter().zip(&su) {
+            assert_eq!(a.to_bits(), b.to_bits(), "softmax value");
+        }
+        for (a, b) in lf.iter().zip(&lu) {
+            assert_eq!(a.to_bits(), b.to_bits(), "layernorm value");
+        }
+        for (a, b) in gf.iter().zip(&gu) {
+            assert_eq!(a.to_bits(), b.to_bits(), "input gradient");
+        }
     }
 
     #[test]

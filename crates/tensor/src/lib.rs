@@ -18,9 +18,17 @@
 //!   approximation error — standard QAT practice).
 //! * [`optim`] — SGD with momentum and Adam.
 //!
-//! Softmax and LayerNorm are deliberately *not* fused ops: the model code
-//! assembles them from `exp`, `recip`, `rsqrt`, reductions and products, so
-//! the LUT replacement hooks at exactly the operators the paper replaces.
+//! Softmax and LayerNorm have two spellings. The unfused assemblies
+//! ([`Graph::softmax_rows`] / [`Graph::layernorm_rows`]) build them from
+//! `exp`, `recip`, `rsqrt`, reductions and products, so the LUT
+//! replacement hooks at exactly the operators the paper replaces; they are
+//! the semantic ground truth. The **fused execution layer** ([`fused`],
+//! surfaced as [`Graph::softmax`] / [`Graph::layer_norm`] /
+//! [`Graph::layer_norm_affine`]) computes the same values in single-sweep
+//! row kernels — bit-identical to the unfused assemblies forward *and*
+//! backward, with the non-linear stages still routed through the same
+//! [`UnaryBackend`] batch calls (so LUT-served and hot-swapped datapaths
+//! keep working inside fused nodes).
 //!
 //! ## Example: fit a line
 //!
@@ -59,11 +67,13 @@
 #![warn(missing_docs)]
 
 mod backend;
+pub mod fused;
 mod graph;
 pub mod nn;
 pub mod optim;
 mod tensor_impl;
 
 pub use backend::{eval_many_f32_via_f64, ExactBackend, UnaryBackend, UnaryKind};
+pub use fused::FusedOp;
 pub use graph::{Graph, NodeId};
 pub use tensor_impl::{ParamId, ParamStore, Tensor};

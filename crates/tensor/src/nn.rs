@@ -146,8 +146,12 @@ impl LayerNorm {
         }
     }
 
-    /// Applies `γ ⊙ norm(x) + β` (the norm's RSQRT goes through the
-    /// backend — the paper's LayerNorm kernel).
+    /// Applies `γ ⊙ norm(x) + β` as one fused node
+    /// ([`Graph::layer_norm_affine`]) — the norm's RSQRT still goes
+    /// through the backend (the paper's LayerNorm kernel), and the result
+    /// is bit-identical to the unfused
+    /// `layernorm_rows → tile_last(γ) → mul → add_bias_last(β)` assembly
+    /// this method used to build (see [`LayerNorm::apply_unfused`]).
     ///
     /// # Panics
     ///
@@ -159,11 +163,29 @@ impl LayerNorm {
             self.dim,
             "layernorm width mismatch"
         );
+        let gamma = g.param(ps, self.gamma);
+        let beta = g.param(ps, self.beta);
+        g.layer_norm_affine(x, gamma, beta, self.eps)
+    }
+
+    /// The unfused reference assembly [`LayerNorm::apply`] replaced:
+    /// `layernorm_rows`, then `γ ⊙ x̂ + β` via a tiled multiply and a
+    /// bias-broadcast add. Kept as the ground truth of the fused
+    /// LayerNorm's equivalence contract (and for benchmarking the fusion
+    /// win).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last dimension is not `dim`.
+    pub fn apply_unfused(&self, g: &mut Graph<'_>, ps: &ParamStore, x: NodeId) -> NodeId {
+        let shape = g.value(x).shape.clone();
+        assert_eq!(
+            *shape.last().expect("non-scalar"),
+            self.dim,
+            "layernorm width mismatch"
+        );
         let normed = g.layernorm_rows(x, self.eps);
         let gamma = g.param(ps, self.gamma);
-        let gshape: Vec<usize> = shape.iter().map(|_| 1).take(shape.len() - 1).collect();
-        let _ = gshape; // gamma broadcast handled by add_bias_last/mul pattern below
-
         // γ ⊙ x̂ + β via bias-style broadcast over the last dim: mul with a
         // per-last-dim vector = mul by a tiled tensor; reuse the
         // add_bias_last trick by building explicit ops.
@@ -298,6 +320,54 @@ mod tests {
         for row in g.value(y).data.chunks(8) {
             let mean: f32 = row.iter().sum::<f32>() / 8.0;
             assert!(mean.abs() < 1e-5);
+        }
+    }
+
+    /// The fused `apply` must match the unfused assembly bit for bit —
+    /// output and γ/β parameter gradients — with a non-trivial affine.
+    #[test]
+    fn layernorm_fused_apply_matches_unfused() {
+        let run = |fused: bool| {
+            let mut ps = ParamStore::new();
+            let ln = LayerNorm::new(&mut ps, 6, 1e-5);
+            for (i, v) in ps.value_mut(ln.gamma).data.iter_mut().enumerate() {
+                *v = 0.75 + i as f32 * 0.1;
+            }
+            for (i, v) in ps.value_mut(ln.beta).data.iter_mut().enumerate() {
+                *v = i as f32 * 0.05 - 0.1;
+            }
+            let mut g = Graph::new(&B);
+            let data: Vec<f32> = (0..24).map(|i| (i as f32 * 0.47).sin() * 2.0).collect();
+            let x = g.input(Tensor::from_vec(data, &[4, 6]));
+            let y = if fused {
+                ln.apply(&mut g, &ps, x)
+            } else {
+                ln.apply_unfused(&mut g, &ps, x)
+            };
+            let sq = g.mul(y, y);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            g.accumulate_grads(&mut ps);
+            (
+                g.value(y).data.clone(),
+                ps.grad(ln.gamma).to_vec(),
+                ps.grad(ln.beta).to_vec(),
+                g.grad(x).expect("input grad").to_vec(),
+            )
+        };
+        let (yf, dgf, dbf, dxf) = run(true);
+        let (yu, dgu, dbu, dxu) = run(false);
+        for (a, b) in yf.iter().zip(&yu) {
+            assert_eq!(a.to_bits(), b.to_bits(), "value");
+        }
+        for (a, b) in dgf.iter().zip(&dgu) {
+            assert_eq!(a.to_bits(), b.to_bits(), "gamma grad");
+        }
+        for (a, b) in dbf.iter().zip(&dbu) {
+            assert_eq!(a.to_bits(), b.to_bits(), "beta grad");
+        }
+        for (a, b) in dxf.iter().zip(&dxu) {
+            assert_eq!(a.to_bits(), b.to_bits(), "input grad");
         }
     }
 

@@ -1,0 +1,314 @@
+//! The fused-equivalence contract, property-tested:
+//!
+//! * `Graph::softmax` / `Graph::layer_norm` / `Graph::layer_norm_affine`
+//!   are **bit-identical** to the unfused graph assemblies — forward
+//!   values AND input/parameter gradients — across row shapes (including
+//!   1-element rows and rows straddling the 256-element backend staging
+//!   seam), backends (exact, quantized-LUT-ish, call-scripted), and
+//!   `f32`/`f64` widths (the `f64` drivers against a hand-assembled
+//!   decomposition).
+//! * Both spellings make the same *sequence* of tensor-level backend
+//!   calls, which is what makes the contract hold under hot-swapped
+//!   datapaths (the swap-mid-node tests live in
+//!   `crates/registry/tests/hotswap.rs`).
+//!
+//! CI runs this suite on both matrix legs (simd on / scalar fallback), so
+//! the same assertions also pin fused-simd ≡ fused-scalar.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use gqa_tensor::fused;
+use gqa_tensor::{
+    eval_many_f32_via_f64, ExactBackend, Graph, NodeId, Tensor, UnaryBackend, UnaryKind,
+};
+use proptest::prelude::*;
+
+/// A crude LUT-ish backend: quantizes every input to a 1/16 grid before
+/// exact evaluation. Deterministic and decidedly not the exact math, so
+/// equivalence failures from skipping the backend would show immediately.
+struct QuantBackend;
+
+impl UnaryBackend for QuantBackend {
+    fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
+        kind.exact((x * 16.0).round() / 16.0)
+    }
+}
+
+/// A backend whose result depends on **how many tensor-level `f32` calls
+/// preceded it** (call k is scaled by 1 + k/4). If the fused layer made
+/// per-row backend calls — or a different number of stage calls than the
+/// unfused assembly — outputs would diverge instantly.
+struct ScriptedBackend {
+    calls: AtomicU32,
+}
+
+impl ScriptedBackend {
+    fn new() -> Self {
+        Self {
+            calls: AtomicU32::new(0),
+        }
+    }
+}
+
+impl UnaryBackend for ScriptedBackend {
+    fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
+        kind.exact(x)
+    }
+
+    fn eval_many_f32(&self, kind: UnaryKind, xs: &[f32], out: &mut [f32]) {
+        let k = self.calls.fetch_add(1, Ordering::Relaxed);
+        eval_many_f32_via_f64(self, kind, xs, out);
+        let scale = 1.0 + k as f32 * 0.25;
+        for y in out {
+            *y *= scale;
+        }
+    }
+}
+
+fn tensor_from(vals: &[f32], rows: usize, cols: usize) -> Tensor {
+    Tensor::from_vec(vals.to_vec(), &[rows, cols])
+}
+
+/// Runs `build` on a fresh graph over `backend`, takes a scalar loss of
+/// the produced node, and returns (value bits, input-grad bits).
+fn run_graph(
+    backend: &dyn UnaryBackend,
+    input: &Tensor,
+    build: impl Fn(&mut Graph<'_>, NodeId) -> NodeId,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut g = Graph::new(backend);
+    let x = g.input(input.clone());
+    let y = build(&mut g, x);
+    let sq = g.mul(y, y);
+    let loss = g.mean_all(sq);
+    g.backward(loss);
+    (
+        g.value(y).data.iter().map(|v| v.to_bits()).collect(),
+        g.grad(x)
+            .expect("input grad")
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+    )
+}
+
+fn assert_bits_eq(a: &[u32], b: &[u32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x, y, "{what}: element {i} differs");
+    }
+}
+
+fn assert_fused_softmax_equiv(backend: &dyn UnaryBackend, t: &Tensor) {
+    let (vf, gf) = run_graph(backend, t, |g, x| g.softmax(x));
+    let (vu, gu) = run_graph(backend, t, |g, x| g.softmax_rows(x));
+    assert_bits_eq(&vf, &vu, "softmax value");
+    assert_bits_eq(&gf, &gu, "softmax grad");
+}
+
+fn assert_fused_layernorm_equiv(backend: &dyn UnaryBackend, t: &Tensor, eps: f32) {
+    let (vf, gf) = run_graph(backend, t, |g, x| g.layer_norm(x, eps));
+    let (vu, gu) = run_graph(backend, t, |g, x| g.layernorm_rows(x, eps));
+    assert_bits_eq(&vf, &vu, "layernorm value");
+    assert_bits_eq(&gf, &gu, "layernorm grad");
+}
+
+proptest! {
+    /// Fused softmax ≡ unfused assembly, bitwise, on arbitrary shapes
+    /// (1-element rows included) and logits, with the exact backend and a
+    /// quantized one.
+    #[test]
+    fn softmax_fused_equals_unfused(
+        rows in 1usize..9,
+        cols in 1usize..33,
+        vals in proptest::collection::vec(-30.0f32..30.0, 9 * 33)
+    ) {
+        let t = tensor_from(&vals[..rows * cols], rows, cols);
+        assert_fused_softmax_equiv(&ExactBackend, &t);
+        assert_fused_softmax_equiv(&QuantBackend, &t);
+    }
+
+    /// Rows longer than the 256-element backend staging chunk: the EXP
+    /// stage's internal seams fall mid-row, identically in both
+    /// spellings (both hand the backend one whole-tensor buffer).
+    #[test]
+    fn softmax_rows_straddling_chunk_seams(
+        rows in 1usize..4,
+        extra in 0usize..80,
+        seed in 0u32..1000
+    ) {
+        let cols = 230 + extra; // some rows cross the 256-element seam
+        let vals: Vec<f32> = (0..rows * cols)
+            .map(|i| (((i as u32).wrapping_mul(2654435761).wrapping_add(seed)) % 2000) as f32
+                / 100.0 - 10.0)
+            .collect();
+        let t = tensor_from(&vals, rows, cols);
+        assert_fused_softmax_equiv(&ExactBackend, &t);
+    }
+
+    /// Fused LayerNorm ≡ unfused assembly, bitwise, across eps values
+    /// (zero included) and both backends.
+    #[test]
+    fn layernorm_fused_equals_unfused(
+        rows in 1usize..9,
+        cols in 1usize..33,
+        eps_sel in 0usize..3,
+        vals in proptest::collection::vec(-20.0f32..20.0, 9 * 33)
+    ) {
+        let eps = [0.0f32, 1e-5, 1e-2][eps_sel];
+        let t = tensor_from(&vals[..rows * cols], rows, cols);
+        assert_fused_layernorm_equiv(&ExactBackend, &t, eps);
+        assert_fused_layernorm_equiv(&QuantBackend, &t, eps);
+    }
+
+    /// The affine-fused LayerNorm ≡ the unfused
+    /// `layernorm_rows → tile_last(γ) → mul → add_bias_last(β)` assembly,
+    /// bitwise — values, input grads, and γ/β grads.
+    #[test]
+    fn layernorm_affine_fused_equals_unfused(
+        rows in 1usize..7,
+        cols in 1usize..17,
+        vals in proptest::collection::vec(-20.0f32..20.0, 7 * 17),
+        gb in proptest::collection::vec(0.25f32..2.0, 2 * 17)
+    ) {
+        let t = tensor_from(&vals[..rows * cols], rows, cols);
+        let gamma = Tensor::from_vec(gb[..cols].to_vec(), &[cols]);
+        let beta = Tensor::from_vec(gb[17..17 + cols].to_vec(), &[cols]);
+        let run = |fused: bool| {
+            let mut g = Graph::new(&ExactBackend);
+            let x = g.input(t.clone());
+            let gn = g.input(gamma.clone());
+            let bn = g.input(beta.clone());
+            let y = if fused {
+                g.layer_norm_affine(x, gn, bn, 1e-5)
+            } else {
+                let normed = g.layernorm_rows(x, 1e-5);
+                let tiled = g.tile_last(gn, &[rows, cols]);
+                let scaled = g.mul(normed, tiled);
+                g.add_bias_last(scaled, bn)
+            };
+            let sq = g.mul(y, y);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            (
+                bits(&g.value(y).data),
+                bits(g.grad(x).expect("x grad")),
+                bits(g.grad(gn).expect("gamma grad")),
+                bits(g.grad(bn).expect("beta grad")),
+            )
+        };
+        let (vf, xf, gf, bf) = run(true);
+        let (vu, xu, gu, bu) = run(false);
+        assert_bits_eq(&vf, &vu, "affine value");
+        assert_bits_eq(&xf, &xu, "affine x grad");
+        assert_bits_eq(&gf, &gu, "gamma grad");
+        assert_bits_eq(&bf, &bu, "beta grad");
+    }
+
+    /// Both spellings must make the SAME sequence of tensor-level backend
+    /// calls — proven with a backend whose output depends on the call
+    /// index. A per-row fused implementation (or one folding the DIV into
+    /// the EXP call) would diverge.
+    #[test]
+    fn fused_makes_the_same_backend_call_sequence(
+        rows in 1usize..6,
+        cols in 2usize..20,
+        vals in proptest::collection::vec(-5.0f32..5.0, 6 * 20)
+    ) {
+        let t = tensor_from(&vals[..rows * cols], rows, cols);
+        let (vf, gf) = run_graph(&ScriptedBackend::new(), &t, |g, x| g.softmax(x));
+        let (vu, gu) = run_graph(&ScriptedBackend::new(), &t, |g, x| g.softmax_rows(x));
+        assert_bits_eq(&vf, &vu, "scripted softmax value");
+        assert_bits_eq(&gf, &gu, "scripted softmax grad");
+
+        let (vf, gf) = run_graph(&ScriptedBackend::new(), &t, |g, x| g.layer_norm(x, 1e-5));
+        let (vu, gu) = run_graph(&ScriptedBackend::new(), &t, |g, x| g.layernorm_rows(x, 1e-5));
+        assert_bits_eq(&vf, &vu, "scripted layernorm value");
+        assert_bits_eq(&gf, &gu, "scripted layernorm grad");
+    }
+
+    /// The `f64` fused drivers against a hand-assembled unfused
+    /// decomposition using the same pinned-order reductions.
+    #[test]
+    fn f64_drivers_match_unfused_decomposition(
+        rows in 1usize..7,
+        cols in 1usize..40,
+        vals in proptest::collection::vec(-25.0f64..25.0, 7 * 40)
+    ) {
+        let xs = &vals[..rows * cols];
+        let backend = ExactBackend;
+
+        // Softmax.
+        let mut fused_out = vec![0.0f64; xs.len()];
+        fused::softmax_rows_f64(&backend, xs, cols, &mut fused_out);
+        let mut shifted = vec![0.0f64; xs.len()];
+        for (row, orow) in xs.chunks(cols).zip(shifted.chunks_mut(cols)) {
+            let m = gqa_simd::max_f64(row);
+            gqa_simd::sub_scalar_f64(m, row, orow);
+        }
+        let mut e = vec![0.0f64; xs.len()];
+        backend.eval_many(UnaryKind::Exp, &shifted, &mut e);
+        let sums: Vec<f64> = e.chunks(cols).map(gqa_simd::sum_f64).collect();
+        let mut inv = vec![0.0f64; rows];
+        backend.eval_many(UnaryKind::Recip, &sums, &mut inv);
+        let mut want = vec![0.0f64; xs.len()];
+        for (i, (erow, orow)) in e.chunks(cols).zip(want.chunks_mut(cols)).enumerate() {
+            gqa_simd::scale_f64(inv[i], erow, orow);
+        }
+        for (i, (a, b)) in fused_out.iter().zip(&want).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "softmax f64 elem {}", i);
+        }
+
+        // LayerNorm.
+        let eps = 1e-9f64;
+        fused::layer_norm_rows_f64(&backend, xs, cols, eps, &mut fused_out);
+        let mut centered = vec![0.0f64; xs.len()];
+        let mut ve = vec![0.0f64; rows];
+        for (r, (row, crow)) in xs.chunks(cols).zip(centered.chunks_mut(cols)).enumerate() {
+            let mu = gqa_simd::sum_f64(row) / cols as f64;
+            gqa_simd::sub_scalar_f64(mu, row, crow);
+            ve[r] = gqa_simd::sum_sq_f64(crow) / cols as f64 + eps;
+        }
+        let mut inv_std = vec![0.0f64; rows];
+        backend.eval_many(UnaryKind::Rsqrt, &ve, &mut inv_std);
+        for (r, (crow, orow)) in centered.chunks(cols).zip(want.chunks_mut(cols)).enumerate() {
+            gqa_simd::scale_f64(inv_std[r], crow, orow);
+        }
+        for (i, (a, b)) in fused_out.iter().zip(&want).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "layernorm f64 elem {}", i);
+        }
+    }
+}
+
+/// A hot-swap-style delegate switch between two forward passes must give
+/// the same before/after pair fused and unfused (the mid-node swap test
+/// lives in the registry crate, next to `HotSwapBackend`).
+#[test]
+fn backend_switch_between_nodes_is_equivalent() {
+    let t = Tensor::from_vec(
+        (0..24).map(|i| (i as f32 * 0.7).sin() * 4.0).collect(),
+        &[4, 6],
+    );
+    let exact = ExactBackend;
+    let quant = QuantBackend;
+    let run = |fused: bool| {
+        let mut va = Vec::new();
+        for backend in [&exact as &dyn UnaryBackend, &quant as &dyn UnaryBackend] {
+            let (v, _) = run_graph(backend, &t, |g, x| {
+                if fused {
+                    g.softmax(x)
+                } else {
+                    g.softmax_rows(x)
+                }
+            });
+            va.push(v);
+        }
+        va
+    };
+    let f = run(true);
+    let u = run(false);
+    assert_bits_eq(&f[0], &u[0], "exact pass");
+    assert_bits_eq(&f[1], &u[1], "quant pass");
+    assert_ne!(f[0], f[1], "the two backends must actually differ");
+}

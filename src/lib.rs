@@ -21,6 +21,15 @@
 //! * [`models`] — SegformerLite / EfficientVitLite with pluggable non-linear backends.
 //! * [`hardware`] — TSMC-28nm-calibrated area/power model of the LUT pwl units.
 //!
+//! ## Cargo features
+//!
+//! * `simd` (default) — forwards the runtime-detected AVX2 kernel paths
+//!   through every workspace crate; results are bit-identical with it
+//!   off (CI's scalar matrix leg builds the whole workspace with
+//!   `--no-default-features` to prove it).
+//! * `parallel` (default) — multi-threaded genetic population scoring;
+//!   results identical, serial with it off.
+//!
 //! ## Quickstart
 //!
 //! ```
