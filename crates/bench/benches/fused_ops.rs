@@ -14,9 +14,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use gqa_bench::build_lut_budgeted;
 use gqa_funcs::NonLinearOp;
 use gqa_fxp::{IntRange, PowerOfTwoScale};
-use gqa_models::{build_lut_budgeted, Method, PwlBackend};
+use gqa_models::{Method, PwlBackend};
 use gqa_tensor::nn::LayerNorm;
 use gqa_tensor::{ExactBackend, FusedOp, Graph, ParamStore, Tensor, UnaryBackend};
 

@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use gqa_models::{CalibrationRecorder, Method, PwlBackend, ReplaceSet, SegConfig, SegformerLite};
+use gqa_models::{CalibrationRecorder, Method, ReplaceSet, SegConfig, SegformerLite};
+use gqa_serve::{EngineBuilder, OpPlan};
 use gqa_tensor::{ExactBackend, Graph, ParamStore, Tensor, UnaryBackend};
 
 fn forward_once(
@@ -33,9 +34,13 @@ fn bench_model(c: &mut Criterion) {
     // Calibrate once, build the all-ops pwl backend at tiny budget.
     let calib = CalibrationRecorder::new();
     let _ = forward_once(&model, &ps, &calib, &image);
-    let backend = PwlBackend::build(Method::GqaRm, ReplaceSet::all(), &calib, 1, 0.05);
+    let plan = ReplaceSet::all()
+        .to_plan(OpPlan::new(Method::GqaRm).with_seed(1).with_budget(0.05))
+        .calibrated(&calib);
+    let engine = EngineBuilder::new(plan).build().expect("engine build");
+    let session = engine.session();
     c.bench_function("model/segformer_forward_pwl", |b| {
-        b.iter(|| forward_once(&model, &ps, &backend, black_box(&image)))
+        b.iter(|| forward_once(&model, &ps, &session, black_box(&image)))
     });
 
     c.bench_function("model/segformer_train_step", |b| {

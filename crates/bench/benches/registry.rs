@@ -42,7 +42,7 @@ fn bench_registry(c: &mut Criterion) {
         b.iter(|| {
             let json = reg.snapshot_json();
             let fresh = LutRegistry::new();
-            fresh.load_snapshot(black_box(&json)).unwrap()
+            fresh.load_snapshot_json(black_box(&json)).unwrap()
         })
     });
 }

@@ -7,10 +7,10 @@
 //! (pass `--quick` for a reduced-budget smoke run)
 
 use gqa_funcs::NonLinearOp;
-use gqa_models::{
-    FinetuneHarness, Method, PwlBackend, ReplaceSet, SegConfig, SegformerLite, TrainConfig,
-};
+use gqa_models::{FinetuneHarness, Method, ReplaceSet, SegConfig, SegformerLite, TrainConfig};
+use gqa_serve::{EngineBuilder, OpPlan};
 use gqa_tensor::ParamStore;
+use std::sync::Arc;
 
 use gqa_bench::table::Table;
 
@@ -42,6 +42,11 @@ fn main() {
         100.0 * baseline.pixel_accuracy
     );
     let calib = harness.calibrate(&model, &ps);
+
+    // One artifact registry shared by every per-row engine, so the rows
+    // share LUTs per (method, op) exactly as the global registry used to
+    // (and GQA_LUT_SNAPSHOT warm starts keep working).
+    let registry = gqa_bench::warm_shared_registry();
 
     let replacements = [
         ReplaceSet::only(NonLinearOp::Exp),
@@ -79,9 +84,16 @@ fn main() {
         let mut cells = vec![label];
         for method in Method::ALL {
             eprintln!("[table4] {} / {}...", replace.label(), method.label());
-            let backend = PwlBackend::build(method, replace, &calib, 2024, lut_budget);
+            let plan = replace
+                .to_plan(OpPlan::new(method).with_seed(2024).with_budget(lut_budget))
+                .calibrated(&calib);
+            let engine = EngineBuilder::new(plan)
+                .with_registry(Arc::clone(&registry))
+                .build()
+                .expect("engine build");
+            let session = engine.session();
             let mut ps_run = ps.clone();
-            let out = harness.finetune_with_backend(&model, &mut ps_run, &backend);
+            let out = harness.finetune_with_backend(&model, &mut ps_run, &session);
             let delta = 100.0 * (out.miou - baseline.miou);
             cells.push(format!("{:.2}% ({delta:+.2})", 100.0 * out.miou));
         }
@@ -94,8 +106,5 @@ fn main() {
     );
     // The replacement rows share LUTs per (method, op): with 5 rows × 3
     // methods only the first use of each artifact compiles.
-    eprintln!(
-        "[table4] registry: {}",
-        gqa_registry::LutRegistry::global().stats()
-    );
+    eprintln!("[table4] shared registry: {}", registry.stats());
 }

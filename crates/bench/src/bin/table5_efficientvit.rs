@@ -7,9 +7,11 @@
 
 use gqa_funcs::NonLinearOp;
 use gqa_models::{
-    EffVitConfig, EfficientVitLite, FinetuneHarness, Method, PwlBackend, ReplaceSet, TrainConfig,
+    EffVitConfig, EfficientVitLite, FinetuneHarness, Method, ReplaceSet, TrainConfig,
 };
+use gqa_serve::{EngineBuilder, OpPlan};
 use gqa_tensor::ParamStore;
+use std::sync::Arc;
 
 use gqa_bench::table::Table;
 
@@ -41,6 +43,11 @@ fn main() {
         100.0 * baseline.pixel_accuracy
     );
     let calib = harness.calibrate(&model, &ps);
+
+    // One artifact registry shared by every per-row engine, so the rows
+    // share LUTs per (method, op) exactly as the global registry used to
+    // (and GQA_LUT_SNAPSHOT warm starts keep working).
+    let registry = gqa_bench::warm_shared_registry();
 
     let replacements = [
         ReplaceSet::only(NonLinearOp::Hswish),
@@ -74,9 +81,16 @@ fn main() {
         let mut cells = vec![label];
         for method in Method::ALL {
             eprintln!("[table5] {} / {}...", replace.label(), method.label());
-            let backend = PwlBackend::build(method, *replace, &calib, 2024, lut_budget);
+            let plan = replace
+                .to_plan(OpPlan::new(method).with_seed(2024).with_budget(lut_budget))
+                .calibrated(&calib);
+            let engine = EngineBuilder::new(plan)
+                .with_registry(Arc::clone(&registry))
+                .build()
+                .expect("engine build");
+            let session = engine.session();
             let mut ps_run = ps.clone();
-            let out = harness.finetune_with_backend(&model, &mut ps_run, &backend);
+            let out = harness.finetune_with_backend(&model, &mut ps_run, &session);
             let delta = 100.0 * (out.miou - baseline.miou);
             cells.push(format!("{:.2}% ({delta:+.2})", 100.0 * out.miou));
         }
@@ -87,8 +101,5 @@ fn main() {
         "\nPaper reference (EfficientViT-B0 / Cityscapes): None 74.17; Altogether rows \
          73.27 / 73.79 / 74.15 — ordering NN-LUT < w/o RM < w/ RM ≈ baseline."
     );
-    eprintln!(
-        "[table5] registry: {}",
-        gqa_registry::LutRegistry::global().stats()
-    );
+    eprintln!("[table5] shared registry: {}", registry.stats());
 }

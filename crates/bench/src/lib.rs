@@ -14,4 +14,20 @@
 pub mod methods;
 pub mod table;
 
-pub use methods::{build_lut, mse_per_scale, mse_scale_average, wide_range_mse, Method};
+pub use methods::{
+    build_lut, build_lut_budgeted, mse_per_scale, mse_scale_average, wide_range_mse, Method,
+};
+
+/// A fresh shareable registry for per-row serving engines, warm-started
+/// from `GQA_LUT_SNAPSHOT` when set (the same convention
+/// `LutRegistry::global()` honours) — the one spelling the table bins
+/// share instead of each carrying the block.
+#[must_use]
+pub fn warm_shared_registry() -> std::sync::Arc<gqa_registry::LutRegistry> {
+    let registry = gqa_registry::LutRegistry::new();
+    if let Ok(path) = std::env::var("GQA_LUT_SNAPSHOT") {
+        // A missing/stale/corrupt snapshot must never poison startup.
+        let _ = registry.load_snapshot(&path);
+    }
+    std::sync::Arc::new(registry)
+}

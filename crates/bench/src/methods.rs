@@ -1,11 +1,42 @@
-//! Method wrappers (re-exported from `gqa-models`, the canonical home) and
-//! the §4.1 evaluation protocol that scores the LUTs.
+//! Method wrappers and the §4.1 evaluation protocol that scores the LUTs.
 
 use gqa_funcs::NonLinearOp;
 use gqa_fxp::IntRange;
 use gqa_pwl::{eval, FxpPwl, MultiRangeLut, MultiRangeScaling, QuantAwareLut};
+pub use gqa_registry::Method;
 
-pub use gqa_models::{build_lut, Method};
+/// Builds (or fetches warm) the full-budget LUT for a table/figure row:
+/// the serving layer's plan spelling against the process-global registry,
+/// so every `GQA_LUT_SNAPSHOT` warm-start keeps working across binaries.
+///
+/// # Panics
+///
+/// Panics if `entries` is not 8 or 16.
+#[must_use]
+pub fn build_lut(method: Method, op: NonLinearOp, entries: usize, seed: u64) -> QuantAwareLut {
+    build_lut_budgeted(method, op, entries, seed, 1.0)
+}
+
+/// [`build_lut`] with a reduced search budget (unit tests / smoke rows).
+///
+/// Delegates to the `gqa-models` shim (deprecated there, but pinned
+/// bit-identical to the engine path by `tests/serving_engine.rs`) so the
+/// plan→spec construction has exactly one spelling.
+///
+/// # Panics
+///
+/// Panics if the plan entry fails validation.
+#[must_use]
+pub fn build_lut_budgeted(
+    method: Method,
+    op: NonLinearOp,
+    entries: usize,
+    seed: u64,
+    budget: f64,
+) -> QuantAwareLut {
+    #[allow(deprecated)]
+    gqa_models::luts::build_lut_budgeted(method, op, entries, seed, budget)
+}
 
 /// §4.1 protocol for the scale-dependent operators (GELU/HSWISH/EXP):
 /// per-scale dequantized-grid MSE over the Figure-3 sweep
@@ -59,7 +90,7 @@ mod tests {
 
     fn quick_lut(method: Method, op: NonLinearOp) -> QuantAwareLut {
         // Reduced budget for unit tests.
-        gqa_models::luts::build_lut_budgeted(method, op, 8, 3, 0.05)
+        build_lut_budgeted(method, op, 8, 3, 0.05)
     }
 
     #[test]

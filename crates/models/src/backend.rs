@@ -1,14 +1,21 @@
 //! The pwl-LUT backend: routes the paper's five operators through INT8
 //! LUTs inside a live model.
-
-use std::collections::HashMap;
-use std::sync::Mutex;
+//!
+//! Since the serving-engine redesign this module is the *compatibility*
+//! spelling: [`PwlBackend`] is a fixed bundle of datapaths, while the
+//! supported surface is `gqa_serve`'s `Engine`/`Session` (per-operator
+//! hot-swap cells, an operator plan, sharded persistence). The deprecated
+//! constructors here route through the same `gqa_serve` datapath
+//! construction, so both spellings are bit-compatible.
 
 use gqa_funcs::{BatchEval, NonLinearOp};
-use gqa_fxp::{IntRange, PowerOfTwoScale};
-use gqa_pwl::{FxpPwl, IntLutInstance, MultiRangeLut, MultiRangeScaling, QuantAwareLut};
-use gqa_registry::{LutBuildError, LutRegistry, LutSpec};
+use gqa_fxp::PowerOfTwoScale;
+use gqa_pwl::{IntLutInstance, MultiRangeLut, QuantAwareLut};
+use gqa_registry::{LutBuildError, LutRegistry};
+use gqa_serve::{build_datapath, OpDatapath, OpPlan};
 use gqa_tensor::{ExactBackend, UnaryBackend, UnaryKind};
+
+pub use gqa_serve::CalibrationRecorder;
 
 use crate::luts::Method;
 
@@ -68,6 +75,27 @@ impl ReplaceSet {
         self.gelu || self.hswish || self.exp || self.div || self.rsqrt
     }
 
+    /// The serving-engine spelling of this replacement set: every
+    /// replaced operator planned with `base` (Table 4/5 row order). The
+    /// migration bridge from `PwlBackend::build(method, replace, …)` to
+    /// `EngineBuilder::new(replace.to_plan(…)).build()`.
+    #[must_use]
+    pub fn to_plan(self, base: gqa_serve::OpPlan) -> gqa_serve::OperatorPlan {
+        let mut plan = gqa_serve::OperatorPlan::new();
+        for (on, op) in [
+            (self.exp, NonLinearOp::Exp),
+            (self.gelu, NonLinearOp::Gelu),
+            (self.hswish, NonLinearOp::Hswish),
+            (self.div, NonLinearOp::Div),
+            (self.rsqrt, NonLinearOp::Rsqrt),
+        ] {
+            if on {
+                plan.set(op, base);
+            }
+        }
+        plan
+    }
+
     /// Human-readable row label as in Tables 4 and 5.
     #[must_use]
     pub fn label(&self) -> String {
@@ -94,98 +122,6 @@ impl ReplaceSet {
             parts.push("RSQRT");
         }
         format!("{} only", parts.join("+"))
-    }
-}
-
-/// Records per-operator input ranges during an exact forward pass
-/// (the calibration step that fixes the power-of-two input scales).
-#[derive(Debug, Default)]
-pub struct CalibrationRecorder {
-    ranges: Mutex<HashMap<UnaryKind, (f64, f64)>>,
-}
-
-impl CalibrationRecorder {
-    /// Empty recorder.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// The observed `(min, max)` for a kind, if any input was seen.
-    #[must_use]
-    pub fn range(&self, kind: UnaryKind) -> Option<(f64, f64)> {
-        self.ranges.lock().expect("poisoned").get(&kind).copied()
-    }
-
-    /// The power-of-two scale covering the observed absolute maximum for a
-    /// kind (falls back to `2^-4` when the kind never fired).
-    #[must_use]
-    pub fn pot_scale(&self, kind: UnaryKind) -> PowerOfTwoScale {
-        match self.range(kind) {
-            Some((lo, hi)) => {
-                let max_abs = lo.abs().max(hi.abs()).max(1e-6);
-                PowerOfTwoScale::covering(max_abs, IntRange::signed(8))
-            }
-            None => PowerOfTwoScale::new(-4),
-        }
-    }
-}
-
-impl UnaryBackend for CalibrationRecorder {
-    fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
-        if x.is_finite() {
-            let mut map = self.ranges.lock().expect("poisoned");
-            let e = map.entry(kind).or_insert((x, x));
-            e.0 = e.0.min(x);
-            e.1 = e.1.max(x);
-        }
-        kind.exact(x)
-    }
-
-    /// Batched calibration: folds the tensor's min/max locally and takes
-    /// the range lock once per tensor instead of once per element, then
-    /// evaluates exactly through the batched kernel.
-    fn eval_many(&self, kind: UnaryKind, xs: &[f64], out: &mut [f64]) {
-        assert_eq!(xs.len(), out.len(), "batch length mismatch");
-        let mut seen: Option<(f64, f64)> = None;
-        for &x in xs {
-            if x.is_finite() {
-                let e = seen.get_or_insert((x, x));
-                e.0 = e.0.min(x);
-                e.1 = e.1.max(x);
-            }
-        }
-        if let Some((lo, hi)) = seen {
-            let mut map = self.ranges.lock().expect("poisoned");
-            let e = map.entry(kind).or_insert((lo, hi));
-            e.0 = e.0.min(lo);
-            e.1 = e.1.max(hi);
-        }
-        ExactBackend.eval_many(kind, xs, out);
-    }
-
-    /// The `f32` tensor path: min/max folded over the native buffer
-    /// (widening each observation, so recorded ranges are identical to
-    /// the staged path), one lock per tensor, then the exact backend's
-    /// `f32` kernel.
-    fn eval_many_f32(&self, kind: UnaryKind, xs: &[f32], out: &mut [f32]) {
-        assert_eq!(xs.len(), out.len(), "batch length mismatch");
-        let mut seen: Option<(f64, f64)> = None;
-        for &x in xs {
-            if x.is_finite() {
-                let x = f64::from(x);
-                let e = seen.get_or_insert((x, x));
-                e.0 = e.0.min(x);
-                e.1 = e.1.max(x);
-            }
-        }
-        if let Some((lo, hi)) = seen {
-            let mut map = self.ranges.lock().expect("poisoned");
-            let e = map.entry(kind).or_insert((lo, hi));
-            e.0 = e.0.min(lo);
-            e.1 = e.1.max(hi);
-        }
-        ExactBackend.eval_many_f32(kind, xs, out);
     }
 }
 
@@ -226,6 +162,11 @@ impl PwlBackend {
     ///
     /// Panics if `budget` is out of `(0, 1]`; see
     /// [`PwlBackend::try_build`] for the typed-error variant.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `OperatorPlan` and serve through \
+                `gqa_serve::EngineBuilder` / `Engine::session` instead"
+    )]
     #[must_use]
     pub fn build(
         method: Method,
@@ -234,6 +175,7 @@ impl PwlBackend {
         seed: u64,
         budget: f64,
     ) -> Self {
+        #[allow(deprecated)]
         match Self::try_build(method, replace, calib, seed, budget) {
             Ok(backend) => backend,
             Err(e) => panic!("{e}"),
@@ -246,6 +188,11 @@ impl PwlBackend {
     ///
     /// Returns [`LutBuildError`] if the budget or entry configuration is
     /// out of domain.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `OperatorPlan` and serve through \
+                `gqa_serve::EngineBuilder` / `Engine::session` instead"
+    )]
     pub fn try_build(
         method: Method,
         replace: ReplaceSet,
@@ -253,16 +200,27 @@ impl PwlBackend {
         seed: u64,
         budget: f64,
     ) -> Result<Self, LutBuildError> {
+        #[allow(deprecated)]
         Self::try_build_with(LutRegistry::global(), method, replace, calib, seed, budget)
     }
 
     /// [`PwlBackend::try_build`] against a caller-owned registry (tests,
     /// bounded caches, pre-warmed snapshots).
     ///
+    /// Bit-compatibility contract: this routes through the same
+    /// `gqa_serve::build_datapath` construction an `Engine` uses, so a
+    /// `PwlBackend` and a `Session` built from the equivalent plan
+    /// produce identical output bits for every operator.
+    ///
     /// # Errors
     ///
     /// Returns [`LutBuildError`] if the budget or entry configuration is
     /// out of domain.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `OperatorPlan` and serve through \
+                `gqa_serve::EngineBuilder::with_registry` instead"
+    )]
     pub fn try_build_with(
         registry: &LutRegistry,
         method: Method,
@@ -271,22 +229,22 @@ impl PwlBackend {
         seed: u64,
         budget: f64,
     ) -> Result<Self, LutBuildError> {
-        let range = IntRange::signed(8);
-        let compile = |op: NonLinearOp| {
-            registry.get_or_build(&LutSpec::new(method, op, 8, seed).with_budget(budget))
-        };
+        let base = OpPlan::new(method).with_seed(seed).with_budget(budget);
         let scale_dep =
             |op: NonLinearOp, kind: UnaryKind| -> Result<IntLutInstance, LutBuildError> {
-                Ok(compile(op)?.instantiate(calib.pot_scale(kind), range))
+                let plan = base.with_scale(calib.pot_scale(kind));
+                let lut = registry.get_or_build(&plan.spec(op))?;
+                match build_datapath(&lut, op, plan.bits, plan.scale) {
+                    OpDatapath::Scaled(inst) => Ok(inst),
+                    OpDatapath::Wide(_) => unreachable!("{op} is scale-dependent"),
+                }
             };
         let wide = |op: NonLinearOp| -> Result<MultiRangeLut, LutBuildError> {
-            let lut = compile(op)?;
-            let scaling = match op {
-                NonLinearOp::Div => MultiRangeScaling::div_paper(),
-                NonLinearOp::Rsqrt => MultiRangeScaling::rsqrt_paper(),
-                _ => unreachable!("wide ops are DIV/RSQRT"),
-            };
-            Ok(MultiRangeLut::new(FxpPwl::new(&lut, 8), scaling))
+            let lut = registry.get_or_build(&base.spec(op))?;
+            match build_datapath(&lut, op, base.bits, base.scale) {
+                OpDatapath::Wide(unit) => Ok(unit),
+                OpDatapath::Scaled(_) => unreachable!("{op} is wide-range"),
+            }
         };
         Ok(Self {
             gelu: replace
@@ -310,7 +268,8 @@ impl PwlBackend {
     }
 
     /// Builds directly from pre-made LUTs (used by tests to avoid repeated
-    /// searches).
+    /// searches). Routes through the same `gqa_serve` datapath
+    /// construction as the engine, at the historical INT8 defaults.
     #[must_use]
     pub fn from_luts(
         gelu: Option<(QuantAwareLut, PowerOfTwoScale)>,
@@ -319,15 +278,28 @@ impl PwlBackend {
         recip: Option<QuantAwareLut>,
         rsqrt: Option<QuantAwareLut>,
     ) -> Self {
-        let range = IntRange::signed(8);
+        let scaled = |lut_scale: (QuantAwareLut, PowerOfTwoScale), op| match build_datapath(
+            &lut_scale.0,
+            op,
+            8,
+            lut_scale.1,
+        ) {
+            OpDatapath::Scaled(inst) => inst,
+            OpDatapath::Wide(_) => unreachable!("{op} is scale-dependent"),
+        };
+        let wide = |lut: QuantAwareLut, op| {
+            // The wide-range datapath ignores the input scale.
+            match build_datapath(&lut, op, 8, PowerOfTwoScale::new(-4)) {
+                OpDatapath::Wide(unit) => unit,
+                OpDatapath::Scaled(_) => unreachable!("{op} is wide-range"),
+            }
+        };
         Self {
-            gelu: gelu.map(|(l, s)| l.instantiate(s, range)),
-            hswish: hswish.map(|(l, s)| l.instantiate(s, range)),
-            exp: exp.map(|(l, s)| l.instantiate(s, range)),
-            recip: recip
-                .map(|l| MultiRangeLut::new(FxpPwl::new(&l, 8), MultiRangeScaling::div_paper())),
-            rsqrt: rsqrt
-                .map(|l| MultiRangeLut::new(FxpPwl::new(&l, 8), MultiRangeScaling::rsqrt_paper())),
+            gelu: gelu.map(|g| scaled(g, NonLinearOp::Gelu)),
+            hswish: hswish.map(|h| scaled(h, NonLinearOp::Hswish)),
+            exp: exp.map(|e| scaled(e, NonLinearOp::Exp)),
+            recip: recip.map(|l| wide(l, NonLinearOp::Div)),
+            rsqrt: rsqrt.map(|l| wide(l, NonLinearOp::Rsqrt)),
         }
     }
 }
@@ -391,7 +363,12 @@ impl UnaryBackend for PwlBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::luts::build_lut_budgeted;
+
+    /// Resolve an artifact the engine way (plan entry → owned registry).
+    fn quick_lut(method: Method, op: NonLinearOp, seed: u64) -> QuantAwareLut {
+        let plan = OpPlan::new(method).with_seed(seed).with_budget(0.1);
+        (*LutRegistry::global().get_or_build(&plan.spec(op)).unwrap()).clone()
+    }
 
     #[test]
     fn replace_set_labels() {
@@ -399,24 +376,6 @@ mod tests {
         assert_eq!(ReplaceSet::all().label(), "Altogether");
         assert_eq!(ReplaceSet::only(NonLinearOp::Exp).label(), "EXP only");
         assert_eq!(ReplaceSet::only(NonLinearOp::Div).label(), "DIV only");
-    }
-
-    #[test]
-    fn recorder_tracks_ranges() {
-        let rec = CalibrationRecorder::new();
-        let _ = rec.eval(UnaryKind::Gelu, -2.5);
-        let _ = rec.eval(UnaryKind::Gelu, 1.5);
-        assert_eq!(rec.range(UnaryKind::Gelu), Some((-2.5, 1.5)));
-        // Scale covers 2.5 with INT8.
-        let s = rec.pot_scale(UnaryKind::Gelu);
-        assert!(s.to_f64() * 127.0 >= 2.5);
-        assert_eq!(rec.range(UnaryKind::Exp), None);
-    }
-
-    #[test]
-    fn recorder_is_exact_on_values() {
-        let rec = CalibrationRecorder::new();
-        assert_eq!(rec.eval(UnaryKind::Recip, 4.0), 0.25);
     }
 
     #[test]
@@ -429,7 +388,7 @@ mod tests {
 
     #[test]
     fn pwl_backend_tracks_exact_within_tolerance() {
-        let lut = build_lut_budgeted(Method::GqaRm, NonLinearOp::Gelu, 8, 5, 0.1);
+        let lut = quick_lut(Method::GqaRm, NonLinearOp::Gelu, 5);
         let be = PwlBackend::from_luts(
             Some((lut, PowerOfTwoScale::new(-5))),
             None,
@@ -446,8 +405,8 @@ mod tests {
 
     #[test]
     fn div_rsqrt_through_multirange() {
-        let recip = build_lut_budgeted(Method::GqaNoRm, NonLinearOp::Div, 8, 6, 0.1);
-        let rsqrt = build_lut_budgeted(Method::GqaNoRm, NonLinearOp::Rsqrt, 8, 6, 0.1);
+        let recip = quick_lut(Method::GqaNoRm, NonLinearOp::Div, 6);
+        let rsqrt = quick_lut(Method::GqaNoRm, NonLinearOp::Rsqrt, 6);
         let be = PwlBackend::from_luts(None, None, None, Some(recip), Some(rsqrt));
         for &x in &[0.7, 1.5, 3.0, 10.0, 50.0] {
             assert!(

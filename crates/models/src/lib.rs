@@ -10,9 +10,12 @@
 //! * [`EfficientVitLite`] — a scaled-down EfficientViT-B0: conv stem,
 //!   MBConv blocks, ReLU linear attention (softmax-free, DIV-normalized),
 //!   HSWISH activations. Operator inventory: **HSWISH, DIV**.
-//! * [`PwlBackend`] — routes any subset of those operators through INT8
-//!   pwl LUTs produced by GQA-LUT or NN-LUT, with per-operator
-//!   power-of-two input scales calibrated on real activations.
+//! * [`PwlBackend`] — the legacy fixed bundle of INT8 pwl LUT datapaths.
+//!   New code serves models through `gqa_serve`: plan the operators with
+//!   an `OperatorPlan`, build an `Engine`, and hand its cloneable
+//!   `Session` (also a `UnaryBackend`) to the graph — the engine adds
+//!   per-operator hot swapping, owned registries, and sharded
+//!   persistence on top of the same bit-identical datapaths.
 //! * [`FinetuneHarness`] — the Table 4/5 protocol: FP pre-train →
 //!   INT8 (LSQ-PoT weight fake-quant) baseline → per-replacement
 //!   fine-tuning → mIoU on the SynthScapes validation split.
@@ -44,7 +47,9 @@ mod train;
 pub use backend::{CalibrationRecorder, PwlBackend, ReplaceSet};
 pub use efficientvit::{EffVitConfig, EfficientVitLite};
 pub use gqa_registry::HotSwapBackend;
-pub use luts::{build_lut, build_lut_budgeted, try_build_lut_budgeted, LutBuildError, Method};
+#[allow(deprecated)] // compatibility re-exports of the deprecated shims
+pub use luts::{build_lut, build_lut_budgeted, try_build_lut_budgeted};
+pub use luts::{LutBuildError, Method};
 pub use segformer::{SegConfig, SegformerLite};
 pub use train::{
     argmax_nchw, quantize_weights_pot, FinetuneHarness, FinetuneOutcome, SegModel, TrainConfig,

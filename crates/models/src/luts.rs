@@ -1,16 +1,18 @@
-//! The canonical method ↔ LUT builder shared by operator-level and
-//! model-level experiments.
+//! Deprecated method ↔ LUT builder shims, kept bit-compatible.
 //!
-//! Since the registry refactor these are thin cached façades: every call
-//! routes through the process-wide [`LutRegistry`],
-//! so rebuilding an identical `(method, op, entries, seed, budget)` artifact
-//! is a cache hit that runs **zero** search generations. The [`Method`]
-//! enum itself now lives in `gqa-registry` (the artifact layer) and is
-//! re-exported here for compatibility.
+//! The supported surface is the serving engine: build an
+//! `gqa_serve::OperatorPlan`, resolve it through an
+//! `gqa_serve::EngineBuilder`-owned registry, and read artifacts back with
+//! `Engine::artifact`. These free functions predate that layer; they now
+//! construct the same `gqa_serve::OpPlan` entries and resolve them through
+//! the process-global [`LutRegistry`], so they return bit-identical
+//! artifacts to the engine path (pinned by the root
+//! `tests/serving_engine.rs` equivalence suite) while new code migrates.
 
 use gqa_funcs::NonLinearOp;
 use gqa_pwl::QuantAwareLut;
-use gqa_registry::{LutRegistry, LutSpec};
+use gqa_registry::LutRegistry;
+use gqa_serve::OpPlan;
 
 pub use gqa_registry::{LutBuildError, Method};
 
@@ -22,6 +24,7 @@ pub use gqa_registry::{LutBuildError, Method};
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use gqa_models::{build_lut_budgeted, Method};
 /// use gqa_funcs::NonLinearOp;
 /// use gqa_fxp::{IntRange, PowerOfTwoScale};
@@ -39,8 +42,14 @@ pub use gqa_registry::{LutBuildError, Method};
 /// # Panics
 ///
 /// Panics if `entries` is not 8 or 16.
+#[deprecated(
+    since = "0.1.0",
+    note = "plan the operator with `gqa_serve::OperatorPlan` and resolve it \
+            through `gqa_serve::EngineBuilder` (or `LutRegistry::get_or_build`)"
+)]
 #[must_use]
 pub fn build_lut(method: Method, op: NonLinearOp, entries: usize, seed: u64) -> QuantAwareLut {
+    #[allow(deprecated)]
     build_lut_budgeted(method, op, entries, seed, 1.0)
 }
 
@@ -52,6 +61,11 @@ pub fn build_lut(method: Method, op: NonLinearOp, entries: usize, seed: u64) -> 
 ///
 /// Panics if `entries` is not 8 or 16 or `budget` is out of `(0, 1]`. Use
 /// [`try_build_lut_budgeted`] for a typed error instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "plan the operator with `gqa_serve::OperatorPlan` and resolve it \
+            through `gqa_serve::EngineBuilder` (or `LutRegistry::get_or_build`)"
+)]
 #[must_use]
 pub fn build_lut_budgeted(
     method: Method,
@@ -60,6 +74,7 @@ pub fn build_lut_budgeted(
     seed: u64,
     budget: f64,
 ) -> QuantAwareLut {
+    #[allow(deprecated)]
     match try_build_lut_budgeted(method, op, entries, seed, budget) {
         Ok(lut) => lut,
         Err(e) => panic!("{e}"),
@@ -73,6 +88,11 @@ pub fn build_lut_budgeted(
 /// # Errors
 ///
 /// Returns [`LutBuildError`] if the spec fails validation.
+#[deprecated(
+    since = "0.1.0",
+    note = "plan the operator with `gqa_serve::OperatorPlan` and resolve it \
+            through `gqa_serve::EngineBuilder` (or `LutRegistry::get_or_build`)"
+)]
 pub fn try_build_lut_budgeted(
     method: Method,
     op: NonLinearOp,
@@ -80,11 +100,18 @@ pub fn try_build_lut_budgeted(
     seed: u64,
     budget: f64,
 ) -> Result<QuantAwareLut, LutBuildError> {
-    let spec = LutSpec::new(method, op, entries, seed).with_budget(budget);
+    // Routed through the serving layer's plan type so the shim and the
+    // engine path stay one spelling (and therefore bit-compatible).
+    let spec = OpPlan::new(method)
+        .with_entries(entries)
+        .with_seed(seed)
+        .with_budget(budget)
+        .spec(op);
     Ok((*LutRegistry::global().get_or_build(&spec)?).clone())
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims under test are deliberately deprecated
 mod tests {
     use super::*;
 

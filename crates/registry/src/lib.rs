@@ -24,9 +24,13 @@
 //! * [`LutBuildError`] — typed validation failure (zero/out-of-domain
 //!   budget, unsupported entry count) instead of a panic deep in the
 //!   search.
-//! * JSON snapshots ([`LutRegistry::snapshot_json`] /
-//!   [`LutRegistry::load_snapshot`]) with bit-exact f64 round-tripping,
-//!   so bench binaries warm-start (`GQA_LUT_SNAPSHOT` env var).
+//! * JSON snapshots ([`LutRegistry::save_snapshot`] /
+//!   [`LutRegistry::load_snapshot`], plus the in-memory
+//!   [`LutRegistry::snapshot_json`] / [`LutRegistry::load_snapshot_json`]
+//!   pair and the per-key-filtered
+//!   [`LutRegistry::snapshot_json_where`]) with bit-exact f64
+//!   round-tripping, so bench binaries warm-start (`GQA_LUT_SNAPSHOT`
+//!   env var) and the serving engine shards its store per operator.
 //! * [`HotSwapBackend`] — an atomically replaceable serving backend, so a
 //!   live model graph hops between exact math and freshly compiled LUT
 //!   datapaths without rebuilding the graph.

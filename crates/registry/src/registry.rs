@@ -191,10 +191,8 @@ impl LutRegistry {
         GLOBAL.get_or_init(|| {
             let reg = LutRegistry::new();
             if let Ok(path) = std::env::var("GQA_LUT_SNAPSHOT") {
-                if let Ok(json) = std::fs::read_to_string(&path) {
-                    // A stale/corrupt snapshot must never poison startup.
-                    let _ = reg.load_snapshot(&json);
-                }
+                // A missing/stale/corrupt snapshot must never poison startup.
+                let _ = reg.load_snapshot(&path);
             }
             reg
         })

@@ -10,6 +10,7 @@
 //! and unsigned integers, which is exactly what the format uses.
 
 use std::fmt;
+use std::path::Path;
 use std::str::FromStr;
 use std::sync::Arc;
 
@@ -40,6 +41,9 @@ pub enum SnapshotError {
     UnknownIdent(String),
     /// The stored LUT parameters were internally inconsistent.
     BadArtifact(String),
+    /// Reading or writing the snapshot file failed (the underlying
+    /// `io::Error` rendered to text, so the error stays `Clone + Eq`).
+    Io(String),
 }
 
 impl fmt::Display for SnapshotError {
@@ -55,6 +59,7 @@ impl fmt::Display for SnapshotError {
             SnapshotError::BadField(name) => write!(f, "missing or malformed field `{name}`"),
             SnapshotError::UnknownIdent(s) => write!(f, "unknown method/operator `{s}`"),
             SnapshotError::BadArtifact(msg) => write!(f, "invalid stored artifact: {msg}"),
+            SnapshotError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
         }
     }
 }
@@ -66,7 +71,17 @@ impl LutRegistry {
     /// Deterministic: entries are ordered by their key's display form.
     #[must_use]
     pub fn snapshot_json(&self) -> String {
+        self.snapshot_json_where(|_| true)
+    }
+
+    /// [`LutRegistry::snapshot_json`] restricted to the keys `keep`
+    /// accepts — the seam the serving engine's **per-operator snapshot
+    /// shards** are written through (one file per operator, each a
+    /// complete, independently loadable snapshot).
+    #[must_use]
+    pub fn snapshot_json_where(&self, keep: impl Fn(&LutKey) -> bool) -> String {
         let mut entries = self.ready_entries();
+        entries.retain(|(k, _)| keep(k));
         entries.sort_by_key(|(k, _)| k.to_string());
         let mut out = String::with_capacity(256 + entries.len() * 512);
         out.push_str("{\n");
@@ -95,9 +110,27 @@ impl LutRegistry {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
-    pub fn save_snapshot(&self, path: &str) -> std::io::Result<()> {
+    /// Returns [`SnapshotError::Io`] when the write fails.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let path = path.as_ref();
         std::fs::write(path, self.snapshot_json())
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Loads artifacts from a snapshot file into the registry (overwriting
+    /// finished entries with equal keys). Returns the number of artifacts
+    /// loaded. For already-in-memory JSON use
+    /// [`LutRegistry::load_snapshot_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] when the file cannot be read, or any
+    /// [`SnapshotError`] from parsing its contents.
+    pub fn load_snapshot(&self, path: impl AsRef<Path>) -> Result<usize, SnapshotError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))?;
+        self.load_snapshot_json(&json)
     }
 
     /// Loads artifacts from snapshot JSON into the registry (overwriting
@@ -109,7 +142,7 @@ impl LutRegistry {
     /// Returns [`SnapshotError`] on malformed input; on error nothing
     /// further is inserted but earlier entries of the same snapshot may
     /// already have landed.
-    pub fn load_snapshot(&self, json: &str) -> Result<usize, SnapshotError> {
+    pub fn load_snapshot_json(&self, json: &str) -> Result<usize, SnapshotError> {
         let value = parse_json(json)?;
         let obj = value.as_obj().ok_or_else(|| bad("root"))?;
         let version = find(obj, "version")

@@ -115,7 +115,7 @@ fn snapshot_round_trips_bit_exactly() {
     let json = reg.snapshot_json();
 
     let warm = LutRegistry::new();
-    assert_eq!(warm.load_snapshot(&json), Ok(3));
+    assert_eq!(warm.load_snapshot_json(&json), Ok(3));
     assert_eq!(warm.len(), 3);
 
     // Every artifact must now be served warm, bit-identical to the
@@ -138,22 +138,79 @@ fn snapshot_round_trips_bit_exactly() {
 }
 
 #[test]
+fn snapshot_file_round_trips_through_typed_path_api() {
+    use gqa_registry::SnapshotError;
+    let dir = std::env::temp_dir().join(format!("gqa-registry-path-api-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snap.json"); // PathBuf, not &str: the typed API
+    let reg = LutRegistry::new();
+    reg.get_or_build(&quick_spec(NonLinearOp::Gelu, 31))
+        .unwrap();
+    reg.save_snapshot(&path).unwrap();
+
+    let warm = LutRegistry::new();
+    assert_eq!(warm.load_snapshot(&path), Ok(1));
+    let orig = reg
+        .get_or_build(&quick_spec(NonLinearOp::Gelu, 31))
+        .unwrap();
+    let loaded = warm
+        .get_or_build(&quick_spec(NonLinearOp::Gelu, 31))
+        .unwrap();
+    assert_eq!(*orig, *loaded);
+    assert_eq!(warm.stats().builds, 0);
+
+    // Both directions surface I/O failures as the typed variant, not a
+    // bare io::Result.
+    assert!(matches!(
+        warm.load_snapshot(dir.join("missing.json")),
+        Err(SnapshotError::Io(_))
+    ));
+    assert!(matches!(
+        reg.save_snapshot(dir.join("no-such-dir").join("snap.json")),
+        Err(SnapshotError::Io(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn filtered_snapshot_keeps_only_matching_keys() {
+    let reg = LutRegistry::new();
+    reg.get_or_build(&quick_spec(NonLinearOp::Gelu, 41))
+        .unwrap();
+    reg.get_or_build(&quick_spec(NonLinearOp::Div, 41)).unwrap();
+
+    let gelu_only = reg.snapshot_json_where(|k| k.op == NonLinearOp::Gelu);
+    let warm = LutRegistry::new();
+    assert_eq!(warm.load_snapshot_json(&gelu_only), Ok(1));
+    let builds_before = warm.stats().builds;
+    warm.get_or_build(&quick_spec(NonLinearOp::Gelu, 41))
+        .unwrap();
+    assert_eq!(warm.stats().builds, builds_before, "gelu must be warm");
+    warm.get_or_build(&quick_spec(NonLinearOp::Div, 41))
+        .unwrap();
+    assert_eq!(warm.stats().builds, builds_before + 1, "div was filtered");
+
+    // A filter admitting everything is the plain snapshot.
+    assert_eq!(reg.snapshot_json_where(|_| true), reg.snapshot_json());
+}
+
+#[test]
 fn snapshot_rejects_garbage() {
     let reg = LutRegistry::new();
-    assert!(reg.load_snapshot("not json").is_err());
+    assert!(reg.load_snapshot_json("not json").is_err());
     assert!(reg
-        .load_snapshot("{\"version\": 99, \"entries\": []}")
+        .load_snapshot_json("{\"version\": 99, \"entries\": []}")
         .is_err());
-    assert!(reg.load_snapshot("{\"version\": 1}").is_err());
+    assert!(reg.load_snapshot_json("{\"version\": 1}").is_err());
     // A snapshot without a pipeline marker is malformed.
     assert!(reg
-        .load_snapshot("{\"version\": 1, \"entries\": []}")
+        .load_snapshot_json("{\"version\": 1, \"entries\": []}")
         .is_err());
     let empty = format!(
         "{{\"version\": 1, \"pipeline\": {}, \"entries\": []}}",
         gqa_registry::PIPELINE_VERSION
     );
-    assert_eq!(reg.load_snapshot(&empty), Ok(0));
+    assert_eq!(reg.load_snapshot_json(&empty), Ok(0));
 }
 
 #[test]
@@ -165,7 +222,7 @@ fn snapshot_from_another_pipeline_revision_is_refused() {
         gqa_registry::PIPELINE_VERSION + 1
     );
     assert_eq!(
-        reg.load_snapshot(&stale),
+        reg.load_snapshot_json(&stale),
         Err(SnapshotError::StalePipeline(
             gqa_registry::PIPELINE_VERSION + 1
         ))

@@ -1,0 +1,141 @@
+//! Per-operator input-range calibration (moved here from `gqa-models`
+//! so the serving layer can fix power-of-two input scales without
+//! depending on the model crates; `gqa_models::CalibrationRecorder`
+//! re-exports this type).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use gqa_fxp::{IntRange, PowerOfTwoScale};
+use gqa_tensor::{ExactBackend, UnaryBackend, UnaryKind};
+
+/// Records per-operator input ranges during an exact forward pass
+/// (the calibration step that fixes the power-of-two input scales).
+#[derive(Debug, Default)]
+pub struct CalibrationRecorder {
+    ranges: Mutex<HashMap<UnaryKind, (f64, f64)>>,
+}
+
+impl CalibrationRecorder {
+    /// Empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The observed `(min, max)` for a kind, if any input was seen.
+    #[must_use]
+    pub fn range(&self, kind: UnaryKind) -> Option<(f64, f64)> {
+        self.ranges.lock().expect("poisoned").get(&kind).copied()
+    }
+
+    /// The power-of-two scale covering the observed absolute maximum for a
+    /// kind (falls back to `2^-4` when the kind never fired).
+    #[must_use]
+    pub fn pot_scale(&self, kind: UnaryKind) -> PowerOfTwoScale {
+        match self.range(kind) {
+            Some((lo, hi)) => {
+                let max_abs = lo.abs().max(hi.abs()).max(1e-6);
+                PowerOfTwoScale::covering(max_abs, IntRange::signed(8))
+            }
+            None => PowerOfTwoScale::new(-4),
+        }
+    }
+}
+
+impl UnaryBackend for CalibrationRecorder {
+    fn eval(&self, kind: UnaryKind, x: f64) -> f64 {
+        if x.is_finite() {
+            let mut map = self.ranges.lock().expect("poisoned");
+            let e = map.entry(kind).or_insert((x, x));
+            e.0 = e.0.min(x);
+            e.1 = e.1.max(x);
+        }
+        kind.exact(x)
+    }
+
+    /// Batched calibration: folds the tensor's min/max locally and takes
+    /// the range lock once per tensor instead of once per element, then
+    /// evaluates exactly through the batched kernel.
+    fn eval_many(&self, kind: UnaryKind, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        let mut seen: Option<(f64, f64)> = None;
+        for &x in xs {
+            if x.is_finite() {
+                let e = seen.get_or_insert((x, x));
+                e.0 = e.0.min(x);
+                e.1 = e.1.max(x);
+            }
+        }
+        if let Some((lo, hi)) = seen {
+            let mut map = self.ranges.lock().expect("poisoned");
+            let e = map.entry(kind).or_insert((lo, hi));
+            e.0 = e.0.min(lo);
+            e.1 = e.1.max(hi);
+        }
+        ExactBackend.eval_many(kind, xs, out);
+    }
+
+    /// The `f32` tensor path: min/max folded over the native buffer
+    /// (widening each observation, so recorded ranges are identical to
+    /// the staged path), one lock per tensor, then the exact backend's
+    /// `f32` kernel.
+    fn eval_many_f32(&self, kind: UnaryKind, xs: &[f32], out: &mut [f32]) {
+        assert_eq!(xs.len(), out.len(), "batch length mismatch");
+        let mut seen: Option<(f64, f64)> = None;
+        for &x in xs {
+            if x.is_finite() {
+                let x = f64::from(x);
+                let e = seen.get_or_insert((x, x));
+                e.0 = e.0.min(x);
+                e.1 = e.1.max(x);
+            }
+        }
+        if let Some((lo, hi)) = seen {
+            let mut map = self.ranges.lock().expect("poisoned");
+            let e = map.entry(kind).or_insert((lo, hi));
+            e.0 = e.0.min(lo);
+            e.1 = e.1.max(hi);
+        }
+        ExactBackend.eval_many_f32(kind, xs, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_tracks_ranges() {
+        let rec = CalibrationRecorder::new();
+        let _ = rec.eval(UnaryKind::Gelu, -2.5);
+        let _ = rec.eval(UnaryKind::Gelu, 1.5);
+        assert_eq!(rec.range(UnaryKind::Gelu), Some((-2.5, 1.5)));
+        // Scale covers 2.5 with INT8.
+        let s = rec.pot_scale(UnaryKind::Gelu);
+        assert!(s.to_f64() * 127.0 >= 2.5);
+        assert_eq!(rec.range(UnaryKind::Exp), None);
+    }
+
+    #[test]
+    fn recorder_is_exact_on_values() {
+        let rec = CalibrationRecorder::new();
+        assert_eq!(rec.eval(UnaryKind::Recip, 4.0), 0.25);
+    }
+
+    #[test]
+    fn batched_and_scalar_calibration_agree() {
+        let xs = [-1.5, 0.25, 3.0, f64::NAN, -0.5];
+        let scalar = CalibrationRecorder::new();
+        for &x in &xs {
+            let _ = scalar.eval(UnaryKind::Hswish, x);
+        }
+        let batched = CalibrationRecorder::new();
+        let mut out = vec![0.0; xs.len()];
+        batched.eval_many(UnaryKind::Hswish, &xs, &mut out);
+        assert_eq!(
+            scalar.range(UnaryKind::Hswish),
+            batched.range(UnaryKind::Hswish)
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! The engine's storage layer: per-operator snapshot shards with
+//! file-metadata (mtime + length) invalidation.
+//!
+//! Each planned operator persists to its own file, `lut-<op>.json`, in the
+//! engine's snapshot directory; every shard is a complete, independently
+//! loadable registry snapshot restricted to that operator's keys. Sharding
+//! per operator is what makes [`crate::Engine::refresh`] cheap for
+//! long-lived serving processes: a rebuild of one operator's artifact
+//! touches one small file, and a refresh stats every shard but re-parses
+//! only the ones whose metadata changed.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+use gqa_funcs::NonLinearOp;
+use gqa_registry::{LutRegistry, SnapshotError};
+
+/// File name of the snapshot shard holding `op`'s artifacts.
+#[must_use]
+pub fn shard_file_name(op: NonLinearOp) -> String {
+    format!("lut-{}.json", op.name())
+}
+
+/// Observed shard-file state; a change in either field invalidates the
+/// in-memory copy. (mtime alone is not enough on coarse-granularity
+/// filesystems; length alone misses same-size rewrites.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShardMeta {
+    mtime: SystemTime,
+    len: u64,
+}
+
+/// The per-operator shard directory plus the metadata observed at the
+/// last load/save of each shard.
+#[derive(Debug)]
+pub(crate) struct ShardStore {
+    dir: PathBuf,
+    seen: HashMap<&'static str, Option<ShardMeta>>,
+}
+
+impl ShardStore {
+    pub(crate) fn new(dir: PathBuf) -> Self {
+        Self {
+            dir,
+            seen: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub(crate) fn shard_path(&self, op: NonLinearOp) -> PathBuf {
+        self.dir.join(shard_file_name(op))
+    }
+
+    fn stat(&self, op: NonLinearOp) -> Option<ShardMeta> {
+        let meta = std::fs::metadata(self.shard_path(op)).ok()?;
+        Some(ShardMeta {
+            mtime: meta.modified().ok()?,
+            len: meta.len(),
+        })
+    }
+
+    /// Whether `op`'s shard changed (or appeared/disappeared) since the
+    /// last load/save. Never touches file contents — a refresh over an
+    /// unchanged store is pure `stat` calls.
+    pub(crate) fn is_stale(&self, op: NonLinearOp) -> bool {
+        let current = self.stat(op);
+        self.seen.get(op.name()).copied() != Some(current)
+    }
+
+    /// Whether `op`'s shard file currently exists.
+    pub(crate) fn exists(&self, op: NonLinearOp) -> bool {
+        self.stat(op).is_some()
+    }
+
+    /// Loads `op`'s shard into `registry` (if it exists) and records its
+    /// metadata — **even when parsing fails**, so a corrupt shard is
+    /// observed once rather than re-parsed on every refresh. Returns the
+    /// number of artifacts loaded; a missing shard loads zero and is not
+    /// an error (cold start).
+    pub(crate) fn load(
+        &mut self,
+        registry: &LutRegistry,
+        op: NonLinearOp,
+    ) -> Result<usize, SnapshotError> {
+        let current = self.stat(op);
+        self.seen.insert(op.name(), current);
+        match current {
+            Some(_) => registry.load_snapshot(self.shard_path(op)),
+            None => Ok(0),
+        }
+    }
+
+    /// Writes `op`'s artifacts from `registry` to its shard file and
+    /// records the resulting metadata (so the engine does not immediately
+    /// re-read its own write on the next refresh).
+    pub(crate) fn save(
+        &mut self,
+        registry: &LutRegistry,
+        op: NonLinearOp,
+    ) -> Result<PathBuf, SnapshotError> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", self.dir.display())))?;
+        let path = self.shard_path(op);
+        let json = registry.snapshot_json_where(|k| k.op == op);
+        std::fs::write(&path, json)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))?;
+        self.seen.insert(op.name(), self.stat(op));
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_names_are_per_operator() {
+        assert_eq!(shard_file_name(NonLinearOp::Gelu), "lut-gelu.json");
+        assert_eq!(shard_file_name(NonLinearOp::Div), "lut-div.json");
+    }
+
+    #[test]
+    fn missing_shard_is_cold_not_an_error() {
+        let dir = std::env::temp_dir().join(format!("gqa-shard-cold-{}", std::process::id()));
+        let mut store = ShardStore::new(dir.clone());
+        let reg = LutRegistry::new();
+        assert!(store.is_stale(NonLinearOp::Gelu), "unseen shard is stale");
+        assert_eq!(store.load(&reg, NonLinearOp::Gelu), Ok(0));
+        assert!(
+            !store.is_stale(NonLinearOp::Gelu),
+            "absence, once observed, is not stale"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -2,8 +2,11 @@
 //! LUT-based pwl (§2.2): any scalar non-linearity can be compiled onto the
 //! same hardware engine.
 //!
-//! Here we approximate the Mish activation `x·tanh(softplus(x))`, which is
-//! not in the paper's operator set, with an 8-entry INT8 LUT.
+//! Part 1 approximates the Mish activation `x·tanh(softplus(x))`, which is
+//! not in the paper's operator set, with a hand-driven 8-entry INT8 search.
+//! Part 2 shows the serving-engine spelling for operators *with* a
+//! tensor-level kind: TANH (an extension beyond the paper's five) planned,
+//! resolved, and served through an `Engine` session like any paper op.
 //!
 //! Run with: `cargo run --release --example custom_function`
 
@@ -13,12 +16,16 @@ use gqa::funcs::{softplus, tanh, NonLinearOp};
 use gqa::fxp::{IntRange, PowerOfTwoScale};
 use gqa::genetic::{GeneticSearch, SearchConfig};
 use gqa::pwl::eval;
+use gqa::registry::Method;
+use gqa::serve::{EngineBuilder, OpPlan, OperatorPlan};
+use gqa::tensor::{UnaryBackend, UnaryKind};
 
 fn mish(x: f64) -> f64 {
     x * tanh(softplus(x))
 }
 
 fn main() {
+    // ---- Part 1: a function outside the operator registry (Mish) -------
     // The op field only provides labeling defaults; range and function are
     // overridden for the custom target.
     let mut config = SearchConfig::for_op(NonLinearOp::Silu).with_seed(11);
@@ -50,4 +57,26 @@ fn main() {
         let y = inst.eval_f64(x);
         println!("mish({x:>5.2}) = {:>8.4}   pwl = {y:>8.4}", mish(x));
     }
+
+    // ---- Part 2: extension operators through the serving engine --------
+    // Any registry operator with a tensor-level kind — TANH here — plans
+    // and serves exactly like the paper's five.
+    let plan = OperatorPlan::new().with(
+        NonLinearOp::Tanh,
+        OpPlan::new(Method::GqaRm)
+            .with_seed(11)
+            .with_budget(0.1)
+            .with_scale(PowerOfTwoScale::new(-5)),
+    );
+    let engine = EngineBuilder::new(plan).build().expect("engine build");
+    let session = engine.session();
+    println!("\nTANH served through an engine session (vs exact):");
+    for &x in &[-2.0f64, -0.5, 0.0, 0.5, 2.0] {
+        println!(
+            "tanh({x:>5.2}) = {:>8.4}   session = {:>8.4}",
+            x.tanh(),
+            session.eval(UnaryKind::Tanh, x)
+        );
+    }
+    println!("engine: {}", engine.stats());
 }

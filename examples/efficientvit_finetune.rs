@@ -1,12 +1,14 @@
 //! The EfficientVitLite counterpart of `segformer_finetune` (a row of
 //! Table 5): linear attention's DIV normalizer and every HSWISH go through
-//! INT8 pwl LUTs.
+//! INT8 pwl LUTs, served by ONE engine whose control plane retunes both
+//! operators from method to method (`Engine::swap`) between fine-tunes —
+//! the session handed to the harness never changes.
 //!
 //! Run with: `cargo run --release --example efficientvit_finetune`
 
-use gqa::models::{
-    EffVitConfig, EfficientVitLite, FinetuneHarness, Method, PwlBackend, ReplaceSet, TrainConfig,
-};
+use gqa::models::{EffVitConfig, EfficientVitLite, FinetuneHarness, TrainConfig};
+use gqa::registry::Method;
+use gqa::serve::{EngineBuilder, OpPlan, OperatorPlan};
 use gqa::tensor::ParamStore;
 
 fn main() {
@@ -31,15 +33,22 @@ fn main() {
     );
 
     let calib = harness.calibrate(&model, &ps);
-    let replace = ReplaceSet {
-        hswish: true,
-        div: true,
-        ..ReplaceSet::none()
+    let plan_for = |method: Method| {
+        OperatorPlan::efficientvit(OpPlan::new(method).with_seed(78).with_budget(0.2))
+            .calibrated(&calib)
     };
+
+    // Build once with the first method; retune in place for the rest.
+    let engine = EngineBuilder::new(plan_for(Method::ALL[0]))
+        .build()
+        .expect("engine build");
+    let session = engine.session();
     for method in Method::ALL {
-        let backend = PwlBackend::build(method, replace, &calib, 78, 0.2);
+        for (op, p) in plan_for(method).iter() {
+            engine.swap(op, *p).expect("retune operator");
+        }
         let mut ps_lut = ps.clone();
-        let out = harness.finetune_with_backend(&model, &mut ps_lut, &backend);
+        let out = harness.finetune_with_backend(&model, &mut ps_lut, &session);
         println!(
             "{:<16} HSWISH+DIV on LUTs: mIoU {:.2}% (Δ {:+.2})",
             method.label(),
@@ -47,4 +56,5 @@ fn main() {
             100.0 * (out.miou - baseline.miou)
         );
     }
+    println!("engine: {}", engine.stats());
 }

@@ -1,9 +1,14 @@
 //! Hardware cost exploration: area/power of the pwl LUT unit across
-//! precisions, entry counts and clock frequencies, plus generated Verilog.
+//! precisions, entry counts and clock frequencies, generated Verilog, and
+//! the silicon bill-of-materials implied by a serving-engine
+//! `OperatorPlan` (one pwl unit per planned operator).
 //!
 //! Run with: `cargo run --release --example hardware_report`
 
+use gqa::funcs::NonLinearOp;
 use gqa::hardware::{verilog, Precision, PwlUnit, TechnologyModel};
+use gqa::registry::Method;
+use gqa::serve::{EngineBuilder, OpPlan, OperatorPlan};
 
 fn main() {
     let tech = TechnologyModel::tsmc28_500mhz();
@@ -36,4 +41,33 @@ fn main() {
 
     println!("\ngenerated Verilog for the INT8 8-entry quant-aware unit:\n");
     println!("{}", verilog::emit_pwl_unit(Precision::Int8, 8));
+
+    // The serving-engine tie-in: a deployed OperatorPlan implies one pwl
+    // unit per planned operator; cost the plan the engine actually
+    // resolved (entries straight from `Engine::plan`).
+    let base = OpPlan::new(Method::GqaRm).with_seed(7).with_budget(0.02);
+    let engine = EngineBuilder::new(
+        OperatorPlan::segformer(base).with(NonLinearOp::Hswish, base.with_entries(16)),
+    )
+    .build()
+    .expect("engine build");
+    println!("\nsilicon bill-of-materials for the engine's operator plan:");
+    println!(
+        "{:<10} {:>8} {:>12} {:>11}",
+        "operator", "entries", "area (um2)", "power (mW)"
+    );
+    let (mut area, mut power) = (0.0, 0.0);
+    for (op, p) in engine.plan().iter() {
+        let unit = PwlUnit::new(Precision::Int8, p.entries);
+        area += unit.area_um2(&tech);
+        power += unit.power_mw(&tech);
+        println!(
+            "{:<10} {:>8} {:>12.0} {:>11.2}",
+            op.name(),
+            p.entries,
+            unit.area_um2(&tech),
+            unit.power_mw(&tech)
+        );
+    }
+    println!("{:<10} {:>8} {area:>12.0} {power:>11.2}", "TOTAL", "");
 }

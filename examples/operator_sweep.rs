@@ -2,13 +2,18 @@
 //! against the NN-LUT baseline on every paper operator, across INT8
 //! scaling factors — a compact version of the paper's Figures 2(a)/3.
 //!
+//! The artifacts are resolved through a serving `Engine`: one engine per
+//! operator column, with `Engine::swap` retuning the operator from method
+//! to method and `Engine::artifact` exposing the currently served LUT for
+//! offline scoring. The engine's owned registry caches across the sweep.
+//!
 //! Run with: `cargo run --release --example operator_sweep`
 
 use gqa::funcs::NonLinearOp;
 use gqa::fxp::IntRange;
-use gqa::models::luts::build_lut_budgeted;
-use gqa::models::Method;
 use gqa::pwl::eval;
+use gqa::registry::Method;
+use gqa::serve::{EngineBuilder, OpPlan, OperatorPlan};
 
 fn main() {
     // Moderate budget so the example finishes in seconds; the bench
@@ -23,8 +28,19 @@ fn main() {
                 .map(|i| format!("{:>9}", format!("S=2^-{i}")))
                 .collect::<String>()
         );
+        // One single-operator engine per column; swapping retunes it to
+        // each method in place.
+        let first = OpPlan::new(Method::ALL[0])
+            .with_seed(42)
+            .with_budget(budget);
+        let engine = EngineBuilder::new(OperatorPlan::new().with(op, first))
+            .build()
+            .expect("engine build");
         for method in Method::ALL {
-            let lut = build_lut_budgeted(method, op, 8, 42, budget);
+            engine
+                .swap(op, OpPlan::new(method).with_seed(42).with_budget(budget))
+                .expect("retune");
+            let lut = engine.artifact(op).expect("planned op");
             let range = IntRange::signed(8);
             let clip = Some(op.default_range());
             let mses: Vec<f64> = eval::paper_scale_sweep()
@@ -48,7 +64,7 @@ fn main() {
                     .collect::<String>()
             );
         }
-        println!();
+        println!("engine: {}\n", engine.stats());
     }
     println!("Expected shape: GQA-LUT w/ RM stays low at large scales (left columns)");
     println!("where NN-LUT and the w/o RM variant suffer breakpoint deviation.");

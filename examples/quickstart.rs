@@ -1,50 +1,94 @@
-//! Quickstart: approximate GELU with GQA-LUT, inspect the LUT, and run the
-//! INT8 datapath.
+//! Quickstart: the serving engine end to end — build a multi-operator
+//! plan, serve a model forward pass through a `Session`, hot-swap one
+//! operator mid-run, persist per-operator snapshot shards, and pick up a
+//! republished artifact with `Engine::refresh` (no restart).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use gqa::funcs::NonLinearOp;
-use gqa::fxp::{IntRange, PowerOfTwoScale};
-use gqa::genetic::{GeneticSearch, SearchConfig};
+use gqa::models::{SegConfig, SegformerLite};
+use gqa::registry::Method;
+use gqa::serve::{EngineBuilder, OpPlan, OperatorPlan};
+use gqa::tensor::{Graph, ParamStore, Tensor, UnaryBackend};
+
+fn forward(backend: &dyn UnaryBackend, model: &SegformerLite, ps: &ParamStore) -> Vec<f32> {
+    let mut g = Graph::new(backend);
+    let x = g.input(Tensor::full(&[1, 3, 16, 32], 0.4));
+    let y = model.forward(&mut g, ps, x);
+    g.value(y).data.clone()
+}
 
 fn main() {
-    // 1. Configure the search with the paper's Table-1 defaults for GELU
-    //    (8-entry LUT, Rounding Mutation, T = 500 generations).
-    let config = SearchConfig::for_op(NonLinearOp::Gelu).with_seed(7);
+    // 1. A typed multi-operator plan: SegformerLite's full non-linear
+    //    inventory (EXP, GELU, DIV, RSQRT) on GQA-LUT w/ RM 8-entry INT8
+    //    LUTs. Example-sized budget; production plans use 1.0.
+    let base = OpPlan::new(Method::GqaRm).with_seed(7).with_budget(0.05);
+    let plan = OperatorPlan::segformer(base);
+    println!("operator plan:\n{plan}\n");
+
+    // 2. Build the engine. It owns its artifact registry (no process
+    //    globals) and persists per-operator snapshot shards under `dir`.
+    let dir = std::env::temp_dir().join(format!("gqa-quickstart-shards-{}", std::process::id()));
+    let engine = EngineBuilder::new(plan)
+        .with_snapshot_dir(&dir)
+        .build()
+        .expect("engine build");
+
+    // 3. Serve a model forward pass through a session. `Session` is a
+    //    `UnaryBackend`, so it plugs into the graph like any backend.
+    let mut ps = ParamStore::new();
+    let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 1);
+    let session = engine.session();
+    let logits_rm = forward(&session, &model, &ps);
     println!(
-        "Searching a {}-entry LUT for {} over [{}, {}] ...",
-        config.num_entries(),
-        config.op,
-        config.range.0,
-        config.range.1
+        "forward #1 (GQA-LUT w/ RM everywhere): logits[0] = {:.5}",
+        logits_rm[0]
     );
 
-    // 2. Run the genetic search.
-    let result = GeneticSearch::new(config).run();
-    println!("final grid MSE: {:.3e}", result.best_mse());
-    println!("\nwinning breakpoints: {:?}", result.breakpoints());
-    println!("\nFXP-rounded pwl:\n{}", result.pwl());
+    // 4. Hot-swap ONE operator mid-run: retune GELU onto the NN-LUT
+    //    baseline. Every live session observes the swap at its next
+    //    tensor-level call; in-flight tensors finish on the datapath they
+    //    resolved (the hot-swap contract).
+    engine
+        .swap(
+            NonLinearOp::Gelu,
+            OpPlan::new(Method::NnLut).with_seed(9).with_budget(0.05),
+        )
+        .expect("swap gelu");
+    let logits_swapped = forward(&session, &model, &ps);
+    println!(
+        "forward #2 (GELU hot-swapped to NN-LUT): logits[0] = {:.5}  (changed: {})",
+        logits_swapped[0],
+        logits_rm != logits_swapped
+    );
 
-    // 3. Materialize the INT8 LUT for one scaling factor and evaluate a few
-    //    inputs through the integer datapath of Figure 1(b).
-    let scale = PowerOfTwoScale::new(-4); // S = 1/16
-    let inst = result.lut().instantiate(scale, IntRange::signed(8));
-    println!(
-        "quantized breakpoints at S = {scale}: {:?}",
-        inst.breakpoints_q()
-    );
-    println!(
-        "\n{:>8} {:>8} {:>12} {:>12} {:>10}",
-        "x", "q", "pwl(x)", "gelu(x)", "error"
-    );
-    for i in -4..=4 {
-        let x = i as f64 * 0.75;
-        let q = inst.quantize_input(x);
-        let approx = inst.eval_dequantized(q);
-        let exact = NonLinearOp::Gelu.eval(x);
-        println!(
-            "{x:>8.3} {q:>8} {approx:>12.5} {exact:>12.5} {:>10.2e}",
-            (approx - exact).abs()
-        );
+    // 5. Persist the store: one snapshot shard per operator.
+    let shards = engine.save_shards().expect("save shards");
+    println!("\nwrote {} per-operator shards:", shards.len());
+    for p in &shards {
+        println!("  {}", p.display());
     }
+
+    // 6. An "offline rebuilder" (second engine on the same store)
+    //    republishes the artifacts the serving engine currently uses —
+    //    rewriting the shard files.
+    let rebuilder = EngineBuilder::new(engine.plan())
+        .with_snapshot_dir(&dir)
+        .build()
+        .expect("rebuilder");
+    rebuilder.save_shards().expect("republish shards");
+
+    // 7. The long-lived serving process picks the rebuilt artifacts up
+    //    WITHOUT a restart: refresh stats every shard (cheap) and reloads
+    //    only the changed ones into every live session.
+    let reloaded = engine.refresh().expect("refresh");
+    let logits_refreshed = forward(&session, &model, &ps);
+    println!(
+        "\nrefresh reloaded {reloaded} operators from changed shards; \
+         forward #3 bit-identical to #2: {}",
+        logits_swapped == logits_refreshed
+    );
+
+    println!("\nengine stats: {}", engine.stats());
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,14 +1,15 @@
 //! End-to-end model experiment (a single row of Table 4): pre-train
-//! SegformerLite on SynthScapes, quantize to INT8, replace every
-//! non-linear operator with GQA-LUT w/ RM 8-entry LUTs, fine-tune, and
-//! compare mIoU against the quantized baseline.
+//! SegformerLite on SynthScapes, quantize to INT8, serve every non-linear
+//! operator through GQA-LUT w/ RM 8-entry LUTs via the serving engine,
+//! fine-tune, and compare mIoU against the quantized baseline.
 //!
 //! Run with: `cargo run --release --example segformer_finetune`
 //! (takes a few minutes; it trains a small model from scratch)
 
-use gqa::models::{
-    FinetuneHarness, Method, PwlBackend, ReplaceSet, SegConfig, SegformerLite, TrainConfig,
-};
+use gqa::funcs::NonLinearOp;
+use gqa::models::{FinetuneHarness, SegConfig, SegformerLite, TrainConfig};
+use gqa::registry::Method;
+use gqa::serve::{EngineBuilder, OpPlan, OperatorPlan};
 use gqa::tensor::ParamStore;
 
 fn main() {
@@ -35,20 +36,22 @@ fn main() {
     println!("calibrating operator input ranges...");
     let calib = harness.calibrate(&model, &ps);
 
-    println!("building GQA-LUT w/ RM backends and fine-tuning (Altogether row)...");
-    let replace = ReplaceSet {
-        gelu: true,
-        exp: true,
-        div: true,
-        rsqrt: true,
-        hswish: false,
-    };
-    let backend = PwlBackend::build(Method::GqaRm, replace, &calib, 77, 0.2);
+    println!("building the serving engine (Altogether row) and fine-tuning...");
+    let base = OpPlan::new(Method::GqaRm).with_seed(77).with_budget(0.2);
+    let plan = OperatorPlan::new()
+        .with(NonLinearOp::Exp, base)
+        .with(NonLinearOp::Gelu, base)
+        .with(NonLinearOp::Div, base)
+        .with(NonLinearOp::Rsqrt, base)
+        .calibrated(&calib);
+    let engine = EngineBuilder::new(plan).build().expect("engine build");
+    let session = engine.session();
     let mut ps_lut = ps.clone();
-    let out = harness.finetune_with_backend(&model, &mut ps_lut, &backend);
+    let out = harness.finetune_with_backend(&model, &mut ps_lut, &session);
     println!(
         "with all non-linear ops on INT8 pwl LUTs: mIoU {:.2}% (Δ {:+.2} vs baseline)",
         100.0 * out.miou,
         100.0 * (out.miou - baseline.miou)
     );
+    println!("engine: {}", engine.stats());
 }

@@ -15,6 +15,10 @@
 //! * [`nnlut`] — the NN-LUT baseline (neural pwl extraction).
 //! * [`registry`] — the content-addressed LUT artifact registry (cached,
 //!   deduplicated compilation; JSON snapshots; hot-swappable backends).
+//! * [`serve`] — the serving engine: typed [`serve::OperatorPlan`]s
+//!   resolved into per-operator hot-swap datapaths behind cloneable
+//!   [`serve::Session`] handles, with an operator-level control plane
+//!   (`swap`/`refresh`/`stats`) and per-operator snapshot shards.
 //! * [`quant`] — LSQ / power-of-two quantizers and integer-only pipeline glue.
 //! * [`tensor`] — minimal CPU tensor library with reverse-mode autodiff.
 //! * [`data`] — SynthScapes synthetic segmentation dataset + mIoU metrics.
@@ -30,13 +34,45 @@
 //! * `parallel` (default) — multi-threaded genetic population scoring;
 //!   results identical, serial with it off.
 //!
-//! ## Quickstart
+//! ## Quickstart: serve a model through the engine
+//!
+//! The single typed surface for "serve this model with this
+//! op→method/precision plan" is the [`serve`] engine: plan the
+//! operators, build the engine (it owns its artifact registry), and hand
+//! out sessions — each one a `UnaryBackend` the model graphs consume.
+//!
+//! ```
+//! use gqa::serve::{EngineBuilder, OperatorPlan, OpPlan};
+//! use gqa::registry::Method;
+//! use gqa::funcs::NonLinearOp;
+//! use gqa::tensor::{UnaryBackend, UnaryKind};
+//!
+//! // Small budget for the doctest; production plans use budget 1.0
+//! // (the paper's T = 500 generations).
+//! let base = OpPlan::new(Method::GqaRm).with_seed(7).with_budget(0.05);
+//! let plan = OperatorPlan::new()
+//!     .with(NonLinearOp::Gelu, base)
+//!     .with(NonLinearOp::Div, base);
+//! let engine = EngineBuilder::new(plan).build().unwrap();
+//!
+//! // Sessions are cheap clones; `Graph::new(&session)` serves a model.
+//! let session = engine.session();
+//! assert!((session.eval(UnaryKind::Gelu, 1.0) - 0.841).abs() < 0.1);
+//!
+//! // The control plane retunes one operator across every live session.
+//! let retuned = base.with_seed(8);
+//! engine.swap(NonLinearOp::Gelu, retuned).unwrap();
+//! assert_eq!(engine.plan().get(NonLinearOp::Gelu).unwrap().seed, 8);
+//! assert_eq!(engine.stats().swaps, 1);
+//! ```
+//!
+//! The underlying layers remain directly usable — e.g. running the
+//! genetic search by hand:
 //!
 //! ```
 //! use gqa::genetic::{GeneticSearch, SearchConfig};
 //! use gqa::funcs::NonLinearOp;
 //!
-//! // Small budget for the doctest; the paper uses T = 500 generations.
 //! let cfg = SearchConfig::for_op(NonLinearOp::Gelu)
 //!     .with_generations(20)
 //!     .with_population(16)
@@ -55,5 +91,6 @@ pub use gqa_nnlut as nnlut;
 pub use gqa_pwl as pwl;
 pub use gqa_quant as quant;
 pub use gqa_registry as registry;
+pub use gqa_serve as serve;
 pub use gqa_simd as simd;
 pub use gqa_tensor as tensor;

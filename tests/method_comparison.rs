@@ -1,6 +1,12 @@
 //! Integration: the paper's headline comparison — NN-LUT vs GQA-LUT w/o RM
 //! vs GQA-LUT w/ RM — holds at reduced budget.
 
+// The deprecated `build_lut_budgeted` shim is pinned bit-identical to the
+// engine path by tests/serving_engine.rs, so this suite uses it directly
+// (the global registry shares the artifacts across the tests in this
+// binary) rather than re-spelling the plan→spec construction a third time.
+#![allow(deprecated)]
+
 use gqa::funcs::NonLinearOp;
 use gqa::fxp::IntRange;
 use gqa::models::luts::build_lut_budgeted;

@@ -4,12 +4,39 @@
 use std::sync::Arc;
 
 use gqa::funcs::NonLinearOp;
-use gqa::models::luts::build_lut_budgeted;
 use gqa::models::{
     CalibrationRecorder, EffVitConfig, EfficientVitLite, FinetuneHarness, HotSwapBackend, Method,
     PwlBackend, ReplaceSet, SegConfig, SegformerLite, TrainConfig,
 };
+use gqa::registry::LutRegistry;
+use gqa::serve::{EngineBuilder, OpPlan};
 use gqa::tensor::{ExactBackend, Graph, ParamStore, Tensor, UnaryBackend, UnaryKind};
+
+/// One registry shared by every engine in this binary, so repeated specs
+/// run zero extra search generations (the role `LutRegistry::global()`
+/// used to play for `PwlBackend::build`).
+fn shared_registry() -> std::sync::Arc<LutRegistry> {
+    static SHARED: std::sync::OnceLock<std::sync::Arc<LutRegistry>> = std::sync::OnceLock::new();
+    std::sync::Arc::clone(SHARED.get_or_init(|| std::sync::Arc::new(LutRegistry::new())))
+}
+
+/// An engine session for `replace` at the given method/seed/budget.
+fn engine_session(
+    method: Method,
+    replace: ReplaceSet,
+    calib: &CalibrationRecorder,
+    seed: u64,
+    budget: f64,
+) -> gqa::serve::Session {
+    let plan = replace
+        .to_plan(OpPlan::new(method).with_seed(seed).with_budget(budget))
+        .calibrated(calib);
+    EngineBuilder::new(plan)
+        .with_registry(shared_registry())
+        .build()
+        .expect("engine build")
+        .session()
+}
 
 #[test]
 fn segformer_logits_with_pwl_backend_stay_close_to_exact() {
@@ -28,7 +55,7 @@ fn segformer_logits_with_pwl_backend_stay_close_to_exact() {
     let mut gc = Graph::new(&calib);
     let xc = gc.input(image.clone());
     let _ = model.forward(&mut gc, &ps, xc);
-    let backend = PwlBackend::build(Method::GqaRm, ReplaceSet::all(), &calib, 5, 0.1);
+    let backend = engine_session(Method::GqaRm, ReplaceSet::all(), &calib, 5, 0.1);
 
     let mut gp = Graph::new(&backend);
     let xp = gp.input(image);
@@ -60,7 +87,7 @@ fn efficientvit_trains_with_hswish_div_luts() {
         div: true,
         ..ReplaceSet::none()
     };
-    let backend = PwlBackend::build(Method::GqaNoRm, replace, &calib, 6, 0.05);
+    let backend = engine_session(Method::GqaNoRm, replace, &calib, 6, 0.05);
     // Fine-tuning through the LUT backend must reduce (or at least not
     // explode) the loss.
     let loss = harness.train(&model, &mut ps, &backend, 2, 5e-4, true);
@@ -71,7 +98,15 @@ fn efficientvit_trains_with_hswish_div_luts() {
 
 #[test]
 fn backend_substitution_changes_only_replaced_ops() {
-    let lut = build_lut_budgeted(Method::GqaRm, NonLinearOp::Gelu, 8, 9, 0.05);
+    let lut = (*shared_registry()
+        .get_or_build(
+            &OpPlan::new(Method::GqaRm)
+                .with_seed(9)
+                .with_budget(0.05)
+                .spec(NonLinearOp::Gelu),
+        )
+        .unwrap())
+    .clone();
     let backend = PwlBackend::from_luts(
         Some((lut, gqa::fxp::PowerOfTwoScale::new(-5))),
         None,
@@ -113,9 +148,10 @@ fn hot_swap_moves_a_live_model_between_backends() {
     let mut gc = Graph::new(&calib);
     let xc = gc.input(image.clone());
     let _ = model.forward(&mut gc, &ps, xc);
-    // Same spec as segformer_logits_...: the artifact registry serves this
-    // from cache, so the second build runs zero search generations.
-    let pwl = PwlBackend::build(Method::GqaRm, ReplaceSet::all(), &calib, 5, 0.1);
+    // Same plan as segformer_logits_... and a shared registry, so this
+    // engine build runs zero search generations; the session then swaps
+    // into the raw hot-swap cell like any other backend.
+    let pwl = engine_session(Method::GqaRm, ReplaceSet::all(), &calib, 5, 0.1);
 
     // One graph handle, two datapaths: swap mid-session without
     // reassembling the model.

@@ -1,0 +1,118 @@
+//! Integration: the serving engine across crates — and the contract that
+//! the deprecated shims (`build_lut*`, `PwlBackend::build`) are
+//! bit-compatible with the engine path they were re-routed through.
+
+#![allow(deprecated)] // this suite exists to pin the deprecated shims
+
+use gqa::funcs::NonLinearOp;
+use gqa::models::{
+    build_lut_budgeted, CalibrationRecorder, Method, PwlBackend, ReplaceSet, SegConfig,
+    SegformerLite,
+};
+use gqa::serve::{EngineBuilder, OpPlan, OperatorPlan};
+use gqa::tensor::{Graph, ParamStore, Tensor, UnaryBackend, UnaryKind};
+
+#[test]
+fn deprecated_build_lut_matches_engine_artifact_bitwise() {
+    for (method, op, seed) in [
+        (Method::GqaRm, NonLinearOp::Gelu, 3),
+        (Method::GqaNoRm, NonLinearOp::Div, 4),
+        (Method::NnLut, NonLinearOp::Exp, 5),
+    ] {
+        let shim = build_lut_budgeted(method, op, 8, seed, 0.05);
+        let plan = OpPlan::new(method).with_seed(seed).with_budget(0.05);
+        let engine = EngineBuilder::new(OperatorPlan::new().with(op, plan))
+            .build()
+            .unwrap();
+        let served = engine.artifact(op).unwrap();
+        assert_eq!(
+            shim, *served,
+            "{method:?}/{op}: shim and engine artifacts must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn deprecated_pwl_backend_matches_session_bitwise() {
+    // Calibrate on a real forward pass so the scale-dependent operators
+    // get non-default scales (the interesting case for equivalence).
+    let mut ps = ParamStore::new();
+    let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 11);
+    let calib = CalibrationRecorder::new();
+    let mut g = Graph::new(&calib);
+    let x = g.input(Tensor::full(&[1, 3, 16, 16], 0.4));
+    let _ = model.forward(&mut g, &ps, x);
+
+    let replace = ReplaceSet {
+        gelu: true,
+        exp: true,
+        div: true,
+        rsqrt: true,
+        hswish: false,
+    };
+    let shim = PwlBackend::build(Method::GqaRm, replace, &calib, 11, 0.05);
+    let plan = replace
+        .to_plan(OpPlan::new(Method::GqaRm).with_seed(11).with_budget(0.05))
+        .calibrated(&calib);
+    let engine = EngineBuilder::new(plan).build().unwrap();
+    let session = engine.session();
+
+    // Every kind — replaced and not — must produce identical bits on both
+    // paths, on the f64 and the f32 tensor entry points.
+    let xs64: Vec<f64> = (1..400).map(|i| f64::from(i) * 0.01).collect();
+    let xs32: Vec<f32> = xs64.iter().map(|&x| x as f32).collect();
+    for kind in [
+        UnaryKind::Gelu,
+        UnaryKind::Exp,
+        UnaryKind::Recip,
+        UnaryKind::Rsqrt,
+        UnaryKind::Hswish,
+        UnaryKind::Relu,
+        UnaryKind::Sigmoid,
+    ] {
+        let (mut a64, mut b64) = (vec![0.0f64; xs64.len()], vec![0.0f64; xs64.len()]);
+        shim.eval_many(kind, &xs64, &mut a64);
+        session.eval_many(kind, &xs64, &mut b64);
+        assert_eq!(a64, b64, "{kind:?}: f64 path must be bit-identical");
+
+        let (mut a32, mut b32) = (vec![0.0f32; xs32.len()], vec![0.0f32; xs32.len()]);
+        shim.eval_many_f32(kind, &xs32, &mut a32);
+        session.eval_many_f32(kind, &xs32, &mut b32);
+        assert_eq!(a32, b32, "{kind:?}: f32 path must be bit-identical");
+
+        assert_eq!(
+            shim.eval(kind, 0.731).to_bits(),
+            session.eval(kind, 0.731).to_bits(),
+            "{kind:?}: scalar path must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn model_forward_is_bit_identical_on_shim_and_session() {
+    let mut ps = ParamStore::new();
+    let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 12);
+    let image = Tensor::full(&[1, 3, 16, 16], 0.3);
+    let calib = CalibrationRecorder::new();
+    let mut gc = Graph::new(&calib);
+    let xc = gc.input(image.clone());
+    let _ = model.forward(&mut gc, &ps, xc);
+
+    let shim = PwlBackend::build(Method::GqaRm, ReplaceSet::all(), &calib, 12, 0.05);
+    let plan = ReplaceSet::all()
+        .to_plan(OpPlan::new(Method::GqaRm).with_seed(12).with_budget(0.05))
+        .calibrated(&calib);
+    let session = EngineBuilder::new(plan).build().unwrap().session();
+
+    let forward = |backend: &dyn UnaryBackend| {
+        let mut g = Graph::new(backend);
+        let x = g.input(image.clone());
+        let n = model.forward(&mut g, &ps, x);
+        g.value(n).data.clone()
+    };
+    assert_eq!(
+        forward(&shim),
+        forward(&session),
+        "whole-model logits must be bit-identical on both serving paths"
+    );
+}
