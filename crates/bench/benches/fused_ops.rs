@@ -98,6 +98,75 @@ fn bench_fused(c: &mut Criterion) {
         })
     });
 
+    // --- Attention: the whole score → scale → softmax → aggregate
+    // pipeline as one node vs the five-node unfused assembly. The fused
+    // node keeps kᵀ and the score matrix in pooled scratch instead of
+    // materializing them as tape nodes.
+    let (bsz, nq, nk, ch) = (2, 128, 128, 32);
+    let q = Tensor::from_vec(
+        (0..bsz * nq * ch)
+            .map(|i| ((i as f32 * 0.311).sin()) * 0.7)
+            .collect(),
+        &[bsz, nq, ch],
+    );
+    let k = Tensor::from_vec(
+        (0..bsz * nk * ch)
+            .map(|i| ((i as f32 * 0.173).cos()) * 0.7)
+            .collect(),
+        &[bsz, nk, ch],
+    );
+    let v = Tensor::from_vec(
+        (0..bsz * nk * ch)
+            .map(|i| ((i as f32 * 0.531).sin()) + 0.2)
+            .collect(),
+        &[bsz, nk, ch],
+    );
+    let scale_attn = 1.0 / (ch as f32).sqrt();
+    let attention_once = |backend: &dyn UnaryBackend, fused: bool| {
+        let mut g = Graph::new(backend);
+        let qn = g.input(q.clone());
+        let kn = g.input(k.clone());
+        let vn = g.input(v.clone());
+        let y = if fused {
+            g.attention(qn, kn, vn, scale_attn)
+        } else {
+            g.attention_unfused(qn, kn, vn, scale_attn)
+        };
+        g.value(y).data[0]
+    };
+    c.bench_function("fused/attention_fused_2x128x32", |b| {
+        b.iter(|| attention_once(black_box(&exact), true))
+    });
+    c.bench_function("fused/attention_unfused_2x128x32", |b| {
+        b.iter(|| attention_once(black_box(&exact), false))
+    });
+    c.bench_function("fused/attention_lut_fused_2x128x32", |b| {
+        b.iter(|| attention_once(black_box(&lut_backend), true))
+    });
+    c.bench_function("fused/attention_lut_unfused_2x128x32", |b| {
+        b.iter(|| attention_once(black_box(&lut_backend), false))
+    });
+
+    // --- The serving configuration: inference tape + recycled pool, the
+    // forward-only fast path `Session::inference_graph_with_pool` serves.
+    let mut pool = gqa_tensor::BufferPool::new();
+    c.bench_function("fused/attention_inference_2x128x32", |b| {
+        b.iter(|| {
+            let mut g = Graph::with_mode(
+                &exact,
+                gqa_tensor::EvalMode::Inference,
+                std::mem::take(&mut pool),
+            );
+            let qn = g.input(q.clone());
+            let kn = g.input(k.clone());
+            let vn = g.input(v.clone());
+            let y = g.attention(qn, kn, vn, scale_attn);
+            let out = g.value(y).data[0];
+            pool = g.recycle();
+            black_box(out)
+        })
+    });
+
     // --- LayerNorm with affine: the transformer-block shape. RSQRT only
     // touches a rows-length vector, so nearly the whole unfused cost is
     // the assembly fusion collapses (tile_last's matmul included).

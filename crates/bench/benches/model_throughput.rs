@@ -1,13 +1,20 @@
 //! Criterion benchmarks: model forward/backward throughput with exact vs
 //! pwl backends (the model-level cost of LUT substitution is near zero on
 //! the host; the win is in silicon — see table6_hardware).
+//!
+//! The `forward` entries measure the **serving configuration**: an
+//! `EvalMode::Inference` tape (no saved state, no grad slots) with the
+//! buffer pool recycled across iterations — bit-identical values to a
+//! training tape (the equivalence suites prove it), minus the backward
+//! bookkeeping a forward-only caller never uses. `train_step` keeps
+//! measuring the full train-mode tape with backward.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use gqa_models::{CalibrationRecorder, Method, ReplaceSet, SegConfig, SegformerLite};
 use gqa_serve::{EngineBuilder, OpPlan};
-use gqa_tensor::{ExactBackend, Graph, ParamStore, Tensor, UnaryBackend};
+use gqa_tensor::{BufferPool, EvalMode, ExactBackend, Graph, ParamStore, Tensor, UnaryBackend};
 
 fn forward_once(
     model: &SegformerLite,
@@ -21,14 +28,32 @@ fn forward_once(
     g.value(y).data[0]
 }
 
+/// One inference-mode forward, drawing tensors from `pool` and handing
+/// the tape's buffers back to it — the steady-state serving loop.
+fn forward_pooled(
+    model: &SegformerLite,
+    ps: &ParamStore,
+    backend: &dyn UnaryBackend,
+    image: &Tensor,
+    pool: &mut BufferPool,
+) -> f32 {
+    let mut g = Graph::with_mode(backend, EvalMode::Inference, std::mem::take(pool));
+    let x = g.input(image.clone());
+    let y = model.forward(&mut g, ps, x);
+    let out = g.value(y).data[0];
+    *pool = g.recycle();
+    out
+}
+
 fn bench_model(c: &mut Criterion) {
     let mut ps = ParamStore::new();
     let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 1);
     let image = Tensor::full(&[1, 3, 32, 64], 0.5);
 
     let exact = ExactBackend;
+    let mut pool = BufferPool::new();
     c.bench_function("model/segformer_forward_exact", |b| {
-        b.iter(|| forward_once(&model, &ps, &exact, black_box(&image)))
+        b.iter(|| forward_pooled(&model, &ps, &exact, black_box(&image), &mut pool))
     });
 
     // Calibrate once, build the all-ops pwl backend at tiny budget.
@@ -39,8 +64,9 @@ fn bench_model(c: &mut Criterion) {
         .calibrated(&calib);
     let engine = EngineBuilder::new(plan).build().expect("engine build");
     let session = engine.session();
+    let mut pool = BufferPool::new();
     c.bench_function("model/segformer_forward_pwl", |b| {
-        b.iter(|| forward_once(&model, &ps, &session, black_box(&image)))
+        b.iter(|| forward_pooled(&model, &ps, &session, black_box(&image), &mut pool))
     });
 
     c.bench_function("model/segformer_train_step", |b| {

@@ -118,19 +118,17 @@ impl Block {
         let q3 = g.reshape(q, &[b, n, c]);
         let k3 = g.reshape(k, &[b, n, c]);
         let v3 = g.reshape(v, &[b, n, c]);
-        let kt = g.transpose_last2(k3);
-        let scores = g.batch_matmul(q3, kt);
-        let scaled = g.scale(scores, 1.0 / (c as f32).sqrt());
-        // Fused softmax node — EXP + DIV still go through the backend
+        // Fused attention node — score, scale, row-softmax and value
+        // aggregation in one sweep. EXP + DIV still go through the backend
         // (one whole-tensor call each), bit-identical to the unfused
-        // `softmax_rows` decomposition it replaces.
-        let attn = g.softmax(scaled);
-        let ctx = g.batch_matmul(attn, v3);
+        // `transpose → batch_matmul → scale → softmax_rows → batch_matmul`
+        // assembly it replaces, forward and backward.
+        let ctx = g.attention(q3, k3, v3, 1.0 / (c as f32).sqrt());
         let projected = self.proj.apply(g, ps, ctx);
-        let x = g.add(x, projected);
 
-        // --- Mix-FFN sub-block.
-        let normed = self.ln2.apply(g, ps, x);
+        // --- Mix-FFN sub-block, entered through the fused residual+norm
+        // (one driver pass producing the residual sum and its norm).
+        let (x, normed) = self.ln2.apply_residual(g, ps, x, projected);
         let hdn = self.fc1.apply(g, ps, normed);
         // tokens (B,N,E) -> NCHW (B,E,h,w) for the depthwise conv.
         let t3 = g.reshape(hdn, &[b, n, self.hidden]);

@@ -60,6 +60,6 @@ mod swap;
 
 pub use method::Method;
 pub use registry::{LutRegistry, RegistryStats};
-pub use snapshot::{SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{fnv1a_64, snapshot_content_hash, SnapshotError, SNAPSHOT_VERSION};
 pub use spec::{LutBuildError, LutKey, LutSpec, PIPELINE_VERSION};
 pub use swap::HotSwapBackend;

@@ -83,26 +83,35 @@ impl LutRegistry {
         let mut entries = self.ready_entries();
         entries.retain(|(k, _)| keep(k));
         entries.sort_by_key(|(k, _)| k.to_string());
-        let mut out = String::with_capacity(256 + entries.len() * 512);
+        let mut body = String::with_capacity(entries.len() * 512 + 64);
+        body.push_str("  \"entries\": [");
+        for (i, (key, lut)) in entries.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str("\n    ");
+            write_entry(&mut body, key, lut);
+        }
+        if entries.is_empty() {
+            body.push_str("]\n}\n");
+        } else {
+            body.push_str("\n  ]\n}\n");
+        }
+        // The header's content hash covers the serialized entries, so two
+        // snapshots with identical artifacts carry identical hashes no
+        // matter when or where they were written (the writer is
+        // deterministic). Readers that only need change detection can
+        // compare hashes from the file prefix without parsing entries.
+        let hash = fnv1a_64(body.as_bytes());
+        let mut out = String::with_capacity(128 + body.len());
         out.push_str("{\n");
         out.push_str(&format!("  \"version\": {SNAPSHOT_VERSION},\n"));
         out.push_str(&format!(
             "  \"pipeline\": {},\n",
             crate::spec::PIPELINE_VERSION
         ));
-        out.push_str("  \"entries\": [");
-        for (i, (key, lut)) in entries.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("\n    ");
-            write_entry(&mut out, key, lut);
-        }
-        if entries.is_empty() {
-            out.push_str("]\n}\n");
-        } else {
-            out.push_str("\n  ]\n}\n");
-        }
+        out.push_str(&format!("  \"content_hash\": {hash},\n"));
+        out.push_str(&body);
         out
     }
 
@@ -176,6 +185,35 @@ impl LutRegistry {
 
 fn bad(name: &str) -> SnapshotError {
     SnapshotError::BadField(name.to_owned())
+}
+
+/// 64-bit FNV-1a over a byte string — the hash function behind the
+/// snapshot header's `content_hash` field.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Extracts the `content_hash` header field from snapshot JSON **without
+/// parsing the entries** — only the header prefix (everything before the
+/// `"entries"` key) is scanned, so callers may pass a truncated prefix of
+/// the file. Returns `None` for snapshots written before the field
+/// existed.
+#[must_use]
+pub fn snapshot_content_hash(json_prefix: &str) -> Option<u64> {
+    let header_end = json_prefix.find("\"entries\"").unwrap_or(json_prefix.len());
+    let header = &json_prefix[..header_end];
+    let at = header.find("\"content_hash\"")? + "\"content_hash\"".len();
+    let rest = header[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 fn write_entry(out: &mut String, key: &LutKey, lut: &Arc<QuantAwareLut>) {

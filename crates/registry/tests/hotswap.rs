@@ -198,6 +198,59 @@ fn fused_softmax_swap_mid_node_matches_unfused() {
     }
 }
 
+/// Same contract one level up: a swap landing inside a **fused attention
+/// node** — between its softmax's EXP and DIV stages — must take effect
+/// for the DIV stage and leave the fused output bit-identical to the
+/// unfused five-node assembly under the same scripted swap (both
+/// spellings make exactly one whole-tensor EXP call and one DIV call).
+#[test]
+fn fused_attention_swap_mid_node_matches_unfused() {
+    let qs: Vec<f32> = (0..24).map(|i| (i as f32 * 0.43).sin() * 2.0).collect();
+    let ks: Vec<f32> = (0..32).map(|i| (i as f32 * 0.29).cos() * 2.0).collect();
+    let vs: Vec<f32> = (0..32).map(|i| (i as f32 * 0.17).sin() + 0.5).collect();
+    let run = |fused: bool| {
+        let hs = Arc::new(HotSwapBackend::new(Arc::new(ExactBackend)));
+        hs.swap(Arc::new(SwapDuringExp::arm(
+            Arc::clone(&hs),
+            Arc::new(DoubledRecip),
+        )));
+        let mut g = Graph::new(hs.as_ref());
+        let q = g.input(Tensor::from_vec(qs.clone(), &[2, 3, 4]));
+        let k = g.input(Tensor::from_vec(ks.clone(), &[2, 4, 4]));
+        let v = g.input(Tensor::from_vec(vs.clone(), &[2, 4, 4]));
+        let y = if fused {
+            g.attention(q, k, v, 0.5)
+        } else {
+            let kt = g.transpose_last2(k);
+            let scores = g.batch_matmul(q, kt);
+            let scaled = g.scale(scores, 0.5);
+            let attn = g.softmax(scaled);
+            g.batch_matmul(attn, v)
+        };
+        g.value(y).data.clone()
+    };
+    let fused = run(true);
+    let unfused = run(false);
+    for (a, b) in fused.iter().zip(&unfused) {
+        assert_eq!(a.to_bits(), b.to_bits(), "fused vs unfused under swap");
+    }
+    // The swap demonstrably landed mid-node: the doubled reciprocal
+    // doubled every attention row's mass, so the context vectors are 2×
+    // what an exact pass yields.
+    let hs_exact = HotSwapBackend::new(Arc::new(ExactBackend));
+    let mut g = Graph::new(&hs_exact);
+    let q = g.input(Tensor::from_vec(qs, &[2, 3, 4]));
+    let k = g.input(Tensor::from_vec(ks, &[2, 4, 4]));
+    let v = g.input(Tensor::from_vec(vs, &[2, 4, 4]));
+    let y = g.attention(q, k, v, 0.5);
+    for (swapped, exact) in fused.iter().zip(&g.value(y).data) {
+        assert!(
+            (swapped - 2.0 * exact).abs() < 1e-4,
+            "{swapped} vs 2×{exact}"
+        );
+    }
+}
+
 /// Same contract for the fused LayerNorm: its single RSQRT stage resolves
 /// one delegate; a swap after the node's evaluation affects only later
 /// nodes, identically in both spellings.

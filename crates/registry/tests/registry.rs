@@ -173,6 +173,33 @@ fn snapshot_file_round_trips_through_typed_path_api() {
 }
 
 #[test]
+fn snapshot_content_hash_tracks_entries() {
+    use gqa_registry::{fnv1a_64, snapshot_content_hash};
+    let reg = LutRegistry::new();
+    reg.get_or_build(&quick_spec(NonLinearOp::Gelu, 45))
+        .unwrap();
+    let json = reg.snapshot_json();
+    let hash = snapshot_content_hash(&json).expect("header carries a content hash");
+    // The hash covers the serialized entries section verbatim.
+    let entries_at = json.find("  \"entries\"").expect("entries section");
+    assert_eq!(hash, fnv1a_64(&json.as_bytes()[entries_at..]));
+    // Reading only a file-sized prefix of the header is enough.
+    assert_eq!(snapshot_content_hash(&json[..120]), Some(hash));
+    // Same artifacts → same hash; different artifacts → different hash.
+    reg.get_or_build(&quick_spec(NonLinearOp::Div, 45)).unwrap();
+    let grown = snapshot_content_hash(&reg.snapshot_json()).unwrap();
+    assert_ne!(hash, grown, "hash must change when the entry set changes");
+    // Pre-hash snapshots (no header field) read as None, and the loader
+    // still accepts hash-bearing snapshots.
+    assert_eq!(
+        snapshot_content_hash("{\"version\": 1, \"entries\": []}"),
+        None
+    );
+    let warm = LutRegistry::new();
+    assert_eq!(warm.load_snapshot_json(&json), Ok(1));
+}
+
+#[test]
 fn filtered_snapshot_keeps_only_matching_keys() {
     let reg = LutRegistry::new();
     reg.get_or_build(&quick_spec(NonLinearOp::Gelu, 41))

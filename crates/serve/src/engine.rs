@@ -424,12 +424,16 @@ impl Engine {
 
     /// Picks up artifacts rebuilt by other processes **without a
     /// restart**: stats every planned operator's shard file and, for each
-    /// one whose metadata (mtime/length) changed since last observed,
-    /// reloads the shard into the registry, re-resolves the planned
-    /// artifact, and hot-swaps the rebuilt datapath into every live
-    /// session. Unchanged shards cost one `stat` each — no parsing, no
-    /// allocation — so refresh is cheap enough to poll from a serving
-    /// loop. Returns how many operators were reloaded.
+    /// one whose **content** changed since last observed, reloads the
+    /// shard into the registry, re-resolves the planned artifact, and
+    /// hot-swaps the rebuilt datapath into every live session. Staleness
+    /// is two-tier: unchanged metadata (mtime/length) costs one `stat` —
+    /// no parsing, no allocation — so refresh is cheap enough to poll
+    /// from a serving loop; when metadata moved, the shard header's
+    /// `content_hash` is read from the file's first bytes, and a
+    /// republish of identical artifacts (the normal outcome of another
+    /// process's atomic [`Engine::save_shards`]) is absorbed without a
+    /// reload or swap. Returns how many operators were reloaded.
     ///
     /// A shard that turned corrupt or disappeared is skipped (counted in
     /// [`EngineStats::shard_errors`]): the engine keeps serving its

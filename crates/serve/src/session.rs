@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use gqa_tensor::{ExactBackend, UnaryBackend, UnaryKind};
+use gqa_tensor::{BufferPool, EvalMode, ExactBackend, Graph, UnaryBackend, UnaryKind};
 
 use crate::engine::{kind_index, EngineInner};
 
@@ -37,6 +37,24 @@ impl Session {
         self.inner.table[kind_index(kind)]
             .as_deref()
             .map(|hs| hs as &dyn UnaryBackend)
+    }
+
+    /// An inference-only tape backed by this session: forward values are
+    /// bit-identical to `Graph::new(&session)` but no backward state is
+    /// recorded (no saved-state `Arc`s, no gradient slots) — the serving
+    /// fast path.
+    #[must_use]
+    pub fn inference_graph(&self) -> Graph<'_> {
+        Graph::new_inference(self)
+    }
+
+    /// Like [`Session::inference_graph`] but seeded with a recycled
+    /// [`BufferPool`] (from [`Graph::recycle`]) so steady-state request
+    /// loops reuse the previous forward's tensor buffers instead of
+    /// allocating fresh ones.
+    #[must_use]
+    pub fn inference_graph_with_pool(&self, pool: BufferPool) -> Graph<'_> {
+        Graph::with_mode(self, EvalMode::Inference, pool)
     }
 }
 

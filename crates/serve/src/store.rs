@@ -1,5 +1,5 @@
 //! The engine's storage layer: per-operator snapshot shards with
-//! file-metadata (mtime + length) invalidation.
+//! two-tier (file-metadata, then content-hash) invalidation.
 //!
 //! Each planned operator persists to its own file, `lut-<op>.json`, in the
 //! engine's snapshot directory; every shard is a complete, independently
@@ -7,14 +7,24 @@
 //! per operator is what makes [`crate::Engine::refresh`] cheap for
 //! long-lived serving processes: a rebuild of one operator's artifact
 //! touches one small file, and a refresh stats every shard but re-parses
-//! only the ones whose metadata changed.
+//! only the ones whose contents actually changed.
+//!
+//! Staleness is decided in two tiers. Matching metadata (mtime + length)
+//! short-circuits to *fresh* — the steady-state poll is pure `stat` calls.
+//! When metadata moved, the snapshot header's `content_hash` (FNV-1a over
+//! the serialized entries, written by the registry) is read from the
+//! file's first bytes and compared: a republish of **identical** content
+//! — the common case under the atomic temp-file + rename publish that
+//! [`ShardStore::save`] itself uses — is recognized as fresh without
+//! parsing, and only a genuine content change triggers a reload.
 
 use std::collections::HashMap;
+use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::time::SystemTime;
 
 use gqa_funcs::NonLinearOp;
-use gqa_registry::{LutRegistry, SnapshotError};
+use gqa_registry::{snapshot_content_hash, LutRegistry, SnapshotError};
 
 /// File name of the snapshot shard holding `op`'s artifacts.
 #[must_use]
@@ -22,13 +32,36 @@ pub fn shard_file_name(op: NonLinearOp) -> String {
     format!("lut-{}.json", op.name())
 }
 
-/// Observed shard-file state; a change in either field invalidates the
-/// in-memory copy. (mtime alone is not enough on coarse-granularity
-/// filesystems; length alone misses same-size rewrites.)
+/// Observed shard-file state. Metadata (mtime + length) is the cheap
+/// first tier (mtime alone is not enough on coarse-granularity
+/// filesystems; length alone misses same-size rewrites); the snapshot
+/// header's content hash is the second tier, consulted only when the
+/// metadata moved (`None` for pre-hash snapshot files).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ShardMeta {
     mtime: SystemTime,
     len: u64,
+    hash: Option<u64>,
+}
+
+/// Reads the shard header's `content_hash` from the file's first bytes
+/// (the header precedes the entries array, so a fixed-size prefix is
+/// enough — no full read, no parse).
+fn read_hash(path: &Path) -> Option<u64> {
+    let mut f = std::fs::File::open(path).ok()?;
+    let mut buf = [0u8; 256];
+    let mut n = 0;
+    loop {
+        match f.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(m) => n += m,
+            Err(_) => return None,
+        }
+        if n == buf.len() {
+            break;
+        }
+    }
+    snapshot_content_hash(&String::from_utf8_lossy(&buf[..n]))
 }
 
 /// The per-operator shard directory plus the metadata observed at the
@@ -55,38 +88,77 @@ impl ShardStore {
         self.dir.join(shard_file_name(op))
     }
 
-    fn stat(&self, op: NonLinearOp) -> Option<ShardMeta> {
+    /// First tier: pure `stat`, no contents.
+    fn stat_only(&self, op: NonLinearOp) -> Option<(SystemTime, u64)> {
         let meta = std::fs::metadata(self.shard_path(op)).ok()?;
+        Some((meta.modified().ok()?, meta.len()))
+    }
+
+    /// Full observation: metadata plus the header's content hash.
+    fn observe(&self, op: NonLinearOp) -> Option<ShardMeta> {
+        let (mtime, len) = self.stat_only(op)?;
         Some(ShardMeta {
-            mtime: meta.modified().ok()?,
-            len: meta.len(),
+            mtime,
+            len,
+            hash: read_hash(&self.shard_path(op)),
         })
     }
 
-    /// Whether `op`'s shard changed (or appeared/disappeared) since the
-    /// last load/save. Never touches file contents — a refresh over an
-    /// unchanged store is pure `stat` calls.
-    pub(crate) fn is_stale(&self, op: NonLinearOp) -> bool {
-        let current = self.stat(op);
-        self.seen.get(op.name()).copied() != Some(current)
+    /// Whether `op`'s shard **content** changed (or the file
+    /// appeared/disappeared) since the last load/save. Unchanged metadata
+    /// short-circuits without touching file contents — a refresh over an
+    /// unchanged store is pure `stat` calls. When metadata moved, the
+    /// header content hash decides: a same-content republish is absorbed
+    /// (the new metadata is recorded so later polls take the `stat` fast
+    /// path again) and only a genuine content change reports stale.
+    pub(crate) fn is_stale(&mut self, op: NonLinearOp) -> bool {
+        let Some(&seen) = self.seen.get(op.name()) else {
+            return true; // never observed
+        };
+        match (seen, self.stat_only(op)) {
+            (None, None) => false,
+            (Some(s), Some((mtime, len))) => {
+                if (s.mtime, s.len) == (mtime, len) {
+                    return false;
+                }
+                match (s.hash, read_hash(&self.shard_path(op))) {
+                    (Some(a), Some(b)) if a == b => {
+                        // Same content behind new metadata (e.g. an atomic
+                        // republish of identical artifacts): re-anchor on
+                        // the new metadata instead of reloading.
+                        self.seen.insert(
+                            op.name(),
+                            Some(ShardMeta {
+                                mtime,
+                                len,
+                                hash: Some(a),
+                            }),
+                        );
+                        false
+                    }
+                    _ => true,
+                }
+            }
+            _ => true,
+        }
     }
 
     /// Whether `op`'s shard file currently exists.
     pub(crate) fn exists(&self, op: NonLinearOp) -> bool {
-        self.stat(op).is_some()
+        self.stat_only(op).is_some()
     }
 
     /// Loads `op`'s shard into `registry` (if it exists) and records its
-    /// metadata — **even when parsing fails**, so a corrupt shard is
-    /// observed once rather than re-parsed on every refresh. Returns the
-    /// number of artifacts loaded; a missing shard loads zero and is not
-    /// an error (cold start).
+    /// metadata and content hash — **even when parsing fails**, so a
+    /// corrupt shard is observed once rather than re-parsed on every
+    /// refresh. Returns the number of artifacts loaded; a missing shard
+    /// loads zero and is not an error (cold start).
     pub(crate) fn load(
         &mut self,
         registry: &LutRegistry,
         op: NonLinearOp,
     ) -> Result<usize, SnapshotError> {
-        let current = self.stat(op);
+        let current = self.observe(op);
         self.seen.insert(op.name(), current);
         match current {
             Some(_) => registry.load_snapshot(self.shard_path(op)),
@@ -94,9 +166,14 @@ impl ShardStore {
         }
     }
 
-    /// Writes `op`'s artifacts from `registry` to its shard file and
-    /// records the resulting metadata (so the engine does not immediately
-    /// re-read its own write on the next refresh).
+    /// Writes `op`'s artifacts from `registry` to its shard file
+    /// **atomically** — the snapshot is written to a same-directory
+    /// temp file and renamed into place, so a concurrent reader (another
+    /// serving process mid-[`crate::Engine::refresh`]) always sees either
+    /// the old complete shard or the new complete shard, never a torn
+    /// write — and records the resulting metadata and content hash (so
+    /// the engine does not immediately re-read its own write on the next
+    /// refresh).
     pub(crate) fn save(
         &mut self,
         registry: &LutRegistry,
@@ -106,9 +183,13 @@ impl ShardStore {
             .map_err(|e| SnapshotError::Io(format!("{}: {e}", self.dir.display())))?;
         let path = self.shard_path(op);
         let json = registry.snapshot_json_where(|k| k.op == op);
-        std::fs::write(&path, json)
-            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))?;
-        self.seen.insert(op.name(), self.stat(op));
+        let tmp = self.dir.join(format!("{}.tmp", shard_file_name(op)));
+        std::fs::write(&tmp, &json)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            SnapshotError::Io(format!("{} -> {}: {e}", tmp.display(), path.display()))
+        })?;
+        self.seen.insert(op.name(), self.observe(op));
         Ok(path)
     }
 }
@@ -133,6 +214,55 @@ mod tests {
         assert!(
             !store.is_stale(NonLinearOp::Gelu),
             "absence, once observed, is not stale"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_publishes_atomically_without_tmp_residue() {
+        let dir = std::env::temp_dir().join(format!("gqa-shard-atomic-{}", std::process::id()));
+        let mut store = ShardStore::new(dir.clone());
+        let reg = LutRegistry::new();
+        let path = store.save(&reg, NonLinearOp::Gelu).unwrap();
+        assert!(path.exists(), "shard must land at its final name");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp files after publish");
+        assert!(!store.is_stale(NonLinearOp::Gelu), "own write is fresh");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn same_content_republish_is_absorbed_but_content_change_is_stale() {
+        let dir = std::env::temp_dir().join(format!("gqa-shard-hash-{}", std::process::id()));
+        let mut store = ShardStore::new(dir.clone());
+        let reg = LutRegistry::new();
+        let path = store.save(&reg, NonLinearOp::Gelu).unwrap();
+
+        // Republish identical bytes under fresh metadata: new mtime, same
+        // content hash → absorbed without a reload.
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_modified(std::time::SystemTime::now() + std::time::Duration::from_secs(7))
+            .unwrap();
+        drop(f);
+        assert!(
+            !store.is_stale(NonLinearOp::Gelu),
+            "identical content behind new metadata is not stale"
+        );
+        // The absorption re-anchored on the new metadata: the next poll is
+        // back on the pure-stat fast path (still fresh).
+        assert!(!store.is_stale(NonLinearOp::Gelu));
+
+        // A genuine content change (different hash in the header) is stale.
+        let json = std::fs::read_to_string(&path).unwrap();
+        let changed = json.replacen("\"content_hash\": ", "\"content_hash\": 9", 1);
+        std::fs::write(&path, changed).unwrap();
+        assert!(
+            store.is_stale(NonLinearOp::Gelu),
+            "changed content hash must invalidate"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

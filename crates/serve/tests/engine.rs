@@ -1,5 +1,6 @@
 //! Engine semantics: plan validation, session dispatch, swap-under-load
-//! bit-stability, and the sharded store's mtime-based invalidation.
+//! bit-stability, and the sharded store's two-tier (metadata, then
+//! content-hash) invalidation.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -288,6 +289,86 @@ fn refresh_reloads_only_invalidated_shards() {
     assert_eq!(engine.refresh().unwrap(), 0, "absence observed once");
     assert_eq!(engine.stats().shard_errors, 2);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Content-hash tier of shard invalidation at engine level: a republish
+/// of **identical** artifacts under fresh file metadata (what another
+/// process's atomic `save_shards` produces) is absorbed — no reload, no
+/// hot swap — while refresh stays pollable.
+#[test]
+fn refresh_absorbs_same_content_republish() {
+    let dir = test_dir("samecontent");
+    let engine = EngineBuilder::new(OperatorPlan::new().with(NonLinearOp::Gelu, base_plan()))
+        .with_snapshot_dir(&dir)
+        .build()
+        .unwrap();
+    engine.save_shards().unwrap();
+    assert_eq!(engine.refresh().unwrap(), 0);
+
+    // Republish byte-identical content with a bumped mtime.
+    let shard = dir.join(shard_file_name(NonLinearOp::Gelu));
+    let bytes = std::fs::read(&shard).unwrap();
+    std::fs::write(&shard, &bytes).unwrap();
+    std::fs::File::options()
+        .write(true)
+        .open(&shard)
+        .unwrap()
+        .set_modified(SystemTime::now() + Duration::from_secs(3))
+        .unwrap();
+
+    assert_eq!(
+        engine.refresh().unwrap(),
+        0,
+        "identical content must not reload"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.shard_reloads, 0);
+    assert_eq!(stats.shard_errors, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An inference-mode session graph must produce forward values
+/// bit-identical to the training tape over the same LUT-served backend.
+#[test]
+fn session_inference_graph_matches_train_forward() {
+    use gqa_tensor::{Graph, Tensor};
+    let engine = EngineBuilder::new(OperatorPlan::new().with(NonLinearOp::Gelu, base_plan()))
+        .build()
+        .unwrap();
+    let session = engine.session();
+    let xs: Vec<f32> = (0..60).map(|i| ((i as f32) * 0.37).sin()).collect();
+    let forward = |mut g: Graph<'_>| {
+        let x = g.input(Tensor::from_vec(xs.clone(), &[1, 5, 12]));
+        let a = g.attention(x, x, x, 0.3);
+        let s = g.softmax(a);
+        let u = g.unary(s, UnaryKind::Gelu);
+        let l = g.layer_norm(u, 1e-5);
+        g.value(l).data.clone()
+    };
+    let train = forward(Graph::new(&session));
+    let infer = forward(session.inference_graph());
+    for (a, b) in train.iter().zip(&infer) {
+        assert_eq!(a.to_bits(), b.to_bits(), "inference ≡ train forward");
+    }
+    // A recycled pool round-trips bit-stably too.
+    let mut g = session.inference_graph();
+    let x = g.input(Tensor::from_vec(xs.clone(), &[1, 5, 12]));
+    let a = g.attention(x, x, x, 0.3);
+    let _ = g.value(a);
+    let pool = g.recycle();
+    assert!(pool.free_buffers() > 0, "recycle harvests buffers");
+    let infer2 = forward(session.inference_graph_with_pool(pool));
+    assert_eq!(infer, infer2);
+}
+
+/// The serving types must stay thread-safe: engines are shared across
+/// threads and sessions are handed to worker pools.
+#[test]
+fn serving_types_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<gqa_serve::Engine>();
+    assert_send_sync::<Session>();
+    assert_send_sync::<gqa_tensor::Graph<'static>>();
 }
 
 #[test]

@@ -18,16 +18,21 @@
 #![allow(unsafe_code)]
 
 use std::arch::x86_64::{
-    __m256, __m256d, __m256i, _mm256_add_epi64, _mm256_add_pd, _mm256_add_ps,
-    _mm256_castpd256_pd128, _mm256_castps256_ps128, _mm256_cmpgt_epi64, _mm256_div_pd,
-    _mm256_extractf128_pd, _mm256_extractf128_ps, _mm256_i64gather_epi64, _mm256_loadu_pd,
-    _mm256_loadu_ps, _mm256_loadu_si256, _mm256_max_pd, _mm256_max_ps, _mm256_min_pd,
-    _mm256_mul_epu32, _mm256_mul_pd, _mm256_mul_ps, _mm256_set1_epi64x, _mm256_set1_pd,
-    _mm256_set1_ps, _mm256_setzero_pd, _mm256_setzero_ps, _mm256_slli_epi64, _mm256_srli_epi64,
-    _mm256_storeu_pd, _mm256_storeu_ps, _mm256_storeu_si256, _mm256_sub_pd, _mm256_sub_ps,
-    _mm_add_pd, _mm_add_ps, _mm_add_ss, _mm_cvtsd_f64, _mm_cvtss_f32, _mm_max_pd, _mm_max_ps,
-    _mm_max_ss, _mm_movehl_ps, _mm_shuffle_ps, _mm_unpackhi_pd,
+    __m256, __m256d, __m256i, _mm256_add_epi64, _mm256_add_pd, _mm256_add_ps, _mm256_and_pd,
+    _mm256_andnot_pd, _mm256_blendv_pd, _mm256_castpd256_pd128, _mm256_castps256_ps128,
+    _mm256_castsi256_pd, _mm256_cmp_pd, _mm256_cmpgt_epi64, _mm256_cvtepi32_epi64,
+    _mm256_cvtpd_epi32, _mm256_div_pd, _mm256_extractf128_pd, _mm256_extractf128_ps,
+    _mm256_floor_pd, _mm256_i64gather_epi64, _mm256_loadu_pd, _mm256_loadu_ps, _mm256_loadu_si256,
+    _mm256_max_pd, _mm256_max_ps, _mm256_min_pd, _mm256_mul_epu32, _mm256_mul_pd, _mm256_mul_ps,
+    _mm256_or_pd, _mm256_set1_epi64x, _mm256_set1_pd, _mm256_set1_ps, _mm256_setzero_pd,
+    _mm256_setzero_ps, _mm256_slli_epi64, _mm256_sqrt_pd, _mm256_srli_epi64, _mm256_storeu_pd,
+    _mm256_storeu_ps, _mm256_storeu_si256, _mm256_sub_pd, _mm256_sub_ps, _mm_add_epi32, _mm_add_pd,
+    _mm_add_ps, _mm_add_ss, _mm_cvtsd_f64, _mm_cvtss_f32, _mm_max_pd, _mm_max_ps, _mm_max_ss,
+    _mm_movehl_ps, _mm_set1_epi32, _mm_shuffle_ps, _mm_srai_epi32, _mm_sub_epi32, _mm_unpackhi_pd,
+    _CMP_EQ_OQ, _CMP_GE_OQ, _CMP_GT_OQ, _CMP_LT_OQ, _CMP_UNORD_Q,
 };
+
+use crate::scalar;
 
 #[target_feature(enable = "avx2")]
 pub unsafe fn axpy_f64(k: f64, b: f64, xs: &[f64], out: &mut [f64]) {
@@ -440,6 +445,166 @@ pub unsafe fn norm_affine_f32(inv: f32, gamma: &[f32], beta: &[f32], xs: &[f32],
     while i < n {
         *out.get_unchecked_mut(i) =
             ((*xs.get_unchecked(i) * inv) * *gamma.get_unchecked(i)) + *beta.get_unchecked(i);
+        i += 1;
+    }
+}
+
+/// Vector twin of [`scalar::exp_scalar`]: the same mul/add/div sequence
+/// on four lanes, with the scalar wrapper's range/NaN branches replayed
+/// as blends. Lanes outside `[EXP_MIN, EXP_MAX]` run garbage through the
+/// core and are overwritten by the blends, exactly like the scalar early
+/// returns skip the core.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn exp_pd(x: __m256d) -> __m256d {
+    let one = _mm256_set1_pd(1.0);
+    let px = _mm256_floor_pd(_mm256_add_pd(
+        _mm256_mul_pd(_mm256_set1_pd(scalar::LOG2E), x),
+        _mm256_set1_pd(0.5),
+    ));
+    // `px` is an exact integer, so the round-to-nearest cvt equals the
+    // scalar `as i32` truncation on every non-blended lane.
+    let n32 = _mm256_cvtpd_epi32(px);
+    let r = _mm256_sub_pd(x, _mm256_mul_pd(px, _mm256_set1_pd(scalar::LN2_HI)));
+    let r = _mm256_sub_pd(r, _mm256_mul_pd(px, _mm256_set1_pd(scalar::LN2_LO)));
+    let rr = _mm256_mul_pd(r, r);
+    let p = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_set1_pd(scalar::EXP_P[0]), rr),
+        _mm256_set1_pd(scalar::EXP_P[1]),
+    );
+    let p = _mm256_add_pd(_mm256_mul_pd(p, rr), _mm256_set1_pd(scalar::EXP_P[2]));
+    let p = _mm256_mul_pd(p, r);
+    let q = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_set1_pd(scalar::EXP_Q[0]), rr),
+        _mm256_set1_pd(scalar::EXP_Q[1]),
+    );
+    let q = _mm256_add_pd(_mm256_mul_pd(q, rr), _mm256_set1_pd(scalar::EXP_Q[2]));
+    let q = _mm256_add_pd(_mm256_mul_pd(q, rr), _mm256_set1_pd(scalar::EXP_Q[3]));
+    let e = _mm256_add_pd(
+        one,
+        _mm256_mul_pd(_mm256_set1_pd(2.0), _mm256_div_pd(p, _mm256_sub_pd(q, p))),
+    );
+    // ·2ⁿ in the scalar core's two exponent-field steps.
+    let k1 = _mm_srai_epi32::<1>(n32);
+    let k2 = _mm_sub_epi32(n32, k1);
+    let bias = _mm_set1_epi32(1023);
+    let s1 = _mm256_castsi256_pd(_mm256_slli_epi64::<52>(_mm256_cvtepi32_epi64(
+        _mm_add_epi32(k1, bias),
+    )));
+    let s2 = _mm256_castsi256_pd(_mm256_slli_epi64::<52>(_mm256_cvtepi32_epi64(
+        _mm_add_epi32(k2, bias),
+    )));
+    let core = _mm256_mul_pd(_mm256_mul_pd(e, s1), s2);
+    let over = _mm256_cmp_pd::<_CMP_GT_OQ>(x, _mm256_set1_pd(scalar::EXP_MAX));
+    let under = _mm256_cmp_pd::<_CMP_LT_OQ>(x, _mm256_set1_pd(scalar::EXP_MIN));
+    let nan = _mm256_cmp_pd::<_CMP_UNORD_Q>(x, x);
+    let y = _mm256_blendv_pd(core, _mm256_set1_pd(f64::INFINITY), over);
+    let y = _mm256_blendv_pd(y, _mm256_setzero_pd(), under);
+    _mm256_blendv_pd(y, x, nan)
+}
+
+/// Vector twin of [`scalar::tanh_scalar`]: both branches computed on all
+/// lanes, selected by blends in the scalar wrapper's order (split point,
+/// exact zero, NaN).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn tanh_pd(x: __m256d) -> __m256d {
+    let sign_mask = _mm256_set1_pd(-0.0);
+    let sign = _mm256_and_pd(x, sign_mask);
+    let z = _mm256_andnot_pd(sign_mask, x);
+    // Small-argument branch: rational in s = x².
+    let s = _mm256_mul_pd(x, x);
+    let pn = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_set1_pd(scalar::TANH_P[0]), s),
+        _mm256_set1_pd(scalar::TANH_P[1]),
+    );
+    let pn = _mm256_add_pd(_mm256_mul_pd(pn, s), _mm256_set1_pd(scalar::TANH_P[2]));
+    let qd = _mm256_add_pd(s, _mm256_set1_pd(scalar::TANH_Q[0]));
+    let qd = _mm256_add_pd(_mm256_mul_pd(qd, s), _mm256_set1_pd(scalar::TANH_Q[1]));
+    let qd = _mm256_add_pd(_mm256_mul_pd(qd, s), _mm256_set1_pd(scalar::TANH_Q[2]));
+    let small = _mm256_add_pd(x, _mm256_mul_pd(_mm256_mul_pd(x, s), _mm256_div_pd(pn, qd)));
+    // Large-argument branch: 1 − 2/(e^{2z}+1); r > 0, so restoring the
+    // sign is exactly the scalar `-r` sign-bit flip.
+    let one = _mm256_set1_pd(1.0);
+    let e = exp_pd(_mm256_add_pd(z, z));
+    let r = _mm256_sub_pd(
+        one,
+        _mm256_div_pd(_mm256_set1_pd(2.0), _mm256_add_pd(e, one)),
+    );
+    let big = _mm256_or_pd(r, sign);
+    let use_big = _mm256_cmp_pd::<_CMP_GE_OQ>(z, _mm256_set1_pd(scalar::TANH_SPLIT));
+    let zero = _mm256_cmp_pd::<_CMP_EQ_OQ>(x, _mm256_setzero_pd());
+    let nan = _mm256_cmp_pd::<_CMP_UNORD_Q>(x, x);
+    let y = _mm256_blendv_pd(small, big, use_big);
+    let y = _mm256_blendv_pd(y, x, zero);
+    _mm256_blendv_pd(y, x, nan)
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn exp_f64(xs: &[f64], out: &mut [f64]) {
+    let n = xs.len();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), exp_pd(x));
+        i += 4;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = scalar::exp_scalar(*xs.get_unchecked(i));
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn tanh_f64(xs: &[f64], out: &mut [f64]) {
+    let n = xs.len();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), tanh_pd(x));
+        i += 4;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = scalar::tanh_scalar(*xs.get_unchecked(i));
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn recip_f64(xs: &[f64], out: &mut [f64]) {
+    let n = xs.len();
+    let one = _mm256_set1_pd(1.0);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        // IEEE division is exactly rounded, so this is bit-identical to
+        // the scalar `1.0 / x` for every input.
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_div_pd(one, x));
+        i += 4;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = 1.0 / *xs.get_unchecked(i);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn rsqrt_f64(xs: &[f64], out: &mut [f64]) {
+    let n = xs.len();
+    let one = _mm256_set1_pd(1.0);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        // sqrt and div are both exactly rounded — no rsqrt estimate here,
+        // which would diverge from the scalar `1.0 / x.sqrt()`.
+        _mm256_storeu_pd(
+            out.as_mut_ptr().add(i),
+            _mm256_div_pd(one, _mm256_sqrt_pd(x)),
+        );
+        i += 4;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = 1.0 / (*xs.get_unchecked(i)).sqrt();
         i += 1;
     }
 }

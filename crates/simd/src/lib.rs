@@ -405,6 +405,82 @@ pub fn norm_affine_f32(inv: f32, gamma: &[f32], beta: &[f32], xs: &[f32], out: &
     )
 }
 
+// ---------------------------------------------------------------------------
+// Polynomial transcendental sweeps (the exact-backend EXP/TANH/RECIP/
+// RSQRT batch kernels).
+// ---------------------------------------------------------------------------
+
+/// `e^x` for a single value — the scalar twin of the [`exp_f64`] sweep,
+/// a Cephes-style Cody–Waite reduction + degree-(2,3) rational in r²,
+/// accurate to ~1 ulp over the full finite range. Guarantees
+/// `exp_scalar(0.0) == 1.0` exactly (the fused-softmax one-element-row
+/// contract), saturates to `+inf`/`0.0` outside `exp`'s dynamic range,
+/// and propagates NaN.
+///
+/// The tensor crate's `UnaryKind::exact(Exp)` is defined as this
+/// function, so scalar ground truth, the batched sweep, and the AVX2
+/// path all agree bit for bit.
+#[must_use]
+pub fn exp_scalar(x: f64) -> f64 {
+    scalar::exp_scalar(x)
+}
+
+/// `tanh(x)` for a single value — the scalar twin of the [`tanh_f64`]
+/// sweep: a rational in x² below 0.625, the `1 − 2/(e^{2|x|}+1)` form
+/// (sharing [`exp_scalar`]'s core) above. Preserves ±0.0 and saturates
+/// to ±1.0 exactly, including at ±inf.
+#[must_use]
+pub fn tanh_scalar(x: f64) -> f64 {
+    scalar::tanh_scalar(x)
+}
+
+/// `out[i] = e^(xs[i])` — the exact-backend EXP sweep. The AVX2 path
+/// replays [`exp_scalar`]'s operation sequence lane for lane (range and
+/// NaN branches become blends), so simd on/off agree bit for bit.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn exp_f64(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    dispatch!(avx2::exp_f64(xs, out), scalar::exp_f64(xs, out))
+}
+
+/// `out[i] = tanh(xs[i])` — the exact-backend TANH sweep (AVX2 twin of
+/// [`tanh_scalar`], bit-identical simd on/off).
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn tanh_f64(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    dispatch!(avx2::tanh_f64(xs, out), scalar::tanh_f64(xs, out))
+}
+
+/// `out[i] = 1 / xs[i]` — the exact-backend RECIP sweep. IEEE division
+/// is exactly rounded, so the vector path is bit-identical to the scalar
+/// spelling for every input.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn recip_f64(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    dispatch!(avx2::recip_f64(xs, out), scalar::recip_f64(xs, out))
+}
+
+/// `out[i] = 1 / √(xs[i])` — the exact-backend RSQRT sweep. Spelled
+/// `div(1, sqrt(x))` on both paths (never a hardware rsqrt estimate);
+/// sqrt and div are exactly rounded, so simd on/off agree bit for bit.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn rsqrt_f64(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    dispatch!(avx2::rsqrt_f64(xs, out), scalar::rsqrt_f64(xs, out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -643,6 +719,104 @@ mod tests {
         }
     }
 
+    /// Inputs that walk every branch of the transcendental kernels: both
+    /// sides of the tanh split and the exp range limits, ±0, ±inf,
+    /// subnormals, and a dense sweep of ordinary magnitudes.
+    fn transcendental_probe() -> Vec<f64> {
+        let mut xs: Vec<f64> = (0..512).map(|i| (i as f64 - 256.0) * 0.173).collect();
+        xs.extend_from_slice(&[
+            0.0,
+            -0.0,
+            0.625,
+            -0.625,
+            0.6249999,
+            709.0,
+            709.782712893384,
+            710.0,
+            -708.0,
+            -708.3964185322641,
+            -709.0,
+            -746.0,
+            1e-300,
+            -1e-300,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            f64::MIN,
+        ]);
+        xs
+    }
+
+    #[test]
+    fn exp_sweep_matches_scalar_twin_and_reference() {
+        let xs = transcendental_probe();
+        let mut out = vec![0.0f64; xs.len()];
+        exp_f64(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            // Dispatched sweep ≡ scalar twin, bit for bit.
+            assert_eq!(y.to_bits(), exp_scalar(x).to_bits(), "x={x}");
+            // And the twin stays within 1 ulp of libm wherever the result
+            // is normal. (Below EXP_MIN the kernel flushes to 0.0 where
+            // libm still produces subnormals — the documented saturation.)
+            let want = x.exp();
+            if want.is_normal() {
+                let d = (y.to_bits() as i64 - want.to_bits() as i64).abs();
+                assert!(d <= 1, "x={x}: {y} vs {want} ({d} ulps)");
+            } else if want.is_infinite() {
+                assert_eq!(y.to_bits(), want.to_bits(), "x={x}");
+            }
+        }
+        assert_eq!(exp_scalar(0.0).to_bits(), 1.0f64.to_bits());
+        assert_eq!(exp_scalar(f64::INFINITY), f64::INFINITY);
+        assert_eq!(exp_scalar(f64::NEG_INFINITY).to_bits(), 0.0f64.to_bits());
+        assert!(exp_scalar(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn tanh_sweep_matches_scalar_twin_and_reference() {
+        let xs = transcendental_probe();
+        let mut out = vec![0.0f64; xs.len()];
+        tanh_f64(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            assert_eq!(y.to_bits(), tanh_scalar(x).to_bits(), "x={x}");
+            let want = x.tanh();
+            if want.is_finite() && want.abs() < 1.0 && want != 0.0 {
+                let d = (y.to_bits() as i64 - want.to_bits() as i64).abs();
+                assert!(d <= 2, "x={x}: {y} vs {want} ({d} ulps)");
+            }
+        }
+        // Sign-preserving zeros, exact saturation, NaN propagation.
+        assert_eq!(tanh_scalar(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(tanh_scalar(-0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(tanh_scalar(f64::INFINITY).to_bits(), 1.0f64.to_bits());
+        assert_eq!(
+            tanh_scalar(f64::NEG_INFINITY).to_bits(),
+            (-1.0f64).to_bits()
+        );
+        assert!(tanh_scalar(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn recip_rsqrt_sweeps_match_scalar_spelling() {
+        let mut xs = transcendental_probe();
+        xs.retain(|x| !x.is_nan());
+        let mut out = vec![0.0f64; xs.len()];
+        recip_f64(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            assert_eq!(y.to_bits(), (1.0 / x).to_bits(), "x={x}");
+        }
+        rsqrt_f64(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            let want = 1.0 / x.sqrt();
+            if want.is_nan() {
+                assert!(y.is_nan(), "x={x}");
+            } else {
+                assert_eq!(y.to_bits(), want.to_bits(), "x={x}");
+            }
+        }
+    }
+
     /// Every dispatched kernel must agree with the scalar module bit for
     /// bit on this machine, whichever path runs.
     #[test]
@@ -691,5 +865,27 @@ mod tests {
             .iter()
             .zip(&b32)
             .all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        // The transcendental sweeps, whichever path dispatched.
+        let probe = transcendental_probe();
+        let (mut ta, mut tb) = (vec![0.0; probe.len()], vec![0.0; probe.len()]);
+        for (disp, sc) in [
+            (
+                exp_f64 as fn(&[f64], &mut [f64]),
+                scalar::exp_f64 as fn(&[f64], &mut [f64]),
+            ),
+            (tanh_f64, scalar::tanh_f64),
+            (recip_f64, scalar::recip_f64),
+            (rsqrt_f64, scalar::rsqrt_f64),
+        ] {
+            disp(&probe, &mut ta);
+            sc(&probe, &mut tb);
+            for ((&x, &a), &b) in probe.iter().zip(&ta).zip(&tb) {
+                if a.is_nan() && b.is_nan() {
+                    continue; // payloads excepted, as documented
+                }
+                assert_eq!(a.to_bits(), b.to_bits(), "x={x}");
+            }
+        }
     }
 }

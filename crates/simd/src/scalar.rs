@@ -251,3 +251,145 @@ pub fn norm_affine_f32(inv: f32, gamma: &[f32], beta: &[f32], xs: &[f32], out: &
         *y = ((x * inv) * gamma[j]) + beta[j];
     }
 }
+
+// ---------------------------------------------------------------------------
+// Polynomial transcendental kernels (the exact-backend EXP/TANH sweeps).
+//
+// Cephes-style rational approximations spelled as one fixed sequence of
+// IEEE mul/add/div steps, so the AVX2 module can replay each element's
+// exact operation order with vector blends in place of the branches
+// below. These scalar functions are the definition; the vector path must
+// agree bit for bit on every input, including ±0, ±inf and out-of-range
+// arguments (NaN payloads excepted, as for the other kernels).
+// ---------------------------------------------------------------------------
+
+/// log₂(e), the argument-reduction multiplier of [`exp_scalar`].
+pub(crate) const LOG2E: f64 = std::f64::consts::LOG2_E;
+/// Arguments above this overflow `exp` to +inf …
+pub(crate) const EXP_MAX: f64 = 709.782_712_893_384;
+/// … and below this underflow it to 0.0 (≈ ln 2⁻¹⁰²²).
+pub(crate) const EXP_MIN: f64 = -708.396_418_532_264_1;
+/// Cody–Waite split of ln 2: high part …
+pub(crate) const LN2_HI: f64 = 6.931_457_519_531_25e-1;
+/// … and low part; `x − n·LN2_HI − n·LN2_LO` keeps the reduced argument
+/// accurate to the last bit even though `n·ln 2` alone would not be.
+pub(crate) const LN2_LO: f64 = 1.428_606_820_309_417_3e-6;
+/// Numerator of the exp rational approximation (degree 2 in r²).
+pub(crate) const EXP_P: [f64; 3] = [1.261_771_930_748_105_8e-4, 3.029_944_077_074_419_5e-2, 1.0];
+/// Denominator of the exp rational approximation (degree 3 in r²).
+pub(crate) const EXP_Q: [f64; 4] = [
+    3.001_985_051_386_644_6e-6,
+    2.524_483_403_496_841e-3,
+    2.272_655_482_081_550_3e-1,
+    2.0,
+];
+/// Numerator of the tanh small-argument rational (degree 2 in x²).
+pub(crate) const TANH_P: [f64; 3] = [
+    -9.643_991_794_250_523e-1,
+    -9.928_772_310_019_185e1,
+    -1.614_687_684_417_084_5e3,
+];
+/// Monic denominator of the tanh small-argument rational (degree 3 in
+/// x², leading coefficient 1).
+pub(crate) const TANH_Q: [f64; 3] = [
+    1.128_116_784_916_329_3e2,
+    2.235_488_390_601_004_5e3,
+    4.844_063_053_251_255e3,
+];
+/// Boundary between the tanh rational (below) and the exp-based form
+/// (at and above): Cephes' 0.625 split point.
+pub(crate) const TANH_SPLIT: f64 = 0.625;
+
+/// The exp core shared by [`exp_scalar`] and the tanh large-argument
+/// branch: valid only for `EXP_MIN ≤ x ≤ EXP_MAX` (the public wrapper
+/// handles the edges). One fixed mul/add/div sequence the AVX2 twin
+/// replays lane for lane.
+#[inline]
+pub(crate) fn exp_core(x: f64) -> f64 {
+    // n = round(x / ln 2), spelled floor(x·log₂e + ½); the reduced
+    // argument r = x − n·ln 2 via the Cody–Waite split keeps |r| ≤ ln2/2
+    // with no cancellation error.
+    let px = (LOG2E * x + 0.5).floor();
+    let n = px as i32;
+    let r = (x - px * LN2_HI) - px * LN2_LO;
+    let rr = r * r;
+    // e^r = 1 + 2·rP(r²) / (Q(r²) − rP(r²)).
+    let p = ((EXP_P[0] * rr + EXP_P[1]) * rr + EXP_P[2]) * r;
+    let q = ((EXP_Q[0] * rr + EXP_Q[1]) * rr + EXP_Q[2]) * rr + EXP_Q[3];
+    let e = 1.0 + 2.0 * (p / (q - p));
+    // ·2ⁿ in two exponent-field steps so n = 1024 (x near EXP_MAX, where
+    // e·2ⁿ is finite but 2ⁿ alone is not) stays representable.
+    let k1 = n >> 1;
+    let k2 = n - k1;
+    let s1 = f64::from_bits(((1023 + k1) as u64) << 52);
+    let s2 = f64::from_bits(((1023 + k2) as u64) << 52);
+    (e * s1) * s2
+}
+
+/// `e^x` by Cephes-style reduction + rational approximation (accurate to
+/// ~1 ulp over the full finite range). `exp_scalar(0.0)` is exactly
+/// `1.0` — the fused-softmax one-element-row contract.
+#[must_use]
+pub fn exp_scalar(x: f64) -> f64 {
+    if x.is_nan() {
+        return x;
+    }
+    if x > EXP_MAX {
+        return f64::INFINITY;
+    }
+    if x < EXP_MIN {
+        return 0.0;
+    }
+    exp_core(x)
+}
+
+/// `tanh(x)` by the Cephes split: a rational in x² below 0.625, the
+/// `1 − 2/(e^{2|x|}+1)` form (sharing [`exp_core`]'s bits) above.
+/// Preserves ±0.0 and saturates to ±1.0 exactly, including at ±inf.
+#[must_use]
+pub fn tanh_scalar(x: f64) -> f64 {
+    if x.is_nan() || x == 0.0 {
+        return x;
+    }
+    let z = x.abs();
+    if z >= TANH_SPLIT {
+        let s = exp_scalar(z + z);
+        let r = 1.0 - 2.0 / (s + 1.0);
+        // r > 0 here, so restoring the sign is exactly a sign-bit OR —
+        // the spelling the vector path uses.
+        if x < 0.0 {
+            -r
+        } else {
+            r
+        }
+    } else {
+        let s = x * x;
+        let pn = (TANH_P[0] * s + TANH_P[1]) * s + TANH_P[2];
+        let qd = ((s + TANH_Q[0]) * s + TANH_Q[1]) * s + TANH_Q[2];
+        x + (x * s) * (pn / qd)
+    }
+}
+
+pub fn exp_f64(xs: &[f64], out: &mut [f64]) {
+    for (y, &x) in out.iter_mut().zip(xs) {
+        *y = exp_scalar(x);
+    }
+}
+
+pub fn tanh_f64(xs: &[f64], out: &mut [f64]) {
+    for (y, &x) in out.iter_mut().zip(xs) {
+        *y = tanh_scalar(x);
+    }
+}
+
+pub fn recip_f64(xs: &[f64], out: &mut [f64]) {
+    for (y, &x) in out.iter_mut().zip(xs) {
+        *y = 1.0 / x;
+    }
+}
+
+pub fn rsqrt_f64(xs: &[f64], out: &mut [f64]) {
+    for (y, &x) in out.iter_mut().zip(xs) {
+        *y = 1.0 / x.sqrt();
+    }
+}

@@ -29,17 +29,22 @@ pub enum UnaryKind {
 
 impl UnaryKind {
     /// Exact evaluation (the FP32 reference path).
+    ///
+    /// `Exp` and `Tanh` are defined as `gqa-simd`'s polynomial scalar
+    /// twins (accurate to ~1 ulp of `libm`) rather than the platform
+    /// `libm` calls, so the scalar ground truth is bit-identical to the
+    /// vectorized [`ExactBackend::eval_many`] sweeps on every platform.
     #[must_use]
     pub fn exact(self, x: f64) -> f64 {
         match self {
             UnaryKind::Relu => gqa_funcs_relu(x),
             UnaryKind::Gelu => gqa_gelu(x),
             UnaryKind::Hswish => gqa_hswish(x),
-            UnaryKind::Exp => x.exp(),
+            UnaryKind::Exp => gqa_simd::exp_scalar(x),
             UnaryKind::Recip => 1.0 / x,
             UnaryKind::Rsqrt => 1.0 / x.sqrt(),
             UnaryKind::Sigmoid => sigmoid(x),
-            UnaryKind::Tanh => x.tanh(),
+            UnaryKind::Tanh => gqa_simd::tanh_scalar(x),
         }
     }
 
@@ -70,14 +75,17 @@ impl UnaryKind {
                     (2.0 * x + 3.0) / 6.0
                 }
             }
-            UnaryKind::Exp => x.exp(),
+            UnaryKind::Exp => gqa_simd::exp_scalar(x),
             UnaryKind::Recip => -1.0 / (x * x),
             UnaryKind::Rsqrt => -0.5 / (x * x.sqrt()),
             UnaryKind::Sigmoid => {
                 let s = sigmoid(x);
                 s * (1.0 - s)
             }
-            UnaryKind::Tanh => 1.0 - x.tanh() * x.tanh(),
+            UnaryKind::Tanh => {
+                let t = gqa_simd::tanh_scalar(x);
+                1.0 - t * t
+            }
         }
     }
 }
@@ -172,9 +180,11 @@ impl UnaryBackend for ExactBackend {
     }
 
     /// One `match` per buffer, then a monomorphic per-operator loop. The
-    /// two branch-free activations (ReLU, HSWISH) run on the wide-lane
-    /// kernels of `gqa-simd` (bit-identical to their scalar spelling);
-    /// the transcendental kinds stay scalar `libm`-style loops.
+    /// branch-free activations (ReLU, HSWISH) and the transcendental
+    /// kinds (EXP, TANH, RECIP, RSQRT) run on the wide-lane kernels of
+    /// `gqa-simd` — each bit-identical to its scalar twin, which is what
+    /// [`UnaryKind::exact`] evaluates. GELU and Sigmoid stay scalar
+    /// loops (their erf/branch forms have no pinned vector twin yet).
     fn eval_many(&self, kind: UnaryKind, xs: &[f64], out: &mut [f64]) {
         assert_eq!(xs.len(), out.len(), "batch length mismatch");
         macro_rules! tight {
@@ -188,11 +198,11 @@ impl UnaryBackend for ExactBackend {
             UnaryKind::Relu => gqa_simd::relu_f64(xs, out),
             UnaryKind::Gelu => tight!(gqa_gelu),
             UnaryKind::Hswish => gqa_simd::hswish_f64(xs, out),
-            UnaryKind::Exp => tight!(|x: f64| x.exp()),
-            UnaryKind::Recip => tight!(|x: f64| 1.0 / x),
-            UnaryKind::Rsqrt => tight!(|x: f64| 1.0 / x.sqrt()),
+            UnaryKind::Exp => gqa_simd::exp_f64(xs, out),
+            UnaryKind::Recip => gqa_simd::recip_f64(xs, out),
+            UnaryKind::Rsqrt => gqa_simd::rsqrt_f64(xs, out),
             UnaryKind::Sigmoid => tight!(sigmoid),
-            UnaryKind::Tanh => tight!(|x: f64| x.tanh()),
+            UnaryKind::Tanh => gqa_simd::tanh_f64(xs, out),
         }
     }
 

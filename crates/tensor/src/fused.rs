@@ -34,6 +34,8 @@
 //! [`Graph::layernorm_rows`]: crate::Graph::layernorm_rows
 
 use crate::backend::{UnaryBackend, UnaryKind};
+use crate::graph::matmul_acc;
+use crate::pool::BufferPool;
 
 /// A fused row operator, as a value: the public surface benches and
 /// drivers dispatch on. [`Graph`](crate::Graph) records fused nodes with
@@ -94,6 +96,21 @@ pub struct LayerNormSaved {
     pub var_eps: Vec<f32>,
 }
 
+/// Forward-pass state the fused attention node keeps for its backward
+/// pass: the softmax stage's backend outputs (not recomputable after a
+/// hot swap) plus the scaled score matrix they were evaluated on (the
+/// straight-through derivatives need the stage inputs, and recomputing
+/// them would repeat the score matmul).
+#[derive(Debug, Clone)]
+pub struct AttentionSaved {
+    /// `scale · (q·kᵀ)` — the softmax stage's input, `(B·Nq, Nk)` rows.
+    pub scaled: Vec<f32>,
+    /// `exp(scaled − rowmax)` as the backend produced it.
+    pub exp: Vec<f32>,
+    /// Backend reciprocal of each row's denominator, one per `(B·Nq)` row.
+    pub inv: Vec<f32>,
+}
+
 fn check_rows(len: usize, cols: usize, out_len: usize) -> usize {
     assert!(cols > 0, "rows must have at least one element");
     assert_eq!(len % cols, 0, "buffer not a whole number of rows");
@@ -120,6 +137,29 @@ pub fn softmax_rows_f32(
     cols: usize,
     out: &mut [f32],
 ) -> SoftmaxSaved {
+    let mut pool = BufferPool::new();
+    softmax_rows_f32_pooled(backend, xs, cols, out, &mut pool, true)
+        .expect("save=true always returns state")
+}
+
+/// [`softmax_rows_f32`] with staging buffers drawn from (and returned to)
+/// `pool`, and backward state kept only when `save` is set. Bit-identical
+/// to the plain driver — pooled buffers are zero-filled on take and the
+/// stage sequence is unchanged; with `save = false` the would-be saved
+/// buffers are recycled instead of retained (the inference path).
+///
+/// # Panics
+///
+/// Panics if `cols == 0`, `xs.len()` is not a multiple of `cols`, or the
+/// buffer lengths differ.
+pub fn softmax_rows_f32_pooled(
+    backend: &dyn UnaryBackend,
+    xs: &[f32],
+    cols: usize,
+    out: &mut [f32],
+    pool: &mut BufferPool,
+    save: bool,
+) -> Option<SoftmaxSaved> {
     let rows = check_rows(xs.len(), cols, out.len());
     // Pass 1: running row max + shift, staged into the output buffer.
     for (row, orow) in xs.chunks_exact(cols).zip(out.chunks_exact_mut(cols)) {
@@ -128,16 +168,17 @@ pub fn softmax_rows_f32(
     }
     // Stage 2: LUT/exp eval — one whole-tensor backend call, the same
     // call shape as the unfused graph (hot-swap resolves once here).
-    let mut exp = vec![0.0f32; xs.len()];
+    let mut exp = pool.take(xs.len());
     backend.eval_many_f32(UnaryKind::Exp, out, &mut exp);
     // Pass 3: pinned-order row sums.
-    let mut sums = vec![0.0f32; rows];
+    let mut sums = pool.take(rows);
     for (s, erow) in sums.iter_mut().zip(exp.chunks_exact(cols)) {
         *s = gqa_simd::sum_f32(erow);
     }
     // Stage 4: one backend DIV call over the per-row denominators.
-    let mut inv = vec![0.0f32; rows];
+    let mut inv = pool.take(rows);
     backend.eval_many_f32(UnaryKind::Recip, &sums, &mut inv);
+    pool.put(sums);
     // Pass 5: deferred rescale.
     for ((orow, erow), &f) in out
         .chunks_exact_mut(cols)
@@ -146,7 +187,13 @@ pub fn softmax_rows_f32(
     {
         gqa_simd::scale_f32(f, erow, orow);
     }
-    SoftmaxSaved { exp, inv }
+    if save {
+        Some(SoftmaxSaved { exp, inv })
+    } else {
+        pool.put(exp);
+        pool.put(inv);
+        None
+    }
 }
 
 /// Fused LayerNorm over `cols`-length rows, optionally with a per-column
@@ -172,13 +219,35 @@ pub fn layer_norm_rows_f32(
     affine: Option<(&[f32], &[f32])>,
     out: &mut [f32],
 ) -> LayerNormSaved {
+    let mut pool = BufferPool::new();
+    layer_norm_rows_f32_pooled(backend, xs, cols, eps, affine, out, &mut pool, true)
+        .expect("save=true always returns state")
+}
+
+/// [`layer_norm_rows_f32`] with pooled staging and optional backward
+/// state, mirroring [`softmax_rows_f32_pooled`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`layer_norm_rows_f32`].
+#[allow(clippy::too_many_arguments)]
+pub fn layer_norm_rows_f32_pooled(
+    backend: &dyn UnaryBackend,
+    xs: &[f32],
+    cols: usize,
+    eps: f32,
+    affine: Option<(&[f32], &[f32])>,
+    out: &mut [f32],
+    pool: &mut BufferPool,
+    save: bool,
+) -> Option<LayerNormSaved> {
     let rows = check_rows(xs.len(), cols, out.len());
     if let Some((gamma, beta)) = affine {
         assert_eq!(gamma.len(), cols, "gamma must be ({cols})");
         assert_eq!(beta.len(), cols, "beta must be ({cols})");
     }
-    let mut centered = vec![0.0f32; xs.len()];
-    let mut var_eps = vec![0.0f32; rows];
+    let mut centered = pool.take(xs.len());
+    let mut var_eps = pool.take(rows);
     for (r, (row, crow)) in xs
         .chunks_exact(cols)
         .zip(centered.chunks_exact_mut(cols))
@@ -190,7 +259,7 @@ pub fn layer_norm_rows_f32(
         var_eps[r] = var + eps;
     }
     // One backend RSQRT call over the per-row variances.
-    let mut inv_std = vec![0.0f32; rows];
+    let mut inv_std = pool.take(rows);
     backend.eval_many_f32(UnaryKind::Rsqrt, &var_eps, &mut inv_std);
     for (r, (crow, orow)) in centered
         .chunks_exact(cols)
@@ -202,11 +271,214 @@ pub fn layer_norm_rows_f32(
             None => gqa_simd::scale_f32(inv_std[r], crow, orow),
         }
     }
-    LayerNormSaved {
-        centered,
-        inv_std,
-        var_eps,
+    if save {
+        Some(LayerNormSaved {
+            centered,
+            inv_std,
+            var_eps,
+        })
+    } else {
+        pool.put(centered);
+        pool.put(var_eps);
+        pool.put(inv_std);
+        None
     }
+}
+
+/// Fused residual-add + LayerNorm: computes `sum = x + y` and the
+/// (optionally affine) LayerNorm of `sum` in one pass per row, writing
+/// both results. Bit-identical to the unfused `add → layer_norm` pair:
+/// the add is the same element-wise `+`, and the norm stages run the
+/// exact [`layer_norm_rows_f32`] sequence on the summed rows (same
+/// pinned-order reductions, one whole-tensor RSQRT backend call).
+///
+/// The pre-norm transformer pattern needs **both** outputs — the sum
+/// feeds the next residual, the normed value feeds the sub-block — which
+/// is why this driver fills two buffers instead of one.
+///
+/// # Panics
+///
+/// Panics if `cols == 0`, lengths are not a whole number of rows, the
+/// four buffer lengths disagree, or an affine slice is not `cols` long.
+#[allow(clippy::too_many_arguments)]
+pub fn residual_layer_norm_rows_f32_pooled(
+    backend: &dyn UnaryBackend,
+    xs: &[f32],
+    ys: &[f32],
+    cols: usize,
+    eps: f32,
+    affine: Option<(&[f32], &[f32])>,
+    sum_out: &mut [f32],
+    out: &mut [f32],
+    pool: &mut BufferPool,
+    save: bool,
+) -> Option<LayerNormSaved> {
+    let rows = check_rows(xs.len(), cols, out.len());
+    assert_eq!(xs.len(), ys.len(), "residual length mismatch");
+    assert_eq!(xs.len(), sum_out.len(), "sum buffer length mismatch");
+    if let Some((gamma, beta)) = affine {
+        assert_eq!(gamma.len(), cols, "gamma must be ({cols})");
+        assert_eq!(beta.len(), cols, "beta must be ({cols})");
+    }
+    let mut centered = pool.take(xs.len());
+    let mut var_eps = pool.take(rows);
+    // One pass per row: residual add, then mean/center/variance on the
+    // freshly summed row while it is cache-hot.
+    for (r, ((xrow, yrow), srow)) in xs
+        .chunks_exact(cols)
+        .zip(ys.chunks_exact(cols))
+        .zip(sum_out.chunks_exact_mut(cols))
+        .enumerate()
+    {
+        for ((s, &xv), &yv) in srow.iter_mut().zip(xrow).zip(yrow) {
+            *s = xv + yv;
+        }
+        let crow = &mut centered[r * cols..(r + 1) * cols];
+        let mu = gqa_simd::sum_f32(srow) / cols as f32;
+        gqa_simd::sub_scalar_f32(mu, srow, crow);
+        let var = gqa_simd::sum_sq_f32(crow) / cols as f32;
+        var_eps[r] = var + eps;
+    }
+    let mut inv_std = pool.take(rows);
+    backend.eval_many_f32(UnaryKind::Rsqrt, &var_eps, &mut inv_std);
+    for (r, (crow, orow)) in centered
+        .chunks_exact(cols)
+        .zip(out.chunks_exact_mut(cols))
+        .enumerate()
+    {
+        match affine {
+            Some((gamma, beta)) => gqa_simd::norm_affine_f32(inv_std[r], gamma, beta, crow, orow),
+            None => gqa_simd::scale_f32(inv_std[r], crow, orow),
+        }
+    }
+    if save {
+        Some(LayerNormSaved {
+            centered,
+            inv_std,
+            var_eps,
+        })
+    } else {
+        pool.put(centered);
+        pool.put(var_eps);
+        pool.put(inv_std);
+        None
+    }
+}
+
+/// Fused scaled-dot-product attention over `(B, Nq, C) × (B, Nk, C)²`
+/// buffers: `out = softmax(scale · q·kᵀ) · v`, with `dims = [B, Nq, Nk,
+/// C]`. Bit-identical to the unfused
+/// `transpose → batch_matmul → scale → softmax_rows → batch_matmul` tape
+/// assembly ([`Graph::attention_unfused`]):
+///
+/// * kᵀ and the score matrix live in pooled scratch, never on the tape,
+///   but are produced by the *same* transpose/`matmul_acc` loops the
+///   unfused graph ops run;
+/// * the softmax stages are [`softmax_rows_f32_pooled`] over the whole
+///   `(B·Nq, Nk)` score tensor — exactly **one** EXP and **one** DIV
+///   backend call for the entire node, the same tensor-level call shape
+///   as the unfused spelling, so LUT datapaths and hot swaps behave
+///   identically inside the fused node.
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with `dims`.
+///
+/// [`Graph::attention_unfused`]: crate::Graph::attention_unfused
+#[allow(clippy::too_many_arguments)]
+pub fn attention_rows_f32_pooled(
+    backend: &dyn UnaryBackend,
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    dims: [usize; 4],
+    scale: f32,
+    out: &mut [f32],
+    pool: &mut BufferPool,
+    save: bool,
+) -> Option<AttentionSaved> {
+    let [bsz, nq, nk, c] = dims;
+    assert_eq!(q.len(), bsz * nq * c, "q length mismatch");
+    assert_eq!(k.len(), bsz * nk * c, "k length mismatch");
+    assert_eq!(v.len(), bsz * nk * c, "v length mismatch");
+    assert_eq!(out.len(), bsz * nq * c, "out length mismatch");
+    // kᵀ staged per batch in pooled scratch (the flash-attention lesson
+    // in reverse: we keep the exact unfused reduction order, but stop
+    // materializing intermediates as tape nodes).
+    let mut kt = pool.take(bsz * c * nk);
+    for bi in 0..bsz {
+        let src = &k[bi * nk * c..(bi + 1) * nk * c];
+        let dst = &mut kt[bi * c * nk..(bi + 1) * c * nk];
+        for r in 0..nk {
+            for cc in 0..c {
+                dst[cc * nk + r] = src[r * c + cc];
+            }
+        }
+    }
+    // scores = scale · (q · kᵀ), per batch through the shared matmul
+    // kernel, then one elementwise sweep — the `scale` op's spelling.
+    let mut scores = pool.take(bsz * nq * nk);
+    for bi in 0..bsz {
+        matmul_acc(
+            &q[bi * nq * c..(bi + 1) * nq * c],
+            &kt[bi * c * nk..(bi + 1) * c * nk],
+            &mut scores[bi * nq * nk..(bi + 1) * nq * nk],
+            nq,
+            c,
+            nk,
+        );
+    }
+    for s in &mut scores {
+        *s *= scale;
+    }
+    // Softmax over all (B·Nq) rows at once: one EXP call, one DIV call.
+    let mut attn = pool.take(bsz * nq * nk);
+    let soft = softmax_rows_f32_pooled(backend, &scores, nk, &mut attn, pool, save);
+    // ctx = attn · v.
+    out.fill(0.0);
+    for bi in 0..bsz {
+        matmul_acc(
+            &attn[bi * nq * nk..(bi + 1) * nq * nk],
+            &v[bi * nk * c..(bi + 1) * nk * c],
+            &mut out[bi * nq * c..(bi + 1) * nq * c],
+            nq,
+            nk,
+            c,
+        );
+    }
+    pool.put(kt);
+    pool.put(attn);
+    match soft {
+        Some(SoftmaxSaved { exp, inv }) => Some(AttentionSaved {
+            scaled: scores,
+            exp,
+            inv,
+        }),
+        None => {
+            pool.put(scores);
+            None
+        }
+    }
+}
+
+/// [`attention_rows_f32_pooled`] with a throwaway pool, always saving
+/// backward state — the stateless entry point for benches and tests.
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with `dims`.
+pub fn attention_rows_f32(
+    backend: &dyn UnaryBackend,
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    dims: [usize; 4],
+    scale: f32,
+    out: &mut [f32],
+) -> AttentionSaved {
+    let mut pool = BufferPool::new();
+    attention_rows_f32_pooled(backend, q, k, v, dims, scale, out, &mut pool, true)
+        .expect("save=true always returns state")
 }
 
 /// `f64` twin of [`softmax_rows_f32`], routed through

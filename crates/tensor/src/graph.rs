@@ -7,12 +7,25 @@
 use std::sync::Arc;
 
 use crate::backend::{UnaryBackend, UnaryKind};
-use crate::fused::{self, LayerNormSaved, SoftmaxSaved};
+use crate::fused::{self, AttentionSaved, LayerNormSaved, SoftmaxSaved};
+use crate::pool::BufferPool;
 use crate::tensor_impl::{ParamId, ParamStore, Tensor};
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(usize);
+
+/// Execution mode of a [`Graph`] tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Record everything [`Graph::backward`] needs (the default).
+    Train,
+    /// Forward-only: nodes record no backward metadata, fused drivers
+    /// skip saved-state `Arc` materialization, and no gradient slots are
+    /// kept. Forward values are bit-identical to [`EvalMode::Train`];
+    /// [`Graph::backward`] panics.
+    Inference,
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -59,6 +72,16 @@ enum Op {
         beta: Option<NodeId>,
         saved: Arc<LayerNormSaved>,
     },
+    FusedAttention {
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        scale: f32,
+        saved: Arc<AttentionSaved>,
+    },
+    /// Inference-mode node: value only, no backward metadata. Every node
+    /// pushed on an [`EvalMode::Inference`] tape is recorded as this.
+    Detached,
 }
 
 struct Node {
@@ -68,34 +91,97 @@ struct Node {
 }
 
 /// An eager reverse-mode autodiff tape bound to a [`UnaryBackend`].
+///
+/// Every op's output tensor (and the fused drivers' staging buffers) is
+/// drawn from an internal [`BufferPool`]; [`Graph::recycle`] harvests a
+/// finished tape's buffers so the next graph reuses them instead of
+/// hitting the allocator.
 pub struct Graph<'b> {
     backend: &'b dyn UnaryBackend,
     nodes: Vec<Node>,
     grads: Vec<Option<Vec<f32>>>,
+    pool: BufferPool,
+    mode: EvalMode,
 }
 
 impl std::fmt::Debug for Graph<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Graph")
             .field("nodes", &self.nodes.len())
+            .field("mode", &self.mode)
             .finish()
     }
 }
 
 impl<'b> Graph<'b> {
-    /// New empty tape using `backend` for the non-linear unaries.
+    /// New empty training tape using `backend` for the non-linear unaries.
     #[must_use]
     pub fn new(backend: &'b dyn UnaryBackend) -> Self {
+        Self::with_mode(backend, EvalMode::Train, BufferPool::new())
+    }
+
+    /// New forward-only tape: same values bit for bit as a training tape,
+    /// but no saved state, no gradient slots, and [`Graph::backward`]
+    /// panics. Shorthand for [`Graph::with_mode`] with
+    /// [`EvalMode::Inference`].
+    #[must_use]
+    pub fn new_inference(backend: &'b dyn UnaryBackend) -> Self {
+        Self::with_mode(backend, EvalMode::Inference, BufferPool::new())
+    }
+
+    /// New empty tape with an explicit mode and a (possibly pre-warmed)
+    /// buffer pool — pass the pool a previous [`Graph::recycle`] returned
+    /// to run the forward without fresh allocations.
+    #[must_use]
+    pub fn with_mode(backend: &'b dyn UnaryBackend, mode: EvalMode, pool: BufferPool) -> Self {
         Self {
             backend,
             nodes: Vec::new(),
             grads: Vec::new(),
+            pool,
+            mode,
         }
     }
 
+    /// The tape's execution mode.
+    #[must_use]
+    pub fn mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    fn training(&self) -> bool {
+        self.mode == EvalMode::Train
+    }
+
+    /// Tears the tape down, harvesting every node's value buffer and any
+    /// gradient buffers into the returned pool. Feed it to the next
+    /// [`Graph::with_mode`] and that graph's forward allocates (almost)
+    /// nothing.
+    #[must_use]
+    pub fn recycle(self) -> BufferPool {
+        let mut pool = self.pool;
+        for node in self.nodes {
+            pool.put(node.value.data);
+        }
+        for g in self.grads.into_iter().flatten() {
+            pool.put(g);
+        }
+        pool
+    }
+
     fn push(&mut self, op: Op, value: Tensor, param: Option<ParamId>) -> NodeId {
-        self.nodes.push(Node { op, value, param });
-        self.grads.push(None);
+        if self.training() {
+            self.nodes.push(Node { op, value, param });
+            self.grads.push(None);
+        } else {
+            // Inference: drop backward metadata (op descriptors can carry
+            // target vectors / node-id lists) and keep no gradient slot.
+            self.nodes.push(Node {
+                op: Op::Detached,
+                value,
+                param,
+            });
+        }
         NodeId(self.nodes.len() - 1)
     }
 
@@ -106,10 +192,10 @@ impl<'b> Graph<'b> {
     }
 
     /// The gradient at `id` (after [`Graph::backward`]); `None` if the node
-    /// did not influence the loss.
+    /// did not influence the loss (always `None` on inference tapes).
     #[must_use]
     pub fn grad(&self, id: NodeId) -> Option<&[f32]> {
-        self.grads[id.0].as_deref()
+        self.grads.get(id.0).and_then(|g| g.as_deref())
     }
 
     /// Number of nodes on the tape.
@@ -147,7 +233,10 @@ impl<'b> Graph<'b> {
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(ta.shape, tb.shape, "add shape mismatch");
-        let data = ta.data.iter().zip(&tb.data).map(|(x, y)| x + y).collect();
+        let mut data = self.pool.take(ta.data.len());
+        for ((o, &x), &y) in data.iter_mut().zip(&ta.data).zip(&tb.data) {
+            *o = x + y;
+        }
         let t = Tensor::from_vec(data, &ta.shape.clone());
         self.push(Op::Add(a, b), t, None)
     }
@@ -160,7 +249,10 @@ impl<'b> Graph<'b> {
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(ta.shape, tb.shape, "mul shape mismatch");
-        let data = ta.data.iter().zip(&tb.data).map(|(x, y)| x * y).collect();
+        let mut data = self.pool.take(ta.data.len());
+        for ((o, &x), &y) in data.iter_mut().zip(&ta.data).zip(&tb.data) {
+            *o = x * y;
+        }
         let t = Tensor::from_vec(data, &ta.shape.clone());
         self.push(Op::Mul(a, b), t, None)
     }
@@ -168,14 +260,22 @@ impl<'b> Graph<'b> {
     /// `c · x`.
     pub fn scale(&mut self, x: NodeId, c: f32) -> NodeId {
         let tx = &self.nodes[x.0].value;
-        let t = Tensor::from_vec(tx.data.iter().map(|v| v * c).collect(), &tx.shape.clone());
+        let mut data = self.pool.take(tx.data.len());
+        for (o, &v) in data.iter_mut().zip(&tx.data) {
+            *o = v * c;
+        }
+        let t = Tensor::from_vec(data, &tx.shape.clone());
         self.push(Op::Scale(x, c), t, None)
     }
 
     /// `x + c` elementwise.
     pub fn add_scalar(&mut self, x: NodeId, c: f32) -> NodeId {
         let tx = &self.nodes[x.0].value;
-        let t = Tensor::from_vec(tx.data.iter().map(|v| v + c).collect(), &tx.shape.clone());
+        let mut data = self.pool.take(tx.data.len());
+        for (o, &v) in data.iter_mut().zip(&tx.data) {
+            *o = v + c;
+        }
+        let t = Tensor::from_vec(data, &tx.shape.clone());
         self.push(Op::AddScalar(x, c), t, None)
     }
 
@@ -189,9 +289,9 @@ impl<'b> Graph<'b> {
         let (tx, tb) = (&self.nodes[x.0].value, &self.nodes[b.0].value);
         let c = *tx.shape.last().expect("non-scalar");
         assert_eq!(tb.shape, vec![c], "bias must be ({c})");
-        let mut data = tx.data.clone();
-        for (i, v) in data.iter_mut().enumerate() {
-            *v += tb.data[i % c];
+        let mut data = self.pool.take(tx.data.len());
+        for (i, (o, &v)) in data.iter_mut().zip(&tx.data).enumerate() {
+            *o = v + tb.data[i % c];
         }
         let t = Tensor::from_vec(data, &tx.shape.clone());
         self.push(Op::AddBiasLast(x, b), t, None)
@@ -207,9 +307,9 @@ impl<'b> Graph<'b> {
         assert_eq!(tx.shape.len(), 4, "expected NCHW input");
         let (c, hw) = (tx.shape[1], tx.shape[2] * tx.shape[3]);
         assert_eq!(tb.shape, vec![c], "bias must be ({c})");
-        let mut data = tx.data.clone();
-        for (i, v) in data.iter_mut().enumerate() {
-            *v += tb.data[(i / hw) % c];
+        let mut data = self.pool.take(tx.data.len());
+        for (i, (o, &v)) in data.iter_mut().zip(&tx.data).enumerate() {
+            *o = v + tb.data[(i / hw) % c];
         }
         let t = Tensor::from_vec(data, &tx.shape.clone());
         self.push(Op::AddBiasChannel(x, b), t, None)
@@ -227,7 +327,7 @@ impl<'b> Graph<'b> {
     pub fn unary(&mut self, x: NodeId, kind: UnaryKind) -> NodeId {
         let tx = &self.nodes[x.0].value;
         let shape = tx.shape.clone();
-        let mut data = vec![0.0f32; tx.data.len()];
+        let mut data = self.pool.take(tx.data.len());
         self.backend.eval_many_f32(kind, &tx.data, &mut data);
         let t = Tensor::from_vec(data, &shape);
         self.push(Op::Unary(x, kind), t, None)
@@ -247,7 +347,7 @@ impl<'b> Graph<'b> {
         let (m, k) = (ta.shape[0], ta.shape[1]);
         let (k2, n) = (tb.shape[0], tb.shape[1]);
         assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
+        let mut out = self.pool.take(m * n);
         matmul_acc(&ta.data, &tb.data, &mut out, m, k, n);
         self.push(Op::Matmul(a, b), Tensor::from_vec(out, &[m, n]), None)
     }
@@ -265,7 +365,7 @@ impl<'b> Graph<'b> {
         assert_eq!(tb.shape[0], bs, "batch sizes differ");
         assert_eq!(tb.shape[1], k, "inner dimensions differ");
         let n = tb.shape[2];
-        let mut out = vec![0.0f32; bs * m * n];
+        let mut out = self.pool.take(bs * m * n);
         for i in 0..bs {
             matmul_acc(
                 &ta.data[i * m * k..(i + 1) * m * k],
@@ -292,7 +392,7 @@ impl<'b> Graph<'b> {
         let tx = &self.nodes[x.0].value;
         assert_eq!(tx.shape.len(), 3, "transpose_last2 expects 3-D");
         let (b, m, n) = (tx.shape[0], tx.shape[1], tx.shape[2]);
-        let mut out = vec![0.0f32; b * m * n];
+        let mut out = self.pool.take(b * m * n);
         for i in 0..b {
             for r in 0..m {
                 for c in 0..n {
@@ -307,13 +407,21 @@ impl<'b> Graph<'b> {
         )
     }
 
-    /// Reinterprets the shape (free; gradient passes through).
+    /// Reinterprets the shape (a copy; gradient passes through).
     ///
     /// # Panics
     ///
     /// Panics if the element counts differ.
     pub fn reshape(&mut self, x: NodeId, shape: &[usize]) -> NodeId {
-        let t = self.nodes[x.0].value.clone().reshape(shape);
+        let tx = &self.nodes[x.0].value;
+        assert_eq!(
+            tx.data.len(),
+            shape.iter().product::<usize>(),
+            "reshape element count mismatch"
+        );
+        let mut data = self.pool.take(tx.data.len());
+        data.copy_from_slice(&tx.data);
+        let t = Tensor::from_vec(data, shape);
         self.push(Op::Reshape(x), t, None)
     }
 
@@ -328,7 +436,7 @@ impl<'b> Graph<'b> {
     pub fn row_max_sub_detach(&mut self, x: NodeId) -> NodeId {
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
-        let mut data = vec![0.0f32; tx.data.len()];
+        let mut data = self.pool.take(tx.data.len());
         for (row, orow) in tx.data.chunks_exact(c).zip(data.chunks_exact_mut(c)) {
             let m = gqa_simd::max_f32(row);
             gqa_simd::sub_scalar_f32(m, row, orow);
@@ -343,7 +451,10 @@ impl<'b> Graph<'b> {
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
         let rows = tx.len() / c;
-        let data: Vec<f32> = tx.data.chunks(c).map(gqa_simd::sum_f32).collect();
+        let mut data = self.pool.take(rows);
+        for (o, row) in data.iter_mut().zip(tx.data.chunks(c)) {
+            *o = gqa_simd::sum_f32(row);
+        }
         self.push(Op::RowSum(x), Tensor::from_vec(data, &[rows, 1]), None)
     }
 
@@ -353,11 +464,10 @@ impl<'b> Graph<'b> {
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
         let rows = tx.len() / c;
-        let data: Vec<f32> = tx
-            .data
-            .chunks(c)
-            .map(|r| gqa_simd::sum_f32(r) / c as f32)
-            .collect();
+        let mut data = self.pool.take(rows);
+        for (o, row) in data.iter_mut().zip(tx.data.chunks(c)) {
+            *o = gqa_simd::sum_f32(row) / c as f32;
+        }
         self.push(Op::RowMean(x), Tensor::from_vec(data, &[rows, 1]), None)
     }
 
@@ -371,7 +481,7 @@ impl<'b> Graph<'b> {
         let c = *tx.shape.last().expect("non-scalar");
         let rows = tx.len() / c;
         assert_eq!(tr.len(), rows, "row-vector length mismatch");
-        let mut data = vec![0.0f32; tx.data.len()];
+        let mut data = self.pool.take(tx.data.len());
         for (i, (row, orow)) in tx
             .data
             .chunks_exact(c)
@@ -394,7 +504,7 @@ impl<'b> Graph<'b> {
         let c = *tx.shape.last().expect("non-scalar");
         let rows = tx.len() / c;
         assert_eq!(tr.len(), rows, "row-vector length mismatch");
-        let mut data = vec![0.0f32; tx.data.len()];
+        let mut data = self.pool.take(tx.data.len());
         for (i, (row, orow)) in tx
             .data
             .chunks_exact(c)
@@ -425,7 +535,18 @@ impl<'b> Graph<'b> {
         groups: usize,
     ) -> NodeId {
         let (tx, tw) = (&self.nodes[x.0].value, &self.nodes[w.0].value);
-        let out = conv2d_forward(tx, tw, stride, pad, groups);
+        let out_shape = conv2d_out_shape(tx, tw, stride, pad, groups);
+        let mut out = self.pool.take(out_shape.iter().product());
+        conv2d_forward(
+            tx,
+            tw,
+            stride,
+            pad,
+            groups,
+            &out_shape,
+            &mut out,
+            &mut self.pool,
+        );
         self.push(
             Op::Conv2d {
                 x,
@@ -434,7 +555,7 @@ impl<'b> Graph<'b> {
                 pad,
                 groups,
             },
-            out,
+            Tensor::from_vec(out, &out_shape),
             None,
         )
     }
@@ -450,13 +571,20 @@ impl<'b> Graph<'b> {
         assert!(factor >= 1, "factor must be >= 1");
         let (b, c, h, w) = (tx.shape[0], tx.shape[1], tx.shape[2], tx.shape[3]);
         let (oh, ow) = (h * factor, w * factor);
-        let mut out = vec![0.0f32; b * c * oh * ow];
+        let mut out = self.pool.take(b * c * oh * ow);
+        // Pure replication: expand each source row once (each pixel
+        // repeated `factor` times), then copy the expanded row for the
+        // remaining `factor - 1` output rows — no per-element division.
         for bi in 0..b * c {
             let src = &tx.data[bi * h * w..(bi + 1) * h * w];
             let dst = &mut out[bi * oh * ow..(bi + 1) * oh * ow];
-            for y in 0..oh {
-                for xx in 0..ow {
-                    dst[y * ow + xx] = src[(y / factor) * w + (xx / factor)];
+            for y in 0..h {
+                let row0 = y * factor * ow;
+                for (xx, &v) in src[y * w..(y + 1) * w].iter().enumerate() {
+                    dst[row0 + xx * factor..row0 + (xx + 1) * factor].fill(v);
+                }
+                for r in 1..factor {
+                    dst.copy_within(row0..row0 + ow, row0 + r * ow);
                 }
             }
         }
@@ -484,7 +612,7 @@ impl<'b> Graph<'b> {
             assert_eq!((s[0], s[2], s[3]), (b, h, w), "concat spatial mismatch");
         }
         let c_total: usize = shapes.iter().map(|s| s[1]).sum();
-        let mut out = vec![0.0f32; b * c_total * h * w];
+        let mut out = self.pool.take(b * c_total * h * w);
         for bi in 0..b {
             let mut c_off = 0usize;
             for (&id, s) in xs.iter().zip(&shapes) {
@@ -622,19 +750,31 @@ impl<'b> Graph<'b> {
     /// two tensor-level backend calls). Property-tested in
     /// `tests/fused_equivalence.rs`.
     pub fn softmax(&mut self, x: NodeId) -> NodeId {
+        let save = self.training();
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
         let shape = tx.shape.clone();
-        let mut out = vec![0.0f32; tx.data.len()];
-        let saved = fused::softmax_rows_f32(self.backend, &tx.data, c, &mut out);
-        self.push(
-            Op::FusedSoftmax {
-                x,
-                saved: Arc::new(saved),
-            },
-            Tensor::from_vec(out, &shape),
-            None,
-        )
+        let mut out = self.pool.take(tx.data.len());
+        let saved = fused::softmax_rows_f32_pooled(
+            self.backend,
+            &tx.data,
+            c,
+            &mut out,
+            &mut self.pool,
+            save,
+        );
+        let t = Tensor::from_vec(out, &shape);
+        match saved {
+            Some(s) => self.push(
+                Op::FusedSoftmax {
+                    x,
+                    saved: Arc::new(s),
+                },
+                t,
+                None,
+            ),
+            None => self.push(Op::Detached, t, None),
+        }
     }
 
     /// LayerNorm over the last dimension (no affine) as one fused node —
@@ -643,21 +783,35 @@ impl<'b> Graph<'b> {
     /// backend call. Bit-identical to the unfused assembly, forward and
     /// backward.
     pub fn layer_norm(&mut self, x: NodeId, eps: f32) -> NodeId {
+        let save = self.training();
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
         let shape = tx.shape.clone();
-        let mut out = vec![0.0f32; tx.data.len()];
-        let saved = fused::layer_norm_rows_f32(self.backend, &tx.data, c, eps, None, &mut out);
-        self.push(
-            Op::FusedLayerNorm {
-                x,
-                gamma: None,
-                beta: None,
-                saved: Arc::new(saved),
-            },
-            Tensor::from_vec(out, &shape),
+        let mut out = self.pool.take(tx.data.len());
+        let saved = fused::layer_norm_rows_f32_pooled(
+            self.backend,
+            &tx.data,
+            c,
+            eps,
             None,
-        )
+            &mut out,
+            &mut self.pool,
+            save,
+        );
+        let t = Tensor::from_vec(out, &shape);
+        match saved {
+            Some(s) => self.push(
+                Op::FusedLayerNorm {
+                    x,
+                    gamma: None,
+                    beta: None,
+                    saved: Arc::new(s),
+                },
+                t,
+                None,
+            ),
+            None => self.push(Op::Detached, t, None),
+        }
     }
 
     /// LayerNorm fused with the per-column affine `γ ⊙ x̂ + β` — the fused
@@ -683,25 +837,174 @@ impl<'b> Graph<'b> {
         let (tg, tb) = (&self.nodes[gamma.0].value, &self.nodes[beta.0].value);
         assert_eq!(tg.shape, vec![c], "gamma must be ({c})");
         assert_eq!(tb.shape, vec![c], "beta must be ({c})");
-        let mut out = vec![0.0f32; tx.data.len()];
-        let saved = fused::layer_norm_rows_f32(
+        let save = self.training();
+        let mut out = self.pool.take(tx.data.len());
+        let saved = fused::layer_norm_rows_f32_pooled(
             self.backend,
             &tx.data,
             c,
             eps,
             Some((&tg.data, &tb.data)),
             &mut out,
+            &mut self.pool,
+            save,
         );
-        self.push(
-            Op::FusedLayerNorm {
-                x,
-                gamma: Some(gamma),
-                beta: Some(beta),
-                saved: Arc::new(saved),
-            },
-            Tensor::from_vec(out, &shape),
-            None,
-        )
+        let t = Tensor::from_vec(out, &shape);
+        match saved {
+            Some(s) => self.push(
+                Op::FusedLayerNorm {
+                    x,
+                    gamma: Some(gamma),
+                    beta: Some(beta),
+                    saved: Arc::new(s),
+                },
+                t,
+                None,
+            ),
+            None => self.push(Op::Detached, t, None),
+        }
+    }
+
+    /// `x + y` followed by the affine LayerNorm of the sum, as one fused
+    /// driver pass ([`fused::residual_layer_norm_rows_f32_pooled`])
+    /// producing **two** tape nodes `(sum, normed)` — the pre-norm
+    /// transformer residual pattern, where the sum feeds the next
+    /// residual and the normed value feeds the sub-block.
+    ///
+    /// Bit-identical to `g.add(x, y)` followed by
+    /// [`Graph::layer_norm_affine`] — forward and backward — because the
+    /// recorded nodes *are* that pair (an `Add` node carrying the sum and
+    /// a fused-LayerNorm node referencing it); only the forward compute
+    /// is done in one pass per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or non-`(C)` affine nodes.
+    pub fn residual_layer_norm_affine(
+        &mut self,
+        x: NodeId,
+        y: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        eps: f32,
+    ) -> (NodeId, NodeId) {
+        let save = self.training();
+        let (tx, ty) = (&self.nodes[x.0].value, &self.nodes[y.0].value);
+        assert_eq!(tx.shape, ty.shape, "residual shape mismatch");
+        let c = *tx.shape.last().expect("non-scalar");
+        let shape = tx.shape.clone();
+        let (tg, tb) = (&self.nodes[gamma.0].value, &self.nodes[beta.0].value);
+        assert_eq!(tg.shape, vec![c], "gamma must be ({c})");
+        assert_eq!(tb.shape, vec![c], "beta must be ({c})");
+        let mut sum = self.pool.take(tx.data.len());
+        let mut out = self.pool.take(tx.data.len());
+        let saved = fused::residual_layer_norm_rows_f32_pooled(
+            self.backend,
+            &tx.data,
+            &ty.data,
+            c,
+            eps,
+            Some((&tg.data, &tb.data)),
+            &mut sum,
+            &mut out,
+            &mut self.pool,
+            save,
+        );
+        let sum_id = self.push(Op::Add(x, y), Tensor::from_vec(sum, &shape), None);
+        let t = Tensor::from_vec(out, &shape);
+        let out_id = match saved {
+            Some(s) => self.push(
+                Op::FusedLayerNorm {
+                    x: sum_id,
+                    gamma: Some(gamma),
+                    beta: Some(beta),
+                    saved: Arc::new(s),
+                },
+                t,
+                None,
+            ),
+            None => self.push(Op::Detached, t, None),
+        };
+        (sum_id, out_id)
+    }
+
+    /// Fused scaled-dot-product attention
+    /// `softmax(scale · q·kᵀ) · v` over `(B, Nq, C)` queries and
+    /// `(B, Nk, C)` keys/values, as **one tape node**.
+    ///
+    /// The score matrix and kᵀ live in pooled scratch instead of becoming
+    /// tape nodes, but every stage replays the unfused assembly's exact
+    /// kernels — shared matmul loops, pinned-order row reductions, and
+    /// exactly one whole-tensor EXP plus one DIV [`UnaryBackend`] call
+    /// for the softmax (so LUT datapaths and hot swaps behave identically
+    /// inside the node). Bit-identical to
+    /// [`Graph::attention_unfused`], forward *and* backward; the backward
+    /// pass replays the unfused reverse traversal node for node,
+    /// accumulating into `v`, then `q`, then `k` — the order the unfused
+    /// tape's descending-id walk produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `q: (B, Nq, C)`, `k: (B, Nk, C)`, `v: (B, Nk, C)`.
+    pub fn attention(&mut self, q: NodeId, k: NodeId, v: NodeId, scale: f32) -> NodeId {
+        let save = self.training();
+        let (tq, tk, tv) = (
+            &self.nodes[q.0].value,
+            &self.nodes[k.0].value,
+            &self.nodes[v.0].value,
+        );
+        assert_eq!(tq.shape.len(), 3, "attention q must be (B, Nq, C)");
+        assert_eq!(tk.shape.len(), 3, "attention k must be (B, Nk, C)");
+        assert_eq!(tv.shape.len(), 3, "attention v must be (B, Nk, C)");
+        let (bsz, nq, c) = (tq.shape[0], tq.shape[1], tq.shape[2]);
+        let nk = tk.shape[1];
+        assert_eq!(tk.shape, vec![bsz, nk, c], "attention k shape mismatch");
+        assert_eq!(tv.shape, vec![bsz, nk, c], "attention v shape mismatch");
+        let mut out = self.pool.take(bsz * nq * c);
+        let saved = fused::attention_rows_f32_pooled(
+            self.backend,
+            &tq.data,
+            &tk.data,
+            &tv.data,
+            [bsz, nq, nk, c],
+            scale,
+            &mut out,
+            &mut self.pool,
+            save,
+        );
+        let t = Tensor::from_vec(out, &[bsz, nq, c]);
+        match saved {
+            Some(s) => self.push(
+                Op::FusedAttention {
+                    q,
+                    k,
+                    v,
+                    scale,
+                    saved: Arc::new(s),
+                },
+                t,
+                None,
+            ),
+            None => self.push(Op::Detached, t, None),
+        }
+    }
+
+    /// The unfused **reference assembly** of [`Graph::attention`]:
+    /// `transpose_last2 → batch_matmul → scale → softmax_rows →
+    /// batch_matmul`, five-plus tape nodes with every intermediate
+    /// materialized. Semantic ground truth of the attention fusion
+    /// contract (the property suites compare fused against this spelling
+    /// bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shape violations as [`Graph::attention`].
+    pub fn attention_unfused(&mut self, q: NodeId, k: NodeId, v: NodeId, scale: f32) -> NodeId {
+        let kt = self.transpose_last2(k);
+        let scores = self.batch_matmul(q, kt);
+        let scaled = self.scale(scores, scale);
+        let attn = self.softmax_rows(scaled);
+        self.batch_matmul(attn, v)
     }
 
     // ---- backward ----
@@ -710,8 +1013,14 @@ impl<'b> Graph<'b> {
     ///
     /// # Panics
     ///
-    /// Panics if `loss` is not a single-element tensor.
+    /// Panics if `loss` is not a single-element tensor, or if the tape was
+    /// built in [`EvalMode::Inference`] (inference tapes record no
+    /// backward state).
     pub fn backward(&mut self, loss: NodeId) {
+        assert!(
+            self.training(),
+            "backward() called on an EvalMode::Inference tape"
+        );
         assert_eq!(self.nodes[loss.0].value.len(), 1, "loss must be scalar");
         for g in &mut self.grads {
             *g = None;
@@ -726,10 +1035,11 @@ impl<'b> Graph<'b> {
         }
     }
 
-    /// Adds each parameter node's gradient into the store.
+    /// Adds each parameter node's gradient into the store (no-op on
+    /// inference tapes, which hold no gradients).
     pub fn accumulate_grads(&self, ps: &mut ParamStore) {
-        for (i, node) in self.nodes.iter().enumerate() {
-            if let (Some(pid), Some(g)) = (node.param, self.grads[i].as_ref()) {
+        for (node, g) in self.nodes.iter().zip(&self.grads) {
+            if let (Some(pid), Some(g)) = (node.param, g.as_ref()) {
                 ps.accumulate(pid, g);
             }
         }
@@ -1124,23 +1434,176 @@ impl<'b> Graph<'b> {
                 }
                 self.acc(x, &d_x_mean);
             }
+            Op::FusedAttention {
+                q,
+                k,
+                v,
+                scale,
+                saved,
+            } => {
+                let tq = &self.nodes[q.0].value;
+                let (bsz, nq, c) = (tq.shape[0], tq.shape[1], tq.shape[2]);
+                let nk = self.nodes[k.0].value.shape[1];
+                let rows = bsz * nq;
+                // batch_matmul(attn, v) backward. The attention weights
+                // are recomputed from the saved softmax state with the
+                // same deferred-rescale kernel the forward used.
+                let mut attn = vec![0.0f32; rows * nk];
+                for r in 0..rows {
+                    gqa_simd::scale_f32(
+                        saved.inv[r],
+                        &saved.exp[r * nk..(r + 1) * nk],
+                        &mut attn[r * nk..(r + 1) * nk],
+                    );
+                }
+                let mut d_attn = vec![0.0f32; rows * nk];
+                let mut d_v = vec![0.0f32; bsz * nk * c];
+                let tv = &self.nodes[v.0].value;
+                for bi in 0..bsz {
+                    matmul_nt(
+                        &dy[bi * nq * c..(bi + 1) * nq * c],
+                        &tv.data[bi * nk * c..(bi + 1) * nk * c],
+                        &mut d_attn[bi * nq * nk..(bi + 1) * nq * nk],
+                        nq,
+                        c,
+                        nk,
+                    );
+                    matmul_tn(
+                        &attn[bi * nq * nk..(bi + 1) * nq * nk],
+                        &dy[bi * nq * c..(bi + 1) * nq * c],
+                        &mut d_v[bi * nk * c..(bi + 1) * nk * c],
+                        nq,
+                        nk,
+                        c,
+                    );
+                }
+                self.acc(v, &d_v);
+                // FusedSoftmax backward on the scaled scores, replayed
+                // verbatim with `saved.scaled` as the stage input.
+                let mut d_e = vec![0.0f32; rows * nk];
+                let mut d_inv = vec![0.0f32; rows];
+                for (r, drow) in d_attn.chunks(nk).enumerate() {
+                    let f = saved.inv[r];
+                    for (j, &d) in drow.iter().enumerate() {
+                        d_e[r * nk + j] = d * f;
+                        d_inv[r] += d * saved.exp[r * nk + j];
+                    }
+                }
+                for r in 0..rows {
+                    let s = gqa_simd::sum_f32(&saved.exp[r * nk..(r + 1) * nk]);
+                    let d_s = d_inv[r] * UnaryKind::Recip.exact_derivative(f64::from(s)) as f32;
+                    for g in &mut d_e[r * nk..(r + 1) * nk] {
+                        *g += d_s;
+                    }
+                }
+                let mut d_scores = vec![0.0f32; rows * nk];
+                for (r, row) in saved.scaled.chunks_exact(nk).enumerate() {
+                    let m = gqa_simd::max_f32(row);
+                    for (j, &val) in row.iter().enumerate() {
+                        d_scores[r * nk + j] = d_e[r * nk + j]
+                            * UnaryKind::Exp.exact_derivative(f64::from(val - m)) as f32;
+                    }
+                }
+                // scale backward.
+                for d in &mut d_scores {
+                    *d *= scale;
+                }
+                // batch_matmul(q, kᵀ) backward, with kᵀ recomputed.
+                let tq = &self.nodes[q.0].value;
+                let tk = &self.nodes[k.0].value;
+                let mut kt = vec![0.0f32; bsz * c * nk];
+                for bi in 0..bsz {
+                    let src = &tk.data[bi * nk * c..(bi + 1) * nk * c];
+                    let dst = &mut kt[bi * c * nk..(bi + 1) * c * nk];
+                    for r in 0..nk {
+                        for cc in 0..c {
+                            dst[cc * nk + r] = src[r * c + cc];
+                        }
+                    }
+                }
+                let mut d_q = vec![0.0f32; bsz * nq * c];
+                let mut d_kt = vec![0.0f32; bsz * c * nk];
+                for bi in 0..bsz {
+                    matmul_nt(
+                        &d_scores[bi * nq * nk..(bi + 1) * nq * nk],
+                        &kt[bi * c * nk..(bi + 1) * c * nk],
+                        &mut d_q[bi * nq * c..(bi + 1) * nq * c],
+                        nq,
+                        nk,
+                        c,
+                    );
+                    matmul_tn(
+                        &tq.data[bi * nq * c..(bi + 1) * nq * c],
+                        &d_scores[bi * nq * nk..(bi + 1) * nq * nk],
+                        &mut d_kt[bi * c * nk..(bi + 1) * c * nk],
+                        nq,
+                        c,
+                        nk,
+                    );
+                }
+                self.acc(q, &d_q);
+                // transpose_last2(k) backward: route d_kᵀ back to k.
+                let mut d_k = vec![0.0f32; bsz * nk * c];
+                for bi in 0..bsz {
+                    for j in 0..nk {
+                        for cc in 0..c {
+                            d_k[bi * nk * c + j * c + cc] = d_kt[bi * c * nk + cc * nk + j];
+                        }
+                    }
+                }
+                self.acc(k, &d_k);
+            }
+            Op::Detached => {
+                unreachable!("detached nodes only exist on inference tapes, which cannot backward")
+            }
         }
     }
 }
 
-/// `out += A·B` for row-major `(m,k)·(k,n)`.
-fn matmul_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// `out += A·B` for row-major `(m,k)·(k,n)`. Shared with the fused
+/// drivers in [`crate::fused`] so fused matmul stages run the exact loop
+/// the tape's `Matmul`/`BatchMatmul` nodes run.
+pub(crate) fn matmul_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    // The inner dimension is walked in ascending chunks of four with the
+    // four partial adds applied sequentially per output element, so every
+    // `out[i][j]` sees the same ordered f32 add sequence as the scalar
+    // `for p { out += a*b }` loop — the unroll buys ILP and fewer passes
+    // over the output row without reassociating anything. Chunks whose
+    // four `a` values are all zero are skipped, like the scalar loop's
+    // zero-skip: with `out` accumulators built from +0.0 by addition
+    // (they can never be -0.0), adding a `±0.0` product is bit-identical
+    // to not adding it.
     for i in 0..m {
-        for p in 0..k {
-            let av = a[i * k + p];
-            if av == 0.0 {
-                continue;
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut p = 0;
+        while p + 4 <= k {
+            let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
+            if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+                let b0 = &b[p * n..(p + 1) * n];
+                let b1 = &b[(p + 1) * n..(p + 2) * n];
+                let b2 = &b[(p + 2) * n..(p + 3) * n];
+                let b3 = &b[(p + 3) * n..(p + 4) * n];
+                for j in 0..n {
+                    let mut v = orow[j];
+                    v += a0 * b0[j];
+                    v += a1 * b1[j];
+                    v += a2 * b2[j];
+                    v += a3 * b3[j];
+                    orow[j] = v;
+                }
             }
-            let brow = &b[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += av * brow[j];
+            p += 4;
+        }
+        while p < k {
+            let av = arow[p];
+            if av != 0.0 {
+                let brow = &b[p * n..(p + 1) * n];
+                for j in 0..n {
+                    orow[j] += av * brow[j];
+                }
             }
+            p += 1;
         }
     }
 }
@@ -1177,7 +1640,14 @@ fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize
     }
 }
 
-fn conv2d_forward(x: &Tensor, w: &Tensor, stride: usize, pad: usize, groups: usize) -> Tensor {
+/// Validates conv arguments and returns the NCHW output shape.
+fn conv2d_out_shape(
+    x: &Tensor,
+    w: &Tensor,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+) -> [usize; 4] {
     assert_eq!(x.shape.len(), 4, "conv input must be NCHW");
     assert_eq!(
         w.shape.len(),
@@ -1192,41 +1662,106 @@ fn conv2d_forward(x: &Tensor, w: &Tensor, stride: usize, pad: usize, groups: usi
     assert_eq!(cig, cin / groups, "weight channel mismatch");
     let oh = (h + 2 * pad - kh) / stride + 1;
     let ow = (wd + 2 * pad - kw) / stride + 1;
-    let mut out = vec![0.0f32; b * cout * oh * ow];
+    [b, cout, oh, ow]
+}
+
+/// Convolution as im2col + the shared [`matmul_acc`] kernel.
+///
+/// Per `(batch, group)` the input patches are gathered into a pooled
+/// `(Cin/g·kh·kw, oh·ow)` column matrix (out-of-bounds taps stay zero),
+/// then one `matmul_acc` against the group's weight rows produces the
+/// whole output block. Bit-identical to the textbook per-element loop:
+/// `matmul_acc` accumulates over the patch dimension in ascending
+/// `(ic, ky, kx)` order — exactly the textbook tap order — and the only
+/// extra terms are `±0.0` products from padding taps (or the kernel's
+/// zero-skip removing weight-zero taps), which never change an
+/// accumulator that starts at +0.0.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_forward(
+    x: &Tensor,
+    w: &Tensor,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    out_shape: &[usize; 4],
+    out: &mut [f32],
+    pool: &mut BufferPool,
+) {
+    let (b, cin, h, wd) = (x.shape[0], x.shape[1], x.shape[2], x.shape[3]);
+    let (cout, cig, kh, kw) = (w.shape[0], w.shape[1], w.shape[2], w.shape[3]);
+    let (oh, ow) = (out_shape[2], out_shape[3]);
     let cog = cout / groups;
+    let ohw = oh * ow;
+    // 1×1 stride-1 unpadded ungrouped convolution IS a matrix product:
+    // out(Cout, H·W) += W(Cout, Cin) · X(Cin, H·W) — no gather needed.
+    if kh == 1 && kw == 1 && stride == 1 && pad == 0 && groups == 1 {
+        let hw = h * wd;
+        for bi in 0..b {
+            matmul_acc(
+                &w.data,
+                &x.data[bi * cin * hw..(bi + 1) * cin * hw],
+                &mut out[bi * cout * hw..(bi + 1) * cout * hw],
+                cout,
+                cin,
+                hw,
+            );
+        }
+        return;
+    }
+    let patch = cig * kh * kw;
     for bi in 0..b {
         for g in 0..groups {
-            for oc in 0..cog {
-                let oc_abs = g * cog + oc;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = 0.0f32;
-                        for ic in 0..cig {
-                            let ic_abs = g * cig + ic;
-                            for ky in 0..kh {
-                                let iy = oy * stride + ky;
-                                if iy < pad || iy - pad >= h {
-                                    continue;
-                                }
-                                for kx in 0..kw {
-                                    let ix = ox * stride + kx;
-                                    if ix < pad || ix - pad >= wd {
-                                        continue;
-                                    }
-                                    let xv = x.data
-                                        [((bi * cin + ic_abs) * h + (iy - pad)) * wd + (ix - pad)];
-                                    let wv = w.data[((oc_abs * cig + ic) * kh + ky) * kw + kx];
-                                    acc += xv * wv;
+            let mut col = pool.take(patch * ohw);
+            for ic in 0..cig {
+                let ic_abs = g * cig + ic;
+                let x_plane = &x.data[((bi * cin + ic_abs) * h) * wd..][..h * wd];
+                for ky in 0..kh {
+                    for oy in 0..oh {
+                        let iy = oy * stride + ky;
+                        if iy < pad || iy - pad >= h {
+                            continue;
+                        }
+                        let xrow = &x_plane[(iy - pad) * wd..][..wd];
+                        for kx in 0..kw {
+                            // Valid ox: pad <= ox·stride + kx < wd + pad.
+                            if wd + pad <= kx {
+                                continue;
+                            }
+                            let ox_lo = if kx >= pad {
+                                0
+                            } else {
+                                (pad - kx).div_ceil(stride)
+                            };
+                            let ox_hi = ((wd - 1 + pad - kx) / stride).min(ow - 1);
+                            if ox_lo > ox_hi {
+                                continue;
+                            }
+                            let xoff = ox_lo * stride + kx - pad;
+                            let cnt = ox_hi + 1 - ox_lo;
+                            let p = (ic * kh + ky) * kw + kx;
+                            let crow = &mut col[p * ohw + oy * ow..][..ow];
+                            if stride == 1 {
+                                crow[ox_lo..ox_lo + cnt].copy_from_slice(&xrow[xoff..xoff + cnt]);
+                            } else {
+                                for i in 0..cnt {
+                                    crow[ox_lo + i] = xrow[xoff + i * stride];
                                 }
                             }
                         }
-                        out[((bi * cout + oc_abs) * oh + oy) * ow + ox] = acc;
                     }
                 }
             }
+            matmul_acc(
+                &w.data[(g * cog) * patch..((g + 1) * cog) * patch],
+                &col,
+                &mut out[(bi * cout + g * cog) * ohw..][..cog * ohw],
+                cog,
+                patch,
+                ohw,
+            );
+            pool.put(col);
         }
     }
-    Tensor::from_vec(out, &[b, cout, oh, ow])
 }
 
 fn conv2d_backward(
@@ -1595,5 +2130,181 @@ mod tests {
         let loss_all = g.cross_entropy_nchw(x, &[0, 255], 255);
         // Only one valid pixel with uniform logits: loss = ln(3).
         assert!((g.value(loss_all).data[0] - 3.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradcheck_fused_attention() {
+        let k = seeded(&[2, 4, 3], 31);
+        let v = seeded(&[2, 4, 3], 32);
+        gradcheck(seeded(&[2, 3, 3], 30), move |g, x| {
+            let kn = g.input(k.clone());
+            let vn = g.input(v.clone());
+            let y = g.attention(x, kn, vn, 0.5);
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        });
+    }
+
+    /// Fused attention must equal the five-node unfused assembly bit for
+    /// bit — output values and the gradients of q, k, AND v.
+    #[test]
+    fn attention_fused_matches_unfused_bitwise() {
+        let (tq, tk, tv) = (
+            seeded(&[2, 5, 4], 41),
+            seeded(&[2, 7, 4], 42),
+            seeded(&[2, 7, 4], 43),
+        );
+        let scale = 1.0 / (4.0f32).sqrt();
+        let run = |fused: bool| {
+            let mut g = Graph::new(&B);
+            let q = g.input(tq.clone());
+            let k = g.input(tk.clone());
+            let v = g.input(tv.clone());
+            let y = if fused {
+                g.attention(q, k, v, scale)
+            } else {
+                g.attention_unfused(q, k, v, scale)
+            };
+            let sq = g.mul(y, y);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            (
+                g.value(y).data.clone(),
+                g.grad(q).expect("dq").to_vec(),
+                g.grad(k).expect("dk").to_vec(),
+                g.grad(v).expect("dv").to_vec(),
+            )
+        };
+        let (yf, qf, kf, vf) = run(true);
+        let (yu, qu, ku, vu) = run(false);
+        let pairs = [
+            (yf, yu, "value"),
+            (qf, qu, "dq"),
+            (kf, ku, "dk"),
+            (vf, vu, "dv"),
+        ];
+        for (f, u, what) in &pairs {
+            assert_eq!(f.len(), u.len(), "{what} length");
+            for (a, b) in f.iter().zip(u) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{what}");
+            }
+        }
+    }
+
+    /// The two-node fused residual+LayerNorm must equal `add` followed by
+    /// `layer_norm_affine` bit for bit, forward and backward.
+    #[test]
+    fn residual_layer_norm_matches_unfused_bitwise() {
+        let (tx, ty) = (seeded(&[3, 6], 51), seeded(&[3, 6], 52));
+        let (tg_, tb_) = (seeded(&[6], 53), seeded(&[6], 54));
+        let run = |fused: bool| {
+            let mut g = Graph::new(&B);
+            let x = g.input(tx.clone());
+            let y = g.input(ty.clone());
+            let ga = g.input(tg_.clone());
+            let be = g.input(tb_.clone());
+            let (sum, normed) = if fused {
+                g.residual_layer_norm_affine(x, y, ga, be, 1e-5)
+            } else {
+                let s = g.add(x, y);
+                (s, g.layer_norm_affine(s, ga, be, 1e-5))
+            };
+            let sq = g.mul(normed, normed);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            (
+                g.value(sum).data.clone(),
+                g.value(normed).data.clone(),
+                g.grad(x).expect("dx").to_vec(),
+                g.grad(ga).expect("dgamma").to_vec(),
+            )
+        };
+        let f = run(true);
+        let u = run(false);
+        for (a, b) in f.0.iter().zip(&u.0) {
+            assert_eq!(a.to_bits(), b.to_bits(), "sum value");
+        }
+        for (a, b) in f.1.iter().zip(&u.1) {
+            assert_eq!(a.to_bits(), b.to_bits(), "normed value");
+        }
+        for (a, b) in f.2.iter().zip(&u.2) {
+            assert_eq!(a.to_bits(), b.to_bits(), "dx");
+        }
+        for (a, b) in f.3.iter().zip(&u.3) {
+            assert_eq!(a.to_bits(), b.to_bits(), "dgamma");
+        }
+    }
+
+    /// Inference tapes must produce forward values bit-identical to
+    /// training tapes while recording no backward state at all.
+    #[test]
+    fn inference_forward_matches_train_bitwise() {
+        let (tq, tk, tv) = (
+            seeded(&[1, 4, 6], 61),
+            seeded(&[1, 5, 6], 62),
+            seeded(&[1, 5, 6], 63),
+        );
+        let (tg_, tb_) = (seeded(&[6], 64), seeded(&[6], 65));
+        let run = |mode: EvalMode| {
+            let mut g = Graph::with_mode(&B, mode, BufferPool::new());
+            let q = g.input(tq.clone());
+            let k = g.input(tk.clone());
+            let v = g.input(tv.clone());
+            let ga = g.input(tg_.clone());
+            let be = g.input(tb_.clone());
+            let a = g.attention(q, k, v, 0.25);
+            let s = g.softmax(a);
+            let (_, n) = g.residual_layer_norm_affine(a, s, ga, be, 1e-5);
+            let u = g.unary(n, UnaryKind::Gelu);
+            g.value(u).data.clone()
+        };
+        let train = run(EvalMode::Train);
+        let infer = run(EvalMode::Inference);
+        for (a, b) in train.iter().zip(&infer) {
+            assert_eq!(a.to_bits(), b.to_bits(), "train vs inference value");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "EvalMode::Inference")]
+    fn backward_on_inference_tape_panics() {
+        let mut g = Graph::new_inference(&B);
+        let x = g.input(seeded(&[2, 2], 70));
+        let s = g.mean_all(x);
+        g.backward(s);
+    }
+
+    /// Recycling a finished tape's buffers into the next graph must not
+    /// change values — the pool hands back zero-filled buffers.
+    #[test]
+    fn recycled_pool_forward_is_bitwise_stable() {
+        let x = seeded(&[3, 8], 80);
+        let forward = |pool: BufferPool| {
+            let mut g = Graph::with_mode(&B, EvalMode::Inference, pool);
+            let xid = g.input(x.clone());
+            let s = g.softmax(xid);
+            let l = g.layer_norm(s, 1e-5);
+            let out = g.value(l).data.clone();
+            (out, g.recycle())
+        };
+        let (first, pool) = forward(BufferPool::new());
+        assert!(
+            pool.free_buffers() > 0,
+            "recycle should harvest node buffers"
+        );
+        let (second, _) = forward(pool);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.to_bits(), b.to_bits(), "pooled re-run value");
+        }
+    }
+
+    /// Graphs (and the pool inside them) stay `Send + Sync` — the backend
+    /// reference is `&dyn UnaryBackend` whose trait requires both.
+    #[test]
+    fn graph_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Graph<'static>>();
+        assert_send_sync::<BufferPool>();
+        assert_send_sync::<EvalMode>();
     }
 }

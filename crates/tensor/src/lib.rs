@@ -24,11 +24,19 @@
 //! replacement hooks at exactly the operators the paper replaces; they are
 //! the semantic ground truth. The **fused execution layer** ([`fused`],
 //! surfaced as [`Graph::softmax`] / [`Graph::layer_norm`] /
-//! [`Graph::layer_norm_affine`]) computes the same values in single-sweep
-//! row kernels — bit-identical to the unfused assemblies forward *and*
-//! backward, with the non-linear stages still routed through the same
-//! [`UnaryBackend`] batch calls (so LUT-served and hot-swapped datapaths
-//! keep working inside fused nodes).
+//! [`Graph::layer_norm_affine`] / [`Graph::attention`] /
+//! [`Graph::residual_layer_norm_affine`]) computes the same values in
+//! single-sweep row kernels — bit-identical to the unfused assemblies
+//! forward *and* backward, with the non-linear stages still routed through
+//! the same [`UnaryBackend`] batch calls (so LUT-served and hot-swapped
+//! datapaths keep working inside fused nodes).
+//!
+//! For serving there is an **inference mode** ([`EvalMode::Inference`],
+//! via [`Graph::new_inference`]): the tape skips saved-state `Arc`
+//! materialization and gradient bookkeeping entirely, producing forward
+//! values bit-identical to training tapes. A [`BufferPool`] recycles
+//! tensor buffers across ops and — via [`Graph::recycle`] — across
+//! graphs, so a steady-state forward pass allocates almost nothing.
 //!
 //! ## Example: fit a line
 //!
@@ -71,9 +79,11 @@ pub mod fused;
 mod graph;
 pub mod nn;
 pub mod optim;
+mod pool;
 mod tensor_impl;
 
 pub use backend::{eval_many_f32_via_f64, ExactBackend, UnaryBackend, UnaryKind};
 pub use fused::FusedOp;
-pub use graph::{Graph, NodeId};
+pub use graph::{EvalMode, Graph, NodeId};
+pub use pool::BufferPool;
 pub use tensor_impl::{ParamId, ParamStore, Tensor};

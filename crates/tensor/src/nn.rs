@@ -168,6 +168,34 @@ impl LayerNorm {
         g.layer_norm_affine(x, gamma, beta, self.eps)
     }
 
+    /// Applies the layer to a residual pair: `sum = x + y`, then the
+    /// normed sum, computed in one fused driver pass
+    /// ([`Graph::residual_layer_norm_affine`]). Returns `(sum, normed)` —
+    /// the pre-norm transformer block's two live values. Bit-identical to
+    /// `g.add(x, y)` followed by [`LayerNorm::apply`], forward and
+    /// backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ or the last dimension is not `dim`.
+    pub fn apply_residual(
+        &self,
+        g: &mut Graph<'_>,
+        ps: &ParamStore,
+        x: NodeId,
+        y: NodeId,
+    ) -> (NodeId, NodeId) {
+        let shape = g.value(x).shape.clone();
+        assert_eq!(
+            *shape.last().expect("non-scalar"),
+            self.dim,
+            "layernorm width mismatch"
+        );
+        let gamma = g.param(ps, self.gamma);
+        let beta = g.param(ps, self.beta);
+        g.residual_layer_norm_affine(x, y, gamma, beta, self.eps)
+    }
+
     /// The unfused reference assembly [`LayerNorm::apply`] replaced:
     /// `layernorm_rows`, then `γ ⊙ x̂ + β` via a tiled multiply and a
     /// bias-broadcast add. Kept as the ground truth of the fused
@@ -368,6 +396,48 @@ mod tests {
         }
         for (a, b) in dxf.iter().zip(&dxu) {
             assert_eq!(a.to_bits(), b.to_bits(), "input grad");
+        }
+    }
+
+    /// `apply_residual` must equal `add` + `apply` bit for bit.
+    #[test]
+    fn layernorm_apply_residual_matches_add_then_apply() {
+        let run = |fused: bool| {
+            let mut ps = ParamStore::new();
+            let ln = LayerNorm::new(&mut ps, 5, 1e-5);
+            for (i, v) in ps.value_mut(ln.gamma).data.iter_mut().enumerate() {
+                *v = 1.1 - i as f32 * 0.07;
+            }
+            let mut g = Graph::new(&B);
+            let xs: Vec<f32> = (0..20).map(|i| (i as f32 * 0.31).cos()).collect();
+            let ys: Vec<f32> = (0..20).map(|i| (i as f32 * 0.53).sin() * 0.5).collect();
+            let x = g.input(Tensor::from_vec(xs, &[4, 5]));
+            let y = g.input(Tensor::from_vec(ys, &[4, 5]));
+            let (sum, normed) = if fused {
+                ln.apply_residual(&mut g, &ps, x, y)
+            } else {
+                let s = g.add(x, y);
+                (s, ln.apply(&mut g, &ps, s))
+            };
+            let sq = g.mul(normed, normed);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            g.accumulate_grads(&mut ps);
+            (
+                g.value(sum).data.clone(),
+                g.value(normed).data.clone(),
+                g.grad(x).expect("dx").to_vec(),
+                ps.grad(ln.beta).to_vec(),
+            )
+        };
+        let f = run(true);
+        let u = run(false);
+        for (i, (a, b)) in [(f.0, u.0), (f.1, u.1), (f.2, u.2), (f.3, u.3)]
+            .iter()
+            .flat_map(|(fa, ua)| fa.iter().zip(ua))
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "element {i}");
         }
     }
 

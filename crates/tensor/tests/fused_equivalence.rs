@@ -1,12 +1,14 @@
 //! The fused-equivalence contract, property-tested:
 //!
 //! * `Graph::softmax` / `Graph::layer_norm` / `Graph::layer_norm_affine`
-//!   are **bit-identical** to the unfused graph assemblies — forward
-//!   values AND input/parameter gradients — across row shapes (including
-//!   1-element rows and rows straddling the 256-element backend staging
-//!   seam), backends (exact, quantized-LUT-ish, call-scripted), and
-//!   `f32`/`f64` widths (the `f64` drivers against a hand-assembled
-//!   decomposition).
+//!   / `Graph::attention` are **bit-identical** to the unfused graph
+//!   assemblies — forward values AND input/parameter gradients — across
+//!   row shapes (including 1-element rows and rows straddling the
+//!   256-element backend staging seam), backends (exact,
+//!   quantized-LUT-ish, call-scripted), and `f32`/`f64` widths (the
+//!   `f64` drivers against a hand-assembled decomposition).
+//! * `EvalMode::Inference` tapes — no saved state, no grad slots, pooled
+//!   buffers — produce forward values bit-identical to training tapes.
 //! * Both spellings make the same *sequence* of tensor-level backend
 //!   calls, which is what makes the contract hold under hot-swapped
 //!   datapaths (the swap-mid-node tests live in
@@ -19,7 +21,8 @@ use std::sync::atomic::{AtomicU32, Ordering};
 
 use gqa_tensor::fused;
 use gqa_tensor::{
-    eval_many_f32_via_f64, ExactBackend, Graph, NodeId, Tensor, UnaryBackend, UnaryKind,
+    eval_many_f32_via_f64, BufferPool, EvalMode, ExactBackend, Graph, NodeId, Tensor, UnaryBackend,
+    UnaryKind,
 };
 use proptest::prelude::*;
 
@@ -113,6 +116,54 @@ fn assert_fused_layernorm_equiv(backend: &dyn UnaryBackend, t: &Tensor, eps: f32
     assert_bits_eq(&gf, &gu, "layernorm grad");
 }
 
+/// Builds q/k/v attention on a fresh graph over `backend` (fused node or
+/// the five-node unfused assembly), backwards a scalar loss, and returns
+/// (value, dq, dk, dv) as bits.
+#[allow(clippy::type_complexity)]
+fn run_attention(
+    backend: &dyn UnaryBackend,
+    tq: &Tensor,
+    tk: &Tensor,
+    tv: &Tensor,
+    scale: f32,
+    fused: bool,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut g = Graph::new(backend);
+    let q = g.input(tq.clone());
+    let k = g.input(tk.clone());
+    let v = g.input(tv.clone());
+    let y = if fused {
+        g.attention(q, k, v, scale)
+    } else {
+        g.attention_unfused(q, k, v, scale)
+    };
+    let sq = g.mul(y, y);
+    let loss = g.mean_all(sq);
+    g.backward(loss);
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    (
+        bits(&g.value(y).data),
+        bits(g.grad(q).expect("dq")),
+        bits(g.grad(k).expect("dk")),
+        bits(g.grad(v).expect("dv")),
+    )
+}
+
+fn assert_fused_attention_equiv(
+    backend: &dyn UnaryBackend,
+    tq: &Tensor,
+    tk: &Tensor,
+    tv: &Tensor,
+    scale: f32,
+) {
+    let (yf, qf, kf, vf) = run_attention(backend, tq, tk, tv, scale, true);
+    let (yu, qu, ku, vu) = run_attention(backend, tq, tk, tv, scale, false);
+    assert_bits_eq(&yf, &yu, "attention value");
+    assert_bits_eq(&qf, &qu, "attention dq");
+    assert_bits_eq(&kf, &ku, "attention dk");
+    assert_bits_eq(&vf, &vu, "attention dv");
+}
+
 proptest! {
     /// Fused softmax ≡ unfused assembly, bitwise, on arbitrary shapes
     /// (1-element rows included) and logits, with the exact backend and a
@@ -204,6 +255,86 @@ proptest! {
         assert_bits_eq(&xf, &xu, "affine x grad");
         assert_bits_eq(&gf, &gu, "gamma grad");
         assert_bits_eq(&bf, &bu, "beta grad");
+    }
+
+    /// Fused attention ≡ the five-node unfused assembly
+    /// (`transpose → batch_matmul → scale → softmax_rows → batch_matmul`),
+    /// bitwise — output values and q/k/v gradients — across batch sizes,
+    /// asymmetric query/key counts, 1-wide edge shapes, and both the
+    /// exact and a quantized-LUT-ish backend.
+    #[test]
+    fn attention_fused_equals_unfused(
+        bsz in 1usize..4,
+        nq in 1usize..7,
+        nk in 1usize..8,
+        c in 1usize..6,
+        scale_sel in 0usize..3,
+        vals in proptest::collection::vec(-4.0f32..4.0, 3 * (7 + 8 + 8) * 6)
+    ) {
+        let scale = [1.0f32, 0.5, 0.125][scale_sel];
+        let (qn, kn) = (bsz * nq * c, bsz * nk * c);
+        let tq = Tensor::from_vec(vals[..qn].to_vec(), &[bsz, nq, c]);
+        let tk = Tensor::from_vec(vals[qn..qn + kn].to_vec(), &[bsz, nk, c]);
+        let tv = Tensor::from_vec(vals[qn + kn..qn + 2 * kn].to_vec(), &[bsz, nk, c]);
+        assert_fused_attention_equiv(&ExactBackend, &tq, &tk, &tv, scale);
+        assert_fused_attention_equiv(&QuantBackend, &tq, &tk, &tv, scale);
+    }
+
+    /// The fused attention node must make the same backend call sequence
+    /// as the unfused spelling: exactly one whole-tensor EXP and one DIV
+    /// (a per-batch or per-row softmax inside the node would diverge
+    /// under the call-indexed backend).
+    #[test]
+    fn attention_makes_the_same_backend_call_sequence(
+        bsz in 1usize..4,
+        n in 2usize..6,
+        c in 1usize..5,
+        vals in proptest::collection::vec(-3.0f32..3.0, 3 * 6 * 5 * 3)
+    ) {
+        let len = bsz * n * c;
+        let tq = Tensor::from_vec(vals[..len].to_vec(), &[bsz, n, c]);
+        let tk = Tensor::from_vec(vals[len..2 * len].to_vec(), &[bsz, n, c]);
+        let tv = Tensor::from_vec(vals[2 * len..3 * len].to_vec(), &[bsz, n, c]);
+        let f = run_attention(&ScriptedBackend::new(), &tq, &tk, &tv, 0.5, true);
+        let u = run_attention(&ScriptedBackend::new(), &tq, &tk, &tv, 0.5, false);
+        assert_bits_eq(&f.0, &u.0, "scripted attention value");
+        assert_bits_eq(&f.1, &u.1, "scripted attention dq");
+        assert_bits_eq(&f.2, &u.2, "scripted attention dk");
+        assert_bits_eq(&f.3, &u.3, "scripted attention dv");
+    }
+
+    /// An `EvalMode::Inference` tape (no saved state, no grad slots,
+    /// pooled buffers) must produce forward values bit-identical to the
+    /// training tape over the same fused pipeline — and a recycled pool
+    /// must not perturb a re-run.
+    #[test]
+    fn inference_forward_equals_train(
+        bsz in 1usize..3,
+        n in 1usize..6,
+        c in 1usize..6,
+        vals in proptest::collection::vec(-5.0f32..5.0, 2 * 6 * 6 * 3)
+    ) {
+        let len = bsz * n * c;
+        let tq = Tensor::from_vec(vals[..len].to_vec(), &[bsz, n, c]);
+        let tk = Tensor::from_vec(vals[len..2 * len].to_vec(), &[bsz, n, c]);
+        let tv = Tensor::from_vec(vals[2 * len..3 * len].to_vec(), &[bsz, n, c]);
+        let forward = |mode: EvalMode, pool: BufferPool| {
+            let mut g = Graph::with_mode(&ExactBackend, mode, pool);
+            let q = g.input(tq.clone());
+            let k = g.input(tk.clone());
+            let v = g.input(tv.clone());
+            let a = g.attention(q, k, v, 0.25);
+            let s = g.softmax(a);
+            let l = g.layer_norm(s, 1e-5);
+            let u = g.unary(l, UnaryKind::Gelu);
+            let out: Vec<u32> = g.value(u).data.iter().map(|x| x.to_bits()).collect();
+            (out, g.recycle())
+        };
+        let (train, _) = forward(EvalMode::Train, BufferPool::new());
+        let (infer, pool) = forward(EvalMode::Inference, BufferPool::new());
+        assert_bits_eq(&train, &infer, "train vs inference forward");
+        let (pooled, _) = forward(EvalMode::Inference, pool);
+        assert_bits_eq(&infer, &pooled, "fresh vs recycled-pool forward");
     }
 
     /// Both spellings must make the SAME sequence of tensor-level backend
