@@ -22,12 +22,13 @@ fn grid800() -> Vec<f64> {
 
 fn bench_kernels(c: &mut Criterion) {
     println!(
-        "simd dispatch path: {}",
+        "simd dispatch path: {} (matmul: {})",
         if gqa_simd::simd_active() {
             "avx2"
         } else {
             "scalar"
-        }
+        },
+        gqa_simd::matmul_path()
     );
 
     let xs = grid800();
@@ -87,6 +88,78 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| {
             unit.eval_batch(black_box(&mixed), &mut div_out);
             div_out[0]
+        })
+    });
+
+    // The blocked matmul family (PR 7). Inputs carry a sprinkle of zeros
+    // like real activations so the chunk skip fires; `out` is reused
+    // (the kernels accumulate) which is exactly the pooled hot path.
+    let mk_vec = |len: usize, seed: u64| -> Vec<f32> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|i| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                if i % 13 == 12 {
+                    0.0
+                } else {
+                    (s % 4000) as f32 / 1000.0 - 2.0
+                }
+            })
+            .collect()
+    };
+
+    // Square headline shape.
+    let (m, k, n) = (128usize, 128usize, 128usize);
+    let a = mk_vec(m * k, 21);
+    let bmat = mk_vec(k * n, 22);
+    let mut mm_out = vec![0.0f32; m * n];
+    c.bench_function("simd/matmul_128x128x128", |b| {
+        b.iter(|| {
+            mm_out.fill(0.0);
+            gqa_simd::matmul_acc_f32(black_box(&a), black_box(&bmat), &mut mm_out, m, k, n);
+            mm_out[0]
+        })
+    });
+
+    // The im2col shape of the Segformer decode stage: Cout × (Cin·3·3)
+    // patches against oh·ow = 512 output positions.
+    let (m, k, n) = (16usize, 72usize, 512usize);
+    let a = mk_vec(m * k, 23);
+    let bmat = mk_vec(k * n, 24);
+    let mut col_out = vec![0.0f32; m * n];
+    c.bench_function("simd/matmul_im2col_16x72x512", |b| {
+        b.iter(|| {
+            col_out.fill(0.0);
+            gqa_simd::matmul_acc_f32(black_box(&a), black_box(&bmat), &mut col_out, m, k, n);
+            col_out[0]
+        })
+    });
+
+    // The backward kernels: square, and the tall-skinny dY·Vᵀ shape the
+    // attention backward produces (many rows, short dot, few columns).
+    let (m, n, k) = (128usize, 128usize, 128usize);
+    let a = mk_vec(m * n, 25);
+    let bmat = mk_vec(k * n, 26);
+    let mut nt_out = vec![0.0f32; m * k];
+    c.bench_function("simd/matmul_nt_128x128x128", |b| {
+        b.iter(|| {
+            nt_out.fill(0.0);
+            gqa_simd::matmul_nt_f32(black_box(&a), black_box(&bmat), &mut nt_out, m, n, k);
+            nt_out[0]
+        })
+    });
+
+    let (m, n, k) = (512usize, 16usize, 512usize);
+    let a = mk_vec(m * n, 27);
+    let bmat = mk_vec(k * n, 28);
+    let mut nt2_out = vec![0.0f32; m * k];
+    c.bench_function("simd/matmul_nt_512x16x512", |b| {
+        b.iter(|| {
+            nt2_out.fill(0.0);
+            gqa_simd::matmul_nt_f32(black_box(&a), black_box(&bmat), &mut nt2_out, m, n, k);
+            nt2_out[0]
         })
     });
 }

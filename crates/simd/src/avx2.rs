@@ -381,6 +381,38 @@ pub unsafe fn sub_scalar_f32(c: f32, xs: &[f32], out: &mut [f32]) {
 }
 
 #[target_feature(enable = "avx2")]
+pub unsafe fn add_scalar_f32(c: f32, xs: &[f32], out: &mut [f32]) {
+    let n = xs.len();
+    let cv = _mm256_set1_ps(c);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_add_ps(x, cv));
+        i += 8;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = *xs.get_unchecked(i) + c;
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn add_f32(xs: &[f32], ys: &[f32], out: &mut [f32]) {
+    let n = xs.len();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        let y = _mm256_loadu_ps(ys.as_ptr().add(i));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_add_ps(x, y));
+        i += 8;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = *xs.get_unchecked(i) + *ys.get_unchecked(i);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
 pub unsafe fn sub_scalar_f64(c: f64, xs: &[f64], out: &mut [f64]) {
     let n = xs.len();
     let cv = _mm256_set1_pd(c);

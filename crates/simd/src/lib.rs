@@ -25,6 +25,14 @@
 //! * [`sub_scalar_f32`] / [`scale_f32`] / [`norm_affine_f32`] (+ `f64`
 //!   twins where applicable) — the element-wise row sweeps those fused
 //!   kernels are assembled from.
+//! * [`matmul_acc_f32`] / [`matmul_nt_f32`] / [`matmul_tn_f32`] /
+//!   [`gather_stride_f32`] — the blocked, vectorized matmul kernel
+//!   family behind `Graph::matmul`, im2col convolution, and fused
+//!   attention, forward *and* backward. The ordered-add contract —
+//!   every output element's adds in ascending inner index, aligned
+//!   zero-chunk skip preserved — is what licenses tiling, B-panel
+//!   packing, and vectorizing across output columns without changing a
+//!   bit. [`matmul_path`] names the dispatched kernel for bench labels.
 //!
 //! ## Dispatch and exactness contract
 //!
@@ -73,10 +81,13 @@
 #![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
 #![deny(missing_docs)]
 
+mod matmul;
 mod scalar;
 
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 mod avx2;
+
+pub use matmul::{gather_stride_f32, matmul_acc_f32, matmul_nt_f32, matmul_path, matmul_tn_f32};
 
 /// Whether the AVX2 intrinsic paths will be taken on this machine
 /// (`simd` feature compiled in, x86-64, AVX2 detected at runtime).
@@ -351,6 +362,34 @@ pub fn sub_scalar_f32(c: f32, xs: &[f32], out: &mut [f32]) {
         avx2::sub_scalar_f32(c, xs, out),
         scalar::sub_scalar_f32(c, xs, out)
     )
+}
+
+/// `out[i] = xs[i] + c` — the broadcast bias sweep of conv/channel bias
+/// (one bias value added across a whole feature plane). Element-wise, so
+/// trivially bit-identical simd on/off.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn add_scalar_f32(c: f32, xs: &[f32], out: &mut [f32]) {
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    dispatch!(
+        avx2::add_scalar_f32(c, xs, out),
+        scalar::add_scalar_f32(c, xs, out)
+    )
+}
+
+/// `out[i] = xs[i] + ys[i]` — the per-row bias sweep of Linear layers
+/// (one bias vector added to every row of a `(rows, c)` activation).
+/// Element-wise, so trivially bit-identical simd on/off.
+///
+/// # Panics
+///
+/// Panics if the three slices differ in length.
+pub fn add_f32(xs: &[f32], ys: &[f32], out: &mut [f32]) {
+    assert_eq!(xs.len(), ys.len(), "batch length mismatch");
+    assert_eq!(xs.len(), out.len(), "batch length mismatch");
+    dispatch!(avx2::add_f32(xs, ys, out), scalar::add_f32(xs, ys, out))
 }
 
 /// `out[i] = xs[i] − c` in `f64` (twin of [`sub_scalar_f32`]).

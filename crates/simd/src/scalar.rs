@@ -228,6 +228,18 @@ pub fn sub_scalar_f32(c: f32, xs: &[f32], out: &mut [f32]) {
     }
 }
 
+pub fn add_scalar_f32(c: f32, xs: &[f32], out: &mut [f32]) {
+    for (y, &x) in out.iter_mut().zip(xs) {
+        *y = x + c;
+    }
+}
+
+pub fn add_f32(xs: &[f32], ys: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+        *o = x + y;
+    }
+}
+
 pub fn sub_scalar_f64(c: f64, xs: &[f64], out: &mut [f64]) {
     for (y, &x) in out.iter_mut().zip(xs) {
         *y = x - c;

@@ -1,0 +1,283 @@
+//! The matmul kernel family against hand-replayed pinned references.
+//!
+//! Every kernel's contract is an exact f32 operation sequence per output
+//! element (see the module docs in `gqa-simd`). These tests replay those
+//! sequences in plain element-at-a-time Rust — no shared code with the
+//! kernels — and demand `to_bits` equality from whatever path dispatch
+//! picked. CI runs the suite on both matrix legs (simd on / scalar
+//! fallback) and under miri with AVX2 force-enabled, so the same
+//! assertions pin simd ≡ scalar and give the unsafe kernels UB coverage.
+//!
+//! Shapes are chosen to straddle every seam: the 4-wide zero-skip chunk
+//! grid, the 8/16/32/64-column vector tiles, the KC=256 inner-dimension
+//! block boundary, and the JC=128 packed-panel boundary.
+
+use gqa_simd::{gather_stride_f32, matmul_acc_f32, matmul_nt_f32, matmul_path, matmul_tn_f32};
+
+/// Deterministic xorshift values in roughly [-2, 2], with every 11th
+/// value forced to zero so the zero-skip predicate fires organically.
+fn seeded(len: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|i| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if i % 11 == 10 {
+                0.0
+            } else {
+                (s % 4000) as f32 / 1000.0 - 2.0
+            }
+        })
+        .collect()
+}
+
+/// `out += A·B`, replaying the contract element by element: adds in
+/// ascending `p`, chunks of four aligned to `p % 4 == 0` skipped when
+/// all four `a` values are `0.0`, lone tail `p` skipped when `a[p]` is
+/// `0.0`.
+fn reference_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut v = out[i * n + j];
+            let mut p = 0usize;
+            while p + 4 <= k {
+                let quad = &a[i * k + p..i * k + p + 4];
+                if quad.iter().any(|&x| x != 0.0) {
+                    for (t, &av) in quad.iter().enumerate() {
+                        v += av * b[(p + t) * n + j];
+                    }
+                }
+                p += 4;
+            }
+            while p < k {
+                let av = a[i * k + p];
+                if av != 0.0 {
+                    v += av * b[p * n + j];
+                }
+                p += 1;
+            }
+            out[i * n + j] = v;
+        }
+    }
+}
+
+/// The pinned eight-lane dot: stride-8 lane accumulators, pairwise
+/// `p_j = l_j + l_{j+4}`, `(p0+p2)+(p1+p3)`, sequential tail.
+fn reference_dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let n8 = n - n % 8;
+    let mut lanes = [0.0f32; 8];
+    let mut i = 0usize;
+    while i < n8 {
+        for (t, l) in lanes.iter_mut().enumerate() {
+            *l += a[i + t] * b[i + t];
+        }
+        i += 8;
+    }
+    let p = [
+        lanes[0] + lanes[4],
+        lanes[1] + lanes[5],
+        lanes[2] + lanes[6],
+        lanes[3] + lanes[7],
+    ];
+    let mut acc = (p[0] + p[2]) + (p[1] + p[3]);
+    for t in n8..n {
+        acc += a[t] * b[t];
+    }
+    acc
+}
+
+fn reference_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    for i in 0..m {
+        for j in 0..k {
+            out[i * k + j] += reference_dot(&a[i * n..(i + 1) * n], &b[j * n..(j + 1) * n]);
+        }
+    }
+}
+
+fn reference_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for p in 0..m {
+        for i in 0..k {
+            let av = a[p * k + i];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += av * b[p * n + j];
+            }
+        }
+    }
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: bit mismatch at {i}: {g} vs {w} (path {})",
+            matmul_path()
+        );
+    }
+}
+
+/// Shapes straddling every seam the blocked driver has: sub-vector
+/// widths, exact tile widths, the 8/32/64-column steps, k not divisible
+/// by 4/8/16, and sizes past KC=256 / JC=128 so the p-block and packed-
+/// panel paths both run.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (1, 3, 2),
+    (2, 7, 33),
+    (3, 4, 8),
+    (5, 9, 64),
+    (4, 16, 130),
+    (2, 72, 512),
+    (3, 258, 140),
+    (2, 260, 96),
+];
+
+#[test]
+fn acc_matches_reference_across_shapes() {
+    for &(m, k, n) in SHAPES {
+        let a = seeded(m * k, 0x9E37 + (m * k * n) as u64);
+        let b = seeded(k * n, 0x1234 + (m + k + n) as u64);
+        // Non-zero starting accumulators: the kernels add into `out`.
+        let mut got = seeded(m * n, 7);
+        let mut want = got.clone();
+        matmul_acc_f32(&a, &b, &mut got, m, k, n);
+        reference_acc(&a, &b, &mut want, m, k, n);
+        assert_bits_eq(&got, &want, &format!("acc {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn acc_empty_dims_are_no_ops() {
+    for &(m, k, n) in &[(0usize, 4usize, 4usize), (4, 0, 4), (4, 4, 0)] {
+        let a = seeded(m * k, 1);
+        let b = seeded(k * n, 2);
+        let mut got = seeded(m * n, 3);
+        let want = got.clone();
+        matmul_acc_f32(&a, &b, &mut got, m, k, n);
+        assert_bits_eq(&got, &want, &format!("acc empty {m}x{k}x{n}"));
+    }
+}
+
+/// The zero-skip is observable when B holds NaN or infinity: a skipped
+/// chunk must NOT contaminate the accumulator, a taken chunk must. The
+/// reference implements the skip, so bit equality pins both directions.
+#[test]
+fn acc_zero_skip_with_nan_and_inf_rhs() {
+    let (m, k, n) = (2usize, 9usize, 40usize);
+    let mut a = vec![0.0f32; m * k];
+    // Row 0: chunk [0..4) all zero (skipped), chunk [4..8) live, tail
+    // a[8] zero (skipped). Row 1: chunk [0..4) has one -0.0 and one
+    // normal value (taken: -0.0 != 0.0 is false, but a[5] drives it).
+    a[4] = 1.5;
+    a[k] = -0.0;
+    a[k + 1] = 2.0;
+    a[k + 8] = 3.0;
+    let mut b = seeded(k * n, 11);
+    b[0] = f32::NAN; // row 0 of B: only reachable through skipped chunks
+    b[n + 1] = f32::INFINITY;
+    b[4 * n + 2] = f32::NAN; // row 4: reachable through row 0's live chunk
+    let mut got = vec![0.0f32; m * n];
+    let mut want = vec![0.0f32; m * n];
+    matmul_acc_f32(&a, &b, &mut got, m, k, n);
+    reference_acc(&a, &b, &mut want, m, k, n);
+    // NaN-bearing lanes: same bits on every path (mulps and mulss
+    // produce the same canonical NaN for 0·∞ and propagate payloads the
+    // same way); everything else exact.
+    assert_bits_eq(&got, &want, "acc nan/inf skip");
+    assert!(got[2].is_nan(), "live chunk must reach the NaN");
+    assert!(!got[0].is_nan(), "skipped chunk must not reach the NaN");
+}
+
+#[test]
+fn acc_subnormal_inputs_round_trip() {
+    let (m, k, n) = (1usize, 6usize, 35usize);
+    let tiny = f32::from_bits(0x0000_0007); // subnormal
+    let a = vec![tiny; m * k];
+    let mut b = seeded(k * n, 13);
+    b[3] = tiny;
+    b[n + 4] = -tiny;
+    let mut got = vec![0.0f32; m * n];
+    let mut want = vec![0.0f32; m * n];
+    matmul_acc_f32(&a, &b, &mut got, m, k, n);
+    reference_acc(&a, &b, &mut want, m, k, n);
+    assert_bits_eq(&got, &want, "acc subnormal");
+}
+
+#[test]
+fn nt_matches_pinned_dot_reference() {
+    // (m, n, k) with n straddling the 8-lane dot seam: below, at, above,
+    // and large enough to loop (the attention-backward shape last).
+    for &(m, n, k) in &[
+        (1usize, 1usize, 1usize),
+        (2, 7, 3),
+        (3, 8, 5),
+        (4, 27, 9),
+        (2, 130, 40),
+        (16, 512, 16),
+    ] {
+        let a = seeded(m * n, 0xAB + n as u64);
+        let b = seeded(k * n, 0xCD + k as u64);
+        let mut got = seeded(m * k, 5);
+        let mut want = got.clone();
+        matmul_nt_f32(&a, &b, &mut got, m, n, k);
+        reference_nt(&a, &b, &mut want, m, n, k);
+        assert_bits_eq(&got, &want, &format!("nt {m}x{n}x{k}"));
+    }
+}
+
+#[test]
+fn tn_matches_reference_with_zero_skip() {
+    for &(m, k, n) in &[
+        (1usize, 1usize, 1usize),
+        (3, 5, 9),
+        (7, 4, 33),
+        (9, 16, 130),
+        (32, 8, 512),
+    ] {
+        let mut a = seeded(m * k, 0xEF + m as u64);
+        a[0] = 0.0; // exercise the broadcast-zero row skip
+        if m * k > 5 {
+            a[5] = -0.0;
+        }
+        let b = seeded(m * n, 0x42 + n as u64);
+        let mut got = seeded(k * n, 9);
+        let mut want = got.clone();
+        matmul_tn_f32(&a, &b, &mut got, m, k, n);
+        reference_tn(&a, &b, &mut want, m, k, n);
+        assert_bits_eq(&got, &want, &format!("tn {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn gather_stride_walks_columns() {
+    let src: Vec<f32> = (0..24).map(|i| i as f32).collect();
+    let mut out = vec![0.0f32; 4];
+    // Column 1 of a (4, 6) row-major matrix.
+    gather_stride_f32(&src[1..], 6, &mut out);
+    assert_eq!(out, [1.0, 7.0, 13.0, 19.0]);
+    // stride 1 degenerates to a copy.
+    gather_stride_f32(&src[2..6], 1, &mut out);
+    assert_eq!(out, [2.0, 3.0, 4.0, 5.0]);
+    // Empty output reads nothing.
+    gather_stride_f32(&src[23..], 1000, &mut []);
+}
+
+#[test]
+fn path_label_is_coherent() {
+    let p = matmul_path();
+    assert!(
+        ["avx512", "avx2", "neon", "scalar"].contains(&p),
+        "unknown path label {p}"
+    );
+    // The matmul dispatch may only report a vector path when the crate's
+    // AVX2 kernels are active too (or on aarch64 where NEON is baseline).
+    if !cfg!(target_arch = "aarch64") && !gqa_simd::simd_active() {
+        assert_eq!(p, "scalar");
+    }
+}

@@ -33,8 +33,9 @@
 //! [`Graph::softmax_rows`]: crate::Graph::softmax_rows
 //! [`Graph::layernorm_rows`]: crate::Graph::layernorm_rows
 
+use gqa_simd::{gather_stride_f32, matmul_acc_f32};
+
 use crate::backend::{UnaryBackend, UnaryKind};
-use crate::graph::matmul_acc;
 use crate::pool::BufferPool;
 
 /// A fused row operator, as a value: the public surface benches and
@@ -144,9 +145,10 @@ pub fn softmax_rows_f32(
 
 /// [`softmax_rows_f32`] with staging buffers drawn from (and returned to)
 /// `pool`, and backward state kept only when `save` is set. Bit-identical
-/// to the plain driver — pooled buffers are zero-filled on take and the
-/// stage sequence is unchanged; with `save = false` the would-be saved
-/// buffers are recycled instead of retained (the inference path).
+/// to the plain driver — every staging buffer is fully overwritten before
+/// it is read (stale pooled contents are invisible) and the stage sequence
+/// is unchanged; with `save = false` the would-be saved buffers are
+/// recycled instead of retained (the inference path).
 ///
 /// # Panics
 ///
@@ -168,15 +170,15 @@ pub fn softmax_rows_f32_pooled(
     }
     // Stage 2: LUT/exp eval — one whole-tensor backend call, the same
     // call shape as the unfused graph (hot-swap resolves once here).
-    let mut exp = pool.take(xs.len());
+    let mut exp = pool.take_full(xs.len());
     backend.eval_many_f32(UnaryKind::Exp, out, &mut exp);
     // Pass 3: pinned-order row sums.
-    let mut sums = pool.take(rows);
+    let mut sums = pool.take_full(rows);
     for (s, erow) in sums.iter_mut().zip(exp.chunks_exact(cols)) {
         *s = gqa_simd::sum_f32(erow);
     }
     // Stage 4: one backend DIV call over the per-row denominators.
-    let mut inv = pool.take(rows);
+    let mut inv = pool.take_full(rows);
     backend.eval_many_f32(UnaryKind::Recip, &sums, &mut inv);
     pool.put(sums);
     // Pass 5: deferred rescale.
@@ -246,8 +248,8 @@ pub fn layer_norm_rows_f32_pooled(
         assert_eq!(gamma.len(), cols, "gamma must be ({cols})");
         assert_eq!(beta.len(), cols, "beta must be ({cols})");
     }
-    let mut centered = pool.take(xs.len());
-    let mut var_eps = pool.take(rows);
+    let mut centered = pool.take_full(xs.len());
+    let mut var_eps = pool.take_full(rows);
     for (r, (row, crow)) in xs
         .chunks_exact(cols)
         .zip(centered.chunks_exact_mut(cols))
@@ -259,7 +261,7 @@ pub fn layer_norm_rows_f32_pooled(
         var_eps[r] = var + eps;
     }
     // One backend RSQRT call over the per-row variances.
-    let mut inv_std = pool.take(rows);
+    let mut inv_std = pool.take_full(rows);
     backend.eval_many_f32(UnaryKind::Rsqrt, &var_eps, &mut inv_std);
     for (r, (crow, orow)) in centered
         .chunks_exact(cols)
@@ -320,8 +322,8 @@ pub fn residual_layer_norm_rows_f32_pooled(
         assert_eq!(gamma.len(), cols, "gamma must be ({cols})");
         assert_eq!(beta.len(), cols, "beta must be ({cols})");
     }
-    let mut centered = pool.take(xs.len());
-    let mut var_eps = pool.take(rows);
+    let mut centered = pool.take_full(xs.len());
+    let mut var_eps = pool.take_full(rows);
     // One pass per row: residual add, then mean/center/variance on the
     // freshly summed row while it is cache-hot.
     for (r, ((xrow, yrow), srow)) in xs
@@ -339,7 +341,7 @@ pub fn residual_layer_norm_rows_f32_pooled(
         let var = gqa_simd::sum_sq_f32(crow) / cols as f32;
         var_eps[r] = var + eps;
     }
-    let mut inv_std = pool.take(rows);
+    let mut inv_std = pool.take_full(rows);
     backend.eval_many_f32(UnaryKind::Rsqrt, &var_eps, &mut inv_std);
     for (r, (crow, orow)) in centered
         .chunks_exact(cols)
@@ -372,8 +374,8 @@ pub fn residual_layer_norm_rows_f32_pooled(
 /// assembly ([`Graph::attention_unfused`]):
 ///
 /// * kᵀ and the score matrix live in pooled scratch, never on the tape,
-///   but are produced by the *same* transpose/`matmul_acc` loops the
-///   unfused graph ops run;
+///   but are produced by the *same* strided-gather/`matmul_acc_f32`
+///   kernels the unfused graph ops run;
 /// * the softmax stages are [`softmax_rows_f32_pooled`] over the whole
 ///   `(B·Nq, Nk)` score tensor — exactly **one** EXP and **one** DIV
 ///   backend call for the entire node, the same tensor-level call shape
@@ -405,21 +407,19 @@ pub fn attention_rows_f32_pooled(
     // kᵀ staged per batch in pooled scratch (the flash-attention lesson
     // in reverse: we keep the exact unfused reduction order, but stop
     // materializing intermediates as tape nodes).
-    let mut kt = pool.take(bsz * c * nk);
+    let mut kt = pool.take_full(bsz * c * nk);
     for bi in 0..bsz {
         let src = &k[bi * nk * c..(bi + 1) * nk * c];
         let dst = &mut kt[bi * c * nk..(bi + 1) * c * nk];
-        for r in 0..nk {
-            for cc in 0..c {
-                dst[cc * nk + r] = src[r * c + cc];
-            }
+        for cc in 0..c {
+            gather_stride_f32(&src[cc..], c, &mut dst[cc * nk..][..nk]);
         }
     }
     // scores = scale · (q · kᵀ), per batch through the shared matmul
     // kernel, then one elementwise sweep — the `scale` op's spelling.
     let mut scores = pool.take(bsz * nq * nk);
     for bi in 0..bsz {
-        matmul_acc(
+        matmul_acc_f32(
             &q[bi * nq * c..(bi + 1) * nq * c],
             &kt[bi * c * nk..(bi + 1) * c * nk],
             &mut scores[bi * nq * nk..(bi + 1) * nq * nk],
@@ -432,12 +432,12 @@ pub fn attention_rows_f32_pooled(
         *s *= scale;
     }
     // Softmax over all (B·Nq) rows at once: one EXP call, one DIV call.
-    let mut attn = pool.take(bsz * nq * nk);
+    let mut attn = pool.take_full(bsz * nq * nk);
     let soft = softmax_rows_f32_pooled(backend, &scores, nk, &mut attn, pool, save);
     // ctx = attn · v.
     out.fill(0.0);
     for bi in 0..bsz {
-        matmul_acc(
+        matmul_acc_f32(
             &attn[bi * nq * nk..(bi + 1) * nq * nk],
             &v[bi * nk * c..(bi + 1) * nk * c],
             &mut out[bi * nq * c..(bi + 1) * nq * c],

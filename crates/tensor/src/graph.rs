@@ -6,6 +6,8 @@
 
 use std::sync::Arc;
 
+use gqa_simd::{gather_stride_f32, matmul_acc_f32, matmul_nt_f32, matmul_tn_f32};
+
 use crate::backend::{UnaryBackend, UnaryKind};
 use crate::fused::{self, AttentionSaved, LayerNormSaved, SoftmaxSaved};
 use crate::pool::BufferPool;
@@ -233,10 +235,8 @@ impl<'b> Graph<'b> {
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(ta.shape, tb.shape, "add shape mismatch");
-        let mut data = self.pool.take(ta.data.len());
-        for ((o, &x), &y) in data.iter_mut().zip(&ta.data).zip(&tb.data) {
-            *o = x + y;
-        }
+        let mut data = self.pool.take_full(ta.data.len());
+        gqa_simd::add_f32(&ta.data, &tb.data, &mut data);
         let t = Tensor::from_vec(data, &ta.shape.clone());
         self.push(Op::Add(a, b), t, None)
     }
@@ -249,7 +249,7 @@ impl<'b> Graph<'b> {
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(ta.shape, tb.shape, "mul shape mismatch");
-        let mut data = self.pool.take(ta.data.len());
+        let mut data = self.pool.take_full(ta.data.len());
         for ((o, &x), &y) in data.iter_mut().zip(&ta.data).zip(&tb.data) {
             *o = x * y;
         }
@@ -260,10 +260,8 @@ impl<'b> Graph<'b> {
     /// `c · x`.
     pub fn scale(&mut self, x: NodeId, c: f32) -> NodeId {
         let tx = &self.nodes[x.0].value;
-        let mut data = self.pool.take(tx.data.len());
-        for (o, &v) in data.iter_mut().zip(&tx.data) {
-            *o = v * c;
-        }
+        let mut data = self.pool.take_full(tx.data.len());
+        gqa_simd::scale_f32(c, &tx.data, &mut data);
         let t = Tensor::from_vec(data, &tx.shape.clone());
         self.push(Op::Scale(x, c), t, None)
     }
@@ -271,10 +269,8 @@ impl<'b> Graph<'b> {
     /// `x + c` elementwise.
     pub fn add_scalar(&mut self, x: NodeId, c: f32) -> NodeId {
         let tx = &self.nodes[x.0].value;
-        let mut data = self.pool.take(tx.data.len());
-        for (o, &v) in data.iter_mut().zip(&tx.data) {
-            *o = v + c;
-        }
+        let mut data = self.pool.take_full(tx.data.len());
+        gqa_simd::add_scalar_f32(c, &tx.data, &mut data);
         let t = Tensor::from_vec(data, &tx.shape.clone());
         self.push(Op::AddScalar(x, c), t, None)
     }
@@ -289,9 +285,9 @@ impl<'b> Graph<'b> {
         let (tx, tb) = (&self.nodes[x.0].value, &self.nodes[b.0].value);
         let c = *tx.shape.last().expect("non-scalar");
         assert_eq!(tb.shape, vec![c], "bias must be ({c})");
-        let mut data = self.pool.take(tx.data.len());
-        for (i, (o, &v)) in data.iter_mut().zip(&tx.data).enumerate() {
-            *o = v + tb.data[i % c];
+        let mut data = self.pool.take_full(tx.data.len());
+        for (orow, xrow) in data.chunks_exact_mut(c).zip(tx.data.chunks_exact(c)) {
+            gqa_simd::add_f32(xrow, &tb.data, orow);
         }
         let t = Tensor::from_vec(data, &tx.shape.clone());
         self.push(Op::AddBiasLast(x, b), t, None)
@@ -307,9 +303,18 @@ impl<'b> Graph<'b> {
         assert_eq!(tx.shape.len(), 4, "expected NCHW input");
         let (c, hw) = (tx.shape[1], tx.shape[2] * tx.shape[3]);
         assert_eq!(tb.shape, vec![c], "bias must be ({c})");
-        let mut data = self.pool.take(tx.data.len());
-        for (i, (o, &v)) in data.iter_mut().zip(&tx.data).enumerate() {
-            *o = v + tb.data[(i / hw) % c];
+        let mut data = self.pool.take_full(tx.data.len());
+        for (oimg, ximg) in data
+            .chunks_exact_mut(c * hw)
+            .zip(tx.data.chunks_exact(c * hw))
+        {
+            for (ci, (oplane, xplane)) in oimg
+                .chunks_exact_mut(hw)
+                .zip(ximg.chunks_exact(hw))
+                .enumerate()
+            {
+                gqa_simd::add_scalar_f32(tb.data[ci], xplane, oplane);
+            }
         }
         let t = Tensor::from_vec(data, &tx.shape.clone());
         self.push(Op::AddBiasChannel(x, b), t, None)
@@ -327,7 +332,7 @@ impl<'b> Graph<'b> {
     pub fn unary(&mut self, x: NodeId, kind: UnaryKind) -> NodeId {
         let tx = &self.nodes[x.0].value;
         let shape = tx.shape.clone();
-        let mut data = self.pool.take(tx.data.len());
+        let mut data = self.pool.take_full(tx.data.len());
         self.backend.eval_many_f32(kind, &tx.data, &mut data);
         let t = Tensor::from_vec(data, &shape);
         self.push(Op::Unary(x, kind), t, None)
@@ -348,7 +353,7 @@ impl<'b> Graph<'b> {
         let (k2, n) = (tb.shape[0], tb.shape[1]);
         assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
         let mut out = self.pool.take(m * n);
-        matmul_acc(&ta.data, &tb.data, &mut out, m, k, n);
+        matmul_acc_f32(&ta.data, &tb.data, &mut out, m, k, n);
         self.push(Op::Matmul(a, b), Tensor::from_vec(out, &[m, n]), None)
     }
 
@@ -367,7 +372,7 @@ impl<'b> Graph<'b> {
         let n = tb.shape[2];
         let mut out = self.pool.take(bs * m * n);
         for i in 0..bs {
-            matmul_acc(
+            matmul_acc_f32(
                 &ta.data[i * m * k..(i + 1) * m * k],
                 &tb.data[i * k * n..(i + 1) * k * n],
                 &mut out[i * m * n..(i + 1) * m * n],
@@ -392,12 +397,13 @@ impl<'b> Graph<'b> {
         let tx = &self.nodes[x.0].value;
         assert_eq!(tx.shape.len(), 3, "transpose_last2 expects 3-D");
         let (b, m, n) = (tx.shape[0], tx.shape[1], tx.shape[2]);
-        let mut out = self.pool.take(b * m * n);
+        let mut out = self.pool.take_full(b * m * n);
+        // Row `c` of the transpose is the stride-`n` column walk of the
+        // source batch — the shared strided-gather primitive.
         for i in 0..b {
-            for r in 0..m {
-                for c in 0..n {
-                    out[i * m * n + c * m + r] = tx.data[i * m * n + r * n + c];
-                }
+            let src = &tx.data[i * m * n..(i + 1) * m * n];
+            for c in 0..n {
+                gather_stride_f32(&src[c..], n, &mut out[i * m * n + c * m..][..m]);
             }
         }
         self.push(
@@ -419,7 +425,7 @@ impl<'b> Graph<'b> {
             shape.iter().product::<usize>(),
             "reshape element count mismatch"
         );
-        let mut data = self.pool.take(tx.data.len());
+        let mut data = self.pool.take_full(tx.data.len());
         data.copy_from_slice(&tx.data);
         let t = Tensor::from_vec(data, shape);
         self.push(Op::Reshape(x), t, None)
@@ -436,7 +442,7 @@ impl<'b> Graph<'b> {
     pub fn row_max_sub_detach(&mut self, x: NodeId) -> NodeId {
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
-        let mut data = self.pool.take(tx.data.len());
+        let mut data = self.pool.take_full(tx.data.len());
         for (row, orow) in tx.data.chunks_exact(c).zip(data.chunks_exact_mut(c)) {
             let m = gqa_simd::max_f32(row);
             gqa_simd::sub_scalar_f32(m, row, orow);
@@ -451,7 +457,7 @@ impl<'b> Graph<'b> {
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
         let rows = tx.len() / c;
-        let mut data = self.pool.take(rows);
+        let mut data = self.pool.take_full(rows);
         for (o, row) in data.iter_mut().zip(tx.data.chunks(c)) {
             *o = gqa_simd::sum_f32(row);
         }
@@ -464,7 +470,7 @@ impl<'b> Graph<'b> {
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
         let rows = tx.len() / c;
-        let mut data = self.pool.take(rows);
+        let mut data = self.pool.take_full(rows);
         for (o, row) in data.iter_mut().zip(tx.data.chunks(c)) {
             *o = gqa_simd::sum_f32(row) / c as f32;
         }
@@ -481,7 +487,7 @@ impl<'b> Graph<'b> {
         let c = *tx.shape.last().expect("non-scalar");
         let rows = tx.len() / c;
         assert_eq!(tr.len(), rows, "row-vector length mismatch");
-        let mut data = self.pool.take(tx.data.len());
+        let mut data = self.pool.take_full(tx.data.len());
         for (i, (row, orow)) in tx
             .data
             .chunks_exact(c)
@@ -504,7 +510,7 @@ impl<'b> Graph<'b> {
         let c = *tx.shape.last().expect("non-scalar");
         let rows = tx.len() / c;
         assert_eq!(tr.len(), rows, "row-vector length mismatch");
-        let mut data = self.pool.take(tx.data.len());
+        let mut data = self.pool.take_full(tx.data.len());
         for (i, (row, orow)) in tx
             .data
             .chunks_exact(c)
@@ -571,7 +577,7 @@ impl<'b> Graph<'b> {
         assert!(factor >= 1, "factor must be >= 1");
         let (b, c, h, w) = (tx.shape[0], tx.shape[1], tx.shape[2], tx.shape[3]);
         let (oh, ow) = (h * factor, w * factor);
-        let mut out = self.pool.take(b * c * oh * ow);
+        let mut out = self.pool.take_full(b * c * oh * ow);
         // Pure replication: expand each source row once (each pixel
         // repeated `factor` times), then copy the expanded row for the
         // remaining `factor - 1` output rows — no per-element division.
@@ -612,7 +618,7 @@ impl<'b> Graph<'b> {
             assert_eq!((s[0], s[2], s[3]), (b, h, w), "concat spatial mismatch");
         }
         let c_total: usize = shapes.iter().map(|s| s[1]).sum();
-        let mut out = self.pool.take(b * c_total * h * w);
+        let mut out = self.pool.take_full(b * c_total * h * w);
         for bi in 0..b {
             let mut c_off = 0usize;
             for (&id, s) in xs.iter().zip(&shapes) {
@@ -754,7 +760,7 @@ impl<'b> Graph<'b> {
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
         let shape = tx.shape.clone();
-        let mut out = self.pool.take(tx.data.len());
+        let mut out = self.pool.take_full(tx.data.len());
         let saved = fused::softmax_rows_f32_pooled(
             self.backend,
             &tx.data,
@@ -787,7 +793,7 @@ impl<'b> Graph<'b> {
         let tx = &self.nodes[x.0].value;
         let c = *tx.shape.last().expect("non-scalar");
         let shape = tx.shape.clone();
-        let mut out = self.pool.take(tx.data.len());
+        let mut out = self.pool.take_full(tx.data.len());
         let saved = fused::layer_norm_rows_f32_pooled(
             self.backend,
             &tx.data,
@@ -838,7 +844,7 @@ impl<'b> Graph<'b> {
         assert_eq!(tg.shape, vec![c], "gamma must be ({c})");
         assert_eq!(tb.shape, vec![c], "beta must be ({c})");
         let save = self.training();
-        let mut out = self.pool.take(tx.data.len());
+        let mut out = self.pool.take_full(tx.data.len());
         let saved = fused::layer_norm_rows_f32_pooled(
             self.backend,
             &tx.data,
@@ -896,8 +902,8 @@ impl<'b> Graph<'b> {
         let (tg, tb) = (&self.nodes[gamma.0].value, &self.nodes[beta.0].value);
         assert_eq!(tg.shape, vec![c], "gamma must be ({c})");
         assert_eq!(tb.shape, vec![c], "beta must be ({c})");
-        let mut sum = self.pool.take(tx.data.len());
-        let mut out = self.pool.take(tx.data.len());
+        let mut sum = self.pool.take_full(tx.data.len());
+        let mut out = self.pool.take_full(tx.data.len());
         let saved = fused::residual_layer_norm_rows_f32_pooled(
             self.backend,
             &tx.data,
@@ -960,7 +966,7 @@ impl<'b> Graph<'b> {
         let nk = tk.shape[1];
         assert_eq!(tk.shape, vec![bsz, nk, c], "attention k shape mismatch");
         assert_eq!(tv.shape, vec![bsz, nk, c], "attention v shape mismatch");
-        let mut out = self.pool.take(bsz * nq * c);
+        let mut out = self.pool.take_full(bsz * nq * c);
         let saved = fused::attention_rows_f32_pooled(
             self.backend,
             &tq.data,
@@ -1092,9 +1098,15 @@ impl<'b> Graph<'b> {
             Op::AddBiasLast(x, b) => {
                 self.acc(x, dy);
                 let c = self.nodes[b.0].value.len();
+                // Column sums in flat order: for each column the adds land
+                // row by row, ascending — the same per-element sequence as
+                // a single flat `db[j % c] += dy[j]` walk, minus the
+                // per-element div/mod.
                 let mut db = vec![0.0f32; c];
-                for (j, &d) in dy.iter().enumerate() {
-                    db[j % c] += d;
+                for drow in dy.chunks_exact(c) {
+                    for (dbj, &d) in db.iter_mut().zip(drow) {
+                        *dbj += d;
+                    }
                 }
                 self.acc(b, &db);
             }
@@ -1102,9 +1114,16 @@ impl<'b> Graph<'b> {
                 self.acc(x, dy);
                 let shape = self.nodes[x.0].value.shape.clone();
                 let (c, hw) = (shape[1], shape[2] * shape[3]);
+                // Per-channel plane sums in flat order (images ascending,
+                // then ascending within each plane): identical add sequence
+                // to `db[(j / hw) % c] += dy[j]`, minus the div/mod.
                 let mut db = vec![0.0f32; c];
-                for (j, &d) in dy.iter().enumerate() {
-                    db[(j / hw) % c] += d;
+                for img in dy.chunks_exact(c * hw) {
+                    for (dbj, plane) in db.iter_mut().zip(img.chunks_exact(hw)) {
+                        for &d in plane {
+                            *dbj += d;
+                        }
+                    }
                 }
                 self.acc(b, &db);
             }
@@ -1125,8 +1144,8 @@ impl<'b> Graph<'b> {
                 // dA = dY · Bᵀ ; dB = Aᵀ · dY
                 let mut da = vec![0.0f32; m * k];
                 let mut db = vec![0.0f32; k * n];
-                matmul_nt(dy, &tb.data, &mut da, m, n, k);
-                matmul_tn(&ta.data, dy, &mut db, m, k, n);
+                matmul_nt_f32(dy, &tb.data, &mut da, m, n, k);
+                matmul_tn_f32(&ta.data, dy, &mut db, m, k, n);
                 self.acc(a, &da);
                 self.acc(b, &db);
             }
@@ -1137,7 +1156,7 @@ impl<'b> Graph<'b> {
                 let mut da = vec![0.0f32; bs * m * k];
                 let mut db = vec![0.0f32; bs * k * n];
                 for bi in 0..bs {
-                    matmul_nt(
+                    matmul_nt_f32(
                         &dy[bi * m * n..(bi + 1) * m * n],
                         &tb.data[bi * k * n..(bi + 1) * k * n],
                         &mut da[bi * m * k..(bi + 1) * m * k],
@@ -1145,7 +1164,7 @@ impl<'b> Graph<'b> {
                         n,
                         k,
                     );
-                    matmul_tn(
+                    matmul_tn_f32(
                         &ta.data[bi * m * k..(bi + 1) * m * k],
                         &dy[bi * m * n..(bi + 1) * m * n],
                         &mut db[bi * k * n..(bi + 1) * k * n],
@@ -1161,11 +1180,12 @@ impl<'b> Graph<'b> {
                 let shape = self.nodes[i].value.shape.clone(); // (b, n, m)
                 let (b, n, m) = (shape[0], shape[1], shape[2]);
                 let mut dx = vec![0.0f32; b * m * n];
+                // The inverse transpose is the same strided gather with
+                // the roles of the two trailing dims swapped.
                 for bi in 0..b {
-                    for r in 0..n {
-                        for c in 0..m {
-                            dx[bi * m * n + c * n + r] = dy[bi * m * n + r * m + c];
-                        }
+                    let src = &dy[bi * m * n..(bi + 1) * m * n];
+                    for c in 0..m {
+                        gather_stride_f32(&src[c..], m, &mut dx[bi * m * n + c * n..][..n]);
                     }
                 }
                 self.acc(x, &dx);
@@ -1368,8 +1388,10 @@ impl<'b> Graph<'b> {
                 // add_bias_last(β) backward: flat-order column sums.
                 if let Some(b) = beta {
                     let mut db = vec![0.0f32; c];
-                    for (j, &d) in dy.iter().enumerate() {
-                        db[j % c] += d;
+                    for drow in dy.chunks_exact(c) {
+                        for (dbj, &d) in db.iter_mut().zip(drow) {
+                            *dbj += d;
+                        }
                     }
                     self.acc(b, &db);
                 }
@@ -1460,7 +1482,7 @@ impl<'b> Graph<'b> {
                 let mut d_v = vec![0.0f32; bsz * nk * c];
                 let tv = &self.nodes[v.0].value;
                 for bi in 0..bsz {
-                    matmul_nt(
+                    matmul_nt_f32(
                         &dy[bi * nq * c..(bi + 1) * nq * c],
                         &tv.data[bi * nk * c..(bi + 1) * nk * c],
                         &mut d_attn[bi * nq * nk..(bi + 1) * nq * nk],
@@ -1468,7 +1490,7 @@ impl<'b> Graph<'b> {
                         c,
                         nk,
                     );
-                    matmul_tn(
+                    matmul_tn_f32(
                         &attn[bi * nq * nk..(bi + 1) * nq * nk],
                         &dy[bi * nq * c..(bi + 1) * nq * c],
                         &mut d_v[bi * nk * c..(bi + 1) * nk * c],
@@ -1515,16 +1537,14 @@ impl<'b> Graph<'b> {
                 for bi in 0..bsz {
                     let src = &tk.data[bi * nk * c..(bi + 1) * nk * c];
                     let dst = &mut kt[bi * c * nk..(bi + 1) * c * nk];
-                    for r in 0..nk {
-                        for cc in 0..c {
-                            dst[cc * nk + r] = src[r * c + cc];
-                        }
+                    for cc in 0..c {
+                        gather_stride_f32(&src[cc..], c, &mut dst[cc * nk..][..nk]);
                     }
                 }
                 let mut d_q = vec![0.0f32; bsz * nq * c];
                 let mut d_kt = vec![0.0f32; bsz * c * nk];
                 for bi in 0..bsz {
-                    matmul_nt(
+                    matmul_nt_f32(
                         &d_scores[bi * nq * nk..(bi + 1) * nq * nk],
                         &kt[bi * c * nk..(bi + 1) * c * nk],
                         &mut d_q[bi * nq * c..(bi + 1) * nq * c],
@@ -1532,7 +1552,7 @@ impl<'b> Graph<'b> {
                         nk,
                         c,
                     );
-                    matmul_tn(
+                    matmul_tn_f32(
                         &tq.data[bi * nq * c..(bi + 1) * nq * c],
                         &d_scores[bi * nq * nk..(bi + 1) * nq * nk],
                         &mut d_kt[bi * c * nk..(bi + 1) * c * nk],
@@ -1543,12 +1563,13 @@ impl<'b> Graph<'b> {
                 }
                 self.acc(q, &d_q);
                 // transpose_last2(k) backward: route d_kᵀ back to k.
+                // Row `j` of d_k is the stride-`nk` column walk of d_kᵀ
+                // — the same strided gather as the forward transpose.
                 let mut d_k = vec![0.0f32; bsz * nk * c];
                 for bi in 0..bsz {
+                    let src = &d_kt[bi * c * nk..(bi + 1) * c * nk];
                     for j in 0..nk {
-                        for cc in 0..c {
-                            d_k[bi * nk * c + j * c + cc] = d_kt[bi * c * nk + cc * nk + j];
-                        }
+                        gather_stride_f32(&src[j..], nk, &mut d_k[bi * nk * c + j * c..][..c]);
                     }
                 }
                 self.acc(k, &d_k);
@@ -1560,85 +1581,13 @@ impl<'b> Graph<'b> {
     }
 }
 
-/// `out += A·B` for row-major `(m,k)·(k,n)`. Shared with the fused
-/// drivers in [`crate::fused`] so fused matmul stages run the exact loop
-/// the tape's `Matmul`/`BatchMatmul` nodes run.
-pub(crate) fn matmul_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    // The inner dimension is walked in ascending chunks of four with the
-    // four partial adds applied sequentially per output element, so every
-    // `out[i][j]` sees the same ordered f32 add sequence as the scalar
-    // `for p { out += a*b }` loop — the unroll buys ILP and fewer passes
-    // over the output row without reassociating anything. Chunks whose
-    // four `a` values are all zero are skipped, like the scalar loop's
-    // zero-skip: with `out` accumulators built from +0.0 by addition
-    // (they can never be -0.0), adding a `±0.0` product is bit-identical
-    // to not adding it.
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        let mut p = 0;
-        while p + 4 <= k {
-            let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
-            if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
-                let b0 = &b[p * n..(p + 1) * n];
-                let b1 = &b[(p + 1) * n..(p + 2) * n];
-                let b2 = &b[(p + 2) * n..(p + 3) * n];
-                let b3 = &b[(p + 3) * n..(p + 4) * n];
-                for j in 0..n {
-                    let mut v = orow[j];
-                    v += a0 * b0[j];
-                    v += a1 * b1[j];
-                    v += a2 * b2[j];
-                    v += a3 * b3[j];
-                    orow[j] = v;
-                }
-            }
-            p += 4;
-        }
-        while p < k {
-            let av = arow[p];
-            if av != 0.0 {
-                let brow = &b[p * n..(p + 1) * n];
-                for j in 0..n {
-                    orow[j] += av * brow[j];
-                }
-            }
-            p += 1;
-        }
-    }
-}
-
-/// `out += A·Bᵀ` where `A: (m,n)`, `B: (k,n)` → `out: (m,k)`.
-fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
-    for i in 0..m {
-        for j in 0..k {
-            let mut s = 0.0f32;
-            let arow = &a[i * n..(i + 1) * n];
-            let brow = &b[j * n..(j + 1) * n];
-            for p in 0..n {
-                s += arow[p] * brow[p];
-            }
-            out[i * k + j] += s;
-        }
-    }
-}
-
-/// `out += Aᵀ·B` where `A: (m,k)`, `B: (m,n)` → `out: (k,n)`.
-fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for p in 0..m {
-        for i in 0..k {
-            let av = a[p * k + i];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += av * brow[j];
-            }
-        }
-    }
-}
+// The matmul kernels themselves live in `gqa-simd` as of PR 7
+// (`matmul_acc_f32` / `matmul_nt_f32` / `matmul_tn_f32`): one blocked,
+// vectorized family shared by the tape's `Matmul`/`BatchMatmul` nodes,
+// the im2col convolution, the fused attention drivers, and every
+// backward path. The ordered-add contract (each output element's adds in
+// ascending inner index, aligned zero-chunk skip preserved) is pinned
+// there; this file only decides *which* product to run where.
 
 /// Validates conv arguments and returns the NCHW output shape.
 fn conv2d_out_shape(
@@ -1665,13 +1614,13 @@ fn conv2d_out_shape(
     [b, cout, oh, ow]
 }
 
-/// Convolution as im2col + the shared [`matmul_acc`] kernel.
+/// Convolution as im2col + the shared [`matmul_acc_f32`] kernel.
 ///
 /// Per `(batch, group)` the input patches are gathered into a pooled
 /// `(Cin/g·kh·kw, oh·ow)` column matrix (out-of-bounds taps stay zero),
-/// then one `matmul_acc` against the group's weight rows produces the
-/// whole output block. Bit-identical to the textbook per-element loop:
-/// `matmul_acc` accumulates over the patch dimension in ascending
+/// then one `matmul_acc_f32` against the group's weight rows produces
+/// the whole output block. Bit-identical to the textbook per-element
+/// loop: the kernel accumulates over the patch dimension in ascending
 /// `(ic, ky, kx)` order — exactly the textbook tap order — and the only
 /// extra terms are `±0.0` products from padding taps (or the kernel's
 /// zero-skip removing weight-zero taps), which never change an
@@ -1697,7 +1646,7 @@ fn conv2d_forward(
     if kh == 1 && kw == 1 && stride == 1 && pad == 0 && groups == 1 {
         let hw = h * wd;
         for bi in 0..b {
-            matmul_acc(
+            matmul_acc_f32(
                 &w.data,
                 &x.data[bi * cin * hw..(bi + 1) * cin * hw],
                 &mut out[bi * cout * hw..(bi + 1) * cout * hw],
@@ -1743,15 +1692,17 @@ fn conv2d_forward(
                             if stride == 1 {
                                 crow[ox_lo..ox_lo + cnt].copy_from_slice(&xrow[xoff..xoff + cnt]);
                             } else {
-                                for i in 0..cnt {
-                                    crow[ox_lo + i] = xrow[xoff + i * stride];
-                                }
+                                gather_stride_f32(
+                                    &xrow[xoff..],
+                                    stride,
+                                    &mut crow[ox_lo..ox_lo + cnt],
+                                );
                             }
                         }
                     }
                 }
             }
-            matmul_acc(
+            matmul_acc_f32(
                 &w.data[(g * cog) * patch..((g + 1) * cog) * patch],
                 &col,
                 &mut out[(bi * cout + g * cog) * ohw..][..cog * ohw],

@@ -17,7 +17,11 @@
 //!
 //! [`BufferPool::take`] returns a **zero-filled** buffer, so pooled code is
 //! bit-identical to the `vec![0.0; n]` spelling it replaces — the pool is
-//! invisible to the fused-equivalence contract.
+//! invisible to the fused-equivalence contract. Ops that overwrite every
+//! element before reading (sweeps, gathers, copies) use
+//! [`BufferPool::take_full`] instead, which skips the zero-fill memset on
+//! reuse; accumulating ops (matmul outputs, im2col staging with padding)
+//! must keep [`BufferPool::take`].
 
 /// Number of power-of-two size classes. Class `CLASSES - 1` is unbounded
 /// above, so any capacity has a class.
@@ -32,6 +36,17 @@ const MAX_FREE: usize = 512;
 /// clamped into range. Every buffer in class `k` has capacity `>= 2^k`.
 fn class_of(cap: usize) -> usize {
     ((usize::BITS - 1 - cap.leading_zeros()) as usize).min(CLASSES - 1)
+}
+
+/// Resizes a parked buffer to `n` elements without touching the values it
+/// already holds: shrink by truncation, grow by zero-filling only the new
+/// tail. No whole-buffer memset either way.
+fn set_len_stale(buf: &mut Vec<f32>, n: usize) {
+    if buf.len() >= n {
+        buf.truncate(n);
+    } else {
+        buf.resize(n, 0.0);
+    }
 }
 
 /// Recycles tensor-sized `Vec<f32>` buffers across ops and graphs.
@@ -102,6 +117,37 @@ impl BufferPool {
         vec![0.0; n]
     }
 
+    /// Takes a buffer of length `n` with **unspecified contents** — a
+    /// reused buffer keeps whatever stale values it was parked with.
+    /// For ops that overwrite every element before the buffer is read
+    /// (element-wise sweeps, gathers, whole-buffer copies): the reuse
+    /// path skips `take`'s zero-fill memset, which on the pooled
+    /// inference hot path runs once per tensor per forward.
+    ///
+    /// Accumulating consumers (`out += …` matmul drivers, im2col staging
+    /// whose padding must stay zero) need [`BufferPool::take`].
+    #[must_use]
+    pub fn take_full(&mut self, n: usize) -> Vec<f32> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let floor = class_of(n);
+        if let Some(i) = self.classes[floor].iter().rposition(|b| b.capacity() >= n) {
+            let mut buf = self.classes[floor].swap_remove(i);
+            self.parked -= 1;
+            set_len_stale(&mut buf, n);
+            return buf;
+        }
+        for k in floor + 1..CLASSES {
+            if let Some(mut buf) = self.classes[k].pop() {
+                self.parked -= 1;
+                set_len_stale(&mut buf, n);
+                return buf;
+            }
+        }
+        vec![0.0; n]
+    }
+
     /// Parks a buffer for reuse (no-op for zero-capacity buffers, and
     /// buffers beyond the free-list cap are dropped).
     pub fn put(&mut self, buf: Vec<f32>) {
@@ -126,6 +172,26 @@ mod tests {
         assert_eq!(b, vec![0.0f32; 8]);
         let c = pool.take(3);
         assert_eq!(c, vec![0.0f32; 3]);
+    }
+
+    #[test]
+    fn take_full_reuses_without_zeroing() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.take(8);
+        a.iter_mut().for_each(|v| *v = 7.5);
+        pool.put(a);
+        let b = pool.take_full(8);
+        assert_eq!(b, vec![7.5f32; 8], "stale contents are kept");
+        pool.put(b);
+        // Shrinking keeps the prefix; growing zero-fills only the tail.
+        let c = pool.take_full(3);
+        assert_eq!(c, vec![7.5f32; 3]);
+        pool.put(c);
+        let d = pool.take_full(6);
+        assert_eq!(d, vec![7.5, 7.5, 7.5, 0.0, 0.0, 0.0]);
+        // A miss allocates fresh and zeroed.
+        let e = pool.take_full(1000);
+        assert_eq!(e, vec![0.0f32; 1000]);
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! The graph's matmul spine against hand-replayed pinned references —
+//! values AND gradients, `to_bits` exact.
+//!
+//! PR 7 moved `matmul_acc`/`matmul_nt`/`matmul_tn` out of `graph.rs`
+//! into the blocked, vectorized kernel family in `gqa-simd`. The
+//! ordered-add contract says the move must not change a single bit:
+//! each output element's f32 adds stay in ascending inner index with the
+//! aligned zero-chunk skip, `matmul_nt` pins the eight-lane dot shape,
+//! and `matmul_tn` keeps the broadcast-zero row skip. These tests replay
+//! those sequences in plain unblocked Rust and compare whole tapes —
+//! forward values and input gradients — bit for bit. CI runs the suite
+//! on both matrix legs, so it also pins simd ≡ scalar at the tape level.
+
+use gqa_tensor::{BufferPool, EvalMode, ExactBackend, Graph, Tensor};
+
+/// Deterministic xorshift values in roughly [-2, 2], with every 7th
+/// value zeroed so the kernels' zero-skips fire inside real tapes.
+fn seeded(len: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|i| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if i % 7 == 6 {
+                0.0
+            } else {
+                (s % 4000) as f32 / 1000.0 - 2.0
+            }
+        })
+        .collect()
+}
+
+/// `out += A·B` in the contract's element order: ascending `p`, aligned
+/// chunks of four skipped when all four `a` values are zero.
+fn reference_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut v = out[i * n + j];
+            let mut p = 0usize;
+            while p + 4 <= k {
+                let quad = &a[i * k + p..i * k + p + 4];
+                if quad.iter().any(|&x| x != 0.0) {
+                    for (t, &av) in quad.iter().enumerate() {
+                        v += av * b[(p + t) * n + j];
+                    }
+                }
+                p += 4;
+            }
+            while p < k {
+                let av = a[i * k + p];
+                if av != 0.0 {
+                    v += av * b[p * n + j];
+                }
+                p += 1;
+            }
+            out[i * n + j] = v;
+        }
+    }
+}
+
+/// The pinned eight-lane dot (`gqa_simd::sum_f32`'s shape with products
+/// in place of elements): stride-8 lanes, `p_j = l_j + l_{j+4}`,
+/// `(p0+p2)+(p1+p3)`, sequential tail.
+fn reference_dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let n8 = n - n % 8;
+    let mut lanes = [0.0f32; 8];
+    let mut i = 0usize;
+    while i < n8 {
+        for (t, l) in lanes.iter_mut().enumerate() {
+            *l += a[i + t] * b[i + t];
+        }
+        i += 8;
+    }
+    let p = [
+        lanes[0] + lanes[4],
+        lanes[1] + lanes[5],
+        lanes[2] + lanes[6],
+        lanes[3] + lanes[7],
+    ];
+    let mut acc = (p[0] + p[2]) + (p[1] + p[3]);
+    for t in n8..n {
+        acc += a[t] * b[t];
+    }
+    acc
+}
+
+/// `out += A·Bᵀ` as rows of pinned dots — `dA = dY·Bᵀ`.
+fn reference_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    for i in 0..m {
+        for j in 0..k {
+            out[i * k + j] += reference_dot(&a[i * n..(i + 1) * n], &b[j * n..(j + 1) * n]);
+        }
+    }
+}
+
+/// `out += Aᵀ·B` with the broadcast-zero row skip — `dB = Aᵀ·dY`.
+fn reference_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for p in 0..m {
+        for i in 0..k {
+            let av = a[p * k + i];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += av * b[p * n + j];
+            }
+        }
+    }
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: bit mismatch at {i}: {g} vs {w}"
+        );
+    }
+}
+
+/// Seam-straddling shapes: 1×1, k not divisible by 4/8/16, n across the
+/// 8/32/64-column vector tiles, and past the KC=256 / JC=128 block
+/// boundaries so the blocked driver's packing path runs inside a tape.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (2, 7, 33),
+    (3, 9, 130),
+    (4, 258, 40),
+    (2, 72, 200),
+];
+
+#[test]
+fn matmul_values_and_grads_match_pinned_reference() {
+    let backend = ExactBackend;
+    for &(m, k, n) in SHAPES {
+        let a = seeded(m * k, 0x51 + (m * k) as u64);
+        let b = seeded(k * n, 0x52 + (k * n) as u64);
+        let mut g = Graph::new(&backend);
+        let na = g.input(Tensor::from_vec(a.clone(), &[m, k]));
+        let nb = g.input(Tensor::from_vec(b.clone(), &[k, n]));
+        let y = g.matmul(na, nb);
+        let mut want_y = vec![0.0f32; m * n];
+        reference_acc(&a, &b, &mut want_y, m, k, n);
+        assert_bits_eq(&g.value(y).data, &want_y, &format!("matmul {m}x{k}x{n}"));
+
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        // mean_all backward spreads 1/len uniformly.
+        let dy = vec![1.0f32 / (m * n) as f32; m * n];
+        let mut want_da = vec![0.0f32; m * k];
+        let mut want_db = vec![0.0f32; k * n];
+        reference_nt(&dy, &b, &mut want_da, m, n, k);
+        reference_tn(&a, &dy, &mut want_db, m, k, n);
+        assert_bits_eq(g.grad(na).unwrap(), &want_da, &format!("dA {m}x{k}x{n}"));
+        assert_bits_eq(g.grad(nb).unwrap(), &want_db, &format!("dB {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn batch_matmul_values_and_grads_match_pinned_reference() {
+    let backend = ExactBackend;
+    let (bs, m, k, n) = (3usize, 4usize, 33usize, 130usize);
+    let a = seeded(bs * m * k, 0x61);
+    let b = seeded(bs * k * n, 0x62);
+    let mut g = Graph::new(&backend);
+    let na = g.input(Tensor::from_vec(a.clone(), &[bs, m, k]));
+    let nb = g.input(Tensor::from_vec(b.clone(), &[bs, k, n]));
+    let y = g.batch_matmul(na, nb);
+    let mut want_y = vec![0.0f32; bs * m * n];
+    for i in 0..bs {
+        reference_acc(
+            &a[i * m * k..(i + 1) * m * k],
+            &b[i * k * n..(i + 1) * k * n],
+            &mut want_y[i * m * n..(i + 1) * m * n],
+            m,
+            k,
+            n,
+        );
+    }
+    assert_bits_eq(&g.value(y).data, &want_y, "batch_matmul values");
+
+    let loss = g.mean_all(y);
+    g.backward(loss);
+    let dy = vec![1.0f32 / (bs * m * n) as f32; bs * m * n];
+    let mut want_da = vec![0.0f32; bs * m * k];
+    let mut want_db = vec![0.0f32; bs * k * n];
+    for i in 0..bs {
+        reference_nt(
+            &dy[i * m * n..(i + 1) * m * n],
+            &b[i * k * n..(i + 1) * k * n],
+            &mut want_da[i * m * k..(i + 1) * m * k],
+            m,
+            n,
+            k,
+        );
+        reference_tn(
+            &a[i * m * k..(i + 1) * m * k],
+            &dy[i * m * n..(i + 1) * m * n],
+            &mut want_db[i * k * n..(i + 1) * k * n],
+            m,
+            k,
+            n,
+        );
+    }
+    assert_bits_eq(g.grad(na).unwrap(), &want_da, "batch_matmul dA");
+    assert_bits_eq(g.grad(nb).unwrap(), &want_db, "batch_matmul dB");
+}
+
+/// The textbook convolution: taps in ascending `(ic, ky, kx)` order,
+/// out-of-bounds taps contributing nothing. Bit-identical to im2col +
+/// the blocked kernel because padding taps only add `±0.0` products and
+/// the zero-skip only removes `±0.0` products — neither can change an
+/// accumulator that starts at +0.0 and can never become -0.0.
+#[allow(clippy::too_many_arguments)]
+fn reference_conv(
+    x: &[f32],
+    w: &[f32],
+    dims: [usize; 4],
+    wdims: [usize; 4],
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let [b, cin, h, wd] = dims;
+    let [cout, _, kh, kw] = wdims;
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (wd + 2 * pad - kw) / stride + 1;
+    let mut out = vec![0.0f32; b * cout * oh * ow];
+    for bi in 0..b {
+        for oc in 0..cout {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut v = 0.0f32;
+                    for ic in 0..cin {
+                        for ky in 0..kh {
+                            let iy = oy * stride + ky;
+                            if iy < pad || iy - pad >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = ox * stride + kx;
+                                if ix < pad || ix - pad >= wd {
+                                    continue;
+                                }
+                                let xv = x[((bi * cin + ic) * h + iy - pad) * wd + ix - pad];
+                                let wv = w[((oc * cin + ic) * kh + ky) * kw + kx];
+                                v += wv * xv;
+                            }
+                        }
+                    }
+                    out[((bi * cout + oc) * oh + oy) * ow + ox] = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn conv2d_matches_textbook_loop_including_strided_gather() {
+    let backend = ExactBackend;
+    // stride 2 + pad 1 exercises the strided im2col gather the shared
+    // `gather_stride_f32` helper now performs; 3×3 over a 9×13 plane
+    // exercises ragged edges.
+    let (b, cin, h, wd) = (2usize, 3usize, 9usize, 13usize);
+    let (cout, kh, kw) = (4usize, 3usize, 3usize);
+    for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1), (3, 2)] {
+        let x = seeded(b * cin * h * wd, 0x71 + stride as u64);
+        let w = seeded(cout * cin * kh * kw, 0x72 + pad as u64);
+        let mut g = Graph::new(&backend);
+        let nx = g.input(Tensor::from_vec(x.clone(), &[b, cin, h, wd]));
+        let nw = g.input(Tensor::from_vec(w.clone(), &[cout, cin, kh, kw]));
+        let y = g.conv2d(nx, nw, stride, pad, 1);
+        let want = reference_conv(&x, &w, [b, cin, h, wd], [cout, cin, kh, kw], stride, pad);
+        assert_bits_eq(&g.value(y).data, &want, &format!("conv2d s{stride} p{pad}"));
+    }
+}
+
+#[test]
+fn attention_grads_match_fused_and_unfused_through_shared_kernels() {
+    // Both spellings now run the same gqa-simd kernels; their gradients
+    // must stay bit-identical (the historical fused ≡ unfused contract),
+    // including across the nt/tn kernel rewire.
+    let backend = ExactBackend;
+    let (bsz, nq, nk, c) = (2usize, 17usize, 33usize, 9usize);
+    let q = seeded(bsz * nq * c, 0x81);
+    let k = seeded(bsz * nk * c, 0x82);
+    let v = seeded(bsz * nk * c, 0x83);
+    let scale = 1.0 / (c as f32).sqrt();
+    let run = |fused: bool| {
+        let mut g = Graph::new(&backend);
+        let nq_ = g.input(Tensor::from_vec(q.clone(), &[bsz, nq, c]));
+        let nk_ = g.input(Tensor::from_vec(k.clone(), &[bsz, nk, c]));
+        let nv_ = g.input(Tensor::from_vec(v.clone(), &[bsz, nk, c]));
+        let y = if fused {
+            g.attention(nq_, nk_, nv_, scale)
+        } else {
+            g.attention_unfused(nq_, nk_, nv_, scale)
+        };
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        (
+            g.value(y).data.clone(),
+            g.grad(nq_).unwrap().to_vec(),
+            g.grad(nk_).unwrap().to_vec(),
+            g.grad(nv_).unwrap().to_vec(),
+        )
+    };
+    let (yf, dqf, dkf, dvf) = run(true);
+    let (yu, dqu, dku, dvu) = run(false);
+    assert_bits_eq(&yf, &yu, "attention values");
+    assert_bits_eq(&dqf, &dqu, "attention dq");
+    assert_bits_eq(&dkf, &dku, "attention dk");
+    assert_bits_eq(&dvf, &dvu, "attention dv");
+}
+
+#[test]
+fn pooled_inference_forward_is_bit_invariant_under_pool_reuse() {
+    // The blocked driver's thread-local B panel and the pool's recycled
+    // buffers both hold stale bytes on later runs; neither may leak into
+    // results. Mixed tape: conv → attention → matmul, forward-only.
+    let backend = ExactBackend;
+    let (bsz, cin, h, wd) = (2usize, 3usize, 8usize, 12usize);
+    let (nk, c) = (5usize, 16usize);
+    let x = seeded(bsz * cin * h * wd, 0x91);
+    let wconv = seeded(c * cin * 9, 0x92);
+    let kv = seeded(bsz * nk * c, 0x93);
+    let wout = seeded(c * 10, 0x94);
+    let run = |pool: BufferPool| {
+        let mut g = Graph::with_mode(&backend, EvalMode::Inference, pool);
+        let nx = g.input(Tensor::from_vec(x.clone(), &[bsz, cin, h, wd]));
+        let nw = g.input(Tensor::from_vec(wconv.clone(), &[c, cin, 3, 3]));
+        let conv = g.conv2d(nx, nw, 1, 1, 1); // (bsz, c, h, wd)
+        let q = g.reshape(conv, &[bsz, c * h * wd / c, c]); // (bsz, h·wd, c)
+        let nkv = g.input(Tensor::from_vec(kv.clone(), &[bsz, nk, c]));
+        let att = g.attention(q, nkv, nkv, 1.0 / (c as f32).sqrt());
+        let flat = g.reshape(att, &[bsz * h * wd, c]);
+        let nwo = g.input(Tensor::from_vec(wout.clone(), &[c, 10]));
+        let y = g.matmul(flat, nwo);
+        let out = g.value(y).data.clone();
+        (out, g.recycle())
+    };
+    let (y1, pool) = run(BufferPool::new());
+    let (y2, pool) = run(pool);
+    let (y3, _) = run(pool);
+    assert_bits_eq(&y2, &y1, "pool reuse, second run");
+    assert_bits_eq(&y3, &y1, "pool reuse, third run");
+}
