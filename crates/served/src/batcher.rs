@@ -1,0 +1,291 @@
+//! The request coalescer: a **pure, single-threaded state machine** that
+//! turns per-tenant arrivals into same-model batches.
+//!
+//! All policy lives here — flush-by-size, flush-by-deadline, model
+//! segregation, FIFO order, bounded admission — and none of the
+//! threading does. Time is an explicit `now` argument in **ticks** (an
+//! abstract monotonic counter): the production server feeds it wall-time
+//! ticks, and the test suites feed it scripted schedules, which is what
+//! makes every concurrency property in `tests/coalesce.rs` reproducible
+//! without a single sleep.
+//!
+//! Determinism contract: given the same sequence of
+//! [`Coalescer::submit`] / [`Coalescer::poll`] calls with the same `now`
+//! values, the emitted batches are identical — models are scanned in
+//! index order (size-ready batches before deadline-ready ones), and
+//! items leave each model queue in arrival order.
+
+use std::collections::VecDeque;
+
+use crate::request::{ModelId, Rejected};
+
+/// Coalescing policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush a model's queue as soon as it holds this many requests (the
+    /// batched `forward` width the SIMD kernels are paid off by).
+    pub max_batch: usize,
+    /// Flush a non-empty queue once its **oldest** request has waited
+    /// this many ticks, even below `max_batch` — the latency bound. `0`
+    /// flushes whatever is queued at the next poll.
+    pub max_wait: u64,
+    /// Total queued-request bound across all models. Submissions beyond
+    /// it are rejected ([`Rejected`]), never buffered: the queue cannot
+    /// grow without bound no matter how fast tenants submit.
+    pub capacity: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            max_wait: 2,
+            capacity: 1024,
+        }
+    }
+}
+
+/// One queued item plus its arrival tick.
+#[derive(Debug)]
+struct Pending<T> {
+    item: T,
+    enqueued: u64,
+}
+
+/// A flushed batch: same-model items in arrival order.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Batch<T> {
+    /// The model every item belongs to (batches never mix models).
+    pub model: ModelId,
+    /// The coalesced items, FIFO.
+    pub items: Vec<T>,
+    /// Arrival tick of the oldest item (what triggered a deadline flush).
+    pub oldest: u64,
+}
+
+/// The coalescing state machine. Generic over the queued payload so the
+/// scheduler-script tests can drive it with bare markers while the
+/// server queues response slots.
+#[derive(Debug)]
+pub struct Coalescer<T> {
+    cfg: BatchConfig,
+    queues: Vec<VecDeque<Pending<T>>>,
+    depth: usize,
+}
+
+impl<T> Coalescer<T> {
+    /// A coalescer over `models` model queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `capacity` is zero (a server that can
+    /// admit or flush nothing is a configuration bug, not a state).
+    #[must_use]
+    pub fn new(models: usize, cfg: BatchConfig) -> Self {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        assert!(cfg.capacity > 0, "capacity must be positive");
+        Self {
+            cfg,
+            queues: (0..models).map(|_| VecDeque::new()).collect(),
+            depth: 0,
+        }
+    }
+
+    /// The configured policy.
+    #[must_use]
+    pub fn config(&self) -> BatchConfig {
+        self.cfg
+    }
+
+    /// Requests currently queued across all models.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Admits `item` into `model`'s queue at tick `now`, or rejects it if
+    /// the total queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] when `depth == capacity`; the item is returned to the
+    /// caller untouched via the error (it was never queued).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is out of range — the server validates model ids
+    /// before they reach the coalescer.
+    pub fn submit(&mut self, model: ModelId, item: T, now: u64) -> Result<(), (Rejected, T)> {
+        if self.depth >= self.cfg.capacity {
+            return Err((
+                Rejected {
+                    depth: self.depth,
+                    capacity: self.cfg.capacity,
+                },
+                item,
+            ));
+        }
+        self.queues[model].push_back(Pending {
+            item,
+            enqueued: now,
+        });
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Whether a poll at tick `now` would emit a batch.
+    #[must_use]
+    pub fn ready(&self, now: u64) -> bool {
+        self.queues.iter().any(|q| {
+            q.len() >= self.cfg.max_batch
+                || q.front()
+                    .is_some_and(|p| now >= p.enqueued.saturating_add(self.cfg.max_wait))
+        })
+    }
+
+    /// Emits the next ready batch at tick `now`, or `None` when nothing is
+    /// flushable yet.
+    ///
+    /// Scan order is deterministic: first the lowest-indexed model with a
+    /// **full** batch (`max_batch` queued — these pay for themselves
+    /// regardless of deadlines), then the lowest-indexed model whose
+    /// oldest request has aged past `max_wait`. Either way at most
+    /// `max_batch` items leave, in arrival order.
+    pub fn poll(&mut self, now: u64) -> Option<Batch<T>> {
+        if let Some(m) =
+            (0..self.queues.len()).find(|&m| self.queues[m].len() >= self.cfg.max_batch)
+        {
+            return Some(self.flush(m));
+        }
+        let deadline_hit = |p: &Pending<T>| now >= p.enqueued.saturating_add(self.cfg.max_wait);
+        if let Some(m) =
+            (0..self.queues.len()).find(|&m| self.queues[m].front().is_some_and(deadline_hit))
+        {
+            return Some(self.flush(m));
+        }
+        None
+    }
+
+    /// Emits the next non-empty queue as a batch regardless of size or
+    /// deadline — the shutdown drain, so no queued request is ever
+    /// dropped on the floor.
+    pub fn drain(&mut self) -> Option<Batch<T>> {
+        (0..self.queues.len())
+            .find(|&m| !self.queues[m].is_empty())
+            .map(|m| self.flush(m))
+    }
+
+    /// The earliest tick at which a currently queued request hits its
+    /// deadline (`None` when empty). The server sizes its waits with
+    /// this; a size-ready queue reports the current front's deadline too,
+    /// which is always `<=` any wait the caller would compute.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.queues
+            .iter()
+            .filter_map(|q| q.front())
+            .map(|p| p.enqueued.saturating_add(self.cfg.max_wait))
+            .min()
+    }
+
+    fn flush(&mut self, model: ModelId) -> Batch<T> {
+        let take = self.queues[model].len().min(self.cfg.max_batch);
+        let oldest = self.queues[model].front().expect("non-empty").enqueued;
+        let items: Vec<T> = self.queues[model].drain(..take).map(|p| p.item).collect();
+        self.depth -= items.len();
+        Batch {
+            model,
+            items,
+            oldest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_batch: usize, max_wait: u64, capacity: usize) -> BatchConfig {
+        BatchConfig {
+            max_batch,
+            max_wait,
+            capacity,
+        }
+    }
+
+    #[test]
+    fn flushes_by_size_before_deadline() {
+        let mut c = Coalescer::new(1, cfg(3, 100, 10));
+        for i in 0..3 {
+            c.submit(0, i, 0).unwrap();
+        }
+        // Deadline (tick 100) is far away, but the batch is full.
+        let b = c.poll(0).expect("size-ready");
+        assert_eq!((b.model, b.items, b.oldest), (0, vec![0, 1, 2], 0));
+        assert_eq!(c.depth(), 0);
+        assert!(c.poll(0).is_none());
+    }
+
+    #[test]
+    fn flushes_by_deadline_exactly_at_max_wait() {
+        let mut c = Coalescer::new(1, cfg(8, 5, 10));
+        c.submit(0, 7, 2).unwrap();
+        assert!(!c.ready(6), "one tick early");
+        assert!(c.poll(6).is_none());
+        assert_eq!(c.next_deadline(), Some(7));
+        let b = c.poll(7).expect("deadline-ready");
+        assert_eq!(b.items, vec![7]);
+    }
+
+    #[test]
+    fn oversize_queue_flushes_in_max_batch_chunks_fifo() {
+        let mut c = Coalescer::new(1, cfg(2, 0, 10));
+        for i in 0..5 {
+            c.submit(0, i, 0).unwrap();
+        }
+        assert_eq!(c.poll(0).unwrap().items, vec![0, 1]);
+        assert_eq!(c.poll(0).unwrap().items, vec![2, 3]);
+        // The remainder goes out via the deadline rule (max_wait = 0).
+        assert_eq!(c.poll(0).unwrap().items, vec![4]);
+        assert!(c.poll(0).is_none());
+    }
+
+    #[test]
+    fn models_never_mix_and_lower_index_flushes_first() {
+        let mut c = Coalescer::new(2, cfg(2, 0, 10));
+        c.submit(1, 10, 0).unwrap();
+        c.submit(0, 20, 0).unwrap();
+        c.submit(1, 11, 0).unwrap();
+        // Model 1 has a full batch; size-readiness outranks model 0's
+        // deadline-readiness even though model 0 has the lower index.
+        let b = c.poll(0).unwrap();
+        assert_eq!((b.model, b.items), (1, vec![10, 11]));
+        let b = c.poll(0).unwrap();
+        assert_eq!((b.model, b.items), (0, vec![20]));
+    }
+
+    #[test]
+    fn rejects_at_capacity_and_returns_the_item() {
+        let mut c = Coalescer::new(1, cfg(4, 10, 2));
+        c.submit(0, 1, 0).unwrap();
+        c.submit(0, 2, 0).unwrap();
+        let (rej, item) = c.submit(0, 3, 0).unwrap_err();
+        assert_eq!((rej.depth, rej.capacity, item), (2, 2, 3));
+        assert_eq!(c.depth(), 2, "rejected submissions never queue");
+        // Flushing frees capacity again.
+        let _ = c.poll(10).unwrap();
+        c.submit(0, 3, 10).unwrap();
+    }
+
+    #[test]
+    fn drain_empties_everything_ignoring_deadlines() {
+        let mut c = Coalescer::new(2, cfg(8, 1000, 10));
+        c.submit(0, 1, 0).unwrap();
+        c.submit(1, 2, 0).unwrap();
+        assert!(c.poll(0).is_none(), "nothing is ready by policy");
+        assert_eq!(c.drain().unwrap().items, vec![1]);
+        assert_eq!(c.drain().unwrap().items, vec![2]);
+        assert!(c.drain().is_none());
+        assert_eq!(c.depth(), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! Recording is one relaxed `fetch_add` on an atomic counter — safe to
+//! call from every worker and submitter thread with no coordination, so
+//! the measurement layer cannot perturb the serving hot path it measures.
+//! Buckets are powers of two: bucket `k` holds samples in
+//! `[2^k, 2^(k+1))` nanoseconds (bucket 0 holds `{0, 1}`), giving ~2×
+//! resolution from single nanoseconds to ~584 years in a fixed 64-slot
+//! array — no allocation, no configuration, no range clipping.
+//!
+//! Quantiles come from a [`HistogramSnapshot`]: the p50/p99 of a
+//! log-bucketed histogram are *interval* answers (the bucket the true
+//! quantile falls in), which [`HistogramSnapshot::quantile_bounds`]
+//! exposes honestly; [`HistogramSnapshot::quantile_ns`] collapses the
+//! interval to its geometric midpoint for reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets — enough for any `u64` nanosecond
+/// sample.
+pub const BUCKETS: usize = 64;
+
+/// The bucket index of a nanosecond sample: `floor(log2(max(ns, 1)))`.
+#[must_use]
+pub fn bucket_of(ns: u64) -> usize {
+    (63 - (ns | 1).leading_zeros()) as usize
+}
+
+/// The half-open sample range `[lo, hi)` covered by bucket `k` (bucket 0
+/// also absorbs the `ns = 0` sample; the last bucket's `hi` saturates).
+#[must_use]
+pub fn bucket_bounds(k: usize) -> (u64, u64) {
+    assert!(k < BUCKETS, "bucket index {k} out of range");
+    let lo = if k == 0 { 0 } else { 1u64 << k };
+    let hi = if k >= 63 { u64::MAX } else { 1u64 << (k + 1) };
+    (lo, hi)
+}
+
+/// A concurrently recordable latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one latency sample. Lock-free; any number of threads may
+    /// record concurrently, and every recorded sample lands in exactly
+    /// one bucket (the consistency property `tests` pin: the sum of all
+    /// bucket counts equals the number of `record` calls).
+    pub fn record(&self, ns: u64) {
+        self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts. Concurrent `record`
+    /// calls may land before or after the snapshot, never partially
+    /// inside a bucket.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|k| self.counts[k].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An immutable copy of a histogram's bucket counts, with quantile
+/// extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// The per-bucket counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Total recorded samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges another snapshot into this one (per-bucket sum) — how the
+    /// server aggregates per-tenant histograms into a fleet view.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// The half-open `[lo, hi)` nanosecond range of the bucket containing
+    /// the `q`-quantile sample (`q` in `(0, 1]`), or `None` for an empty
+    /// histogram.
+    ///
+    /// The quantile rank follows the "nearest rank" definition:
+    /// `rank = ceil(q · total)` (1-based), the same sample a reference
+    /// `sorted[rank - 1]` lookup selects — which is exactly how the unit
+    /// tests cross-check these bounds against a sorted copy of the raw
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]`.
+    #[must_use]
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        assert!(q > 0.0 && q <= 1.0, "quantile {q} not in (0, 1]");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_bounds(k));
+            }
+        }
+        unreachable!("rank {rank} <= total {total} must land in a bucket");
+    }
+
+    /// The `q`-quantile as a single representative nanosecond value: the
+    /// geometric midpoint of [`HistogramSnapshot::quantile_bounds`]'s
+    /// bucket (log-bucket resolution means the true value is within 2×).
+    /// `None` for an empty histogram.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        let (lo, hi) = self.quantile_bounds(q)?;
+        // Geometric midpoint of [lo, hi): sqrt(lo·hi), with the zero
+        // bucket degenerating to its upper edge.
+        let (lo, hi) = (lo.max(1) as f64, hi as f64);
+        Some((lo * hi).sqrt() as u64)
+    }
+
+    /// Median latency representative (`None` when empty).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th-percentile latency representative (`None` when empty).
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile_ns(0.99)
+    }
+}
+
+impl std::fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} samples, p50 ~{} ns, p99 ~{} ns",
+            self.total(),
+            self.p50().unwrap_or(0),
+            self.p99().unwrap_or(0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        // Every bucket's bounds round-trip through bucket_of.
+        for k in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(k);
+            assert_eq!(bucket_of(lo), k, "lower edge of bucket {k}");
+            assert_eq!(bucket_of(hi - 1), k, "upper edge of bucket {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_samples() {
+        let h = LatencyHistogram::new();
+        let per_thread = 10_000u64;
+        let threads = 8;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // A spread of magnitudes, different per thread.
+                        h.record((i + 1) << (t % 7));
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(
+            snap.total(),
+            per_thread * threads as u64,
+            "sum of bucket counts must equal the number of record calls"
+        );
+    }
+
+    /// p50/p99 bounds must agree with a reference sort over the same
+    /// samples: the sorted nearest-rank value lies inside the bucket the
+    /// histogram reports.
+    #[test]
+    fn quantiles_match_reference_sort() {
+        // A deliberately skewed distribution across several magnitudes.
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 7u64;
+        for i in 0..5000u64 {
+            // Deterministic pseudo-random walk (xorshift).
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let magnitude = 1u64 << (i % 17);
+            samples.push(x % magnitude.max(2));
+        }
+        let h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let reference = sorted[rank - 1];
+            let (lo, hi) = snap.quantile_bounds(q).unwrap();
+            assert!(
+                (lo..hi).contains(&reference),
+                "q={q}: reference {reference} outside histogram bucket [{lo}, {hi})"
+            );
+            let mid = snap.quantile_ns(q).unwrap();
+            assert!((lo..hi).contains(&mid.max(1)), "midpoint inside bucket");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert_eq!(snap.total(), 0);
+        assert_eq!(snap.quantile_bounds(0.5), None);
+        assert_eq!(snap.p50(), None);
+        assert_eq!(snap.p99(), None);
+    }
+
+    #[test]
+    fn merge_sums_bucket_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(10);
+        a.record(1000);
+        b.record(12);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.total(), 3);
+        assert_eq!(snap.counts()[bucket_of(10)], 2, "10 and 12 share a bucket");
+    }
+}

@@ -1,0 +1,83 @@
+//! # gqa-served — the multi-tenant serving front-end
+//!
+//! The layer above [`gqa_serve`]: the engine answers "forward this tensor
+//! through this backend"; this crate answers "many tenants are submitting
+//! requests concurrently — admit, batch, and answer them" without giving
+//! up a single bit of the workspace's determinism contracts.
+//!
+//! ```text
+//!   tenants ──▶ Served::submit(Request)        admission control:
+//!                 │                            bounded queue, typed
+//!                 │  Coalescer (pure state     Rejected backpressure
+//!                 │  machine, tick-driven)
+//!                 ▼
+//!            same-model batch ──▶ dispatch_batch: ONE pooled inference
+//!                 │               forward over the stacked [batch, ...]
+//!                 │               tensor through a shared Session
+//!                 ▼
+//!            per-request rows ──▶ Ticket::wait() + per-tenant
+//!                                 LatencyHistogram (lock-free)
+//! ```
+//!
+//! The load-bearing property is **coalescing invisibility**: each
+//! request's response is `to_bits`-identical to what a batch-of-one
+//! forward on the same engine state would return. Batching is purely a
+//! throughput decision — it can never change an answer — because every
+//! graph op treats leading-dimension rows independently with pinned
+//! per-element reduction order, and the LUT sweeps are element-wise.
+//! `tests/coalesce.rs` enforces the property over scripted arrival
+//! schedules on a **virtual clock** (no sleeps, no wall-time flakes), and
+//! `tests/concurrency.rs` keeps it intact while
+//! [`Engine::swap`](gqa_serve::Engine::swap) and
+//! [`Engine::refresh`](gqa_serve::Engine::refresh) race live traffic.
+//!
+//! * [`Coalescer`] — all batching policy (flush-by-size, flush-by-
+//!   deadline, model segregation, bounded admission) as a pure,
+//!   explicitly-ticked state machine.
+//! * [`Served`] / [`ServedBuilder`] — the threaded shell: worker pool,
+//!   condvar rendezvous [`Ticket`]s, wall or virtual clock, graceful
+//!   drain on drop.
+//! * [`dispatch_batch`] — the single execution path (stack → one pooled
+//!   forward → slice) shared by the workers, the tests, and the benches.
+//! * [`LatencyHistogram`] — log-bucketed lock-free latency recording,
+//!   with honest interval quantiles ([`HistogramSnapshot`]).
+//! * [`generate_trace`] — seeded Zipfian load (golden-trace pinned) for
+//!   reproducible serving benchmarks.
+//!
+//! ## Example
+//!
+//! ```
+//! use gqa_served::{ModelSpec, Request, ServedBuilder};
+//! use gqa_serve::{EngineBuilder, OperatorPlan};
+//! use gqa_tensor::Tensor;
+//!
+//! let engine = EngineBuilder::new(OperatorPlan::new()).build().unwrap();
+//! let served = ServedBuilder::new(engine)
+//!     .with_model(ModelSpec::new("double", &[2], |g, x| g.scale(x, 2.0)))
+//!     .build();
+//! let out = served
+//!     .serve(Request {
+//!         tenant: 0,
+//!         model: 0,
+//!         input: Tensor::from_vec(vec![1.0, -3.0], &[2]),
+//!     })
+//!     .unwrap();
+//! assert_eq!(out.data, vec![2.0, -6.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod batcher;
+mod histogram;
+mod loadgen;
+mod request;
+mod server;
+
+pub use batcher::{Batch, BatchConfig, Coalescer};
+pub use histogram::{bucket_bounds, bucket_of, HistogramSnapshot, LatencyHistogram, BUCKETS};
+pub use loadgen::{generate_trace, request_input, trace_fingerprint, LoadGenConfig, TraceEntry};
+pub use request::{ModelId, Rejected, Request, ServedError, TenantId};
+pub use server::{
+    dispatch_batch, ForwardFn, ModelSpec, Served, ServedBuilder, ServedConfig, ServedStats, Ticket,
+};

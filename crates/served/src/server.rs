@@ -1,0 +1,744 @@
+//! The thread-pool serving front-end: admission → coalesce → one batched
+//! forward → respond.
+//!
+//! The policy brain is the [`Coalescer`] state machine (deterministic,
+//! tick-driven); this module adds the threading shell around it — a
+//! bounded submit path, a worker pool that executes flushed batches
+//! through one shared [`Session`], per-tenant latency histograms, and a
+//! clock that is either wall time (production) or a virtual counter the
+//! test advances by hand (every concurrency test is sleep-free).
+//!
+//! The execution core is [`dispatch_batch`], a free function: stack the
+//! coalesced inputs into one `[batch, ...]` tensor, run **one** pooled
+//! inference forward, slice the output back into per-request rows. The
+//! worker pool, the correctness tests, and the benchmarks all call this
+//! same function, so what the tests prove is what the server runs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use gqa_serve::{Engine, EngineStats, Session};
+use gqa_tensor::{BufferPool, EvalMode, Graph, NodeId, Tensor};
+
+use crate::batcher::{Batch, BatchConfig, Coalescer};
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use crate::request::{Request, ServedError, TenantId};
+
+/// The model-graph assembly callback: given a tape and the batched input
+/// node, record the forward and return the output node. Must preserve the
+/// leading (batch) dimension.
+pub type ForwardFn = dyn Fn(&mut Graph<'_>, NodeId) -> NodeId + Send + Sync;
+
+/// One servable model: a name, the per-request input shape, and the
+/// forward-assembly callback.
+///
+/// The forward runs on **inference tapes** over the engine's shared
+/// [`Session`], so LUT-served operators, hot swaps, and shard refreshes
+/// all apply; it must treat the leading dimension as an opaque batch axis
+/// (every row independent), which is what makes coalescing invisible.
+#[derive(Clone)]
+pub struct ModelSpec {
+    name: String,
+    row_shape: Vec<usize>,
+    forward: Arc<ForwardFn>,
+}
+
+impl std::fmt::Debug for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelSpec")
+            .field("name", &self.name)
+            .field("row_shape", &self.row_shape)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelSpec {
+    /// A model named `name` taking per-request inputs of shape
+    /// `row_shape` (no batch dimension) through `forward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_shape` is empty or contains a zero dimension.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        row_shape: &[usize],
+        forward: impl Fn(&mut Graph<'_>, NodeId) -> NodeId + Send + Sync + 'static,
+    ) -> Self {
+        assert!(
+            !row_shape.is_empty() && row_shape.iter().all(|&d| d > 0),
+            "row_shape must be non-empty with positive dims, got {row_shape:?}"
+        );
+        Self {
+            name: name.into(),
+            row_shape: row_shape.to_vec(),
+            forward: Arc::new(forward),
+        }
+    }
+
+    /// The model's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-request input shape (without the batch dimension).
+    #[must_use]
+    pub fn row_shape(&self) -> &[usize] {
+        &self.row_shape
+    }
+
+    /// Elements in one request's input.
+    #[must_use]
+    pub fn row_len(&self) -> usize {
+        self.row_shape.iter().product()
+    }
+}
+
+/// Runs one coalesced batch through `session`: stacks `inputs` into a
+/// single `[inputs.len(), ...row_shape]` tensor (drawn from `pool`), runs
+/// **one** pooled inference forward, and slices the output's leading
+/// dimension back into per-request tensors (in input order).
+///
+/// This is the server's entire execution path — the worker pool calls
+/// exactly this — exposed as a free function so the deterministic
+/// scheduler-script tests and the benchmarks drive the identical code.
+///
+/// The coalescing-invisibility contract: element `i` of the returned
+/// vector is `to_bits`-identical to
+/// `dispatch_batch(session, spec, &inputs[i..=i], pool)` — a batch of
+/// one — because every graph op treats leading-dimension rows
+/// independently with a pinned per-element reduction order, and the
+/// backend's non-linear sweeps are element-wise with chunk-seam
+/// invariance.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty, an input's shape differs from
+/// `spec.row_shape()`, or the model's forward does not preserve the batch
+/// dimension.
+#[must_use]
+pub fn dispatch_batch(
+    session: &Session,
+    spec: &ModelSpec,
+    inputs: &[Tensor],
+    pool: &mut BufferPool,
+) -> Vec<Tensor> {
+    let rows = inputs.len();
+    assert!(rows > 0, "dispatch_batch needs at least one request");
+    let row_len = spec.row_len();
+    let mut pool_owned = std::mem::take(pool);
+
+    // Stack the request rows. Every element is overwritten before the
+    // tensor is read, so the stale-reuse pool path applies.
+    let mut data = pool_owned.take_full(rows * row_len);
+    for (i, t) in inputs.iter().enumerate() {
+        assert_eq!(
+            t.shape, spec.row_shape,
+            "request {i} shape mismatch for model {}",
+            spec.name
+        );
+        data[i * row_len..(i + 1) * row_len].copy_from_slice(&t.data);
+    }
+    let mut shape = Vec::with_capacity(spec.row_shape.len() + 1);
+    shape.push(rows);
+    shape.extend_from_slice(&spec.row_shape);
+
+    let mut g = Graph::with_mode(session, EvalMode::Inference, pool_owned);
+    let x = g.input(Tensor::from_vec(data, &shape));
+    let y = (spec.forward)(&mut g, x);
+    let results = {
+        let out = g.value(y);
+        assert_eq!(
+            out.shape.first(),
+            Some(&rows),
+            "model {} must preserve the batch dimension (output shape {:?})",
+            spec.name,
+            out.shape
+        );
+        let out_row_shape = &out.shape[1..];
+        let out_row_len = out.data.len() / rows;
+        (0..rows)
+            .map(|i| {
+                Tensor::from_vec(
+                    out.data[i * out_row_len..(i + 1) * out_row_len].to_vec(),
+                    out_row_shape,
+                )
+            })
+            .collect()
+    };
+    *pool = g.recycle();
+    results
+}
+
+/// Front-end configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedConfig {
+    /// Coalescing policy (batch width, deadline ticks, queue bound).
+    pub batch: BatchConfig,
+    /// Worker threads executing batches. `0` is allowed (nothing
+    /// executes — useful to observe pure admission behaviour).
+    pub workers: usize,
+    /// Size of the dense tenant id space; submissions must use
+    /// `tenant < tenants`. Each tenant gets its own lock-free latency
+    /// histogram.
+    pub tenants: usize,
+    /// Wall-clock duration of one coalescer tick (ignored under a
+    /// virtual clock).
+    pub tick: Duration,
+}
+
+impl Default for ServedConfig {
+    fn default() -> Self {
+        Self {
+            batch: BatchConfig::default(),
+            workers: 2,
+            tenants: 1,
+            tick: Duration::from_micros(100),
+        }
+    }
+}
+
+/// How the front-end reads time.
+#[derive(Debug)]
+enum ClockMode {
+    /// Ticks derived from a monotonic epoch (production).
+    Wall { epoch: Instant, tick: Duration },
+    /// An atomic counter the owner advances by hand
+    /// ([`Served::advance`]) — deterministic, sleep-free tests.
+    Virtual(AtomicU64),
+}
+
+#[derive(Debug)]
+struct Clock {
+    mode: ClockMode,
+}
+
+impl Clock {
+    fn now(&self) -> u64 {
+        match &self.mode {
+            ClockMode::Wall { epoch, tick } => {
+                (epoch.elapsed().as_nanos() / tick.as_nanos().max(1)) as u64
+            }
+            ClockMode::Virtual(t) => t.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// One request's response rendezvous.
+struct Slot {
+    result: Mutex<Option<Result<Tensor, ServedError>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, r: Result<Tensor, ServedError>) {
+        let mut slot = self.result.lock().expect("slot lock");
+        if slot.is_none() {
+            *slot = Some(r);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// A pending response handle returned by [`Served::submit`].
+///
+/// Dropping a ticket abandons the response (the request still executes
+/// with its batch); [`Ticket::wait`] blocks until the worker pool
+/// fulfills it.
+#[must_use = "a ticket resolves to the response; drop it only to abandon the request"]
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the response is ready (condvar rendezvous, no
+    /// polling).
+    ///
+    /// # Errors
+    ///
+    /// [`ServedError::ShuttingDown`] if the server was dropped before the
+    /// request could execute.
+    pub fn wait(self) -> Result<Tensor, ServedError> {
+        let mut r = self.slot.result.lock().expect("slot lock");
+        loop {
+            match r.take() {
+                Some(out) => return out,
+                None => r = self.slot.cv.wait(r).expect("slot wait"),
+            }
+        }
+    }
+
+    /// Non-blocking check: the response if it is already available.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ticket::wait`] once the response has resolved to an
+    /// error; returns `Err(self)`-free `Option` semantics otherwise —
+    /// `None` simply means "not done yet" and the ticket stays usable.
+    pub fn try_take(&self) -> Option<Result<Tensor, ServedError>> {
+        self.slot.result.lock().expect("slot lock").take()
+    }
+}
+
+/// One queued request inside the worker machinery.
+struct Job {
+    tenant: TenantId,
+    input: Tensor,
+    slot: Arc<Slot>,
+    started: Instant,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    batched_rows: AtomicU64,
+}
+
+/// Point-in-time front-end counters (plus the engine's own stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Responses delivered.
+    pub completed: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Coalesced batches executed.
+    pub batches: u64,
+    /// Total request rows across those batches.
+    pub batched_rows: u64,
+    /// Requests queued right now.
+    pub depth: usize,
+    /// The engine's control-plane counters.
+    pub engine: EngineStats,
+}
+
+impl ServedStats {
+    /// Mean coalesced batch width (0 before the first batch).
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_rows as f64 / self.batches as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServedStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} submitted, {} completed, {} rejected, {} batches (mean width {:.1}), \
+             {} queued; engine: {}",
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.batches,
+            self.mean_batch(),
+            self.depth,
+            self.engine
+        )
+    }
+}
+
+struct Inner {
+    engine: Engine,
+    session: Session,
+    models: Vec<ModelSpec>,
+    queue: Mutex<Coalescer<Job>>,
+    work: Condvar,
+    clock: Clock,
+    tick: Duration,
+    shutdown: AtomicBool,
+    counters: Counters,
+    tenants: Vec<LatencyHistogram>,
+}
+
+impl Inner {
+    /// Blocks until new work may exist. Virtual clocks wait for a
+    /// notification (submit / advance / shutdown); wall clocks also wake
+    /// at the next queued deadline so a lone request cannot stall past
+    /// `max_wait`.
+    fn wait_for_work<'q>(
+        &self,
+        q: MutexGuard<'q, Coalescer<Job>>,
+    ) -> MutexGuard<'q, Coalescer<Job>> {
+        match (&self.clock.mode, q.next_deadline()) {
+            (ClockMode::Wall { .. }, Some(deadline)) => {
+                let ticks = deadline.saturating_sub(self.clock.now()).max(1);
+                let dur = Duration::from_nanos((self.tick.as_nanos() as u64).saturating_mul(ticks))
+                    + self.tick / 2;
+                self.work.wait_timeout(q, dur).expect("queue wait").0
+            }
+            _ => self.work.wait(q).expect("queue wait"),
+        }
+    }
+
+    fn execute(&self, batch: Batch<Job>, pool: &mut BufferPool) {
+        let spec = &self.models[batch.model];
+        let rows = batch.items.len();
+        let mut inputs = Vec::with_capacity(rows);
+        let mut meta = Vec::with_capacity(rows);
+        for job in batch.items {
+            inputs.push(job.input);
+            meta.push((job.tenant, job.slot, job.started));
+        }
+        let outputs = dispatch_batch(&self.session, spec, &inputs, pool);
+        // All bookkeeping lands before the slots resolve, so a caller that
+        // has collected every response observes fully settled counters.
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .batched_rows
+            .fetch_add(rows as u64, Ordering::Relaxed);
+        for ((tenant, slot, started), out) in meta.into_iter().zip(outputs) {
+            self.tenants[tenant].record(started.elapsed().as_nanos() as u64);
+            self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            slot.fulfill(Ok(out));
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut pool = BufferPool::new();
+    loop {
+        let batch = {
+            let mut q = inner.queue.lock().expect("queue lock");
+            loop {
+                let now = inner.clock.now();
+                if let Some(b) = q.poll(now) {
+                    // More flushable work behind this batch: chain-wake a
+                    // sibling before leaving the lock for the forward.
+                    if q.ready(now) {
+                        inner.work.notify_one();
+                    }
+                    break Some(b);
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    // Graceful drain: everything admitted still executes.
+                    break q.drain();
+                }
+                q = inner.wait_for_work(q);
+            }
+        };
+        match batch {
+            Some(b) => inner.execute(b, &mut pool),
+            None => return,
+        }
+    }
+}
+
+/// Builds a [`Served`] front-end over an [`Engine`].
+pub struct ServedBuilder {
+    engine: Engine,
+    models: Vec<ModelSpec>,
+    config: ServedConfig,
+    virtual_clock: bool,
+}
+
+impl std::fmt::Debug for ServedBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedBuilder")
+            .field("models", &self.models.len())
+            .field("config", &self.config)
+            .field("virtual_clock", &self.virtual_clock)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServedBuilder {
+    /// Builder over `engine` with the default [`ServedConfig`].
+    #[must_use]
+    pub fn new(engine: Engine) -> Self {
+        Self {
+            engine,
+            models: Vec::new(),
+            config: ServedConfig::default(),
+            virtual_clock: false,
+        }
+    }
+
+    /// Registers a model; its [`crate::ModelId`] is its registration
+    /// order.
+    #[must_use]
+    pub fn with_model(mut self, spec: ModelSpec) -> Self {
+        self.models.push(spec);
+        self
+    }
+
+    /// Overrides the front-end configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: ServedConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces wall time with a virtual tick counter the owner advances
+    /// via [`Served::advance`] — the deterministic-test mode: no flush
+    /// ever depends on a real timer, so scripted schedules reproduce
+    /// exactly.
+    #[must_use]
+    pub fn with_virtual_clock(mut self) -> Self {
+        self.virtual_clock = true;
+        self
+    }
+
+    /// Starts the worker pool and returns the running front-end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no models were registered or `tenants == 0` — both are
+    /// configuration bugs, not runtime states.
+    #[must_use]
+    pub fn build(self) -> Served {
+        assert!(!self.models.is_empty(), "a server needs at least one model");
+        assert!(
+            self.config.tenants > 0,
+            "a server needs at least one tenant"
+        );
+        let clock = Clock {
+            mode: if self.virtual_clock {
+                ClockMode::Virtual(AtomicU64::new(0))
+            } else {
+                ClockMode::Wall {
+                    epoch: Instant::now(),
+                    tick: self.config.tick,
+                }
+            },
+        };
+        let session = self.engine.session();
+        let inner = Arc::new(Inner {
+            engine: self.engine,
+            session,
+            queue: Mutex::new(Coalescer::new(self.models.len(), self.config.batch)),
+            models: self.models,
+            work: Condvar::new(),
+            clock,
+            tick: self.config.tick,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            tenants: (0..self.config.tenants)
+                .map(|_| LatencyHistogram::new())
+                .collect(),
+        });
+        let workers = (0..self.config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("gqa-served-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Served { inner, workers }
+    }
+}
+
+/// The running multi-tenant serving front-end.
+///
+/// Submissions are admitted into a bounded queue, coalesced per model by
+/// the [`Coalescer`] policy, executed as single batched forwards through
+/// one shared [`Session`] (so [`Engine::swap`] / [`Engine::refresh`]
+/// retune live traffic), and answered through [`Ticket`]s. Dropping the
+/// server drains the queue gracefully — everything admitted executes —
+/// then joins the workers.
+pub struct Served {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Served {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Served")
+            .field("models", &self.inner.models.len())
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Served {
+    /// Admits one request, returning its response [`Ticket`].
+    ///
+    /// Validation (model id, tenant id, input shape) happens before the
+    /// queue is touched; admission control happens inside it. A rejected
+    /// or invalid request leaves no trace in the queue.
+    ///
+    /// # Errors
+    ///
+    /// [`ServedError::UnknownModel`] / [`ServedError::UnknownTenant`] /
+    /// [`ServedError::BadShape`] on validation failure,
+    /// [`ServedError::Rejected`] on backpressure,
+    /// [`ServedError::ShuttingDown`] after the server started dropping.
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServedError> {
+        let inner = &*self.inner;
+        let spec = inner
+            .models
+            .get(req.model)
+            .ok_or(ServedError::UnknownModel(req.model))?;
+        if req.tenant >= inner.tenants.len() {
+            return Err(ServedError::UnknownTenant(req.tenant));
+        }
+        if req.input.shape != spec.row_shape {
+            return Err(ServedError::BadShape {
+                model: req.model,
+                expected: spec.row_shape.clone(),
+                got: req.input.shape,
+            });
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServedError::ShuttingDown);
+        }
+        let slot = Arc::new(Slot::new());
+        let job = Job {
+            tenant: req.tenant,
+            input: req.input,
+            slot: Arc::clone(&slot),
+            started: Instant::now(),
+        };
+        let mut q = inner.queue.lock().expect("queue lock");
+        match q.submit(req.model, job, inner.clock.now()) {
+            Ok(()) => {
+                drop(q);
+                inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                inner.work.notify_one();
+                Ok(Ticket { slot })
+            }
+            Err((rejected, _job)) => {
+                drop(q);
+                inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServedError::Rejected(rejected))
+            }
+        }
+    }
+
+    /// Submit and block for the response — the closed-loop client call.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Served::submit`] and [`Ticket::wait`] can return.
+    pub fn serve(&self, req: Request) -> Result<Tensor, ServedError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Advances the virtual clock by `ticks` and wakes the workers —
+    /// deterministic time for the scheduler-script tests. Returns the new
+    /// tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server runs on the wall clock (build with
+    /// [`ServedBuilder::with_virtual_clock`]).
+    pub fn advance(&self, ticks: u64) -> u64 {
+        match &self.inner.clock.mode {
+            ClockMode::Virtual(t) => {
+                let now = t.fetch_add(ticks, Ordering::AcqRel) + ticks;
+                self.inner.work.notify_all();
+                now
+            }
+            ClockMode::Wall { .. } => {
+                panic!("advance() needs a virtual clock (ServedBuilder::with_virtual_clock)")
+            }
+        }
+    }
+
+    /// The current tick (wall-derived or virtual).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.inner.clock.now()
+    }
+
+    /// The engine behind the front-end — the control plane for
+    /// [`Engine::swap`] / [`Engine::refresh`] under live traffic.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// Front-end + engine counters.
+    #[must_use]
+    pub fn stats(&self) -> ServedStats {
+        let c = &self.inner.counters;
+        ServedStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_rows: c.batched_rows.load(Ordering::Relaxed),
+            depth: self.inner.queue.lock().expect("queue lock").depth(),
+            engine: self.inner.engine.stats(),
+        }
+    }
+
+    /// Latency snapshot for one tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is outside the configured tenant space.
+    #[must_use]
+    pub fn tenant_latency(&self, tenant: TenantId) -> HistogramSnapshot {
+        self.inner.tenants[tenant].snapshot()
+    }
+
+    /// Latency snapshot merged across every tenant.
+    #[must_use]
+    pub fn latency(&self) -> HistogramSnapshot {
+        let mut all = self.inner.tenants[0].snapshot();
+        for t in &self.inner.tenants[1..] {
+            all.merge(&t.snapshot());
+        }
+        all
+    }
+}
+
+impl Drop for Served {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Workers drained and executed everything they could; anything
+        // still queued (a zero-worker server, or a submit that raced the
+        // drain) fails loudly instead of leaving waiters hanging.
+        if let Ok(mut q) = self.inner.queue.lock() {
+            while let Some(batch) = q.drain() {
+                for job in batch.items {
+                    job.slot.fulfill(Err(ServedError::ShuttingDown));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The front-end types cross thread boundaries by design.
+    #[test]
+    fn served_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Served>();
+        assert_send_sync::<ModelSpec>();
+        assert_send_sync::<Ticket>();
+        assert_send_sync::<ServedStats>();
+    }
+}

@@ -92,6 +92,25 @@ impl Criterion {
         self
     }
 
+    /// Records an externally measured result (and prints it) alongside the
+    /// `bench_function` measurements — for metrics the iterate-a-closure
+    /// harness cannot express, like latency percentiles extracted from a
+    /// histogram after a sustained load run. `ns_per_iter` carries the
+    /// metric in nanoseconds; `iterations` the number of samples behind it.
+    pub fn record(&mut self, name: &str, ns_per_iter: f64, iterations: u64) -> &mut Self {
+        let result = BenchResult {
+            name: name.to_owned(),
+            ns_per_iter,
+            iterations,
+        };
+        println!(
+            "bench {:<48} {:>14.1} ns/iter  ({} iters)",
+            result.name, result.ns_per_iter, result.iterations
+        );
+        self.results.push(result);
+        self
+    }
+
     /// All results recorded so far.
     #[must_use]
     pub fn results(&self) -> &[BenchResult] {

@@ -19,6 +19,10 @@
 //!   resolved into per-operator hot-swap datapaths behind cloneable
 //!   [`serve::Session`] handles, with an operator-level control plane
 //!   (`swap`/`refresh`/`stats`) and per-operator snapshot shards.
+//! * [`served`] — the multi-tenant serving front-end above the engine:
+//!   bounded admission, per-model request coalescing into single batched
+//!   forwards (bit-invisible to callers), per-tenant lock-free latency
+//!   histograms, and deterministic Zipfian load generation.
 //! * [`quant`] — LSQ / power-of-two quantizers and integer-only pipeline glue.
 //! * [`tensor`] — minimal CPU tensor library with reverse-mode autodiff.
 //! * [`data`] — SynthScapes synthetic segmentation dataset + mIoU metrics.
@@ -92,5 +96,6 @@ pub use gqa_pwl as pwl;
 pub use gqa_quant as quant;
 pub use gqa_registry as registry;
 pub use gqa_serve as serve;
+pub use gqa_served as served;
 pub use gqa_simd as simd;
 pub use gqa_tensor as tensor;

@@ -10,7 +10,28 @@ use gqa::models::{
 };
 use gqa::registry::LutRegistry;
 use gqa::serve::{EngineBuilder, OpPlan};
-use gqa::tensor::{ExactBackend, Graph, ParamStore, Tensor, UnaryBackend, UnaryKind};
+use gqa::tensor::{
+    BufferPool, EvalMode, ExactBackend, Graph, ParamStore, Tensor, UnaryBackend, UnaryKind,
+};
+
+/// One forward on the serving hot path — inference tape over a recycled
+/// buffer pool — returning the output tensor. Training tests keep their
+/// own `Graph::new` tapes; every pure forward in this suite goes through
+/// here.
+fn forward_pooled(
+    backend: &dyn UnaryBackend,
+    model: &SegformerLite,
+    ps: &ParamStore,
+    image: &Tensor,
+    pool: &mut BufferPool,
+) -> Tensor {
+    let mut g = Graph::with_mode(backend, EvalMode::Inference, std::mem::take(pool));
+    let x = g.input(image.clone());
+    let n = model.forward(&mut g, ps, x);
+    let out = g.value(n).clone();
+    *pool = g.recycle();
+    out
+}
 
 /// One registry shared by every engine in this binary, so repeated specs
 /// run zero extra search generations (the role `LutRegistry::global()`
@@ -44,23 +65,18 @@ fn segformer_logits_with_pwl_backend_stay_close_to_exact() {
     let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 5);
     let image = Tensor::full(&[1, 3, 16, 16], 0.4);
 
+    // All three passes (reference, calibration, LUT-served) are pure
+    // forwards: inference tapes sharing one recycled buffer pool.
+    let mut pool = BufferPool::new();
     let exact = ExactBackend;
-    let mut g = Graph::new(&exact);
-    let x = g.input(image.clone());
-    let logits_node = model.forward(&mut g, &ps, x);
-    let exact_logits = g.value(logits_node).clone();
+    let exact_logits = forward_pooled(&exact, &model, &ps, &image, &mut pool);
 
     // Calibrate, then route every paper operator through GQA-LUT w/ RM.
     let calib = CalibrationRecorder::new();
-    let mut gc = Graph::new(&calib);
-    let xc = gc.input(image.clone());
-    let _ = model.forward(&mut gc, &ps, xc);
+    let _ = forward_pooled(&calib, &model, &ps, &image, &mut pool);
     let backend = engine_session(Method::GqaRm, ReplaceSet::all(), &calib, 5, 0.1);
 
-    let mut gp = Graph::new(&backend);
-    let xp = gp.input(image);
-    let pwl_node = model.forward(&mut gp, &ps, xp);
-    let pwl_logits = gp.value(pwl_node).clone();
+    let pwl_logits = forward_pooled(&backend, &model, &ps, &image, &mut pool);
 
     assert_eq!(exact_logits.shape, pwl_logits.shape);
     let mut worst = 0.0f32;
@@ -135,45 +151,35 @@ fn hot_swap_moves_a_live_model_between_backends() {
     let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 5);
     let image = Tensor::full(&[1, 3, 16, 16], 0.4);
 
-    // Reference logits on the exact backend.
+    // Reference logits on the exact backend — pooled inference forward.
+    let mut pool = BufferPool::new();
     let exact = ExactBackend;
-    let mut g = Graph::new(&exact);
-    let x = g.input(image.clone());
-    let exact_logits = {
-        let n = model.forward(&mut g, &ps, x);
-        g.value(n).clone()
-    };
+    let exact_logits = forward_pooled(&exact, &model, &ps, &image, &mut pool);
+    let bits = |t: &Tensor| t.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
 
     let calib = CalibrationRecorder::new();
-    let mut gc = Graph::new(&calib);
-    let xc = gc.input(image.clone());
-    let _ = model.forward(&mut gc, &ps, xc);
+    let _ = forward_pooled(&calib, &model, &ps, &image, &mut pool);
     // Same plan as segformer_logits_... and a shared registry, so this
     // engine build runs zero search generations; the session then swaps
     // into the raw hot-swap cell like any other backend.
     let pwl = engine_session(Method::GqaRm, ReplaceSet::all(), &calib, 5, 0.1);
 
-    // One graph handle, two datapaths: swap mid-session without
-    // reassembling the model.
+    // One hot-swap cell, two datapaths: swap between pooled forwards
+    // without reassembling the model — the pool survives the swap too.
     let hot = HotSwapBackend::default();
-    let mut gh = Graph::new(&hot);
-    let xh = gh.input(image.clone());
-    let via_exact = {
-        let n = model.forward(&mut gh, &ps, xh);
-        gh.value(n).clone()
-    };
-    assert_eq!(via_exact.data, exact_logits.data, "exact route is exact");
+    let via_exact = forward_pooled(&hot, &model, &ps, &image, &mut pool);
+    assert_eq!(
+        bits(&via_exact),
+        bits(&exact_logits),
+        "exact route is exact"
+    );
 
     hot.swap(Arc::new(pwl));
-    let mut gh2 = Graph::new(&hot);
-    let xh2 = gh2.input(image);
-    let via_pwl = {
-        let n = model.forward(&mut gh2, &ps, xh2);
-        gh2.value(n).clone()
-    };
+    let via_pwl = forward_pooled(&hot, &model, &ps, &image, &mut pool);
     assert_eq!(via_pwl.shape, exact_logits.shape);
     assert_ne!(
-        via_pwl.data, exact_logits.data,
+        bits(&via_pwl),
+        bits(&exact_logits),
         "LUT datapath must actually be in use after the swap"
     );
 }

@@ -10,7 +10,7 @@ use gqa::models::{
     SegformerLite,
 };
 use gqa::serve::{EngineBuilder, OpPlan, OperatorPlan};
-use gqa::tensor::{Graph, ParamStore, Tensor, UnaryBackend, UnaryKind};
+use gqa::tensor::{BufferPool, EvalMode, Graph, ParamStore, Tensor, UnaryBackend, UnaryKind};
 
 #[test]
 fn deprecated_build_lut_matches_engine_artifact_bitwise() {
@@ -39,7 +39,7 @@ fn deprecated_pwl_backend_matches_session_bitwise() {
     let mut ps = ParamStore::new();
     let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 11);
     let calib = CalibrationRecorder::new();
-    let mut g = Graph::new(&calib);
+    let mut g = Graph::new_inference(&calib);
     let x = g.input(Tensor::full(&[1, 3, 16, 16], 0.4));
     let _ = model.forward(&mut g, &ps, x);
 
@@ -93,8 +93,10 @@ fn model_forward_is_bit_identical_on_shim_and_session() {
     let mut ps = ParamStore::new();
     let model = SegformerLite::new(&mut ps, SegConfig::tiny(), 12);
     let image = Tensor::full(&[1, 3, 16, 16], 0.3);
+    // Calibration only reads forward activations — an inference tape is
+    // the right tool (no gradient bookkeeping).
     let calib = CalibrationRecorder::new();
-    let mut gc = Graph::new(&calib);
+    let mut gc = Graph::new_inference(&calib);
     let xc = gc.input(image.clone());
     let _ = model.forward(&mut gc, &ps, xc);
 
@@ -104,11 +106,17 @@ fn model_forward_is_bit_identical_on_shim_and_session() {
         .calibrated(&calib);
     let session = EngineBuilder::new(plan).build().unwrap().session();
 
-    let forward = |backend: &dyn UnaryBackend| {
-        let mut g = Graph::new(backend);
+    // The serving hot path: inference tapes over a recycled buffer pool,
+    // compared in raw bits. The pool is threaded through both forwards,
+    // so stale-buffer reuse is part of what the equality proves.
+    let mut pool = BufferPool::new();
+    let mut forward = |backend: &dyn UnaryBackend| {
+        let mut g = Graph::with_mode(backend, EvalMode::Inference, std::mem::take(&mut pool));
         let x = g.input(image.clone());
         let n = model.forward(&mut g, &ps, x);
-        g.value(n).data.clone()
+        let bits: Vec<u32> = g.value(n).data.iter().map(|v| v.to_bits()).collect();
+        pool = g.recycle();
+        bits
     };
     assert_eq!(
         forward(&shim),
