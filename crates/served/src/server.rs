@@ -285,11 +285,15 @@ impl Ticket {
 
     /// Non-blocking check: the response if it is already available.
     ///
+    /// `None` means "not done yet" and the ticket stays usable. A `Some`
+    /// return **consumes** the response: the slot is emptied, so a later
+    /// [`Ticket::wait`] (or `try_take`) on the same ticket would block
+    /// forever / return `None` — take the `Some` as the final answer.
+    ///
     /// # Errors
     ///
     /// Same as [`Ticket::wait`] once the response has resolved to an
-    /// error; returns `Err(self)`-free `Option` semantics otherwise —
-    /// `None` simply means "not done yet" and the ticket stays usable.
+    /// error.
     pub fn try_take(&self) -> Option<Result<Tensor, ServedError>> {
         self.slot.result.lock().expect("slot lock").take()
     }
@@ -505,14 +509,19 @@ impl ServedBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if no models were registered or `tenants == 0` — both are
-    /// configuration bugs, not runtime states.
+    /// Panics if no models were registered, `tenants == 0`, or a
+    /// wall-clock server has a zero `tick` — all configuration bugs, not
+    /// runtime states.
     #[must_use]
     pub fn build(self) -> Served {
         assert!(!self.models.is_empty(), "a server needs at least one model");
         assert!(
             self.config.tenants > 0,
             "a server needs at least one tenant"
+        );
+        assert!(
+            self.virtual_clock || self.config.tick > Duration::ZERO,
+            "wall-clock servers need a non-zero tick (workers would busy-spin)"
         );
         let clock = Clock {
             mode: if self.virtual_clock {
@@ -616,8 +625,11 @@ impl Served {
         let mut q = inner.queue.lock().expect("queue lock");
         match q.submit(req.model, job, inner.clock.now()) {
             Ok(()) => {
-                drop(q);
+                // Count before releasing the lock: a worker may execute
+                // the job (bumping `completed`) the instant the lock
+                // drops, and stats() must never see completed > submitted.
                 inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                drop(q);
                 inner.work.notify_one();
                 Ok(Ticket { slot })
             }
@@ -649,7 +661,14 @@ impl Served {
     pub fn advance(&self, ticks: u64) -> u64 {
         match &self.inner.clock.mode {
             ClockMode::Virtual(t) => {
+                // Publish the tick while holding the queue lock: a worker
+                // checks `clock.now()` under that lock, so updating the
+                // atomic without it could interleave between the check and
+                // the worker entering `Condvar::wait`, and the notify
+                // below would be lost (worker sleeps through the tick).
+                let q = self.inner.queue.lock().expect("queue lock");
                 let now = t.fetch_add(ticks, Ordering::AcqRel) + ticks;
+                drop(q);
                 self.inner.work.notify_all();
                 now
             }
@@ -710,7 +729,14 @@ impl Served {
 
 impl Drop for Served {
     fn drop(&mut self) {
+        // Set the flag while holding the queue lock (same lost-wakeup
+        // hazard as `advance`: workers read `shutdown` under the lock
+        // just before waiting). A poisoned lock still holds the guard
+        // inside the PoisonError, so the critical section is preserved
+        // even if a worker panicked.
+        let guard = self.inner.queue.lock();
         self.inner.shutdown.store(true, Ordering::Release);
+        drop(guard);
         self.inner.work.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
