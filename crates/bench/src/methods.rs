@@ -19,9 +19,11 @@ pub fn build_lut(method: Method, op: NonLinearOp, entries: usize, seed: u64) -> 
 
 /// [`build_lut`] with a reduced search budget (unit tests / smoke rows).
 ///
-/// Delegates to the `gqa-models` shim (deprecated there, but pinned
-/// bit-identical to the engine path by `tests/serving_engine.rs`) so the
-/// plan→spec construction has exactly one spelling.
+/// The serving layer's one spelling of plan→artifact: an
+/// [`gqa_serve::OpPlan`] entry resolved through the process-global
+/// [`gqa_registry::LutRegistry`] — exactly what an
+/// `EngineBuilder`-owned registry does, so artifacts are bit-identical
+/// to the engine path and every `GQA_LUT_SNAPSHOT` warm-start is shared.
 ///
 /// # Panics
 ///
@@ -34,8 +36,15 @@ pub fn build_lut_budgeted(
     seed: u64,
     budget: f64,
 ) -> QuantAwareLut {
-    #[allow(deprecated)]
-    gqa_models::luts::build_lut_budgeted(method, op, entries, seed, budget)
+    let spec = gqa_serve::OpPlan::new(method)
+        .with_entries(entries)
+        .with_seed(seed)
+        .with_budget(budget)
+        .spec(op);
+    match gqa_registry::LutRegistry::global().get_or_build(&spec) {
+        Ok(lut) => (*lut).clone(),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// §4.1 protocol for the scale-dependent operators (GELU/HSWISH/EXP):

@@ -11,12 +11,18 @@
 use gqa_funcs::{BatchEval, NonLinearOp};
 use gqa_fxp::PowerOfTwoScale;
 use gqa_pwl::{IntLutInstance, MultiRangeLut, QuantAwareLut};
-use gqa_registry::{LutBuildError, LutRegistry};
-use gqa_serve::{build_datapath, OpDatapath, OpPlan};
+#[cfg(any(feature = "legacy", test))]
+use gqa_registry::LutBuildError;
+#[cfg(any(feature = "legacy", test))]
+use gqa_registry::LutRegistry;
+#[cfg(any(feature = "legacy", test))]
+use gqa_serve::OpPlan;
+use gqa_serve::{build_datapath, OpDatapath};
 use gqa_tensor::{ExactBackend, UnaryBackend, UnaryKind};
 
 pub use gqa_serve::CalibrationRecorder;
 
+#[cfg(any(feature = "legacy", test))]
 use crate::luts::Method;
 
 /// Which operators are LUT-replaced (the "Replacement" column of Tables
@@ -162,6 +168,7 @@ impl PwlBackend {
     ///
     /// Panics if `budget` is out of `(0, 1]`; see
     /// [`PwlBackend::try_build`] for the typed-error variant.
+    #[cfg(any(feature = "legacy", test))]
     #[deprecated(
         since = "0.1.0",
         note = "build an `OperatorPlan` and serve through \
@@ -188,6 +195,7 @@ impl PwlBackend {
     ///
     /// Returns [`LutBuildError`] if the budget or entry configuration is
     /// out of domain.
+    #[cfg(any(feature = "legacy", test))]
     #[deprecated(
         since = "0.1.0",
         note = "build an `OperatorPlan` and serve through \
@@ -216,6 +224,7 @@ impl PwlBackend {
     ///
     /// Returns [`LutBuildError`] if the budget or entry configuration is
     /// out of domain.
+    #[cfg(any(feature = "legacy", test))]
     #[deprecated(
         since = "0.1.0",
         note = "build an `OperatorPlan` and serve through \

@@ -1,0 +1,414 @@
+//! A small autoregressive decoder: the steady-state per-token workload
+//! the serving engine is measured on.
+//!
+//! [`DecoderLayer`] is a pre-norm transformer block (LayerNorm →
+//! single-head self-attention → residual → LayerNorm → GELU FFN →
+//! residual) with **two spellings** of the same math:
+//!
+//! * [`DecoderLayer::forward`] — the full-prefix forward over `(T, C)`
+//!   token rows, attention as one causal [`Graph::attention_causal`]
+//!   node (row `t` attends rows `0..=t`);
+//! * [`DecoderLayer::step`] — the incremental spelling: one `(1, C)` token
+//!   row, k/v appended to a [`KvCache`], attention as one
+//!   [`Graph::attention_decode`] node over the cached prefix.
+//!
+//! **Prefix equivalence**: step `t` (cache holding tokens `0..=t`) is
+//! `to_bits`-identical to row `t` of `forward` over the `t+1`-token
+//! prefix. Every non-attention op in the block is row-wise with pinned
+//! per-row reduction order (matmul add order depends only on the query
+//! row and weight column; LayerNorm/GELU sweeps are element-wise per
+//! row), and the attention node carries the contract pinned in
+//! `gqa-tensor`'s `decode_equivalence` suite. The non-linear stages (EXP,
+//! DIV, RSQRT, GELU) go through the [`UnaryBackend`] exactly as in the
+//! full forward — one whole-tensor call per stage — so LUT-served
+//! sessions and mid-decode hot swaps affect both spellings identically.
+//!
+//! [`TinyDecoder`] stacks layers behind a token embedding and a
+//! vocabulary head, and [`TinyDecoder::greedy_decode`] is the
+//! KV-cached greedy generation driver.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gqa_tensor::nn::{LayerNorm, Linear};
+use gqa_tensor::{
+    BufferPool, EvalMode, Graph, KvCache, NodeId, ParamStore, Tensor, UnaryBackend, UnaryKind,
+};
+
+/// [`TinyDecoder`] hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecoderConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model (embedding / residual) width.
+    pub dim: usize,
+    /// FFN expansion ratio.
+    pub ffn_ratio: usize,
+    /// Number of decoder layers.
+    pub layers: usize,
+}
+
+impl DecoderConfig {
+    /// Minimal configuration for unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            vocab: 17,
+            dim: 8,
+            ffn_ratio: 2,
+            layers: 2,
+        }
+    }
+
+    /// The `decode/*` benchmark configuration.
+    #[must_use]
+    pub fn benchmark() -> Self {
+        Self {
+            vocab: 256,
+            dim: 64,
+            ffn_ratio: 2,
+            layers: 2,
+        }
+    }
+}
+
+/// One pre-norm decoder block. See the module docs for the two-spelling
+/// (full-prefix / incremental) contract.
+#[derive(Debug, Clone)]
+pub struct DecoderLayer {
+    ln1: LayerNorm,
+    q: Linear,
+    k: Linear,
+    v: Linear,
+    proj: Linear,
+    ln2: LayerNorm,
+    fc1: Linear,
+    fc2: Linear,
+    dim: usize,
+}
+
+impl DecoderLayer {
+    /// Allocates the block's parameters (Kaiming init from `rng`).
+    #[must_use]
+    pub fn new(ps: &mut ParamStore, dim: usize, ffn_ratio: usize, rng: &mut StdRng) -> Self {
+        let hidden = dim * ffn_ratio;
+        Self {
+            ln1: LayerNorm::new(ps, dim, 1e-5),
+            q: Linear::new(ps, dim, dim, rng),
+            k: Linear::new(ps, dim, dim, rng),
+            v: Linear::new(ps, dim, dim, rng),
+            proj: Linear::new(ps, dim, dim, rng),
+            ln2: LayerNorm::new(ps, dim, 1e-5),
+            fc1: Linear::new(ps, dim, hidden, rng),
+            fc2: Linear::new(ps, hidden, dim, rng),
+            dim,
+        }
+    }
+
+    /// Model width.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn scale(&self) -> f32 {
+        1.0 / (self.dim as f32).sqrt()
+    }
+
+    /// Full-prefix forward over `(T, C)` token rows. Attention is
+    /// **causal** ([`Graph::attention_causal`]): row `t` attends rows
+    /// `0..=t`, which is what makes KV-cached [`DecoderLayer::step`] an
+    /// exact (bitwise) re-spelling of this pass row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x` is `(T, C)` with `C == self.dim()`.
+    pub fn forward(&self, g: &mut Graph<'_>, ps: &ParamStore, x: NodeId) -> NodeId {
+        let shape = g.value(x).shape.clone();
+        assert_eq!(shape.len(), 2, "forward takes (T, C) rows");
+        assert_eq!(shape[1], self.dim, "token width mismatch");
+
+        let normed = self.ln1.apply(g, ps, x);
+        let q = self.q.apply(g, ps, normed);
+        let k = self.k.apply(g, ps, normed);
+        let v = self.v.apply(g, ps, normed);
+        let ctx = g.attention_causal(q, k, v, self.scale());
+        let projected = self.proj.apply(g, ps, ctx);
+
+        let (x, normed) = self.ln2.apply_residual(g, ps, x, projected);
+        let hidden = self.fc1.apply(g, ps, normed);
+        let act = g.unary(hidden, UnaryKind::Gelu);
+        let out = self.fc2.apply(g, ps, act);
+        g.add(x, out)
+    }
+
+    /// Incremental step: one `(1, C)` token row against `cache`. Appends
+    /// this token's k/v rows to the cache, then attends over the whole
+    /// cached prefix (including the new token). Bit-identical to the last
+    /// row of [`DecoderLayer::forward`] over the same prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x` is `(1, C)` with `C == self.dim()`, or if the
+    /// cache is full or of mismatched width.
+    pub fn step(
+        &self,
+        g: &mut Graph<'_>,
+        ps: &ParamStore,
+        x: NodeId,
+        cache: &mut KvCache,
+    ) -> NodeId {
+        let shape = g.value(x).shape.clone();
+        assert_eq!(shape, vec![1, self.dim], "step takes one (1, C) row");
+
+        let normed = self.ln1.apply(g, ps, x);
+        let q = self.q.apply(g, ps, normed);
+        let k = self.k.apply(g, ps, normed);
+        let v = self.v.apply(g, ps, normed);
+        cache.append(&g.value(k).data, &g.value(v).data);
+        let ctx = g.attention_decode(q, cache, self.scale());
+        let projected = self.proj.apply(g, ps, ctx);
+
+        let (x, normed) = self.ln2.apply_residual(g, ps, x, projected);
+        let hidden = self.fc1.apply(g, ps, normed);
+        let act = g.unary(hidden, UnaryKind::Gelu);
+        let out = self.fc2.apply(g, ps, act);
+        g.add(x, out)
+    }
+}
+
+/// A [`DecoderLayer`] stack behind a token embedding and a vocabulary
+/// head — the smallest model that exercises the full autoregressive
+/// serving loop (embed → blocks → final norm → logits).
+#[derive(Debug, Clone)]
+pub struct TinyDecoder {
+    config: DecoderConfig,
+    embed: gqa_tensor::ParamId,
+    layers: Vec<DecoderLayer>,
+    ln_f: LayerNorm,
+    head: Linear,
+}
+
+impl TinyDecoder {
+    /// Allocates all parameters in `ps` (seeded Kaiming init).
+    #[must_use]
+    pub fn new(ps: &mut ParamStore, config: DecoderConfig, seed: u64) -> Self {
+        assert!(config.vocab > 0 && config.dim > 0 && config.layers > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let embed = ps.alloc(Tensor::kaiming(
+            &[config.vocab, config.dim],
+            config.dim,
+            &mut rng,
+        ));
+        let layers = (0..config.layers)
+            .map(|_| DecoderLayer::new(ps, config.dim, config.ffn_ratio, &mut rng))
+            .collect();
+        let ln_f = LayerNorm::new(ps, config.dim, 1e-5);
+        let head = Linear::new(ps, config.dim, config.vocab, &mut rng);
+        Self {
+            config,
+            embed,
+            layers,
+            ln_f,
+            head,
+        }
+    }
+
+    /// The configuration this decoder was built with.
+    #[must_use]
+    pub fn config(&self) -> &DecoderConfig {
+        &self.config
+    }
+
+    /// One fresh [`KvCache`] per layer, sized for `max_len` tokens, with
+    /// buffers drawn from `pool`.
+    #[must_use]
+    pub fn new_caches(&self, max_len: usize, pool: &mut BufferPool) -> Vec<KvCache> {
+        (0..self.config.layers)
+            .map(|_| KvCache::with_pool(max_len, self.config.dim, pool))
+            .collect()
+    }
+
+    /// Embeds `tokens` as `(T, C)` input rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an id `>= vocab`.
+    fn embed_rows(&self, g: &mut Graph<'_>, ps: &ParamStore, tokens: &[usize]) -> NodeId {
+        assert!(!tokens.is_empty(), "need at least one token");
+        let c = self.config.dim;
+        let table = ps.value(self.embed);
+        let mut data = Vec::with_capacity(tokens.len() * c);
+        for &tok in tokens {
+            assert!(tok < self.config.vocab, "token {tok} out of vocabulary");
+            data.extend_from_slice(&table.data[tok * c..(tok + 1) * c]);
+        }
+        g.input(Tensor::from_vec(data, &[tokens.len(), c]))
+    }
+
+    /// Full-prefix logits: `(T, vocab)`, one row per token, each row
+    /// attending the whole prefix passed in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an id `>= vocab`.
+    pub fn forward_logits(&self, g: &mut Graph<'_>, ps: &ParamStore, tokens: &[usize]) -> NodeId {
+        let mut x = self.embed_rows(g, ps, tokens);
+        for layer in &self.layers {
+            x = layer.forward(g, ps, x);
+        }
+        let normed = self.ln_f.apply(g, ps, x);
+        self.head.apply(g, ps, normed)
+    }
+
+    /// Incremental logits for one token: `(1, vocab)`, appending the
+    /// token's k/v rows to `caches` (one per layer). Bit-identical to the
+    /// last row of [`TinyDecoder::forward_logits`] over the same prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token >= vocab` or `caches` does not have one cache per
+    /// layer.
+    pub fn step_logits(
+        &self,
+        g: &mut Graph<'_>,
+        ps: &ParamStore,
+        token: usize,
+        caches: &mut [KvCache],
+    ) -> NodeId {
+        assert_eq!(caches.len(), self.layers.len(), "one cache per layer");
+        let mut x = self.embed_rows(g, ps, &[token]);
+        for (layer, cache) in self.layers.iter().zip(caches.iter_mut()) {
+            x = layer.step(g, ps, x, cache);
+        }
+        let normed = self.ln_f.apply(g, ps, x);
+        self.head.apply(g, ps, normed)
+    }
+
+    /// KV-cached greedy generation: prefills `prompt` token by token,
+    /// then generates `gen` tokens by arg-max over each step's logits.
+    /// Returns the full sequence (prompt followed by the generated
+    /// tokens). Each step runs on a pooled inference tape; steady-state
+    /// steps allocate (almost) nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty, contains an id `>= vocab`, or
+    /// `prompt.len() + gen` exceeds `max_len`.
+    #[must_use]
+    pub fn greedy_decode(
+        &self,
+        backend: &dyn UnaryBackend,
+        ps: &ParamStore,
+        prompt: &[usize],
+        gen: usize,
+        max_len: usize,
+    ) -> Vec<usize> {
+        assert!(
+            prompt.len() + gen <= max_len,
+            "sequence would overflow max_len"
+        );
+        let mut pool = BufferPool::new();
+        let mut caches = self.new_caches(max_len, &mut pool);
+        let mut seq = prompt.to_vec();
+        let mut next = 0usize;
+        // Prefill and generation are the same loop: every token is one
+        // cached step; only the last prompt step's logits matter.
+        for i in 0..prompt.len() + gen {
+            let token = if i < prompt.len() { prompt[i] } else { next };
+            if i >= prompt.len() {
+                seq.push(token);
+            }
+            let mut g = Graph::with_mode(backend, EvalMode::Inference, pool);
+            let logits = self.step_logits(&mut g, ps, token, &mut caches);
+            next = argmax(&g.value(logits).data);
+            pool = g.recycle();
+        }
+        seq
+    }
+}
+
+/// Index of the largest element (first on ties) — the greedy sampler.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of an empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_tensor::ExactBackend;
+
+    fn bits(xs: &[f32]) -> Vec<u32> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn step_matches_forward_rows_bitwise() {
+        let mut ps = ParamStore::new();
+        let model = TinyDecoder::new(&mut ps, DecoderConfig::tiny(), 7);
+        let tokens = [3usize, 1, 4, 1, 5, 9, 2, 6];
+        let mut pool = BufferPool::new();
+        let mut caches = model.new_caches(tokens.len(), &mut pool);
+        for t in 0..tokens.len() {
+            let mut g = Graph::with_mode(&ExactBackend, EvalMode::Inference, pool);
+            let step = model.step_logits(&mut g, &ps, tokens[t], &mut caches);
+            let got = bits(&g.value(step).data);
+            pool = g.recycle();
+
+            // Fresh full-prefix forward over tokens 0..=t.
+            let mut gf = Graph::new_inference(&ExactBackend);
+            let full = model.forward_logits(&mut gf, &ps, &tokens[..=t]);
+            let v = gf.value(full);
+            let want = bits(&v.data[t * v.shape[1]..]);
+            assert_eq!(got, want, "step {t} logits diverge from full forward");
+        }
+    }
+
+    #[test]
+    fn train_tape_step_matches_inference_step() {
+        let mut ps = ParamStore::new();
+        let model = TinyDecoder::new(&mut ps, DecoderConfig::tiny(), 9);
+        let run = |mode| {
+            let mut pool = BufferPool::new();
+            let mut caches = model.new_caches(4, &mut pool);
+            let mut out = Vec::new();
+            for &tok in &[2usize, 7, 7, 0] {
+                let mut g = Graph::with_mode(&ExactBackend, mode, BufferPool::new());
+                let logits = model.step_logits(&mut g, &ps, tok, &mut caches);
+                out.extend(bits(&g.value(logits).data));
+            }
+            out
+        };
+        assert_eq!(run(EvalMode::Train), run(EvalMode::Inference));
+    }
+
+    #[test]
+    fn greedy_decode_is_deterministic_and_in_vocab() {
+        let mut ps = ParamStore::new();
+        let model = TinyDecoder::new(&mut ps, DecoderConfig::tiny(), 3);
+        let a = model.greedy_decode(&ExactBackend, &ps, &[1, 2, 3], 5, 16);
+        let b = model.greedy_decode(&ExactBackend, &ps, &[1, 2, 3], 5, 16);
+        assert_eq!(a, b, "greedy decode must be deterministic");
+        assert_eq!(a.len(), 8);
+        assert_eq!(&a[..3], &[1, 2, 3], "prompt is echoed");
+        assert!(a.iter().all(|&t| t < model.config().vocab));
+    }
+
+    #[test]
+    fn argmax_prefers_first_of_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-1.0]), 0);
+    }
+}

@@ -10,6 +10,10 @@
 //! * [`EfficientVitLite`] — a scaled-down EfficientViT-B0: conv stem,
 //!   MBConv blocks, ReLU linear attention (softmax-free, DIV-normalized),
 //!   HSWISH activations. Operator inventory: **HSWISH, DIV**.
+//! * [`TinyDecoder`] — a small autoregressive decoder stack with a
+//!   KV-cached incremental path ([`DecoderLayer::step`]) bit-identical to
+//!   the full-prefix forward, plus a greedy-decode driver. The serving
+//!   crate's `DecodeSession` and the `decode/*` benches run on it.
 //! * [`PwlBackend`] — the legacy fixed bundle of INT8 pwl LUT datapaths.
 //!   New code serves models through `gqa_serve`: plan the operators with
 //!   an `OperatorPlan`, build an `Engine`, and hand its cloneable
@@ -39,14 +43,17 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod decoder;
 mod efficientvit;
 pub mod luts;
 mod segformer;
 mod train;
 
 pub use backend::{CalibrationRecorder, PwlBackend, ReplaceSet};
+pub use decoder::{argmax, DecoderConfig, DecoderLayer, TinyDecoder};
 pub use efficientvit::{EffVitConfig, EfficientVitLite};
 pub use gqa_registry::HotSwapBackend;
+#[cfg(feature = "legacy")]
 #[allow(deprecated)] // compatibility re-exports of the deprecated shims
 pub use luts::{build_lut, build_lut_budgeted, try_build_lut_budgeted};
 pub use luts::{LutBuildError, Method};

@@ -5,13 +5,24 @@
 //! `gqa_serve::EngineBuilder`-owned registry, and read artifacts back with
 //! `Engine::artifact`. These free functions predate that layer; they now
 //! construct the same `gqa_serve::OpPlan` entries and resolve them through
-//! the process-global [`LutRegistry`], so they return bit-identical
+//! the process-global [`LutRegistry`](gqa_registry::LutRegistry), so
+//! they return bit-identical
 //! artifacts to the engine path (pinned by the root
 //! `tests/serving_engine.rs` equivalence suite) while new code migrates.
+//!
+//! The shims are gated behind the default-off `legacy` cargo feature:
+//! without it only the [`Method`] / [`LutBuildError`] vocabulary remains,
+//! and historical call sites get a *missing-function* error pointing here
+//! instead of a silent deprecation warning. (The crate's own tests keep
+//! them compiled so the bit-compat pin runs on every leg.)
 
+#[cfg(any(feature = "legacy", test))]
 use gqa_funcs::NonLinearOp;
+#[cfg(any(feature = "legacy", test))]
 use gqa_pwl::QuantAwareLut;
+#[cfg(any(feature = "legacy", test))]
 use gqa_registry::LutRegistry;
+#[cfg(any(feature = "legacy", test))]
 use gqa_serve::OpPlan;
 
 pub use gqa_registry::{LutBuildError, Method};
@@ -42,6 +53,7 @@ pub use gqa_registry::{LutBuildError, Method};
 /// # Panics
 ///
 /// Panics if `entries` is not 8 or 16.
+#[cfg(any(feature = "legacy", test))]
 #[deprecated(
     since = "0.1.0",
     note = "plan the operator with `gqa_serve::OperatorPlan` and resolve it \
@@ -61,6 +73,7 @@ pub fn build_lut(method: Method, op: NonLinearOp, entries: usize, seed: u64) -> 
 ///
 /// Panics if `entries` is not 8 or 16 or `budget` is out of `(0, 1]`. Use
 /// [`try_build_lut_budgeted`] for a typed error instead.
+#[cfg(any(feature = "legacy", test))]
 #[deprecated(
     since = "0.1.0",
     note = "plan the operator with `gqa_serve::OperatorPlan` and resolve it \
@@ -88,6 +101,7 @@ pub fn build_lut_budgeted(
 /// # Errors
 ///
 /// Returns [`LutBuildError`] if the spec fails validation.
+#[cfg(any(feature = "legacy", test))]
 #[deprecated(
     since = "0.1.0",
     note = "plan the operator with `gqa_serve::OperatorPlan` and resolve it \

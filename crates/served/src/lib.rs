@@ -37,6 +37,15 @@
 //! * [`Served`] / [`ServedBuilder`] — the threaded shell: worker pool,
 //!   condvar rendezvous [`Ticket`]s, wall or virtual clock, graceful
 //!   drain on drop.
+//! * [`ModelForward`] / [`ModelDecode`] — what a servable model is: a
+//!   named batched-forward entry point (closures implement it via a
+//!   blanket impl), optionally advertising a KV-cached incremental
+//!   decode entry point.
+//! * [`DecodeSession`] ([`Served::open_decode`]) — per-sequence decode
+//!   handle: one token-step at a time, steps coalesced across sessions,
+//!   each step `to_bits`-identical to the corresponding row of the
+//!   model's full-prefix causal forward (prefix equivalence, pinned by
+//!   `tests/decode.rs` including mid-decode engine swaps).
 //! * [`dispatch_batch`] — the single execution path (stack → one pooled
 //!   forward → slice) shared by the workers, the tests, and the benches.
 //! * [`LatencyHistogram`] — log-bucketed lock-free latency recording,
@@ -71,13 +80,17 @@
 mod batcher;
 mod histogram;
 mod loadgen;
+mod model;
 mod request;
 mod server;
 
 pub use batcher::{Batch, BatchConfig, Coalescer};
 pub use histogram::{bucket_bounds, bucket_of, HistogramSnapshot, LatencyHistogram, BUCKETS};
 pub use loadgen::{generate_trace, request_input, trace_fingerprint, LoadGenConfig, TraceEntry};
+#[allow(deprecated)] // compatibility re-export of the legacy callback alias
+pub use model::ForwardFn;
+pub use model::{DecodeState, ModelDecode, ModelForward, ModelSpec};
 pub use request::{ModelId, Rejected, Request, ServedError, TenantId};
 pub use server::{
-    dispatch_batch, ForwardFn, ModelSpec, Served, ServedBuilder, ServedConfig, ServedStats, Ticket,
+    dispatch_batch, DecodeSession, Served, ServedBuilder, ServedConfig, ServedStats, Ticket,
 };

@@ -76,6 +76,13 @@ pub enum ServedError {
         /// The shape actually submitted.
         got: Vec<usize>,
     },
+    /// [`crate::Served::open_decode`] named a model whose
+    /// [`crate::ModelForward`] does not advertise a decode entry point.
+    DecodeUnsupported(ModelId),
+    /// A [`crate::DecodeSession`] step (or reset) was attempted while the
+    /// previous step is still in flight — decode steps are strictly
+    /// sequential per session; wait on the outstanding ticket first.
+    StepPending,
     /// The server is shutting down; queued requests are failed rather
     /// than silently dropped.
     ShuttingDown,
@@ -95,6 +102,12 @@ impl std::fmt::Display for ServedError {
                 f,
                 "model {model} expects per-request shape {expected:?}, got {got:?}"
             ),
+            ServedError::DecodeUnsupported(m) => {
+                write!(f, "model {m} does not support incremental decode")
+            }
+            ServedError::StepPending => {
+                write!(f, "a decode step is already in flight for this session")
+            }
             ServedError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }

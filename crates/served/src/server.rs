@@ -19,82 +19,12 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use gqa_serve::{Engine, EngineStats, Session};
-use gqa_tensor::{BufferPool, EvalMode, Graph, NodeId, Tensor};
+use gqa_tensor::{BufferPool, EvalMode, Graph, Tensor};
 
 use crate::batcher::{Batch, BatchConfig, Coalescer};
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
-use crate::request::{Request, ServedError, TenantId};
-
-/// The model-graph assembly callback: given a tape and the batched input
-/// node, record the forward and return the output node. Must preserve the
-/// leading (batch) dimension.
-pub type ForwardFn = dyn Fn(&mut Graph<'_>, NodeId) -> NodeId + Send + Sync;
-
-/// One servable model: a name, the per-request input shape, and the
-/// forward-assembly callback.
-///
-/// The forward runs on **inference tapes** over the engine's shared
-/// [`Session`], so LUT-served operators, hot swaps, and shard refreshes
-/// all apply; it must treat the leading dimension as an opaque batch axis
-/// (every row independent), which is what makes coalescing invisible.
-#[derive(Clone)]
-pub struct ModelSpec {
-    name: String,
-    row_shape: Vec<usize>,
-    forward: Arc<ForwardFn>,
-}
-
-impl std::fmt::Debug for ModelSpec {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ModelSpec")
-            .field("name", &self.name)
-            .field("row_shape", &self.row_shape)
-            .finish_non_exhaustive()
-    }
-}
-
-impl ModelSpec {
-    /// A model named `name` taking per-request inputs of shape
-    /// `row_shape` (no batch dimension) through `forward`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `row_shape` is empty or contains a zero dimension.
-    #[must_use]
-    pub fn new(
-        name: impl Into<String>,
-        row_shape: &[usize],
-        forward: impl Fn(&mut Graph<'_>, NodeId) -> NodeId + Send + Sync + 'static,
-    ) -> Self {
-        assert!(
-            !row_shape.is_empty() && row_shape.iter().all(|&d| d > 0),
-            "row_shape must be non-empty with positive dims, got {row_shape:?}"
-        );
-        Self {
-            name: name.into(),
-            row_shape: row_shape.to_vec(),
-            forward: Arc::new(forward),
-        }
-    }
-
-    /// The model's display name.
-    #[must_use]
-    pub fn name(&self) -> &str {
-        &self.name
-    }
-
-    /// The per-request input shape (without the batch dimension).
-    #[must_use]
-    pub fn row_shape(&self) -> &[usize] {
-        &self.row_shape
-    }
-
-    /// Elements in one request's input.
-    #[must_use]
-    pub fn row_len(&self) -> usize {
-        self.row_shape.iter().product()
-    }
-}
+use crate::model::{DecodeState, ModelSpec};
+use crate::request::{ModelId, Request, ServedError, TenantId};
 
 /// Runs one coalesced batch through `session`: stacks `inputs` into a
 /// single `[inputs.len(), ...row_shape]` tensor (drawn from `pool`), runs
@@ -135,26 +65,27 @@ pub fn dispatch_batch(
     let mut data = pool_owned.take_full(rows * row_len);
     for (i, t) in inputs.iter().enumerate() {
         assert_eq!(
-            t.shape, spec.row_shape,
+            t.shape,
+            spec.row_shape(),
             "request {i} shape mismatch for model {}",
-            spec.name
+            spec.name()
         );
         data[i * row_len..(i + 1) * row_len].copy_from_slice(&t.data);
     }
-    let mut shape = Vec::with_capacity(spec.row_shape.len() + 1);
+    let mut shape = Vec::with_capacity(spec.row_shape().len() + 1);
     shape.push(rows);
-    shape.extend_from_slice(&spec.row_shape);
+    shape.extend_from_slice(spec.row_shape());
 
     let mut g = Graph::with_mode(session, EvalMode::Inference, pool_owned);
     let x = g.input(Tensor::from_vec(data, &shape));
-    let y = (spec.forward)(&mut g, x);
+    let y = spec.run_forward(&mut g, x);
     let results = {
         let out = g.value(y);
         assert_eq!(
             out.shape.first(),
             Some(&rows),
             "model {} must preserve the batch dimension (output shape {:?})",
-            spec.name,
+            spec.name(),
             out.shape
         );
         let out_row_shape = &out.shape[1..];
@@ -283,28 +214,99 @@ impl Ticket {
         }
     }
 
-    /// Non-blocking check: the response if it is already available.
+    /// Blocks for at most `timeout`, returning the response if it
+    /// resolves in time.
     ///
-    /// `None` means "not done yet" and the ticket stays usable. A `Some`
-    /// return **consumes** the response: the slot is emptied, so a later
-    /// [`Ticket::wait`] (or `try_take`) on the same ticket would block
-    /// forever / return `None` — take the `Some` as the final answer.
+    /// `None` means the deadline passed with no response; the ticket
+    /// stays usable — wait again, or keep the ticket around and retry
+    /// later. A `Some` return **consumes** the response (`&mut self`
+    /// marks the ticket spent): treat it as the final answer, exactly as
+    /// with [`Ticket::try_consume`].
     ///
     /// # Errors
     ///
     /// Same as [`Ticket::wait`] once the response has resolved to an
     /// error.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<Tensor, ServedError>> {
+        let deadline = Instant::now() + timeout;
+        let mut r = self.slot.result.lock().expect("slot lock");
+        loop {
+            if let Some(out) = r.take() {
+                return Some(out);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            // Spurious wakeups loop; a timed-out wait re-checks once in
+            // case the fulfill raced the deadline.
+            let (guard, status) = self
+                .slot
+                .cv
+                .wait_timeout(r, deadline - now)
+                .expect("slot wait");
+            r = guard;
+            if status.timed_out() {
+                return r.take();
+            }
+        }
+    }
+
+    /// Non-blocking check: the response if it is already available.
+    ///
+    /// `None` means "not done yet" and the ticket stays usable. A `Some`
+    /// return **consumes** the response — the `&mut self` receiver makes
+    /// that visible in the type: the one-shot slot is emptied, so any
+    /// later wait on the same ticket would block forever / return `None`.
+    /// Take the `Some` as the final answer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ticket::wait`] once the response has resolved to an
+    /// error.
+    pub fn try_consume(&mut self) -> Option<Result<Tensor, ServedError>> {
+        self.slot.result.lock().expect("slot lock").take()
+    }
+
+    /// Non-blocking check (legacy spelling).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_consume` (or `wait_timeout`): a `Some` return consumes \
+                the one-shot response, which the `&mut self` receivers make \
+                visible in the type"
+    )]
     pub fn try_take(&self) -> Option<Result<Tensor, ServedError>> {
         self.slot.result.lock().expect("slot lock").take()
     }
 }
 
-/// One queued request inside the worker machinery.
+/// A decode step's checked-out session state plus the cell it must be
+/// returned to before the step's ticket resolves.
+struct DecodeHandoff {
+    state: DecodeState,
+    home: Arc<Mutex<Option<DecodeState>>>,
+}
+
+impl DecodeHandoff {
+    /// Checks the state back into its session. Called exactly once per
+    /// handoff, always **before** the step's slot is fulfilled, so a
+    /// caller returning from [`Ticket::wait`] can immediately step again.
+    fn check_in(self) {
+        if let Ok(mut home) = self.home.lock() {
+            *home = Some(self.state);
+        }
+    }
+}
+
+/// One queued request inside the worker machinery. `decode` is `Some`
+/// for incremental-decode steps (queued under the model's decode queue,
+/// index `models.len() + model`) and `None` for plain forwards.
 struct Job {
     tenant: TenantId,
     input: Tensor,
     slot: Arc<Slot>,
     started: Instant,
+    decode: Option<DecodeHandoff>,
 }
 
 #[derive(Debug, Default)]
@@ -398,6 +400,9 @@ impl Inner {
     }
 
     fn execute(&self, batch: Batch<Job>, pool: &mut BufferPool) {
+        if batch.model >= self.models.len() {
+            return self.execute_decode(batch, pool);
+        }
         let spec = &self.models[batch.model];
         let rows = batch.items.len();
         let mut inputs = Vec::with_capacity(rows);
@@ -414,6 +419,40 @@ impl Inner {
             .batched_rows
             .fetch_add(rows as u64, Ordering::Relaxed);
         for ((tenant, slot, started), out) in meta.into_iter().zip(outputs) {
+            self.tenants[tenant].record(started.elapsed().as_nanos() as u64);
+            self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            slot.fulfill(Ok(out));
+        }
+    }
+
+    /// Runs one coalesced batch of decode steps. The steps (possibly from
+    /// several sessions of the same model) share one pooled inference
+    /// tape but nothing else — each runs against its own checked-out
+    /// [`DecodeState`], so coalescing cannot change a session's bits.
+    /// Every state is checked back in before any slot resolves.
+    fn execute_decode(&self, batch: Batch<Job>, pool: &mut BufferPool) {
+        let spec = &self.models[batch.model - self.models.len()];
+        let decode = spec
+            .decoder()
+            .expect("decode queue holds steps of a decode-capable model");
+        let rows = batch.items.len();
+        let pool_owned = std::mem::take(pool);
+        let mut g = Graph::with_mode(&self.session, EvalMode::Inference, pool_owned);
+        let mut done = Vec::with_capacity(rows);
+        for job in batch.items {
+            let mut handoff = job
+                .decode
+                .expect("decode queue items carry their session state");
+            let out = decode.step(&mut g, &job.input, &mut handoff.state);
+            handoff.check_in();
+            done.push((job.tenant, job.slot, job.started, out));
+        }
+        *pool = g.recycle();
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .batched_rows
+            .fetch_add(rows as u64, Ordering::Relaxed);
+        for (tenant, slot, started, out) in done {
             self.tenants[tenant].record(started.elapsed().as_nanos() as u64);
             self.counters.completed.fetch_add(1, Ordering::Relaxed);
             slot.fulfill(Ok(out));
@@ -537,7 +576,10 @@ impl ServedBuilder {
         let inner = Arc::new(Inner {
             engine: self.engine,
             session,
-            queue: Mutex::new(Coalescer::new(self.models.len(), self.config.batch)),
+            // Two queue families over one policy: queue `m` coalesces
+            // model m's plain forwards, queue `models.len() + m` its
+            // decode steps (forwards and steps never share a batch).
+            queue: Mutex::new(Coalescer::new(2 * self.models.len(), self.config.batch)),
             models: self.models,
             work: Condvar::new(),
             clock,
@@ -605,10 +647,10 @@ impl Served {
         if req.tenant >= inner.tenants.len() {
             return Err(ServedError::UnknownTenant(req.tenant));
         }
-        if req.input.shape != spec.row_shape {
+        if req.input.shape != spec.row_shape() {
             return Err(ServedError::BadShape {
                 model: req.model,
-                expected: spec.row_shape.clone(),
+                expected: spec.row_shape().to_vec(),
                 got: req.input.shape,
             });
         }
@@ -621,6 +663,7 @@ impl Served {
             input: req.input,
             slot: Arc::clone(&slot),
             started: Instant::now(),
+            decode: None,
         };
         let mut q = inner.queue.lock().expect("queue lock");
         match q.submit(req.model, job, inner.clock.now()) {
@@ -648,6 +691,46 @@ impl Served {
     /// Everything [`Served::submit`] and [`Ticket::wait`] can return.
     pub fn serve(&self, req: Request) -> Result<Tensor, ServedError> {
         self.submit(req)?.wait()
+    }
+
+    /// Opens an incremental-decode session: fresh per-session state
+    /// (typically the model's KV caches) plus a handle to submit one
+    /// step at a time through the same admission/coalescing machinery as
+    /// plain forwards. Same-model steps coalesce with each other (never
+    /// with forwards) while staying bitwise independent per session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServedError::UnknownModel`] / [`ServedError::UnknownTenant`] on
+    /// validation failure, [`ServedError::DecodeUnsupported`] if the
+    /// model's [`crate::ModelForward`] does not advertise a decode entry
+    /// point, [`ServedError::ShuttingDown`] after the server started
+    /// dropping.
+    pub fn open_decode(
+        &self,
+        tenant: TenantId,
+        model: ModelId,
+    ) -> Result<DecodeSession, ServedError> {
+        let inner = &*self.inner;
+        let spec = inner
+            .models
+            .get(model)
+            .ok_or(ServedError::UnknownModel(model))?;
+        if tenant >= inner.tenants.len() {
+            return Err(ServedError::UnknownTenant(tenant));
+        }
+        let decode = spec
+            .decoder()
+            .ok_or(ServedError::DecodeUnsupported(model))?;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServedError::ShuttingDown);
+        }
+        Ok(DecodeSession {
+            inner: Arc::clone(&self.inner),
+            tenant,
+            model,
+            state: Arc::new(Mutex::new(Some(decode.new_state()))),
+        })
     }
 
     /// Advances the virtual clock by `ticks` and wakes the workers —
@@ -747,10 +830,151 @@ impl Drop for Served {
         if let Ok(mut q) = self.inner.queue.lock() {
             while let Some(batch) = q.drain() {
                 for job in batch.items {
+                    // A decode step's state still goes home: the session
+                    // handle outlives the server and stays steppable
+                    // (its next step fails with ShuttingDown, not
+                    // StepPending).
+                    if let Some(handoff) = job.decode {
+                        handoff.check_in();
+                    }
                     job.slot.fulfill(Err(ServedError::ShuttingDown));
                 }
             }
         }
+    }
+}
+
+/// A per-sequence incremental-decode handle from [`Served::open_decode`]:
+/// owns the sequence's [`DecodeState`] (KV caches) and submits one
+/// token-step at a time into the model's decode queue.
+///
+/// Steps are **strictly sequential per session** — the state is checked
+/// out to the worker for the duration of a step, and a second
+/// [`DecodeSession::step`] before the first resolves fails with
+/// [`ServedError::StepPending`]. Steps of *different* sessions coalesce
+/// freely; the per-session bits never change (each step runs against its
+/// own state), which is the decode flavor of coalescing invisibility.
+///
+/// The handle keeps the server's internals alive: it stays valid after
+/// the [`Served`] front-end drops, but further steps then fail with
+/// [`ServedError::ShuttingDown`].
+pub struct DecodeSession {
+    inner: Arc<Inner>,
+    tenant: TenantId,
+    model: ModelId,
+    state: Arc<Mutex<Option<DecodeState>>>,
+}
+
+impl std::fmt::Debug for DecodeSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeSession")
+            .field("tenant", &self.tenant)
+            .field("model", &self.model)
+            .field("step_pending", &self.is_step_pending())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DecodeSession {
+    /// The session's tenant.
+    #[must_use]
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The model this session decodes with.
+    #[must_use]
+    pub fn model(&self) -> ModelId {
+        self.model
+    }
+
+    /// Whether a submitted step has not resolved yet (the state is
+    /// checked out to a worker).
+    #[must_use]
+    pub fn is_step_pending(&self) -> bool {
+        self.state.lock().expect("decode state lock").is_none()
+    }
+
+    /// Submits one decode step with `input` (one row of the model's
+    /// `row_shape`), returning its response [`Ticket`]. The step
+    /// coalesces with other sessions' same-model steps; the session's
+    /// state is checked back in before the ticket resolves, so the
+    /// caller can step again as soon as [`Ticket::wait`] returns.
+    ///
+    /// # Errors
+    ///
+    /// [`ServedError::BadShape`] on input-shape mismatch,
+    /// [`ServedError::StepPending`] while the previous step is in
+    /// flight, [`ServedError::Rejected`] on backpressure (the state is
+    /// checked back in — the session stays usable),
+    /// [`ServedError::ShuttingDown`] after the server started dropping.
+    pub fn step(&self, input: Tensor) -> Result<Ticket, ServedError> {
+        let inner = &*self.inner;
+        let spec = &inner.models[self.model];
+        if input.shape != spec.row_shape() {
+            return Err(ServedError::BadShape {
+                model: self.model,
+                expected: spec.row_shape().to_vec(),
+                got: input.shape,
+            });
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServedError::ShuttingDown);
+        }
+        let state = self
+            .state
+            .lock()
+            .expect("decode state lock")
+            .take()
+            .ok_or(ServedError::StepPending)?;
+        let slot = Arc::new(Slot::new());
+        let job = Job {
+            tenant: self.tenant,
+            input,
+            slot: Arc::clone(&slot),
+            started: Instant::now(),
+            decode: Some(DecodeHandoff {
+                state,
+                home: Arc::clone(&self.state),
+            }),
+        };
+        let mut q = inner.queue.lock().expect("queue lock");
+        match q.submit(inner.models.len() + self.model, job, inner.clock.now()) {
+            Ok(()) => {
+                inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                drop(q);
+                inner.work.notify_one();
+                Ok(Ticket { slot })
+            }
+            Err((rejected, job)) => {
+                drop(q);
+                // The step never queued: check the state straight back in
+                // so the session survives backpressure.
+                if let Some(handoff) = job.decode {
+                    handoff.check_in();
+                }
+                inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServedError::Rejected(rejected))
+            }
+        }
+    }
+
+    /// Resets the session to a fresh sequence (new empty decode state).
+    ///
+    /// # Errors
+    ///
+    /// [`ServedError::StepPending`] while a step is in flight — resolve
+    /// or abandon-and-wait first, so a worker cannot check stale state
+    /// back in over the reset.
+    pub fn reset(&self) -> Result<(), ServedError> {
+        let spec = &self.inner.models[self.model];
+        let decode = spec.decoder().expect("session exists, model decodes");
+        let mut state = self.state.lock().expect("decode state lock");
+        if state.is_none() {
+            return Err(ServedError::StepPending);
+        }
+        *state = Some(decode.new_state());
+        Ok(())
     }
 }
 

@@ -138,13 +138,16 @@ fn flush_by_deadline_waits_for_the_scripted_tick() {
         model: 0,
         input: Tensor::from_vec(vec![0.2 * (i as f32 + 1.0); 6], &[6]),
     };
-    let t0 = served.submit(make(0)).unwrap();
+    let mut t0 = served.submit(make(0)).unwrap();
     let t1 = served.submit(make(1)).unwrap();
     // Two queued, deadline at tick 5: a flush is IMPOSSIBLE while the
     // clock is below it, so this check is race-free by construction.
-    assert!(t0.try_take().is_none(), "nothing may flush before tick 5");
+    assert!(
+        t0.try_consume().is_none(),
+        "nothing may flush before tick 5"
+    );
     assert_eq!(served.advance(4), 4);
-    assert!(t0.try_take().is_none(), "tick 4 is one tick early");
+    assert!(t0.try_consume().is_none(), "tick 4 is one tick early");
     assert_eq!(served.stats().batches, 0);
     served.advance(1); // tick 5: exactly the deadline
     t0.wait().unwrap();

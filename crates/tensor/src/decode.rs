@@ -1,0 +1,203 @@
+//! The KV cache for autoregressive decode.
+//!
+//! Incremental decode replays one attention query per generated token
+//! against the keys and values of everything generated so far. Re-running
+//! the full-prefix forward every step would recompute those k/v rows from
+//! scratch; [`KvCache`] stores them once, appended row by row, so step `t`
+//! costs one row of projections plus one `(1 × t+1)` attention sweep.
+//!
+//! ## Prefix-equivalence contract
+//!
+//! The cache is not allowed to change a single bit: the output of
+//! [`Graph::attention_decode`](crate::Graph::attention_decode) at step `t`
+//! (cache holding rows `0..=t`) is `to_bits`-identical to row `t` of a
+//! full [`Graph::attention`](crate::Graph::attention) forward over the
+//! `t+1`-token prefix. This holds because the decode node runs the *same*
+//! fused driver ([`crate::fused::attention_rows_f32_pooled`]) over the
+//! cached prefix — same strided-gather kᵀ staging, same
+//! `matmul_acc_f32` pinned per-element reduction order (which depends
+//! only on the query row and key column, never on how many other rows
+//! share the call), and the same one-EXP-one-DIV softmax stage shape —
+//! so LUT-served backends and mid-decode hot swaps behave identically in
+//! both spellings. `tests/decode_equivalence.rs` pins the contract.
+//!
+//! Buffers come from a [`BufferPool`] when built with
+//! [`KvCache::with_pool`] (stale-reuse: every row is fully written by
+//! [`KvCache::append`] before the accessors expose it), and return to one
+//! via [`KvCache::recycle`].
+
+use crate::pool::BufferPool;
+
+/// Preallocated per-head key/value storage for incremental decode:
+/// `max_len` rows of width `dim` for keys and as many for values, with an
+/// append/len API. Row `t` holds the k/v projections of token `t`.
+#[derive(Debug)]
+pub struct KvCache {
+    k: Vec<f32>,
+    v: Vec<f32>,
+    dim: usize,
+    len: usize,
+    max_len: usize,
+}
+
+impl KvCache {
+    /// An empty cache with room for `max_len` rows of width `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len == 0` or `dim == 0`.
+    #[must_use]
+    pub fn new(max_len: usize, dim: usize) -> Self {
+        let mut pool = BufferPool::new();
+        Self::with_pool(max_len, dim, &mut pool)
+    }
+
+    /// Like [`KvCache::new`] but drawing the two backing buffers from
+    /// `pool` (stale contents allowed: [`KvCache::append`] fully
+    /// overwrites each row before [`KvCache::k`]/[`KvCache::v`] expose
+    /// it, so a recycled buffer is bit-invisible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len == 0` or `dim == 0`.
+    #[must_use]
+    pub fn with_pool(max_len: usize, dim: usize, pool: &mut BufferPool) -> Self {
+        assert!(max_len > 0, "cache needs room for at least one row");
+        assert!(dim > 0, "cache rows need at least one element");
+        Self {
+            k: pool.take_full(max_len * dim),
+            v: pool.take_full(max_len * dim),
+            dim,
+            len: 0,
+            max_len,
+        }
+    }
+
+    /// Appends one token's key and value rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is full or either row is not `dim` long.
+    pub fn append(&mut self, k_row: &[f32], v_row: &[f32]) {
+        assert!(
+            self.len < self.max_len,
+            "KvCache full ({} rows)",
+            self.max_len
+        );
+        assert_eq!(k_row.len(), self.dim, "k row width mismatch");
+        assert_eq!(v_row.len(), self.dim, "v row width mismatch");
+        let at = self.len * self.dim;
+        self.k[at..at + self.dim].copy_from_slice(k_row);
+        self.v[at..at + self.dim].copy_from_slice(v_row);
+        self.len += 1;
+    }
+
+    /// Rows appended so far (the current prefix length).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows have been appended yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The preallocated row capacity.
+    #[must_use]
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Row width.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The appended key rows, `(len, dim)` row-major.
+    #[must_use]
+    pub fn k(&self) -> &[f32] {
+        &self.k[..self.len * self.dim]
+    }
+
+    /// The appended value rows, `(len, dim)` row-major.
+    #[must_use]
+    pub fn v(&self) -> &[f32] {
+        &self.v[..self.len * self.dim]
+    }
+
+    /// Forgets all appended rows (capacity is kept). The next sequence
+    /// reuses the buffers; old contents are overwritten by `append`
+    /// before they can be read.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Rolls the prefix back to `len` rows — the speculative-decode /
+    /// benchmark reset. A no-op when already at or below `len`.
+    pub fn truncate(&mut self, len: usize) {
+        self.len = self.len.min(len);
+    }
+
+    /// Tears the cache down, parking both backing buffers in `pool` for
+    /// the next cache (or tape) to reuse.
+    pub fn recycle(self, pool: &mut BufferPool) {
+        pool.put(self.k);
+        pool.put(self.v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let mut c = KvCache::new(3, 2);
+        assert!(c.is_empty());
+        c.append(&[1.0, 2.0], &[3.0, 4.0]);
+        c.append(&[5.0, 6.0], &[7.0, 8.0]);
+        assert_eq!((c.len(), c.max_len(), c.dim()), (2, 3, 2));
+        assert_eq!(c.k(), &[1.0, 2.0, 5.0, 6.0]);
+        assert_eq!(c.v(), &[3.0, 4.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn clear_and_truncate_roll_back() {
+        let mut c = KvCache::new(4, 1);
+        for i in 0..4 {
+            c.append(&[i as f32], &[-(i as f32)]);
+        }
+        c.truncate(2);
+        assert_eq!(c.k(), &[0.0, 1.0]);
+        c.append(&[9.0], &[9.0]);
+        assert_eq!(c.k(), &[0.0, 1.0, 9.0]);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "KvCache full")]
+    fn append_past_capacity_panics() {
+        let mut c = KvCache::new(1, 1);
+        c.append(&[0.0], &[0.0]);
+        c.append(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    fn pool_round_trip_is_invisible() {
+        let mut pool = BufferPool::new();
+        // Dirty the pool with non-zero buffers.
+        let mut dirty = pool.take_full(8);
+        dirty.iter_mut().for_each(|x| *x = f32::NAN);
+        pool.put(dirty);
+        let mut c = KvCache::with_pool(2, 2, &mut pool);
+        c.append(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(c.k(), &[1.0, 2.0]);
+        assert_eq!(c.v(), &[3.0, 4.0]);
+        c.recycle(&mut pool);
+        assert!(pool.free_buffers() >= 2);
+    }
+}

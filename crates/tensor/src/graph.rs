@@ -9,6 +9,7 @@ use std::sync::Arc;
 use gqa_simd::{gather_stride_f32, matmul_acc_f32, matmul_nt_f32, matmul_tn_f32};
 
 use crate::backend::{UnaryBackend, UnaryKind};
+use crate::decode::KvCache;
 use crate::fused::{self, AttentionSaved, LayerNormSaved, SoftmaxSaved};
 use crate::pool::BufferPool;
 use crate::tensor_impl::{ParamId, ParamStore, Tensor};
@@ -1011,6 +1012,120 @@ impl<'b> Graph<'b> {
         let scaled = self.scale(scores, scale);
         let attn = self.softmax_rows(scaled);
         self.batch_matmul(attn, v)
+    }
+
+    /// Incremental-decode attention: one query row against the cached
+    /// prefix. `q: (1, C)`, the cache holds `len` appended k/v rows of
+    /// width `C`; the output is `(1, C)`.
+    ///
+    /// **Prefix equivalence**: with the cache holding the k/v rows of
+    /// tokens `0..=t`, the result is `to_bits`-identical to row `t` of
+    /// [`Graph::attention`] over the whole `t+1`-token prefix. Both
+    /// spellings run the same fused driver
+    /// ([`fused::attention_rows_f32_pooled`]) — same strided-gather kᵀ
+    /// staging and `matmul_acc_f32` reductions (per-element add order
+    /// depends only on the query row and key column, never on the number
+    /// of query rows sharing the call), and the same one-EXP-plus-one-DIV
+    /// softmax stage shape (element-wise sweeps with chunk-seam
+    /// invariance) — so LUT-served backends and mid-decode hot swaps
+    /// behave identically in both. `tests/decode_equivalence.rs` pins the
+    /// contract on exact and LUT backends.
+    ///
+    /// Decode nodes are **gradient-terminal**: the cached k/v rows are
+    /// plain buffers, not tape nodes, so there is nothing for a backward
+    /// pass to flow into — on a training tape the node is recorded as a
+    /// leaf (like [`Graph::input`]), and on an inference tape as usual no
+    /// backward metadata is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `q` is `(1, C)` with `C == cache.dim()`, or if the
+    /// cache is empty.
+    pub fn attention_decode(&mut self, q: NodeId, cache: &KvCache, scale: f32) -> NodeId {
+        let tq = &self.nodes[q.0].value;
+        assert_eq!(
+            tq.shape.len(),
+            2,
+            "attention_decode q must be (1, C), got {:?}",
+            tq.shape
+        );
+        assert_eq!(tq.shape[0], 1, "attention_decode takes one query row");
+        let c = cache.dim();
+        assert_eq!(tq.shape[1], c, "q width must match the cache dim");
+        assert!(!cache.is_empty(), "decode against an empty KvCache");
+        let len = cache.len();
+        let mut out = self.pool.take_full(c);
+        // save = false: no gradients can reach this node (see above), so
+        // the backward state would be dead weight. The pooled driver is
+        // bit-identical with save on or off.
+        let _ = fused::attention_rows_f32_pooled(
+            self.backend,
+            &tq.data,
+            cache.k(),
+            cache.v(),
+            [1, 1, len, c],
+            scale,
+            &mut out,
+            &mut self.pool,
+            false,
+        );
+        let t = Tensor::from_vec(out, &[1, c]);
+        self.push(Op::Leaf, t, None)
+    }
+
+    /// Causal self-attention over `(T, C)` rows: row `t` attends rows
+    /// `0..=t` only. This is the full-prefix spelling of KV-cached decode
+    /// — row `t` is computed with *exactly* the call shape of
+    /// [`Graph::attention_decode`] at step `t` (one fused-driver sweep
+    /// over a `t+1`-row prefix), so the two are `to_bits`-identical by
+    /// construction, backend for backend. Model-level prefix equivalence
+    /// (`step ≡ last row of the causal forward`) rests on this node plus
+    /// the row-wise pinned ordering of every other block op.
+    ///
+    /// Like [`Graph::attention_decode`] the node is gradient-terminal
+    /// (recorded as a leaf on training tapes): it exists as the serving
+    /// reference spelling, not a training op.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `q`, `k`, `v` are `(T, C)` with identical shapes.
+    pub fn attention_causal(&mut self, q: NodeId, k: NodeId, v: NodeId, scale: f32) -> NodeId {
+        let tq = &self.nodes[q.0].value;
+        let tk = &self.nodes[k.0].value;
+        let tv = &self.nodes[v.0].value;
+        assert_eq!(
+            tq.shape.len(),
+            2,
+            "attention_causal takes (T, C) rows, got {:?}",
+            tq.shape
+        );
+        assert_eq!(tq.shape, tk.shape, "q/k shape mismatch");
+        assert_eq!(tq.shape, tv.shape, "q/v shape mismatch");
+        let (t_len, c) = (tq.shape[0], tq.shape[1]);
+        let mut out = self.pool.take_full(t_len * c);
+        // One decode-shaped driver call per row: row t sweeps the
+        // (t+1)-row prefix, exactly as attention_decode would.
+        for t in 0..t_len {
+            let (qd, kd, vd) = (
+                &self.nodes[q.0].value.data,
+                &self.nodes[k.0].value.data,
+                &self.nodes[v.0].value.data,
+            );
+            let _ = fused::attention_rows_f32_pooled(
+                self.backend,
+                &qd[t * c..(t + 1) * c],
+                &kd[..(t + 1) * c],
+                &vd[..(t + 1) * c],
+                [1, 1, t + 1, c],
+                scale,
+                &mut out[t * c..(t + 1) * c],
+                &mut self.pool,
+                false,
+            );
+        }
+        let shape = [t_len, c];
+        let t = Tensor::from_vec(out, &shape);
+        self.push(Op::Leaf, t, None)
     }
 
     // ---- backward ----

@@ -75,6 +75,7 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod decode;
 pub mod fused;
 mod graph;
 pub mod nn;
@@ -83,6 +84,7 @@ mod pool;
 mod tensor_impl;
 
 pub use backend::{eval_many_f32_via_f64, ExactBackend, UnaryBackend, UnaryKind};
+pub use decode::KvCache;
 pub use fused::FusedOp;
 pub use graph::{EvalMode, Graph, NodeId};
 pub use pool::BufferPool;

@@ -1,0 +1,253 @@
+//! The prefix-equivalence property suite for KV-cached decode.
+//!
+//! Contract under test: `Graph::attention_decode` at step `t` (cache
+//! holding the k/v rows of tokens `0..=t`) is `to_bits`-identical to row
+//! `t` of a full `Graph::attention` forward over the `t+1`-token prefix —
+//! on the exact backend, on a pseudo-LUT backend whose EXP/DIV outputs
+//! differ from exact math (so a value-level coincidence cannot mask a
+//! datapath divergence), on training and inference tapes, and with the
+//! cache's buffers recycled through a dirty [`BufferPool`]. The suite
+//! runs on both CI feature legs (simd on and off); bitwise equality
+//! within each leg is the property.
+
+use gqa_tensor::{BufferPool, EvalMode, ExactBackend, Graph, KvCache, Tensor, UnaryBackend};
+
+/// Deterministic pseudo-random test data in [-2, 2).
+fn data(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 2.0
+        })
+        .collect()
+}
+
+/// A backend whose EXP and RECIP differ measurably from the exact math —
+/// a stand-in for a LUT datapath (the real LUT backends live above this
+/// crate). If decode and full-prefix attention ever routed a softmax
+/// stage differently, the perturbation would surface as a bit mismatch.
+struct QuantizedBackend;
+
+impl UnaryBackend for QuantizedBackend {
+    fn eval(&self, kind: gqa_tensor::UnaryKind, x: f64) -> f64 {
+        // Coarsely quantize the exact result (4096 steps) — deterministic,
+        // monotone-ish, and definitely not the exact value.
+        (kind.exact(x) * 4096.0).round() / 4096.0
+    }
+
+    fn eval_many(&self, kind: gqa_tensor::UnaryKind, xs: &[f64], out: &mut [f64]) {
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = self.eval(kind, x);
+        }
+    }
+
+    fn eval_many_f32(&self, kind: gqa_tensor::UnaryKind, xs: &[f32], out: &mut [f32]) {
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = self.eval(kind, f64::from(x)) as f32;
+        }
+    }
+}
+
+/// Full-prefix reference: rows `0..len` of q/k/v through one fused
+/// attention forward, returning the whole `(len, c)` output.
+fn full_prefix_rows(
+    backend: &dyn UnaryBackend,
+    qkv: [&[f32]; 3],
+    len: usize,
+    c: usize,
+    scale: f32,
+    mode: EvalMode,
+) -> Vec<f32> {
+    let mut g = Graph::with_mode(backend, mode, BufferPool::new());
+    let [qn, kn, vn] =
+        qkv.map(|rows| g.input(Tensor::from_vec(rows[..len * c].to_vec(), &[1, len, c])));
+    let out = g.attention(qn, kn, vn, scale);
+    g.value(out).data.clone()
+}
+
+/// Steps a whole sequence through `attention_decode`, comparing every
+/// step's bits against the corresponding row of a fresh full-prefix
+/// forward.
+fn assert_prefix_equivalence(backend: &dyn UnaryBackend, t_max: usize, c: usize, seed: u64) {
+    let scale = 1.0 / (c as f32).sqrt();
+    let q = data(t_max * c, seed);
+    let k = data(t_max * c, seed ^ 0xAAAA);
+    let v = data(t_max * c, seed ^ 0x5555);
+    for &mode in &[EvalMode::Train, EvalMode::Inference] {
+        let mut cache = KvCache::new(t_max, c);
+        let mut pool = BufferPool::new();
+        for t in 0..t_max {
+            cache.append(&k[t * c..(t + 1) * c], &v[t * c..(t + 1) * c]);
+            let mut g = Graph::with_mode(backend, mode, pool);
+            let qn = g.input(Tensor::from_vec(q[t * c..(t + 1) * c].to_vec(), &[1, c]));
+            let step = g.attention_decode(qn, &cache, scale);
+            let got = g.value(step).data.clone();
+            pool = g.recycle();
+
+            let reference = full_prefix_rows(backend, [&q, &k, &v], t + 1, c, scale, mode);
+            let want = &reference[t * c..(t + 1) * c];
+            for (i, (a, b)) in got.iter().zip(want).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "step {t} col {i} diverges from full-prefix row ({mode:?}, c={c})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn decode_matches_full_prefix_exact_backend() {
+    for &(t_max, c) in &[(1usize, 4usize), (7, 4), (9, 16), (5, 33)] {
+        assert_prefix_equivalence(&ExactBackend, t_max, c, 11 + (t_max * c) as u64);
+    }
+}
+
+#[test]
+fn decode_matches_full_prefix_quantized_backend() {
+    // The perturbed EXP/DIV datapath would expose any difference in how
+    // the two spellings invoke the backend (call shape, staging, order).
+    for &(t_max, c) in &[(6usize, 8usize), (10, 12)] {
+        assert_prefix_equivalence(&QuantizedBackend, t_max, c, 99 + c as u64);
+    }
+}
+
+#[test]
+fn train_and_inference_tapes_agree() {
+    let (t_max, c) = (6usize, 8usize);
+    let scale = 1.0 / (c as f32).sqrt();
+    let q = data(t_max * c, 3);
+    let k = data(t_max * c, 4);
+    let v = data(t_max * c, 5);
+    let mut cache = KvCache::new(t_max, c);
+    for t in 0..t_max {
+        cache.append(&k[t * c..(t + 1) * c], &v[t * c..(t + 1) * c]);
+        let run = |mode| {
+            let mut g = Graph::with_mode(&ExactBackend, mode, BufferPool::new());
+            let qn = g.input(Tensor::from_vec(q[t * c..(t + 1) * c].to_vec(), &[1, c]));
+            let step = g.attention_decode(qn, &cache, scale);
+            g.value(step).data.clone()
+        };
+        let train = run(EvalMode::Train);
+        let infer = run(EvalMode::Inference);
+        assert_eq!(
+            train.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            infer.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "step {t}: train and inference tapes must agree bitwise"
+        );
+    }
+}
+
+#[test]
+fn cache_reuse_after_recycle_is_invariant() {
+    // Decode a sequence with a fresh cache, then recycle its buffers into
+    // a pool, poison the pool's contents, build a second cache from that
+    // pool, and decode the same sequence again: bitwise-identical steps.
+    let (t_max, c) = (8usize, 8usize);
+    let scale = 1.0 / (c as f32).sqrt();
+    let q = data(t_max * c, 21);
+    let k = data(t_max * c, 22);
+    let v = data(t_max * c, 23);
+
+    let decode_all = |cache: &mut KvCache| -> Vec<u32> {
+        let mut bits = Vec::new();
+        let mut pool = BufferPool::new();
+        for t in 0..t_max {
+            cache.append(&k[t * c..(t + 1) * c], &v[t * c..(t + 1) * c]);
+            let mut g = Graph::with_mode(&ExactBackend, EvalMode::Inference, pool);
+            let qn = g.input(Tensor::from_vec(q[t * c..(t + 1) * c].to_vec(), &[1, c]));
+            let step = g.attention_decode(qn, cache, scale);
+            bits.extend(g.value(step).data.iter().map(|x| x.to_bits()));
+            pool = g.recycle();
+        }
+        bits
+    };
+
+    let mut fresh = KvCache::new(t_max, c);
+    let first = decode_all(&mut fresh);
+
+    let mut pool = BufferPool::new();
+    fresh.recycle(&mut pool);
+    // Poison whatever the pool holds so stale contents would be seen.
+    let mut junk = pool.take_full(t_max * c);
+    junk.iter_mut().for_each(|x| *x = f32::NAN);
+    pool.put(junk);
+    let mut reused = KvCache::with_pool(t_max, c, &mut pool);
+    let second = decode_all(&mut reused);
+
+    assert_eq!(first, second, "recycled cache buffers changed decode bits");
+}
+
+#[test]
+fn truncate_replays_identically() {
+    // Roll the cache back and re-append: the replayed step must equal the
+    // original step bit for bit (speculative-decode rollback safety).
+    let (t_max, c) = (5usize, 8usize);
+    let scale = 1.0 / (c as f32).sqrt();
+    let q = data(t_max * c, 31);
+    let k = data(t_max * c, 32);
+    let v = data(t_max * c, 33);
+    let step_bits = |cache: &KvCache, t: usize| -> Vec<u32> {
+        let mut g = Graph::with_mode(&ExactBackend, EvalMode::Inference, BufferPool::new());
+        let qn = g.input(Tensor::from_vec(q[t * c..(t + 1) * c].to_vec(), &[1, c]));
+        let step = g.attention_decode(qn, cache, scale);
+        g.value(step).data.iter().map(|x| x.to_bits()).collect()
+    };
+    let mut cache = KvCache::new(t_max, c);
+    for t in 0..t_max {
+        cache.append(&k[t * c..(t + 1) * c], &v[t * c..(t + 1) * c]);
+    }
+    let original = step_bits(&cache, t_max - 1);
+    cache.truncate(t_max - 1);
+    cache.append(&k[(t_max - 1) * c..], &v[(t_max - 1) * c..]);
+    assert_eq!(step_bits(&cache, t_max - 1), original);
+}
+
+#[test]
+fn causal_forward_matches_stepped_decode() {
+    // Graph::attention_causal is the full-prefix spelling of decode: its
+    // row t must equal attention_decode at step t, bit for bit, on both
+    // the exact and the perturbed-datapath backends.
+    let (t_max, c) = (7usize, 8usize);
+    let scale = 1.0 / (c as f32).sqrt();
+    let q = data(t_max * c, 41);
+    let k = data(t_max * c, 42);
+    let v = data(t_max * c, 43);
+    for backend in [&ExactBackend as &dyn UnaryBackend, &QuantizedBackend] {
+        let mut g = Graph::new_inference(backend);
+        let qn = g.input(Tensor::from_vec(q.clone(), &[t_max, c]));
+        let kn = g.input(Tensor::from_vec(k.clone(), &[t_max, c]));
+        let vn = g.input(Tensor::from_vec(v.clone(), &[t_max, c]));
+        let causal = g.attention_causal(qn, kn, vn, scale);
+        let full = g.value(causal).data.clone();
+
+        let mut cache = KvCache::new(t_max, c);
+        for t in 0..t_max {
+            cache.append(&k[t * c..(t + 1) * c], &v[t * c..(t + 1) * c]);
+            let mut gs = Graph::new_inference(backend);
+            let qs = gs.input(Tensor::from_vec(q[t * c..(t + 1) * c].to_vec(), &[1, c]));
+            let step = gs.attention_decode(qs, &cache, scale);
+            let got = gs.value(step).data.clone();
+            for (i, (a, b)) in got.iter().zip(&full[t * c..(t + 1) * c]).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "causal row {t} col {i} diverges from stepped decode"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "empty KvCache")]
+fn empty_cache_panics() {
+    let cache = KvCache::new(4, 4);
+    let mut g = Graph::new(&ExactBackend);
+    let qn = g.input(Tensor::from_vec(vec![0.0; 4], &[1, 4]));
+    let _ = g.attention_decode(qn, &cache, 1.0);
+}

@@ -1,20 +1,27 @@
 //! Integration: the paper's headline comparison — NN-LUT vs GQA-LUT w/o RM
 //! vs GQA-LUT w/ RM — holds at reduced budget.
 
-// The deprecated `build_lut_budgeted` shim is pinned bit-identical to the
-// engine path by tests/serving_engine.rs, so this suite uses it directly
-// (the global registry shares the artifacts across the tests in this
-// binary) rather than re-spelling the plan→spec construction a third time.
-#![allow(deprecated)]
-
 use gqa::funcs::NonLinearOp;
 use gqa::fxp::IntRange;
-use gqa::models::luts::build_lut_budgeted;
-use gqa::models::Method;
 use gqa::pwl::eval;
+use gqa::pwl::QuantAwareLut;
+use gqa::registry::{LutRegistry, Method};
+use gqa::serve::OpPlan;
+
+/// The comparison's one LUT spelling: a serve-layer plan entry resolved
+/// through the process-global registry (shared across the tests in this
+/// binary), at the suite's reduced budget.
+fn build_lut(method: Method, op: NonLinearOp) -> QuantAwareLut {
+    let spec = OpPlan::new(method)
+        .with_entries(8)
+        .with_seed(7)
+        .with_budget(0.25)
+        .spec(op);
+    (*LutRegistry::global().get_or_build(&spec).unwrap()).clone()
+}
 
 fn avg_quantized_mse(method: Method, op: NonLinearOp) -> f64 {
-    let lut = build_lut_budgeted(method, op, 8, 7, 0.25);
+    let lut = build_lut(method, op);
     let range = IntRange::signed(8);
     let clip = Some(op.default_range());
     let sweep = eval::paper_scale_sweep();
@@ -55,7 +62,7 @@ fn rm_fixes_large_scales() {
     let clip = Some(op.default_range());
     let s = gqa::fxp::PowerOfTwoScale::new(0);
     let mse_at_s0 = |method: Method| {
-        let lut = build_lut_budgeted(method, op, 8, 7, 0.25);
+        let lut = build_lut(method, op);
         let inst = lut.instantiate(s, range);
         eval::mse_dequantized(
             &|q| inst.eval_dequantized(q),
@@ -79,7 +86,7 @@ fn nn_lut_wide_range_disadvantage() {
     // then INT8-converted) trails GQA-LUT by an order of magnitude.
     for op in [NonLinearOp::Div, NonLinearOp::Rsqrt] {
         let nn = {
-            let lut = build_lut_budgeted(Method::NnLut, op, 8, 7, 0.25);
+            let lut = build_lut(Method::NnLut, op);
             let scaling = match op {
                 NonLinearOp::Div => gqa::pwl::MultiRangeScaling::div_paper(),
                 _ => gqa::pwl::MultiRangeScaling::rsqrt_paper(),
@@ -94,7 +101,7 @@ fn nn_lut_wide_range_disadvantage() {
             )
         };
         let gqa_mse = {
-            let lut = build_lut_budgeted(Method::GqaNoRm, op, 8, 7, 0.25);
+            let lut = build_lut(Method::GqaNoRm, op);
             let scaling = match op {
                 NonLinearOp::Div => gqa::pwl::MultiRangeScaling::div_paper(),
                 _ => gqa::pwl::MultiRangeScaling::rsqrt_paper(),
