@@ -1,0 +1,471 @@
+//! Weighted fair admission: a **pure, tick-driven** deficit-round-robin
+//! state machine in front of the shared serving queue, plus the EWMA
+//! arrival-rate tracker that adapts the coalescer's deadline bound.
+//!
+//! PR 8's `Served` has one shared bounded queue: a tenant that floods it
+//! starves everyone behind the single `capacity`. [`FairAdmission`]
+//! fixes that at the network front door — each tenant gets its own
+//! bounded **lane** (quota'd, typed [`Rejected`] backpressure per
+//! tenant) and a deficit-round-robin scheduler releases lane heads into
+//! the shared queue in weight proportion, so a heavy tenant's backlog
+//! can delay a light tenant by at most one full credit round, never by
+//! the backlog's length.
+//!
+//! Like [`Coalescer`](gqa_served::Coalescer), the machine takes time as
+//! an explicit `now` tick argument and has no clocks, threads, or locks
+//! inside — `tests/fairness.rs` scripts exact schedules against it and
+//! pins the starvation-freedom bound deterministically.
+//!
+//! **Starvation-freedom bound.** With per-visit credit `quantum × w_t`
+//! and unit cost per request, a request at position `p` (0-based) in
+//! tenant `t`'s lane is released after at most
+//! `(floor(p / (quantum·w_t)) + 1) · Σ_u quantum·w_u` releases from the
+//! moment it reaches the lane: every full rotation hands each active
+//! tenant `u` exactly `quantum·w_u` releases, and `t` needs
+//! `floor(p / (quantum·w_t)) + 1` of its own visits to reach position
+//! `p`. The bound depends on the tenant's **own** lane depth (≤ its
+//! quota) and the weight sum — never on another tenant's backlog.
+
+use std::collections::VecDeque;
+
+use gqa_served::{Rejected, TenantId};
+
+/// Fair-admission policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FairConfig {
+    /// Requests a tenant may hold in its admission lane before further
+    /// submissions are rejected (the per-tenant quota). The
+    /// starvation-freedom bound scales with this, so small quotas mean
+    /// tight admission-latency bounds.
+    pub quota: usize,
+    /// Deficit credits granted per scheduling visit per unit weight —
+    /// how many back-to-back requests a weight-1 tenant releases before
+    /// the scheduler moves on. Larger quanta favor throughput (longer
+    /// same-tenant runs coalesce better); smaller quanta favor
+    /// interleaving fairness.
+    pub quantum: u64,
+}
+
+impl Default for FairConfig {
+    fn default() -> Self {
+        Self {
+            quota: 64,
+            quantum: 4,
+        }
+    }
+}
+
+/// One queued item plus its arrival tick.
+#[derive(Debug)]
+struct Pending<T> {
+    item: T,
+    enqueued: u64,
+}
+
+/// One released request: the deficit-round-robin scheduler's output.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Release<T> {
+    /// The tenant whose lane this came from.
+    pub tenant: TenantId,
+    /// The released payload.
+    pub item: T,
+    /// The tick the item entered its lane.
+    pub enqueued: u64,
+    /// Admission wait in ticks (`now - enqueued` at release time).
+    pub waited: u64,
+}
+
+/// The deficit-round-robin weighted fair queue.
+///
+/// State per tenant: a FIFO lane, a deficit counter, and membership in
+/// the active rotation. [`FairAdmission::submit`] enqueues under the
+/// lane quota; [`FairAdmission::poll`] releases the next request in DRR
+/// order. Both are pure state transitions — drive them from a scripted
+/// schedule to get exact, reproducible fairness properties.
+#[derive(Debug)]
+pub struct FairAdmission<T> {
+    cfg: FairConfig,
+    weights: Vec<u64>,
+    lanes: Vec<VecDeque<Pending<T>>>,
+    deficit: Vec<u64>,
+    /// Round-robin rotation of tenants with non-empty lanes, front =
+    /// next to serve.
+    active: VecDeque<TenantId>,
+    depth: usize,
+}
+
+impl<T> FairAdmission<T> {
+    /// A fair queue over `weights.len()` tenants with the given per-
+    /// tenant weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, any weight is zero, or the config's
+    /// `quota`/`quantum` is zero — all configuration bugs.
+    #[must_use]
+    pub fn new(weights: &[u64], cfg: FairConfig) -> Self {
+        assert!(!weights.is_empty(), "fair admission needs >= 1 tenant");
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "tenant weights must be positive, got {weights:?}"
+        );
+        assert!(cfg.quota > 0, "quota must be positive");
+        assert!(cfg.quantum > 0, "quantum must be positive");
+        Self {
+            cfg,
+            weights: weights.to_vec(),
+            lanes: weights.iter().map(|_| VecDeque::new()).collect(),
+            deficit: vec![0; weights.len()],
+            active: VecDeque::new(),
+            depth: 0,
+        }
+    }
+
+    /// The configured policy.
+    #[must_use]
+    pub fn config(&self) -> FairConfig {
+        self.cfg
+    }
+
+    /// The per-tenant weights.
+    #[must_use]
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Requests queued across all lanes.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Requests queued in `tenant`'s lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    #[must_use]
+    pub fn lane_depth(&self, tenant: TenantId) -> usize {
+        self.lanes[tenant].len()
+    }
+
+    /// Admits `item` into `tenant`'s lane at tick `now`, or rejects it
+    /// when the lane is at quota.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejected`] carrying the lane's depth and the quota;
+    /// the item comes back untouched — per-tenant backpressure that a
+    /// flooding tenant feels while everyone else's lanes stay open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range — the server validates tenant
+    /// ids before they reach the fair queue.
+    pub fn submit(&mut self, tenant: TenantId, item: T, now: u64) -> Result<(), (Rejected, T)> {
+        let lane = &mut self.lanes[tenant];
+        if lane.len() >= self.cfg.quota {
+            return Err((
+                Rejected {
+                    depth: lane.len(),
+                    capacity: self.cfg.quota,
+                },
+                item,
+            ));
+        }
+        let was_empty = lane.is_empty();
+        lane.push_back(Pending {
+            item,
+            enqueued: now,
+        });
+        self.depth += 1;
+        if was_empty {
+            // A newly active lane joins the BACK of the rotation with an
+            // empty deficit: it cannot jump ahead of tenants already
+            // waiting for their turn.
+            self.active.push_back(tenant);
+        }
+        Ok(())
+    }
+
+    /// Releases the next request in deficit-round-robin order at tick
+    /// `now`, or `None` when every lane is empty.
+    ///
+    /// The front lane of the rotation is topped up with
+    /// `quantum × weight` credits when its deficit is spent; each
+    /// release costs one credit. A lane that spends its credits (or
+    /// empties) rotates to the back, which is what bounds any tenant's
+    /// wait by one full credit round regardless of other lanes' depths.
+    pub fn poll(&mut self, now: u64) -> Option<Release<T>> {
+        let &tenant = self.active.front()?;
+        debug_assert!(
+            !self.lanes[tenant].is_empty(),
+            "active rotation only holds non-empty lanes"
+        );
+        if self.deficit[tenant] == 0 {
+            self.deficit[tenant] = self.cfg.quantum.saturating_mul(self.weights[tenant]);
+        }
+        self.deficit[tenant] -= 1;
+        let p = self.lanes[tenant].pop_front().expect("non-empty lane");
+        self.depth -= 1;
+        if self.lanes[tenant].is_empty() {
+            // An emptied lane leaves the rotation and forfeits residual
+            // credit — DRR's anti-banking rule, so an idle tenant cannot
+            // save up a burst allowance.
+            self.active.pop_front();
+            self.deficit[tenant] = 0;
+        } else if self.deficit[tenant] == 0 {
+            let t = self.active.pop_front().expect("front exists");
+            self.active.push_back(t);
+        }
+        Some(Release {
+            tenant,
+            item: p.item,
+            enqueued: p.enqueued,
+            waited: now.saturating_sub(p.enqueued),
+        })
+    }
+
+    /// Releases everything, lane by lane in tenant order, ignoring the
+    /// rotation — the shutdown drain, so no admitted request is dropped
+    /// without a typed answer.
+    pub fn drain(&mut self) -> Vec<Release<T>> {
+        let mut out = Vec::with_capacity(self.depth);
+        for (tenant, lane) in self.lanes.iter_mut().enumerate() {
+            for p in lane.drain(..) {
+                out.push(Release {
+                    tenant,
+                    item: p.item,
+                    enqueued: p.enqueued,
+                    waited: 0,
+                });
+            }
+        }
+        self.depth = 0;
+        self.active.clear();
+        self.deficit.iter_mut().for_each(|d| *d = 0);
+        out
+    }
+}
+
+/// EWMA arrival-rate tracker driving the adaptive coalescing deadline.
+///
+/// Observes request arrival ticks and maintains an exponentially
+/// weighted moving average of the inter-arrival gap. The suggested
+/// `max_wait` is the time a `max_batch`-wide batch plausibly takes to
+/// form at the observed rate — `(max_batch - 1) × ewma_gap` — clamped
+/// to `[min_wait, max_wait]`:
+///
+/// * **Dense traffic** (gap → 0): suggestion clamps to `min_wait`.
+///   Batches fill by size before any deadline matters; a long deadline
+///   would only add tail latency to stragglers.
+/// * **Sparse traffic** (gap large): suggestion clamps to `max_wait`,
+///   the latency SLO — never hold a lone request longer than the cap
+///   waiting for company that is not coming.
+///
+/// Pure and deterministic: same observation sequence, same suggestions.
+#[derive(Debug, Clone)]
+pub struct AdaptiveWait {
+    alpha: f64,
+    ewma_gap: Option<f64>,
+    last_arrival: Option<u64>,
+    min_wait: u64,
+    max_wait: u64,
+}
+
+impl AdaptiveWait {
+    /// A tracker smoothing with factor `alpha` (weight of the newest
+    /// gap, in `(0, 1]`) and clamping suggestions to
+    /// `[min_wait, max_wait]` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or `min_wait > max_wait`.
+    #[must_use]
+    pub fn new(alpha: f64, min_wait: u64, max_wait: u64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} not in (0, 1]");
+        assert!(
+            min_wait <= max_wait,
+            "min_wait {min_wait} > max_wait {max_wait}"
+        );
+        Self {
+            alpha,
+            ewma_gap: None,
+            last_arrival: None,
+            min_wait,
+            max_wait,
+        }
+    }
+
+    /// Records one arrival at tick `now`. Out-of-order ticks (a wall
+    /// clock read racing another thread's) count as gap 0 — densest
+    /// possible, which only ever shrinks the suggestion.
+    pub fn observe(&mut self, now: u64) {
+        if let Some(last) = self.last_arrival {
+            let gap = now.saturating_sub(last) as f64;
+            self.ewma_gap = Some(match self.ewma_gap {
+                Some(e) => e + self.alpha * (gap - e),
+                None => gap,
+            });
+        }
+        self.last_arrival = Some(now);
+    }
+
+    /// The smoothed inter-arrival gap in ticks (`None` before two
+    /// arrivals).
+    #[must_use]
+    pub fn ewma_gap(&self) -> Option<f64> {
+        self.ewma_gap
+    }
+
+    /// The suggested `max_wait` for a `max_batch`-wide coalescer:
+    /// `(max_batch - 1) × ewma_gap`, clamped to the configured bounds.
+    /// Before any gap has been observed, suggests `max_wait` (the
+    /// conservative cap).
+    #[must_use]
+    pub fn suggest(&self, max_batch: usize) -> u64 {
+        let Some(gap) = self.ewma_gap else {
+            return self.max_wait;
+        };
+        let fill = gap * max_batch.saturating_sub(1) as f64;
+        // Ceil, then clamp: a fractional tick of fill time still needs a
+        // whole tick of deadline.
+        (fill.ceil() as u64).clamp(self.min_wait, self.max_wait)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fair(weights: &[u64], quota: usize, quantum: u64) -> FairAdmission<u32> {
+        FairAdmission::new(weights, FairConfig { quota, quantum })
+    }
+
+    #[test]
+    fn single_tenant_is_fifo() {
+        let mut f = fair(&[1], 8, 4);
+        for i in 0..5 {
+            f.submit(0, i, u64::from(i)).unwrap();
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| f.poll(10).map(|r| r.item)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(f.depth(), 0);
+    }
+
+    #[test]
+    fn equal_weights_interleave_in_quantum_runs() {
+        let mut f = fair(&[1, 1], 64, 2);
+        for i in 0..6 {
+            f.submit(0, i, 0).unwrap();
+            f.submit(1, 100 + i, 0).unwrap();
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| f.poll(0).map(|r| r.item)).collect();
+        // Tenant 0 activated first: runs of `quantum = 2` alternate.
+        assert_eq!(order, vec![0, 1, 100, 101, 2, 3, 102, 103, 4, 5, 104, 105]);
+    }
+
+    #[test]
+    fn weights_set_the_release_proportion() {
+        let mut f = fair(&[3, 1], 256, 2);
+        for i in 0..24 {
+            f.submit(0, i, 0).unwrap();
+            f.submit(1, 100 + i, 0).unwrap();
+        }
+        // One full rotation: 6 from tenant 0 (quantum 2 × weight 3), then
+        // 2 from tenant 1.
+        let first_round: Vec<u32> = (0..8).map(|_| f.poll(0).unwrap().item).collect();
+        assert_eq!(first_round, vec![0, 1, 2, 3, 4, 5, 100, 101]);
+    }
+
+    #[test]
+    fn quota_rejects_with_typed_depth_and_capacity() {
+        let mut f = fair(&[1, 1], 2, 4);
+        f.submit(0, 1, 0).unwrap();
+        f.submit(0, 2, 0).unwrap();
+        let (rej, item) = f.submit(0, 3, 0).unwrap_err();
+        assert_eq!((rej.depth, rej.capacity, item), (2, 2, 3));
+        // The OTHER tenant's lane is unaffected — per-tenant quota, not a
+        // shared bound.
+        f.submit(1, 9, 0).unwrap();
+        assert_eq!(f.lane_depth(0), 2);
+        assert_eq!(f.lane_depth(1), 1);
+    }
+
+    #[test]
+    fn emptied_lane_forfeits_residual_credit() {
+        let mut f = fair(&[1, 1], 8, 4);
+        f.submit(0, 1, 0).unwrap();
+        f.submit(1, 2, 0).unwrap();
+        assert_eq!(f.poll(0).unwrap().item, 1);
+        // Tenant 0's lane emptied with 3 credits left; re-submitting must
+        // NOT let it bank them into a 7-long run.
+        for i in 10..18 {
+            f.submit(0, i, 0).unwrap();
+        }
+        // Tenant 1 is at the front of the rotation now.
+        assert_eq!(f.poll(0).unwrap().tenant, 1);
+        let next: Vec<u32> = (0..4).map(|_| f.poll(0).unwrap().item).collect();
+        assert_eq!(
+            next,
+            vec![10, 11, 12, 13],
+            "fresh quantum, not banked credit"
+        );
+        assert_eq!(
+            f.poll(0).unwrap().item,
+            14,
+            "still tenant 0: no one else queued"
+        );
+    }
+
+    #[test]
+    fn release_reports_admission_wait_in_ticks() {
+        let mut f = fair(&[1], 8, 4);
+        f.submit(0, 7, 3).unwrap();
+        let r = f.poll(10).unwrap();
+        assert_eq!((r.enqueued, r.waited), (3, 7));
+    }
+
+    #[test]
+    fn drain_returns_everything_and_resets() {
+        let mut f = fair(&[1, 1], 8, 4);
+        f.submit(0, 1, 0).unwrap();
+        f.submit(1, 2, 0).unwrap();
+        f.submit(1, 3, 0).unwrap();
+        let drained: Vec<(usize, u32)> =
+            f.drain().into_iter().map(|r| (r.tenant, r.item)).collect();
+        assert_eq!(drained, vec![(0, 1), (1, 2), (1, 3)]);
+        assert_eq!(f.depth(), 0);
+        assert!(f.poll(0).is_none());
+    }
+
+    #[test]
+    fn adaptive_wait_tracks_dense_and_sparse_regimes() {
+        let mut a = AdaptiveWait::new(0.5, 1, 64);
+        assert_eq!(a.suggest(16), 64, "no observations: conservative cap");
+        // Dense: back-to-back arrivals every tick.
+        for now in 0..32 {
+            a.observe(now);
+        }
+        assert!(a.ewma_gap().unwrap() <= 1.0 + 1e-9);
+        assert_eq!(a.suggest(16), 15, "15 gaps of ~1 tick fill a 16-batch");
+        assert_eq!(a.suggest(2), 1, "tiny batch clamps to min");
+        // Sparse: arrivals 1000 ticks apart pull the EWMA up fast.
+        for k in 1..=8u64 {
+            a.observe(32 + k * 1000);
+        }
+        assert_eq!(a.suggest(16), 64, "sparse traffic clamps to the cap");
+    }
+
+    #[test]
+    fn adaptive_wait_is_deterministic() {
+        let run = || {
+            let mut a = AdaptiveWait::new(0.25, 0, 100);
+            for now in [0u64, 3, 4, 10, 11, 11, 30, 31] {
+                a.observe(now);
+            }
+            (a.ewma_gap().unwrap().to_bits(), a.suggest(8))
+        };
+        assert_eq!(run(), run());
+    }
+}

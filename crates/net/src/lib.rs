@@ -1,0 +1,50 @@
+//! `gqa-net`: the network front door for the `gqa-served` serving
+//! front-end — a socket transport, wire protocol, and fair admission
+//! layer.
+//!
+//! The serving stack below this crate is process-local: tenants hold a
+//! [`gqa_served::Served`] handle and submit through it. This crate puts
+//! that behind a TCP socket without weakening any of its contracts:
+//!
+//! - **[`wire`]** — a length-prefixed, versioned binary protocol.
+//!   Requests (`Hello`, `Infer`, `DecodeOpen`, `DecodeStep`, `Stats`)
+//!   and responses are pure-function encode/decode over byte buffers;
+//!   tensors travel as raw `f32` bit patterns, so the transport cannot
+//!   perturb a single mantissa bit. Every decoder is total: malformed
+//!   bytes come back as typed [`WireError`]s, never panics.
+//! - **[`fair`]** — per-tenant admission quotas and deficit-round-robin
+//!   weighted fair queuing in front of the shared coalescer queue
+//!   ([`FairAdmission`]), plus an EWMA arrival-rate tracker
+//!   ([`AdaptiveWait`]) that retunes the coalescer's `max_wait` between
+//!   throughput (dense traffic) and latency (sparse traffic). Both are
+//!   pure tick-driven state machines in the [`gqa_served::Coalescer`]
+//!   mold — no internal clocks, fully deterministic under test.
+//! - **[`server`]** — [`NetServer`]: a blocking accept loop (no async
+//!   runtime), thread-per-connection frame handlers, and a single
+//!   admission pump draining the fair queue into `Served::submit`.
+//! - **[`client`]** — [`NetClient`]: a blocking lockstep client used by
+//!   the equivalence suites, the `gqa-soak` binary, and examples.
+//!
+//! The load-bearing contract is inherited, not invented here: a
+//! response read off the socket is `to_bits`-identical to the same
+//! request served in-process, including across mid-traffic engine
+//! swaps and refreshes — the wire layer moves bits, the fairness layer
+//! only reorders admission, and the coalescing-invisibility contract
+//! does the rest.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod fair;
+pub mod server;
+pub mod wire;
+
+pub use client::{NetClient, NetError, ServerInfo};
+pub use fair::{AdaptiveWait, FairAdmission, FairConfig, Release};
+pub use server::{AdaptiveConfig, NetConfig, NetServer, NetStats};
+pub use wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    FrameRead, RemoteError, RequestFrame, ResponseFrame, WireError, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};

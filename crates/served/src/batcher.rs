@@ -97,6 +97,20 @@ impl<T> Coalescer<T> {
         self.cfg
     }
 
+    /// Retunes the deadline bound (`max_wait`) on a live coalescer — the
+    /// hook the network layer's adaptive-wait controller uses to track
+    /// the observed arrival rate.
+    ///
+    /// Applies to every queued **and** future request: deadlines are
+    /// computed from arrival ticks at poll time, never cached, so a
+    /// lowered bound can make already-queued requests immediately
+    /// deadline-ready and a raised bound extends them. Batching policy
+    /// only — the response bits never depend on `max_wait` (coalescing
+    /// invisibility).
+    pub fn set_max_wait(&mut self, max_wait: u64) {
+        self.cfg.max_wait = max_wait;
+    }
+
     /// Requests currently queued across all models.
     #[must_use]
     pub fn depth(&self) -> usize {

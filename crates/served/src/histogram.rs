@@ -154,6 +154,87 @@ impl HistogramSnapshot {
         self.quantile_ns(0.50)
     }
 
+    /// Renders the snapshot in the Prometheus text exposition format —
+    /// the encoder shared by the `gqa-net` `Stats` frame and the
+    /// `gqa-soak` export loop.
+    ///
+    /// Emits a classic histogram series plus summary-style quantile
+    /// representatives, all under `name` with the given extra `labels`:
+    ///
+    /// ```text
+    /// name_bucket{tenant="0",le="2"} 1
+    /// name_bucket{tenant="0",le="4"} 3
+    /// name_bucket{tenant="0",le="+Inf"} 3
+    /// name_sum{tenant="0"} 11
+    /// name_count{tenant="0"} 3
+    /// name{tenant="0",quantile="0.5"} 2
+    /// name{tenant="0",quantile="0.99"} 5
+    /// ```
+    ///
+    /// * Bucket lines are **cumulative** with `le` upper bounds (the
+    ///   bucket's exclusive `hi` is Prometheus's inclusive `le` minus
+    ///   one sample unit — bucket `k` covers `[lo, hi)` in integer
+    ///   nanoseconds, so every sample `<= hi - 1`). Only buckets up to
+    ///   the highest non-empty one are emitted, then the mandatory
+    ///   `+Inf` line.
+    /// * `_sum` is approximated from each bucket's geometric-midpoint
+    ///   representative (a log-bucketed histogram does not retain exact
+    ///   sums); it is exact for empty histograms and within 2× per
+    ///   sample otherwise.
+    /// * The quantile lines reuse [`HistogramSnapshot::quantile_ns`]
+    ///   (p50/p99 representatives) and are omitted when empty.
+    ///
+    /// An empty histogram still renders the `+Inf`/`_sum`/`_count`
+    /// lines (all zero), so a scrape can tell "present but idle" from
+    /// "missing".
+    #[must_use]
+    pub fn render_prometheus(&self, name: &str, labels: &[(&str, &str)]) -> String {
+        let label_str = |extra: Option<(&str, &str)>| {
+            let mut parts: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            if let Some((k, v)) = extra {
+                parts.push(format!("{k}=\"{v}\""));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+        let mut out = String::new();
+        let last_nonempty = self.counts.iter().rposition(|&c| c > 0);
+        let mut cumulative = 0u64;
+        let mut approx_sum = 0u128;
+        if let Some(last) = last_nonempty {
+            for (k, &c) in self.counts.iter().enumerate().take(last + 1) {
+                cumulative += c;
+                let (lo, hi) = bucket_bounds(k);
+                let mid = ((lo.max(1) as f64) * (hi as f64)).sqrt() as u64;
+                approx_sum += u128::from(c) * u128::from(mid);
+                out.push_str(&format!(
+                    "{name}_bucket{} {cumulative}\n",
+                    label_str(Some(("le", &(hi - 1).to_string())))
+                ));
+            }
+        }
+        let total = self.total();
+        out.push_str(&format!(
+            "{name}_bucket{} {total}\n",
+            label_str(Some(("le", "+Inf")))
+        ));
+        out.push_str(&format!("{name}_sum{} {approx_sum}\n", label_str(None)));
+        out.push_str(&format!("{name}_count{} {total}\n", label_str(None)));
+        for (q, tag) in [(0.5, "0.5"), (0.99, "0.99")] {
+            if let Some(v) = self.quantile_ns(q) {
+                out.push_str(&format!(
+                    "{name}{} {v}\n",
+                    label_str(Some(("quantile", tag)))
+                ));
+            }
+        }
+        out
+    }
+
     /// 99th-percentile latency representative (`None` when empty).
     #[must_use]
     pub fn p99(&self) -> Option<u64> {
@@ -262,6 +343,60 @@ mod tests {
         assert_eq!(snap.quantile_bounds(0.5), None);
         assert_eq!(snap.p50(), None);
         assert_eq!(snap.p99(), None);
+    }
+
+    #[test]
+    fn prometheus_bucket_lines_are_cumulative_with_le_bounds() {
+        let h = LatencyHistogram::new();
+        h.record(1); // bucket 0: [0, 2)  → le="1"
+        h.record(3); // bucket 1: [2, 4)  → le="3"
+        h.record(3);
+        let text = h.snapshot().render_prometheus("lat_ns", &[("tenant", "2")]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "lat_ns_bucket{tenant=\"2\",le=\"1\"} 1");
+        assert_eq!(lines[1], "lat_ns_bucket{tenant=\"2\",le=\"3\"} 3");
+        assert_eq!(lines[2], "lat_ns_bucket{tenant=\"2\",le=\"+Inf\"} 3");
+        assert_eq!(lines[4], "lat_ns_count{tenant=\"2\"} 3");
+        // Quantile representative lines close the series.
+        assert!(lines[5].starts_with("lat_ns{tenant=\"2\",quantile=\"0.5\"} "));
+        assert!(lines[6].starts_with("lat_ns{tenant=\"2\",quantile=\"0.99\"} "));
+        assert_eq!(lines.len(), 7);
+    }
+
+    #[test]
+    fn prometheus_empty_histogram_renders_zero_series_without_quantiles() {
+        let text = LatencyHistogram::new()
+            .snapshot()
+            .render_prometheus("lat_ns", &[]);
+        assert_eq!(
+            text,
+            "lat_ns_bucket{le=\"+Inf\"} 0\nlat_ns_sum 0\nlat_ns_count 0\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_count_matches_total_and_sum_is_midpoint_weighted() {
+        let h = LatencyHistogram::new();
+        for ns in [10u64, 100, 1000, 10_000, 100_000] {
+            h.record(ns);
+        }
+        let snap = h.snapshot();
+        let text = snap.render_prometheus("x", &[]);
+        assert!(text.contains(&format!("x_count {}\n", snap.total())));
+        // The midpoint-approximated sum is within 2× of the true sum in
+        // each direction (log-bucket resolution bound).
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("x_sum"))
+            .expect("sum line");
+        let approx: f64 = sum_line.split(' ').nth(1).unwrap().parse().unwrap();
+        let true_sum = 111_110.0f64;
+        assert!(
+            approx > true_sum / 2.0 && approx < true_sum * 2.0,
+            "approx sum {approx} vs true {true_sum}"
+        );
+        // Final cumulative bucket equals the count.
+        assert!(text.contains(&format!("x_bucket{{le=\"+Inf\"}} {}", snap.total())));
     }
 
     #[test]

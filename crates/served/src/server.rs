@@ -269,11 +269,17 @@ impl Ticket {
     }
 
     /// Non-blocking check (legacy spelling).
+    ///
+    /// **Removal timeline:** every internal call site has migrated to
+    /// [`Ticket::try_consume`]; this shim exists only for external
+    /// callers and will be **deleted in the next breaking release**
+    /// (0.2.0) — switch now, the replacement is a drop-in rename with an
+    /// honest `&mut self` receiver.
     #[deprecated(
         since = "0.1.0",
         note = "use `try_consume` (or `wait_timeout`): a `Some` return consumes \
                 the one-shot response, which the `&mut self` receivers make \
-                visible in the type"
+                visible in the type; `try_take` will be removed in 0.2.0"
     )]
     pub fn try_take(&self) -> Option<Result<Tensor, ServedError>> {
         self.slot.result.lock().expect("slot lock").take()
@@ -767,11 +773,59 @@ impl Served {
         self.inner.clock.now()
     }
 
+    /// Retunes the coalescer's deadline bound (`max_wait`, in ticks) on
+    /// the live server — the adaptive-batching control knob: the network
+    /// layer's EWMA arrival-rate tracker lowers it under sparse traffic
+    /// (don't hold a lone request) and raises it under dense traffic
+    /// (batches fill by size first anyway). Returns the previous bound.
+    ///
+    /// Takes effect immediately for queued and future requests; workers
+    /// are woken because a lowered bound can make queued work
+    /// deadline-ready right now. Batching policy only — response bits
+    /// are independent of `max_wait` by the coalescing-invisibility
+    /// contract.
+    pub fn set_max_wait(&self, max_wait: u64) -> u64 {
+        let mut q = self.inner.queue.lock().expect("queue lock");
+        let prev = q.config().max_wait;
+        q.set_max_wait(max_wait);
+        drop(q);
+        self.inner.work.notify_all();
+        prev
+    }
+
+    /// The live coalescing policy (including any `max_wait` applied
+    /// through [`Served::set_max_wait`] since construction).
+    #[must_use]
+    pub fn batch_config(&self) -> BatchConfig {
+        self.inner.queue.lock().expect("queue lock").config()
+    }
+
     /// The engine behind the front-end — the control plane for
     /// [`Engine::swap`] / [`Engine::refresh`] under live traffic.
     #[must_use]
     pub fn engine(&self) -> &Engine {
         &self.inner.engine
+    }
+
+    /// Number of registered models (model ids are `0..model_count()`).
+    #[must_use]
+    pub fn model_count(&self) -> usize {
+        self.inner.models.len()
+    }
+
+    /// Size of the configured tenant space (tenant ids are
+    /// `0..tenant_count()`).
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.inner.tenants.len()
+    }
+
+    /// The per-request row shape of `model`, or `None` for an unknown
+    /// id — what a front door validates inputs against before paying
+    /// for admission.
+    #[must_use]
+    pub fn model_row_shape(&self, model: ModelId) -> Option<&[usize]> {
+        self.inner.models.get(model).map(ModelSpec::row_shape)
     }
 
     /// Front-end + engine counters.
@@ -808,25 +862,32 @@ impl Served {
         }
         all
     }
-}
 
-impl Drop for Served {
-    fn drop(&mut self) {
-        // Set the flag while holding the queue lock (same lost-wakeup
-        // hazard as `advance`: workers read `shutdown` under the lock
-        // just before waiting). A poisoned lock still holds the guard
-        // inside the PoisonError, so the critical section is preserved
-        // even if a worker panicked.
+    /// Initiates shutdown without consuming the handle: new submissions
+    /// fail with [`ServedError::ShuttingDown`], live workers drain and
+    /// execute everything already admitted, and on a zero-worker server
+    /// queued requests fail typed immediately (nobody is left to run
+    /// them). Idempotent; [`Drop`] calls it and then joins the workers.
+    ///
+    /// Layers that put their own threads between clients and tickets
+    /// (the network front door) call this *before* joining those
+    /// threads, so every in-flight [`Ticket::wait`] is guaranteed to
+    /// resolve while the joiner waits.
+    pub fn shutdown(&self) {
+        // Same lost-wakeup discipline as `advance` / `drop`: flip the
+        // flag while holding the queue lock, then wake everyone.
         let guard = self.inner.queue.lock();
         self.inner.shutdown.store(true, Ordering::Release);
         drop(guard);
         self.inner.work.notify_all();
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+        if self.workers.is_empty() {
+            self.fail_queued();
         }
-        // Workers drained and executed everything they could; anything
-        // still queued (a zero-worker server, or a submit that raced the
-        // drain) fails loudly instead of leaving waiters hanging.
+    }
+
+    /// Fails everything still queued with `ShuttingDown`, checking
+    /// decode state back into its session first.
+    fn fail_queued(&self) {
         if let Ok(mut q) = self.inner.queue.lock() {
             while let Some(batch) = q.drain() {
                 for job in batch.items {
@@ -841,6 +902,23 @@ impl Drop for Served {
                 }
             }
         }
+    }
+}
+
+impl Drop for Served {
+    fn drop(&mut self) {
+        // `shutdown` handles the lost-wakeup hazard (flag flipped under
+        // the queue lock; a poisoned lock still holds the guard inside
+        // the PoisonError, so the critical section is preserved even if
+        // a worker panicked).
+        self.shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Workers drained and executed everything they could; anything
+        // still queued (a submit that raced the drain) fails loudly
+        // instead of leaving waiters hanging.
+        self.fail_queued();
     }
 }
 

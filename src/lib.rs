@@ -23,6 +23,12 @@
 //!   bounded admission, per-model request coalescing into single batched
 //!   forwards (bit-invisible to callers), per-tenant lock-free latency
 //!   histograms, and deterministic Zipfian load generation.
+//! * [`net`] — the network front door above the front-end: a
+//!   length-prefixed binary wire protocol over blocking TCP sockets
+//!   (thread-per-connection, no async runtime), deficit-round-robin
+//!   weighted fair admission with per-tenant quotas, EWMA-adaptive
+//!   batching deadlines, a blocking [`net::NetClient`], and the
+//!   `gqa-soak` load binary with Prometheus-text metric export.
 //! * [`quant`] — LSQ / power-of-two quantizers and integer-only pipeline glue.
 //! * [`tensor`] — minimal CPU tensor library with reverse-mode autodiff.
 //! * [`data`] — SynthScapes synthetic segmentation dataset + mIoU metrics.
@@ -91,6 +97,7 @@ pub use gqa_fxp as fxp;
 pub use gqa_genetic as genetic;
 pub use gqa_hardware as hardware;
 pub use gqa_models as models;
+pub use gqa_net as net;
 pub use gqa_nnlut as nnlut;
 pub use gqa_pwl as pwl;
 pub use gqa_quant as quant;
